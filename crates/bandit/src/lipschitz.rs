@@ -1,0 +1,174 @@
+//! Lipschitz arm domains: uniform discretization of a continuous interval
+//! (§V-A of the paper).
+//!
+//! `DynamicRR`'s threshold `C^th` ranges over a continuous interval
+//! `Z = [lo, hi]` whose expected-reward function is assumed `η`-Lipschitz
+//! (Eq. 21). Discretizing `Z` into `κ` points of spacing
+//! `ε = (hi − lo) / (κ − 1)` costs at most `η · ε` of per-step reward
+//! (Eq. 25), giving Theorem 3's total regret
+//! `O(sqrt(κ T log T) + T · η · ε)`.
+
+use crate::policy::ArmId;
+use serde::{Deserialize, Serialize};
+
+/// A uniformly discretized continuous arm interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LipschitzDomain {
+    lo: f64,
+    hi: f64,
+    kappa: usize,
+}
+
+impl LipschitzDomain {
+    /// Discretizes `[lo, hi]` into `kappa` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`, either bound is not finite, or `kappa == 0`
+    /// (`kappa == 1` is allowed and collapses to the midpoint).
+    pub fn new(lo: f64, hi: f64, kappa: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo <= hi, "interval must satisfy lo <= hi");
+        assert!(kappa >= 1, "need at least one arm");
+        Self { lo, hi, kappa }
+    }
+
+    /// Lower end of `Z`.
+    pub const fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper end of `Z`.
+    pub const fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of arms `κ`.
+    pub const fn kappa(&self) -> usize {
+        self.kappa
+    }
+
+    /// Spacing `ε = (hi − lo)/(κ − 1)`; zero when `κ == 1` or `lo == hi`.
+    pub fn epsilon(&self) -> f64 {
+        if self.kappa <= 1 {
+            0.0
+        } else {
+            (self.hi - self.lo) / (self.kappa - 1) as f64
+        }
+    }
+
+    /// The continuous value of one arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm.index() >= kappa`.
+    pub fn value(&self, arm: ArmId) -> f64 {
+        assert!(arm.index() < self.kappa, "arm {arm} out of range");
+        if self.kappa == 1 {
+            (self.lo + self.hi) / 2.0
+        } else {
+            self.lo + self.epsilon() * arm.index() as f64
+        }
+    }
+
+    /// All arm values in index order.
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.kappa).map(|i| self.value(ArmId(i))).collect()
+    }
+
+    /// The arm whose value is nearest to `x` (clamped into the interval).
+    pub fn nearest(&self, x: f64) -> ArmId {
+        if self.kappa == 1 {
+            return ArmId(0);
+        }
+        let eps = self.epsilon();
+        if eps == 0.0 {
+            return ArmId(0);
+        }
+        let idx = ((x - self.lo) / eps).round().clamp(0.0, (self.kappa - 1) as f64);
+        ArmId(idx as usize)
+    }
+
+    /// Worst-case per-step reward lost by playing the discretized best arm
+    /// instead of the continuous best: `DE(Z') ≤ η · ε` (Eq. 25).
+    pub fn discretization_error(&self, eta: f64) -> f64 {
+        eta * self.epsilon()
+    }
+
+    /// Theorem 3's regret bound `c · (sqrt(κ T log T) + T · η · ε)` with
+    /// unit constant — used by the regret experiment to check the *shape*
+    /// of the measured curve.
+    pub fn regret_bound(&self, eta: f64, horizon: u64) -> f64 {
+        let t = horizon as f64;
+        (self.kappa as f64 * t * t.max(2.0).ln()).sqrt() + t * self.discretization_error(eta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_grid() {
+        let d = LipschitzDomain::new(200.0, 1000.0, 5);
+        assert_eq!(d.epsilon(), 200.0);
+        assert_eq!(d.values(), vec![200.0, 400.0, 600.0, 800.0, 1000.0]);
+        assert_eq!(d.value(ArmId(0)), 200.0);
+        assert_eq!(d.value(ArmId(4)), 1000.0);
+    }
+
+    #[test]
+    fn nearest_rounds_and_clamps() {
+        let d = LipschitzDomain::new(0.0, 10.0, 11);
+        assert_eq!(d.nearest(3.4), ArmId(3));
+        assert_eq!(d.nearest(3.6), ArmId(4));
+        assert_eq!(d.nearest(-5.0), ArmId(0));
+        assert_eq!(d.nearest(50.0), ArmId(10));
+    }
+
+    #[test]
+    fn single_arm_midpoint() {
+        let d = LipschitzDomain::new(2.0, 4.0, 1);
+        assert_eq!(d.epsilon(), 0.0);
+        assert_eq!(d.value(ArmId(0)), 3.0);
+        assert_eq!(d.nearest(100.0), ArmId(0));
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let d = LipschitzDomain::new(5.0, 5.0, 4);
+        assert_eq!(d.epsilon(), 0.0);
+        for i in 0..4 {
+            assert_eq!(d.value(ArmId(i)), 5.0);
+        }
+    }
+
+    #[test]
+    fn discretization_error_scales() {
+        let coarse = LipschitzDomain::new(0.0, 100.0, 3);
+        let fine = LipschitzDomain::new(0.0, 100.0, 101);
+        assert!(coarse.discretization_error(1.0) > fine.discretization_error(1.0));
+        assert_eq!(fine.discretization_error(2.0), 2.0);
+    }
+
+    #[test]
+    fn regret_bound_tradeoff() {
+        // More arms: lower discretization term, higher bandit term.
+        let eta = 0.5;
+        let t = 10_000;
+        let few = LipschitzDomain::new(0.0, 1000.0, 3);
+        let many = LipschitzDomain::new(0.0, 1000.0, 300);
+        let bound_few = few.regret_bound(eta, t);
+        let bound_many = many.regret_bound(eta, t);
+        // With huge ε, the discretization term dominates for `few`.
+        assert!(bound_few > (3.0 * t as f64 * (t as f64).ln()).sqrt());
+        // And the bandit term dominates for `many`.
+        assert!(bound_many > (300.0 * t as f64 * (t as f64).ln()).sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_interval_rejected() {
+        let _ = LipschitzDomain::new(2.0, 1.0, 3);
+    }
+}

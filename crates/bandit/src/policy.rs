@@ -1,0 +1,64 @@
+//! The policy abstraction shared by all bandit algorithms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an arm (dense `0..arm_count`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ArmId(pub usize);
+
+impl ArmId {
+    /// The arm's dense index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ArmId {
+    fn from(value: usize) -> Self {
+        ArmId(value)
+    }
+}
+
+impl fmt::Display for ArmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arm{}", self.0)
+    }
+}
+
+/// A sequential arm-selection policy.
+///
+/// The protocol is the standard bandit loop: call [`BanditPolicy::select`]
+/// to obtain the arm to play, observe a reward in `[0, 1]`, and feed it back
+/// via [`BanditPolicy::update`].
+pub trait BanditPolicy {
+    /// Number of arms.
+    fn arm_count(&self) -> usize;
+
+    /// Chooses the next arm to play.
+    fn select(&mut self) -> ArmId;
+
+    /// Records the observed reward (must be in `[0, 1]`) for `arm`.
+    fn update(&mut self, arm: ArmId, reward: f64);
+
+    /// The arm the policy currently believes is best (highest empirical
+    /// mean among arms it still considers; ties to the lowest index).
+    fn best(&self) -> ArmId;
+
+    /// Total number of updates so far.
+    fn total_pulls(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_id_roundtrip() {
+        let a: ArmId = 7.into();
+        assert_eq!(a.index(), 7);
+        assert_eq!(format!("{a}"), "arm7");
+    }
+}

@@ -1,0 +1,97 @@
+//! Regret accounting for the Theorem-3 experiment.
+//!
+//! Regret at horizon `T` is `T · μ* − Σ_t reward_t` where `μ*` is the best
+//! arm's true mean. The tracker stores the running cumulative reward and a
+//! full trajectory so the experiment harness can print regret curves.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks realized rewards against an oracle mean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegretTracker {
+    oracle_mean: f64,
+    cumulative_reward: f64,
+    steps: u64,
+    trajectory: Vec<f64>,
+}
+
+impl RegretTracker {
+    /// Creates a tracker against the best arm's true per-step mean `μ*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oracle_mean` is not finite.
+    pub fn new(oracle_mean: f64) -> Self {
+        assert!(oracle_mean.is_finite(), "oracle mean must be finite");
+        Self {
+            oracle_mean,
+            cumulative_reward: 0.0,
+            steps: 0,
+            trajectory: Vec::new(),
+        }
+    }
+
+    /// Records one step's realized reward and returns the regret so far.
+    pub fn record(&mut self, reward: f64) -> f64 {
+        self.steps += 1;
+        self.cumulative_reward += reward;
+        let regret = self.regret();
+        self.trajectory.push(regret);
+        regret
+    }
+
+    /// Cumulative regret `T · μ* − Σ rewards` (can be negative if the
+    /// learner got lucky against the oracle's *mean*).
+    pub fn regret(&self) -> f64 {
+        self.steps as f64 * self.oracle_mean - self.cumulative_reward
+    }
+
+    /// Cumulative realized reward.
+    pub fn cumulative_reward(&self) -> f64 {
+        self.cumulative_reward
+    }
+
+    /// Number of recorded steps.
+    pub const fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The per-step regret trajectory (cumulative regret after each step).
+    pub fn trajectory(&self) -> &[f64] {
+        &self.trajectory
+    }
+
+    /// The oracle's per-step mean.
+    pub const fn oracle_mean(&self) -> f64 {
+        self.oracle_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regret_accumulates() {
+        let mut t = RegretTracker::new(1.0);
+        assert_eq!(t.record(0.5), 0.5);
+        assert_eq!(t.record(1.0), 0.5);
+        assert_eq!(t.record(0.0), 1.5);
+        assert_eq!(t.steps(), 3);
+        assert_eq!(t.cumulative_reward(), 1.5);
+        assert_eq!(t.trajectory(), &[0.5, 0.5, 1.5]);
+    }
+
+    #[test]
+    fn lucky_learner_negative_regret() {
+        let mut t = RegretTracker::new(0.2);
+        t.record(1.0);
+        assert!(t.regret() < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_oracle_rejected() {
+        let _ = RegretTracker::new(f64::INFINITY);
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-arm statistics and confidence radii.
+
+use serde::{Deserialize, Serialize};
+
+/// How the confidence radius scales with time.
+///
+/// Following Slivkins [25] (the paper's reference for the successive
+/// elimination bound), the radius of an arm with `n` pulls is
+/// `r = sqrt(2 · log(T) / n)` with a known horizon `T`, or
+/// `r = sqrt(2 · log(t + 1) / n)` with the anytime schedule where `t` is
+/// the total number of pulls so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfidenceSchedule {
+    /// The horizon `T` is known in advance.
+    Horizon(u64),
+    /// Unknown horizon; use the running pull count.
+    Anytime,
+}
+
+impl ConfidenceSchedule {
+    /// The `log` factor at total time `t`.
+    fn log_factor(self, t: u64) -> f64 {
+        match self {
+            ConfidenceSchedule::Horizon(h) => (h.max(2) as f64).ln(),
+            ConfidenceSchedule::Anytime => ((t + 1).max(2) as f64).ln(),
+        }
+    }
+}
+
+/// Running statistics of one arm: pull count and empirical mean.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArmStats {
+    pulls: u64,
+    mean: f64,
+}
+
+impl ArmStats {
+    /// A fresh, unpulled arm.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pulls.
+    pub const fn pulls(&self) -> u64 {
+        self.pulls
+    }
+
+    /// Empirical mean reward (0 for an unpulled arm).
+    pub const fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Incorporates one observation via an incremental mean update.
+    pub fn record(&mut self, reward: f64) {
+        self.pulls += 1;
+        self.mean += (reward - self.mean) / self.pulls as f64;
+    }
+
+    /// Confidence radius `r_t(a)` at total time `t` under `schedule`;
+    /// infinite for an unpulled arm (it can never be eliminated).
+    pub fn radius(&self, schedule: ConfidenceSchedule, t: u64) -> f64 {
+        if self.pulls == 0 {
+            f64::INFINITY
+        } else {
+            (2.0 * schedule.log_factor(t) / self.pulls as f64).sqrt()
+        }
+    }
+
+    /// Upper confidence bound `UCB_t(a) = mean + r_t(a)`.
+    pub fn ucb(&self, schedule: ConfidenceSchedule, t: u64) -> f64 {
+        self.mean + self.radius(schedule, t)
+    }
+
+    /// Lower confidence bound `LCB_t(a) = mean − r_t(a)`.
+    pub fn lcb(&self, schedule: ConfidenceSchedule, t: u64) -> f64 {
+        self.mean - self.radius(schedule, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_mean() {
+        let mut s = ArmStats::new();
+        for r in [1.0, 0.0, 0.5, 0.5] {
+            s.record(r);
+        }
+        assert_eq!(s.pulls(), 4);
+        assert!((s.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_shrinks_with_pulls() {
+        let mut s = ArmStats::new();
+        assert_eq!(s.radius(ConfidenceSchedule::Horizon(100), 0), f64::INFINITY);
+        s.record(0.5);
+        let r1 = s.radius(ConfidenceSchedule::Horizon(100), 1);
+        for _ in 0..9 {
+            s.record(0.5);
+        }
+        let r10 = s.radius(ConfidenceSchedule::Horizon(100), 10);
+        assert!(r10 < r1);
+        assert!((r1 / r10 - 10f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_bracket_mean() {
+        let mut s = ArmStats::new();
+        s.record(0.7);
+        s.record(0.8);
+        let sched = ConfidenceSchedule::Anytime;
+        assert!(s.lcb(sched, 2) < s.mean());
+        assert!(s.ucb(sched, 2) > s.mean());
+        assert!((s.ucb(sched, 2) + s.lcb(sched, 2)) / 2.0 - s.mean() < 1e-12);
+    }
+
+    #[test]
+    fn anytime_radius_grows_with_t() {
+        let mut s = ArmStats::new();
+        s.record(0.5);
+        let early = s.radius(ConfidenceSchedule::Anytime, 2);
+        let late = s.radius(ConfidenceSchedule::Anytime, 10_000);
+        assert!(late > early);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the bandit substrate.
+
+use mec_bandit::{
+    ArmId, BanditPolicy, ConfidenceSchedule, LipschitzDomain, RegretTracker,
+    SuccessiveElimination, Ucb1,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Successive elimination never eliminates the true best arm when fed
+    /// Bernoulli rewards, for any gap structure and seed we try.
+    #[test]
+    fn best_arm_survives(
+        seed in 0u64..5000,
+        best_mean in 0.6f64..0.95,
+        gap in 0.25f64..0.5,
+        arms in 2usize..8,
+        best_idx_raw in 0usize..8,
+    ) {
+        let best_idx = best_idx_raw % arms;
+        let horizon = 4000u64;
+        let mut means = vec![(best_mean - gap).max(0.01); arms];
+        means[best_idx] = best_mean;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut p = SuccessiveElimination::new(arms, ConfidenceSchedule::Horizon(horizon));
+        for _ in 0..horizon {
+            let a = p.select();
+            let r = if rng.gen::<f64>() < means[a.index()] { 1.0 } else { 0.0 };
+            p.update(a, r);
+        }
+        prop_assert!(p.is_active(ArmId(best_idx)),
+            "true best arm {} eliminated (means {:?})", best_idx, means);
+        prop_assert_eq!(p.best().index(), best_idx);
+    }
+
+    /// SE's realized regret stays within a constant multiple of the
+    /// `sqrt(κ T log T)` bound from Theorem 3 / Slivkins.
+    #[test]
+    fn regret_within_theoretical_shape(seed in 0u64..200) {
+        let means = [0.3, 0.5, 0.8, 0.4];
+        let horizon = 5000u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut p = SuccessiveElimination::new(means.len(), ConfidenceSchedule::Horizon(horizon));
+        let mut tracker = RegretTracker::new(0.8);
+        for _ in 0..horizon {
+            let a = p.select();
+            let r = if rng.gen::<f64>() < means[a.index()] { 1.0 } else { 0.0 };
+            p.update(a, r);
+            tracker.record(means[a.index()]); // pseudo-regret
+        }
+        let t = horizon as f64;
+        let bound = 8.0 * (means.len() as f64 * t * t.ln()).sqrt();
+        prop_assert!(tracker.regret() <= bound,
+            "regret {} exceeds 8·sqrt(κT log T) = {}", tracker.regret(), bound);
+    }
+
+    /// UCB1 also concentrates on the best arm (sanity for the ablation).
+    #[test]
+    fn ucb_concentrates(seed in 0u64..100) {
+        let means = [0.2, 0.85, 0.3];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut p = Ucb1::new(3);
+        for _ in 0..3000 {
+            let a = p.select();
+            let r = if rng.gen::<f64>() < means[a.index()] { 1.0 } else { 0.0 };
+            p.update(a, r);
+        }
+        prop_assert_eq!(p.best().index(), 1);
+        prop_assert!(p.stats(ArmId(1)).pulls() > 2000);
+    }
+
+    /// `nearest` is the inverse of `value` on the grid, and every
+    /// off-grid point maps to an arm within ε/2.
+    #[test]
+    fn lipschitz_nearest_inverse(
+        lo in -100.0f64..100.0,
+        width in 0.1f64..500.0,
+        kappa in 2usize..64,
+        x in 0.0f64..1.0,
+    ) {
+        let d = LipschitzDomain::new(lo, lo + width, kappa);
+        for i in 0..kappa {
+            let arm = ArmId(i);
+            prop_assert_eq!(d.nearest(d.value(arm)), arm);
+        }
+        let point = lo + width * x;
+        let snapped = d.value(d.nearest(point));
+        prop_assert!((snapped - point).abs() <= d.epsilon() / 2.0 + 1e-9);
+    }
+
+    /// The total probability step budget: pull counts across arms always
+    /// sum to the total pulls, and at least one arm stays active.
+    #[test]
+    fn conservation(seed in 0u64..500, arms in 1usize..10, steps in 1u64..2000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut p = SuccessiveElimination::new(arms, ConfidenceSchedule::Anytime);
+        for _ in 0..steps {
+            let a = p.select();
+            p.update(a, rng.gen::<f64>());
+        }
+        let pulls: u64 = (0..arms).map(|i| p.stats(ArmId(i)).pulls()).sum();
+        prop_assert_eq!(pulls, steps);
+        prop_assert!(p.active_count() >= 1);
+    }
+}

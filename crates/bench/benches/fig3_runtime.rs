@@ -1,0 +1,34 @@
+//! Fig 3(c) running-time benchmark: wall-clock of each offline algorithm
+//! at the paper's request counts (Criterion version of the `fig3` binary's
+//! runtime column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_bench::figures::bench_instance;
+use mec_core::{Appro, Greedy, Heu, HeuKkt, Ocorp, OfflineAlgorithm};
+
+fn offline_runtimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3c_offline_runtime");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 300] {
+        let (instance, realized) = bench_instance(n, 20, 1);
+        let algos: Vec<Box<dyn OfflineAlgorithm>> = vec![
+            Box::new(Appro::new(1)),
+            Box::new(Heu::new(1)),
+            Box::new(HeuKkt::new()),
+            Box::new(Ocorp::new()),
+            Box::new(Greedy::new()),
+        ];
+        for algo in algos {
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    algo.solve(&instance, &realized)
+                        .expect("offline algorithms succeed")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, offline_runtimes);
+criterion_main!(benches);

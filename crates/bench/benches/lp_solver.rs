@@ -1,0 +1,51 @@
+//! Simplex scaling: the slot-indexed LP at growing request counts, plus a
+//! dense random-LP microbenchmark of the solver itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_bench::figures::bench_instance;
+use mec_core::slotlp::{SlotLp, Truncation};
+use mec_lp::{Cmp, Problem, Sense};
+
+fn slot_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_lp_solve");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let (instance, _) = bench_instance(n, 20, 2);
+        let subset: Vec<usize> = (0..n).collect();
+        let lp = SlotLp::build(&instance, &subset, Truncation::Standard);
+        group.bench_with_input(BenchmarkId::new("solve", n), &n, |b, _| {
+            b.iter(|| lp.solve(n).expect("slot LP is feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn dense_random_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_lp");
+    group.sample_size(10);
+    for &(m, n) in &[(20usize, 200usize), (50, 1000)] {
+        // Deterministic pseudo-random dense LP: max c x, Ax <= b.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0 + 0.01
+        };
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|_| p.add_var(next())).collect();
+        for _ in 0..m {
+            let coeffs = vars.iter().map(|&v| (v, next())).collect();
+            p.add_constraint(coeffs, Cmp::Le, 10.0 + next());
+        }
+        group.bench_with_input(
+            BenchmarkId::new("simplex", format!("{m}x{n}")),
+            &n,
+            |b, _| b.iter(|| p.solve().expect("bounded feasible LP")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, slot_lp, dense_random_lp);
+criterion_main!(benches);

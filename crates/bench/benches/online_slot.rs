@@ -1,0 +1,43 @@
+//! Per-slot scheduling cost of the online policies: a full horizon run per
+//! iteration, so the numbers compare policy overheads end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_bench::Defaults;
+use mec_core::{DynamicRr, DynamicRrConfig, OnlineGreedy, OnlineHeuKkt, OnlineOcorp};
+use mec_sim::{Engine, SlotPolicy};
+
+fn online_horizon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_horizon");
+    group.sample_size(10);
+    let d = Defaults {
+        requests: 100,
+        sim_horizon: 200,
+        arrival_horizon: 100,
+        runs: 1,
+        ..Defaults::paper()
+    };
+    let names = ["DynamicRR", "HeuKKT", "OCORP", "Greedy"];
+    for name in names {
+        group.bench_with_input(BenchmarkId::new(name, d.requests), &name, |b, &name| {
+            b.iter(|| {
+                let (topo, requests, cfg) = d.online_world(7);
+                let paths = topo.shortest_paths();
+                let mut engine = Engine::new(&topo, &paths, requests, cfg);
+                let mut policy: Box<dyn SlotPolicy> = match name {
+                    "DynamicRR" => Box::new(DynamicRr::new(DynamicRrConfig {
+                        horizon_hint: cfg.horizon,
+                        ..Default::default()
+                    })),
+                    "HeuKKT" => Box::new(OnlineHeuKkt::new()),
+                    "OCORP" => Box::new(OnlineOcorp::new()),
+                    _ => Box::new(OnlineGreedy::new()),
+                };
+                engine.run(policy.as_mut()).expect("legal schedules")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, online_horizon);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Seed-parallel sweep execution on scoped threads.
+//!
+//! Every figure averages independent seeded runs; those runs share nothing,
+//! so they fan out across cores with `crossbeam`'s scoped threads (results
+//! return in seed order, keeping the tables deterministic).
+
+/// Runs `f(seed)` for `seed ∈ 0..runs` in parallel and returns the results
+/// in seed order.
+///
+/// Falls back to a serial loop when the host exposes a single core (scoped
+/// threads would only add contention — and would pollute the wall-clock
+/// runtime measurements of Fig 3(c)).
+///
+/// # Panics
+///
+/// Propagates any panic from `f`.
+pub fn parallel_seeds<T, F>(runs: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if runs <= 1 || cores <= 1 {
+        return (0..runs).map(f).collect();
+    }
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..runs)
+            .map(|seed| scope.spawn(move |_| f(seed)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// Element-wise mean of per-seed metric vectors (each inner vector is one
+/// seed's row of per-algorithm values).
+///
+/// # Panics
+///
+/// Panics if the rows have inconsistent widths or `rows` is empty.
+pub fn mean_rows(rows: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!rows.is_empty(), "need at least one row");
+    let width = rows[0].len();
+    let mut out = vec![0.0; width];
+    for row in rows {
+        assert_eq!(row.len(), width, "ragged rows");
+        for (o, v) in out.iter_mut().zip(row) {
+            *o += v / rows.len() as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_seed_order() {
+        let out = parallel_seeds(8, |seed| seed * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_run_stays_inline() {
+        assert_eq!(parallel_seeds(1, |s| s + 1), vec![1]);
+        assert!(parallel_seeds(0, |s| s).is_empty());
+    }
+
+    #[test]
+    fn mean_rows_averages() {
+        let rows = vec![vec![1.0, 4.0], vec![3.0, 8.0]];
+        assert_eq!(mean_rows(&rows), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        let _ = mean_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

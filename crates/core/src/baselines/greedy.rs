@@ -1,0 +1,149 @@
+//! `Greedy` [32]: execution-time-sorted, latency-optimal placement.
+
+use crate::baselines::{evaluate_plan, nearest_feasible, LOCALITY};
+use crate::model::{Instance, Realizations};
+use crate::outcome::{OffloadOutcome, OfflineAlgorithm};
+use mec_topology::station::StationId;
+use mec_topology::units::total_cmp;
+use std::time::Instant;
+
+/// The `Greedy` baseline: requests sorted by (expected) execution time,
+/// longest first; each is placed on the feasible station with the lowest
+/// experienced latency that still has expected capacity. Latency-first and
+/// uncertainty-blind — exactly the coarse-grained behavior the paper
+/// contrasts against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy;
+
+impl Greedy {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl OfflineAlgorithm for Greedy {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        realized: &Realizations,
+    ) -> Result<OffloadOutcome, String> {
+        let started = Instant::now();
+        let n = instance.request_count();
+
+        // Execution time ∝ expected demand × pipeline complexity; the paper
+        // only needs the ordering, so expected demand is the right proxy.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let ta = instance.requests()[a].demand().expected_rate().as_mbps()
+                * instance.requests()[a]
+                    .tasks()
+                    .iter()
+                    .map(|t| t.complexity())
+                    .sum::<f64>();
+            let tb = instance.requests()[b].demand().expected_rate().as_mbps()
+                * instance.requests()[b]
+                    .tasks()
+                    .iter()
+                    .map(|t| t.complexity())
+                    .sum::<f64>();
+            total_cmp(&tb, &ta) // descending
+        });
+
+        let mut plan: Vec<Option<StationId>> = vec![None; n];
+        let mut expected_load = vec![0.0f64; instance.topo().station_count()];
+        for &j in &order {
+            let need = instance
+                .demand_of(instance.requests()[j].demand().expected_rate())
+                .as_mhz();
+            // Latency-optimal feasible station with room for the expected
+            // demand.
+            let best = nearest_feasible(instance, j, LOCALITY)
+                .into_iter()
+                .filter(|s| {
+                    expected_load[s.index()] + need
+                        <= instance.topo().station(*s).capacity().as_mhz() + 1e-9
+                })
+                .min_by(|&a, &b| {
+                    total_cmp(
+                        &instance.offline_latency(j, a),
+                        &instance.offline_latency(j, b),
+                    )
+                });
+            if let Some(s) = best {
+                expected_load[s.index()] += need;
+                plan[j] = Some(s);
+            }
+        }
+        let metrics = evaluate_plan(instance, realized, &plan, |j| {
+            instance
+                .demand_of(instance.requests()[j].demand().expected_rate())
+                .as_mhz()
+        });
+        Ok(OffloadOutcome::new(metrics, plan, started.elapsed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceParams;
+    use mec_topology::TopologyBuilder;
+    use mec_workload::WorkloadBuilder;
+
+    fn instance(n: usize, stations: usize, seed: u64) -> Instance {
+        let topo = TopologyBuilder::new(stations).seed(seed).build();
+        let requests = WorkloadBuilder::new(&topo).seed(seed).count(n).build();
+        Instance::new(topo, requests, InstanceParams::default())
+    }
+
+    #[test]
+    fn prefers_low_latency_stations() {
+        let inst = instance(10, 5, 2);
+        let realized = Realizations::draw(&inst, 2);
+        let out = Greedy::new().solve(&inst, &realized).unwrap();
+        // Every assigned request sits on a deadline-feasible station.
+        for (j, a) in out.assignment().iter().enumerate() {
+            if let Some(s) = a {
+                assert!(inst.offline_feasible(j, *s));
+            }
+        }
+        assert!(out.admitted() > 0);
+    }
+
+    #[test]
+    fn expected_load_respects_capacity() {
+        let inst = instance(50, 3, 4);
+        let realized = Realizations::draw(&inst, 4);
+        let out = Greedy::new().solve(&inst, &realized).unwrap();
+        let mut load = vec![0.0; inst.topo().station_count()];
+        for (j, a) in out.assignment().iter().enumerate() {
+            if let Some(s) = a {
+                load[s.index()] += inst
+                    .demand_of(inst.requests()[j].demand().expected_rate())
+                    .as_mhz();
+            }
+        }
+        for (i, &l) in load.iter().enumerate() {
+            let cap = inst
+                .topo()
+                .station(mec_topology::StationId(i))
+                .capacity()
+                .as_mhz();
+            assert!(l <= cap + 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = instance(20, 4, 8);
+        let realized = Realizations::draw(&inst, 8);
+        let a = Greedy::new().solve(&inst, &realized).unwrap();
+        let b = Greedy::new().solve(&inst, &realized).unwrap();
+        assert_eq!(a.assignment(), b.assignment());
+    }
+}

@@ -1,0 +1,198 @@
+//! `HeuKKT` [21]: capacity-relaxed cloud spill + KKT water-filling.
+
+use crate::baselines::evaluate_plan;
+use crate::model::{Instance, Realizations};
+use crate::outcome::{OffloadOutcome, OfflineAlgorithm};
+use mec_topology::station::StationId;
+use mec_topology::units::total_cmp;
+use std::time::Instant;
+
+/// The `HeuKKT` baseline.
+///
+/// Following Ma et al. [21]: first relax the capacity constraints — every
+/// request picks its reward-density-optimal station as if capacity were
+/// infinite. Stations then resolve their overload by the KKT condition of
+/// the relaxed allocation problem (equal marginal value): requests are kept
+/// in decreasing reward-per-MHz order until the capacity is exhausted, and
+/// the spilled tail is re-offered to the remaining stations (the "remote
+/// cloud" absorbs what no edge can hold — earning nothing here, since only
+/// edge service meets AR deadlines).
+///
+/// Reward-aware and conservatively provisioned: following [21]'s
+/// known-workload scheduling, the uncertainty-robust port reserves each
+/// kept request's **75th-percentile** demand (`RESERVE_QUANTILE`), so
+/// admitted requests rarely overrun — fewer admissions than the
+/// expectation-packers, far fewer losses. Still slot-oblivious, which is
+/// the remaining gap to the paper's slot-indexed LP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeuKkt;
+
+/// The demand quantile HeuKKT provisions for.
+pub(crate) const RESERVE_QUANTILE: f64 = 0.75;
+
+impl HeuKkt {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl OfflineAlgorithm for HeuKkt {
+    fn name(&self) -> &'static str {
+        "HeuKKT"
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        realized: &Realizations,
+    ) -> Result<OffloadOutcome, String> {
+        let started = Instant::now();
+        let n = instance.request_count();
+
+        // Pass 1 (relaxed): each request's preferred station by expected
+        // reward; ties toward lower latency.
+        let preferred: Vec<Option<StationId>> = (0..n)
+            .map(|j| {
+                instance
+                    .feasible_stations(j)
+                    .into_iter()
+                    .min_by(|&a, &b| {
+                        total_cmp(
+                            &instance.offline_latency(j, a),
+                            &instance.offline_latency(j, b),
+                        )
+                    })
+            })
+            .collect();
+
+        // Pass 2 (KKT resolution): per station keep the highest
+        // reward-per-MHz requests within capacity; spill the rest.
+        let mut plan: Vec<Option<StationId>> = vec![None; n];
+        let mut expected_load = vec![0.0f64; instance.topo().station_count()];
+        let mut spilled: Vec<usize> = Vec::new();
+        for station in instance.topo().station_ids() {
+            let mut local: Vec<usize> = (0..n)
+                .filter(|&j| preferred[j] == Some(station))
+                .collect();
+            // Decreasing marginal value = reward per MHz of expected demand.
+            local.sort_by(|&a, &b| {
+                let density = |j: usize| {
+                    let d = instance
+                        .demand_of(
+                            instance.requests()[j].demand().rate_quantile(RESERVE_QUANTILE),
+                        )
+                        .as_mhz();
+                    instance.requests()[j].demand().expected_reward() / d.max(1e-9)
+                };
+                total_cmp(&density(b), &density(a))
+            });
+            let cap = instance.topo().station(station).capacity().as_mhz();
+            for j in local {
+                let need = instance
+                    .demand_of(instance.requests()[j].demand().rate_quantile(RESERVE_QUANTILE))
+                    .as_mhz();
+                if expected_load[station.index()] + need <= cap + 1e-9 {
+                    expected_load[station.index()] += need;
+                    plan[j] = Some(station);
+                } else {
+                    spilled.push(j);
+                }
+            }
+        }
+
+        // Pass 3: spilled requests try the remaining stations (best
+        // reward-density fit); whoever still fails goes to the cloud and is
+        // dropped from the edge plan.
+        for j in spilled {
+            let need = instance
+                .demand_of(instance.requests()[j].demand().rate_quantile(RESERVE_QUANTILE))
+                .as_mhz();
+            let fallback = instance
+                .feasible_stations(j)
+                .into_iter()
+                .filter(|s| {
+                    expected_load[s.index()] + need
+                        <= instance.topo().station(*s).capacity().as_mhz() + 1e-9
+                })
+                .min_by(|&a, &b| {
+                    total_cmp(
+                        &instance.offline_latency(j, a),
+                        &instance.offline_latency(j, b),
+                    )
+                });
+            if let Some(s) = fallback {
+                expected_load[s.index()] += need;
+                plan[j] = Some(s);
+            }
+        }
+
+        let metrics = evaluate_plan(instance, realized, &plan, |j| {
+            instance
+                .demand_of(instance.requests()[j].demand().rate_quantile(RESERVE_QUANTILE))
+                .as_mhz()
+        });
+        Ok(OffloadOutcome::new(metrics, plan, started.elapsed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceParams;
+    use mec_topology::TopologyBuilder;
+    use mec_workload::WorkloadBuilder;
+
+    fn instance(n: usize, stations: usize, seed: u64) -> Instance {
+        let topo = TopologyBuilder::new(stations).seed(seed).build();
+        let requests = WorkloadBuilder::new(&topo).seed(seed).count(n).build();
+        Instance::new(topo, requests, InstanceParams::default())
+    }
+
+    #[test]
+    fn stays_within_expected_capacity() {
+        let inst = instance(80, 4, 17);
+        let realized = Realizations::draw(&inst, 17);
+        let out = HeuKkt::new().solve(&inst, &realized).unwrap();
+        let mut load = vec![0.0; inst.topo().station_count()];
+        for (j, a) in out.assignment().iter().enumerate() {
+            if let Some(s) = a {
+                load[s.index()] += inst
+                    .demand_of(inst.requests()[j].demand().rate_quantile(RESERVE_QUANTILE))
+                    .as_mhz();
+            }
+        }
+        for (i, &l) in load.iter().enumerate() {
+            let cap = inst.topo().station(StationId(i)).capacity().as_mhz();
+            assert!(l <= cap + 1e-6, "station {i} overloaded: {l} vs {cap}");
+        }
+    }
+
+    #[test]
+    fn admits_everything_with_ample_capacity() {
+        let inst = instance(6, 5, 1);
+        let realized = Realizations::draw(&inst, 1);
+        let out = HeuKkt::new().solve(&inst, &realized).unwrap();
+        assert_eq!(out.admitted(), 6);
+    }
+
+    #[test]
+    fn saturated_instance_spills() {
+        // 2 stations ≈ 6600 MHz total vs 80 requests ≈ 800 MHz each: most
+        // must spill to the cloud.
+        let inst = instance(80, 2, 9);
+        let realized = Realizations::draw(&inst, 9);
+        let out = HeuKkt::new().solve(&inst, &realized).unwrap();
+        assert!(out.admitted() < 15, "admitted {}", out.admitted());
+        assert!(out.admitted() >= 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = instance(30, 4, 2);
+        let realized = Realizations::draw(&inst, 2);
+        let a = HeuKkt::new().solve(&inst, &realized).unwrap();
+        let b = HeuKkt::new().solve(&inst, &realized).unwrap();
+        assert_eq!(a.assignment(), b.assignment());
+    }
+}

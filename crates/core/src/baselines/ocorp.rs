@@ -1,0 +1,141 @@
+//! `OCORP` [20]: arrival/remaining-data ordering + best-fit packing.
+
+use crate::baselines::{evaluate_plan, nearest_feasible, LOCALITY};
+use crate::model::{Instance, Realizations};
+use crate::outcome::{OffloadOutcome, OfflineAlgorithm};
+use mec_topology::station::StationId;
+use mec_topology::units::total_cmp;
+use std::time::Instant;
+
+/// The `OCORP` baseline: jobs ordered by arrival time then remaining
+/// to-be-processed data (ascending — short jobs drain first, the resource
+/// packing of [20]); each is **best-fit** packed onto the feasible station
+/// whose residual expected capacity is smallest-but-sufficient, breaking
+/// ties toward lower latency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ocorp;
+
+impl Ocorp {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl OfflineAlgorithm for Ocorp {
+    fn name(&self) -> &'static str {
+        "OCORP"
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        realized: &Realizations,
+    ) -> Result<OffloadOutcome, String> {
+        let started = Instant::now();
+        let n = instance.request_count();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let ra = &instance.requests()[a];
+            let rb = &instance.requests()[b];
+            ra.arrival_slot()
+                .cmp(&rb.arrival_slot())
+                .then_with(|| {
+                    // Remaining data ∝ expected rate × stream duration.
+                    let da = ra.demand().expected_rate().as_mbps() * ra.duration_slots() as f64;
+                    let db = rb.demand().expected_rate().as_mbps() * rb.duration_slots() as f64;
+                    total_cmp(&da, &db)
+                })
+        });
+
+        let mut plan: Vec<Option<StationId>> = vec![None; n];
+        let mut expected_load = vec![0.0f64; instance.topo().station_count()];
+        for &j in &order {
+            let need = instance
+                .demand_of(instance.requests()[j].demand().expected_rate())
+                .as_mhz();
+            // Best fit: smallest residual that still holds the job.
+            let best = nearest_feasible(instance, j, LOCALITY)
+                .into_iter()
+                .filter_map(|s| {
+                    let residual = instance.topo().station(s).capacity().as_mhz()
+                        - expected_load[s.index()];
+                    (residual + 1e-9 >= need).then_some((s, residual))
+                })
+                .min_by(|a, b| {
+                    total_cmp(&a.1, &b.1).then_with(|| {
+                        total_cmp(
+                            &instance.offline_latency(j, a.0),
+                            &instance.offline_latency(j, b.0),
+                        )
+                    })
+                });
+            if let Some((s, _)) = best {
+                expected_load[s.index()] += need;
+                plan[j] = Some(s);
+            }
+        }
+        let metrics = evaluate_plan(instance, realized, &plan, |j| {
+            instance
+                .demand_of(instance.requests()[j].demand().expected_rate())
+                .as_mhz()
+        });
+        Ok(OffloadOutcome::new(metrics, plan, started.elapsed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceParams;
+    use mec_topology::TopologyBuilder;
+    use mec_workload::WorkloadBuilder;
+
+    fn instance(n: usize, stations: usize, seed: u64) -> Instance {
+        let topo = TopologyBuilder::new(stations).seed(seed).build();
+        let requests = WorkloadBuilder::new(&topo).seed(seed).count(n).build();
+        Instance::new(topo, requests, InstanceParams::default())
+    }
+
+    #[test]
+    fn packs_without_overflowing_expected_capacity() {
+        let inst = instance(60, 4, 6);
+        let realized = Realizations::draw(&inst, 6);
+        let out = Ocorp::new().solve(&inst, &realized).unwrap();
+        let mut load = vec![0.0; inst.topo().station_count()];
+        for (j, a) in out.assignment().iter().enumerate() {
+            if let Some(s) = a {
+                load[s.index()] += inst
+                    .demand_of(inst.requests()[j].demand().expected_rate())
+                    .as_mhz();
+                assert!(inst.offline_feasible(j, *s));
+            }
+        }
+        for (i, &l) in load.iter().enumerate() {
+            let cap = inst
+                .topo()
+                .station(StationId(i))
+                .capacity()
+                .as_mhz();
+            assert!(l <= cap + 1e-6, "station {i} over expected capacity");
+        }
+    }
+
+    #[test]
+    fn admits_when_room() {
+        let inst = instance(5, 4, 3);
+        let realized = Realizations::draw(&inst, 3);
+        let out = Ocorp::new().solve(&inst, &realized).unwrap();
+        assert_eq!(out.admitted(), 5, "ample capacity should admit all");
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = instance(25, 4, 12);
+        let realized = Realizations::draw(&inst, 12);
+        let a = Ocorp::new().solve(&inst, &realized).unwrap();
+        let b = Ocorp::new().solve(&inst, &realized).unwrap();
+        assert_eq!(a.assignment(), b.assignment());
+    }
+}

@@ -1,0 +1,124 @@
+//! Online `OCORP` [20]: arrival/remaining ordering + best-fit packing,
+//! every slot.
+
+use crate::online::{startable_at, useful_compute, SlotCapacity};
+use mec_sim::{Allocation, SlotContext, SlotPolicy};
+use mec_topology::units::total_cmp;
+
+/// The online `OCORP` baseline: each slot it sorts unfinished jobs by
+/// (arrival time, remaining to-be-processed data) and best-fit packs each
+/// onto the station whose residual capacity is smallest-but-sufficient,
+/// falling back to the latency-optimal station with room.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineOcorp;
+
+impl OnlineOcorp {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SlotPolicy for OnlineOcorp {
+    fn schedule(&mut self, ctx: &SlotContext<'_>) -> Vec<Allocation> {
+        let slot_s = ctx.config.slot_seconds();
+        let mut order: Vec<usize> = (0..ctx.views.len()).collect();
+        order.sort_by(|&a, &b| {
+            let va = &ctx.views[a];
+            let vb = &ctx.views[b];
+            va.job
+                .request()
+                .arrival_slot()
+                .cmp(&vb.job.request().arrival_slot())
+                .then_with(|| {
+                    let rem = |v: &mec_sim::JobView<'_>| match v.job.max_useful_rate(slot_s) {
+                        Some(r) => r.as_mbps() * slot_s, // remaining MB
+                        None => {
+                            v.rate_estimate().as_mbps()
+                                * v.job.request().duration_slots() as f64
+                                * slot_s
+                        }
+                    };
+                    total_cmp(&rem(va), &rem(vb))
+                })
+        });
+
+        let mut capacity = SlotCapacity::new(ctx);
+        let mut out = Vec::new();
+        for i in order {
+            let view = &ctx.views[i];
+            if !view.schedulable() {
+                continue;
+            }
+            let need = useful_compute(view, ctx);
+            if !need.is_positive() {
+                continue;
+            }
+            // Best fit: smallest residual >= need; else latency-best with
+            // any room (partial service).
+            let fit = ctx
+                .topo
+                .station_ids()
+                .filter(|&s| startable_at(view, ctx, s))
+                .filter(|&s| capacity.remaining(s).as_mhz() + 1e-9 >= need.as_mhz())
+                .min_by(|&a, &b| total_cmp(&capacity.remaining(a), &capacity.remaining(b)));
+            let chosen = fit.or_else(|| {
+                ctx.topo
+                    .station_ids()
+                    .filter(|&s| capacity.remaining(s).is_positive() && startable_at(view, ctx, s))
+                    .min_by(|&a, &b| {
+                        total_cmp(
+                            &ctx.paths.delay(view.job.request().home(), a),
+                            &ctx.paths.delay(view.job.request().home(), b),
+                        )
+                    })
+            });
+            if let Some(s) = chosen {
+                let grant = capacity.take(s, need);
+                if grant.is_positive() {
+                    out.push(Allocation {
+                        request: view.job.id(),
+                        station: s,
+                        compute: grant,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "OCORP (online)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceParams;
+    use mec_sim::{Engine, SlotConfig};
+    use mec_topology::TopologyBuilder;
+    use mec_workload::{ArrivalProcess, WorkloadBuilder};
+
+    #[test]
+    fn completes_under_contention() {
+        let topo = TopologyBuilder::new(5).seed(8).build();
+        let requests = WorkloadBuilder::new(&topo)
+            .seed(8)
+            .count(30)
+            .arrivals(ArrivalProcess::UniformOver { horizon: 150 })
+            .build();
+        let params = InstanceParams::default();
+        let paths = topo.shortest_paths();
+        let cfg = SlotConfig {
+            horizon: 400,
+            c_unit: params.c_unit,
+            slot_ms: params.slot_ms,
+            seed: 8,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&topo, &paths, requests, cfg);
+        let metrics = engine.run(&mut OnlineOcorp::new()).unwrap();
+        assert!(metrics.completed() > 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Distributed task placement (§IV-B).
+//!
+//! `Appro` consolidates a request's whole pipeline into one station; `Heu`
+//! removes that assumption by migrating individual tasks. A
+//! [`TaskPlacement`] records, per task `M_{j,k}`, the station executing it,
+//! and generalizes Eq. 2's latency: the stream flows
+//! `home → s_1 → s_2 → … → s_K → home`, paying one-way transmission on
+//! every leg and the per-task processing delay at each host. With every
+//! task on one station this collapses to the consolidated round trip
+//! `2 · d(home, s)` plus the pipeline's processing time — exactly Eq. 2.
+
+use crate::model::Instance;
+use mec_topology::station::StationId;
+use mec_topology::units::Latency;
+use serde::{Deserialize, Serialize};
+
+/// Per-task station assignment for one request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskPlacement {
+    stations: Vec<StationId>,
+}
+
+impl TaskPlacement {
+    /// All `k` tasks on one station (the `Appro` assumption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks == 0`.
+    pub fn consolidated(station: StationId, tasks: usize) -> Self {
+        assert!(tasks >= 1, "pipelines have at least one task");
+        Self {
+            stations: vec![station; tasks],
+        }
+    }
+
+    /// Explicit per-task stations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stations` is empty.
+    pub fn new(stations: Vec<StationId>) -> Self {
+        assert!(!stations.is_empty(), "pipelines have at least one task");
+        Self { stations }
+    }
+
+    /// The station executing task `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn station_of(&self, k: usize) -> StationId {
+        self.stations[k]
+    }
+
+    /// Per-task stations in pipeline order.
+    pub fn stations(&self) -> &[StationId] {
+        &self.stations
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Whether the whole pipeline sits on one station.
+    pub fn is_consolidated(&self) -> bool {
+        self.stations.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Moves task `k` to `target`, returning the modified placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn with_task_moved(&self, k: usize, target: StationId) -> Self {
+        let mut stations = self.stations.clone();
+        stations[k] = target;
+        Self { stations }
+    }
+
+    /// The generalized Eq.-2 latency of serving request `j` under this
+    /// placement with zero waiting: transmission along
+    /// `home → s_1 → … → s_K → home` plus per-task processing at each
+    /// host. `None` if any leg is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement's task count differs from the request's.
+    pub fn latency(&self, instance: &Instance, j: usize) -> Option<Latency> {
+        let request = &instance.requests()[j];
+        assert_eq!(
+            self.stations.len(),
+            request.task_count(),
+            "placement does not match the request's pipeline"
+        );
+        let paths = instance.paths();
+        let home = request.home();
+        let mut total = Latency::ZERO;
+        // Transmission legs.
+        let mut cursor = home;
+        for &s in &self.stations {
+            total += paths.delay(cursor, s)?;
+            cursor = s;
+        }
+        total += paths.delay(cursor, home)?;
+        // Processing at each host.
+        for (task, &s) in request.tasks().iter().zip(&self.stations) {
+            total += instance.topo().station(s).unit_proc_delay() * task.complexity();
+        }
+        Some(total)
+    }
+
+    /// Whether this placement meets the request's latency requirement with
+    /// zero waiting.
+    pub fn feasible(&self, instance: &Instance, j: usize) -> bool {
+        self.latency(instance, j)
+            .is_some_and(|d| d.as_ms() <= instance.requests()[j].deadline().as_ms() + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceParams;
+    use mec_topology::generator::{Shape, TopologyBuilder};
+    use mec_workload::WorkloadBuilder;
+
+    fn instance() -> Instance {
+        let topo = TopologyBuilder::new(4)
+            .shape(Shape::Line)
+            .proc_delay_range(1.0, 1.0)
+            .trans_delay_range(2.0, 2.0)
+            .build();
+        let requests = WorkloadBuilder::new(&topo)
+            .seed(0)
+            .count(3)
+            .tasks_range(4, 4)
+            .build();
+        Instance::new(topo, requests, InstanceParams::default())
+    }
+
+    #[test]
+    fn consolidated_matches_eq2() {
+        let inst = instance();
+        for j in 0..3 {
+            for s in inst.topo().station_ids() {
+                let p = TaskPlacement::consolidated(s, inst.requests()[j].task_count());
+                assert!(p.is_consolidated());
+                let via_placement = p.latency(&inst, j).unwrap();
+                let via_eq2 = inst.offline_latency(j, s).unwrap();
+                assert!(
+                    (via_placement.as_ms() - via_eq2.as_ms()).abs() < 1e-9,
+                    "request {j} at {s}: {via_placement} vs {via_eq2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migration_adds_the_expected_legs() {
+        let inst = instance();
+        let j = 0;
+        let home = inst.requests()[j].home();
+        let base = TaskPlacement::consolidated(home, 4);
+        let base_lat = base.latency(&inst, j).unwrap();
+        // Move the last task one hop away: adds one outbound and one
+        // return leg of 2 ms each (line topology), and the processing
+        // delay stays equal (uniform proc range).
+        let neighbor = inst.topo().neighbors(home)[0].0;
+        let moved = base.with_task_moved(3, neighbor);
+        assert!(!moved.is_consolidated());
+        assert_eq!(moved.station_of(3), neighbor);
+        let moved_lat = moved.latency(&inst, j).unwrap();
+        assert!((moved_lat.as_ms() - base_lat.as_ms() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn middle_task_migration_pays_two_extra_hops() {
+        let inst = instance();
+        let j = 0;
+        let home = inst.requests()[j].home();
+        let base = TaskPlacement::consolidated(home, 4);
+        let neighbor = inst.topo().neighbors(home)[0].0;
+        // Moving a middle task forces home→nb and nb→home legs around it.
+        let moved = base.with_task_moved(1, neighbor);
+        let delta = moved.latency(&inst, j).unwrap().as_ms()
+            - base.latency(&inst, j).unwrap().as_ms();
+        assert!((delta - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasibility_uses_deadline() {
+        let inst = instance();
+        let p = TaskPlacement::consolidated(0.into(), inst.requests()[0].task_count());
+        // 200 ms deadline, single-digit latencies: feasible.
+        assert!(p.feasible(&inst, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "placement does not match")]
+    fn wrong_arity_rejected() {
+        let inst = instance();
+        let p = TaskPlacement::consolidated(0.into(), 2);
+        let _ = p.latency(&inst, 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! The paper's slot-indexed LP relaxations: **LP** (§IV-A) and **LP-PT**
+//! (§V-A).
+//!
+//! Variables `y_{jil}` say "request `j` starts at resource slot `l` of
+//! station `i`". The objective maximizes `Σ y_{jil} · ER_{jil}` (Eq. 8);
+//! Constraint (9) lets each request start at most once; Constraint (10)
+//! bounds, for every slot prefix, the *truncated expected* demand packed
+//! into it by `2 · l · C_l` — the factor 2 is what Lemma 1 needs to absorb
+//! the one request that may straddle a prefix boundary. Deadline
+//! constraint (11) is enforced structurally: infeasible `(j, i)` pairs get
+//! no variable.
+//!
+//! LP-PT tightens the truncation with the per-request fair share
+//! `C(bs_i)/|R_t|` (Constraint 23), which is how `DynamicRR` throttles
+//! per-slot contention.
+
+use crate::model::Instance;
+use mec_lp::{Cmp, LpError, Problem, Sense, VarId};
+use mec_topology::station::StationId;
+use mec_topology::units::DataRate;
+use serde::{Deserialize, Serialize};
+
+/// Which truncation Constraint (10)/(23) applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Truncation {
+    /// The offline **LP**: truncate by the prefix rate `l·C_l / C_unit`.
+    Standard,
+    /// **LP-PT**: additionally truncate by the fair share
+    /// `C(bs_i) / active` (Eq. 23), with `active = |R_t|`.
+    PerRequestShare {
+        /// Number of requests admitted to the current time slot `|R_t|`.
+        active: usize,
+    },
+}
+
+/// One `y_{jil}` variable's coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotVar {
+    /// Request index `j` (into the subset passed to [`SlotLp::build`]).
+    pub request: usize,
+    /// Station `i`.
+    pub station: StationId,
+    /// 1-based starting resource slot `l`.
+    pub slot: usize,
+}
+
+/// A built slot-indexed LP, ready to solve.
+#[derive(Debug, Clone)]
+pub struct SlotLp {
+    problem: Problem,
+    vars: Vec<(SlotVar, VarId)>,
+}
+
+/// The fractional solution `y`, grouped per request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalAssignment {
+    /// `per_request[j]` lists `(station, slot l, y)` with `y > 0`.
+    per_request: Vec<Vec<(StationId, usize, f64)>>,
+    objective: f64,
+}
+
+impl FractionalAssignment {
+    /// The options (with positive mass) for one request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn for_request(&self, j: usize) -> &[(StationId, usize, f64)] {
+        &self.per_request[j]
+    }
+
+    /// Number of requests covered.
+    pub fn request_count(&self) -> usize {
+        self.per_request.len()
+    }
+
+    /// The LP optimum `LPOpt` — an upper bound on the integral optimum
+    /// (Lemma 1).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Total fractional mass of one request (`Σ_il y_jil ≤ 1`).
+    pub fn mass(&self, j: usize) -> f64 {
+        self.per_request[j].iter().map(|&(_, _, y)| y).sum()
+    }
+}
+
+impl SlotLp {
+    /// Builds the LP over a subset of the instance's requests.
+    ///
+    /// `subset` holds request indices (use `0..n` for the full offline
+    /// problem). The LP has one variable per deadline-feasible
+    /// `(request, station, slot)` triple.
+    pub fn build(instance: &Instance, subset: &[usize], truncation: Truncation) -> Self {
+        let mut problem = Problem::new(Sense::Maximize);
+        let mut vars: Vec<(SlotVar, VarId)> = Vec::new();
+        let c_unit = instance.params().c_unit;
+        let slot_cap = instance.params().slot_capacity;
+
+        // Variables + objective.
+        for (local_j, &j) in subset.iter().enumerate() {
+            for station in instance.topo().station_ids() {
+                if !instance.offline_feasible(j, station) {
+                    continue;
+                }
+                let layout = instance.slot_layout(station);
+                for l in layout.indices() {
+                    let er = instance.expected_reward_at(j, station, l.get());
+                    let var = problem.add_var(er);
+                    vars.push((
+                        SlotVar {
+                            request: local_j,
+                            station,
+                            slot: l.get(),
+                        },
+                        var,
+                    ));
+                }
+            }
+        }
+
+        // Constraint (9): each request starts at most once.
+        for local_j in 0..subset.len() {
+            let coeffs: Vec<(VarId, f64)> = vars
+                .iter()
+                .filter(|(sv, _)| sv.request == local_j)
+                .map(|&(_, v)| (v, 1.0))
+                .collect();
+            if !coeffs.is_empty() {
+                problem.add_constraint(coeffs, Cmp::Le, 1.0);
+            }
+        }
+
+        // Constraint (10)/(23): truncated expected demand per slot prefix.
+        for station in instance.topo().station_ids() {
+            let layout = instance.slot_layout(station);
+            let share_rate: Option<DataRate> = match truncation {
+                Truncation::Standard => None,
+                Truncation::PerRequestShare { active } => {
+                    if active == 0 {
+                        None
+                    } else {
+                        Some(
+                            (instance.topo().station(station).capacity() / active as f64)
+                                .sustainable_rate(c_unit),
+                        )
+                    }
+                }
+            };
+            for l in layout.indices() {
+                let prefix_rate = l.prefix_capacity(slot_cap).sustainable_rate(c_unit);
+                let cap_rate = match share_rate {
+                    Some(s) => s.min(prefix_rate),
+                    None => prefix_rate,
+                };
+                let mut coeffs: Vec<(VarId, f64)> = Vec::new();
+                for &(sv, v) in &vars {
+                    if sv.station == station && sv.slot <= l.get() {
+                        let j = subset[sv.request];
+                        let trunc = instance.requests()[j]
+                            .demand()
+                            .expected_truncated_rate(cap_rate)
+                            .as_mbps();
+                        if trunc > 0.0 {
+                            coeffs.push((v, trunc));
+                        }
+                    }
+                }
+                if !coeffs.is_empty() {
+                    problem.add_constraint(coeffs, Cmp::Le, 2.0 * prefix_rate.as_mbps());
+                }
+            }
+        }
+
+        Self { problem, vars }
+    }
+
+    /// Number of `y` variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The underlying [`Problem`] (read access for diagnostics).
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Solves the relaxation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LpError`]; a well-formed instance is always feasible
+    /// (`y = 0` satisfies everything) and bounded (`y ≤ 1` via Eq. 9).
+    pub fn solve(&self, subset_len: usize) -> Result<FractionalAssignment, LpError> {
+        let sol = self.problem.solve()?;
+        let mut per_request = vec![Vec::new(); subset_len];
+        for &(sv, v) in &self.vars {
+            let y = sol.value(v);
+            if y > 1e-9 {
+                per_request[sv.request].push((sv.station, sv.slot, y));
+            }
+        }
+        Ok(FractionalAssignment {
+            per_request,
+            objective: sol.objective(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceParams;
+    use mec_topology::TopologyBuilder;
+    use mec_workload::WorkloadBuilder;
+
+    fn instance(n: usize, stations: usize) -> Instance {
+        let topo = TopologyBuilder::new(stations).seed(3).build();
+        let requests = WorkloadBuilder::new(&topo).seed(3).count(n).build();
+        Instance::new(topo, requests, InstanceParams::default())
+    }
+
+    #[test]
+    fn builds_and_solves() {
+        let inst = instance(12, 4);
+        let subset: Vec<usize> = (0..12).collect();
+        let lp = SlotLp::build(&inst, &subset, Truncation::Standard);
+        assert!(lp.var_count() > 0);
+        let frac = lp.solve(subset.len()).unwrap();
+        assert!(frac.objective() > 0.0);
+        // Masses respect Constraint (9).
+        for j in 0..12 {
+            assert!(frac.mass(j) <= 1.0 + 1e-6, "mass({j}) = {}", frac.mass(j));
+        }
+    }
+
+    #[test]
+    fn lp_upper_bounds_total_expected_reward() {
+        // With ample capacity the LP should admit everything fully:
+        // objective close to the sum of best ER over (i, l=1).
+        let inst = instance(3, 4);
+        let subset = vec![0, 1, 2];
+        let lp = SlotLp::build(&inst, &subset, Truncation::Standard);
+        let frac = lp.solve(3).unwrap();
+        let best_sum: f64 = (0..3)
+            .map(|j| {
+                inst.topo()
+                    .station_ids()
+                    .map(|s| inst.expected_reward_at(j, s, 1))
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        assert!(frac.objective() <= best_sum + 1e-6);
+        // 3 requests against 4 stations: nearly everything fits.
+        assert!(frac.objective() >= 0.9 * best_sum);
+    }
+
+    #[test]
+    fn truncation_with_share_tightens() {
+        let inst = instance(20, 3);
+        let subset: Vec<usize> = (0..20).collect();
+        let std = SlotLp::build(&inst, &subset, Truncation::Standard)
+            .solve(20)
+            .unwrap();
+        let pt = SlotLp::build(&inst, &subset, Truncation::PerRequestShare { active: 20 })
+            .solve(20)
+            .unwrap();
+        // Tighter truncation cannot increase the LP value... note: smaller
+        // per-variable coefficients *loosen* constraint (10); the direction
+        // depends on instance. Just check both solve and stay bounded.
+        assert!(std.objective().is_finite());
+        assert!(pt.objective().is_finite());
+    }
+
+    #[test]
+    fn empty_subset() {
+        let inst = instance(5, 3);
+        let lp = SlotLp::build(&inst, &[], Truncation::Standard);
+        assert_eq!(lp.var_count(), 0);
+        let frac = lp.solve(0).unwrap();
+        assert_eq!(frac.objective(), 0.0);
+        assert_eq!(frac.request_count(), 0);
+    }
+
+    #[test]
+    fn subset_indices_are_local() {
+        let inst = instance(10, 3);
+        let subset = vec![7, 2]; // global ids
+        let lp = SlotLp::build(&inst, &subset, Truncation::Standard);
+        let frac = lp.solve(2).unwrap();
+        assert_eq!(frac.request_count(), 2);
+        // Local index 0 corresponds to global request 7.
+        let _ = frac.for_request(0);
+        let _ = frac.for_request(1);
+    }
+}

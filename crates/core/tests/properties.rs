@@ -1,0 +1,122 @@
+//! Property-based tests of the paper's algorithms on random instances.
+
+use mec_core::model::{Instance, InstanceParams, Realizations};
+use mec_core::slotlp::{SlotLp, Truncation};
+use mec_core::{Appro, Greedy, Heu, HeuKkt, Ocorp, OfflineAlgorithm};
+use mec_topology::TopologyBuilder;
+use mec_workload::WorkloadBuilder;
+use proptest::prelude::*;
+
+fn world(seed: u64, n: usize, stations: usize) -> (Instance, Realizations) {
+    let topo = TopologyBuilder::new(stations).seed(seed).build();
+    let requests = WorkloadBuilder::new(&topo).seed(seed).count(n).build();
+    let instance = Instance::new(topo, requests, InstanceParams::default());
+    let realized = Realizations::draw(&instance, seed);
+    (instance, realized)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every algorithm, on any instance: assignments are deadline-feasible,
+    /// rewards bounded by the realized total, accounting conserves
+    /// requests.
+    #[test]
+    fn universal_offline_invariants(
+        seed in 0u64..1000,
+        n in 0usize..35,
+        stations in 1usize..7,
+    ) {
+        let (instance, realized) = world(seed, n, stations);
+        let algos: Vec<Box<dyn OfflineAlgorithm>> = vec![
+            Box::new(Appro::new(seed)),
+            Box::new(Heu::new(seed)),
+            Box::new(HeuKkt::new()),
+            Box::new(Ocorp::new()),
+            Box::new(Greedy::new()),
+        ];
+        let realized_total: f64 = (0..n).map(|j| realized.outcome(j).reward).sum();
+        for algo in algos {
+            let out = algo.solve(&instance, &realized).expect("solve succeeds");
+            prop_assert!(out.metrics().total_reward() <= realized_total + 1e-9);
+            prop_assert_eq!(
+                out.metrics().completed() + out.metrics().expired(),
+                n,
+                "{} lost requests", algo.name()
+            );
+            for (j, a) in out.assignment().iter().enumerate() {
+                if let Some(s) = a {
+                    prop_assert!(instance.offline_feasible(j, *s),
+                        "{}: request {j} infeasible at {s}", algo.name());
+                }
+            }
+            for &lat in out.metrics().latencies_ms() {
+                prop_assert!(lat <= 200.0 + 1e-6, "{}: latency {lat}", algo.name());
+            }
+        }
+    }
+
+    /// The slot LP always solves, its masses respect Constraint (9), and
+    /// its objective never exceeds the sum of best-slot expected rewards.
+    #[test]
+    fn slot_lp_invariants(seed in 0u64..500, n in 1usize..25, stations in 1usize..6) {
+        let (instance, _) = world(seed, n, stations);
+        let subset: Vec<usize> = (0..n).collect();
+        for trunc in [Truncation::Standard, Truncation::PerRequestShare { active: n }] {
+            let lp = SlotLp::build(&instance, &subset, trunc);
+            let frac = lp.solve(n).expect("slot LP feasible");
+            let mut upper = 0.0;
+            for j in 0..n {
+                prop_assert!(frac.mass(j) <= 1.0 + 1e-6);
+                let best = instance
+                    .topo()
+                    .station_ids()
+                    .map(|s| instance.expected_reward_at(j, s, 1))
+                    .fold(0.0f64, f64::max);
+                upper += best;
+            }
+            prop_assert!(frac.objective() <= upper + 1e-6,
+                "objective {} above per-request best sum {}", frac.objective(), upper);
+        }
+    }
+
+    /// Determinism: same seeds → identical outcomes for the randomized
+    /// algorithms.
+    #[test]
+    fn randomized_algorithms_deterministic(seed in 0u64..300) {
+        let (instance, realized) = world(seed, 20, 4);
+        let a1 = Appro::new(seed).solve(&instance, &realized).unwrap();
+        let a2 = Appro::new(seed).solve(&instance, &realized).unwrap();
+        prop_assert_eq!(a1.assignment(), a2.assignment());
+        let h1 = Heu::new(seed).solve(&instance, &realized).unwrap();
+        let h2 = Heu::new(seed).solve(&instance, &realized).unwrap();
+        prop_assert_eq!(h1.assignment(), h2.assignment());
+    }
+
+    /// Station occupancy audit for `Appro`: the total realized demand the
+    /// algorithm admits at one station never exceeds its capacity by more
+    /// than one straddling request (Lemma 1's slack).
+    #[test]
+    fn appro_occupancy_audit(seed in 0u64..300, n in 1usize..30) {
+        let (instance, realized) = world(seed, n, 4);
+        let out = Appro::new(seed).solve(&instance, &realized).unwrap();
+        let mut used = vec![0.0f64; instance.topo().station_count()];
+        let mut max_demand = vec![0.0f64; instance.topo().station_count()];
+        for (j, a) in out.assignment().iter().enumerate() {
+            if let Some(s) = a {
+                let d = instance.demand_of(realized.outcome(j).rate).as_mhz();
+                used[s.index()] += d;
+                max_demand[s.index()] = max_demand[s.index()].max(d);
+            }
+        }
+        for (i, &u) in used.iter().enumerate() {
+            let cap = instance
+                .topo()
+                .station(mec_topology::StationId(i))
+                .capacity()
+                .as_mhz();
+            prop_assert!(u <= cap + max_demand[i] + 1e-6,
+                "station {i}: {u} used vs cap {cap} (+1 request slack)");
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Branch-and-bound over the simplex for problems with **binary** variables.
+//!
+//! This is the paper's "exact solution" engine: ILP-RM instances are 0/1
+//! assignment programs, solved here by LP relaxation + depth-first
+//! branching on the most fractional binary variable, with incumbent pruning.
+
+use crate::problem::{Cmp, Problem, Sense, VarId};
+use crate::simplex::SimplexConfig;
+use crate::solution::{LpError, Solution};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for branch-and-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchBoundConfig {
+    /// Maximum number of explored nodes before giving up.
+    pub max_nodes: usize,
+    /// Integrality tolerance: `x` counts as integral when within this of an
+    /// integer.
+    pub int_tol: f64,
+    /// Simplex settings used at every node.
+    pub simplex: SimplexConfig,
+}
+
+impl Default for BranchBoundConfig {
+    fn default() -> Self {
+        Self {
+            max_nodes: 200_000,
+            int_tol: 1e-6,
+            simplex: SimplexConfig::default(),
+        }
+    }
+}
+
+/// Solves `problem` with the listed variables restricted to `{0, 1}`.
+///
+/// Non-listed variables stay continuous. The `problem` itself is not
+/// mutated; branching adds equality rows on copies.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`] if no feasible integral point exists,
+/// [`LpError::Unbounded`] if the relaxation is unbounded,
+/// [`LpError::NodeLimit`] if the node budget is exhausted before the tree
+/// is closed.
+pub fn solve_binary(
+    problem: &Problem,
+    binaries: &[VarId],
+    config: &BranchBoundConfig,
+) -> Result<Solution, LpError> {
+    // Every binary gets an upper bound of 1 in the root relaxation.
+    let mut root = problem.clone();
+    for &v in binaries {
+        root.set_upper_bound(v, 1.0);
+    }
+
+    let maximizing = root.sense() == Sense::Maximize;
+    let mut incumbent: Option<Solution> = None;
+    let mut nodes_used = 0usize;
+
+    // DFS stack of (problem-with-fixings, fixed-so-far description).
+    let mut stack: Vec<Problem> = vec![root];
+
+    while let Some(node) = stack.pop() {
+        if nodes_used >= config.max_nodes {
+            return incumbent.ok_or(LpError::NodeLimit);
+        }
+        nodes_used += 1;
+
+        let relax = match node.solve_with(&config.simplex) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+
+        // Bound: prune if the relaxation cannot beat the incumbent.
+        if let Some(best) = &incumbent {
+            let no_better = if maximizing {
+                relax.objective() <= best.objective() + 1e-9
+            } else {
+                relax.objective() >= best.objective() - 1e-9
+            };
+            if no_better {
+                continue;
+            }
+        }
+
+        // Most fractional binary.
+        let fractional = binaries
+            .iter()
+            .map(|&v| (v, relax.value(v)))
+            .filter(|&(_, x)| (x - x.round()).abs() > config.int_tol)
+            .max_by(|a, b| {
+                let fa = (a.1 - a.1.round()).abs();
+                let fb = (b.1 - b.1.round()).abs();
+                fa.partial_cmp(&fb).expect("fractions are finite")
+            });
+
+        match fractional {
+            None => {
+                // Integral: candidate incumbent (round off numerical dust).
+                let better = incumbent.as_ref().is_none_or(|best| {
+                    if maximizing {
+                        relax.objective() > best.objective() + 1e-9
+                    } else {
+                        relax.objective() < best.objective() - 1e-9
+                    }
+                });
+                if better {
+                    incumbent = Some(relax.strip_duals());
+                }
+            }
+            Some((v, x)) => {
+                // Branch: explore the rounding-preferred side last so it is
+                // popped first (DFS visits it sooner, improving pruning).
+                let mut fix0 = node.clone();
+                fix0.add_constraint(vec![(v, 1.0)], Cmp::Eq, 0.0);
+                let mut fix1 = node;
+                fix1.add_constraint(vec![(v, 1.0)], Cmp::Eq, 1.0);
+                if x >= 0.5 {
+                    stack.push(fix0);
+                    stack.push(fix1);
+                } else {
+                    stack.push(fix1);
+                    stack.push(fix0);
+                }
+            }
+        }
+    }
+
+    incumbent.ok_or(LpError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    /// 0/1 knapsack: max Σ v_i x_i s.t. Σ w_i x_i <= cap.
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> (Problem, Vec<VarId>) {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<VarId> = values.iter().map(|&v| p.add_var(v)).collect();
+        p.add_constraint(
+            vars.iter().zip(weights).map(|(&v, &w)| (v, w)).collect(),
+            Cmp::Le,
+            cap,
+        );
+        (p, vars)
+    }
+
+    /// Brute-force knapsack optimum for cross-checking.
+    fn brute_knapsack(values: &[f64], weights: &[f64], cap: f64) -> f64 {
+        let n = values.len();
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut v, mut w) = (0.0, 0.0);
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    v += values[i];
+                    w += weights[i];
+                }
+            }
+            if w <= cap + 1e-12 {
+                best = best.max(v);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn small_knapsack_exact() {
+        let values = [10.0, 13.0, 7.0, 8.0];
+        let weights = [3.0, 4.0, 2.0, 3.0];
+        let (p, vars) = knapsack(&values, &weights, 7.0);
+        let s = solve_binary(&p, &vars, &BranchBoundConfig::default()).unwrap();
+        assert_close(s.objective(), brute_knapsack(&values, &weights, 7.0));
+        for &v in &vars {
+            let x = s.value(v);
+            assert!(x.abs() < 1e-6 || (x - 1.0).abs() < 1e-6, "non-binary {x}");
+        }
+    }
+
+    #[test]
+    fn knapsack_family_matches_brute_force() {
+        // Deterministic pseudo-random family (no RNG dependency needed).
+        for seed in 0..20u64 {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 100.0 + 0.5
+            };
+            let n = 8;
+            let values: Vec<f64> = (0..n).map(|_| next()).collect();
+            let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+            let cap = weights.iter().sum::<f64>() / 2.0;
+            let (p, vars) = knapsack(&values, &weights, cap);
+            let s = solve_binary(&p, &vars, &BranchBoundConfig::default()).unwrap();
+            assert_close(s.objective(), brute_knapsack(&values, &weights, cap));
+        }
+    }
+
+    #[test]
+    fn assignment_with_side_constraints() {
+        // Two requests, two stations; each request at most one station,
+        // station capacities exclude double assignment on station 0.
+        let mut p = Problem::new(Sense::Maximize);
+        let x00 = p.add_var(5.0);
+        let x01 = p.add_var(3.0);
+        let x10 = p.add_var(4.0);
+        let x11 = p.add_var(1.0);
+        p.add_constraint(vec![(x00, 1.0), (x01, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint(vec![(x10, 1.0), (x11, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint(vec![(x00, 1.0), (x10, 1.0)], Cmp::Le, 1.0); // station 0 fits one
+        let vars = vec![x00, x01, x10, x11];
+        let s = solve_binary(&p, &vars, &BranchBoundConfig::default()).unwrap();
+        // Best: x00=1 (5) + x11=1 (1) = 6, or x10=1 (4) + x01=1 (3) = 7.
+        assert_close(s.objective(), 7.0);
+        assert_close(s.value(x10), 1.0);
+        assert_close(s.value(x01), 1.0);
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0);
+        // 0.4 <= x <= 0.6 has no binary point.
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 0.4);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 0.6);
+        let err = solve_binary(&p, &[x], &BranchBoundConfig::default()).unwrap_err();
+        assert_eq!(err, LpError::Infeasible);
+    }
+
+    #[test]
+    fn continuous_vars_stay_continuous() {
+        // max x + y, x binary, y <= 0.5 continuous, x + y <= 1.2.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.set_upper_bound(y, 0.5);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.2);
+        let s = solve_binary(&p, &[x], &BranchBoundConfig::default()).unwrap();
+        assert_close(s.objective(), 1.2);
+        assert_close(s.value(x), 1.0);
+        assert_close(s.value(y), 0.2);
+    }
+
+    #[test]
+    fn minimization_ilp() {
+        // min x0 + 2 x1 s.t. x0 + x1 >= 1 → pick x0.
+        let mut p = Problem::new(Sense::Minimize);
+        let x0 = p.add_var(1.0);
+        let x1 = p.add_var(2.0);
+        p.add_constraint(vec![(x0, 1.0), (x1, 1.0)], Cmp::Ge, 1.0);
+        let s = solve_binary(&p, &[x0, x1], &BranchBoundConfig::default()).unwrap();
+        assert_close(s.objective(), 1.0);
+        assert_close(s.value(x0), 1.0);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let values = [1.0, 1.1, 0.9, 1.05, 0.95, 1.2, 1.15, 0.85];
+        let weights = [1.0; 8];
+        let (p, vars) = knapsack(&values, &weights, 4.0);
+        let cfg = BranchBoundConfig {
+            max_nodes: 1,
+            ..Default::default()
+        };
+        // One node cannot close the tree; with no incumbent it reports the
+        // limit.
+        let r = solve_binary(&p, &vars, &cfg);
+        assert!(matches!(r, Err(LpError::NodeLimit)) || r.is_ok());
+    }
+}

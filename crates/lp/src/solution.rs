@@ -1,0 +1,149 @@
+//! Solver results and errors.
+
+use crate::problem::VarId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Terminal state of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The iteration limit was exhausted before convergence.
+    IterationLimit,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Optimal => "optimal",
+            Status::Infeasible => "infeasible",
+            Status::Unbounded => "unbounded",
+            Status::IterationLimit => "iteration limit reached",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors returned by the LP/ILP solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded.
+    Unbounded,
+    /// The simplex iteration limit was reached (numerical trouble or a
+    /// pathological instance).
+    IterationLimit,
+    /// Branch-and-bound exhausted its node budget before proving optimality.
+    NodeLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            LpError::NodeLimit => write!(f, "branch-and-bound node limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// A solved LP/ILP: optimal objective value, variable assignment, and (for
+/// pure LPs) the dual values of the explicit constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    objective: f64,
+    values: Vec<f64>,
+    duals: Vec<f64>,
+}
+
+impl Solution {
+    #[cfg(test)]
+    pub(crate) fn new(objective: f64, values: Vec<f64>) -> Self {
+        Self {
+            objective,
+            values,
+            duals: Vec::new(),
+        }
+    }
+
+    /// Drops the dual values (used by branch-and-bound, where node duals
+    /// do not describe the integer optimum).
+    pub(crate) fn strip_duals(mut self) -> Self {
+        self.duals.clear();
+        self
+    }
+
+    pub(crate) fn with_duals(objective: f64, values: Vec<f64>, duals: Vec<f64>) -> Self {
+        Self {
+            objective,
+            values,
+            duals,
+        }
+    }
+
+    /// Optimal objective value (in the problem's own sense).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of one variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` did not come from the solved problem.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values in id order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Dual values (shadow prices) of the explicit constraints, in the
+    /// order they were added.
+    ///
+    /// Sign convention: for a maximization with `Σ a x ≤ b`, the dual is
+    /// non-negative and measures the objective gain per unit of extra
+    /// right-hand side. Empty for branch-and-bound solutions (node duals
+    /// are not meaningful for the integer optimum).
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "objective {:.6} over {} vars", self.objective, self.values.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Solution::new(4.2, vec![1.0, 0.0, 3.0]);
+        assert_eq!(s.objective(), 4.2);
+        assert_eq!(s.value(VarId(2)), 3.0);
+        assert_eq!(s.values(), &[1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(format!("{}", Status::Optimal), "optimal");
+        assert_eq!(format!("{}", LpError::Infeasible), "problem is infeasible");
+        let s = Solution::new(1.0, vec![0.0]);
+        assert!(format!("{s}").contains("objective"));
+    }
+}

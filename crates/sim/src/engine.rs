@@ -1,0 +1,794 @@
+//! The slot loop: arrivals → policy callback → validation → service.
+
+use crate::lifecycle::{Job, JobView, Phase};
+use crate::metrics::Metrics;
+use crate::trace::{Event, Trace};
+use crate::SlotConfig;
+use mec_topology::station::StationId;
+use mec_topology::units::Compute;
+use mec_topology::{PathTable, Topology};
+use mec_workload::request::{Request, RequestId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One slot's compute grant to one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Allocation {
+    /// The request being served.
+    pub request: RequestId,
+    /// The station doing the work this slot.
+    pub station: StationId,
+    /// Compute granted for the slot.
+    pub compute: Compute,
+}
+
+/// Everything a policy may look at when scheduling one slot.
+#[derive(Debug)]
+pub struct SlotContext<'a> {
+    /// Current slot index.
+    pub slot: u64,
+    /// All jobs that have arrived and can still be served, in request-id
+    /// order.
+    pub views: Vec<JobView<'a>>,
+    /// The network.
+    pub topo: &'a Topology,
+    /// Precomputed shortest paths.
+    pub paths: &'a PathTable,
+    /// Simulation parameters.
+    pub config: &'a SlotConfig,
+}
+
+/// A per-slot scheduling policy (implemented by `mec-core`'s online
+/// algorithms).
+pub trait SlotPolicy {
+    /// Chooses this slot's allocations. Jobs left out are preempted (they
+    /// keep their remaining work and wait).
+    fn schedule(&mut self, ctx: &SlotContext<'_>) -> Vec<Allocation>;
+
+    /// Feedback after the slot is served: the reward credited by requests
+    /// that *completed* during this slot. Online learners (the paper's
+    /// `DynamicRR`) use this as their bandit signal; the default is a no-op.
+    fn observe(&mut self, slot: u64, completed_reward: f64) {
+        let _ = (slot, completed_reward);
+    }
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &str {
+        "policy"
+    }
+}
+
+/// Validation failures — a policy returned an illegal schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Allocation referenced a request the engine does not know.
+    UnknownRequest(RequestId),
+    /// Allocation targeted a completed/expired/not-yet-arrived request.
+    NotSchedulable(RequestId),
+    /// Two allocations for the same request in one slot.
+    DuplicateAllocation(RequestId),
+    /// A station's grants exceeded its capacity.
+    CapacityExceeded {
+        /// The over-committed station.
+        station: StationId,
+        /// Sum of grants.
+        used: f64,
+        /// The station's capacity.
+        capacity: f64,
+    },
+    /// First service would violate the request's latency requirement
+    /// (Ineq. 1) — policies must only start feasible requests.
+    DeadlineViolated(RequestId),
+    /// The serving station is unreachable from the request's home.
+    Unreachable(RequestId, StationId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownRequest(r) => write!(f, "unknown request {r}"),
+            SimError::NotSchedulable(r) => write!(f, "request {r} cannot be scheduled"),
+            SimError::DuplicateAllocation(r) => write!(f, "duplicate allocation for {r}"),
+            SimError::CapacityExceeded {
+                station,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "station {station} over-committed: {used:.1} of {capacity:.1} MHz"
+            ),
+            SimError::DeadlineViolated(r) => {
+                write!(f, "first service of {r} would violate its deadline")
+            }
+            SimError::Unreachable(r, s) => write!(f, "station {s} unreachable from {r}'s home"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The discrete time-slot engine.
+///
+/// Owns the job states, realizes demands on first service (seeded RNG, so
+/// runs are reproducible), enforces capacities and deadlines, and
+/// accumulates [`Metrics`].
+pub struct Engine<'a> {
+    topo: &'a Topology,
+    paths: &'a PathTable,
+    config: SlotConfig,
+    jobs: Vec<Job>,
+    rng: ChaCha8Rng,
+    /// Granted MHz·slots per station, accumulated across the run.
+    busy_mhz_slots: Vec<f64>,
+    slots_run: u64,
+    trace: Option<Trace>,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine over a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if request ids are not dense `0..n` (the workload generator
+    /// guarantees this).
+    pub fn new(
+        topo: &'a Topology,
+        paths: &'a PathTable,
+        requests: Vec<Request>,
+        config: SlotConfig,
+    ) -> Self {
+        for (i, r) in requests.iter().enumerate() {
+            assert_eq!(r.id().index(), i, "request ids must be dense");
+        }
+        let rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5bd1_e995);
+        let stations = topo.station_count();
+        Self {
+            topo,
+            paths,
+            config,
+            jobs: requests.into_iter().map(Job::new).collect(),
+            rng,
+            busy_mhz_slots: vec![0.0; stations],
+            slots_run: 0,
+            trace: None,
+        }
+    }
+
+    /// Turns on event tracing, keeping at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::with_capacity(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn record(&mut self, slot: u64, event: Event) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(slot, event);
+        }
+    }
+
+    /// Per-station utilization in `[0, 1]` over the slots run so far:
+    /// granted compute divided by capacity × time. All zeros before
+    /// [`Engine::run`].
+    pub fn utilization(&self) -> Vec<f64> {
+        self.topo
+            .stations()
+            .iter()
+            .zip(&self.busy_mhz_slots)
+            .map(|(s, &busy)| {
+                let denom = s.capacity().as_mhz() * self.slots_run as f64;
+                if denom > 0.0 {
+                    busy / denom
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Network-wide average utilization in `[0, 1]`.
+    pub fn avg_utilization(&self) -> f64 {
+        let total_cap: f64 = self.topo.stations().iter().map(|s| s.capacity().as_mhz()).sum();
+        let busy: f64 = self.busy_mhz_slots.iter().sum();
+        let denom = total_cap * self.slots_run as f64;
+        if denom > 0.0 {
+            busy / denom
+        } else {
+            0.0
+        }
+    }
+
+    /// Read access to job states (after a run, for assertions/reports).
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Runs the full horizon under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] if the policy produces an illegal
+    /// schedule; the simulation cannot continue past that point.
+    pub fn run<P: SlotPolicy + ?Sized>(&mut self, policy: &mut P) -> Result<Metrics, SimError> {
+        let mut metrics = Metrics::new();
+        self.slots_run = self.config.horizon;
+        for slot in 0..self.config.horizon {
+            // Trace arrivals.
+            if self.trace.is_some() {
+                let arrived: Vec<_> = self
+                    .jobs
+                    .iter()
+                    .filter(|j| j.request().arrival_slot() == slot)
+                    .map(|j| j.id())
+                    .collect();
+                for request in arrived {
+                    self.record(slot, Event::Arrived { request });
+                }
+            }
+            // Expire waiting jobs that can no longer start anywhere in time.
+            let mut expired_now: Vec<mec_workload::request::RequestId> = Vec::new();
+            for job in &mut self.jobs {
+                if job.phase() == Phase::Waiting
+                    && job.request().arrival_slot() <= slot
+                    && !{
+                        let waiting = job.waiting_slots(slot);
+                        let topo = self.topo;
+                        let paths = self.paths;
+                        let slot_ms = self.config.slot_ms;
+                        topo.station_ids().any(|s| {
+                            job.request()
+                                .meets_deadline_at(topo, paths, s, waiting, slot_ms)
+                        })
+                    }
+                {
+                    job.expire();
+                    metrics.record_expired();
+                    let request = job.id();
+                    expired_now.push(request);
+                }
+            }
+            for request in expired_now {
+                self.record(slot, Event::Expired { request });
+            }
+
+            // Build the policy's view.
+            let views: Vec<JobView<'_>> = self
+                .jobs
+                .iter()
+                .filter(|j| {
+                    j.request().arrival_slot() <= slot
+                        && matches!(j.phase(), Phase::Waiting | Phase::Running)
+                })
+                .map(|job| JobView { job, now: slot })
+                .collect();
+            let ctx = SlotContext {
+                slot,
+                views,
+                topo: self.topo,
+                paths: self.paths,
+                config: &self.config,
+            };
+            let allocations = policy.schedule(&ctx);
+            drop(ctx);
+
+            // Validate.
+            let mut seen: HashMap<RequestId, ()> = HashMap::new();
+            let mut station_load: HashMap<StationId, f64> = HashMap::new();
+            for a in &allocations {
+                let Some(job) = self.jobs.get(a.request.index()) else {
+                    return Err(SimError::UnknownRequest(a.request));
+                };
+                if job.request().arrival_slot() > slot
+                    || !matches!(job.phase(), Phase::Waiting | Phase::Running)
+                {
+                    return Err(SimError::NotSchedulable(a.request));
+                }
+                if seen.insert(a.request, ()).is_some() {
+                    return Err(SimError::DuplicateAllocation(a.request));
+                }
+                if self.paths.delay(job.request().home(), a.station).is_none() {
+                    return Err(SimError::Unreachable(a.request, a.station));
+                }
+                *station_load.entry(a.station).or_insert(0.0) += a.compute.as_mhz();
+            }
+            for (&station, &used) in &station_load {
+                let capacity = self.topo.station(station).capacity().as_mhz();
+                if used > capacity + 1e-6 {
+                    return Err(SimError::CapacityExceeded {
+                        station,
+                        used,
+                        capacity,
+                    });
+                }
+            }
+
+            // Serve.
+            let slot_s = self.config.slot_seconds();
+            let mut slot_reward = 0.0;
+            let mut served_mb: HashMap<RequestId, f64> = HashMap::new();
+            for a in &allocations {
+                self.busy_mhz_slots[a.station.index()] += a.compute.as_mhz();
+                let job = &mut self.jobs[a.request.index()];
+                if job.realized().is_none() {
+                    let waiting = job.waiting_slots(slot);
+                    if !job.request().meets_deadline_at(
+                        self.topo,
+                        self.paths,
+                        a.station,
+                        waiting,
+                        self.config.slot_ms,
+                    ) {
+                        return Err(SimError::DeadlineViolated(a.request));
+                    }
+                    let outcome = job.request().demand().sample(&mut self.rng);
+                    job.realize(outcome, slot, a.station, slot_s);
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(
+                            slot,
+                            Event::Started {
+                                request: a.request,
+                                station: a.station,
+                                rate_mbps: outcome.rate.as_mbps(),
+                            },
+                        );
+                    }
+                }
+                let processed_mb = (a.compute.as_mhz() / self.config.c_unit.as_mhz()) * slot_s;
+                *served_mb.entry(a.request).or_insert(0.0) += processed_mb;
+                if job.process(processed_mb, slot) {
+                    let reward = job.realized().expect("realized on service").reward;
+                    let latency = job
+                        .experienced_latency(self.topo, self.paths, self.config.slot_ms)
+                        .expect("served jobs have latency");
+                    metrics.record_completion(reward, latency.as_ms());
+                    slot_reward += reward;
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(
+                            slot,
+                            Event::Completed {
+                                request: a.request,
+                                reward,
+                            },
+                        );
+                    }
+                }
+            }
+            policy.observe(slot, slot_reward);
+
+            // Sustained-service enforcement: running streams served below
+            // the floor for too many consecutive slots tear down.
+            if let Some(continuity) = self.config.continuity {
+                let mut aborted: Vec<RequestId> = Vec::new();
+                for job in &mut self.jobs {
+                    if job.phase() != Phase::Running {
+                        continue;
+                    }
+                    let outcome = job.realized().expect("running jobs are realized");
+                    // Near the stream's end less than the full rate suffices.
+                    let required = (outcome.rate.as_mbps() * slot_s * continuity.min_fraction)
+                        .min(job.remaining_mb());
+                    let got = served_mb.get(&job.id()).copied().unwrap_or(0.0);
+                    job.note_service_level(got + 1e-12 >= required);
+                    if job.stalled_slots() > continuity.grace_slots {
+                        job.abort();
+                        aborted.push(job.id());
+                    }
+                }
+                for request in aborted {
+                    let latency = self.jobs[request.index()]
+                        .experienced_latency(self.topo, self.paths, self.config.slot_ms)
+                        .map(|l| l.as_ms());
+                    metrics.record_aborted(latency);
+                    self.record(slot, Event::Aborted { request });
+                }
+            }
+        }
+
+        // Horizon ended: account for leftovers.
+        for job in &self.jobs {
+            match job.phase() {
+                Phase::Waiting => metrics.record_expired(),
+                Phase::Running => metrics.record_unserved(
+                    job.experienced_latency(self.topo, self.paths, self.config.slot_ms)
+                        .map(|l| l.as_ms()),
+                ),
+                Phase::Completed | Phase::Expired | Phase::Aborted => {}
+            }
+        }
+        Ok(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::generator::{Shape, TopologyBuilder};
+    use mec_topology::units::{DataRate, Latency};
+    use mec_workload::demand::DemandDistribution;
+    use mec_workload::task::Task;
+
+    fn topo() -> Topology {
+        TopologyBuilder::new(3)
+            .shape(Shape::Line)
+            .capacity_range(3000.0, 3000.0)
+            .proc_delay_range(1.0, 1.0)
+            .trans_delay_range(2.0, 2.0)
+            .build()
+    }
+
+    fn request(id: usize, arrival: u64, duration: u64, rate: f64, reward: f64) -> Request {
+        Request::new(
+            RequestId(id),
+            0.into(),
+            arrival,
+            duration,
+            Task::reference_pipeline(),
+            DemandDistribution::deterministic(DataRate::mbps(rate), reward),
+            Latency::ms(200.0),
+        )
+    }
+
+    /// Serves everything at the home station with whatever fits.
+    struct GreedyHome;
+    impl SlotPolicy for GreedyHome {
+        fn schedule(&mut self, ctx: &SlotContext<'_>) -> Vec<Allocation> {
+            let mut out = Vec::new();
+            let mut left = ctx.topo.station(0.into()).capacity();
+            for v in &ctx.views {
+                if !v.schedulable() {
+                    continue;
+                }
+                let need = v.rate_estimate().demand(ctx.config.c_unit);
+                let give = need.min(left);
+                if give.is_positive() {
+                    out.push(Allocation {
+                        request: v.job.id(),
+                        station: 0.into(),
+                        compute: give,
+                    });
+                    left -= give;
+                }
+            }
+            out
+        }
+        fn name(&self) -> &str {
+            "greedy-home"
+        }
+    }
+
+    #[test]
+    fn single_job_completes_on_schedule() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        // 40 MB/s for 10 slots of 0.05 s = 20 MB total; at 40 MB/s service
+        // (800 MHz / 20), each slot processes 2 MB → 10 slots.
+        let reqs = vec![request(0, 0, 10, 40.0, 500.0)];
+        let mut engine = Engine::new(&topo, &paths, reqs, SlotConfig::default());
+        let metrics = engine.run(&mut GreedyHome).unwrap();
+        assert_eq!(metrics.completed(), 1);
+        assert_eq!(metrics.total_reward(), 500.0);
+        assert_eq!(engine.jobs()[0].completed_slot(), Some(9));
+        // Latency: 0 waiting, 0 transmission (home), 5.5 ms processing.
+        assert!((metrics.avg_latency_ms() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_shared_across_jobs() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        // 5 jobs of 40 MB/s = 4000 MHz demand > 3000 capacity; greedy-home
+        // starts four (2400 + 600 MHz) and starves the fifth, which expires
+        // once its 200 ms (4 slot) deadline can no longer be met.
+        let reqs: Vec<Request> = (0..5).map(|i| request(i, 0, 10, 40.0, 100.0)).collect();
+        let cfg = SlotConfig {
+            horizon: 100,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&topo, &paths, reqs, cfg);
+        let metrics = engine.run(&mut GreedyHome).unwrap();
+        assert_eq!(metrics.completed(), 4);
+        assert_eq!(metrics.expired(), 1);
+        assert_eq!(metrics.total_reward(), 400.0);
+    }
+
+    #[test]
+    fn over_capacity_rejected() {
+        struct OverCommit;
+        impl SlotPolicy for OverCommit {
+            fn schedule(&mut self, ctx: &SlotContext<'_>) -> Vec<Allocation> {
+                ctx.views
+                    .iter()
+                    .map(|v| Allocation {
+                        request: v.job.id(),
+                        station: 0.into(),
+                        compute: Compute::mhz(2000.0),
+                    })
+                    .collect()
+            }
+        }
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let reqs: Vec<Request> = (0..2).map(|i| request(i, 0, 10, 40.0, 100.0)).collect();
+        let mut engine = Engine::new(&topo, &paths, reqs, SlotConfig::default());
+        let err = engine.run(&mut OverCommit).unwrap_err();
+        assert!(matches!(err, SimError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn duplicate_allocation_rejected() {
+        struct Duplicator;
+        impl SlotPolicy for Duplicator {
+            fn schedule(&mut self, ctx: &SlotContext<'_>) -> Vec<Allocation> {
+                ctx.views
+                    .iter()
+                    .flat_map(|v| {
+                        let a = Allocation {
+                            request: v.job.id(),
+                            station: 0.into(),
+                            compute: Compute::mhz(10.0),
+                        };
+                        [a, a]
+                    })
+                    .collect()
+            }
+        }
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let reqs = vec![request(0, 0, 10, 40.0, 100.0)];
+        let mut engine = Engine::new(&topo, &paths, reqs, SlotConfig::default());
+        assert_eq!(
+            engine.run(&mut Duplicator).unwrap_err(),
+            SimError::DuplicateAllocation(RequestId(0))
+        );
+    }
+
+    #[test]
+    fn waiting_too_long_expires() {
+        struct Idle;
+        impl SlotPolicy for Idle {
+            fn schedule(&mut self, _ctx: &SlotContext<'_>) -> Vec<Allocation> {
+                Vec::new()
+            }
+        }
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        // Deadline 200 ms = 4 slots of 50 ms; after 4 waiting slots even the
+        // home station (5.5 ms proc) is infeasible.
+        let reqs = vec![request(0, 0, 10, 40.0, 100.0)];
+        let cfg = SlotConfig {
+            horizon: 20,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&topo, &paths, reqs, cfg);
+        let metrics = engine.run(&mut Idle).unwrap();
+        assert_eq!(metrics.expired(), 1);
+        assert_eq!(metrics.completed(), 0);
+        assert_eq!(engine.jobs()[0].phase(), Phase::Expired);
+    }
+
+    #[test]
+    fn late_first_service_violating_deadline_is_error() {
+        struct LateStart {
+            started: bool,
+        }
+        impl SlotPolicy for LateStart {
+            fn schedule(&mut self, ctx: &SlotContext<'_>) -> Vec<Allocation> {
+                // Try to start the job on slot 3 at the far station, whose
+                // round-trip transmission blows the budget.
+                if ctx.slot == 3 && !self.started {
+                    self.started = true;
+                    ctx.views
+                        .iter()
+                        .map(|v| Allocation {
+                            request: v.job.id(),
+                            station: 2.into(),
+                            compute: Compute::mhz(100.0),
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        // Tight deadline: 160 ms. After 3 slots (150 ms) + 8 ms round trip
+        // + 5.5 ms processing = 163.5 ms > 160 ms.
+        let mut req = request(0, 0, 10, 40.0, 100.0);
+        req = Request::new(
+            req.id(),
+            req.home(),
+            req.arrival_slot(),
+            req.duration_slots(),
+            req.tasks().to_vec(),
+            req.demand().clone(),
+            Latency::ms(160.0),
+        );
+        let mut engine = Engine::new(&topo, &paths, vec![req], SlotConfig::default());
+        let err = engine.run(&mut LateStart { started: false }).unwrap_err();
+        assert_eq!(err, SimError::DeadlineViolated(RequestId(0)));
+    }
+
+    #[test]
+    fn unfinished_jobs_counted_unserved() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        // Horizon too short to finish: 40 MB/s × 100 slots = 200 MB of work,
+        // horizon 5 slots.
+        let reqs = vec![request(0, 0, 100, 40.0, 100.0)];
+        let cfg = SlotConfig {
+            horizon: 5,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&topo, &paths, reqs, cfg);
+        let metrics = engine.run(&mut GreedyHome).unwrap();
+        assert_eq!(metrics.completed(), 0);
+        assert_eq!(metrics.unserved(), 1);
+        assert_eq!(metrics.total_reward(), 0.0);
+    }
+
+    #[test]
+    fn arrivals_respected() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let reqs = vec![request(0, 5, 10, 40.0, 100.0)];
+        let cfg = SlotConfig {
+            horizon: 40,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&topo, &paths, reqs, cfg);
+        let metrics = engine.run(&mut GreedyHome).unwrap();
+        assert_eq!(metrics.completed(), 1);
+        // First service at slot 5 (arrival), zero waiting.
+        assert_eq!(engine.jobs()[0].first_service(), Some(5));
+        assert!((metrics.avg_latency_ms() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuity_aborts_starved_streams() {
+        use crate::Continuity;
+        // Serves full demand for 3 slots, then stops entirely.
+        struct Flaky;
+        impl SlotPolicy for Flaky {
+            fn schedule(&mut self, ctx: &SlotContext<'_>) -> Vec<Allocation> {
+                if ctx.slot >= 3 {
+                    return Vec::new();
+                }
+                ctx.views
+                    .iter()
+                    .map(|v| Allocation {
+                        request: v.job.id(),
+                        station: 0.into(),
+                        compute: Compute::mhz(800.0),
+                    })
+                    .collect()
+            }
+        }
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let reqs = vec![request(0, 0, 60, 40.0, 500.0)];
+        let cfg = SlotConfig {
+            horizon: 30,
+            continuity: Some(Continuity {
+                min_fraction: 0.5,
+                grace_slots: 2,
+            }),
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&topo, &paths, reqs.clone(), cfg);
+        engine.enable_trace(50);
+        let metrics = engine.run(&mut Flaky).unwrap();
+        assert_eq!(metrics.aborted(), 1);
+        assert_eq!(metrics.completed(), 0);
+        assert_eq!(metrics.total_reward(), 0.0);
+        assert_eq!(engine.jobs()[0].phase(), Phase::Aborted);
+        // Stall starts at slot 3; grace 2 → abort after slot 5.
+        assert!(engine
+            .trace()
+            .unwrap()
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, crate::trace::Event::Aborted { .. }) && e.slot == 5));
+
+        // Without the requirement, the same policy merely leaves the job
+        // unserved.
+        let cfg_off = SlotConfig {
+            horizon: 30,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&topo, &paths, reqs, cfg_off);
+        let metrics = engine.run(&mut Flaky).unwrap();
+        assert_eq!(metrics.aborted(), 0);
+        assert_eq!(metrics.unserved(), 1);
+    }
+
+    #[test]
+    fn continuity_tolerates_tail_underrun() {
+        use crate::Continuity;
+        // Grants exactly the realized demand each slot: the final slot
+        // needs less than the full rate, which must not count as a stall.
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let reqs = vec![request(0, 0, 10, 40.0, 500.0)];
+        let cfg = SlotConfig {
+            horizon: 30,
+            continuity: Some(Continuity {
+                min_fraction: 1.0,
+                grace_slots: 0,
+            }),
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&topo, &paths, reqs, cfg);
+        let metrics = engine.run(&mut GreedyHome).unwrap();
+        assert_eq!(metrics.aborted(), 0);
+        assert_eq!(metrics.completed(), 1);
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        use crate::trace::Event;
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let reqs = vec![request(0, 2, 10, 40.0, 500.0)];
+        let cfg = SlotConfig {
+            horizon: 30,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&topo, &paths, reqs, cfg);
+        engine.enable_trace(100);
+        let _ = engine.run(&mut GreedyHome).unwrap();
+        let trace = engine.trace().unwrap();
+        let kinds: Vec<&Event> = trace.events().iter().map(|e| &e.event).collect();
+        assert!(matches!(kinds[0], Event::Arrived { .. }));
+        assert!(matches!(kinds[1], Event::Started { .. }));
+        assert!(matches!(kinds[2], Event::Completed { .. }));
+        assert_eq!(trace.events()[0].slot, 2);
+        // Untouched engines have no trace.
+        let mut quiet = Engine::new(
+            &topo,
+            &paths,
+            vec![request(0, 0, 5, 40.0, 1.0)],
+            cfg,
+        );
+        let _ = quiet.run(&mut GreedyHome).unwrap();
+        assert!(quiet.trace().is_none());
+    }
+
+    #[test]
+    fn utilization_tracked() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let reqs = vec![request(0, 0, 10, 40.0, 500.0)];
+        let cfg = SlotConfig {
+            horizon: 10,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&topo, &paths, reqs, cfg);
+        assert_eq!(engine.avg_utilization(), 0.0);
+        let _ = engine.run(&mut GreedyHome).unwrap();
+        let util = engine.utilization();
+        // One 800 MHz job on station 0 (3000 MHz) for all 10 slots.
+        assert!((util[0] - 800.0 / 3000.0).abs() < 1e-9, "{util:?}");
+        assert_eq!(util[1], 0.0);
+        assert!(engine.avg_utilization() > 0.0);
+        assert!(engine.avg_utilization() < util[0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let mk = || {
+            let reqs: Vec<Request> = (0..4).map(|i| request(i, 0, 10, 40.0, 100.0)).collect();
+            Engine::new(&topo, &paths, reqs, SlotConfig::default())
+        };
+        let m1 = mk().run(&mut GreedyHome).unwrap();
+        let m2 = mk().run(&mut GreedyHome).unwrap();
+        assert_eq!(m1, m2);
+    }
+}

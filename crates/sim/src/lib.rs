@@ -1,0 +1,87 @@
+//! # mec-sim
+//!
+//! Discrete time-slot simulation substrate for the ICDCS'21 reproduction.
+//!
+//! The dynamic reward-maximization problem (§V) schedules **preemptible**
+//! AR requests slot by slot (0.05 s slots by default). This crate provides
+//! the machinery every online algorithm shares:
+//!
+//! * [`SlotConfig`]/[`engine::Engine`] — the slot loop: arrivals, demand
+//!   realization on first service, work accounting, completion, expiry;
+//! * [`lifecycle`] — per-request job state (waiting → running → completed /
+//!   expired) with latency bookkeeping per Eq. 2;
+//! * [`sharing`] — round-robin fair-share helpers used by `DynamicRR`;
+//! * [`metrics`] — total reward, average experienced latency, counters.
+//!
+//! Scheduling *policy* lives in `mec-core`; the engine calls back into a
+//! [`SlotPolicy`] each slot and validates that the returned allocations
+//! respect station capacities and deadlines, so a buggy policy fails loudly
+//! rather than silently over-committing resources.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lifecycle;
+pub mod metrics;
+pub mod sharing;
+pub mod trace;
+
+pub use engine::{Allocation, Engine, SimError, SlotContext, SlotPolicy};
+// `Continuity` is defined below alongside `SlotConfig`.
+pub use lifecycle::{Job, JobView, Phase};
+pub use metrics::Metrics;
+pub use sharing::fair_share;
+pub use trace::{Event, Trace, TracedEvent};
+
+use mec_topology::units::Compute;
+use serde::{Deserialize, Serialize};
+
+/// Sustained-service requirement (§I: the "continuous processing of its
+/// data stream after its being responded needs to be performed within a
+/// specified delay requirement"). A running stream served below
+/// `min_fraction` of its realized rate for more than `grace_slots`
+/// consecutive slots aborts — its frames are arriving faster than they are
+/// augmented, so the session is no longer interactive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Continuity {
+    /// Minimum fraction of the realized rate that must be served per slot.
+    pub min_fraction: f64,
+    /// Consecutive under-served slots tolerated before the stream aborts.
+    pub grace_slots: u64,
+}
+
+/// Global simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotConfig {
+    /// Slot length in milliseconds (paper: 50 ms).
+    pub slot_ms: f64,
+    /// Number of slots in the monitoring period `T`.
+    pub horizon: u64,
+    /// Compute per unit data rate `C_unit` (paper: 20 MHz per MB/s).
+    pub c_unit: Compute,
+    /// Seed for demand realization.
+    pub seed: u64,
+    /// Optional sustained-service requirement (off by default — the
+    /// paper's hard constraint is the response delay of Eq. 2).
+    pub continuity: Option<Continuity>,
+}
+
+impl Default for SlotConfig {
+    fn default() -> Self {
+        Self {
+            slot_ms: 50.0,
+            horizon: 400,
+            c_unit: Compute::mhz(20.0),
+            seed: 0,
+            continuity: None,
+        }
+    }
+}
+
+impl SlotConfig {
+    /// Slot length in seconds.
+    pub fn slot_seconds(&self) -> f64 {
+        self.slot_ms / 1000.0
+    }
+}

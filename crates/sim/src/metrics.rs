@@ -1,0 +1,167 @@
+//! Simulation outcome metrics: the quantities every figure plots.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregated results of one simulation (or one offline schedule).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    total_reward: f64,
+    latencies_ms: Vec<f64>,
+    completed: usize,
+    expired: usize,
+    unserved: usize,
+    aborted: usize,
+}
+
+impl Metrics {
+    /// An empty metrics accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Credits reward for a completed request and records its experienced
+    /// latency.
+    pub fn record_completion(&mut self, reward: f64, latency_ms: f64) {
+        self.total_reward += reward;
+        self.latencies_ms.push(latency_ms);
+        self.completed += 1;
+    }
+
+    /// Records a request dropped before first service.
+    pub fn record_expired(&mut self) {
+        self.expired += 1;
+    }
+
+    /// Records a running stream torn down for violating the sustained
+    /// service floor (its latency still counts — it was served).
+    pub fn record_aborted(&mut self, latency_ms: Option<f64>) {
+        if let Some(l) = latency_ms {
+            self.latencies_ms.push(l);
+        }
+        self.aborted += 1;
+    }
+
+    /// Records a request still unfinished when the horizon ended (its
+    /// latency is counted if it was served at least once).
+    pub fn record_unserved(&mut self, latency_ms: Option<f64>) {
+        if let Some(l) = latency_ms {
+            self.latencies_ms.push(l);
+        }
+        self.unserved += 1;
+    }
+
+    /// Total reward collected (the paper's primary metric).
+    pub fn total_reward(&self) -> f64 {
+        self.total_reward
+    }
+
+    /// Average experienced latency over every served request, in ms
+    /// (0 when nothing was served).
+    pub fn avg_latency_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            0.0
+        } else {
+            self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len() as f64
+        }
+    }
+
+    /// All recorded latencies in ms.
+    pub fn latencies_ms(&self) -> &[f64] {
+        &self.latencies_ms
+    }
+
+    /// Completed request count.
+    pub const fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Expired (never served) request count.
+    pub const fn expired(&self) -> usize {
+        self.expired
+    }
+
+    /// Requests still in flight at the horizon.
+    pub const fn unserved(&self) -> usize {
+        self.unserved
+    }
+
+    /// Streams torn down by the continuity requirement.
+    pub const fn aborted(&self) -> usize {
+        self.aborted
+    }
+
+    /// Merges another metrics record into this one (for multi-run
+    /// aggregation the harness averages separately).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.total_reward += other.total_reward;
+        self.latencies_ms.extend_from_slice(&other.latencies_ms);
+        self.completed += other.completed;
+        self.expired += other.expired;
+        self.unserved += other.unserved;
+        self.aborted += other.aborted;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reward {:.1} | avg latency {:.1} ms | {} completed / {} expired / {} aborted / {} unserved",
+            self.total_reward,
+            self.avg_latency_ms(),
+            self.completed,
+            self.expired,
+            self.aborted,
+            self.unserved
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut m = Metrics::new();
+        m.record_completion(100.0, 50.0);
+        m.record_completion(200.0, 150.0);
+        m.record_expired();
+        m.record_unserved(Some(80.0));
+        m.record_unserved(None);
+        assert_eq!(m.total_reward(), 300.0);
+        assert!((m.avg_latency_ms() - (50.0 + 150.0 + 80.0) / 3.0).abs() < 1e-9);
+        assert_eq!(m.completed(), 2);
+        assert_eq!(m.expired(), 1);
+        assert_eq!(m.unserved(), 2);
+    }
+
+    #[test]
+    fn empty_latency_is_zero() {
+        assert_eq!(Metrics::new().avg_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Metrics::new();
+        a.record_completion(10.0, 5.0);
+        let mut b = Metrics::new();
+        b.record_completion(20.0, 15.0);
+        b.record_expired();
+        a.merge(&b);
+        assert_eq!(a.total_reward(), 30.0);
+        assert_eq!(a.completed(), 2);
+        assert_eq!(a.expired(), 1);
+        assert_eq!(a.latencies_ms().len(), 2);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut m = Metrics::new();
+        m.record_completion(42.0, 10.0);
+        let s = format!("{m}");
+        assert!(s.contains("reward 42.0"));
+        assert!(s.contains("1 completed"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the slot engine: a randomized-but-legal fuzz
+//! policy must never trip validation, and the accounting invariants must
+//! hold for any workload.
+
+use mec_sim::{Allocation, Engine, Phase, SlotConfig, SlotContext, SlotPolicy};
+use mec_topology::units::{Compute, DataRate, Latency};
+use mec_topology::TopologyBuilder;
+use mec_workload::{ArrivalProcess, WorkloadBuilder};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Allocates random fractions of each station's capacity to random
+/// schedulable jobs — legal by construction (capacity tracked, deadline
+/// checked, no duplicates).
+struct FuzzPolicy {
+    rng: ChaCha8Rng,
+}
+
+impl SlotPolicy for FuzzPolicy {
+    fn schedule(&mut self, ctx: &SlotContext<'_>) -> Vec<Allocation> {
+        let mut remaining: Vec<f64> = ctx
+            .topo
+            .stations()
+            .iter()
+            .map(|s| s.capacity().as_mhz())
+            .collect();
+        let mut out = Vec::new();
+        for view in &ctx.views {
+            if !view.schedulable() || self.rng.gen::<f64>() < 0.3 {
+                continue;
+            }
+            // Random feasible station for a first service; any station
+            // afterwards.
+            let stations: Vec<_> = ctx
+                .topo
+                .station_ids()
+                .filter(|&s| {
+                    view.job.realized().is_some()
+                        || view.job.request().meets_deadline_at(
+                            ctx.topo,
+                            ctx.paths,
+                            s,
+                            view.job.waiting_slots(ctx.slot),
+                            ctx.config.slot_ms,
+                        )
+                })
+                .collect();
+            if stations.is_empty() {
+                continue;
+            }
+            let s = stations[self.rng.gen_range(0..stations.len())];
+            let grant = remaining[s.index()] * self.rng.gen_range(0.0..0.4);
+            if grant > 1.0 {
+                remaining[s.index()] -= grant;
+                out.push(Allocation {
+                    request: view.job.id(),
+                    station: s,
+                    compute: Compute::mhz(grant),
+                });
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "fuzz"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A legal-by-construction policy never triggers a SimError, and the
+    /// final accounting conserves requests.
+    #[test]
+    fn fuzz_policy_runs_clean(
+        seed in 0u64..2000,
+        n in 1usize..40,
+        stations in 1usize..8,
+        horizon in 1u64..120,
+    ) {
+        let topo = TopologyBuilder::new(stations).seed(seed).build();
+        let requests = WorkloadBuilder::new(&topo)
+            .seed(seed)
+            .count(n)
+            .duration_range(5, 30)
+            .arrivals(ArrivalProcess::UniformOver { horizon: horizon.max(2) / 2 + 1 })
+            .build();
+        let paths = topo.shortest_paths();
+        let cfg = SlotConfig { horizon, seed, ..Default::default() };
+        let mut engine = Engine::new(&topo, &paths, requests, cfg);
+        let metrics = engine
+            .run(&mut FuzzPolicy { rng: ChaCha8Rng::seed_from_u64(seed) })
+            .expect("legal policy must not trip validation");
+        prop_assert_eq!(
+            metrics.completed() + metrics.expired() + metrics.unserved(),
+            n
+        );
+        // Utilization is a valid fraction everywhere.
+        for u in engine.utilization() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+        // Reward only comes from completed jobs.
+        let expected: f64 = engine
+            .jobs()
+            .iter()
+            .filter(|j| j.phase() == Phase::Completed)
+            .map(|j| j.realized().unwrap().reward)
+            .sum();
+        prop_assert!((metrics.total_reward() - expected).abs() < 1e-6);
+    }
+
+    /// Served jobs always meet their deadline (the engine's own
+    /// enforcement, validated from the outside).
+    #[test]
+    fn served_jobs_meet_deadlines(seed in 0u64..500) {
+        let topo = TopologyBuilder::new(5).seed(seed).build();
+        let requests = WorkloadBuilder::new(&topo)
+            .seed(seed)
+            .count(25)
+            .arrivals(ArrivalProcess::UniformOver { horizon: 40 })
+            .build();
+        let paths = topo.shortest_paths();
+        let cfg = SlotConfig { horizon: 100, seed, ..Default::default() };
+        let mut engine = Engine::new(&topo, &paths, requests, cfg);
+        engine
+            .run(&mut FuzzPolicy { rng: ChaCha8Rng::seed_from_u64(seed ^ 7) })
+            .expect("legal policy");
+        for job in engine.jobs() {
+            if job.first_service().is_some() {
+                let lat = job.experienced_latency(&topo, &paths, cfg.slot_ms).unwrap();
+                prop_assert!(lat.as_ms() <= job.request().deadline().as_ms() + 1e-6);
+            }
+        }
+    }
+
+    /// Work conservation: the data processed per job never exceeds what
+    /// its realized stream contained.
+    #[test]
+    fn processed_work_bounded(seed in 0u64..500) {
+        use mec_workload::demand::DemandDistribution;
+        use mec_workload::request::{Request, RequestId};
+        use mec_workload::task::Task;
+
+        let topo = TopologyBuilder::new(3).seed(seed).build();
+        let requests: Vec<Request> = (0..6)
+            .map(|i| {
+                Request::new(
+                    RequestId(i),
+                    (i % 3).into(),
+                    0,
+                    10,
+                    Task::reference_pipeline(),
+                    DemandDistribution::deterministic(DataRate::mbps(40.0), 100.0),
+                    Latency::ms(200.0),
+                )
+            })
+            .collect();
+        let paths = topo.shortest_paths();
+        let cfg = SlotConfig { horizon: 60, seed, ..Default::default() };
+        let mut engine = Engine::new(&topo, &paths, requests, cfg);
+        engine
+            .run(&mut FuzzPolicy { rng: ChaCha8Rng::seed_from_u64(seed ^ 99) })
+            .expect("legal policy");
+        for job in engine.jobs() {
+            if let Some(outcome) = job.realized() {
+                let total =
+                    outcome.rate.as_mbps() * job.request().duration_slots() as f64 * 0.05;
+                if job.phase() == Phase::Running {
+                    prop_assert!(job.remaining_mb() > 0.0 && job.remaining_mb() <= total + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! All-pairs shortest paths by repeated Dijkstra, in terms of per-`ρ_unit`
+//! transmission delay.
+//!
+//! The paper routes each request's stream along `p_{ji}`, the minimum-delay
+//! backhaul path between the user's home station and the serving station
+//! (Eq. 2). [`PathTable`] precomputes those paths once per topology.
+
+use crate::graph::{EdgeId, Topology};
+use crate::station::StationId;
+use crate::units::Latency;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Entry in the Dijkstra frontier; ordered so the `BinaryHeap` (a max-heap)
+/// pops the smallest tentative delay first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Frontier {
+    delay_ms: f64,
+    node: StationId,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest delay wins. Delays are never NaN by construction.
+        other
+            .delay_ms
+            .partial_cmp(&self.delay_ms)
+            .expect("delays are never NaN")
+            .then_with(|| other.node.index().cmp(&self.node.index()))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest-path tree from one source: per-node delay and predecessor edge.
+#[derive(Debug, Clone)]
+struct Tree {
+    delay: Vec<Option<f64>>,
+    via: Vec<Option<EdgeId>>,
+}
+
+fn dijkstra(topo: &Topology, source: StationId) -> Tree {
+    let n = topo.station_count();
+    let mut delay: Vec<Option<f64>> = vec![None; n];
+    let mut via: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    delay[source.index()] = Some(0.0);
+    heap.push(Frontier {
+        delay_ms: 0.0,
+        node: source,
+    });
+    while let Some(Frontier { delay_ms, node }) = heap.pop() {
+        if delay[node.index()].is_some_and(|best| delay_ms > best) {
+            continue; // stale entry
+        }
+        for &(next, edge) in topo.neighbors(node) {
+            let cand = delay_ms + topo.edge(edge).unit_trans_delay().as_ms();
+            let better = delay[next.index()].is_none_or(|best| cand < best);
+            if better {
+                delay[next.index()] = Some(cand);
+                via[next.index()] = Some(edge);
+                heap.push(Frontier {
+                    delay_ms: cand,
+                    node: next,
+                });
+            }
+        }
+    }
+    Tree { delay, via }
+}
+
+/// All-pairs shortest paths over a [`Topology`], in per-`ρ_unit`
+/// transmission delay.
+///
+/// Build once with [`PathTable::build`] (O(|BS| · |E| log |BS|)), then query
+/// delays and full edge paths in O(1) / O(path length).
+#[derive(Debug, Clone)]
+pub struct PathTable {
+    trees: Vec<Tree>,
+}
+
+impl PathTable {
+    /// Runs Dijkstra from every station.
+    pub fn build(topo: &Topology) -> Self {
+        let trees = topo.station_ids().map(|s| dijkstra(topo, s)).collect();
+        Self { trees }
+    }
+
+    /// One-way shortest-path delay `from → to` for one `ρ_unit`, or `None`
+    /// if `to` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn delay(&self, from: StationId, to: StationId) -> Option<Latency> {
+        self.trees[from.index()].delay[to.index()].map(Latency::ms)
+    }
+
+    /// The edges of a shortest path `from → to` (empty when `from == to`),
+    /// or `None` if unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn path(&self, from: StationId, to: StationId, topo: &Topology) -> Option<Vec<EdgeId>> {
+        let tree = &self.trees[from.index()];
+        tree.delay[to.index()]?;
+        let mut path = Vec::new();
+        let mut cursor = to;
+        while cursor != from {
+            let edge = tree.via[cursor.index()]?;
+            path.push(edge);
+            cursor = topo
+                .edge(edge)
+                .other(cursor)
+                .expect("predecessor edge must touch the cursor node");
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of sources (= station count of the topology it was built from).
+    pub fn source_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Topology {
+    /// Convenience: builds the all-pairs [`PathTable`] for this topology.
+    pub fn shortest_paths(&self) -> PathTable {
+        PathTable::build(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::station::BaseStation;
+    use crate::units::Compute;
+
+    fn topo_line(delays: &[f64]) -> Topology {
+        let stations = (0..=delays.len())
+            .map(|i| BaseStation::new(i.into(), Compute::mhz(3000.0), Latency::ms(1.0)))
+            .collect();
+        let mut topo = Topology::new(stations);
+        for (i, &d) in delays.iter().enumerate() {
+            topo.add_edge(i.into(), (i + 1).into(), Latency::ms(d))
+                .unwrap();
+        }
+        topo
+    }
+
+    #[test]
+    fn line_delays_accumulate() {
+        let topo = topo_line(&[1.0, 2.0, 3.0]);
+        let paths = topo.shortest_paths();
+        assert_eq!(paths.delay(0.into(), 3.into()).unwrap().as_ms(), 6.0);
+        assert_eq!(paths.delay(3.into(), 0.into()).unwrap().as_ms(), 6.0);
+        assert_eq!(paths.delay(1.into(), 1.into()).unwrap().as_ms(), 0.0);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let topo = topo_line(&[1.0, 2.0]);
+        let paths = topo.shortest_paths();
+        let p = paths.path(0.into(), 2.into(), &topo).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], EdgeId(0));
+        assert_eq!(p[1], EdgeId(1));
+        assert!(paths.path(1.into(), 1.into(), &topo).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shortcut_preferred() {
+        // Triangle: 0-1 (10), 1-2 (10), 0-2 (5). 0→1 best via direct 10,
+        // but 0→2 direct 5 beats 0-1-2 (20).
+        let stations = (0..3)
+            .map(|i| BaseStation::new(i.into(), Compute::mhz(3000.0), Latency::ms(1.0)))
+            .collect();
+        let mut topo = Topology::new(stations);
+        topo.add_edge(0.into(), 1.into(), Latency::ms(10.0)).unwrap();
+        topo.add_edge(1.into(), 2.into(), Latency::ms(10.0)).unwrap();
+        topo.add_edge(0.into(), 2.into(), Latency::ms(5.0)).unwrap();
+        let paths = topo.shortest_paths();
+        assert_eq!(paths.delay(0.into(), 2.into()).unwrap().as_ms(), 5.0);
+        // And 1→2 can go direct (10) rather than via 0 (15).
+        assert_eq!(paths.delay(1.into(), 2.into()).unwrap().as_ms(), 10.0);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let stations = (0..2)
+            .map(|i| BaseStation::new(i.into(), Compute::mhz(3000.0), Latency::ms(1.0)))
+            .collect();
+        let topo = Topology::new(stations);
+        let paths = topo.shortest_paths();
+        assert_eq!(paths.delay(0.into(), 1.into()), None);
+        assert_eq!(paths.path(0.into(), 1.into(), &topo), None);
+    }
+
+    #[test]
+    fn zero_delay_edges_ok() {
+        let topo = topo_line(&[0.0, 0.0]);
+        let paths = topo.shortest_paths();
+        assert_eq!(paths.delay(0.into(), 2.into()).unwrap().as_ms(), 0.0);
+    }
+}

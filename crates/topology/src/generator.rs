@@ -1,0 +1,352 @@
+//! Random and deterministic topology generation.
+//!
+//! The paper builds its 20-station backhaul with GT-ITM [13]. GT-ITM's flat
+//! random mode is the **Waxman model**: nodes scattered uniformly in the unit
+//! square, an edge between `u, v` with probability
+//! `β · exp(-dist(u, v) / (α · L))` where `L` is the diameter of the region.
+//! [`TopologyBuilder`] implements that model (made connected by stitching
+//! components along nearest pairs) plus deterministic shapes for tests.
+
+use crate::graph::Topology;
+use crate::station::{BaseStation, StationId};
+use crate::units::{Compute, Latency};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Shape of the generated backhaul.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Shape {
+    /// Waxman random graph (GT-ITM flat mode) — the paper's setting.
+    #[default]
+    Waxman,
+    /// A simple ring; deterministic, useful in tests.
+    Ring,
+    /// A star centered on station 0; deterministic.
+    Star,
+    /// A line `0 - 1 - … - (n-1)`; deterministic.
+    Line,
+}
+
+/// Builder for random MEC topologies with the paper's §VI-A defaults.
+///
+/// # Example
+///
+/// ```
+/// use mec_topology::generator::{Shape, TopologyBuilder};
+///
+/// let topo = TopologyBuilder::new(20)
+///     .seed(42)
+///     .shape(Shape::Waxman)
+///     .capacity_range(3000.0, 3600.0)
+///     .build();
+/// assert!(topo.is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    stations: usize,
+    seed: u64,
+    shape: Shape,
+    capacity_range: (f64, f64),
+    proc_delay_range: (f64, f64),
+    trans_delay_range: (f64, f64),
+    waxman_alpha: f64,
+    waxman_beta: f64,
+}
+
+impl TopologyBuilder {
+    /// Starts a builder for `stations` base stations with the paper's
+    /// default parameter ranges: capacities U[3000, 3600] MHz, per-`ρ_unit`
+    /// processing delays U[0.5, 2.0] ms, link delays U[0.5, 3.0] ms.
+    pub fn new(stations: usize) -> Self {
+        Self {
+            stations,
+            seed: 0,
+            shape: Shape::Waxman,
+            capacity_range: (3000.0, 3600.0),
+            proc_delay_range: (0.5, 2.0),
+            trans_delay_range: (0.5, 3.0),
+            waxman_alpha: 0.4,
+            waxman_beta: 0.4,
+        }
+    }
+
+    /// Seeds the deterministic PRNG (same seed ⇒ same topology).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the backhaul shape.
+    #[must_use]
+    pub fn shape(mut self, shape: Shape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Station compute capacities are drawn uniformly from `[lo, hi]` MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `lo < 0`.
+    #[must_use]
+    pub fn capacity_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(0.0 <= lo && lo <= hi, "capacity range must be 0 <= lo <= hi");
+        self.capacity_range = (lo, hi);
+        self
+    }
+
+    /// Per-`ρ_unit` processing delays drawn uniformly from `[lo, hi]` ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `lo < 0`.
+    #[must_use]
+    pub fn proc_delay_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(0.0 <= lo && lo <= hi, "delay range must be 0 <= lo <= hi");
+        self.proc_delay_range = (lo, hi);
+        self
+    }
+
+    /// Per-`ρ_unit` link transmission delays drawn uniformly from `[lo, hi]`
+    /// ms (scaled by Euclidean length under [`Shape::Waxman`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `lo < 0`.
+    #[must_use]
+    pub fn trans_delay_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(0.0 <= lo && lo <= hi, "delay range must be 0 <= lo <= hi");
+        self.trans_delay_range = (lo, hi);
+        self
+    }
+
+    /// Waxman parameters: `alpha` controls edge length decay, `beta` overall
+    /// density. Both must lie in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is outside `(0, 1]`.
+    #[must_use]
+    pub fn waxman(mut self, alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        self.waxman_alpha = alpha;
+        self.waxman_beta = beta;
+        self
+    }
+
+    fn sample(rng: &mut ChaCha8Rng, (lo, hi): (f64, f64)) -> f64 {
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// Generates the topology.
+    pub fn build(&self) -> Topology {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let stations = (0..self.stations)
+            .map(|i| {
+                BaseStation::new(
+                    StationId(i),
+                    Compute::mhz(Self::sample(&mut rng, self.capacity_range)),
+                    Latency::ms(Self::sample(&mut rng, self.proc_delay_range)),
+                )
+            })
+            .collect();
+        let mut topo = Topology::new(stations);
+        match self.shape {
+            Shape::Ring => {
+                for i in 1..self.stations {
+                    let d = Self::sample(&mut rng, self.trans_delay_range);
+                    topo.add_edge((i - 1).into(), i.into(), Latency::ms(d))
+                        .expect("ring edges are valid");
+                }
+                if self.stations >= 3 {
+                    let d = Self::sample(&mut rng, self.trans_delay_range);
+                    topo.add_edge((self.stations - 1).into(), 0.into(), Latency::ms(d))
+                        .expect("ring closing edge is valid");
+                }
+            }
+            Shape::Star => {
+                for i in 1..self.stations {
+                    let d = Self::sample(&mut rng, self.trans_delay_range);
+                    topo.add_edge(0.into(), i.into(), Latency::ms(d))
+                        .expect("star edges are valid");
+                }
+            }
+            Shape::Line => {
+                for i in 1..self.stations {
+                    let d = Self::sample(&mut rng, self.trans_delay_range);
+                    topo.add_edge((i - 1).into(), i.into(), Latency::ms(d))
+                        .expect("line edges are valid");
+                }
+            }
+            Shape::Waxman => self.build_waxman(&mut rng, &mut topo),
+        }
+        topo
+    }
+
+    fn build_waxman(&self, rng: &mut ChaCha8Rng, topo: &mut Topology) {
+        let n = self.stations;
+        if n <= 1 {
+            return;
+        }
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let dist = |a: usize, b: usize| -> f64 {
+            let dx = points[a].0 - points[b].0;
+            let dy = points[a].1 - points[b].1;
+            (dx * dx + dy * dy).sqrt()
+        };
+        let diameter = 2f64.sqrt(); // of the unit square
+        let (dlo, dhi) = self.trans_delay_range;
+        // Delay grows with geometric length: map [0, diameter] onto the
+        // configured delay range so long links are slow links.
+        let delay_of = |d: f64| Latency::ms(dlo + (dhi - dlo) * (d / diameter));
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let p = self.waxman_beta * (-dist(u, v) / (self.waxman_alpha * diameter)).exp();
+                if rng.gen::<f64>() < p {
+                    topo.add_edge(u.into(), v.into(), delay_of(dist(u, v)))
+                        .expect("waxman edges are valid");
+                }
+            }
+        }
+        // Stitch components together via geometrically-nearest cross pairs so
+        // the backhaul is connected (GT-ITM post-processes similarly).
+        loop {
+            let comp = components(topo);
+            let ncomp = 1 + comp.iter().copied().max().unwrap_or(0);
+            if ncomp <= 1 {
+                break;
+            }
+            // Find the nearest pair straddling component 0's boundary.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for u in 0..n {
+                for v in 0..n {
+                    if comp[u] == 0 && comp[v] != 0 {
+                        let d = dist(u, v);
+                        if best.is_none_or(|(_, _, bd)| d < bd) {
+                            best = Some((u, v, d));
+                        }
+                    }
+                }
+            }
+            let (u, v, d) = best.expect("multiple components imply a crossing pair");
+            topo.add_edge(u.into(), v.into(), delay_of(d))
+                .expect("stitch edges are valid");
+        }
+    }
+}
+
+/// Labels every station with a component id (0-based, component of station 0
+/// is 0).
+fn components(topo: &Topology) -> Vec<usize> {
+    let n = topo.station_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![StationId(start)];
+        comp[start] = next;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in topo.neighbors(v) {
+                if comp[u.index()] == usize::MAX {
+                    comp[u.index()] = next;
+                    stack.push(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        for seed in 0..10 {
+            let a = TopologyBuilder::new(20).seed(seed).build();
+            let b = TopologyBuilder::new(20).seed(seed).build();
+            assert!(a.is_connected(), "seed {seed} produced disconnected graph");
+            assert_eq!(a, b, "same seed must reproduce the same topology");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TopologyBuilder::new(20).seed(1).build();
+        let b = TopologyBuilder::new(20).seed(2).build();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn capacities_within_range() {
+        let topo = TopologyBuilder::new(50)
+            .seed(3)
+            .capacity_range(3000.0, 3600.0)
+            .build();
+        for bs in topo.stations() {
+            let c = bs.capacity().as_mhz();
+            assert!((3000.0..=3600.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn ring_star_line_shapes() {
+        let ring = TopologyBuilder::new(6).shape(Shape::Ring).build();
+        assert_eq!(ring.edge_count(), 6);
+        assert!(ring.is_connected());
+
+        let star = TopologyBuilder::new(6).shape(Shape::Star).build();
+        assert_eq!(star.edge_count(), 5);
+        assert_eq!(star.neighbors(0.into()).len(), 5);
+
+        let line = TopologyBuilder::new(6).shape(Shape::Line).build();
+        assert_eq!(line.edge_count(), 5);
+        assert_eq!(line.neighbors(0.into()).len(), 1);
+    }
+
+    #[test]
+    fn single_station_topology() {
+        let topo = TopologyBuilder::new(1).build();
+        assert_eq!(topo.station_count(), 1);
+        assert_eq!(topo.edge_count(), 0);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn two_station_waxman_connected() {
+        let topo = TopologyBuilder::new(2).seed(9).build();
+        assert!(topo.is_connected());
+        assert!(topo.edge_count() >= 1);
+    }
+
+    #[test]
+    fn fixed_ranges_collapse() {
+        let topo = TopologyBuilder::new(4)
+            .capacity_range(3200.0, 3200.0)
+            .proc_delay_range(1.0, 1.0)
+            .build();
+        for bs in topo.stations() {
+            assert_eq!(bs.capacity().as_mhz(), 3200.0);
+            assert_eq!(bs.unit_proc_delay().as_ms(), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn invalid_waxman_alpha() {
+        let _ = TopologyBuilder::new(4).waxman(0.0, 0.5);
+    }
+}

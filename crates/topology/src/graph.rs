@@ -1,0 +1,363 @@
+//! The backhaul graph `G = (BS, E)`: undirected, with per-edge transmission
+//! delays for one `ρ_unit` of data.
+
+use crate::station::{BaseStation, StationId};
+use crate::units::{Compute, Latency};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an undirected backhaul link.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// The underlying dense index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(value: usize) -> Self {
+        EdgeId(value)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An undirected backhaul link with the delay `d^trans_e` of shipping one
+/// `ρ_unit` of video data across it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    id: EdgeId,
+    endpoints: (StationId, StationId),
+    unit_trans_delay: Latency,
+}
+
+impl Edge {
+    /// The link's identifier.
+    pub const fn id(&self) -> EdgeId {
+        self.id
+    }
+
+    /// Both endpoints (unordered).
+    pub const fn endpoints(&self) -> (StationId, StationId) {
+        self.endpoints
+    }
+
+    /// Transmission delay of one `ρ_unit` across this link.
+    pub const fn unit_trans_delay(&self) -> Latency {
+        self.unit_trans_delay
+    }
+
+    /// The endpoint opposite to `from`, if `from` is an endpoint.
+    pub fn other(&self, from: StationId) -> Option<StationId> {
+        if self.endpoints.0 == from {
+            Some(self.endpoints.1)
+        } else if self.endpoints.1 == from {
+            Some(self.endpoints.0)
+        } else {
+            None
+        }
+    }
+}
+
+/// Errors constructing or mutating a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge referenced a station id outside `0..station_count`.
+    UnknownStation(StationId),
+    /// A self-loop was requested; the backhaul has no use for them.
+    SelfLoop(StationId),
+    /// A negative delay was supplied.
+    NegativeDelay,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownStation(id) => write!(f, "unknown station {id}"),
+            TopologyError::SelfLoop(id) => write!(f, "self-loop at {id} is not allowed"),
+            TopologyError::NegativeDelay => write!(f, "edge delay must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The MEC network `G = (BS, E)`.
+///
+/// Stations are densely indexed; edges are undirected. The structure is
+/// immutable after construction apart from [`Topology::add_edge`], which the
+/// generator uses while building.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    stations: Vec<BaseStation>,
+    edges: Vec<Edge>,
+    /// adjacency[v] = (neighbor, edge) pairs.
+    adjacency: Vec<Vec<(StationId, EdgeId)>>,
+}
+
+impl Topology {
+    /// Creates a topology over the given stations with no edges yet.
+    ///
+    /// Station ids must equal their position; this is re-asserted here so a
+    /// shuffled station list fails fast instead of mis-routing every lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any station's id differs from its index.
+    pub fn new(stations: Vec<BaseStation>) -> Self {
+        for (idx, bs) in stations.iter().enumerate() {
+            assert_eq!(
+                bs.id().index(),
+                idx,
+                "station ids must be dense and in order"
+            );
+        }
+        let n = stations.len();
+        Self {
+            stations,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if an endpoint is unknown, `u == v`, or the
+    /// delay is negative. Parallel edges are permitted (the generator never
+    /// creates them, but Dijkstra handles them correctly).
+    pub fn add_edge(
+        &mut self,
+        u: StationId,
+        v: StationId,
+        unit_trans_delay: Latency,
+    ) -> Result<EdgeId, TopologyError> {
+        if u.index() >= self.stations.len() {
+            return Err(TopologyError::UnknownStation(u));
+        }
+        if v.index() >= self.stations.len() {
+            return Err(TopologyError::UnknownStation(v));
+        }
+        if u == v {
+            return Err(TopologyError::SelfLoop(u));
+        }
+        if unit_trans_delay.as_ms() < 0.0 {
+            return Err(TopologyError::NegativeDelay);
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            id,
+            endpoints: (u, v),
+            unit_trans_delay,
+        });
+        self.adjacency[u.index()].push((v, id));
+        self.adjacency[v.index()].push((u, id));
+        Ok(id)
+    }
+
+    /// Number of base stations `|BS|`.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Number of backhaul links `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The station with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn station(&self, id: StationId) -> &BaseStation {
+        &self.stations[id.index()]
+    }
+
+    /// All stations in id order.
+    pub fn stations(&self) -> &[BaseStation] {
+        &self.stations
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// All edges in id order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Neighbors of `v` as `(neighbor, edge)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: StationId) -> &[(StationId, EdgeId)] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Iterator over all station ids.
+    pub fn station_ids(&self) -> impl ExactSizeIterator<Item = StationId> + '_ {
+        (0..self.stations.len()).map(StationId)
+    }
+
+    /// Total compute capacity across all stations.
+    pub fn total_capacity(&self) -> Compute {
+        self.stations.iter().map(|s| s.capacity()).sum()
+    }
+
+    /// Renders the backhaul as a Graphviz DOT document (stations labelled
+    /// with their capacity, links with their per-`ρ_unit` delay) — handy
+    /// for eyeballing generated topologies.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("graph mec {\n  node [shape=circle];\n");
+        for s in &self.stations {
+            let _ = writeln!(
+                out,
+                "  bs{} [label=\"bs{}\\n{:.0} MHz\"];",
+                s.id().index(),
+                s.id().index(),
+                s.capacity().as_mhz()
+            );
+        }
+        for e in &self.edges {
+            let (u, v) = e.endpoints();
+            let _ = writeln!(
+                out,
+                "  bs{} -- bs{} [label=\"{:.1} ms\"];",
+                u.index(),
+                v.index(),
+                e.unit_trans_delay().as_ms()
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Whether the graph is connected (true for the generator's outputs;
+    /// the experiments assume every station is reachable).
+    pub fn is_connected(&self) -> bool {
+        if self.stations.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.stations.len()];
+        let mut stack = vec![StationId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in self.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == self.stations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_stations() -> Vec<BaseStation> {
+        (0..3)
+            .map(|i| BaseStation::new(i.into(), Compute::mhz(3000.0), Latency::ms(1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn build_line_graph() {
+        let mut topo = Topology::new(three_stations());
+        let e0 = topo.add_edge(0.into(), 1.into(), Latency::ms(2.0)).unwrap();
+        let e1 = topo.add_edge(1.into(), 2.into(), Latency::ms(3.0)).unwrap();
+        assert_eq!(topo.edge_count(), 2);
+        assert_eq!(topo.neighbors(1.into()).len(), 2);
+        assert_eq!(topo.edge(e0).other(0.into()), Some(StationId(1)));
+        assert_eq!(topo.edge(e1).other(0.into()), None);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let topo = Topology::new(three_stations());
+        assert!(!topo.is_connected());
+    }
+
+    #[test]
+    fn empty_topology_is_connected() {
+        let topo = Topology::new(Vec::new());
+        assert!(topo.is_connected());
+        assert_eq!(topo.station_count(), 0);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut topo = Topology::new(three_stations());
+        assert_eq!(
+            topo.add_edge(1.into(), 1.into(), Latency::ms(1.0)),
+            Err(TopologyError::SelfLoop(StationId(1)))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_station() {
+        let mut topo = Topology::new(three_stations());
+        assert_eq!(
+            topo.add_edge(0.into(), 9.into(), Latency::ms(1.0)),
+            Err(TopologyError::UnknownStation(StationId(9)))
+        );
+    }
+
+    #[test]
+    fn rejects_negative_delay() {
+        let mut topo = Topology::new(three_stations());
+        assert_eq!(
+            topo.add_edge(0.into(), 1.into(), Latency::ms(-0.1)),
+            Err(TopologyError::NegativeDelay)
+        );
+    }
+
+    #[test]
+    fn dot_export_contains_everything() {
+        let mut topo = Topology::new(three_stations());
+        topo.add_edge(0.into(), 1.into(), Latency::ms(2.5)).unwrap();
+        let dot = topo.to_dot();
+        assert!(dot.starts_with("graph mec {"));
+        assert!(dot.contains("bs0 [label=\"bs0\\n3000 MHz\"];"));
+        assert!(dot.contains("bs0 -- bs1 [label=\"2.5 ms\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn total_capacity_sums() {
+        let topo = Topology::new(three_stations());
+        assert_eq!(topo.total_capacity().as_mhz(), 9000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and in order")]
+    fn shuffled_ids_rejected() {
+        let mut stations = three_stations();
+        stations.swap(0, 2);
+        let _ = Topology::new(stations);
+    }
+}

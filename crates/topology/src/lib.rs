@@ -1,0 +1,41 @@
+//! # mec-topology
+//!
+//! MEC network substrate for the ICDCS'21 reproduction: the backhaul graph
+//! `G = (BS, E)` of 5G base stations, per-link transmission delays, shortest
+//! paths, and base-station compute resources partitioned into resource slots.
+//!
+//! The paper generates topologies with GT-ITM [13]; GT-ITM's flat random
+//! model is the Waxman model, which [`generator::TopologyBuilder`] implements
+//! (plus deterministic ring/star/line shapes for tests).
+//!
+//! ## Example
+//!
+//! ```
+//! use mec_topology::generator::TopologyBuilder;
+//!
+//! let topo = TopologyBuilder::new(20).seed(7).build();
+//! assert_eq!(topo.station_count(), 20);
+//! let paths = topo.shortest_paths();
+//! // Delays are symmetric and satisfy the triangle inequality.
+//! let d = paths.delay(0.into(), 5.into()).unwrap();
+//! assert!(d.as_ms() >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dijkstra;
+pub mod generator;
+pub mod graph;
+pub mod slots;
+pub mod station;
+pub mod stats;
+pub mod units;
+
+pub use dijkstra::PathTable;
+pub use generator::TopologyBuilder;
+pub use graph::{EdgeId, Topology, TopologyError};
+pub use slots::{SlotIndex, SlotLayout};
+pub use station::{BaseStation, StationId};
+pub use stats::TopologyStats;
+pub use units::{Compute, DataRate, Latency};

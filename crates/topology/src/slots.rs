@@ -1,0 +1,149 @@
+//! Resource-slot partitioning of a station's compute capacity (§IV-A).
+//!
+//! The paper partitions each `C(bs_i)` into `L = ⌊C(bs_i)/C_l⌋` slots of
+//! `C_l` MHz each (default `C_l` = 1000 MHz); the slot-indexed LP assigns
+//! each request a *starting* slot, from which its realized demand may spill
+//! into later slots.
+
+use crate::units::Compute;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// 1-based index of a resource slot within a station.
+///
+/// The paper's analysis uses `l ∈ {1, …, L}` with prefix capacity `l · C_l`;
+/// keeping the index 1-based keeps every formula verbatim.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SlotIndex(usize);
+
+impl SlotIndex {
+    /// Creates a slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0`; slots are 1-based.
+    pub fn new(l: usize) -> Self {
+        assert!(l >= 1, "slot indices are 1-based");
+        Self(l)
+    }
+
+    /// The 1-based value `l`.
+    pub const fn get(self) -> usize {
+        self.0
+    }
+
+    /// Prefix capacity `l · C_l` available up to and including this slot.
+    #[must_use]
+    pub fn prefix_capacity(self, slot_size: Compute) -> Compute {
+        slot_size * self.0 as f64
+    }
+}
+
+impl fmt::Display for SlotIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot {}", self.0)
+    }
+}
+
+/// The slot layout of one station: slot size `C_l` and count `L`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotLayout {
+    slot_size: Compute,
+    count: usize,
+}
+
+impl SlotLayout {
+    /// Partitions `capacity` into slots of `slot_size`:
+    /// `L = ⌊capacity / slot_size⌋`.
+    ///
+    /// A station smaller than one slot gets `L = 0` and can never be a
+    /// starting slot (matching Eq. 8, where such stations earn no reward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_size` is not strictly positive.
+    pub fn partition(capacity: Compute, slot_size: Compute) -> Self {
+        assert!(
+            slot_size.is_positive(),
+            "slot size must be strictly positive"
+        );
+        let count = (capacity.as_mhz() / slot_size.as_mhz()).floor() as usize;
+        Self { slot_size, count }
+    }
+
+    /// Slot size `C_l`.
+    pub const fn slot_size(self) -> Compute {
+        self.slot_size
+    }
+
+    /// Number of slots `L`.
+    pub const fn count(self) -> usize {
+        self.count
+    }
+
+    /// Iterator over all slot indices `1..=L`.
+    pub fn indices(self) -> impl ExactSizeIterator<Item = SlotIndex> {
+        (1..self.count + 1).map(SlotIndex)
+    }
+
+    /// Prefix capacity `l · C_l` of slot `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` exceeds the layout's slot count.
+    pub fn prefix_capacity(self, l: SlotIndex) -> Compute {
+        assert!(l.get() <= self.count, "slot {l} out of range (L = {})", self.count);
+        l.prefix_capacity(self.slot_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_partition() {
+        // 3000-3600 MHz capacity, 1000 MHz slots ⇒ L = 3.
+        let layout = SlotLayout::partition(Compute::mhz(3400.0), Compute::mhz(1000.0));
+        assert_eq!(layout.count(), 3);
+        assert_eq!(layout.slot_size().as_mhz(), 1000.0);
+        let slots: Vec<_> = layout.indices().collect();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[0].get(), 1);
+        assert_eq!(layout.prefix_capacity(slots[2]).as_mhz(), 3000.0);
+    }
+
+    #[test]
+    fn tiny_station_has_no_slots() {
+        let layout = SlotLayout::partition(Compute::mhz(900.0), Compute::mhz(1000.0));
+        assert_eq!(layout.count(), 0);
+        assert_eq!(layout.indices().len(), 0);
+    }
+
+    #[test]
+    fn exact_multiple() {
+        let layout = SlotLayout::partition(Compute::mhz(3000.0), Compute::mhz(1000.0));
+        assert_eq!(layout.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_slot_index_rejected() {
+        let _ = SlotIndex::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_slot_size_rejected() {
+        let _ = SlotLayout::partition(Compute::mhz(3000.0), Compute::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prefix_capacity_checks_range() {
+        let layout = SlotLayout::partition(Compute::mhz(2000.0), Compute::mhz(1000.0));
+        let _ = layout.prefix_capacity(SlotIndex::new(3));
+    }
+}

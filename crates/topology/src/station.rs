@@ -1,0 +1,133 @@
+//! Base stations: identity, compute capacity, and per-unit processing delay.
+
+use crate::units::{Compute, Latency};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a base station within a [`crate::Topology`].
+///
+/// Stations are densely indexed `0..station_count`, so the id doubles as a
+/// vector index throughout the workspace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct StationId(pub usize);
+
+impl StationId {
+    /// The underlying dense index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for StationId {
+    fn from(value: usize) -> Self {
+        StationId(value)
+    }
+}
+
+impl fmt::Display for StationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bs{}", self.0)
+    }
+}
+
+/// A 5G base station `bs_i` of the MEC network.
+///
+/// Each station owns a compute capacity `C(bs_i)` (paper default drawn from
+/// [3000, 3600] MHz) and a processing speed expressed as the latency of
+/// processing one `ρ_unit` of video data (the paper's `d^pro` varies per
+/// station; we model it as a per-station base delay that task complexity
+/// multiplies).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaseStation {
+    id: StationId,
+    capacity: Compute,
+    unit_proc_delay: Latency,
+}
+
+impl BaseStation {
+    /// Creates a station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `unit_proc_delay` is negative: a station with
+    /// negative capacity has no physical meaning and would silently corrupt
+    /// the LP right-hand sides downstream.
+    pub fn new(id: StationId, capacity: Compute, unit_proc_delay: Latency) -> Self {
+        assert!(
+            capacity.as_mhz() >= 0.0,
+            "station capacity must be non-negative"
+        );
+        assert!(
+            unit_proc_delay.as_ms() >= 0.0,
+            "unit processing delay must be non-negative"
+        );
+        Self {
+            id,
+            capacity,
+            unit_proc_delay,
+        }
+    }
+
+    /// The station's identifier.
+    pub const fn id(&self) -> StationId {
+        self.id
+    }
+
+    /// Compute capacity `C(bs_i)`.
+    pub const fn capacity(&self) -> Compute {
+        self.capacity
+    }
+
+    /// Latency of processing one `ρ_unit` of data at this station
+    /// (a task `M_{j,k}`'s delay is this base delay scaled by the task's
+    /// complexity factor).
+    pub const fn unit_proc_delay(&self) -> Latency {
+        self.unit_proc_delay
+    }
+}
+
+impl fmt::Display for BaseStation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (capacity {}, unit proc {})",
+            self.id, self.capacity, self.unit_proc_delay
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let bs = BaseStation::new(3.into(), Compute::mhz(3200.0), Latency::ms(1.5));
+        assert_eq!(bs.id(), StationId(3));
+        assert_eq!(bs.capacity().as_mhz(), 3200.0);
+        assert_eq!(bs.unit_proc_delay().as_ms(), 1.5);
+        assert_eq!(bs.id().index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_rejected() {
+        let _ = BaseStation::new(0.into(), Compute::mhz(-1.0), Latency::ms(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_rejected() {
+        let _ = BaseStation::new(0.into(), Compute::mhz(1.0), Latency::ms(-1.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        let bs = BaseStation::new(1.into(), Compute::mhz(3000.0), Latency::ms(2.0));
+        let s = format!("{bs}");
+        assert!(s.contains("bs1"));
+        assert!(s.contains("3000.000 MHz"));
+    }
+}

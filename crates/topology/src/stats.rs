@@ -1,0 +1,139 @@
+//! Descriptive statistics of a backhaul topology — used by reports and
+//! sanity checks on generated networks.
+
+use crate::graph::Topology;
+use crate::units::Latency;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of one topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyStats {
+    /// Number of stations.
+    pub stations: usize,
+    /// Number of links.
+    pub edges: usize,
+    /// Minimum node degree.
+    pub min_degree: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Mean node degree.
+    pub avg_degree: f64,
+    /// Longest shortest-path delay between any pair (the delay diameter);
+    /// `None` when the graph is disconnected or has < 2 stations.
+    pub diameter: Option<Latency>,
+    /// Mean shortest-path delay over distinct pairs; `None` as above.
+    pub avg_path_delay: Option<Latency>,
+}
+
+impl TopologyStats {
+    /// Computes statistics (runs all-pairs shortest paths internally:
+    /// O(|BS| · |E| log |BS|)).
+    pub fn compute(topo: &Topology) -> Self {
+        let n = topo.station_count();
+        let degrees: Vec<usize> = topo
+            .station_ids()
+            .map(|s| topo.neighbors(s).len())
+            .collect();
+        let (mut diameter, mut sum, mut pairs) = (0.0f64, 0.0f64, 0u64);
+        let mut connected = n >= 2;
+        if n >= 2 {
+            let paths = topo.shortest_paths();
+            'outer: for a in topo.station_ids() {
+                for b in topo.station_ids() {
+                    if a.index() < b.index() {
+                        match paths.delay(a, b) {
+                            Some(d) => {
+                                diameter = diameter.max(d.as_ms());
+                                sum += d.as_ms();
+                                pairs += 1;
+                            }
+                            None => {
+                                connected = false;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            stations: n,
+            edges: topo.edge_count(),
+            min_degree: degrees.iter().copied().min().unwrap_or(0),
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                degrees.iter().sum::<usize>() as f64 / n as f64
+            },
+            diameter: connected.then(|| Latency::ms(diameter)),
+            avg_path_delay: (connected && pairs > 0)
+                .then(|| Latency::ms(sum / pairs as f64)),
+        }
+    }
+}
+
+impl fmt::Display for TopologyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} stations, {} edges, degree {}..{} (avg {:.1})",
+            self.stations, self.edges, self.min_degree, self.max_degree, self.avg_degree
+        )?;
+        if let (Some(d), Some(avg)) = (self.diameter, self.avg_path_delay) {
+            write!(f, ", diameter {d}, avg path {avg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Shape, TopologyBuilder};
+
+    #[test]
+    fn line_stats() {
+        let topo = TopologyBuilder::new(4)
+            .shape(Shape::Line)
+            .trans_delay_range(1.0, 1.0)
+            .build();
+        let s = TopologyStats::compute(&topo);
+        assert_eq!(s.stations, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 1.5).abs() < 1e-12);
+        assert_eq!(s.diameter.unwrap().as_ms(), 3.0);
+        // Pairs: (0,1)=1 (0,2)=2 (0,3)=3 (1,2)=1 (1,3)=2 (2,3)=1 → avg 10/6.
+        assert!((s.avg_path_delay.unwrap().as_ms() - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waxman_stats_connected() {
+        let topo = TopologyBuilder::new(20).seed(5).build();
+        let s = TopologyStats::compute(&topo);
+        assert!(s.diameter.is_some());
+        assert!(s.avg_path_delay.unwrap().as_ms() <= s.diameter.unwrap().as_ms());
+        assert!(s.min_degree >= 1, "generator stitches components");
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty = TopologyStats::compute(&TopologyBuilder::new(0).build());
+        assert_eq!(empty.stations, 0);
+        assert_eq!(empty.diameter, None);
+        let single = TopologyStats::compute(&TopologyBuilder::new(1).build());
+        assert_eq!(single.diameter, None);
+        assert_eq!(single.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn display_includes_counts() {
+        let topo = TopologyBuilder::new(3).shape(Shape::Ring).build();
+        let s = format!("{}", TopologyStats::compute(&topo));
+        assert!(s.contains("3 stations"));
+        assert!(s.contains("diameter"));
+    }
+}

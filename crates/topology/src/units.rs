@@ -1,0 +1,247 @@
+//! Physical-quantity newtypes shared across the workspace.
+//!
+//! The paper mixes three unit families that are easy to confuse: compute
+//! capacity (MHz), video data rates (MB/s), and latencies (milliseconds).
+//! Each gets a `f64` newtype so the type system keeps them apart
+//! (C-NEWTYPE), with arithmetic restricted to the operations that are
+//! physically meaningful.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal, $as_fn:ident, $new_fn:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw value in its canonical unit.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is NaN (a NaN quantity would poison every
+            /// downstream comparison silently).
+            pub fn $new_fn(value: f64) -> Self {
+                assert!(!value.is_nan(), concat!(stringify!($name), " must not be NaN"));
+                Self(value)
+            }
+
+            /// Returns the raw value in the canonical unit.
+            pub const fn $as_fn(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the smaller of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps a quantity to be non-negative.
+            #[must_use]
+            pub fn clamp_non_negative(self) -> Self {
+                Self(self.0.max(0.0))
+            }
+
+            /// Whether this quantity is strictly positive.
+            pub fn is_positive(self) -> bool {
+                self.0 > 0.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, Add::add)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Computing capacity or consumption in MHz (the paper's resource unit:
+    /// station capacities are 3000-3600 MHz, a resource slot is 1000 MHz).
+    Compute,
+    "MHz",
+    as_mhz,
+    mhz
+);
+
+quantity!(
+    /// Video stream data rate in megabytes per second (the paper draws
+    /// request rates from [30, 50] MB/s).
+    DataRate,
+    "MB/s",
+    as_mbps,
+    mbps
+);
+
+quantity!(
+    /// Latency in milliseconds (the paper's response bound is 200 ms).
+    Latency,
+    "ms",
+    as_ms,
+    ms
+);
+
+impl DataRate {
+    /// Compute demand of sustaining this rate given `c_unit` MHz per MB/s
+    /// (the paper's `C_unit`, default 20 MHz per MB/s).
+    #[must_use]
+    pub fn demand(self, c_unit: Compute) -> Compute {
+        Compute::mhz(self.0 * c_unit.as_mhz())
+    }
+}
+
+impl Compute {
+    /// The data rate this much compute can sustain given `c_unit` MHz per
+    /// MB/s; the inverse of [`DataRate::demand`].
+    #[must_use]
+    pub fn sustainable_rate(self, c_unit: Compute) -> DataRate {
+        DataRate::mbps(self.0 / c_unit.as_mhz())
+    }
+}
+
+/// Total order for `f64`-backed quantities that are known not to be NaN.
+///
+/// The constructors reject NaN, so comparing via `partial_cmp` and unwrapping
+/// is safe; this helper keeps that reasoning in one place.
+pub fn total_cmp<T: PartialOrd>(a: &T, b: &T) -> std::cmp::Ordering {
+    a.partial_cmp(b)
+        .expect("quantities are never NaN by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Compute::mhz(1000.0);
+        let b = Compute::mhz(500.0);
+        assert_eq!((a + b).as_mhz(), 1500.0);
+        assert_eq!((a - b).as_mhz(), 500.0);
+        assert_eq!((a * 2.0).as_mhz(), 2000.0);
+        assert_eq!((a / 2.0).as_mhz(), 500.0);
+        assert_eq!(a / b, 2.0);
+    }
+
+    #[test]
+    fn rate_to_demand_and_back() {
+        let c_unit = Compute::mhz(20.0);
+        let rate = DataRate::mbps(40.0);
+        let demand = rate.demand(c_unit);
+        assert_eq!(demand.as_mhz(), 800.0);
+        assert_eq!(demand.sustainable_rate(c_unit).as_mbps(), 40.0);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Latency::ms(10.0);
+        let b = Latency::ms(-3.0);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.clamp_non_negative(), Latency::ZERO);
+        assert!(a.is_positive());
+        assert!(!b.is_positive());
+    }
+
+    #[test]
+    fn sum_of_latencies() {
+        let total: Latency = [1.0, 2.0, 3.5].iter().map(|&v| Latency::ms(v)).sum();
+        assert!((total.as_ms() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_rejected() {
+        let _ = Compute::mhz(f64::NAN);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Compute::mhz(1.0)), "1.000 MHz");
+        assert_eq!(format!("{}", DataRate::mbps(2.0)), "2.000 MB/s");
+        assert_eq!(format!("{}", Latency::ms(3.0)), "3.000 ms");
+    }
+
+    #[test]
+    fn total_cmp_orders() {
+        use std::cmp::Ordering;
+        assert_eq!(
+            total_cmp(&Compute::mhz(1.0), &Compute::mhz(2.0)),
+            Ordering::Less
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the topology substrate.
+
+use mec_topology::generator::{Shape, TopologyBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    /// Waxman topologies are always connected for any seed and size.
+    #[test]
+    fn waxman_always_connected(seed in 0u64..5000, n in 1usize..40) {
+        let topo = TopologyBuilder::new(n).seed(seed).build();
+        prop_assert!(topo.is_connected());
+        prop_assert_eq!(topo.station_count(), n);
+    }
+
+    /// Shortest-path delays are symmetric (the graph is undirected).
+    #[test]
+    fn shortest_paths_symmetric(seed in 0u64..500) {
+        let topo = TopologyBuilder::new(12).seed(seed).build();
+        let paths = topo.shortest_paths();
+        for a in topo.station_ids() {
+            for b in topo.station_ids() {
+                let ab = paths.delay(a, b).expect("connected").as_ms();
+                let ba = paths.delay(b, a).expect("connected").as_ms();
+                prop_assert!((ab - ba).abs() < 1e-9, "asymmetric: {} vs {}", ab, ba);
+            }
+        }
+    }
+
+    /// Shortest-path delays satisfy the triangle inequality.
+    #[test]
+    fn triangle_inequality(seed in 0u64..300) {
+        let topo = TopologyBuilder::new(10).seed(seed).build();
+        let paths = topo.shortest_paths();
+        for a in topo.station_ids() {
+            for b in topo.station_ids() {
+                for c in topo.station_ids() {
+                    let ab = paths.delay(a, b).unwrap().as_ms();
+                    let bc = paths.delay(b, c).unwrap().as_ms();
+                    let ac = paths.delay(a, c).unwrap().as_ms();
+                    prop_assert!(ac <= ab + bc + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// A reconstructed path's edge delays sum to the reported distance, and
+    /// the path actually connects the endpoints.
+    #[test]
+    fn path_delay_consistent(seed in 0u64..500, n in 2usize..15) {
+        let topo = TopologyBuilder::new(n).seed(seed).build();
+        let paths = topo.shortest_paths();
+        for a in topo.station_ids() {
+            for b in topo.station_ids() {
+                let edges = paths.path(a, b, &topo).expect("connected");
+                let total: f64 = edges
+                    .iter()
+                    .map(|&e| topo.edge(e).unit_trans_delay().as_ms())
+                    .sum();
+                let reported = paths.delay(a, b).unwrap().as_ms();
+                prop_assert!((total - reported).abs() < 1e-9);
+                // Walk the path to confirm it is a chain from a to b.
+                let mut cursor = a;
+                for &e in &edges {
+                    cursor = topo.edge(e).other(cursor).expect("chain is contiguous");
+                }
+                prop_assert_eq!(cursor, b);
+            }
+        }
+    }
+
+    /// Deterministic shapes have the expected edge counts.
+    #[test]
+    fn shape_edge_counts(n in 3usize..30) {
+        let ring = TopologyBuilder::new(n).shape(Shape::Ring).build();
+        prop_assert_eq!(ring.edge_count(), n);
+        let star = TopologyBuilder::new(n).shape(Shape::Star).build();
+        prop_assert_eq!(star.edge_count(), n - 1);
+        let line = TopologyBuilder::new(n).shape(Shape::Line).build();
+        prop_assert_eq!(line.edge_count(), n - 1);
+        prop_assert!(ring.is_connected() && star.is_connected() && line.is_connected());
+    }
+}

@@ -1,0 +1,117 @@
+//! Arrival processes for the dynamic (online) experiments (§V).
+//!
+//! The offline problems take every request as already waiting (all arrivals
+//! at slot 0); the online problem streams them in over the horizon.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How request arrival slots are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Every request arrives at slot 0 (the offline setting of §IV).
+    AllAtOnce,
+    /// Arrival slots drawn uniformly from `[0, horizon)`.
+    UniformOver {
+        /// Number of time slots in the monitoring period `T`.
+        horizon: u64,
+    },
+    /// Poisson process with `rate` expected arrivals per slot; requests
+    /// beyond the horizon wrap into the final slot so the count is exact.
+    Poisson {
+        /// Expected arrivals per slot `λ`.
+        rate: f64,
+        /// Number of time slots in the monitoring period `T`.
+        horizon: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates `count` arrival slots, sorted non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a horizon of 0 or a non-positive Poisson rate is supplied
+    /// with `count > 0`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<u64> {
+        let mut slots = match *self {
+            ArrivalProcess::AllAtOnce => vec![0; count],
+            ArrivalProcess::UniformOver { horizon } => {
+                assert!(horizon > 0 || count == 0, "horizon must be positive");
+                (0..count).map(|_| rng.gen_range(0..horizon)).collect()
+            }
+            ArrivalProcess::Poisson { rate, horizon } => {
+                assert!(horizon > 0 || count == 0, "horizon must be positive");
+                assert!(rate > 0.0 || count == 0, "poisson rate must be positive");
+                // Exponential inter-arrival gaps with mean 1/rate slots.
+                let mut t = 0.0f64;
+                (0..count)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        t += -u.ln() / rate;
+                        (t.floor() as u64).min(horizon - 1)
+                    })
+                    .collect()
+            }
+        };
+        slots.sort_unstable();
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn all_at_once_is_zeroes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let slots = ArrivalProcess::AllAtOnce.generate(&mut rng, 5);
+        assert_eq!(slots, vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn uniform_within_horizon_and_sorted() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let slots = ArrivalProcess::UniformOver { horizon: 100 }.generate(&mut rng, 50);
+        assert_eq!(slots.len(), 50);
+        assert!(slots.windows(2).all(|w| w[0] <= w[1]));
+        assert!(slots.iter().all(|&s| s < 100));
+    }
+
+    #[test]
+    fn poisson_mean_gap_close_to_inverse_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let slots = ArrivalProcess::Poisson {
+            rate: 0.5,
+            horizon: 10_000,
+        }
+        .generate(&mut rng, 1000);
+        // Mean arrival time of the k-th of n should be near k/rate; check the
+        // last arrival is near 1000 / 0.5 = 2000 slots.
+        let last = *slots.last().unwrap() as f64;
+        assert!((1500.0..2500.0).contains(&last), "last = {last}");
+        assert!(slots.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn poisson_clamps_to_horizon() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let slots = ArrivalProcess::Poisson {
+            rate: 0.001,
+            horizon: 10,
+        }
+        .generate(&mut rng, 100);
+        assert!(slots.iter().all(|&s| s < 10));
+    }
+
+    #[test]
+    fn zero_count_is_empty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert!(ArrivalProcess::UniformOver { horizon: 0 }
+            .generate(&mut rng, 0)
+            .is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Uncertain demands: finite probability distributions over
+//! `(data rate, reward)` pairs (§III-B and §III-C of the paper).
+//!
+//! The actual data rate of a request is unknown until it is scheduled; only
+//! a distribution over the finite rate set `DR` — with, per outcome, the
+//! reward `RD_{j,ρ}` the provider earns — is known from historical traces.
+
+use mec_topology::units::{total_cmp, DataRate};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One `(π_{j,ρ}, ρ, RD_{j,ρ})` triple: with probability `prob` the request
+/// realizes data rate `rate` and earns `reward` dollars if fully served.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandOutcome {
+    /// Realized data rate `ρ`.
+    pub rate: DataRate,
+    /// Probability `π_{j,ρ}` of this outcome.
+    pub prob: f64,
+    /// Reward `RD_{j,ρ}` (dollars) for serving the request at this rate.
+    pub reward: f64,
+}
+
+/// Errors validating a [`DemandDistribution`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DemandError {
+    /// The outcome list was empty.
+    Empty,
+    /// Probabilities did not sum to 1 (within 1e-6).
+    BadProbabilitySum(f64),
+    /// An outcome had a negative probability, rate, or reward.
+    NegativeValue,
+}
+
+impl fmt::Display for DemandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemandError::Empty => write!(f, "demand distribution has no outcomes"),
+            DemandError::BadProbabilitySum(s) => {
+                write!(f, "outcome probabilities sum to {s}, expected 1")
+            }
+            DemandError::NegativeValue => {
+                write!(f, "probabilities, rates, and rewards must be non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DemandError {}
+
+/// A request's demand distribution: the finite set `DR` of possible rates,
+/// each with its probability and reward.
+///
+/// Outcomes are stored sorted by increasing rate, which makes the truncated
+/// expectations and the "does it fit" reward sums (Eq. 8) simple prefix
+/// scans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandDistribution {
+    outcomes: Vec<DemandOutcome>,
+}
+
+impl DemandDistribution {
+    /// Builds a distribution from outcomes, sorting them by rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DemandError`] if the list is empty, any value is negative,
+    /// or the probabilities do not sum to 1 within `1e-6`.
+    pub fn new(mut outcomes: Vec<DemandOutcome>) -> Result<Self, DemandError> {
+        if outcomes.is_empty() {
+            return Err(DemandError::Empty);
+        }
+        if outcomes
+            .iter()
+            .any(|o| o.prob < 0.0 || o.reward < 0.0 || o.rate.as_mbps() < 0.0)
+        {
+            return Err(DemandError::NegativeValue);
+        }
+        let total: f64 = outcomes.iter().map(|o| o.prob).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(DemandError::BadProbabilitySum(total));
+        }
+        outcomes.sort_by(|a, b| total_cmp(&a.rate, &b.rate));
+        Ok(Self { outcomes })
+    }
+
+    /// A degenerate (deterministic) demand: one rate with probability 1.
+    pub fn deterministic(rate: DataRate, reward: f64) -> Self {
+        Self {
+            outcomes: vec![DemandOutcome {
+                rate,
+                prob: 1.0,
+                reward,
+            }],
+        }
+    }
+
+    /// The outcomes, sorted by increasing rate.
+    pub fn outcomes(&self) -> &[DemandOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of distinct rates `|DR|`.
+    pub fn level_count(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Expected data rate `E(ρ_j)`.
+    pub fn expected_rate(&self) -> DataRate {
+        DataRate::mbps(
+            self.outcomes
+                .iter()
+                .map(|o| o.prob * o.rate.as_mbps())
+                .sum(),
+        )
+    }
+
+    /// Expected reward `Σ_ρ π_{j,ρ} · RD_{j,ρ}` over all outcomes.
+    pub fn expected_reward(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.prob * o.reward).sum()
+    }
+
+    /// Truncated expectation `E[min(ρ_j, cap)]` — the workhorse of
+    /// Constraint (10) and Lemma 2.
+    pub fn expected_truncated_rate(&self, cap: DataRate) -> DataRate {
+        DataRate::mbps(
+            self.outcomes
+                .iter()
+                .map(|o| o.prob * o.rate.as_mbps().min(cap.as_mbps()))
+                .sum(),
+        )
+    }
+
+    /// Expected reward counting only outcomes whose rate fits within
+    /// `available` (Eq. 8: `ER_{jil}` with `available` the rate the residual
+    /// slots can sustain). Outcomes that do not fit earn nothing.
+    pub fn expected_reward_within(&self, available: DataRate) -> f64 {
+        self.outcomes
+            .iter()
+            .take_while(|o| o.rate.as_mbps() <= available.as_mbps() + 1e-12)
+            .map(|o| o.prob * o.reward)
+            .sum()
+    }
+
+    /// The smallest rate `r` with `P(ρ ≤ r) ≥ q` — what a planner that
+    /// provisions for the `q`-quantile of demand reserves.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q <= 1`.
+    pub fn rate_quantile(&self, q: f64) -> DataRate {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        let mut acc = 0.0;
+        for o in &self.outcomes {
+            acc += o.prob;
+            if acc + 1e-12 >= q {
+                return o.rate;
+            }
+        }
+        self.max_rate()
+    }
+
+    /// The largest possible rate (the distribution is non-empty).
+    pub fn max_rate(&self) -> DataRate {
+        self.outcomes
+            .last()
+            .expect("distribution is never empty")
+            .rate
+    }
+
+    /// The smallest possible rate.
+    pub fn min_rate(&self) -> DataRate {
+        self.outcomes
+            .first()
+            .expect("distribution is never empty")
+            .rate
+    }
+
+    /// Samples a realized `(rate, reward)` outcome — the information the
+    /// system only learns *after* scheduling the request (§IV-A).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DemandOutcome {
+        let mut u: f64 = rng.gen();
+        for o in &self.outcomes {
+            if u < o.prob {
+                return *o;
+            }
+            u -= o.prob;
+        }
+        // Floating-point slack: fall back to the last outcome.
+        *self
+            .outcomes
+            .last()
+            .expect("distribution is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn three_level() -> DemandDistribution {
+        DemandDistribution::new(vec![
+            DemandOutcome {
+                rate: DataRate::mbps(50.0),
+                prob: 0.2,
+                reward: 600.0,
+            },
+            DemandOutcome {
+                rate: DataRate::mbps(30.0),
+                prob: 0.5,
+                reward: 400.0,
+            },
+            DemandOutcome {
+                rate: DataRate::mbps(40.0),
+                prob: 0.3,
+                reward: 500.0,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sorted_by_rate() {
+        let d = three_level();
+        let rates: Vec<f64> = d.outcomes().iter().map(|o| o.rate.as_mbps()).collect();
+        assert_eq!(rates, vec![30.0, 40.0, 50.0]);
+        assert_eq!(d.min_rate().as_mbps(), 30.0);
+        assert_eq!(d.max_rate().as_mbps(), 50.0);
+        assert_eq!(d.level_count(), 3);
+    }
+
+    #[test]
+    fn expectations() {
+        let d = three_level();
+        assert!((d.expected_rate().as_mbps() - (0.5 * 30.0 + 0.3 * 40.0 + 0.2 * 50.0)).abs() < 1e-9);
+        assert!((d.expected_reward() - (0.5 * 400.0 + 0.3 * 500.0 + 0.2 * 600.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_expectation() {
+        let d = three_level();
+        // cap 35: min(30,35)=30, min(40,35)=35, min(50,35)=35
+        let expect = 0.5 * 30.0 + 0.3 * 35.0 + 0.2 * 35.0;
+        assert!((d.expected_truncated_rate(DataRate::mbps(35.0)).as_mbps() - expect).abs() < 1e-9);
+        // Huge cap: equals the plain expectation.
+        assert!(
+            (d.expected_truncated_rate(DataRate::mbps(1e9)).as_mbps()
+                - d.expected_rate().as_mbps())
+            .abs()
+                < 1e-9
+        );
+        // Zero cap: zero.
+        assert_eq!(d.expected_truncated_rate(DataRate::ZERO).as_mbps(), 0.0);
+    }
+
+    #[test]
+    fn reward_within_prefix() {
+        let d = three_level();
+        assert_eq!(d.expected_reward_within(DataRate::mbps(29.0)), 0.0);
+        assert!((d.expected_reward_within(DataRate::mbps(30.0)) - 200.0).abs() < 1e-9);
+        assert!((d.expected_reward_within(DataRate::mbps(45.0)) - 350.0).abs() < 1e-9);
+        assert!(
+            (d.expected_reward_within(DataRate::mbps(50.0)) - d.expected_reward()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let d = three_level();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let o = d.sample(&mut rng);
+            let idx = match o.rate.as_mbps() as u32 {
+                30 => 0,
+                40 => 1,
+                50 => 2,
+                _ => panic!("unexpected rate"),
+            };
+            counts[idx] += 1;
+        }
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freq[0] - 0.5).abs() < 0.01);
+        assert!((freq[1] - 0.3).abs() < 0.01);
+        assert!((freq[2] - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantiles() {
+        let d = three_level();
+        // CDF: 30 → 0.5, 40 → 0.8, 50 → 1.0.
+        assert_eq!(d.rate_quantile(0.3).as_mbps(), 30.0);
+        assert_eq!(d.rate_quantile(0.5).as_mbps(), 30.0);
+        assert_eq!(d.rate_quantile(0.6).as_mbps(), 40.0);
+        assert_eq!(d.rate_quantile(0.9).as_mbps(), 50.0);
+        assert_eq!(d.rate_quantile(1.0).as_mbps(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn bad_quantile_rejected() {
+        let _ = three_level().rate_quantile(0.0);
+    }
+
+    #[test]
+    fn deterministic_demand() {
+        let d = DemandDistribution::deterministic(DataRate::mbps(42.0), 7.0);
+        assert_eq!(d.expected_rate().as_mbps(), 42.0);
+        assert_eq!(d.expected_reward(), 7.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(d.sample(&mut rng).rate.as_mbps(), 42.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            DemandDistribution::new(vec![]).unwrap_err(),
+            DemandError::Empty
+        );
+        let bad_sum = DemandDistribution::new(vec![DemandOutcome {
+            rate: DataRate::mbps(1.0),
+            prob: 0.5,
+            reward: 1.0,
+        }]);
+        assert!(matches!(bad_sum, Err(DemandError::BadProbabilitySum(_))));
+        let neg = DemandDistribution::new(vec![DemandOutcome {
+            rate: DataRate::mbps(1.0),
+            prob: 1.0,
+            reward: -1.0,
+        }]);
+        assert_eq!(neg.unwrap_err(), DemandError::NegativeValue);
+    }
+}

@@ -1,0 +1,334 @@
+//! Workload generation with the paper's §VI-A defaults.
+
+use crate::arrivals::ArrivalProcess;
+use crate::demand::{DemandDistribution, DemandOutcome};
+use crate::pricing::PricingModel;
+use crate::request::{Request, RequestId};
+use crate::task::{Task, TaskKind};
+use mec_topology::units::{DataRate, Latency};
+use mec_topology::Topology;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builder for random AR workloads.
+///
+/// Defaults follow §VI-A: 3-5 tasks per request, rates drawn from a finite
+/// set spanning [30, 50] MB/s with geometrically decaying probabilities,
+/// rewards of 12-15 $ per MB/s, a 200 ms latency requirement, and all
+/// requests arriving at once (the offline setting).
+///
+/// # Example
+///
+/// ```
+/// use mec_topology::TopologyBuilder;
+/// use mec_workload::{ArrivalProcess, WorkloadBuilder};
+///
+/// let topo = TopologyBuilder::new(10).seed(3).build();
+/// let requests = WorkloadBuilder::new(&topo)
+///     .seed(3)
+///     .count(50)
+///     .rate_range(30.0, 50.0)
+///     .arrivals(ArrivalProcess::UniformOver { horizon: 200 })
+///     .build();
+/// assert_eq!(requests.len(), 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder<'a> {
+    topo: &'a Topology,
+    seed: u64,
+    count: usize,
+    rate_range: (f64, f64),
+    levels: usize,
+    decay: f64,
+    tasks_range: (usize, usize),
+    deadline: Latency,
+    duration_range: (u64, u64),
+    arrivals: ArrivalProcess,
+    pricing: PricingModel,
+}
+
+impl<'a> WorkloadBuilder<'a> {
+    /// Starts a builder over `topo` with the paper's defaults.
+    pub fn new(topo: &'a Topology) -> Self {
+        Self {
+            topo,
+            seed: 0,
+            count: 150,
+            rate_range: (30.0, 50.0),
+            levels: 5,
+            decay: 0.75,
+            tasks_range: (3, 5),
+            deadline: Latency::ms(200.0),
+            duration_range: (20, 60),
+            arrivals: ArrivalProcess::AllAtOnce,
+            pricing: PricingModel::default(),
+        }
+    }
+
+    /// Seeds the deterministic PRNG.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of requests `|R|`.
+    #[must_use]
+    pub fn count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// The span of the finite rate set `DR` in MB/s (Fig 6 sweeps the max).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo <= hi`.
+    #[must_use]
+    pub fn rate_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(0.0 < lo && lo <= hi, "rate range must be 0 < lo <= hi");
+        self.rate_range = (lo, hi);
+        self
+    }
+
+    /// Number of discrete rate levels `|DR|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    #[must_use]
+    pub fn levels(mut self, levels: usize) -> Self {
+        assert!(levels >= 1, "need at least one rate level");
+        self.levels = levels;
+        self
+    }
+
+    /// Geometric decay of level probabilities (1.0 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay <= 0`.
+    #[must_use]
+    pub fn decay(mut self, decay: f64) -> Self {
+        assert!(decay > 0.0, "decay must be positive");
+        self.decay = decay;
+        self
+    }
+
+    /// Tasks per request drawn uniformly from `[lo, hi]` (paper: 3-5).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= lo <= hi`.
+    #[must_use]
+    pub fn tasks_range(mut self, lo: usize, hi: usize) -> Self {
+        assert!(1 <= lo && lo <= hi, "tasks range must be 1 <= lo <= hi");
+        self.tasks_range = (lo, hi);
+        self
+    }
+
+    /// Latency requirement `D̂_j` applied to every request.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Latency) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Stream durations (in slots) drawn uniformly from `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= lo <= hi`.
+    #[must_use]
+    pub fn duration_range(mut self, lo: u64, hi: u64) -> Self {
+        assert!(1 <= lo && lo <= hi, "duration range must be 1 <= lo <= hi");
+        self.duration_range = (lo, hi);
+        self
+    }
+
+    /// Arrival process (offline = `AllAtOnce`, online = uniform/Poisson).
+    #[must_use]
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Reward pricing model.
+    #[must_use]
+    pub fn pricing(mut self, pricing: PricingModel) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    fn pipeline<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Task> {
+        let k = if self.tasks_range.0 == self.tasks_range.1 {
+            self.tasks_range.0
+        } else {
+            rng.gen_range(self.tasks_range.0..=self.tasks_range.1)
+        };
+        if k == 4 {
+            // The trace's reference pipeline.
+            Task::reference_pipeline()
+        } else {
+            (0..k)
+                .map(|i| {
+                    let kind = match i {
+                        0 => TaskKind::Render,
+                        1 => TaskKind::Track,
+                        2 => TaskKind::Recognize,
+                        _ => TaskKind::Generic,
+                    };
+                    let size = rng.gen_range(64.0..=100.0);
+                    let complexity = rng.gen_range(0.8..=2.0);
+                    Task::new(kind, size, complexity)
+                })
+                .collect()
+        }
+    }
+
+    fn demand<R: Rng + ?Sized>(&self, rng: &mut R) -> DemandDistribution {
+        let (lo, hi) = self.rate_range;
+        let k = self.levels;
+        let rates: Vec<DataRate> = if k == 1 {
+            vec![DataRate::mbps((lo + hi) / 2.0)]
+        } else {
+            let step = (hi - lo) / (k - 1) as f64;
+            (0..k).map(|i| DataRate::mbps(lo + step * i as f64)).collect()
+        };
+        let weights: Vec<f64> = (0..k).map(|i| self.decay.powi(i as i32)).collect();
+        let total: f64 = weights.iter().sum();
+        let prices = self.pricing.request_prices(rng, k);
+        let outcomes = rates
+            .iter()
+            .zip(&weights)
+            .zip(&prices)
+            .map(|((&rate, &w), &price)| DemandOutcome {
+                rate,
+                prob: w / total,
+                reward: price * rate.as_mbps(),
+            })
+            .collect();
+        DemandDistribution::new(outcomes).expect("generated outcomes are valid")
+    }
+
+    /// Generates the workload (deterministic in the seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no stations and `count > 0` (requests need
+    /// a home station).
+    pub fn build(&self) -> Vec<Request> {
+        assert!(
+            self.topo.station_count() > 0 || self.count == 0,
+            "requests need at least one station to attach to"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let arrivals = self.arrivals.generate(&mut rng, self.count);
+        (0..self.count)
+            .map(|j| {
+                let home = rng.gen_range(0..self.topo.station_count());
+                let duration = if self.duration_range.0 == self.duration_range.1 {
+                    self.duration_range.0
+                } else {
+                    rng.gen_range(self.duration_range.0..=self.duration_range.1)
+                };
+                Request::new(
+                    RequestId(j),
+                    home.into(),
+                    arrivals[j],
+                    duration,
+                    self.pipeline(&mut rng),
+                    self.demand(&mut rng),
+                    self.deadline,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::TopologyBuilder;
+
+    fn topo() -> Topology {
+        TopologyBuilder::new(8).seed(1).build()
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let t = topo();
+        let a = WorkloadBuilder::new(&t).seed(5).count(30).build();
+        let b = WorkloadBuilder::new(&t).seed(5).count(30).build();
+        assert_eq!(a, b);
+        let c = WorkloadBuilder::new(&t).seed(6).count(30).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let t = topo();
+        let reqs = WorkloadBuilder::new(&t).count(100).build();
+        assert_eq!(reqs.len(), 100);
+        for r in &reqs {
+            assert!((3..=5).contains(&r.task_count()));
+            assert_eq!(r.deadline().as_ms(), 200.0);
+            assert_eq!(r.arrival_slot(), 0);
+            assert!(r.home().index() < t.station_count());
+            for o in r.demand().outcomes() {
+                assert!((30.0..=50.0).contains(&o.rate.as_mbps()));
+                let unit = o.reward / o.rate.as_mbps();
+                assert!((12.0..=15.0).contains(&unit));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_sweep_respected() {
+        let t = topo();
+        let reqs = WorkloadBuilder::new(&t)
+            .count(40)
+            .rate_range(15.0, 35.0)
+            .build();
+        for r in &reqs {
+            assert!((r.demand().min_rate().as_mbps() - 15.0).abs() < 1e-9);
+            assert!((r.demand().max_rate().as_mbps() - 35.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn online_arrivals_sorted_within_horizon() {
+        let t = topo();
+        let reqs = WorkloadBuilder::new(&t)
+            .count(60)
+            .arrivals(ArrivalProcess::UniformOver { horizon: 100 })
+            .build();
+        assert!(reqs.windows(2).all(|w| w[0].arrival_slot() <= w[1].arrival_slot()));
+        assert!(reqs.iter().all(|r| r.arrival_slot() < 100));
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let t = topo();
+        let reqs = WorkloadBuilder::new(&t).count(10).build();
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn empty_workload() {
+        let t = topo();
+        assert!(WorkloadBuilder::new(&t).count(0).build().is_empty());
+    }
+
+    #[test]
+    fn fixed_task_count_four_uses_reference_pipeline() {
+        let t = topo();
+        let reqs = WorkloadBuilder::new(&t).count(5).tasks_range(4, 4).build();
+        for r in &reqs {
+            assert_eq!(r.tasks(), Task::reference_pipeline().as_slice());
+        }
+    }
+}

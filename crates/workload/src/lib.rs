@@ -1,0 +1,40 @@
+//! # mec-workload
+//!
+//! AR workload substrate for the ICDCS'21 reproduction: requests with task
+//! pipelines, **uncertain demands** (finite probability distributions over
+//! `(data rate, reward)` pairs, §III-B/C), arrival processes, and a synthetic
+//! Braud-style AR trace generator replacing the paper's private dataset.
+//!
+//! ## Example
+//!
+//! ```
+//! use mec_topology::TopologyBuilder;
+//! use mec_workload::WorkloadBuilder;
+//!
+//! let topo = TopologyBuilder::new(20).seed(1).build();
+//! let requests = WorkloadBuilder::new(&topo).seed(1).count(100).build();
+//! assert_eq!(requests.len(), 100);
+//! let r = &requests[0];
+//! assert!(r.demand().expected_rate().as_mbps() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrivals;
+pub mod codec;
+pub mod demand;
+pub mod generator;
+pub mod pricing;
+pub mod request;
+pub mod task;
+pub mod trace;
+
+pub use arrivals::ArrivalProcess;
+pub use codec::{parse_requests, write_requests, CodecError};
+pub use demand::{DemandDistribution, DemandError, DemandOutcome};
+pub use generator::WorkloadBuilder;
+pub use pricing::PricingModel;
+pub use request::{Request, RequestId};
+pub use task::{Task, TaskKind};
+pub use trace::{ArTraceConfig, FrameStats};

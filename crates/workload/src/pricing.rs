@@ -1,0 +1,125 @@
+//! Reward pricing (§III-C, §VI-A).
+//!
+//! The paper pays "[12, 15] dollars per unit of data rate", but stresses that
+//! rewards are *not* simply proportional to rates: different outcomes of the
+//! same request can carry different unit prices (pricing varies across time
+//! periods and providers). [`PricingModel`] therefore draws an independent
+//! unit price per `(request, rate)` outcome.
+
+use mec_topology::units::DataRate;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Draws per-outcome rewards from a unit-price range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingModel {
+    unit_price_lo: f64,
+    unit_price_hi: f64,
+}
+
+impl Default for PricingModel {
+    /// The paper's default: 12-15 $ per MB/s of served rate.
+    fn default() -> Self {
+        Self {
+            unit_price_lo: 12.0,
+            unit_price_hi: 15.0,
+        }
+    }
+}
+
+impl PricingModel {
+    /// A pricing model with unit prices drawn uniformly from `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(0.0 <= lo && lo <= hi, "price range must be 0 <= lo <= hi");
+        Self {
+            unit_price_lo: lo,
+            unit_price_hi: hi,
+        }
+    }
+
+    /// Lower unit price bound.
+    pub const fn lo(&self) -> f64 {
+        self.unit_price_lo
+    }
+
+    /// Upper unit price bound.
+    pub const fn hi(&self) -> f64 {
+        self.unit_price_hi
+    }
+
+    /// Reward for one outcome: `price · rate` with an independently drawn
+    /// unit price. Two outcomes of the same request get different prices,
+    /// which is exactly the paper's "demand-independent reward" property.
+    pub fn reward_for<R: Rng + ?Sized>(&self, rng: &mut R, rate: DataRate) -> f64 {
+        let price = if self.unit_price_lo == self.unit_price_hi {
+            self.unit_price_lo
+        } else {
+            rng.gen_range(self.unit_price_lo..=self.unit_price_hi)
+        };
+        price * rate.as_mbps()
+    }
+
+    /// Draws one request's unit prices: a per-request base price (providers
+    /// value different customers/time periods differently — §III-C) plus a
+    /// small per-outcome jitter, clamped into the band. This is what gives
+    /// reward-aware algorithms something to select on under saturation.
+    pub fn request_prices<R: Rng + ?Sized>(&self, rng: &mut R, outcomes: usize) -> Vec<f64> {
+        let base = if self.unit_price_lo == self.unit_price_hi {
+            self.unit_price_lo
+        } else {
+            rng.gen_range(self.unit_price_lo..=self.unit_price_hi)
+        };
+        let half_jitter = (self.unit_price_hi - self.unit_price_lo) * 0.1;
+        (0..outcomes)
+            .map(|_| {
+                let jitter = if half_jitter > 0.0 {
+                    rng.gen_range(-half_jitter..=half_jitter)
+                } else {
+                    0.0
+                };
+                (base + jitter).clamp(self.unit_price_lo, self.unit_price_hi)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = PricingModel::default();
+        assert_eq!(p.lo(), 12.0);
+        assert_eq!(p.hi(), 15.0);
+    }
+
+    #[test]
+    fn rewards_within_band() {
+        let p = PricingModel::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let r = p.reward_for(&mut rng, DataRate::mbps(40.0));
+            assert!((12.0 * 40.0..=15.0 * 40.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn degenerate_band() {
+        let p = PricingModel::new(10.0, 10.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(p.reward_for(&mut rng, DataRate::mbps(3.0)), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= lo <= hi")]
+    fn bad_range_rejected() {
+        let _ = PricingModel::new(5.0, 4.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! AR requests `r_j`: identity, home station, arrival time, task pipeline,
+//! uncertain demand, and latency requirement (§III).
+
+use crate::demand::DemandDistribution;
+use crate::task::Task;
+use mec_topology::station::StationId;
+use mec_topology::units::Latency;
+use mec_topology::{PathTable, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a request within a workload (dense `0..n`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub usize);
+
+impl RequestId {
+    /// The underlying dense index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for RequestId {
+    fn from(value: usize) -> Self {
+        RequestId(value)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An AR request `r_j`.
+///
+/// The request arrives at its `home` station at time slot `arrival_slot`
+/// (`a_j`), streams video for `duration_slots` slots, must experience at
+/// most `deadline` (`D̂_j`) of total latency, and its `(rate, reward)` pair
+/// only realizes after scheduling (see [`DemandDistribution`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    id: RequestId,
+    home: StationId,
+    arrival_slot: u64,
+    duration_slots: u64,
+    tasks: Vec<Task>,
+    demand: DemandDistribution,
+    deadline: Latency,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task list is empty (every AR pipeline has at least one
+    /// stage) or the deadline is negative.
+    pub fn new(
+        id: RequestId,
+        home: StationId,
+        arrival_slot: u64,
+        duration_slots: u64,
+        tasks: Vec<Task>,
+        demand: DemandDistribution,
+        deadline: Latency,
+    ) -> Self {
+        assert!(!tasks.is_empty(), "a request needs at least one task");
+        assert!(
+            deadline.as_ms() >= 0.0,
+            "latency requirement must be non-negative"
+        );
+        Self {
+            id,
+            home,
+            arrival_slot,
+            duration_slots,
+            tasks,
+            demand,
+            deadline,
+        }
+    }
+
+    /// The request's identifier.
+    pub const fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// The base station the user attaches to.
+    pub const fn home(&self) -> StationId {
+        self.home
+    }
+
+    /// Arrival time slot `a_j`.
+    pub const fn arrival_slot(&self) -> u64 {
+        self.arrival_slot
+    }
+
+    /// How many slots the request streams for once fully served.
+    pub const fn duration_slots(&self) -> u64 {
+        self.duration_slots
+    }
+
+    /// The task pipeline `{M_{j,1}, …, M_{j,K_j}}`.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks `K_j`.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The uncertain demand distribution.
+    pub const fn demand(&self) -> &DemandDistribution {
+        &self.demand
+    }
+
+    /// Latency requirement `D̂_j`.
+    pub const fn deadline(&self) -> Latency {
+        self.deadline
+    }
+
+    /// Processing delay `Σ_k d^pro_{jki}` of running the whole pipeline at
+    /// station `i`: each task's complexity scales the station's
+    /// per-`ρ_unit` processing delay.
+    pub fn proc_delay_at(&self, topo: &Topology, station: StationId) -> Latency {
+        let unit = topo.station(station).unit_proc_delay();
+        self.tasks
+            .iter()
+            .map(|t| unit * t.complexity())
+            .sum()
+    }
+
+    /// Round-trip transmission delay `2 · Σ_{e ∈ p_{ji}} d^trans_{je}` from
+    /// the home station to `station` along the shortest path, or `None` if
+    /// unreachable.
+    pub fn trans_delay_to(&self, paths: &PathTable, station: StationId) -> Option<Latency> {
+        paths.delay(self.home, station).map(|d| d * 2.0)
+    }
+
+    /// Experienced latency (Eq. 2) of serving this request at `station`
+    /// after waiting `waiting_slots` time slots of `slot_ms` each:
+    /// waiting + round-trip transmission + pipeline processing.
+    ///
+    /// Returns `None` if `station` is unreachable from the home station.
+    pub fn experienced_latency(
+        &self,
+        topo: &Topology,
+        paths: &PathTable,
+        station: StationId,
+        waiting_slots: u64,
+        slot_ms: f64,
+    ) -> Option<Latency> {
+        let trans = self.trans_delay_to(paths, station)?;
+        let proc = self.proc_delay_at(topo, station);
+        Some(Latency::ms(waiting_slots as f64 * slot_ms) + trans + proc)
+    }
+
+    /// Whether serving at `station` with the given waiting time meets the
+    /// latency requirement `D_j ≤ D̂_j` (Ineq. 1).
+    pub fn meets_deadline_at(
+        &self,
+        topo: &Topology,
+        paths: &PathTable,
+        station: StationId,
+        waiting_slots: u64,
+        slot_ms: f64,
+    ) -> bool {
+        self.experienced_latency(topo, paths, station, waiting_slots, slot_ms)
+            .is_some_and(|d| d.as_ms() <= self.deadline.as_ms() + 1e-9)
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (home {}, arrives t{}, {} tasks, E[rate] {})",
+            self.id,
+            self.home,
+            self.arrival_slot,
+            self.tasks.len(),
+            self.demand.expected_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::generator::{Shape, TopologyBuilder};
+    use mec_topology::units::DataRate;
+
+    fn sample_request(home: usize, deadline_ms: f64) -> Request {
+        Request::new(
+            RequestId(0),
+            home.into(),
+            0,
+            10,
+            Task::reference_pipeline(),
+            DemandDistribution::deterministic(DataRate::mbps(40.0), 500.0),
+            Latency::ms(deadline_ms),
+        )
+    }
+
+    fn line_topology() -> Topology {
+        TopologyBuilder::new(4)
+            .shape(Shape::Line)
+            .proc_delay_range(1.0, 1.0)
+            .trans_delay_range(2.0, 2.0)
+            .build()
+    }
+
+    #[test]
+    fn proc_delay_scales_with_complexity() {
+        let topo = line_topology();
+        let r = sample_request(0, 200.0);
+        // Reference pipeline complexities: 2.0 + 1.0 + 1.0 + 1.5 = 5.5,
+        // unit delay 1 ms.
+        let d = r.proc_delay_at(&topo, 2.into());
+        assert!((d.as_ms() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_accumulates_all_terms() {
+        let topo = line_topology();
+        let paths = topo.shortest_paths();
+        let r = sample_request(0, 200.0);
+        // Serve at station 2: two hops of 2 ms each, round trip = 8 ms;
+        // processing = 5.5 ms; waiting = 2 slots * 50 ms = 100 ms.
+        let lat = r
+            .experienced_latency(&topo, &paths, 2.into(), 2, 50.0)
+            .unwrap();
+        assert!((lat.as_ms() - (100.0 + 8.0 + 5.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_check() {
+        let topo = line_topology();
+        let paths = topo.shortest_paths();
+        let tight = sample_request(0, 10.0);
+        // At home station: no transmission, 5.5 ms processing.
+        assert!(tight.meets_deadline_at(&topo, &paths, 0.into(), 0, 50.0));
+        // One waiting slot (50 ms) blows the 10 ms budget.
+        assert!(!tight.meets_deadline_at(&topo, &paths, 0.into(), 1, 50.0));
+        // Far station: 3 hops round trip = 12 ms > 10 ms.
+        assert!(!tight.meets_deadline_at(&topo, &paths, 3.into(), 0, 50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_pipeline_rejected() {
+        let _ = Request::new(
+            RequestId(0),
+            0.into(),
+            0,
+            1,
+            vec![],
+            DemandDistribution::deterministic(DataRate::mbps(1.0), 1.0),
+            Latency::ms(200.0),
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! AR processing-pipeline tasks (§III-B).
+//!
+//! Each request's video stream flows through a sequence of tasks
+//! `{M_{j,1}, …, M_{j,K_j}}`; the paper's reference pipeline is pose
+//! tracking → object recognition → world-model update → rendering, with
+//! rendering the most compute-intensive stage.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The role a task plays in the AR pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Render virtual objects into the frame (paper: 100 Kb output, the
+    /// heaviest stage).
+    Render,
+    /// Track objects across frames (64 Kb).
+    Track,
+    /// Update the world model (64 Kb).
+    UpdateWorld,
+    /// Recognize objects (64 Kb).
+    Recognize,
+    /// A generic stage for synthetic pipelines.
+    Generic,
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TaskKind::Render => "render",
+            TaskKind::Track => "track",
+            TaskKind::UpdateWorld => "update-world",
+            TaskKind::Recognize => "recognize",
+            TaskKind::Generic => "generic",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One task `M_{j,k}` of an AR pipeline.
+///
+/// `complexity` scales a station's per-`ρ_unit` processing delay: the delay
+/// of this task at station `bs_i` is
+/// `d^pro_{jki} = complexity · bs_i.unit_proc_delay()` (the paper only says
+/// the per-station delays vary; task complexity is how we make the heavier
+/// stages heavier).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    kind: TaskKind,
+    output_kb: f64,
+    complexity: f64,
+}
+
+impl Task {
+    /// Creates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_kb` or `complexity` is negative.
+    pub fn new(kind: TaskKind, output_kb: f64, complexity: f64) -> Self {
+        assert!(output_kb >= 0.0, "task output size must be non-negative");
+        assert!(complexity >= 0.0, "task complexity must be non-negative");
+        Self {
+            kind,
+            output_kb,
+            complexity,
+        }
+    }
+
+    /// The task's pipeline role.
+    pub const fn kind(&self) -> TaskKind {
+        self.kind
+    }
+
+    /// Output matrix size in kilobits (fed to the successor task).
+    pub const fn output_kb(&self) -> f64 {
+        self.output_kb
+    }
+
+    /// Compute-intensity multiplier on the station's unit processing delay.
+    pub const fn complexity(&self) -> f64 {
+        self.complexity
+    }
+
+    /// The paper's four-stage reference pipeline: render (100 Kb, heavy),
+    /// track (64 Kb), update world model (64 Kb), recognize (64 Kb).
+    pub fn reference_pipeline() -> Vec<Task> {
+        vec![
+            Task::new(TaskKind::Render, 100.0, 2.0),
+            Task::new(TaskKind::Track, 64.0, 1.0),
+            Task::new(TaskKind::UpdateWorld, 64.0, 1.0),
+            Task::new(TaskKind::Recognize, 64.0, 1.5),
+        ]
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} Kb, x{:.1})",
+            self.kind, self.output_kb, self.complexity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_pipeline_shape() {
+        let pipeline = Task::reference_pipeline();
+        assert_eq!(pipeline.len(), 4);
+        assert_eq!(pipeline[0].kind(), TaskKind::Render);
+        assert_eq!(pipeline[0].output_kb(), 100.0);
+        // Rendering is the most compute-intensive stage.
+        let max = pipeline
+            .iter()
+            .map(Task::complexity)
+            .fold(f64::MIN, f64::max);
+        assert_eq!(pipeline[0].complexity(), max);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_complexity_rejected() {
+        let _ = Task::new(TaskKind::Generic, 64.0, -1.0);
+    }
+
+    #[test]
+    fn display() {
+        let t = Task::new(TaskKind::Track, 64.0, 1.0);
+        assert_eq!(format!("{t}"), "track (64 Kb, x1.0)");
+    }
+}

@@ -1,0 +1,204 @@
+//! Synthetic Braud-style AR trace (§VI-A).
+//!
+//! The paper drives its experiments from the dataset of Braud et al. [5]
+//! (OpenCV tracking + YOLO recognition over JPEG frames), which is not
+//! public. We reproduce its *published statistics* instead: 64 KB JPEG
+//! frames uploaded at 90-120 fps through a four-task pipeline whose stage
+//! outputs are render 100 KB, track 64 KB, update-world 64 KB and recognize
+//! 64 KB — which works out to per-request aggregate rates inside the
+//! paper's [30, 50] MB/s band (356 KB/frame × 90-120 fps ≈ 32-43 MB/s).
+//!
+//! Rate *levels* (the finite set `DR`) discretize the fps band; level
+//! probabilities decay geometrically so high rates are rare, matching the
+//! paper's observation that "the probability of requests with large data
+//! rates is usually small".
+
+use crate::demand::{DemandDistribution, DemandOutcome};
+use crate::pricing::PricingModel;
+use crate::task::Task;
+use mec_topology::units::DataRate;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Camera/upload statistics of the synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameStats {
+    /// JPEG frame size in KB (paper: 64).
+    pub frame_kb: f64,
+    /// Minimum upload rate in frames per second (paper: 90).
+    pub fps_lo: f64,
+    /// Maximum upload rate in frames per second (paper: 120).
+    pub fps_hi: f64,
+}
+
+impl Default for FrameStats {
+    fn default() -> Self {
+        Self {
+            frame_kb: 64.0,
+            fps_lo: 90.0,
+            fps_hi: 120.0,
+        }
+    }
+}
+
+impl FrameStats {
+    /// Aggregate per-frame payload in KB given a pipeline: the camera frame
+    /// plus every stage's output matrix.
+    pub fn payload_kb(&self, pipeline: &[Task]) -> f64 {
+        self.frame_kb + pipeline.iter().map(Task::output_kb).sum::<f64>()
+    }
+
+    /// Aggregate data rate at `fps` for a pipeline, in MB/s.
+    pub fn rate_at(&self, fps: f64, pipeline: &[Task]) -> DataRate {
+        DataRate::mbps(self.payload_kb(pipeline) * fps / 1000.0)
+    }
+}
+
+/// Configuration of the synthetic AR trace generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArTraceConfig {
+    /// Camera statistics.
+    pub frames: FrameStats,
+    /// Number of discrete rate levels `|DR|` (paper's set of possible
+    /// rates; default 5).
+    pub levels: usize,
+    /// Geometric decay of level probabilities (level k gets weight
+    /// `decay^k`); 1.0 means uniform. Default 0.75.
+    pub decay: f64,
+    /// Reward pricing.
+    pub pricing: PricingModel,
+}
+
+impl Default for ArTraceConfig {
+    fn default() -> Self {
+        Self {
+            frames: FrameStats::default(),
+            levels: 5,
+            decay: 0.75,
+            pricing: PricingModel::default(),
+        }
+    }
+}
+
+impl ArTraceConfig {
+    /// The discrete fps levels spanning `[fps_lo, fps_hi]`.
+    fn fps_levels(&self) -> Vec<f64> {
+        let k = self.levels.max(1);
+        if k == 1 {
+            return vec![(self.frames.fps_lo + self.frames.fps_hi) / 2.0];
+        }
+        let step = (self.frames.fps_hi - self.frames.fps_lo) / (k - 1) as f64;
+        (0..k)
+            .map(|i| self.frames.fps_lo + step * i as f64)
+            .collect()
+    }
+
+    /// The finite rate set `DR` implied by the fps levels and a pipeline.
+    pub fn rate_levels(&self, pipeline: &[Task]) -> Vec<DataRate> {
+        self.fps_levels()
+            .into_iter()
+            .map(|fps| self.frames.rate_at(fps, pipeline))
+            .collect()
+    }
+
+    /// Draws one request's demand distribution over the rate levels:
+    /// geometrically decaying probabilities and an independent price per
+    /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or `decay <= 0`.
+    pub fn demand_distribution<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        pipeline: &[Task],
+    ) -> DemandDistribution {
+        assert!(self.levels >= 1, "need at least one rate level");
+        assert!(self.decay > 0.0, "decay must be positive");
+        let rates = self.rate_levels(pipeline);
+        let weights: Vec<f64> = (0..rates.len()).map(|i| self.decay.powi(i as i32)).collect();
+        let total: f64 = weights.iter().sum();
+        let outcomes = rates
+            .iter()
+            .zip(&weights)
+            .map(|(&rate, &w)| DemandOutcome {
+                rate,
+                prob: w / total,
+                reward: self.pricing.reward_for(rng, rate),
+            })
+            .collect();
+        DemandDistribution::new(outcomes).expect("trace outcomes are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_band_reproduced() {
+        // 356 KB payload at 90-120 fps lands inside [30, 50] MB/s.
+        let cfg = ArTraceConfig::default();
+        let pipeline = Task::reference_pipeline();
+        assert!((cfg.frames.payload_kb(&pipeline) - 356.0).abs() < 1e-9);
+        let rates = cfg.rate_levels(&pipeline);
+        assert_eq!(rates.len(), 5);
+        for r in &rates {
+            assert!(
+                (30.0..=50.0).contains(&r.as_mbps()),
+                "rate {} outside the paper band",
+                r
+            );
+        }
+        // Monotone increasing levels.
+        assert!(rates.windows(2).all(|w| w[0].as_mbps() < w[1].as_mbps()));
+    }
+
+    #[test]
+    fn probabilities_decay() {
+        let cfg = ArTraceConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = cfg.demand_distribution(&mut rng, &Task::reference_pipeline());
+        let probs: Vec<f64> = d.outcomes().iter().map(|o| o.prob).collect();
+        assert!(probs.windows(2).all(|w| w[0] > w[1]), "{probs:?}");
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_decay_one() {
+        let cfg = ArTraceConfig {
+            decay: 1.0,
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = cfg.demand_distribution(&mut rng, &Task::reference_pipeline());
+        for o in d.outcomes() {
+            assert!((o.prob - 0.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_level_is_midpoint() {
+        let cfg = ArTraceConfig {
+            levels: 1,
+            ..Default::default()
+        };
+        let rates = cfg.rate_levels(&Task::reference_pipeline());
+        assert_eq!(rates.len(), 1);
+        // midpoint fps = 105 → 356 * 105 / 1000 = 37.38 MB/s
+        assert!((rates[0].as_mbps() - 37.38).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rewards_track_pricing_band() {
+        let cfg = ArTraceConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let d = cfg.demand_distribution(&mut rng, &Task::reference_pipeline());
+        for o in d.outcomes() {
+            let per_unit = o.reward / o.rate.as_mbps();
+            assert!((12.0..=15.0).contains(&per_unit), "unit price {per_unit}");
+        }
+    }
+}

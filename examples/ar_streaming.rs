@@ -1,0 +1,83 @@
+//! AR streaming scenario: a day-in-the-life online run. Requests built
+//! from the synthetic Braud-style AR trace (64 KB JPEG frames at 90-120
+//! fps through the four-task pipeline) arrive over time; `DynamicRR`
+//! learns its compute threshold on the fly and is compared against the
+//! online baselines.
+//!
+//! Run with: `cargo run --release --example ar_streaming`
+
+use mec_ar::prelude::*;
+
+fn main() {
+    let topo = TopologyBuilder::new(20).seed(7).build();
+    let params = InstanceParams::default();
+
+    // The trace statistics drive the demand distributions: aggregate rates
+    // land inside the paper's [30, 50] MB/s band.
+    let trace = ArTraceConfig::default();
+    let pipeline = Task::reference_pipeline();
+    let rates = trace.rate_levels(&pipeline);
+    println!(
+        "AR trace: {} KB/frame payload, rate levels {:?} MB/s",
+        trace.frames.payload_kb(&pipeline),
+        rates.iter().map(|r| r.as_mbps().round()).collect::<Vec<_>>()
+    );
+
+    // 300 requests streaming in over 10 seconds (200 slots of 50 ms), each
+    // lasting 3-6 seconds.
+    let requests = WorkloadBuilder::new(&topo)
+        .seed(7)
+        .count(300)
+        .duration_range(60, 120)
+        .arrivals(ArrivalProcess::UniformOver { horizon: 200 })
+        .build();
+    let cfg = SlotConfig {
+        horizon: 400,
+        c_unit: params.c_unit,
+        slot_ms: params.slot_ms,
+        seed: 7,
+        ..Default::default()
+    };
+    let paths = topo.shortest_paths();
+
+    println!(
+        "\n{:<18} {:>10} {:>12} {:>10} {:>9}",
+        "policy", "reward $", "latency ms", "completed", "expired"
+    );
+    let mut policies: Vec<Box<dyn SlotPolicy>> = vec![
+        Box::new(DynamicRr::new(DynamicRrConfig {
+            horizon_hint: cfg.horizon,
+            ..Default::default()
+        })),
+        Box::new(OnlineHeuKkt::new()),
+        Box::new(OnlineOcorp::new()),
+        Box::new(OnlineGreedy::new()),
+    ];
+    for policy in &mut policies {
+        let mut engine = Engine::new(&topo, &paths, requests.clone(), cfg);
+        let metrics = engine
+            .run(policy.as_mut())
+            .expect("built-in policies produce legal schedules");
+        println!(
+            "{:<18} {:>10.1} {:>12.2} {:>10} {:>9}  util {:>4.0}%",
+            policy.name(),
+            metrics.total_reward(),
+            metrics.avg_latency_ms(),
+            metrics.completed(),
+            metrics.expired(),
+            engine.avg_utilization() * 100.0
+        );
+    }
+
+    // A short traced replay of DynamicRR's first second, to show the
+    // engine's event log.
+    let mut engine = Engine::new(&topo, &paths, requests, cfg);
+    engine.enable_trace(24);
+    let mut policy = DynamicRr::new(DynamicRrConfig {
+        horizon_hint: cfg.horizon,
+        ..Default::default()
+    });
+    let _ = engine.run(&mut policy).expect("legal schedules");
+    println!("\nfirst events of the DynamicRR run:");
+    print!("{}", engine.trace().expect("tracing enabled").render());
+}

@@ -1,0 +1,53 @@
+//! Capacity planning: how many base stations does a reward target need?
+//! Sweeps the network size under the paper's default workload, comparing
+//! the exact optimum (small nets), the LP upper bound, and `Heu` — the
+//! kind of what-if a provider would run before densifying a deployment.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use mec_ar::core::slotlp::{SlotLp, Truncation};
+use mec_ar::prelude::*;
+
+fn main() {
+    println!(
+        "{:>5} {:>14} {:>14} {:>12} {:>10}",
+        "|BS|", "LP bound $", "Heu reward $", "admitted", "util %"
+    );
+    for stations in [4usize, 8, 12, 16, 20, 30] {
+        let topo = TopologyBuilder::new(stations).seed(11).build();
+        let total_capacity = topo.total_capacity();
+        let requests = WorkloadBuilder::new(&topo).seed(11).count(150).build();
+        let instance = Instance::new(topo, requests, InstanceParams::default());
+        let realized = Realizations::draw(&instance, 11);
+
+        // The LP optimum is a certified upper bound on any policy (Lemma 1).
+        let subset: Vec<usize> = (0..instance.request_count()).collect();
+        let lp = SlotLp::build(&instance, &subset, Truncation::Standard);
+        let bound = lp
+            .solve(subset.len())
+            .expect("slot LP is feasible")
+            .objective();
+
+        let out = Heu::new(11)
+            .solve(&instance, &realized)
+            .expect("heu succeeds");
+        // Realized compute the admitted requests demand, vs the network.
+        let used: f64 = out
+            .assignment()
+            .iter()
+            .enumerate()
+            .filter_map(|(j, a)| {
+                a.map(|_| instance.demand_of(realized.outcome(j).rate).as_mhz())
+            })
+            .sum();
+        println!(
+            "{:>5} {:>14.1} {:>14.1} {:>12} {:>9.1}%",
+            stations,
+            bound,
+            out.metrics().total_reward(),
+            out.admitted(),
+            100.0 * used / total_capacity.as_mhz()
+        );
+    }
+    println!("\nreward saturates once every request fits; past that point extra stations only cut latency");
+}

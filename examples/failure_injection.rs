@@ -1,0 +1,123 @@
+//! Failure injection: what the engine and solvers refuse to accept.
+//!
+//! The slot engine validates every schedule a policy emits — this example
+//! deliberately builds misbehaving policies and broken programs to show
+//! each rejection path, the way an integrator would probe the system's
+//! guardrails.
+//!
+//! Run with: `cargo run --release --example failure_injection`
+
+use mec_ar::lp::{Cmp, Problem, Sense};
+use mec_ar::prelude::*;
+use mec_ar::sim::SimError;
+
+fn world() -> (Topology, Vec<Request>, SlotConfig) {
+    let topo = TopologyBuilder::new(4).seed(1).build();
+    let requests = WorkloadBuilder::new(&topo).seed(1).count(5).build();
+    let cfg = SlotConfig {
+        horizon: 20,
+        ..Default::default()
+    };
+    (topo, requests, cfg)
+}
+
+struct OverCommitter;
+impl SlotPolicy for OverCommitter {
+    fn schedule(&mut self, ctx: &SlotContext<'_>) -> Vec<Allocation> {
+        // Grants every job 10x a station's capacity.
+        ctx.views
+            .iter()
+            .map(|v| Allocation {
+                request: v.job.id(),
+                station: 0.into(),
+                compute: Compute::mhz(33_000.0),
+            })
+            .collect()
+    }
+    fn name(&self) -> &str {
+        "over-committer"
+    }
+}
+
+struct Duplicator;
+impl SlotPolicy for Duplicator {
+    fn schedule(&mut self, ctx: &SlotContext<'_>) -> Vec<Allocation> {
+        ctx.views
+            .iter()
+            .flat_map(|v| {
+                let a = Allocation {
+                    request: v.job.id(),
+                    station: 0.into(),
+                    compute: Compute::mhz(10.0),
+                };
+                [a, a]
+            })
+            .collect()
+    }
+    fn name(&self) -> &str {
+        "duplicator"
+    }
+}
+
+struct GhostScheduler;
+impl SlotPolicy for GhostScheduler {
+    fn schedule(&mut self, _ctx: &SlotContext<'_>) -> Vec<Allocation> {
+        vec![Allocation {
+            request: RequestId(999),
+            station: 0.into(),
+            compute: Compute::mhz(10.0),
+        }]
+    }
+    fn name(&self) -> &str {
+        "ghost-scheduler"
+    }
+}
+
+fn probe(policy: &mut dyn SlotPolicy) -> SimError {
+    let (topo, requests, cfg) = world();
+    let paths = topo.shortest_paths();
+    let mut engine = Engine::new(&topo, &paths, requests, cfg);
+    engine
+        .run(policy)
+        .expect_err("the engine must reject this policy")
+}
+
+fn main() {
+    println!("== engine guardrails ==");
+    for policy in [
+        &mut OverCommitter as &mut dyn SlotPolicy,
+        &mut Duplicator,
+        &mut GhostScheduler,
+    ] {
+        let err = probe(policy);
+        println!("{:<16} -> {err}", policy.name());
+        match policy.name() {
+            "over-committer" => assert!(matches!(err, SimError::CapacityExceeded { .. })),
+            "duplicator" => assert!(matches!(err, SimError::DuplicateAllocation(_))),
+            _ => assert!(matches!(err, SimError::UnknownRequest(_))),
+        }
+    }
+
+    println!("\n== solver guardrails ==");
+    // Infeasible program: 1 <= x <= 0.
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var(1.0);
+    p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 1.0);
+    p.add_constraint(vec![(x, 1.0)], Cmp::Le, 0.0);
+    println!("infeasible LP   -> {}", p.solve().unwrap_err());
+
+    // Unbounded program: max x with no ceiling.
+    let mut p = Problem::new(Sense::Maximize);
+    let _ = p.add_var(1.0);
+    println!("unbounded LP    -> {}", p.solve().unwrap_err());
+
+    // Demand distributions validate their probabilities.
+    let bad = DemandDistribution::new(vec![DemandOutcome {
+        rate: DataRate::mbps(30.0),
+        prob: 0.7,
+        reward: 100.0,
+    }]);
+    println!("bad demand      -> {}", bad.unwrap_err());
+
+    println!("\nall injected failures were caught");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build an MEC network, generate an uncertain AR workload,
+//! and compare the paper's offline algorithms on one instance.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mec_ar::prelude::*;
+
+fn main() {
+    // A 20-station backhaul (GT-ITM-style Waxman graph) with the paper's
+    // §VI-A capacities, and 150 AR requests whose (rate, reward) pairs are
+    // uncertain until scheduled.
+    let topo = TopologyBuilder::new(20).seed(42).build();
+    println!(
+        "network: {} stations, {} backhaul links, {:.0} MHz total compute",
+        topo.station_count(),
+        topo.edge_count(),
+        topo.total_capacity().as_mhz()
+    );
+
+    let requests = WorkloadBuilder::new(&topo).seed(42).count(150).build();
+    let expected_reward: f64 = requests
+        .iter()
+        .map(|r| r.demand().expected_reward())
+        .sum();
+    println!(
+        "workload: {} requests, {:.0} $ total expected reward if everything were served\n",
+        requests.len(),
+        expected_reward
+    );
+
+    // One shared world: demands realize identically for every algorithm.
+    let instance = Instance::new(topo, requests, InstanceParams::default());
+    let realized = Realizations::draw(&instance, 42);
+
+    let algorithms: Vec<Box<dyn OfflineAlgorithm>> = vec![
+        Box::new(Appro::new(42)),
+        Box::new(Heu::new(42)),
+        Box::new(HeuKkt::new()),
+        Box::new(Ocorp::new()),
+        Box::new(Greedy::new()),
+    ];
+    println!("{:<8} {:>10} {:>12} {:>10} {:>12}", "algo", "reward $", "latency ms", "admitted", "runtime ms");
+    for algo in algorithms {
+        let out = algo
+            .solve(&instance, &realized)
+            .expect("offline algorithms succeed on well-formed instances");
+        println!(
+            "{:<8} {:>10.1} {:>12.2} {:>10} {:>12.1}",
+            algo.name(),
+            out.metrics().total_reward(),
+            out.metrics().avg_latency_ms(),
+            out.admitted(),
+            out.runtime().as_secs_f64() * 1000.0
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! # mec-ar
+//!
+//! A full Rust reproduction of **"Online Learning Algorithms for Offloading
+//! Augmented Reality Requests with Uncertain Demands in MECs"** (ICDCS
+//! 2021): the MEC network model, the uncertain-demand AR workload, the
+//! slot-indexed LP relaxation with its 1/8-approximation rounding
+//! (`Appro`), the migration heuristic (`Heu`), the exact ILP solver, the
+//! Lipschitz-bandit online scheduler (`DynamicRR`), and the OCORP / Greedy
+//! / HeuKKT baselines — plus the simulation engine and experiment harness
+//! that regenerate every figure of the paper's evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates so
+//! downstream users can depend on one name.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mec_ar::prelude::*;
+//!
+//! // 1. A 20-station MEC backhaul and 100 AR requests with uncertain
+//! //    (rate, reward) demands, per the paper's §VI-A defaults.
+//! let topo = TopologyBuilder::new(20).seed(7).build();
+//! let requests = WorkloadBuilder::new(&topo).seed(7).count(100).build();
+//!
+//! // 2. Offline reward maximization with the 1/8-approximation.
+//! let instance = Instance::new(topo, requests, InstanceParams::default());
+//! let realized = Realizations::draw(&instance, 7);
+//! let outcome = Appro::new(7).solve(&instance, &realized).unwrap();
+//! assert!(outcome.metrics().total_reward() > 0.0);
+//! ```
+//!
+//! ## Layout
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`topology`] | backhaul graph, Waxman generation, shortest paths, resource slots |
+//! | [`workload`] | AR requests, demand distributions, arrival processes, traces |
+//! | [`lp`] | two-phase simplex + branch-and-bound ILP |
+//! | [`bandit`] | successive elimination, UCB1, ε-greedy, Lipschitz domains |
+//! | [`sim`] | discrete time-slot engine with preemption and validation |
+//! | [`core`] | the paper's algorithms and baselines |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use mec_bandit as bandit;
+pub use mec_core as core;
+pub use mec_lp as lp;
+pub use mec_sim as sim;
+pub use mec_topology as topology;
+pub use mec_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mec_bandit::{BanditPolicy, ConfidenceSchedule, LipschitzDomain, SuccessiveElimination};
+    pub use mec_core::model::{Instance, InstanceParams, Realizations};
+    pub use mec_core::{
+        hindsight_bound, Appro, DynamicRr, DynamicRrConfig, Exact, Greedy, Heu, HeuKkt, Learner,
+        Ocorp, OffloadOutcome, OfflineAlgorithm, OnlineGreedy, OnlineHeuKkt, OnlineOcorp,
+    };
+    pub use mec_sim::{
+        Allocation, Continuity, Engine, Metrics, SlotConfig, SlotContext, SlotPolicy,
+    };
+    pub use mec_topology::{
+        BaseStation, Compute, DataRate, Latency, StationId, Topology, TopologyBuilder,
+        TopologyStats,
+    };
+    pub use mec_workload::{
+        parse_requests, write_requests, ArTraceConfig, ArrivalProcess, DemandDistribution,
+        DemandOutcome, PricingModel, Request, RequestId, Task, TaskKind, WorkloadBuilder,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links() {
+        use crate::prelude::*;
+        let topo = TopologyBuilder::new(3).seed(0).build();
+        assert_eq!(topo.station_count(), 3);
+        let policy = SuccessiveElimination::new(2, ConfidenceSchedule::Anytime);
+        assert_eq!(policy.arm_count(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Theorem-1 Monte-Carlo check: the verbatim one-round `Appro` achieves at
+//! least 1/8 of the exact expected optimum on small instances, and the LP
+//! optimum never falls below the rounding's realized value in expectation.
+
+use mec_ar::core::slotlp::{SlotLp, Truncation};
+use mec_ar::prelude::*;
+
+fn small_world(seed: u64) -> Instance {
+    let topo = TopologyBuilder::new(3).seed(seed).build();
+    let requests = WorkloadBuilder::new(&topo).seed(seed).count(8).build();
+    Instance::new(topo, requests, InstanceParams::default())
+}
+
+#[test]
+fn one_round_appro_is_at_least_an_eighth_of_opt() {
+    for seed in 0..4 {
+        let instance = small_world(seed);
+        let (opt, _) = Exact::new().solve_ilp(&instance).unwrap();
+        let trials = 40;
+        let mut mean = 0.0;
+        for t in 0..trials {
+            let realized = Realizations::draw(&instance, seed * 1000 + t);
+            let out = Appro::new(seed * 77 + t)
+                .rounds(1)
+                .solve(&instance, &realized)
+                .unwrap();
+            mean += out.metrics().total_reward() / trials as f64;
+        }
+        let ratio = mean / opt;
+        assert!(
+            ratio >= 0.125,
+            "seed {seed}: E[Appro]/Opt = {ratio:.3} below the 1/8 guarantee"
+        );
+    }
+}
+
+#[test]
+fn backfilled_appro_dominates_one_round() {
+    for seed in 0..4 {
+        let instance = small_world(seed);
+        let trials = 25;
+        let (mut one, mut many) = (0.0, 0.0);
+        for t in 0..trials {
+            let realized = Realizations::draw(&instance, seed * 999 + t);
+            one += Appro::new(t)
+                .rounds(1)
+                .solve(&instance, &realized)
+                .unwrap()
+                .metrics()
+                .total_reward();
+            many += Appro::new(t)
+                .solve(&instance, &realized)
+                .unwrap()
+                .metrics()
+                .total_reward();
+        }
+        assert!(
+            many >= one,
+            "seed {seed}: backfilling reduced reward ({many} < {one})"
+        );
+    }
+}
+
+#[test]
+fn lp_mass_respects_constraint_nine() {
+    let instance = small_world(1);
+    let subset: Vec<usize> = (0..instance.request_count()).collect();
+    let lp = SlotLp::build(&instance, &subset, Truncation::Standard);
+    let frac = lp.solve(subset.len()).unwrap();
+    for j in 0..subset.len() {
+        assert!(frac.mass(j) <= 1.0 + 1e-6);
+    }
+}
+
+#[test]
+fn exact_beats_or_matches_every_heuristic_in_expectation() {
+    // The exact ILP maximizes the expected objective; Monte-Carlo realized
+    // rewards of any heuristic must not exceed it meaningfully.
+    for seed in 0..2 {
+        let instance = small_world(seed);
+        let (opt, _) = Exact::new().solve_ilp(&instance).unwrap();
+        let trials = 30;
+        let mut heu_mean = 0.0;
+        for t in 0..trials {
+            let realized = Realizations::draw(&instance, seed * 555 + t);
+            heu_mean += Heu::new(t)
+                .solve(&instance, &realized)
+                .unwrap()
+                .metrics()
+                .total_reward()
+                / trials as f64;
+        }
+        // Heuristic realized mean can exceed the expectation-planned ILP's
+        // objective slightly (it adapts to realizations); allow 15% slack
+        // but catch gross inversions that would signal a broken Exact.
+        assert!(
+            heu_mean <= opt * 1.15,
+            "seed {seed}: Heu mean {heu_mean} far above exact optimum {opt}"
+        );
+    }
+}

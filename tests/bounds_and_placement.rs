@@ -1,0 +1,93 @@
+//! Cross-crate checks of the clairvoyant hindsight bound and the
+//! distributed task placements `Heu` produces.
+
+use mec_ar::core::placement::TaskPlacement;
+use mec_ar::prelude::*;
+
+fn world(seed: u64, n: usize, stations: usize) -> (Instance, Realizations) {
+    let topo = TopologyBuilder::new(stations).seed(seed).build();
+    let requests = WorkloadBuilder::new(&topo).seed(seed).count(n).build();
+    let instance = Instance::new(topo, requests, InstanceParams::default());
+    let realized = Realizations::draw(&instance, seed);
+    (instance, realized)
+}
+
+#[test]
+fn hindsight_dominates_and_orders_sanely() {
+    let mut captured = 0.0;
+    let mut bound_sum = 0.0;
+    for seed in 0..3 {
+        let (instance, realized) = world(seed, 80, 8);
+        let bound = hindsight_bound(&instance, &realized).unwrap();
+        let heu = Heu::new(seed)
+            .solve(&instance, &realized)
+            .unwrap()
+            .metrics()
+            .total_reward();
+        assert!(heu <= bound + 1e-6);
+        captured += heu;
+        bound_sum += bound;
+    }
+    // The paper's design claims a small price of uncertainty: Heu should
+    // capture well over half of clairvoyance on these saturated worlds.
+    assert!(
+        captured >= 0.6 * bound_sum,
+        "Heu captured only {:.1}% of hindsight",
+        100.0 * captured / bound_sum
+    );
+}
+
+#[test]
+fn consolidated_placement_latency_equals_eq2_everywhere() {
+    let (instance, _) = world(3, 10, 6);
+    for j in 0..10 {
+        let k = instance.requests()[j].task_count();
+        for s in instance.topo().station_ids() {
+            let p = TaskPlacement::consolidated(s, k);
+            let a = p.latency(&instance, j).unwrap().as_ms();
+            let b = instance.offline_latency(j, s).unwrap().as_ms();
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn moving_a_task_never_reduces_latency_below_best_consolidation() {
+    // Distribution adds transmission legs; on a request's *home* station
+    // the consolidated placement is transmission-free, so any split from
+    // home is at least as slow.
+    let (instance, _) = world(5, 8, 5);
+    for j in 0..8 {
+        let home = instance.requests()[j].home();
+        let k = instance.requests()[j].task_count();
+        let base = TaskPlacement::consolidated(home, k);
+        let base_lat = base.latency(&instance, j).unwrap().as_ms();
+        for target in instance.topo().station_ids() {
+            let moved = base.with_task_moved(k - 1, target);
+            let lat = moved.latency(&instance, j).unwrap().as_ms();
+            // Processing speed differences can offset transmission, but the
+            // transmission part alone is non-negative; allow the processing
+            // delta explicitly.
+            let proc_delta = instance.requests()[j].tasks()[k - 1].complexity()
+                * (instance.topo().station(target).unit_proc_delay().as_ms()
+                    - instance.topo().station(home).unit_proc_delay().as_ms());
+            assert!(
+                lat + 1e-9 >= base_lat + proc_delta.min(0.0),
+                "request {j}: split faster than physics allows"
+            );
+        }
+    }
+}
+
+#[test]
+fn heu_placements_respect_deadlines_even_when_distributed() {
+    // On tight capacity Heu migrates tasks; every reported latency must
+    // still respect the 200 ms requirement (Theorem 2's feasibility).
+    for seed in 0..4 {
+        let (instance, realized) = world(seed, 90, 4);
+        let out = Heu::new(seed).solve(&instance, &realized).unwrap();
+        for &lat in out.metrics().latencies_ms() {
+            assert!(lat <= 200.0 + 1e-6, "seed {seed}: latency {lat}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end offline pipeline: topology → workload → LP → rounding →
+//! metrics, with cross-algorithm invariants on shared worlds.
+
+use mec_ar::prelude::*;
+
+fn world(n: usize, stations: usize, seed: u64) -> (Instance, Realizations) {
+    let topo = TopologyBuilder::new(stations).seed(seed).build();
+    let requests = WorkloadBuilder::new(&topo).seed(seed).count(n).build();
+    let instance = Instance::new(topo, requests, InstanceParams::default());
+    let realized = Realizations::draw(&instance, seed);
+    (instance, realized)
+}
+
+fn all_offline(seed: u64) -> Vec<Box<dyn OfflineAlgorithm>> {
+    vec![
+        Box::new(Appro::new(seed)),
+        Box::new(Heu::new(seed)),
+        Box::new(HeuKkt::new()),
+        Box::new(Ocorp::new()),
+        Box::new(Greedy::new()),
+    ]
+}
+
+#[test]
+fn every_algorithm_solves_every_seed() {
+    for seed in 0..4 {
+        let (instance, realized) = world(40, 6, seed);
+        for algo in all_offline(seed) {
+            let out = algo.solve(&instance, &realized).unwrap();
+            // Reward can never exceed the sum of realized rewards.
+            let max: f64 = (0..instance.request_count())
+                .map(|j| realized.outcome(j).reward)
+                .sum();
+            assert!(out.metrics().total_reward() <= max + 1e-9, "{}", algo.name());
+            // Admitted + expired = all requests.
+            assert_eq!(
+                out.metrics().completed() + out.metrics().expired(),
+                instance.request_count(),
+                "{} lost requests",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn assignments_are_deadline_feasible_for_all_algorithms() {
+    let (instance, realized) = world(60, 8, 5);
+    for algo in all_offline(5) {
+        let out = algo.solve(&instance, &realized).unwrap();
+        for (j, a) in out.assignment().iter().enumerate() {
+            if let Some(s) = a {
+                assert!(
+                    instance.offline_feasible(j, *s),
+                    "{} violated the deadline of request {j}",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn proposed_algorithms_beat_baselines_on_average() {
+    // The paper's headline: Appro/Heu outperform OCORP, Greedy, HeuKKT.
+    // Averaged over seeds to wash out rounding noise.
+    let seeds = 5;
+    let mut totals = [0.0f64; 5]; // appro, heu, heukkt, ocorp, greedy
+    for seed in 0..seeds {
+        let (instance, realized) = world(120, 12, seed);
+        for (k, algo) in all_offline(seed).iter().enumerate() {
+            totals[k] += algo
+                .solve(&instance, &realized)
+                .unwrap()
+                .metrics()
+                .total_reward();
+        }
+    }
+    let [appro, heu, heukkt, ocorp, greedy] = totals;
+    assert!(heu >= appro * 0.98, "Heu ({heu}) should be >= Appro ({appro})");
+    assert!(appro > heukkt, "Appro ({appro}) must beat HeuKKT ({heukkt})");
+    assert!(appro > ocorp, "Appro ({appro}) must beat OCORP ({ocorp})");
+    assert!(appro > greedy, "Appro ({appro}) must beat Greedy ({greedy})");
+    assert!(heukkt > ocorp, "HeuKKT ({heukkt}) must beat OCORP ({ocorp})");
+}
+
+#[test]
+fn latency_ordering_matches_paper() {
+    // OCORP/Greedy trade reward for latency: their average latencies sit
+    // below Appro/Heu (Fig 3(b)).
+    let seeds = 4;
+    let mut lat = [0.0f64; 5];
+    for seed in 0..seeds {
+        let (instance, realized) = world(120, 12, seed);
+        for (k, algo) in all_offline(seed).iter().enumerate() {
+            lat[k] += algo
+                .solve(&instance, &realized)
+                .unwrap()
+                .metrics()
+                .avg_latency_ms();
+        }
+    }
+    let [appro, heu, _heukkt, ocorp, greedy] = lat;
+    assert!(ocorp < appro, "OCORP latency must be below Appro");
+    assert!(greedy < heu, "Greedy latency must be below Heu");
+}
+
+#[test]
+fn lp_objective_upper_bounds_exact_expected_optimum() {
+    use mec_ar::core::slotlp::{SlotLp, Truncation};
+    for seed in 0..3 {
+        let (instance, _) = world(10, 3, seed);
+        let subset: Vec<usize> = (0..10).collect();
+        let lp = SlotLp::build(&instance, &subset, Truncation::Standard);
+        let lp_opt = lp.solve(10).unwrap().objective();
+        let (ilp_opt, _) = Exact::new().solve_ilp(&instance).unwrap();
+        // Lemma 1: LPOpt >= Opt. The slot-LP truncates rewards by residual
+        // capacity (Eq. 8) while ILP-RM uses full expected rewards, so
+        // compare against the ILP re-scored with Eq. 8 semantics — the LP
+        // bound must at least cover 1x that. A conservative check: LPOpt
+        // within a small factor of the ILP optimum, never collapsing.
+        assert!(lp_opt > 0.0);
+        assert!(
+            lp_opt >= ilp_opt * 0.5,
+            "seed {seed}: LP {lp_opt} suspiciously far below ILP {ilp_opt}"
+        );
+    }
+}
+
+#[test]
+fn degenerate_worlds() {
+    // No requests.
+    let (instance, realized) = world(0, 4, 0);
+    for algo in all_offline(0) {
+        let out = algo.solve(&instance, &realized).unwrap();
+        assert_eq!(out.metrics().total_reward(), 0.0);
+    }
+    // One station, many requests — capacity-bound but must not panic.
+    let (instance, realized) = world(30, 1, 1);
+    for algo in all_offline(1) {
+        let out = algo.solve(&instance, &realized).unwrap();
+        assert!(out.admitted() <= 30);
+    }
+}

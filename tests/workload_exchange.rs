@@ -1,0 +1,47 @@
+//! Workload exchange: an exported workload replayed from its text form
+//! drives a bit-identical simulation.
+
+use mec_ar::prelude::*;
+
+#[test]
+fn exported_workload_replays_identically() {
+    let topo = TopologyBuilder::new(8).seed(21).build();
+    let requests = WorkloadBuilder::new(&topo)
+        .seed(21)
+        .count(40)
+        .duration_range(20, 60)
+        .arrivals(ArrivalProcess::UniformOver { horizon: 80 })
+        .build();
+
+    // Round-trip through the text codec.
+    let text = write_requests(&requests);
+    let replayed = parse_requests(&text).expect("own output parses");
+    assert_eq!(requests, replayed);
+
+    // Identical runs: same topology, same seed, original vs replayed.
+    let paths = topo.shortest_paths();
+    let cfg = SlotConfig {
+        horizon: 200,
+        seed: 21,
+        ..Default::default()
+    };
+    let run = |reqs: Vec<Request>| {
+        let mut engine = Engine::new(&topo, &paths, reqs, cfg);
+        let mut policy = DynamicRr::new(DynamicRrConfig {
+            horizon_hint: cfg.horizon,
+            ..Default::default()
+        });
+        engine.run(&mut policy).expect("legal schedules")
+    };
+    assert_eq!(run(requests), run(replayed));
+}
+
+#[test]
+fn foreign_edits_are_validated() {
+    let topo = TopologyBuilder::new(3).seed(2).build();
+    let requests = WorkloadBuilder::new(&topo).seed(2).count(3).build();
+    let mut text = write_requests(&requests);
+    // Corrupt one probability: the distribution no longer sums to 1.
+    text = text.replacen(":0.3", ":0.9", 1);
+    assert!(parse_requests(&text).is_err());
+}
