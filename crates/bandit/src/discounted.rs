@@ -139,7 +139,11 @@ mod tests {
         for t in 0..4000u64 {
             let means = if t < 2000 { [0.8, 0.2] } else { [0.2, 0.8] };
             let a = p.select();
-            let r = if rng.gen::<f64>() < means[a.index()] { 1.0 } else { 0.0 };
+            let r = if rng.gen::<f64>() < means[a.index()] {
+                1.0
+            } else {
+                0.0
+            };
             p.update(a, r);
         }
         // After the switch, the discounted view must prefer arm 1.
@@ -154,7 +158,11 @@ mod tests {
         let mut p = DiscountedUcb::new(2, 1.0);
         for _ in 0..2000 {
             let a = p.select();
-            let r = if rng.gen::<f64>() < means[a.index()] { 1.0 } else { 0.0 };
+            let r = if rng.gen::<f64>() < means[a.index()] {
+                1.0
+            } else {
+                0.0
+            };
             p.update(a, r);
         }
         assert_eq!(p.best(), ArmId(1));

@@ -85,7 +85,9 @@ impl LipschitzDomain {
         if eps == 0.0 {
             return ArmId(0);
         }
-        let idx = ((x - self.lo) / eps).round().clamp(0.0, (self.kappa - 1) as f64);
+        let idx = ((x - self.lo) / eps)
+            .round()
+            .clamp(0.0, (self.kappa - 1) as f64);
         ArmId(idx as usize)
     }
 

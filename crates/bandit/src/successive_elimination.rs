@@ -141,7 +141,8 @@ mod tests {
 
     fn run_bernoulli_like(means: &[f64], steps: usize) -> SuccessiveElimination {
         // Deterministic "expected reward" feedback keeps the test exact.
-        let mut p = SuccessiveElimination::new(means.len(), ConfidenceSchedule::Horizon(steps as u64));
+        let mut p =
+            SuccessiveElimination::new(means.len(), ConfidenceSchedule::Horizon(steps as u64));
         for _ in 0..steps {
             let arm = p.select();
             p.update(arm, means[arm.index()]);

@@ -172,7 +172,11 @@ mod tests {
         let mut p = ThompsonBeta::new(3, 42);
         for _ in 0..3000 {
             let a = p.select();
-            let r = if env.gen::<f64>() < means[a.index()] { 1.0 } else { 0.0 };
+            let r = if env.gen::<f64>() < means[a.index()] {
+                1.0
+            } else {
+                0.0
+            };
             p.update(a, r);
         }
         assert_eq!(p.best(), ArmId(1));

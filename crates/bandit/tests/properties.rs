@@ -1,8 +1,8 @@
 //! Property-based tests for the bandit substrate.
 
 use mec_bandit::{
-    ArmId, BanditPolicy, ConfidenceSchedule, LipschitzDomain, RegretTracker,
-    SuccessiveElimination, Ucb1,
+    ArmId, BanditPolicy, ConfidenceSchedule, LipschitzDomain, RegretTracker, SuccessiveElimination,
+    Ucb1,
 };
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,34 @@
+//! End-to-end throughput of the sharded serving runtime: one full
+//! virtual-clock replay per iteration, swept over shard counts, so the
+//! numbers show how the barriered tick protocol scales with workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_serve::{serve, LoadGen, ServeConfig};
+use mec_topology::TopologyBuilder;
+use mec_workload::WorkloadBuilder;
+
+fn serve_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_replay");
+    group.sample_size(10);
+    let topo = TopologyBuilder::new(32).seed(7).build();
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let population = WorkloadBuilder::new(&topo).seed(7).count(2_000).build();
+                let load = LoadGen::poisson(population, 4_000.0, 50.0, 7);
+                let cfg = ServeConfig {
+                    shards,
+                    queue_capacity: 128,
+                    snapshot_every: 0,
+                    policy: "Greedy".to_string(),
+                    ..ServeConfig::default()
+                };
+                serve(&topo, load, &cfg, |_| {}).expect("serving run completes")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_replay);
+criterion_main!(benches);

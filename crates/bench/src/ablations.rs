@@ -24,11 +24,7 @@ fn run_dynamic_rr(d: &Defaults, config: DynamicRrConfig, use_lp: bool) -> (f64, 
         let paths = topo.shortest_paths();
         let mut engine = Engine::new(&topo, &paths, requests.clone(), cfg);
         let mut policy = if use_lp {
-            let instance = Instance::new(
-                topo.clone(),
-                requests,
-                d.instance_params(),
-            );
+            let instance = Instance::new(topo.clone(), requests, d.instance_params());
             DynamicRr::with_lp(instance, config)
         } else {
             DynamicRr::new(config)
@@ -51,7 +47,10 @@ pub fn learner_ablation(d: &Defaults) -> Table {
         ("ucb1", Learner::Ucb1),
         ("eps-greedy(0.1)", Learner::EpsilonGreedy { epsilon: 0.1 }),
         ("thompson", Learner::Thompson),
-        ("discounted-ucb(0.99)", Learner::DiscountedUcb { gamma: 0.99 }),
+        (
+            "discounted-ucb(0.99)",
+            Learner::DiscountedUcb { gamma: 0.99 },
+        ),
     ];
     for (name, learner) in learners {
         let cfg = DynamicRrConfig {
@@ -311,7 +310,9 @@ mod tests {
     #[test]
     fn rounds_ablation_monotone_reward() {
         let t = rounds_ablation(&tiny());
-        let rewards: Vec<f64> = (0..t.len()).map(|r| t.cell(r, 1).parse().unwrap()).collect();
+        let rewards: Vec<f64> = (0..t.len())
+            .map(|r| t.cell(r, 1).parse().unwrap())
+            .collect();
         // Backfilling can only add reward (tolerate small sampling noise in
         // intermediate rows, but the extremes must order).
         assert!(

@@ -22,11 +22,7 @@ fn main() {
         ],
     );
     for stations in [10usize, 20, 30, 40, 50] {
-        let topo = Defaults {
-            stations,
-            ..d
-        }
-        .topology(0);
+        let topo = Defaults { stations, ..d }.topology(0);
         let stats = TopologyStats::compute(&topo);
         table.push(vec![
             stations.to_string(),

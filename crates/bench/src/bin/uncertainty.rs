@@ -44,7 +44,10 @@ fn main() {
         format!("{:.1}", bound_total / d.runs as f64),
         "100.0%".into(),
     ]);
-    for (k, name) in ["Appro", "Heu", "HeuKKT", "OCORP", "Greedy"].iter().enumerate() {
+    for (k, name) in ["Appro", "Heu", "HeuKKT", "OCORP", "Greedy"]
+        .iter()
+        .enumerate()
+    {
         table.push(vec![
             name.to_string(),
             format!("{:.1}", rewards[k] / d.runs as f64),

@@ -8,11 +8,11 @@ use crate::params::Defaults;
 use crate::table::Table;
 use mec_bandit::{ArmId, BanditPolicy, ConfidenceSchedule, LipschitzDomain, SuccessiveElimination};
 use mec_core::model::Instance;
+use mec_core::model::Realizations;
 use mec_core::{
     Appro, DynamicRr, DynamicRrConfig, Exact, Greedy, Heu, HeuKkt, Ocorp, OfflineAlgorithm,
     OnlineGreedy, OnlineHeuKkt, OnlineOcorp,
 };
-use mec_core::model::Realizations;
 use mec_sim::{Engine, Metrics, SlotPolicy};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -34,8 +34,37 @@ pub const OFFLINE_NAMES: [&str; 5] = ["Appro", "Heu", "HeuKKT", "OCORP", "Greedy
 /// Names for the online series (Fig 4/6).
 pub const ONLINE_NAMES: [&str; 4] = ["DynamicRR", "HeuKKT", "OCORP", "Greedy"];
 
-fn online_policy(name: &str, horizon: u64) -> Box<dyn SlotPolicy> {
-    match name {
+/// A policy name that matches none of [`ONLINE_NAMES`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPolicy {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown online policy {:?}; accepted values: {}",
+            self.name,
+            ONLINE_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+/// Resolves an online policy by its [`ONLINE_NAMES`] entry.
+///
+/// # Errors
+///
+/// Returns [`UnknownPolicy`] (listing the accepted values) when `name`
+/// matches no series.
+pub fn online_policy(
+    name: &str,
+    horizon: u64,
+) -> Result<Box<dyn SlotPolicy + Send>, UnknownPolicy> {
+    Ok(match name {
         "DynamicRR" => Box::new(DynamicRr::new(DynamicRrConfig {
             horizon_hint: horizon,
             ..Default::default()
@@ -43,8 +72,12 @@ fn online_policy(name: &str, horizon: u64) -> Box<dyn SlotPolicy> {
         "HeuKKT" => Box::new(OnlineHeuKkt::new()),
         "OCORP" => Box::new(OnlineOcorp::new()),
         "Greedy" => Box::new(OnlineGreedy::new()),
-        other => panic!("unknown online policy {other}"),
-    }
+        other => {
+            return Err(UnknownPolicy {
+                name: other.to_string(),
+            })
+        }
+    })
 }
 
 /// Averaged (reward, latency ms) of one online policy over `runs` seeds.
@@ -58,7 +91,7 @@ fn online_point_with(d: &Defaults, name: &str, burst: bool) -> (f64, f64) {
         };
         let paths = topo.shortest_paths();
         let mut engine = Engine::new(&topo, &paths, requests, cfg);
-        let mut policy = online_policy(name, cfg.horizon);
+        let mut policy = online_policy(name, cfg.horizon).expect("name from ONLINE_NAMES");
         let m: Metrics = engine
             .run(policy.as_mut())
             .expect("built-in policies produce legal schedules");
@@ -245,11 +278,7 @@ pub fn regret_curve(kappa: usize, horizon: u64, eta: f64, seed: u64) -> Table {
     let domain = LipschitzDomain::new(0.0, 1.0, kappa);
     let peak = 0.63;
     let f = |v: f64| (0.9 - eta * (v - peak).abs()).clamp(0.0, 1.0);
-    let best_discrete = domain
-        .values()
-        .into_iter()
-        .map(f)
-        .fold(f64::MIN, f64::max);
+    let best_discrete = domain.values().into_iter().map(f).fold(f64::MIN, f64::max);
     let mut policy = SuccessiveElimination::new(kappa, ConfidenceSchedule::Horizon(horizon));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut table = Table::new(
@@ -326,7 +355,10 @@ pub fn regret_end_to_end(d: &Defaults) -> Table {
             .total_reward()
             / d.runs as f64;
     }
-    table.push(vec!["DynamicRR (learned)".into(), format!("{learner_reward:.1}")]);
+    table.push(vec![
+        "DynamicRR (learned)".into(),
+        format!("{learner_reward:.1}"),
+    ]);
     table.push(vec![
         "regret vs best fixed".into(),
         format!("{:.1}", best_fixed - learner_reward),
@@ -352,9 +384,7 @@ pub fn approx_ratio(seeds: u64, trials_per_seed: u64) -> Table {
             ..Defaults::paper()
         };
         let (instance, _) = d.offline_instance(seed);
-        let (opt, _) = Exact::new()
-            .solve_ilp(&instance)
-            .expect("small ILPs solve");
+        let (opt, _) = Exact::new().solve_ilp(&instance).expect("small ILPs solve");
         let mut mean = 0.0;
         for trial in 0..trials_per_seed {
             let realized = Realizations::draw(&instance, seed * 10_000 + trial);

@@ -1,11 +1,18 @@
 //! Seed-parallel sweep execution on scoped threads.
 //!
 //! Every figure averages independent seeded runs; those runs share nothing,
-//! so they fan out across cores with `crossbeam`'s scoped threads (results
-//! return in seed order, keeping the tables deterministic).
+//! so they fan out across cores with `std::thread::scope`. The fan-out is
+//! bounded by `available_parallelism` (one worker per core, each owning a
+//! contiguous chunk of the seed range), and results return in seed order,
+//! keeping the tables deterministic.
 
 /// Runs `f(seed)` for `seed ∈ 0..runs` in parallel and returns the results
 /// in seed order.
+///
+/// At most `available_parallelism` worker threads run at once; each owns a
+/// contiguous chunk of the seed range and writes into its own slice of the
+/// output, so no seed's result ever moves between workers and the returned
+/// order is deterministic.
 ///
 /// Falls back to a serial loop when the host exposes a single core (scoped
 /// threads would only add contention — and would pollute the wall-clock
@@ -25,17 +32,34 @@ where
     if runs <= 1 || cores <= 1 {
         return (0..runs).map(f).collect();
     }
+    let workers = cores.min(runs as usize);
+    let chunk = (runs as usize).div_ceil(workers);
+    let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
     let f = &f;
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..runs)
-            .map(|seed| scope.spawn(move |_| f(seed)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("seed worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope")
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<T>] = &mut results;
+        let mut start = 0u64;
+        let mut handles = Vec::with_capacity(workers);
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (slice, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = start;
+            start += take as u64;
+            handles.push(scope.spawn(move || {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(base + i as u64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("seed worker panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every seed filled"))
+        .collect()
 }
 
 /// Element-wise mean of per-seed metric vectors (each inner vector is one

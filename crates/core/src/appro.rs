@@ -14,7 +14,7 @@
 //! reward (Eq. 8's semantics) but still occupies the remainder.
 
 use crate::model::{Instance, Realizations};
-use crate::outcome::{OffloadOutcome, OfflineAlgorithm};
+use crate::outcome::{OfflineAlgorithm, OffloadOutcome};
 use crate::placement::TaskPlacement;
 use crate::slotlp::{FractionalAssignment, SlotLp, Truncation};
 use mec_sim::Metrics;
@@ -88,7 +88,13 @@ impl AdmissionState {
 
     /// Admits request `j` at `station`, realizing its demand: reward is
     /// earned only if the realized demand fits in the remaining capacity.
-    pub fn admit(&mut self, instance: &Instance, realized: &Realizations, j: usize, station: StationId) {
+    pub fn admit(
+        &mut self,
+        instance: &Instance,
+        realized: &Realizations,
+        j: usize,
+        station: StationId,
+    ) {
         let outcome = realized.outcome(j);
         let demand = instance.demand_of(outcome.rate);
         let capacity = instance.topo().station(station).capacity();
@@ -214,9 +220,8 @@ pub(crate) fn residual_fill(
             .feasible_stations(j)
             .into_iter()
             .map(|s| {
-                let remaining = (instance.topo().station(s).capacity()
-                    - state.occupied[s.index()])
-                .clamp_non_negative();
+                let remaining = (instance.topo().station(s).capacity() - state.occupied[s.index()])
+                    .clamp_non_negative();
                 (s, remaining)
             })
             .filter(|(_, remaining)| remaining.as_mhz() + 1e-9 >= need.as_mhz())
@@ -332,9 +337,7 @@ mod tests {
             if let Some(s) = a {
                 // Deadline feasibility (Constraint 11).
                 assert!(inst.offline_feasible(j, *s));
-                used[s.index()] += inst
-                    .demand_of(realized.outcome(j).rate)
-                    .as_mhz();
+                used[s.index()] += inst.demand_of(realized.outcome(j).rate).as_mhz();
             }
         }
         for (i, &u) in used.iter().enumerate() {

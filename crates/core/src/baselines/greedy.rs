@@ -2,7 +2,7 @@
 
 use crate::baselines::{evaluate_plan, nearest_feasible, LOCALITY};
 use crate::model::{Instance, Realizations};
-use crate::outcome::{OffloadOutcome, OfflineAlgorithm};
+use crate::outcome::{OfflineAlgorithm, OffloadOutcome};
 use mec_topology::station::StationId;
 use mec_topology::units::total_cmp;
 use std::time::Instant;

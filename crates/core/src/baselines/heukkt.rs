@@ -2,7 +2,7 @@
 
 use crate::baselines::evaluate_plan;
 use crate::model::{Instance, Realizations};
-use crate::outcome::{OffloadOutcome, OfflineAlgorithm};
+use crate::outcome::{OfflineAlgorithm, OffloadOutcome};
 use mec_topology::station::StationId;
 use mec_topology::units::total_cmp;
 use std::time::Instant;
@@ -54,15 +54,12 @@ impl OfflineAlgorithm for HeuKkt {
         // reward; ties toward lower latency.
         let preferred: Vec<Option<StationId>> = (0..n)
             .map(|j| {
-                instance
-                    .feasible_stations(j)
-                    .into_iter()
-                    .min_by(|&a, &b| {
-                        total_cmp(
-                            &instance.offline_latency(j, a),
-                            &instance.offline_latency(j, b),
-                        )
-                    })
+                instance.feasible_stations(j).into_iter().min_by(|&a, &b| {
+                    total_cmp(
+                        &instance.offline_latency(j, a),
+                        &instance.offline_latency(j, b),
+                    )
+                })
             })
             .collect();
 
@@ -72,15 +69,15 @@ impl OfflineAlgorithm for HeuKkt {
         let mut expected_load = vec![0.0f64; instance.topo().station_count()];
         let mut spilled: Vec<usize> = Vec::new();
         for station in instance.topo().station_ids() {
-            let mut local: Vec<usize> = (0..n)
-                .filter(|&j| preferred[j] == Some(station))
-                .collect();
+            let mut local: Vec<usize> = (0..n).filter(|&j| preferred[j] == Some(station)).collect();
             // Decreasing marginal value = reward per MHz of expected demand.
             local.sort_by(|&a, &b| {
                 let density = |j: usize| {
                     let d = instance
                         .demand_of(
-                            instance.requests()[j].demand().rate_quantile(RESERVE_QUANTILE),
+                            instance.requests()[j]
+                                .demand()
+                                .rate_quantile(RESERVE_QUANTILE),
                         )
                         .as_mhz();
                     instance.requests()[j].demand().expected_reward() / d.max(1e-9)
@@ -90,7 +87,11 @@ impl OfflineAlgorithm for HeuKkt {
             let cap = instance.topo().station(station).capacity().as_mhz();
             for j in local {
                 let need = instance
-                    .demand_of(instance.requests()[j].demand().rate_quantile(RESERVE_QUANTILE))
+                    .demand_of(
+                        instance.requests()[j]
+                            .demand()
+                            .rate_quantile(RESERVE_QUANTILE),
+                    )
                     .as_mhz();
                 if expected_load[station.index()] + need <= cap + 1e-9 {
                     expected_load[station.index()] += need;
@@ -106,7 +107,11 @@ impl OfflineAlgorithm for HeuKkt {
         // dropped from the edge plan.
         for j in spilled {
             let need = instance
-                .demand_of(instance.requests()[j].demand().rate_quantile(RESERVE_QUANTILE))
+                .demand_of(
+                    instance.requests()[j]
+                        .demand()
+                        .rate_quantile(RESERVE_QUANTILE),
+                )
                 .as_mhz();
             let fallback = instance
                 .feasible_stations(j)
@@ -129,7 +134,11 @@ impl OfflineAlgorithm for HeuKkt {
 
         let metrics = evaluate_plan(instance, realized, &plan, |j| {
             instance
-                .demand_of(instance.requests()[j].demand().rate_quantile(RESERVE_QUANTILE))
+                .demand_of(
+                    instance.requests()[j]
+                        .demand()
+                        .rate_quantile(RESERVE_QUANTILE),
+                )
                 .as_mhz()
         });
         Ok(OffloadOutcome::new(metrics, plan, started.elapsed()))

@@ -2,7 +2,7 @@
 
 use crate::baselines::{evaluate_plan, nearest_feasible, LOCALITY};
 use crate::model::{Instance, Realizations};
-use crate::outcome::{OffloadOutcome, OfflineAlgorithm};
+use crate::outcome::{OfflineAlgorithm, OffloadOutcome};
 use mec_topology::station::StationId;
 use mec_topology::units::total_cmp;
 use std::time::Instant;
@@ -39,14 +39,12 @@ impl OfflineAlgorithm for Ocorp {
         order.sort_by(|&a, &b| {
             let ra = &instance.requests()[a];
             let rb = &instance.requests()[b];
-            ra.arrival_slot()
-                .cmp(&rb.arrival_slot())
-                .then_with(|| {
-                    // Remaining data ∝ expected rate × stream duration.
-                    let da = ra.demand().expected_rate().as_mbps() * ra.duration_slots() as f64;
-                    let db = rb.demand().expected_rate().as_mbps() * rb.duration_slots() as f64;
-                    total_cmp(&da, &db)
-                })
+            ra.arrival_slot().cmp(&rb.arrival_slot()).then_with(|| {
+                // Remaining data ∝ expected rate × stream duration.
+                let da = ra.demand().expected_rate().as_mbps() * ra.duration_slots() as f64;
+                let db = rb.demand().expected_rate().as_mbps() * rb.duration_slots() as f64;
+                total_cmp(&da, &db)
+            })
         });
 
         let mut plan: Vec<Option<StationId>> = vec![None; n];
@@ -59,8 +57,8 @@ impl OfflineAlgorithm for Ocorp {
             let best = nearest_feasible(instance, j, LOCALITY)
                 .into_iter()
                 .filter_map(|s| {
-                    let residual = instance.topo().station(s).capacity().as_mhz()
-                        - expected_load[s.index()];
+                    let residual =
+                        instance.topo().station(s).capacity().as_mhz() - expected_load[s.index()];
                     (residual + 1e-9 >= need).then_some((s, residual))
                 })
                 .min_by(|a, b| {
@@ -113,11 +111,7 @@ mod tests {
             }
         }
         for (i, &l) in load.iter().enumerate() {
-            let cap = inst
-                .topo()
-                .station(StationId(i))
-                .capacity()
-                .as_mhz();
+            let cap = inst.topo().station(StationId(i)).capacity().as_mhz();
             assert!(l <= cap + 1e-6, "station {i} over expected capacity");
         }
     }

@@ -8,7 +8,7 @@
 //! enforced structurally by creating variables only for feasible pairs.
 
 use crate::model::{Instance, Realizations};
-use crate::outcome::{OffloadOutcome, OfflineAlgorithm};
+use crate::outcome::{OfflineAlgorithm, OffloadOutcome};
 use mec_lp::{solve_binary, BranchBoundConfig, Cmp, LpError, Problem, Sense, VarId};
 use mec_sim::Metrics;
 use mec_topology::station::StationId;
@@ -44,10 +44,7 @@ impl Exact {
     /// # Errors
     ///
     /// Propagates [`LpError`] from branch-and-bound.
-    pub fn solve_ilp(
-        &self,
-        instance: &Instance,
-    ) -> Result<(f64, Vec<Option<StationId>>), LpError> {
+    pub fn solve_ilp(&self, instance: &Instance) -> Result<(f64, Vec<Option<StationId>>), LpError> {
         let n = instance.request_count();
         let mut problem = Problem::new(Sense::Maximize);
         let mut vars: Vec<(usize, StationId, VarId)> = Vec::new();
@@ -75,8 +72,8 @@ impl Exact {
                 .iter()
                 .filter(|&&(_, s, _)| s == station)
                 .map(|&(j, _, v)| {
-                    let demand = instance
-                        .demand_of(instance.requests()[j].demand().expected_rate());
+                    let demand =
+                        instance.demand_of(instance.requests()[j].demand().expected_rate());
                     (v, demand.as_mhz())
                 })
                 .collect();
@@ -127,8 +124,7 @@ impl OfflineAlgorithm for Exact {
                     let demand = instance.demand_of(outcome.rate).as_mhz();
                     let cap = instance.topo().station(*station).capacity().as_mhz();
                     let fits = occupied[station.index()] + demand <= cap + 1e-9;
-                    occupied[station.index()] =
-                        (occupied[station.index()] + demand).min(cap);
+                    occupied[station.index()] = (occupied[station.index()] + demand).min(cap);
                     let latency = instance
                         .offline_latency(j, *station)
                         .expect("assigned stations are reachable");

@@ -19,7 +19,7 @@ use crate::appro::{
     grouped_by_slot, residual_fill, sample_tentative, AdmissionState, DEFAULT_ROUNDS,
 };
 use crate::model::{Instance, Realizations};
-use crate::outcome::{OffloadOutcome, OfflineAlgorithm};
+use crate::outcome::{OfflineAlgorithm, OffloadOutcome};
 use crate::slotlp::{SlotLp, Truncation};
 use mec_topology::station::StationId;
 use mec_topology::units::total_cmp;
@@ -129,9 +129,8 @@ pub(crate) fn migrate_one_task(
         .clone()
         .expect("victim is admitted, so placed");
     for target in targets {
-        let free = (instance.topo().station(target).capacity()
-            - state.occupied[target.index()])
-        .clamp_non_negative();
+        let free = (instance.topo().station(target).capacity() - state.occupied[target.index()])
+            .clamp_non_negative();
         if free.as_mhz() + 1e-9 < task_demand.as_mhz() {
             continue;
         }
@@ -255,8 +254,8 @@ mod tests {
         let placement = state.placements[0].as_ref().unwrap();
         assert!(!placement.is_consolidated());
         assert_eq!(placement.station_of(0), StationId(1)); // render moved
-        // A second migration of the same request is refused (one per
-        // request keeps Theorem 2's argument).
+                                                           // A second migration of the same request is refused (one per
+                                                           // request keeps Theorem 2's argument).
         assert!(!migrate_one_task(&inst, &realized, &mut state, 0.into()));
     }
 

@@ -46,12 +46,7 @@ pub fn hindsight_bound(instance: &Instance, realized: &Realizations) -> Result<f
         let coeffs: Vec<(VarId, f64)> = vars
             .iter()
             .filter(|&&(_, s, _)| s == station.index())
-            .map(|&(j, _, v)| {
-                (
-                    v,
-                    instance.demand_of(realized.outcome(j).rate).as_mhz(),
-                )
-            })
+            .map(|&(j, _, v)| (v, instance.demand_of(realized.outcome(j).rate).as_mhz()))
             .collect();
         if !coeffs.is_empty() {
             problem.add_constraint(

@@ -56,5 +56,5 @@ pub use heu::Heu;
 pub use hindsight::hindsight_bound;
 pub use model::{Instance, InstanceParams, Realizations};
 pub use online::{DynamicRr, DynamicRrConfig, Learner, OnlineGreedy, OnlineHeuKkt, OnlineOcorp};
-pub use outcome::{OffloadOutcome, OfflineAlgorithm};
+pub use outcome::{OfflineAlgorithm, OffloadOutcome};
 pub use placement::TaskPlacement;

@@ -88,13 +88,22 @@ impl Instance {
 
     /// The resource-slot layout of one station (`L = ⌊C/C_l⌋`).
     pub fn slot_layout(&self, station: StationId) -> SlotLayout {
-        SlotLayout::partition(self.topo.station(station).capacity(), self.params.slot_capacity)
+        SlotLayout::partition(
+            self.topo.station(station).capacity(),
+            self.params.slot_capacity,
+        )
     }
 
     /// Offline latency of serving request `j` at `station` with zero
     /// waiting (Eq. 2 with `b_j = a_j`), or `None` if unreachable.
     pub fn offline_latency(&self, j: usize, station: StationId) -> Option<Latency> {
-        self.requests[j].experienced_latency(&self.topo, &self.paths, station, 0, self.params.slot_ms)
+        self.requests[j].experienced_latency(
+            &self.topo,
+            &self.paths,
+            station,
+            0,
+            self.params.slot_ms,
+        )
     }
 
     /// Whether serving `j` at `station` with zero waiting meets `D̂_j`.
@@ -186,7 +195,10 @@ mod tests {
 
     fn instance(n_requests: usize) -> Instance {
         let topo = TopologyBuilder::new(5).seed(2).build();
-        let requests = WorkloadBuilder::new(&topo).seed(2).count(n_requests).build();
+        let requests = WorkloadBuilder::new(&topo)
+            .seed(2)
+            .count(n_requests)
+            .build();
         Instance::new(topo, requests, InstanceParams::default())
     }
 

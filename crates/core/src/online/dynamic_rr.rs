@@ -209,10 +209,7 @@ impl DynamicRr {
             .filter(|&i| ctx.views[i].schedulable())
             .collect();
         order.sort_by(|&a, &b| {
-            total_cmp(
-                &ctx.views[a].rate_estimate(),
-                &ctx.views[b].rate_estimate(),
-            )
+            total_cmp(&ctx.views[a].rate_estimate(), &ctx.views[b].rate_estimate())
         });
         let total = ctx.topo.total_capacity();
         let mut admitted = Vec::new();
@@ -260,8 +257,7 @@ impl DynamicRr {
                 .iter()
                 .map(|&i| useful_compute(&ctx.views[i], ctx))
                 .collect();
-            let grants =
-                mec_sim::sharing::water_fill(ctx.topo.station(station).capacity(), &caps);
+            let grants = mec_sim::sharing::water_fill(ctx.topo.station(station).capacity(), &caps);
             for (&i, grant) in local.iter().zip(grants) {
                 if grant.is_positive() {
                     out.push(Allocation {
@@ -313,19 +309,17 @@ impl DynamicRr {
             // reserved load fits, else spread to the most unreserved
             // feasible station (exactly what `Heu`'s migration repair does
             // to an overfull prefix).
-            let choice: Option<StationId> = frac
-                .as_ref()
-                .and_then(|f| {
-                    f.for_request(local)
-                        .iter()
-                        .filter(|(s, _, _)| {
-                            startable_at(view, ctx, *s)
-                                && (reserved[s.index()] + need).as_mhz()
-                                    <= ctx.topo.station(*s).capacity().as_mhz() + 1e-9
-                        })
-                        .max_by(|a, b| total_cmp(&a.2, &b.2))
-                        .map(|&(s, _, _)| s)
-                });
+            let choice: Option<StationId> = frac.as_ref().and_then(|f| {
+                f.for_request(local)
+                    .iter()
+                    .filter(|(s, _, _)| {
+                        startable_at(view, ctx, *s)
+                            && (reserved[s.index()] + need).as_mhz()
+                                <= ctx.topo.station(*s).capacity().as_mhz() + 1e-9
+                    })
+                    .max_by(|a, b| total_cmp(&a.2, &b.2))
+                    .map(|&(s, _, _)| s)
+            });
             let fallback = || {
                 ctx.topo
                     .station_ids()
@@ -352,8 +346,7 @@ impl DynamicRr {
                 .iter()
                 .map(|&i| useful_compute(&ctx.views[i], ctx))
                 .collect();
-            let grants =
-                mec_sim::sharing::water_fill(ctx.topo.station(station).capacity(), &caps);
+            let grants = mec_sim::sharing::water_fill(ctx.topo.station(station).capacity(), &caps);
             for (&i, grant) in local.iter().zip(grants) {
                 if grant.is_positive() {
                     out.push(Allocation {
@@ -490,7 +483,9 @@ mod tests {
         let requests = WorkloadBuilder::new(&topo)
             .seed(23)
             .count(n)
-            .arrivals(ArrivalProcess::UniformOver { horizon: horizon / 2 })
+            .arrivals(ArrivalProcess::UniformOver {
+                horizon: horizon / 2,
+            })
             .build();
         let params = InstanceParams::default();
         let paths = topo.shortest_paths();

@@ -2,9 +2,9 @@
 //! capacity across its reward-ranked local jobs.
 
 use crate::online::{startable_at, useful_compute, SlotCapacity};
+use mec_sim::fair_share;
 use mec_sim::{Allocation, SlotContext, SlotPolicy};
 use mec_topology::units::total_cmp;
-use mec_sim::fair_share;
 
 /// The online `HeuKKT` baseline: each slot, jobs attach to their
 /// latency-optimal feasible station; every station then splits its capacity
@@ -56,7 +56,11 @@ impl SlotPolicy for OnlineHeuKkt {
             // Reward density: expected reward per MHz of estimated demand.
             let density = |i: usize| {
                 let v = &ctx.views[i];
-                let d = v.rate_estimate().demand(ctx.config.c_unit).as_mhz().max(1e-9);
+                let d = v
+                    .rate_estimate()
+                    .demand(ctx.config.c_unit)
+                    .as_mhz()
+                    .max(1e-9);
                 v.job.request().demand().expected_reward() / d
             };
             local.sort_by(|&a, &b| total_cmp(&density(b), &density(a)));

@@ -35,11 +35,7 @@ pub(crate) fn useful_compute(view: &JobView<'_>, ctx: &SlotContext<'_>) -> Compu
 /// Whether `station` is a legal *first* service location for the job this
 /// slot (Ineq. 1 — the engine enforces the same test, so policies must
 /// pre-filter with it). Jobs already started are always legal.
-pub(crate) fn startable_at(
-    view: &JobView<'_>,
-    ctx: &SlotContext<'_>,
-    station: StationId,
-) -> bool {
+pub(crate) fn startable_at(view: &JobView<'_>, ctx: &SlotContext<'_>, station: StationId) -> bool {
     if view.job.realized().is_some() {
         return true;
     }
@@ -58,12 +54,7 @@ pub(crate) struct SlotCapacity {
 impl SlotCapacity {
     pub fn new(ctx: &SlotContext<'_>) -> Self {
         Self {
-            remaining: ctx
-                .topo
-                .stations()
-                .iter()
-                .map(|s| s.capacity())
-                .collect(),
+            remaining: ctx.topo.stations().iter().map(|s| s.capacity()).collect(),
         }
     }
 
@@ -76,5 +67,24 @@ impl SlotCapacity {
         let grant = want.min(self.remaining[s.index()]).clamp_non_negative();
         self.remaining[s.index()] -= grant;
         grant
+    }
+}
+
+#[cfg(test)]
+mod send_tests {
+    use super::*;
+
+    /// The serving runtime (`mec-serve`) moves boxed online policies into
+    /// per-shard worker threads, so every policy must be `Send`. Compile-
+    /// time assertion — a non-`Send` field (e.g. an `Rc`) fails this test
+    /// at build time.
+    #[test]
+    fn online_policies_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<DynamicRr>();
+        assert_send::<OnlineGreedy>();
+        assert_send::<OnlineHeuKkt>();
+        assert_send::<OnlineOcorp>();
+        assert_send::<Box<dyn mec_sim::SlotPolicy + Send>>();
     }
 }

@@ -73,11 +73,8 @@ pub trait OfflineAlgorithm {
     ///
     /// Implementations report solver failures (e.g. LP iteration limits) as
     /// human-readable strings; well-formed instances never fail.
-    fn solve(
-        &self,
-        instance: &Instance,
-        realized: &Realizations,
-    ) -> Result<OffloadOutcome, String>;
+    fn solve(&self, instance: &Instance, realized: &Realizations)
+        -> Result<OffloadOutcome, String>;
 }
 
 #[cfg(test)]

@@ -184,8 +184,8 @@ mod tests {
         let neighbor = inst.topo().neighbors(home)[0].0;
         // Moving a middle task forces home→nb and nb→home legs around it.
         let moved = base.with_task_moved(1, neighbor);
-        let delta = moved.latency(&inst, j).unwrap().as_ms()
-            - base.latency(&inst, j).unwrap().as_ms();
+        let delta =
+            moved.latency(&inst, j).unwrap().as_ms() - base.latency(&inst, j).unwrap().as_ms();
         assert!((delta - 4.0).abs() < 1e-9);
     }
 

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a decision variable within a [`Problem`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VarId(pub(crate) usize);
 
 impl VarId {
@@ -83,7 +81,10 @@ impl Problem {
     ///
     /// Panics if `obj_coeff` is not finite.
     pub fn add_var(&mut self, obj_coeff: f64) -> VarId {
-        assert!(obj_coeff.is_finite(), "objective coefficient must be finite");
+        assert!(
+            obj_coeff.is_finite(),
+            "objective coefficient must be finite"
+        );
         let id = VarId(self.objective.len());
         self.objective.push(obj_coeff);
         self.upper_bounds.push(None);
@@ -194,11 +195,7 @@ impl Problem {
     /// Panics if `point.len() != var_count()`.
     pub fn objective_at(&self, point: &[f64]) -> f64 {
         assert_eq!(point.len(), self.var_count(), "dimension mismatch");
-        self.objective
-            .iter()
-            .zip(point)
-            .map(|(c, x)| c * x)
-            .sum()
+        self.objective.iter().zip(point).map(|(c, x)| c * x).sum()
     }
 
     /// Checks whether a point satisfies every constraint and bound within

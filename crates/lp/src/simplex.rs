@@ -192,7 +192,7 @@ fn presolve_mask(problem: &Problem) -> Vec<bool> {
         for &(v, c) in &row.coeffs {
             let c = if flip { -c } else { c };
             let blocks_drop = match cmp {
-                Cmp::Le => c < 0.0,       // could relax the row: must keep
+                Cmp::Le => c < 0.0,            // could relax the row: must keep
                 Cmp::Ge | Cmp::Eq => c != 0.0, // could be needed for feasibility
             };
             if blocks_drop {

@@ -123,7 +123,12 @@ impl Solution {
 
 impl fmt::Display for Solution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "objective {:.6} over {} vars", self.objective, self.values.len())
+        write!(
+            f,
+            "objective {:.6} over {} vars",
+            self.objective,
+            self.values.len()
+        )
     }
 }
 

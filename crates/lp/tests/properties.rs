@@ -28,10 +28,7 @@ fn dual(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Problem {
     let ys: Vec<VarId> = b.iter().map(|&bi| p.add_var(bi)).collect();
     for (j, &cj) in c.iter().enumerate() {
         p.add_constraint(
-            ys.iter()
-                .enumerate()
-                .map(|(i, &y)| (y, a[i][j]))
-                .collect(),
+            ys.iter().enumerate().map(|(i, &y)| (y, a[i][j])).collect(),
             Cmp::Ge,
             cj,
         );
@@ -40,10 +37,7 @@ fn dual(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Problem {
 }
 
 fn matrix(m: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.05f64..3.0, n),
-        m,
-    )
+    prop::collection::vec(prop::collection::vec(0.05f64..3.0, n), m)
 }
 
 proptest! {

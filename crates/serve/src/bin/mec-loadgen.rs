@@ -1,0 +1,113 @@
+//! Open-loop Poisson load generator.
+//!
+//! Generates an AR request population, re-times it as a Poisson arrival
+//! stream at the requested rate, and writes the schedule as a
+//! `mec-workload` CSV trace (stdout by default) that `mec-serve --trace`
+//! can replay.
+//!
+//! ```text
+//! mec-loadgen --stations 100 --requests 100000 --rps 2000 --out trace.csv
+//! ```
+
+use mec_serve::LoadGen;
+use mec_topology::TopologyBuilder;
+use mec_workload::{write_requests, WorkloadBuilder};
+use std::process::ExitCode;
+
+struct Args {
+    stations: usize,
+    requests: usize,
+    rps: f64,
+    seed: u64,
+    slot_ms: f64,
+    out: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            stations: 100,
+            requests: 100_000,
+            rps: 2_000.0,
+            seed: 0,
+            slot_ms: 50.0,
+            out: None,
+        }
+    }
+}
+
+const USAGE: &str = "\
+mec-loadgen: open-loop Poisson AR request trace generator
+
+USAGE:
+    mec-loadgen [OPTIONS]
+
+OPTIONS:
+    --stations <N>   base stations the requests attach to [default: 100]
+    --requests <N>   requests to generate [default: 100000]
+    --rps <F>        offered load, requests per second [default: 2000]
+    --seed <N>       generation seed [default: 0]
+    --slot-ms <F>    slot length in milliseconds [default: 50]
+    --out <PATH>     write the CSV trace here instead of stdout
+    --help           print this help
+";
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("could not parse {s:?}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--stations" => args.stations = parse(&value("--stations")?)?,
+            "--requests" => args.requests = parse(&value("--requests")?)?,
+            "--rps" => args.rps = parse(&value("--rps")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--slot-ms" => args.slot_ms = parse(&value("--slot-ms")?)?,
+            "--out" => args.out = Some(value("--out")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let topo = TopologyBuilder::new(args.stations).seed(args.seed).build();
+    let population = WorkloadBuilder::new(&topo)
+        .seed(args.seed)
+        .count(args.requests)
+        .build();
+    let load = LoadGen::poisson(population, args.rps, args.slot_ms, args.seed);
+    let span = load.max_arrival();
+    let csv = write_requests(load.requests());
+
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, csv) {
+                eprintln!("cannot write {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} requests spanning {span} slots to {path}",
+                load.len()
+            );
+        }
+        None => {
+            print!("{csv}");
+            eprintln!("generated {} requests spanning {span} slots", load.len());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,205 @@
+//! Long-running sharded serving binary.
+//!
+//! Generates (or loads) an AR request population, re-times it as an
+//! open-loop Poisson stream, and drives it through the sharded runtime,
+//! printing one JSON snapshot per line to stdout and a human summary to
+//! stderr.
+//!
+//! ```text
+//! mec-serve --stations 100 --requests 100000 --shards 4 --rps 2000
+//! ```
+
+use mec_serve::{serve, ClockMode, LoadGen, ServeConfig, POLICY_NAMES};
+use mec_topology::TopologyBuilder;
+use mec_workload::WorkloadBuilder;
+use std::process::ExitCode;
+
+struct Args {
+    stations: usize,
+    requests: usize,
+    shards: usize,
+    policy: String,
+    rps: f64,
+    seed: u64,
+    snapshot_every: u64,
+    queue_capacity: usize,
+    slot_ms: f64,
+    drain_slots: u64,
+    paced: bool,
+    trace: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            stations: 100,
+            requests: 100_000,
+            shards: 4,
+            policy: "DynamicRR".to_string(),
+            rps: 2_000.0,
+            seed: 0,
+            snapshot_every: 100,
+            queue_capacity: 256,
+            slot_ms: 50.0,
+            drain_slots: 1_000,
+            paced: false,
+            trace: None,
+        }
+    }
+}
+
+const USAGE: &str = "\
+mec-serve: sharded long-running AR offload serving runtime
+
+USAGE:
+    mec-serve [OPTIONS]
+
+OPTIONS:
+    --stations <N>        base stations in the topology [default: 100]
+    --requests <N>        requests to generate [default: 100000]
+    --shards <N>          shard worker threads [default: 4]
+    --policy <NAME>       scheduling policy [default: DynamicRR]
+    --rps <F>             offered load, requests per second [default: 2000]
+    --seed <N>            run seed (topology, workload, demand) [default: 0]
+    --snapshot-every <N>  slots between JSON snapshots; 0 = none [default: 100]
+    --queue-capacity <N>  per-shard backlog cap before shedding [default: 256]
+    --slot-ms <F>         slot length in milliseconds [default: 50]
+    --drain-slots <N>     slots allowed after the last arrival [default: 1000]
+    --paced               pace ticks to wall time instead of virtual time
+    --trace <PATH>        replay a mec-workload CSV trace instead of generating
+    --help                print this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--stations" => args.stations = parse(&value("--stations")?)?,
+            "--requests" => args.requests = parse(&value("--requests")?)?,
+            "--shards" => args.shards = parse(&value("--shards")?)?,
+            "--policy" => args.policy = value("--policy")?,
+            "--rps" => args.rps = parse(&value("--rps")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--snapshot-every" => args.snapshot_every = parse(&value("--snapshot-every")?)?,
+            "--queue-capacity" => args.queue_capacity = parse(&value("--queue-capacity")?)?,
+            "--slot-ms" => args.slot_ms = parse(&value("--slot-ms")?)?,
+            "--drain-slots" => args.drain_slots = parse(&value("--drain-slots")?)?,
+            "--paced" => args.paced = true,
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    if !POLICY_NAMES.contains(&args.policy.as_str()) {
+        return Err(format!(
+            "unknown policy {:?}; accepted values: {}",
+            args.policy,
+            POLICY_NAMES.join(", ")
+        ));
+    }
+    if args.shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    if args.shards > args.stations {
+        return Err(format!(
+            "--shards {} exceeds --stations {}: every shard needs at least one station",
+            args.shards, args.stations
+        ));
+    }
+    if args.queue_capacity == 0 {
+        return Err("--queue-capacity must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("could not parse {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let topo = TopologyBuilder::new(args.stations).seed(args.seed).build();
+    let population = match &args.trace {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read trace {path:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match mec_workload::codec::parse_requests(&text) {
+                Ok(requests) => requests,
+                Err(e) => {
+                    eprintln!("cannot parse trace {path:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => WorkloadBuilder::new(&topo)
+            .seed(args.seed)
+            .count(args.requests)
+            .build(),
+    };
+    let total = population.len();
+    // A trace already carries its arrival schedule (e.g. from mec-loadgen);
+    // generated populations are re-timed to the requested rate.
+    let load = if args.trace.is_some() {
+        LoadGen::replay(population)
+    } else {
+        LoadGen::poisson(population, args.rps, args.slot_ms, args.seed)
+    };
+
+    let cfg = ServeConfig {
+        shards: args.shards,
+        queue_capacity: args.queue_capacity,
+        snapshot_every: args.snapshot_every,
+        policy: args.policy.clone(),
+        sim: mec_sim::SlotConfig {
+            slot_ms: args.slot_ms,
+            seed: args.seed,
+            ..mec_sim::SlotConfig::default()
+        },
+        drain_slots: args.drain_slots,
+        clock: if args.paced {
+            ClockMode::Paced {
+                slot_ms: args.slot_ms,
+            }
+        } else {
+            ClockMode::Virtual
+        },
+    };
+
+    eprintln!(
+        "serving {total} requests at {} rps across {} shards ({} stations, policy {})",
+        args.rps, args.shards, args.stations, args.policy
+    );
+    let outcome = match serve(&topo, load, &cfg, |snap| println!("{}", snap.to_json())) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{}", outcome.final_snapshot.to_json());
+    eprintln!(
+        "done: {} slots in {:.2}s ({:.0} slots/s) | admitted {} / shed {} | {}",
+        outcome.slots_run,
+        outcome.wall_secs,
+        outcome.slots_run as f64 / outcome.wall_secs.max(1e-9),
+        outcome.final_snapshot.admitted,
+        outcome.final_snapshot.shed,
+        outcome.metrics,
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,90 @@
+//! The tick source for the serving loop.
+//!
+//! All scheduling decisions key off the *virtual* slot index, never off
+//! wall time — pacing only inserts sleeps between ticks, so a paced run
+//! makes exactly the same decisions as a virtual-time run with the same
+//! seed. That separation is what lets the determinism tests compare runs
+//! byte for byte while the production binary still tracks real time.
+
+use std::time::{Duration, Instant};
+
+/// How the serving loop advances from one slot to the next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockMode {
+    /// Run slots back-to-back as fast as the shards can process them.
+    /// This is the mode used by tests and batch replays.
+    Virtual,
+    /// Sleep so each slot occupies `slot_ms` of wall time (the paper's
+    /// slot length is 50 ms). Ticks that fall behind are not skipped;
+    /// the clock catches up without sleeping.
+    Paced {
+        /// Wall-clock length of one slot in milliseconds.
+        slot_ms: f64,
+    },
+}
+
+/// A monotonic slot clock.
+#[derive(Debug)]
+pub struct Clock {
+    mode: ClockMode,
+    started: Instant,
+    ticks: u64,
+}
+
+impl Clock {
+    /// Creates a clock that has not ticked yet.
+    pub fn new(mode: ClockMode) -> Self {
+        Self {
+            mode,
+            started: Instant::now(),
+            ticks: 0,
+        }
+    }
+
+    /// The number of completed ticks — equal to the current virtual slot.
+    pub const fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Advances one slot, sleeping first if the mode paces wall time.
+    pub fn tick(&mut self) {
+        if let ClockMode::Paced { slot_ms } = self.mode {
+            let due = self.started + Duration::from_secs_f64(self.ticks as f64 * slot_ms / 1000.0);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        self.ticks += 1;
+    }
+
+    /// Wall-clock seconds since the clock was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_mode_does_not_sleep() {
+        let mut clock = Clock::new(ClockMode::Virtual);
+        for _ in 0..10_000 {
+            clock.tick();
+        }
+        assert_eq!(clock.ticks(), 10_000);
+        assert!(clock.elapsed_secs() < 1.0);
+    }
+
+    #[test]
+    fn paced_mode_spends_wall_time() {
+        let mut clock = Clock::new(ClockMode::Paced { slot_ms: 5.0 });
+        for _ in 0..4 {
+            clock.tick();
+        }
+        // 4 ticks at 5 ms each: at least the first three gaps elapsed.
+        assert!(clock.elapsed_secs() >= 0.014, "{}", clock.elapsed_secs());
+    }
+}

@@ -1,0 +1,80 @@
+//! # mec-serve
+//!
+//! A sharded, long-running serving runtime over the `mec-sim` slot engine:
+//! the substrate for operating the paper's online offloading policies as a
+//! *service* — arrivals stream in continuously, decisions happen per tick,
+//! and the operator watches metrics snapshots — instead of replaying a
+//! pre-materialized trace to completion.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            ┌────────────┐   Inject/Tick    ┌─────────────────────┐
+//!  LoadGen ─▶│   Router   │─────────────────▶│ Shard 0: Engine+Pol │─┐
+//!            │ (admission │   bounded mpsc   ├─────────────────────┤ │ ShardTick
+//!            │  + shed)   │─────────────────▶│ Shard 1: Engine+Pol │─┤ (fan-in,
+//!            └────────────┘                  ├─────────────────────┤ │  shard order)
+//!                  ▲                         │        ...          │ │
+//!            ┌────────────┐                  └─────────────────────┘ │
+//!            │   Clock    │                   ┌────────────────┐     │
+//!            │ (virtual / │                   │   Aggregator   │◀────┘
+//!            │   paced)   │                   │ (JSON Snapshot)│
+//!            └────────────┘                   └────────────────┘
+//! ```
+//!
+//! * [`partition`] splits a global [`mec_topology::Topology`] into
+//!   per-shard sub-topologies (round-robin by station id, induced edges,
+//!   bridged back to connectivity).
+//! * Each shard runs a worker thread owning its own
+//!   [`mec_sim::Engine`] and a boxed [`mec_sim::SlotPolicy`]; commands
+//!   arrive over a **bounded** channel.
+//! * The [`Router`] maps arrivals to shards by home base station and
+//!   applies **deterministic admission control**: when a shard's tracked
+//!   backlog reaches `queue_capacity`, new arrivals for it are shed (and
+//!   counted) instead of enqueued.
+//! * A [`Clock`] drives every shard in lock-step — each virtual slot is a
+//!   barriered tick across all shards, which is what makes runs with the
+//!   same seed and shard count byte-identical. The paced mode adds
+//!   wall-clock sleeping between ticks without changing any decision.
+//! * The fan-in aggregator folds per-tick shard reports into periodic
+//!   JSON-serializable [`Snapshot`]s.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mec_serve::{serve, LoadGen, ServeConfig};
+//! use mec_topology::TopologyBuilder;
+//! use mec_workload::WorkloadBuilder;
+//!
+//! let topo = TopologyBuilder::new(16).seed(7).build();
+//! let population = WorkloadBuilder::new(&topo).seed(7).count(500).build();
+//! // 2000 requests/second against 50 ms slots → 100 per slot.
+//! let load = LoadGen::poisson(population, 2000.0, 50.0, 7);
+//! let cfg = ServeConfig {
+//!     shards: 4,
+//!     ..ServeConfig::default()
+//! };
+//! let outcome = serve(&topo, load, &cfg, |_snapshot| {}).unwrap();
+//! assert_eq!(outcome.final_snapshot.admitted + outcome.final_snapshot.shed, 500);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod loadgen;
+pub mod partition;
+pub mod policy;
+pub mod router;
+pub mod runtime;
+pub mod shard;
+pub mod snapshot;
+
+pub use clock::{Clock, ClockMode};
+pub use loadgen::LoadGen;
+pub use partition::{partition, ShardPlan};
+pub use policy::{policy_from_name, UnknownPolicy, POLICY_NAMES};
+pub use router::Router;
+pub use runtime::{serve, ServeConfig, ServeError, ServeOutcome};
+pub use shard::{ShardCommand, ShardFinal, ShardHandle, ShardReply, ShardTick};
+pub use snapshot::{LatencyStats, Snapshot};

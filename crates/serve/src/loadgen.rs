@@ -1,0 +1,165 @@
+//! Open-loop load generation: re-timing a workload population into a
+//! Poisson arrival stream at a configurable request rate.
+//!
+//! "Open loop" means arrival times are fixed up front and do not react to
+//! how fast the fleet drains its queues — exactly the regime where
+//! admission control and shedding matter. The generator is deterministic
+//! per seed, which the serving runtime's byte-identical-snapshot guarantee
+//! builds on.
+
+use mec_workload::request::{Request, RequestId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A finite arrival schedule: requests sorted by arrival slot.
+#[derive(Debug, Clone)]
+pub struct LoadGen {
+    requests: Vec<Request>,
+}
+
+impl LoadGen {
+    /// Uses the population's own arrival slots, sorted ascending (stable,
+    /// so equal-slot requests keep their trace order).
+    pub fn replay(mut population: Vec<Request>) -> Self {
+        population.sort_by_key(Request::arrival_slot);
+        Self {
+            requests: reidentify(population),
+        }
+    }
+
+    /// Re-times the population as a Poisson process at `rps` requests per
+    /// second against `slot_ms`-long slots: inter-arrival gaps are drawn
+    /// i.i.d. exponential with mean `1 / (rps · slot_ms / 1000)` slots.
+    /// Request order (and therefore id order) follows the new schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rps` or `slot_ms` is not positive and finite.
+    pub fn poisson(population: Vec<Request>, rps: f64, slot_ms: f64, seed: u64) -> Self {
+        assert!(
+            rps.is_finite() && rps > 0.0,
+            "request rate must be positive"
+        );
+        assert!(
+            slot_ms.is_finite() && slot_ms > 0.0,
+            "slot length must be positive"
+        );
+        let rate_per_slot = rps * slot_ms / 1000.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0_f64;
+        let retimed = population
+            .into_iter()
+            .map(|r| {
+                let u: f64 = rng.gen();
+                // Inverse-CDF exponential; 1 - u avoids ln(0).
+                t += -(1.0 - u).ln() / rate_per_slot;
+                Request::new(
+                    r.id(),
+                    r.home(),
+                    t as u64,
+                    r.duration_slots(),
+                    r.tasks().to_vec(),
+                    r.demand().clone(),
+                    r.deadline(),
+                )
+            })
+            .collect();
+        Self {
+            requests: reidentify(retimed),
+        }
+    }
+
+    /// The schedule, sorted by arrival slot.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of scheduled requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The last arrival slot (0 for an empty schedule).
+    pub fn max_arrival(&self) -> u64 {
+        self.requests.last().map_or(0, Request::arrival_slot)
+    }
+
+    /// Consumes the generator, yielding the schedule.
+    pub fn into_requests(self) -> Vec<Request> {
+        self.requests
+    }
+}
+
+/// Re-numbers requests densely in schedule order.
+fn reidentify(requests: Vec<Request>) -> Vec<Request> {
+    requests
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            Request::new(
+                RequestId(i),
+                r.home(),
+                r.arrival_slot(),
+                r.duration_slots(),
+                r.tasks().to_vec(),
+                r.demand().clone(),
+                r.deadline(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::TopologyBuilder;
+    use mec_workload::WorkloadBuilder;
+
+    fn population(n: usize) -> Vec<Request> {
+        let topo = TopologyBuilder::new(8).seed(11).build();
+        WorkloadBuilder::new(&topo).seed(11).count(n).build()
+    }
+
+    #[test]
+    fn poisson_is_sorted_dense_and_deterministic() {
+        let a = LoadGen::poisson(population(200), 100.0, 50.0, 42);
+        let b = LoadGen::poisson(population(200), 100.0, 50.0, 42);
+        assert_eq!(a.len(), 200);
+        for (i, r) in a.requests().iter().enumerate() {
+            assert_eq!(r.id().index(), i);
+            if i > 0 {
+                assert!(r.arrival_slot() >= a.requests()[i - 1].arrival_slot());
+            }
+        }
+        let arrivals: Vec<u64> = a.requests().iter().map(Request::arrival_slot).collect();
+        let arrivals_b: Vec<u64> = b.requests().iter().map(Request::arrival_slot).collect();
+        assert_eq!(arrivals, arrivals_b);
+    }
+
+    #[test]
+    fn rate_controls_the_horizon() {
+        // 100 rps on 50 ms slots = 5 requests per slot: 500 requests span
+        // roughly 100 slots. A 10x slower rate spans roughly 10x longer.
+        let fast = LoadGen::poisson(population(500), 100.0, 50.0, 7);
+        let slow = LoadGen::poisson(population(500), 10.0, 50.0, 7);
+        assert!(fast.max_arrival() < slow.max_arrival());
+        let ratio = slow.max_arrival() as f64 / fast.max_arrival().max(1) as f64;
+        assert!((5.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn replay_keeps_arrivals_sorted() {
+        let load = LoadGen::replay(population(100));
+        let mut prev = 0;
+        for r in load.requests() {
+            assert!(r.arrival_slot() >= prev);
+            prev = r.arrival_slot();
+        }
+        assert_eq!(load.len(), 100);
+    }
+}

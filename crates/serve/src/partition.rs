@@ -1,0 +1,201 @@
+//! Topology sharding: splitting one global MEC network into per-shard
+//! sub-topologies that independent slot engines can own.
+//!
+//! Stations are assigned round-robin by id (`global_id % shards`), which
+//! makes request routing O(1) arithmetic (see [`crate::Router`]). Each
+//! shard's sub-topology keeps the induced edges between its stations; if
+//! that leaves the shard disconnected, deterministic *bridge* links join
+//! the components so every station stays reachable (offload decisions
+//! inside a shard should never dead-end on an unreachable station).
+
+use mec_topology::station::{BaseStation, StationId};
+use mec_topology::units::Latency;
+use mec_topology::Topology;
+
+/// One shard's slice of the global topology.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// The shard index in `0..shards`.
+    pub shard: usize,
+    /// Global station ids owned by this shard, ascending; position in this
+    /// list is the station's shard-local id.
+    pub stations: Vec<StationId>,
+    /// The shard-local topology (stations re-indexed densely from 0).
+    pub topo: Topology,
+    /// Number of bridge edges added to restore connectivity.
+    pub bridges: usize,
+}
+
+/// Minimal union-find over dense indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+/// Splits `topo` into `shards` sub-topologies.
+///
+/// Every global station lands in exactly one shard
+/// (`shard = station_id % shards`); shards at the front get the extra
+/// station when the division is uneven. Induced edges keep their original
+/// delays; bridge edges (added only when the induced sub-graph is
+/// disconnected) use the mean edge delay of the global topology so their
+/// cost is representative.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `shards > topo.station_count()` — every
+/// shard must own at least one station to host arrivals.
+pub fn partition(topo: &Topology, shards: usize) -> Vec<ShardPlan> {
+    assert!(shards > 0, "need at least one shard");
+    assert!(
+        shards <= topo.station_count(),
+        "more shards ({shards}) than stations ({})",
+        topo.station_count()
+    );
+    let mean_delay = {
+        let edges = topo.edges();
+        if edges.is_empty() {
+            Latency::ms(1.0)
+        } else {
+            Latency::ms(
+                edges
+                    .iter()
+                    .map(|e| e.unit_trans_delay().as_ms())
+                    .sum::<f64>()
+                    / edges.len() as f64,
+            )
+        }
+    };
+
+    (0..shards)
+        .map(|shard| {
+            // Global ids owned by this shard, ascending.
+            let stations: Vec<StationId> = (0..topo.station_count())
+                .filter(|g| g % shards == shard)
+                .map(StationId)
+                .collect();
+            // Re-index densely: local id = position in `stations`.
+            let locals: Vec<BaseStation> = stations
+                .iter()
+                .enumerate()
+                .map(|(local, &g)| {
+                    let bs = topo.station(g);
+                    BaseStation::new(StationId(local), bs.capacity(), bs.unit_proc_delay())
+                })
+                .collect();
+            let n = locals.len();
+            let mut sub = Topology::new(locals);
+            let mut uf = UnionFind::new(n);
+            // Induced edges: both endpoints in this shard. With round-robin
+            // assignment, global g is local g / shards.
+            for edge in topo.edges() {
+                let (u, v) = edge.endpoints();
+                if u.index() % shards == shard && v.index() % shards == shard {
+                    let (lu, lv) = (StationId(u.index() / shards), StationId(v.index() / shards));
+                    sub.add_edge(lu, lv, edge.unit_trans_delay())
+                        .expect("induced endpoints are local");
+                    uf.union(lu.index(), lv.index());
+                }
+            }
+            // Bridge disconnected components along the local id order.
+            let mut bridges = 0;
+            for i in 1..n {
+                if uf.union(i - 1, i)
+                    && sub
+                        .add_edge(StationId(i - 1), StationId(i), mean_delay)
+                        .is_ok()
+                {
+                    bridges += 1;
+                }
+            }
+            ShardPlan {
+                shard,
+                stations,
+                topo: sub,
+                bridges,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::TopologyBuilder;
+
+    #[test]
+    fn every_station_in_exactly_one_shard() {
+        let topo = TopologyBuilder::new(23).seed(3).build();
+        let plans = partition(&topo, 4);
+        let mut seen = vec![0usize; topo.station_count()];
+        for plan in &plans {
+            for s in &plan.stations {
+                seen[s.index()] += 1;
+            }
+            assert_eq!(plan.stations.len(), plan.topo.station_count());
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn shard_topologies_are_connected() {
+        let topo = TopologyBuilder::new(40).seed(9).build();
+        for plan in partition(&topo, 8) {
+            let paths = plan.topo.shortest_paths();
+            for a in plan.topo.station_ids() {
+                for b in plan.topo.station_ids() {
+                    assert!(
+                        paths.delay(a, b).is_some(),
+                        "shard {} disconnected between {a} and {b}",
+                        plan.shard
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacities_preserved() {
+        let topo = TopologyBuilder::new(12).seed(1).build();
+        let plans = partition(&topo, 3);
+        for plan in &plans {
+            for (local, &global) in plan.stations.iter().enumerate() {
+                assert_eq!(
+                    plan.topo.station(StationId(local)).capacity(),
+                    topo.station(global).capacity()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards")]
+    fn too_many_shards_rejected() {
+        let topo = TopologyBuilder::new(3).seed(0).build();
+        let _ = partition(&topo, 4);
+    }
+}

@@ -1,0 +1,172 @@
+//! Arrival routing and deterministic admission control.
+//!
+//! The router owns the *driver-side* view of every shard's queue depth.
+//! Admission decisions use only that tracked backlog — the depth each
+//! shard reported at the last barriered tick plus the injections sent
+//! since — never live channel occupancy, so whether a run sheds a given
+//! request depends only on the seed, the load, and the shard count, not
+//! on thread timing.
+
+use crate::partition::ShardPlan;
+use mec_topology::station::StationId;
+use mec_workload::request::Request;
+
+/// Maps arrivals to shards and sheds load when a shard's backlog is full.
+#[derive(Debug, Clone)]
+pub struct Router {
+    shards: usize,
+    queue_capacity: usize,
+    backlog: Vec<usize>,
+    admitted: u64,
+    shed: u64,
+}
+
+impl Router {
+    /// Creates a router for `shards` shards, each willing to hold at most
+    /// `queue_capacity` in-flight (waiting + running) requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `queue_capacity == 0`.
+    pub fn new(shards: usize, queue_capacity: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        Self {
+            shards,
+            queue_capacity,
+            backlog: vec![0; shards],
+            admitted: 0,
+            shed: 0,
+        }
+    }
+
+    /// The shard that owns `home` under round-robin station assignment.
+    /// Matches [`crate::partition`]'s `global_id % shards` rule.
+    pub fn shard_of(&self, home: StationId) -> usize {
+        home.index() % self.shards
+    }
+
+    /// Rewrites a request's home station to the owning shard's local id
+    /// space. The request id is preserved; the shard engine re-identifies
+    /// on injection anyway.
+    pub fn localize(&self, request: &Request) -> Request {
+        Request::new(
+            request.id(),
+            StationId(request.home().index() / self.shards),
+            request.arrival_slot(),
+            request.duration_slots(),
+            request.tasks().to_vec(),
+            request.demand().clone(),
+            request.deadline(),
+        )
+    }
+
+    /// Decides whether `request` may enter its shard. On admission the
+    /// tracked backlog grows and the localized request is returned with
+    /// its shard index; a full shard sheds the request (counted, `None`).
+    pub fn admit(&mut self, request: &Request) -> Option<(usize, Request)> {
+        let shard = self.shard_of(request.home());
+        if self.backlog[shard] >= self.queue_capacity {
+            self.shed += 1;
+            return None;
+        }
+        self.backlog[shard] += 1;
+        self.admitted += 1;
+        Some((shard, self.localize(request)))
+    }
+
+    /// Replaces the tracked backlog of `shard` with the depth it reported
+    /// at the last barriered tick.
+    pub fn observe_backlog(&mut self, shard: usize, backlog: usize) {
+        self.backlog[shard] = backlog;
+    }
+
+    /// Tracked per-shard queue depths, indexed by shard.
+    pub fn backlogs(&self) -> &[usize] {
+        &self.backlog
+    }
+
+    /// Requests admitted so far.
+    pub const fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests shed so far.
+    pub const fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Checks the round-robin contract against an actual partition: every
+    /// plan station must map back to its own shard. Used by tests and
+    /// debug assertions in the runtime.
+    pub fn consistent_with(&self, plans: &[ShardPlan]) -> bool {
+        plans.len() == self.shards
+            && plans.iter().all(|plan| {
+                plan.stations
+                    .iter()
+                    .all(|&g| self.shard_of(g) == plan.shard)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+    use mec_topology::TopologyBuilder;
+    use mec_workload::WorkloadBuilder;
+
+    #[test]
+    fn routing_matches_partition() {
+        let topo = TopologyBuilder::new(17).seed(5).build();
+        let plans = partition(&topo, 4);
+        let router = Router::new(4, 8);
+        assert!(router.consistent_with(&plans));
+        for plan in &plans {
+            for (local, &global) in plan.stations.iter().enumerate() {
+                assert_eq!(router.shard_of(global), plan.shard);
+                assert_eq!(global.index() / 4, local);
+            }
+        }
+    }
+
+    #[test]
+    fn localize_stays_inside_shard_topology() {
+        let topo = TopologyBuilder::new(10).seed(2).build();
+        let plans = partition(&topo, 3);
+        let router = Router::new(3, 8);
+        let requests = WorkloadBuilder::new(&topo).seed(2).count(50).build();
+        for r in &requests {
+            let shard = router.shard_of(r.home());
+            let local = router.localize(r);
+            assert!(
+                local.home().index() < plans[shard].topo.station_count(),
+                "{} localized out of range for shard {shard}",
+                r.home()
+            );
+            assert_eq!(plans[shard].stations[local.home().index()], r.home());
+        }
+    }
+
+    #[test]
+    fn full_shard_sheds() {
+        let topo = TopologyBuilder::new(4).seed(0).build();
+        let requests = WorkloadBuilder::new(&topo).seed(0).count(20).build();
+        let mut router = Router::new(1, 3);
+        let mut admitted = 0;
+        let mut shed = 0;
+        for r in &requests {
+            match router.admit(r) {
+                Some(_) => admitted += 1,
+                None => shed += 1,
+            }
+        }
+        assert_eq!(admitted, 3);
+        assert_eq!(shed, 17);
+        assert_eq!(router.admitted(), 3);
+        assert_eq!(router.shed(), 17);
+        // A tick report freeing the queue lets arrivals in again.
+        router.observe_backlog(0, 0);
+        assert!(router.admit(&requests[0]).is_some());
+    }
+}

@@ -1,0 +1,288 @@
+//! The serving loop: partition → spawn → route/admit → lock-step ticks →
+//! periodic snapshots → drain → final accounting.
+//!
+//! ## Determinism contract
+//!
+//! With [`ClockMode::Virtual`] and fixed seed, shard count, policy, and
+//! load, two runs produce byte-identical final snapshots because every
+//! source of ordering is pinned:
+//!
+//! * admission decisions read only the [`Router`]'s tracked backlog (the
+//!   depth each shard reported at the last barriered tick plus injections
+//!   since), never live channel state;
+//! * every slot is a barrier — all shards tick, then all replies are
+//!   collected **in shard order** before anything else happens;
+//! * per-shard engine seeds derive from the base seed and shard index;
+//! * the final [`Snapshot`] carries no wall-clock field.
+
+use crate::clock::{Clock, ClockMode};
+use crate::loadgen::LoadGen;
+use crate::partition::partition;
+use crate::policy::{policy_from_name, UnknownPolicy};
+use crate::router::Router;
+use crate::shard::{ShardCommand, ShardHandle, ShardReply, ShardTick};
+use crate::snapshot::{LatencyStats, Snapshot};
+use mec_sim::{Metrics, SlotConfig};
+use mec_topology::Topology;
+use std::fmt;
+
+/// Knobs for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shard workers (each owns one engine and one policy).
+    pub shards: usize,
+    /// Per-shard backlog cap: arrivals beyond it are shed, not queued.
+    pub queue_capacity: usize,
+    /// Emit a snapshot every this many slots (0 disables periodic
+    /// snapshots; the final snapshot is always produced).
+    pub snapshot_every: u64,
+    /// Scheduling policy name; see [`crate::POLICY_NAMES`].
+    pub policy: String,
+    /// Slot parameters shared by every shard engine. The per-shard seed is
+    /// derived from `sim.seed` and the shard index; `sim.horizon` is
+    /// ignored (the serving loop owns the clock).
+    pub sim: SlotConfig,
+    /// Extra slots allowed after the last arrival before the run is cut
+    /// off (remaining jobs count as unserved).
+    pub drain_slots: u64,
+    /// Virtual (as fast as possible) or wall-clock-paced ticking.
+    pub clock: ClockMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 256,
+            snapshot_every: 100,
+            policy: "DynamicRR".to_string(),
+            sim: SlotConfig::default(),
+            drain_slots: 1_000,
+            clock: ClockMode::Virtual,
+        }
+    }
+}
+
+/// Why a serving run could not complete.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The configured policy name resolves to nothing.
+    Policy(UnknownPolicy),
+    /// A shard's policy produced an illegal schedule (the wrapped message
+    /// names the shard and the simulation error).
+    Shard(String),
+    /// A shard worker exited without replying — its thread panicked or
+    /// was torn down early.
+    WorkerDied(usize),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Policy(e) => write!(f, "{e}"),
+            Self::Shard(msg) => write!(f, "shard failed: {msg}"),
+            Self::WorkerDied(shard) => write!(f, "shard {shard} worker died"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<UnknownPolicy> for ServeError {
+    fn from(e: UnknownPolicy) -> Self {
+        Self::Policy(e)
+    }
+}
+
+/// What a completed serving run hands back.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The deterministic end-of-run snapshot (no wall-clock fields).
+    pub final_snapshot: Snapshot,
+    /// Merged metrics of every shard engine, in shard order.
+    pub metrics: Metrics,
+    /// Virtual slots executed.
+    pub slots_run: u64,
+    /// Periodic snapshots emitted through the callback.
+    pub snapshots_emitted: usize,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_secs: f64,
+}
+
+/// Derives a shard engine's seed from the run seed. The odd multiplier
+/// (splitmix64's increment) decorrelates neighbouring shards.
+fn shard_seed(base: u64, shard: usize) -> u64 {
+    base ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs the serving loop to completion over a finite load.
+///
+/// `on_snapshot` observes each periodic [`Snapshot`] as it is produced
+/// (the final snapshot is returned in the outcome, not passed to the
+/// callback). The run ends when every arrival has been dispatched and all
+/// shard backlogs are empty, or `drain_slots` after the last arrival,
+/// whichever comes first.
+///
+/// # Errors
+///
+/// * [`ServeError::Policy`] — unknown policy name (checked before any
+///   thread spawns);
+/// * [`ServeError::Shard`] — a policy produced an illegal schedule;
+/// * [`ServeError::WorkerDied`] — a worker thread vanished mid-protocol.
+///
+/// # Panics
+///
+/// Panics if `cfg.shards` is 0 or exceeds the station count (see
+/// [`partition`]).
+pub fn serve<F: FnMut(&Snapshot)>(
+    topo: &Topology,
+    load: LoadGen,
+    cfg: &ServeConfig,
+    mut on_snapshot: F,
+) -> Result<ServeOutcome, ServeError> {
+    let plans = partition(topo, cfg.shards);
+    let mut router = Router::new(cfg.shards, cfg.queue_capacity);
+    debug_assert!(router.consistent_with(&plans));
+
+    // The policy's horizon hint: everything a finite load can need.
+    let last_arrival = load.max_arrival();
+    let horizon_hint = last_arrival.saturating_add(cfg.drain_slots);
+    let handles: Vec<ShardHandle> = plans
+        .into_iter()
+        .map(|plan| {
+            let shard = plan.shard;
+            let policy = policy_from_name(&cfg.policy, horizon_hint)?;
+            let sim = SlotConfig {
+                seed: shard_seed(cfg.sim.seed, shard),
+                horizon: horizon_hint,
+                ..cfg.sim
+            };
+            // Bound = worst-case commands between barriers: one slot's
+            // admissions (≤ queue capacity) plus the tick itself.
+            Ok(ShardHandle::spawn(
+                plan,
+                sim,
+                policy,
+                cfg.queue_capacity + 1,
+            ))
+        })
+        .collect::<Result<_, UnknownPolicy>>()?;
+
+    let mut clock = Clock::new(cfg.clock);
+    let mut arrivals = load.into_requests().into_iter().peekable();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut snapshots_emitted = 0;
+    // At least one slot past the last arrival, so every request is
+    // dispatched (and counted as admitted or shed) even with drain 0.
+    let hard_stop = last_arrival.saturating_add(cfg.drain_slots.max(1));
+
+    loop {
+        let slot = clock.ticks();
+        // Dispatch every arrival due by this slot through admission.
+        while arrivals.peek().is_some_and(|r| r.arrival_slot() <= slot) {
+            let request = arrivals.next().expect("peeked");
+            if let Some((shard, localized)) = router.admit(&request) {
+                handles[shard]
+                    .send(ShardCommand::Inject(localized))
+                    .map_err(|_| ServeError::WorkerDied(shard))?;
+            }
+        }
+        // Barriered tick: all shards advance one slot, replies collected
+        // in shard order.
+        clock.tick();
+        for handle in &handles {
+            handle
+                .send(ShardCommand::Tick)
+                .map_err(|_| ServeError::WorkerDied(handle.shard))?;
+        }
+        let mut ticks: Vec<ShardTick> = Vec::with_capacity(handles.len());
+        for handle in &handles {
+            match handle.recv() {
+                Ok(ShardReply::Tick(tick)) => ticks.push(tick),
+                Ok(ShardReply::Error(msg)) => return Err(ServeError::Shard(msg)),
+                Ok(ShardReply::Final(_)) => {
+                    return Err(ServeError::Shard(format!(
+                        "shard {} sent a final report before Finish",
+                        handle.shard
+                    )))
+                }
+                Err(_) => return Err(ServeError::WorkerDied(handle.shard)),
+            }
+        }
+        for tick in &ticks {
+            router.observe_backlog(tick.shard, tick.backlog);
+            latencies.extend_from_slice(&tick.new_latencies);
+        }
+
+        let slots_done = clock.ticks();
+        if cfg.snapshot_every > 0 && slots_done.is_multiple_of(cfg.snapshot_every) {
+            let snap = Snapshot {
+                slot: slots_done,
+                shards: cfg.shards,
+                admitted: router.admitted(),
+                shed: router.shed(),
+                completed: ticks.iter().map(|t| t.completed).sum(),
+                expired: ticks.iter().map(|t| t.expired).sum(),
+                aborted: ticks.iter().map(|t| t.aborted).sum(),
+                unserved: 0,
+                total_reward: ticks.iter().map(|t| t.total_reward).sum(),
+                latency: LatencyStats::from_samples(&latencies),
+                queue_depths: router.backlogs().to_vec(),
+                slots_per_sec: Some(slots_done as f64 / clock.elapsed_secs().max(1e-9)),
+            };
+            on_snapshot(&snap);
+            snapshots_emitted += 1;
+        }
+
+        let drained = arrivals.peek().is_none() && router.backlogs().iter().all(|&b| b == 0);
+        if drained || slots_done >= hard_stop {
+            break;
+        }
+    }
+
+    // Terminal accounting, merged in shard order.
+    for handle in &handles {
+        handle
+            .send(ShardCommand::Finish)
+            .map_err(|_| ServeError::WorkerDied(handle.shard))?;
+    }
+    let mut metrics = Metrics::new();
+    for handle in &handles {
+        match handle.recv() {
+            Ok(ShardReply::Final(fin)) => metrics.merge(&fin.metrics),
+            Ok(other) => {
+                return Err(ServeError::Shard(format!(
+                    "shard {} answered Finish with {other:?}",
+                    handle.shard
+                )))
+            }
+            Err(_) => return Err(ServeError::WorkerDied(handle.shard)),
+        }
+    }
+    let wall_secs = clock.elapsed_secs();
+    for handle in handles {
+        handle.join();
+    }
+
+    let final_snapshot = Snapshot {
+        slot: clock.ticks(),
+        shards: cfg.shards,
+        admitted: router.admitted(),
+        shed: router.shed(),
+        completed: metrics.completed(),
+        expired: metrics.expired(),
+        aborted: metrics.aborted(),
+        unserved: metrics.unserved(),
+        total_reward: metrics.total_reward(),
+        latency: LatencyStats::from_samples(metrics.latencies_ms()),
+        queue_depths: router.backlogs().to_vec(),
+        slots_per_sec: None,
+    };
+    Ok(ServeOutcome {
+        final_snapshot,
+        metrics,
+        slots_run: clock.ticks(),
+        snapshots_emitted,
+        wall_secs,
+    })
+}

@@ -1,0 +1,237 @@
+//! Shard workers: one thread per shard, each owning a private
+//! [`mec_sim::Engine`] plus a boxed policy, driven over bounded channels.
+//!
+//! The protocol is strictly request/reply at the tick granularity: the
+//! driver sends any number of [`ShardCommand::Inject`]s, then exactly one
+//! [`ShardCommand::Tick`], and the worker answers with exactly one
+//! [`ShardReply::Tick`] (or a [`ShardReply::Error`] if the policy produced
+//! an illegal schedule, after which the worker stops). [`ShardCommand::Finish`]
+//! flushes terminal accounting and answers [`ShardReply::Final`]. Because
+//! the driver always collects replies in shard order before the next tick,
+//! every shard executes the same slot in lock step.
+
+use crate::partition::ShardPlan;
+use mec_sim::{Engine, Metrics, SlotConfig, SlotPolicy, SlotReport};
+use mec_workload::request::Request;
+use std::sync::mpsc::{Receiver, RecvError, SendError, SyncSender};
+use std::thread::JoinHandle;
+
+/// What the driver sends a shard worker.
+#[derive(Debug)]
+pub enum ShardCommand {
+    /// Feed one admitted (already shard-localized) request to the engine.
+    Inject(Request),
+    /// Execute exactly one slot and reply with a [`ShardReply::Tick`].
+    Tick,
+    /// Flush terminal accounting, reply with [`ShardReply::Final`], stop.
+    Finish,
+}
+
+/// Per-tick report from one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardTick {
+    /// The reporting shard.
+    pub shard: usize,
+    /// What happened in the slot just executed.
+    pub report: SlotReport,
+    /// Waiting + running jobs after the slot — the queue depth admission
+    /// control tracks.
+    pub backlog: usize,
+    /// Cumulative reward collected by this shard.
+    pub total_reward: f64,
+    /// Cumulative completed count.
+    pub completed: usize,
+    /// Cumulative expired count.
+    pub expired: usize,
+    /// Cumulative aborted count.
+    pub aborted: usize,
+    /// Latency samples recorded since the previous tick, in ms.
+    pub new_latencies: Vec<f64>,
+}
+
+/// Terminal report from one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFinal {
+    /// The reporting shard.
+    pub shard: usize,
+    /// The shard engine's complete metrics.
+    pub metrics: Metrics,
+}
+
+/// What a shard worker sends back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardReply {
+    /// Answer to [`ShardCommand::Tick`].
+    Tick(ShardTick),
+    /// Answer to [`ShardCommand::Finish`]; the worker exits after this.
+    Final(ShardFinal),
+    /// The policy produced an illegal schedule; the worker exits after
+    /// this and ignores further commands.
+    Error(String),
+}
+
+/// Driver-side handle to one shard worker thread.
+#[derive(Debug)]
+pub struct ShardHandle {
+    /// The shard this handle drives.
+    pub shard: usize,
+    cmd_tx: SyncSender<ShardCommand>,
+    reply_rx: Receiver<ShardReply>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    /// Spawns the worker thread for `plan`. The worker builds its own
+    /// shortest-path table and engine from the (owned) shard topology, so
+    /// nothing borrowed crosses the thread boundary. `command_bound` caps
+    /// the in-flight command queue — the driver blocks (backpressure)
+    /// rather than buffering unboundedly if it runs ahead of the worker.
+    pub fn spawn(
+        plan: ShardPlan,
+        config: SlotConfig,
+        mut policy: Box<dyn SlotPolicy + Send>,
+        command_bound: usize,
+    ) -> Self {
+        let shard = plan.shard;
+        let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel::<ShardCommand>(command_bound.max(1));
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel::<ShardReply>(4);
+        let join = std::thread::Builder::new()
+            .name(format!("mec-shard-{shard}"))
+            .spawn(move || {
+                let paths = plan.topo.shortest_paths();
+                let mut engine = Engine::new(&plan.topo, &paths, Vec::new(), config);
+                let mut seen_latencies = 0;
+                for cmd in cmd_rx {
+                    match cmd {
+                        ShardCommand::Inject(request) => {
+                            engine.inject(request);
+                        }
+                        ShardCommand::Tick => {
+                            let report = match engine.step(policy.as_mut()) {
+                                Ok(report) => report,
+                                Err(e) => {
+                                    let _ = reply_tx
+                                        .send(ShardReply::Error(format!("shard {shard}: {e}")));
+                                    return;
+                                }
+                            };
+                            let metrics = engine.metrics();
+                            let latencies = metrics.latencies_ms();
+                            let new_latencies = latencies[seen_latencies..].to_vec();
+                            seen_latencies = latencies.len();
+                            let tick = ShardTick {
+                                shard,
+                                report,
+                                backlog: engine.backlog(),
+                                total_reward: metrics.total_reward(),
+                                completed: metrics.completed(),
+                                expired: metrics.expired(),
+                                aborted: metrics.aborted(),
+                                new_latencies,
+                            };
+                            if reply_tx.send(ShardReply::Tick(tick)).is_err() {
+                                return;
+                            }
+                        }
+                        ShardCommand::Finish => {
+                            let metrics = engine.finish();
+                            let _ = reply_tx.send(ShardReply::Final(ShardFinal { shard, metrics }));
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawning a shard worker thread");
+        Self {
+            shard,
+            cmd_tx,
+            reply_rx,
+            join: Some(join),
+        }
+    }
+
+    /// Sends a command; blocks when the bounded queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the worker already exited (after an error reply).
+    pub fn send(&self, cmd: ShardCommand) -> Result<(), SendError<ShardCommand>> {
+        self.cmd_tx.send(cmd)
+    }
+
+    /// Receives the next reply, blocking until the worker produces one.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the worker exited without replying.
+    pub fn recv(&self) -> Result<ShardReply, RecvError> {
+        self.reply_rx.recv()
+    }
+
+    /// Waits for the worker thread to exit. Dropping the handle without
+    /// joining also shuts the worker down (its command channel closes),
+    /// but joining makes teardown deterministic.
+    pub fn join(mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        // Closing cmd_tx ends the worker's command loop; join if possible
+        // so panics in the worker are not silently leaked mid-test.
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+    use crate::policy::policy_from_name;
+    use mec_topology::TopologyBuilder;
+    use mec_workload::WorkloadBuilder;
+
+    #[test]
+    fn inject_tick_finish_roundtrip() {
+        let topo = TopologyBuilder::new(8).seed(3).build();
+        let plan = partition(&topo, 1).remove(0);
+        let requests = WorkloadBuilder::new(&topo).seed(3).count(20).build();
+        let policy = policy_from_name("Greedy", 100).unwrap();
+        let handle = ShardHandle::spawn(plan, SlotConfig::default(), policy, 64);
+        for r in requests {
+            handle.send(ShardCommand::Inject(r)).unwrap();
+        }
+        let mut backlog = usize::MAX;
+        for slot in 0..100 {
+            handle.send(ShardCommand::Tick).unwrap();
+            match handle.recv().unwrap() {
+                ShardReply::Tick(tick) => {
+                    assert_eq!(tick.shard, 0);
+                    assert_eq!(tick.report.slot, slot);
+                    backlog = tick.backlog;
+                }
+                other => panic!("expected tick reply, got {other:?}"),
+            }
+        }
+        assert_eq!(backlog, 0, "20 requests should drain within 100 slots");
+        handle.send(ShardCommand::Finish).unwrap();
+        match handle.recv().unwrap() {
+            ShardReply::Final(fin) => {
+                assert_eq!(
+                    fin.metrics.completed()
+                        + fin.metrics.expired()
+                        + fin.metrics.aborted()
+                        + fin.metrics.unserved(),
+                    20
+                );
+            }
+            other => panic!("expected final reply, got {other:?}"),
+        }
+        handle.join();
+    }
+}

@@ -1,0 +1,180 @@
+//! Periodic metrics snapshots: the operator-facing view of a serving run.
+//!
+//! Snapshots are plain data plus a hand-rolled [`Snapshot::to_json`] so
+//! they can be tailed as JSON lines without pulling a serialization
+//! framework into the runtime. Final snapshots carry no wall-clock
+//! fields (`slots_per_sec` is `None`), so two runs with the same seed and
+//! shard count serialize byte-identically.
+
+use serde::{Deserialize, Serialize};
+
+/// Order statistics over experienced latencies, in milliseconds.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of latency samples recorded so far.
+    pub count: usize,
+    /// Arithmetic mean (0 when no samples).
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Computes the statistics from raw samples (any order).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let n = sorted.len();
+        let q = |frac: f64| sorted[((frac * (n - 1) as f64).round()) as usize];
+        Self {
+            count: n,
+            mean_ms: sorted.iter().sum::<f64>() / n as f64,
+            p50_ms: q(0.50),
+            p95_ms: q(0.95),
+            p99_ms: q(0.99),
+            max_ms: sorted[n - 1],
+        }
+    }
+}
+
+/// One aggregated view of the whole serving fleet at a virtual slot.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Virtual slot the snapshot was taken at (slots executed so far).
+    pub slot: u64,
+    /// Number of shards in the fleet.
+    pub shards: usize,
+    /// Requests accepted by admission control and injected into a shard.
+    pub admitted: u64,
+    /// Requests shed because their shard's backlog was at capacity.
+    pub shed: u64,
+    /// Requests completed (reward credited).
+    pub completed: usize,
+    /// Requests expired before first service.
+    pub expired: usize,
+    /// Streams aborted by the continuity requirement.
+    pub aborted: usize,
+    /// Requests still unfinished when the run ended (final snapshot only).
+    pub unserved: usize,
+    /// Total reward collected across all shards.
+    pub total_reward: f64,
+    /// Latency distribution over every served request so far.
+    pub latency: LatencyStats,
+    /// Per-shard engine backlog (waiting + running jobs), indexed by shard.
+    pub queue_depths: Vec<usize>,
+    /// Wall-clock throughput in slots per second. `None` in final
+    /// snapshots so deterministic runs serialize identically.
+    pub slots_per_sec: Option<f64>,
+}
+
+/// Formats an `f64` the way JSON expects: shortest round-trip form, with
+/// non-finite values mapped to `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Snapshot {
+    /// Serializes the snapshot as a single JSON object (one line, no
+    /// trailing newline), suitable for JSON-lines streaming.
+    pub fn to_json(&self) -> String {
+        let depths = self
+            .queue_depths
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let sps = match self.slots_per_sec {
+            Some(v) => json_f64(v),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"slot\":{},\"shards\":{},\"admitted\":{},\"shed\":{},",
+                "\"completed\":{},\"expired\":{},\"aborted\":{},\"unserved\":{},",
+                "\"total_reward\":{},\"latency\":{{\"count\":{},\"mean_ms\":{},",
+                "\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{}}},",
+                "\"queue_depths\":[{}],\"slots_per_sec\":{}}}"
+            ),
+            self.slot,
+            self.shards,
+            self.admitted,
+            self.shed,
+            self.completed,
+            self.expired,
+            self.aborted,
+            self.unserved,
+            json_f64(self.total_reward),
+            self.latency.count,
+            json_f64(self.latency.mean_ms),
+            json_f64(self.latency.p50_ms),
+            json_f64(self.latency.p95_ms),
+            json_f64(self.latency.p99_ms),
+            json_f64(self.latency.max_ms),
+            depths,
+            sps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_yield_zeroes() {
+        let s = LatencyStats::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_ms, 0.0);
+        assert_eq!(s.max_ms, 0.0);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_distribution() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert!((s.p50_ms - 50.0).abs() <= 1.0);
+        assert!((s.p95_ms - 95.0).abs() <= 1.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms && s.p99_ms <= s.max_ms);
+    }
+
+    #[test]
+    fn json_is_stable_and_parseable_shape() {
+        let snap = Snapshot {
+            slot: 100,
+            shards: 4,
+            admitted: 42,
+            shed: 3,
+            completed: 30,
+            total_reward: 1234.5,
+            latency: LatencyStats::from_samples(&[10.0, 20.0, 30.0]),
+            queue_depths: vec![1, 2, 3, 4],
+            slots_per_sec: None,
+            ..Snapshot::default()
+        };
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"slot\":100"), "{json}");
+        assert!(json.contains("\"queue_depths\":[1,2,3,4]"), "{json}");
+        assert!(json.contains("\"slots_per_sec\":null"), "{json}");
+        assert!(json.contains("\"total_reward\":1234.5"), "{json}");
+        assert!(!json.contains('\n'));
+        // Identical snapshots serialize identically.
+        assert_eq!(json, snap.clone().to_json());
+    }
+}

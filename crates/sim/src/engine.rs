@@ -109,11 +109,37 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// What happened during one executed slot — the per-tick feedback a
+/// long-running serving loop consumes (`mec-serve` reads these instead of
+/// waiting for the end-of-horizon [`Metrics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SlotReport {
+    /// The slot that was just executed.
+    pub slot: u64,
+    /// Requests that completed during this slot.
+    pub completed: usize,
+    /// Reward credited by those completions.
+    pub completed_reward: f64,
+    /// Requests that expired waiting during this slot.
+    pub expired: usize,
+    /// Streams aborted by the continuity requirement during this slot.
+    pub aborted: usize,
+}
+
 /// The discrete time-slot engine.
 ///
 /// Owns the job states, realizes demands on first service (seeded RNG, so
 /// runs are reproducible), enforces capacities and deadlines, and
 /// accumulates [`Metrics`].
+///
+/// Two driving styles are supported:
+///
+/// * **Batch** — [`Engine::run`] executes the configured horizon in one
+///   call (the paper's experiments).
+/// * **Resumable** — [`Engine::step`] executes a single slot and returns a
+///   [`SlotReport`]; new requests may be injected between steps with
+///   [`Engine::inject`], and [`Engine::finish`] closes the books. This is
+///   the substrate of the `mec-serve` streaming runtime.
 pub struct Engine<'a> {
     topo: &'a Topology,
     paths: &'a PathTable,
@@ -124,6 +150,13 @@ pub struct Engine<'a> {
     busy_mhz_slots: Vec<f64>,
     slots_run: u64,
     trace: Option<Trace>,
+    /// The next slot [`Engine::step`] will execute.
+    next_slot: u64,
+    /// Accumulated outcome counters (engine-owned so stepping can pause
+    /// and resume without losing state).
+    metrics: Metrics,
+    /// Whether [`Engine::finish`] already accounted for leftovers.
+    finished: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -153,6 +186,9 @@ impl<'a> Engine<'a> {
             busy_mhz_slots: vec![0.0; stations],
             slots_run: 0,
             trace: None,
+            next_slot: 0,
+            metrics: Metrics::new(),
+            finished: false,
         }
     }
 
@@ -193,7 +229,12 @@ impl<'a> Engine<'a> {
 
     /// Network-wide average utilization in `[0, 1]`.
     pub fn avg_utilization(&self) -> f64 {
-        let total_cap: f64 = self.topo.stations().iter().map(|s| s.capacity().as_mhz()).sum();
+        let total_cap: f64 = self
+            .topo
+            .stations()
+            .iter()
+            .map(|s| s.capacity().as_mhz())
+            .sum();
         let busy: f64 = self.busy_mhz_slots.iter().sum();
         let denom = total_cap * self.slots_run as f64;
         if denom > 0.0 {
@@ -210,14 +251,80 @@ impl<'a> Engine<'a> {
 
     /// Runs the full horizon under `policy`.
     ///
+    /// Equivalent to [`Engine::step`]-ping `config.horizon` times and then
+    /// calling [`Engine::finish`].
+    ///
     /// # Errors
     ///
     /// Returns the first [`SimError`] if the policy produces an illegal
     /// schedule; the simulation cannot continue past that point.
     pub fn run<P: SlotPolicy + ?Sized>(&mut self, policy: &mut P) -> Result<Metrics, SimError> {
-        let mut metrics = Metrics::new();
-        self.slots_run = self.config.horizon;
-        for slot in 0..self.config.horizon {
+        for _ in 0..self.config.horizon {
+            self.step(policy)?;
+        }
+        Ok(self.finish())
+    }
+
+    /// The next slot index [`Engine::step`] will execute.
+    pub const fn next_slot(&self) -> u64 {
+        self.next_slot
+    }
+
+    /// Metrics accumulated so far (complete only after [`Engine::finish`]).
+    pub const fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Jobs not yet in a terminal phase (waiting or running) — the
+    /// engine's current queue depth.
+    pub fn backlog(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.phase(), Phase::Waiting | Phase::Running))
+            .count()
+    }
+
+    /// Injects a request mid-run: it is re-identified with the next dense
+    /// id, its arrival is clamped forward to the next slot (an injected
+    /// request cannot arrive in the past), and the assigned id is
+    /// returned.
+    ///
+    /// This is how a long-running serving loop feeds streamed arrivals
+    /// into an engine whose workload was not known up front.
+    pub fn inject(&mut self, request: Request) -> RequestId {
+        let id = RequestId(self.jobs.len());
+        let arrival = request.arrival_slot().max(self.next_slot);
+        let request = Request::new(
+            id,
+            request.home(),
+            arrival,
+            request.duration_slots(),
+            request.tasks().to_vec(),
+            request.demand().clone(),
+            request.deadline(),
+        );
+        self.jobs.push(Job::new(request));
+        id
+    }
+
+    /// Executes exactly one slot under `policy` and reports what happened.
+    ///
+    /// Unlike [`Engine::run`], stepping is not bounded by
+    /// `config.horizon`: the caller owns the clock and may keep stepping
+    /// (and [`Engine::inject`]-ing) for as long as it wants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] if the policy produces an illegal
+    /// schedule; the simulation cannot continue past that point.
+    pub fn step<P: SlotPolicy + ?Sized>(&mut self, policy: &mut P) -> Result<SlotReport, SimError> {
+        debug_assert!(!self.finished, "step() after finish()");
+        let slot = self.next_slot;
+        let mut report = SlotReport {
+            slot,
+            ..SlotReport::default()
+        };
+        {
             // Trace arrivals.
             if self.trace.is_some() {
                 let arrived: Vec<_> = self
@@ -247,7 +354,8 @@ impl<'a> Engine<'a> {
                     }
                 {
                     job.expire();
-                    metrics.record_expired();
+                    self.metrics.record_expired();
+                    report.expired += 1;
                     let request = job.id();
                     expired_now.push(request);
                 }
@@ -345,7 +453,8 @@ impl<'a> Engine<'a> {
                     let latency = job
                         .experienced_latency(self.topo, self.paths, self.config.slot_ms)
                         .expect("served jobs have latency");
-                    metrics.record_completion(reward, latency.as_ms());
+                    self.metrics.record_completion(reward, latency.as_ms());
+                    report.completed += 1;
                     slot_reward += reward;
                     if let Some(trace) = &mut self.trace {
                         trace.record(
@@ -359,6 +468,7 @@ impl<'a> Engine<'a> {
                 }
             }
             policy.observe(slot, slot_reward);
+            report.completed_reward = slot_reward;
 
             // Sustained-service enforcement: running streams served below
             // the floor for too many consecutive slots tear down.
@@ -383,24 +493,36 @@ impl<'a> Engine<'a> {
                     let latency = self.jobs[request.index()]
                         .experienced_latency(self.topo, self.paths, self.config.slot_ms)
                         .map(|l| l.as_ms());
-                    metrics.record_aborted(latency);
+                    self.metrics.record_aborted(latency);
+                    report.aborted += 1;
                     self.record(slot, Event::Aborted { request });
                 }
             }
         }
+        self.next_slot += 1;
+        self.slots_run = self.next_slot;
+        Ok(report)
+    }
 
-        // Horizon ended: account for leftovers.
-        for job in &self.jobs {
-            match job.phase() {
-                Phase::Waiting => metrics.record_expired(),
-                Phase::Running => metrics.record_unserved(
-                    job.experienced_latency(self.topo, self.paths, self.config.slot_ms)
-                        .map(|l| l.as_ms()),
-                ),
-                Phase::Completed | Phase::Expired | Phase::Aborted => {}
+    /// Ends the run: jobs still waiting are counted expired, jobs still
+    /// running are counted unserved, and the final [`Metrics`] are
+    /// returned. Idempotent — a second call returns the same metrics
+    /// without double-counting.
+    pub fn finish(&mut self) -> Metrics {
+        if !self.finished {
+            self.finished = true;
+            for job in &self.jobs {
+                match job.phase() {
+                    Phase::Waiting => self.metrics.record_expired(),
+                    Phase::Running => self.metrics.record_unserved(
+                        job.experienced_latency(self.topo, self.paths, self.config.slot_ms)
+                            .map(|l| l.as_ms()),
+                    ),
+                    Phase::Completed | Phase::Expired | Phase::Aborted => {}
+                }
             }
         }
-        Ok(metrics)
+        self.metrics.clone()
     }
 }
 
@@ -749,12 +871,7 @@ mod tests {
         assert!(matches!(kinds[2], Event::Completed { .. }));
         assert_eq!(trace.events()[0].slot, 2);
         // Untouched engines have no trace.
-        let mut quiet = Engine::new(
-            &topo,
-            &paths,
-            vec![request(0, 0, 5, 40.0, 1.0)],
-            cfg,
-        );
+        let mut quiet = Engine::new(&topo, &paths, vec![request(0, 0, 5, 40.0, 1.0)], cfg);
         let _ = quiet.run(&mut GreedyHome).unwrap();
         assert!(quiet.trace().is_none());
     }
@@ -777,6 +894,92 @@ mod tests {
         assert_eq!(util[1], 0.0);
         assert!(engine.avg_utilization() > 0.0);
         assert!(engine.avg_utilization() < util[0]);
+    }
+
+    #[test]
+    fn step_matches_run() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let mk = || {
+            let reqs: Vec<Request> = (0..4).map(|i| request(i, 0, 10, 40.0, 100.0)).collect();
+            Engine::new(&topo, &paths, reqs, SlotConfig::default())
+        };
+        let batch = mk().run(&mut GreedyHome).unwrap();
+        let mut engine = mk();
+        for _ in 0..SlotConfig::default().horizon {
+            engine.step(&mut GreedyHome).unwrap();
+        }
+        let stepped = engine.finish();
+        assert_eq!(batch, stepped);
+        // finish() is idempotent.
+        assert_eq!(engine.finish(), stepped);
+    }
+
+    #[test]
+    fn step_reports_per_slot_outcomes() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        // 40 MB/s for 10 slots → completes exactly at slot 9.
+        let reqs = vec![request(0, 0, 10, 40.0, 500.0)];
+        let mut engine = Engine::new(&topo, &paths, reqs, SlotConfig::default());
+        for slot in 0..10 {
+            let report = engine.step(&mut GreedyHome).unwrap();
+            assert_eq!(report.slot, slot);
+            if slot < 9 {
+                assert_eq!(report.completed, 0);
+                assert_eq!(report.completed_reward, 0.0);
+            } else {
+                assert_eq!(report.completed, 1);
+                assert_eq!(report.completed_reward, 500.0);
+            }
+        }
+        assert_eq!(engine.backlog(), 0);
+        assert_eq!(engine.metrics().completed(), 1);
+    }
+
+    #[test]
+    fn inject_streams_arrivals_mid_run() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        // Start with an empty workload; requests arrive while stepping.
+        let mut engine = Engine::new(&topo, &paths, Vec::new(), SlotConfig::default());
+        assert_eq!(engine.backlog(), 0);
+        for slot in 0..40u64 {
+            if slot == 3 || slot == 7 {
+                // Template carries a stale id and a past arrival; inject
+                // re-identifies and clamps.
+                let id = engine.inject(request(0, 0, 10, 40.0, 250.0));
+                assert_eq!(id.index() + 1, engine.jobs().len());
+                assert_eq!(
+                    engine.jobs()[id.index()].request().arrival_slot(),
+                    slot,
+                    "arrival clamps to the injection slot"
+                );
+            }
+            engine.step(&mut GreedyHome).unwrap();
+        }
+        let metrics = engine.finish();
+        assert_eq!(metrics.completed(), 2);
+        assert_eq!(metrics.total_reward(), 500.0);
+    }
+
+    #[test]
+    fn stepping_past_horizon_allowed() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let cfg = SlotConfig {
+            horizon: 5,
+            ..Default::default()
+        };
+        // 10-slot job, 5-slot horizon: run() leaves it unserved, but an
+        // external clock may keep stepping to completion.
+        let reqs = vec![request(0, 0, 10, 40.0, 100.0)];
+        let mut engine = Engine::new(&topo, &paths, reqs, cfg);
+        for _ in 0..10 {
+            engine.step(&mut GreedyHome).unwrap();
+        }
+        assert_eq!(engine.next_slot(), 10);
+        assert_eq!(engine.finish().completed(), 1);
     }
 
     #[test]

@@ -134,7 +134,12 @@ mod tests {
     #[test]
     fn records_in_order() {
         let mut t = Trace::with_capacity(10);
-        t.record(0, Event::Arrived { request: RequestId(0) });
+        t.record(
+            0,
+            Event::Arrived {
+                request: RequestId(0),
+            },
+        );
         t.record(
             2,
             Event::Started {
@@ -162,7 +167,12 @@ mod tests {
     fn capacity_enforced() {
         let mut t = Trace::with_capacity(2);
         for i in 0..5 {
-            t.record(i, Event::Expired { request: RequestId(i as usize) });
+            t.record(
+                i,
+                Event::Expired {
+                    request: RequestId(i as usize),
+                },
+            );
         }
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 3);

@@ -184,8 +184,10 @@ mod tests {
             .map(|i| BaseStation::new(i.into(), Compute::mhz(3000.0), Latency::ms(1.0)))
             .collect();
         let mut topo = Topology::new(stations);
-        topo.add_edge(0.into(), 1.into(), Latency::ms(10.0)).unwrap();
-        topo.add_edge(1.into(), 2.into(), Latency::ms(10.0)).unwrap();
+        topo.add_edge(0.into(), 1.into(), Latency::ms(10.0))
+            .unwrap();
+        topo.add_edge(1.into(), 2.into(), Latency::ms(10.0))
+            .unwrap();
         topo.add_edge(0.into(), 2.into(), Latency::ms(5.0)).unwrap();
         let paths = topo.shortest_paths();
         assert_eq!(paths.delay(0.into(), 2.into()).unwrap().as_ms(), 5.0);

@@ -92,7 +92,10 @@ impl TopologyBuilder {
     /// Panics if `lo > hi` or `lo < 0`.
     #[must_use]
     pub fn capacity_range(mut self, lo: f64, hi: f64) -> Self {
-        assert!(0.0 <= lo && lo <= hi, "capacity range must be 0 <= lo <= hi");
+        assert!(
+            0.0 <= lo && lo <= hi,
+            "capacity range must be 0 <= lo <= hi"
+        );
         self.capacity_range = (lo, hi);
         self
     }

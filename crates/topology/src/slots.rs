@@ -13,9 +13,7 @@ use std::fmt;
 ///
 /// The paper's analysis uses `l ∈ {1, …, L}` with prefix capacity `l · C_l`;
 /// keeping the index 1-based keeps every formula verbatim.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SlotIndex(usize);
 
 impl SlotIndex {
@@ -94,7 +92,11 @@ impl SlotLayout {
     ///
     /// Panics if `l` exceeds the layout's slot count.
     pub fn prefix_capacity(self, l: SlotIndex) -> Compute {
-        assert!(l.get() <= self.count, "slot {l} out of range (L = {})", self.count);
+        assert!(
+            l.get() <= self.count,
+            "slot {l} out of range (L = {})",
+            self.count
+        );
         l.prefix_capacity(self.slot_size)
     }
 }

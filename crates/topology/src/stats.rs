@@ -68,8 +68,7 @@ impl TopologyStats {
                 degrees.iter().sum::<usize>() as f64 / n as f64
             },
             diameter: connected.then(|| Latency::ms(diameter)),
-            avg_path_delay: (connected && pairs > 0)
-                .then(|| Latency::ms(sum / pairs as f64)),
+            avg_path_delay: (connected && pairs > 0).then(|| Latency::ms(sum / pairs as f64)),
         }
     }
 }

@@ -76,7 +76,14 @@ pub fn write_requests(requests: &[Request]) -> String {
         let tasks: Vec<String> = r
             .tasks()
             .iter()
-            .map(|t| format!("{}:{}:{}", kind_name(t.kind()), t.output_kb(), t.complexity()))
+            .map(|t| {
+                format!(
+                    "{}:{}:{}",
+                    kind_name(t.kind()),
+                    t.output_kb(),
+                    t.complexity()
+                )
+            })
             .collect();
         let demand: Vec<String> = r
             .demand()
@@ -127,7 +134,10 @@ pub fn parse_requests(text: &str) -> Result<Vec<Request>, CodecError> {
         }
         let cols: Vec<&str> = raw.split(',').collect();
         if cols.len() != 7 {
-            return Err(row_err(line, format!("expected 7 columns, got {}", cols.len())));
+            return Err(row_err(
+                line,
+                format!("expected 7 columns, got {}", cols.len()),
+            ));
         }
         let id: usize = cols[0]
             .parse()
@@ -137,12 +147,8 @@ pub fn parse_requests(text: &str) -> Result<Vec<Request>, CodecError> {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| row_err(line, "bad home station"))?;
         let arrival: u64 = cols[2].parse().map_err(|_| row_err(line, "bad arrival"))?;
-        let duration: u64 = cols[3]
-            .parse()
-            .map_err(|_| row_err(line, "bad duration"))?;
-        let deadline: f64 = cols[4]
-            .parse()
-            .map_err(|_| row_err(line, "bad deadline"))?;
+        let duration: u64 = cols[3].parse().map_err(|_| row_err(line, "bad duration"))?;
+        let deadline: f64 = cols[4].parse().map_err(|_| row_err(line, "bad deadline"))?;
         let tasks: Vec<Task> = cols[5]
             .split('|')
             .map(|t| {
@@ -150,8 +156,8 @@ pub fn parse_requests(text: &str) -> Result<Vec<Request>, CodecError> {
                 if parts.len() != 3 {
                     return Err(row_err(line, format!("bad task entry '{t}'")));
                 }
-                let kind =
-                    kind_of(parts[0]).ok_or_else(|| row_err(line, format!("bad task kind '{}'", parts[0])))?;
+                let kind = kind_of(parts[0])
+                    .ok_or_else(|| row_err(line, format!("bad task kind '{}'", parts[0])))?;
                 let size: f64 = parts[1]
                     .parse()
                     .map_err(|_| row_err(line, "bad task size"))?;
@@ -170,9 +176,7 @@ pub fn parse_requests(text: &str) -> Result<Vec<Request>, CodecError> {
                 }
                 let rate: f64 = parts[0].parse().map_err(|_| row_err(line, "bad rate"))?;
                 let prob: f64 = parts[1].parse().map_err(|_| row_err(line, "bad prob"))?;
-                let reward: f64 = parts[2]
-                    .parse()
-                    .map_err(|_| row_err(line, "bad reward"))?;
+                let reward: f64 = parts[2].parse().map_err(|_| row_err(line, "bad reward"))?;
                 Ok(DemandOutcome {
                     rate: DataRate::mbps(rate),
                     prob,

@@ -188,10 +188,7 @@ impl DemandDistribution {
             u -= o.prob;
         }
         // Floating-point slack: fall back to the last outcome.
-        *self
-            .outcomes
-            .last()
-            .expect("distribution is never empty")
+        *self.outcomes.last().expect("distribution is never empty")
     }
 }
 
@@ -235,7 +232,9 @@ mod tests {
     #[test]
     fn expectations() {
         let d = three_level();
-        assert!((d.expected_rate().as_mbps() - (0.5 * 30.0 + 0.3 * 40.0 + 0.2 * 50.0)).abs() < 1e-9);
+        assert!(
+            (d.expected_rate().as_mbps() - (0.5 * 30.0 + 0.3 * 40.0 + 0.2 * 50.0)).abs() < 1e-9
+        );
         assert!((d.expected_reward() - (0.5 * 400.0 + 0.3 * 500.0 + 0.2 * 600.0)).abs() < 1e-9);
     }
 
@@ -267,6 +266,20 @@ mod tests {
         );
     }
 
+    /// Maps a sampled rate to its level index, or an error naming the
+    /// accepted values — so an out-of-support sample fails the test with a
+    /// diagnosis instead of a bare panic.
+    fn level_index(rate_mbps: f64) -> Result<usize, String> {
+        match rate_mbps as u32 {
+            30 => Ok(0),
+            40 => Ok(1),
+            50 => Ok(2),
+            other => Err(format!(
+                "unexpected rate {other} MB/s; accepted values: 30, 40, 50"
+            )),
+        }
+    }
+
     #[test]
     fn sampling_matches_distribution() {
         let d = three_level();
@@ -275,12 +288,7 @@ mod tests {
         let mut counts = [0usize; 3];
         for _ in 0..n {
             let o = d.sample(&mut rng);
-            let idx = match o.rate.as_mbps() as u32 {
-                30 => 0,
-                40 => 1,
-                50 => 2,
-                _ => panic!("unexpected rate"),
-            };
+            let idx = level_index(o.rate.as_mbps()).expect("sample stays within support");
             counts[idx] += 1;
         }
         let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();

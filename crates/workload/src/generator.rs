@@ -194,7 +194,9 @@ impl<'a> WorkloadBuilder<'a> {
             vec![DataRate::mbps((lo + hi) / 2.0)]
         } else {
             let step = (hi - lo) / (k - 1) as f64;
-            (0..k).map(|i| DataRate::mbps(lo + step * i as f64)).collect()
+            (0..k)
+                .map(|i| DataRate::mbps(lo + step * i as f64))
+                .collect()
         };
         let weights: Vec<f64> = (0..k).map(|i| self.decay.powi(i as i32)).collect();
         let total: f64 = weights.iter().sum();
@@ -304,7 +306,9 @@ mod tests {
             .count(60)
             .arrivals(ArrivalProcess::UniformOver { horizon: 100 })
             .build();
-        assert!(reqs.windows(2).all(|w| w[0].arrival_slot() <= w[1].arrival_slot()));
+        assert!(reqs
+            .windows(2)
+            .all(|w| w[0].arrival_slot() <= w[1].arrival_slot()));
         assert!(reqs.iter().all(|r| r.arrival_slot() < 100));
     }
 

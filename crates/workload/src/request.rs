@@ -128,10 +128,7 @@ impl Request {
     /// per-`ρ_unit` processing delay.
     pub fn proc_delay_at(&self, topo: &Topology, station: StationId) -> Latency {
         let unit = topo.station(station).unit_proc_delay();
-        self.tasks
-            .iter()
-            .map(|t| unit * t.complexity())
-            .sum()
+        self.tasks.iter().map(|t| unit * t.complexity()).sum()
     }
 
     /// Round-trip transmission delay `2 · Σ_{e ∈ p_{ji}} d^trans_{je}` from

@@ -116,7 +116,9 @@ impl ArTraceConfig {
         assert!(self.levels >= 1, "need at least one rate level");
         assert!(self.decay > 0.0, "decay must be positive");
         let rates = self.rate_levels(pipeline);
-        let weights: Vec<f64> = (0..rates.len()).map(|i| self.decay.powi(i as i32)).collect();
+        let weights: Vec<f64> = (0..rates.len())
+            .map(|i| self.decay.powi(i as i32))
+            .collect();
         let total: f64 = weights.iter().sum();
         let outcomes = rates
             .iter()

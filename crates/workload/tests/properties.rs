@@ -10,20 +10,18 @@ use rand_chacha::ChaCha8Rng;
 
 /// Strategy producing a valid demand distribution with 1-6 levels.
 fn demand() -> impl Strategy<Value = DemandDistribution> {
-    prop::collection::vec((1.0f64..100.0, 0.05f64..1.0, 0.0f64..2000.0), 1..6).prop_map(
-        |triples| {
-            let total: f64 = triples.iter().map(|t| t.1).sum();
-            let outcomes = triples
-                .into_iter()
-                .map(|(rate, w, reward)| DemandOutcome {
-                    rate: DataRate::mbps(rate),
-                    prob: w / total,
-                    reward,
-                })
-                .collect();
-            DemandDistribution::new(outcomes).expect("normalized by construction")
-        },
-    )
+    prop::collection::vec((1.0f64..100.0, 0.05f64..1.0, 0.0f64..2000.0), 1..6).prop_map(|triples| {
+        let total: f64 = triples.iter().map(|t| t.1).sum();
+        let outcomes = triples
+            .into_iter()
+            .map(|(rate, w, reward)| DemandOutcome {
+                rate: DataRate::mbps(rate),
+                prob: w / total,
+                reward,
+            })
+            .collect();
+        DemandDistribution::new(outcomes).expect("normalized by construction")
+    })
 }
 
 proptest! {

@@ -20,7 +20,10 @@ fn main() {
     println!(
         "AR trace: {} KB/frame payload, rate levels {:?} MB/s",
         trace.frames.payload_kb(&pipeline),
-        rates.iter().map(|r| r.as_mbps().round()).collect::<Vec<_>>()
+        rates
+            .iter()
+            .map(|r| r.as_mbps().round())
+            .collect::<Vec<_>>()
     );
 
     // 300 requests streaming in over 10 seconds (200 slots of 50 ms), each

@@ -36,9 +36,7 @@ fn main() {
             .assignment()
             .iter()
             .enumerate()
-            .filter_map(|(j, a)| {
-                a.map(|_| instance.demand_of(realized.outcome(j).rate).as_mhz())
-            })
+            .filter_map(|(j, a)| a.map(|_| instance.demand_of(realized.outcome(j).rate).as_mhz()))
             .sum();
         println!(
             "{:>5} {:>14.1} {:>14.1} {:>12} {:>9.1}%",

@@ -18,10 +18,7 @@ fn main() {
     );
 
     let requests = WorkloadBuilder::new(&topo).seed(42).count(150).build();
-    let expected_reward: f64 = requests
-        .iter()
-        .map(|r| r.demand().expected_reward())
-        .sum();
+    let expected_reward: f64 = requests.iter().map(|r| r.demand().expected_reward()).sum();
     println!(
         "workload: {} requests, {:.0} $ total expected reward if everything were served\n",
         requests.len(),
@@ -39,7 +36,10 @@ fn main() {
         Box::new(Ocorp::new()),
         Box::new(Greedy::new()),
     ];
-    println!("{:<8} {:>10} {:>12} {:>10} {:>12}", "algo", "reward $", "latency ms", "admitted", "runtime ms");
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>12}",
+        "algo", "reward $", "latency ms", "admitted", "runtime ms"
+    );
     for algo in algorithms {
         let out = algo
             .solve(&instance, &realized)

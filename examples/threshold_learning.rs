@@ -7,7 +7,14 @@
 
 use mec_ar::prelude::*;
 
-fn run_once(topo: &Topology, requests: &[Request], cfg: SlotConfig, lo: f64, hi: f64, kappa: usize) -> (f64, f64, usize) {
+fn run_once(
+    topo: &Topology,
+    requests: &[Request],
+    cfg: SlotConfig,
+    lo: f64,
+    hi: f64,
+    kappa: usize,
+) -> (f64, f64, usize) {
     let paths = topo.shortest_paths();
     let mut engine = Engine::new(topo, &paths, requests.to_vec(), cfg);
     let mut policy = DynamicRr::new(DynamicRrConfig {
@@ -55,9 +62,7 @@ fn main() {
 
     // The learner over the full interval.
     let (reward, learned, active) = run_once(&topo, &requests, cfg, 100.0, 1000.0, 9);
-    println!(
-        "\nDynamicRR learned threshold {learned:.0} MHz ({active} arms still active)"
-    );
+    println!("\nDynamicRR learned threshold {learned:.0} MHz ({active} arms still active)");
     println!("DynamicRR reward {reward:.1} vs best fixed {best:.1}");
     println!("end-to-end regret: {:.1}", best - reward);
 

@@ -52,11 +52,13 @@ pub use mec_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use mec_bandit::{BanditPolicy, ConfidenceSchedule, LipschitzDomain, SuccessiveElimination};
+    pub use mec_bandit::{
+        BanditPolicy, ConfidenceSchedule, LipschitzDomain, SuccessiveElimination,
+    };
     pub use mec_core::model::{Instance, InstanceParams, Realizations};
     pub use mec_core::{
         hindsight_bound, Appro, DynamicRr, DynamicRrConfig, Exact, Greedy, Heu, HeuKkt, Learner,
-        Ocorp, OffloadOutcome, OfflineAlgorithm, OnlineGreedy, OnlineHeuKkt, OnlineOcorp,
+        Ocorp, OfflineAlgorithm, OffloadOutcome, OnlineGreedy, OnlineHeuKkt, OnlineOcorp,
     };
     pub use mec_sim::{
         Allocation, Continuity, Engine, Metrics, SlotConfig, SlotContext, SlotPolicy,

@@ -31,7 +31,11 @@ fn every_algorithm_solves_every_seed() {
             let max: f64 = (0..instance.request_count())
                 .map(|j| realized.outcome(j).reward)
                 .sum();
-            assert!(out.metrics().total_reward() <= max + 1e-9, "{}", algo.name());
+            assert!(
+                out.metrics().total_reward() <= max + 1e-9,
+                "{}",
+                algo.name()
+            );
             // Admitted + expired = all requests.
             assert_eq!(
                 out.metrics().completed() + out.metrics().expired(),
@@ -77,11 +81,23 @@ fn proposed_algorithms_beat_baselines_on_average() {
         }
     }
     let [appro, heu, heukkt, ocorp, greedy] = totals;
-    assert!(heu >= appro * 0.98, "Heu ({heu}) should be >= Appro ({appro})");
-    assert!(appro > heukkt, "Appro ({appro}) must beat HeuKKT ({heukkt})");
+    assert!(
+        heu >= appro * 0.98,
+        "Heu ({heu}) should be >= Appro ({appro})"
+    );
+    assert!(
+        appro > heukkt,
+        "Appro ({appro}) must beat HeuKKT ({heukkt})"
+    );
     assert!(appro > ocorp, "Appro ({appro}) must beat OCORP ({ocorp})");
-    assert!(appro > greedy, "Appro ({appro}) must beat Greedy ({greedy})");
-    assert!(heukkt > ocorp, "HeuKKT ({heukkt}) must beat OCORP ({ocorp})");
+    assert!(
+        appro > greedy,
+        "Appro ({appro}) must beat Greedy ({greedy})"
+    );
+    assert!(
+        heukkt > ocorp,
+        "HeuKKT ({heukkt}) must beat OCORP ({ocorp})"
+    );
 }
 
 #[test]

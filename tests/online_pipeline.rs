@@ -3,11 +3,7 @@
 
 use mec_ar::prelude::*;
 
-fn world(
-    n: usize,
-    stations: usize,
-    seed: u64,
-) -> (Topology, Vec<Request>, SlotConfig) {
+fn world(n: usize, stations: usize, seed: u64) -> (Topology, Vec<Request>, SlotConfig) {
     let topo = TopologyBuilder::new(stations).seed(seed).build();
     let params = InstanceParams::default();
     let requests = WorkloadBuilder::new(&topo)
@@ -75,9 +71,7 @@ fn every_served_job_met_its_deadline() {
         let _ = engine.run(policy.as_mut()).unwrap();
         for job in engine.jobs() {
             if job.first_service().is_some() {
-                let latency = job
-                    .experienced_latency(&topo, &paths, cfg.slot_ms)
-                    .unwrap();
+                let latency = job.experienced_latency(&topo, &paths, cfg.slot_ms).unwrap();
                 assert!(
                     latency.as_ms() <= job.request().deadline().as_ms() + 1e-6,
                     "{}: job {} served late ({latency})",
@@ -103,9 +97,18 @@ fn dynamic_rr_wins_under_saturation() {
         }
     }
     let [dynrr, heukkt, ocorp, greedy] = rewards;
-    assert!(dynrr > heukkt, "DynamicRR ({dynrr}) must beat HeuKKT ({heukkt})");
-    assert!(dynrr > ocorp, "DynamicRR ({dynrr}) must beat OCORP ({ocorp})");
-    assert!(dynrr > greedy, "DynamicRR ({dynrr}) must beat Greedy ({greedy})");
+    assert!(
+        dynrr > heukkt,
+        "DynamicRR ({dynrr}) must beat HeuKKT ({heukkt})"
+    );
+    assert!(
+        dynrr > ocorp,
+        "DynamicRR ({dynrr}) must beat OCORP ({ocorp})"
+    );
+    assert!(
+        dynrr > greedy,
+        "DynamicRR ({dynrr}) must beat Greedy ({greedy})"
+    );
 }
 
 #[test]
@@ -148,10 +151,11 @@ fn utilization_and_trace_are_consistent() {
     let trace = engine.trace().unwrap();
     assert_eq!(trace.dropped(), 0, "trace capacity too small for the test");
     use mec_ar::sim::Event;
-    let count = |f: &dyn Fn(&Event) -> bool| {
-        trace.events().iter().filter(|e| f(&e.event)).count()
-    };
-    assert_eq!(count(&|e| matches!(e, Event::Arrived { .. })), requests.len());
+    let count = |f: &dyn Fn(&Event) -> bool| trace.events().iter().filter(|e| f(&e.event)).count();
+    assert_eq!(
+        count(&|e| matches!(e, Event::Arrived { .. })),
+        requests.len()
+    );
     assert_eq!(
         count(&|e| matches!(e, Event::Completed { .. })),
         metrics.completed()
@@ -161,7 +165,11 @@ fn utilization_and_trace_are_consistent() {
         metrics.expired()
     );
     // Started events equal the number of jobs that ever realized.
-    let started = engine.jobs().iter().filter(|j| j.realized().is_some()).count();
+    let started = engine
+        .jobs()
+        .iter()
+        .filter(|j| j.realized().is_some())
+        .count();
     assert_eq!(count(&|e| matches!(e, Event::Started { .. })), started);
 }
 

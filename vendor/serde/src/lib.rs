@@ -1,0 +1,22 @@
+//! Offline vendored no-op shim of the `serde` surface this workspace
+//! touches.
+//!
+//! The workspace marks data types `#[derive(Serialize, Deserialize)]` but
+//! never routes them through a serde serializer (all on-disk exchange is
+//! the hand-rolled CSV codec in `mec-workload` and the hand-rolled JSON in
+//! `mec-serve`). With crates.io unreachable in the build environment, this
+//! shim keeps those derives compiling: the derive macros expand to
+//! nothing, and the marker traits exist so `use serde::{Serialize,
+//! Deserialize}` resolves.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; never implemented or required.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; never implemented or
+/// required.
+pub trait Deserialize<'de> {}
