@@ -7,9 +7,10 @@
 //!
 //! ```text
 //! mec-serve --stations 100 --requests 100000 --shards 4 --rps 2000
+//! mec-serve --chaos crash:shard=1@slot=50,recover@slot=60 --seed 7
 //! ```
 
-use mec_serve::{serve, ClockMode, LoadGen, ServeConfig, POLICY_NAMES};
+use mec_serve::{serve, ChaosSpec, ClockMode, DegradedPolicy, LoadGen, ServeConfig, POLICY_NAMES};
 use mec_topology::TopologyBuilder;
 use mec_workload::WorkloadBuilder;
 use std::process::ExitCode;
@@ -27,10 +28,16 @@ struct Args {
     drain_slots: u64,
     paced: bool,
     trace: Option<String>,
+    chaos: ChaosSpec,
+    tick_timeout_ms: u64,
+    checkpoint_every: u64,
+    degraded: DegradedPolicy,
+    max_restarts: u64,
 }
 
 impl Default for Args {
     fn default() -> Self {
+        let faults = mec_serve::FaultConfig::default();
         Self {
             stations: 100,
             requests: 100_000,
@@ -44,6 +51,11 @@ impl Default for Args {
             drain_slots: 1_000,
             paced: false,
             trace: None,
+            chaos: ChaosSpec::default(),
+            tick_timeout_ms: faults.tick_timeout_ms,
+            checkpoint_every: faults.checkpoint_every,
+            degraded: faults.degraded,
+            max_restarts: faults.max_restarts,
         }
     }
 }
@@ -67,6 +79,19 @@ OPTIONS:
     --drain-slots <N>     slots allowed after the last arrival [default: 1000]
     --paced               pace ticks to wall time instead of virtual time
     --trace <PATH>        replay a mec-workload CSV trace instead of generating
+    --chaos <SPEC>        inject scripted faults, e.g.
+                          crash:shard=1@slot=50,recover@slot=60
+                          (kinds: crash, stall, slow:...@ms=M)
+    --chaos-script <PATH> same grammar from a file; one or more directives
+                          per line, '#' comments
+    --tick-timeout-ms <N> per-slot reply deadline before a shard counts as
+                          stalled; 0 = wait forever [default: 5000]
+    --checkpoint-every <N> checkpoint shard engines every N slots; 0 =
+                          recover by replaying from genesis [default: 0]
+    --degraded <POLICY>   routing while a shard is down: buffer | shed |
+                          spill [default: buffer]
+    --max-restarts <N>    restart attempts per shard before giving up
+                          [default: 8]
     --help                print this help
 ";
 
@@ -88,6 +113,24 @@ fn parse_args() -> Result<Args, String> {
             "--drain-slots" => args.drain_slots = parse(&value("--drain-slots")?)?,
             "--paced" => args.paced = true,
             "--trace" => args.trace = Some(value("--trace")?),
+            "--chaos" => {
+                args.chaos = ChaosSpec::parse(&value("--chaos")?).map_err(|e| e.to_string())?;
+            }
+            "--chaos-script" => {
+                let path = value("--chaos-script")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read chaos script {path:?}: {e}"))?;
+                args.chaos = ChaosSpec::parse_script(&text).map_err(|e| e.to_string())?;
+            }
+            "--tick-timeout-ms" => args.tick_timeout_ms = parse(&value("--tick-timeout-ms")?)?,
+            "--checkpoint-every" => args.checkpoint_every = parse(&value("--checkpoint-every")?)?,
+            "--degraded" => {
+                let name = value("--degraded")?;
+                args.degraded = DegradedPolicy::from_name(&name).ok_or_else(|| {
+                    format!("unknown degraded policy {name:?}; accepted: buffer, shed, spill")
+                })?;
+            }
+            "--max-restarts" => args.max_restarts = parse(&value("--max-restarts")?)?,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
         }
@@ -110,6 +153,14 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.queue_capacity == 0 {
         return Err("--queue-capacity must be at least 1".to_string());
+    }
+    if let Some(max) = args.chaos.max_shard() {
+        if max >= args.shards {
+            return Err(format!(
+                "chaos spec targets shard {max} but --shards is {}",
+                args.shards
+            ));
+        }
     }
     Ok(args)
 }
@@ -177,12 +228,27 @@ fn main() -> ExitCode {
         } else {
             ClockMode::Virtual
         },
+        faults: mec_serve::FaultConfig {
+            tick_timeout_ms: args.tick_timeout_ms,
+            checkpoint_every: args.checkpoint_every,
+            degraded: args.degraded,
+            max_restarts: args.max_restarts,
+            ..mec_serve::FaultConfig::default()
+        },
+        chaos: args.chaos.clone(),
     };
 
     eprintln!(
         "serving {total} requests at {} rps across {} shards ({} stations, policy {})",
         args.rps, args.shards, args.stations, args.policy
     );
+    if !args.chaos.is_empty() {
+        eprintln!(
+            "chaos: {} scripted fault(s) armed, degraded policy {:?}",
+            args.chaos.faults.len(),
+            args.degraded
+        );
+    }
     let outcome = match serve(&topo, load, &cfg, |snap| println!("{}", snap.to_json())) {
         Ok(outcome) => outcome,
         Err(e) => {
@@ -201,5 +267,18 @@ fn main() -> ExitCode {
         outcome.final_snapshot.shed,
         outcome.metrics,
     );
+    let faults = &outcome.final_snapshot.faults;
+    if !faults.is_quiet() {
+        eprintln!(
+            "faults: {} restart(s), {} arrival(s) replayed, {} spilled, \
+             {} shed while down, {} degraded shard-slot(s), recovery latency {} slot(s)",
+            faults.restarts,
+            faults.replayed_arrivals,
+            faults.spilled,
+            faults.shed_while_down,
+            faults.degraded_slots,
+            faults.recovery_latency_slots,
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,372 @@
+//! Deterministic chaos injection: scripted shard faults at fixed slots.
+//!
+//! A [`ChaosSpec`] is a list of faults, each pinned to a `(shard, slot)`
+//! pair — crash the worker, stall it past the reply deadline, or slow it
+//! down by a fixed delay — optionally with an explicit recovery slot that
+//! holds the supervisor's restart until then. Because faults key off the
+//! *virtual* slot index (never wall time), a chaos run with a fixed seed
+//! is as reproducible as a fault-free one: repeating the identical
+//! command yields a byte-identical final snapshot.
+//!
+//! ## Spec grammar
+//!
+//! ```text
+//! spec      := directive (',' directive)*
+//! directive := fault | recover
+//! fault     := kind ':' 'shard=' K '@slot=' N ['@ms=' M]
+//! kind      := 'crash' | 'stall' | 'slow'
+//! recover   := 'recover' ['shard=' K] '@slot=' N
+//! ```
+//!
+//! A `recover` directive without a shard attaches to the directly
+//! preceding fault. Examples:
+//!
+//! ```text
+//! crash:shard=1@slot=50,recover@slot=60
+//! stall:shard=0@slot=25
+//! slow:shard=2@slot=10@ms=200
+//! ```
+//!
+//! Fault *scripts* are the same grammar spread over lines: one or more
+//! directives per line, `#` starts a comment (see [`ChaosSpec::parse_script`]).
+
+use std::fmt;
+
+/// What a fault does to the shard worker when its slot comes up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker thread panics mid-tick (the reply never arrives and the
+    /// channel disconnects).
+    Crash,
+    /// The worker stops replying without exiting — only the supervisor's
+    /// reply deadline can detect this.
+    Stall,
+    /// The worker sleeps `ms` before executing the tick. If `ms` stays
+    /// under the reply deadline this merely adds latency; decisions are
+    /// unchanged.
+    Slow {
+        /// Injected delay in milliseconds.
+        ms: u64,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Crash => write!(f, "crash"),
+            Self::Stall => write!(f, "stall"),
+            Self::Slow { ms } => write!(f, "slow({ms}ms)"),
+        }
+    }
+}
+
+/// One scripted fault: shard, slot, kind, and an optional slot before
+/// which the supervisor must not restart the shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The shard the fault targets.
+    pub shard: usize,
+    /// The virtual slot whose tick triggers the fault.
+    pub slot: u64,
+    /// What happens.
+    pub kind: FaultKind,
+    /// If set, the supervisor holds the restart until this slot (the
+    /// chaos script controls the outage length). If unset, the runtime's
+    /// configured restart backoff applies.
+    pub recover_at: Option<u64>,
+}
+
+/// A deterministic fault schedule for one serving run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosSpec {
+    /// Scripted faults, in spec order.
+    pub faults: Vec<FaultSpec>,
+}
+
+/// A chaos spec that failed to parse; the message names the offending
+/// directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosParseError {
+    /// What went wrong, including the directive text.
+    pub message: String,
+}
+
+impl fmt::Display for ChaosParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid chaos spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for ChaosParseError {}
+
+fn err(message: impl Into<String>) -> ChaosParseError {
+    ChaosParseError {
+        message: message.into(),
+    }
+}
+
+/// `key=value` fields of one directive after the kind token.
+#[derive(Default)]
+struct Fields {
+    shard: Option<usize>,
+    slot: Option<u64>,
+    ms: Option<u64>,
+}
+
+fn parse_fields(directive: &str, parts: &[&str]) -> Result<Fields, ChaosParseError> {
+    let mut fields = Fields::default();
+    for part in parts {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| err(format!("expected key=value, got {part:?} in {directive:?}")))?;
+        let parse_u64 = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| err(format!("bad number {v:?} in {directive:?}")))
+        };
+        match key {
+            "shard" => {
+                fields.shard = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| err(format!("bad shard {value:?} in {directive:?}")))?,
+                )
+            }
+            "slot" => fields.slot = Some(parse_u64(value)?),
+            "ms" => fields.ms = Some(parse_u64(value)?),
+            other => {
+                return Err(err(format!("unknown field {other:?} in {directive:?}")));
+            }
+        }
+    }
+    Ok(fields)
+}
+
+impl ChaosSpec {
+    /// Whether the schedule is empty (no faults to inject).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parses a one-line spec (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosParseError`] naming the first malformed directive —
+    /// an unknown kind, a missing `shard`/`slot` field, a `recover` with
+    /// nothing to attach to, or a recovery slot at or before its fault.
+    pub fn parse(spec: &str) -> Result<Self, ChaosParseError> {
+        let mut out = Self::default();
+        for directive in spec.split(',') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            out.push_directive(directive)?;
+        }
+        Ok(out)
+    }
+
+    /// Parses a multi-line fault script: same grammar, one or more
+    /// directives per line, blank lines skipped, `#` starts a comment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosParseError`] as [`ChaosSpec::parse`] does.
+    pub fn parse_script(text: &str) -> Result<Self, ChaosParseError> {
+        let mut out = Self::default();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            for directive in line.split(',') {
+                let directive = directive.trim();
+                if directive.is_empty() {
+                    continue;
+                }
+                out.push_directive(directive)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn push_directive(&mut self, directive: &str) -> Result<(), ChaosParseError> {
+        // Normalize the kind separator (':' or a space, as in
+        // `recover shard=1@slot=70`) to '@' and split on '@' so every form
+        // tokenizes the same way.
+        let normalized = directive.replacen(':', "@", 1).replacen(' ', "@", 1);
+        let mut parts = normalized.split('@');
+        let kind = parts.next().unwrap_or("").trim();
+        let rest: Vec<&str> = parts.map(str::trim).filter(|p| !p.is_empty()).collect();
+        let fields = parse_fields(directive, &rest)?;
+        if kind == "recover" {
+            let slot = fields
+                .slot
+                .ok_or_else(|| err(format!("recover needs @slot=N in {directive:?}")))?;
+            let target = match fields.shard {
+                Some(shard) => self
+                    .faults
+                    .iter_mut()
+                    .rev()
+                    .find(|f| f.shard == shard)
+                    .ok_or_else(|| err(format!("recover for shard {shard} has no prior fault")))?,
+                None => self
+                    .faults
+                    .last_mut()
+                    .ok_or_else(|| err(format!("{directive:?} has no preceding fault")))?,
+            };
+            if slot <= target.slot {
+                return Err(err(format!(
+                    "recovery slot {slot} is not after the fault at slot {} in {directive:?}",
+                    target.slot
+                )));
+            }
+            target.recover_at = Some(slot);
+            return Ok(());
+        }
+        let shard = fields
+            .shard
+            .ok_or_else(|| err(format!("{kind} needs shard=K in {directive:?}")))?;
+        let slot = fields
+            .slot
+            .ok_or_else(|| err(format!("{kind} needs @slot=N in {directive:?}")))?;
+        let kind = match kind {
+            "crash" => FaultKind::Crash,
+            "stall" => FaultKind::Stall,
+            "slow" => FaultKind::Slow {
+                ms: fields
+                    .ms
+                    .ok_or_else(|| err(format!("slow needs @ms=M in {directive:?}")))?,
+            },
+            other => {
+                return Err(err(format!(
+                    "unknown fault kind {other:?} (accepted: crash, stall, slow, recover)"
+                )));
+            }
+        };
+        self.faults.push(FaultSpec {
+            shard,
+            slot,
+            kind,
+            recover_at: None,
+        });
+        Ok(())
+    }
+
+    /// The faults targeting one shard, in spec order — what a freshly
+    /// spawned worker is armed with.
+    pub fn faults_for(&self, shard: usize) -> Vec<ShardFault> {
+        self.faults
+            .iter()
+            .filter(|f| f.shard == shard)
+            .map(|f| ShardFault {
+                slot: f.slot,
+                kind: f.kind,
+            })
+            .collect()
+    }
+
+    /// The largest shard index any fault names (for validation against the
+    /// actual shard count).
+    pub fn max_shard(&self) -> Option<usize> {
+        self.faults.iter().map(|f| f.shard).max()
+    }
+}
+
+/// A fault as the worker thread sees it: fire `kind` when about to
+/// execute the tick for `slot`. Faults apply to *live* ticks only —
+/// catch-up replay after a restart skips them, so a consumed fault cannot
+/// re-kill the shard it already killed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFault {
+    /// The virtual slot whose live tick triggers the fault.
+    pub slot: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_acceptance_spec() {
+        let spec = ChaosSpec::parse("crash:shard=1@slot=50,recover@slot=60").unwrap();
+        assert_eq!(
+            spec.faults,
+            vec![FaultSpec {
+                shard: 1,
+                slot: 50,
+                kind: FaultKind::Crash,
+                recover_at: Some(60),
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_every_kind_and_targeted_recover() {
+        let spec = ChaosSpec::parse(
+            "crash:shard=1@slot=50,stall:shard=0@slot=25,slow:shard=2@slot=10@ms=200,\
+             recover shard=1@slot=70",
+        )
+        .unwrap();
+        assert_eq!(spec.faults.len(), 3);
+        assert_eq!(spec.faults[0].recover_at, Some(70));
+        assert_eq!(spec.faults[1].kind, FaultKind::Stall);
+        assert_eq!(spec.faults[1].recover_at, None);
+        assert_eq!(spec.faults[2].kind, FaultKind::Slow { ms: 200 });
+        assert_eq!(spec.max_shard(), Some(2));
+    }
+
+    #[test]
+    fn scripts_allow_comments_and_blank_lines() {
+        let script = "\
+# take shard 1 down for ten slots
+crash:shard=1@slot=50, recover@slot=60
+
+stall:shard=0@slot=100   # detected via the reply deadline
+";
+        let spec = ChaosSpec::parse_script(script).unwrap();
+        assert_eq!(spec.faults.len(), 2);
+        assert_eq!(spec.faults[0].recover_at, Some(60));
+        assert_eq!(spec.faults[1].kind, FaultKind::Stall);
+    }
+
+    #[test]
+    fn faults_for_filters_by_shard() {
+        let spec = ChaosSpec::parse(
+            "crash:shard=1@slot=50,slow:shard=1@slot=80@ms=5,crash:shard=0@slot=9",
+        )
+        .unwrap();
+        let shard1 = spec.faults_for(1);
+        assert_eq!(shard1.len(), 2);
+        assert_eq!(shard1[0].slot, 50);
+        assert_eq!(shard1[1].kind, FaultKind::Slow { ms: 5 });
+        assert_eq!(spec.faults_for(2), Vec::new());
+    }
+
+    #[test]
+    fn rejects_malformed_directives() {
+        for bad in [
+            "explode:shard=0@slot=1",
+            "crash:shard=0",
+            "crash:slot=5",
+            "slow:shard=0@slot=1",
+            "recover@slot=10",
+            "crash:shard=0@slot=50,recover@slot=50",
+            "crash:shard=0@slot=abc",
+            "recover shard=3@slot=10",
+            "crash:shard=0@slot=1@bogus=2",
+        ] {
+            let res = ChaosSpec::parse(bad);
+            assert!(res.is_err(), "{bad:?} should not parse: {res:?}");
+        }
+    }
+
+    #[test]
+    fn empty_specs_are_empty() {
+        assert!(ChaosSpec::parse("").unwrap().is_empty());
+        assert!(ChaosSpec::parse_script("# nothing\n\n").unwrap().is_empty());
+        assert!(ChaosSpec::default().is_empty());
+    }
+}

@@ -39,6 +39,17 @@
 //! * The fan-in aggregator folds per-tick shard reports into periodic
 //!   JSON-serializable [`Snapshot`]s.
 //!
+//! ## Fault tolerance
+//!
+//! The runtime supervises every shard (see `runtime` module docs and
+//! DESIGN.md §9): a crashed, stalled, or deadline-missing worker is
+//! detected on the tick protocol, its stations are routed around
+//! ([`DegradedPolicy`]: buffer / shed / spill), and the shard is restarted
+//! with checkpoint-plus-journal replay so recovery is deterministic.
+//! Scripted fault injection ([`ChaosSpec`], `mec-serve --chaos`) exercises
+//! the whole path reproducibly; [`FaultStats`] in each [`Snapshot`] counts
+//! restarts, replayed arrivals, and degraded slots.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -61,6 +72,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod clock;
 pub mod loadgen;
 pub mod partition;
@@ -70,11 +82,15 @@ pub mod runtime;
 pub mod shard;
 pub mod snapshot;
 
+pub use chaos::{ChaosParseError, ChaosSpec, FaultKind, FaultSpec, ShardFault};
 pub use clock::{Clock, ClockMode};
 pub use loadgen::LoadGen;
 pub use partition::{partition, ShardPlan};
 pub use policy::{policy_from_name, UnknownPolicy, POLICY_NAMES};
-pub use router::Router;
-pub use runtime::{serve, ServeConfig, ServeError, ServeOutcome};
-pub use shard::{ShardCommand, ShardFinal, ShardHandle, ShardReply, ShardTick};
-pub use snapshot::{LatencyStats, Snapshot};
+pub use router::{Admission, DegradedPolicy, Router};
+pub use runtime::{serve, FaultConfig, ServeConfig, ServeError, ServeOutcome};
+pub use shard::{
+    RecoverPlan, ShardCommand, ShardFinal, ShardHandle, ShardRecovered, ShardReply, ShardTick,
+    SpawnSpec,
+};
+pub use snapshot::{FaultStats, LatencyStats, Snapshot};

@@ -1,5 +1,8 @@
 //! The serving loop: partition → spawn → route/admit → lock-step ticks →
-//! periodic snapshots → drain → final accounting.
+//! periodic snapshots → drain → final accounting — now under a
+//! per-shard **supervisor** that detects worker failure (crash, stall, or
+//! missed reply deadline), routes around the outage, and restarts the
+//! shard with checkpoint-plus-journal replay.
 //!
 //! ## Determinism contract
 //!
@@ -10,21 +13,91 @@
 //! * admission decisions read only the [`Router`]'s tracked backlog (the
 //!   depth each shard reported at the last barriered tick plus injections
 //!   since), never live channel state;
-//! * every slot is a barrier — all shards tick, then all replies are
+//! * every slot is a barrier — all live shards tick, then all replies are
 //!   collected **in shard order** before anything else happens;
 //! * per-shard engine seeds derive from the base seed and shard index;
-//! * the final [`Snapshot`] carries no wall-clock field.
+//! * the final [`Snapshot`] carries no wall-clock field, and every fault
+//!   counter is in virtual slots or event counts.
+//!
+//! The contract extends to chaos runs: scripted faults key off virtual
+//! slots, detection is attributed to the slot whose tick failed, and
+//! recovery replays journaled arrivals at their original admission slots —
+//! so repeating an identical `--chaos` command reproduces the identical
+//! final snapshot.
+//!
+//! ## Fault model
+//!
+//! A shard worker can fail three ways, and the supervisor sees each as a
+//! distinct signal on the tick request-reply protocol:
+//!
+//! * **crash** — the worker thread panicked; its channel disconnects;
+//! * **stall** — the worker stops replying without exiting; only the
+//!   per-slot reply deadline ([`FaultConfig::tick_timeout_ms`]) can see it,
+//!   after which the handle is *abandoned* (detached, never joined);
+//! * **policy error** — the policy produced an illegal schedule. This is a
+//!   bug, not an outage, and stays **fatal** ([`ServeError::Shard`]):
+//!   restarting would deterministically replay the same error.
+//!
+//! While a shard is down its stations are unavailable and arrivals follow
+//! the router's [`DegradedPolicy`]. Restart replays the journal on top of
+//! the shard's recovery base: the genesis state by default (exact for
+//! every policy, including learners with unserializable state), or the
+//! latest periodic checkpoint when [`FaultConfig::checkpoint_every`] is
+//! nonzero (cheaper catch-up, exact for stateless policies). After
+//! [`FaultConfig::max_restarts`] failed restarts the supervisor stops
+//! retrying; the shard is revived once more at finish so terminal
+//! accounting still covers every admitted request.
 
+use crate::chaos::{ChaosSpec, FaultSpec, ShardFault};
 use crate::clock::{Clock, ClockMode};
 use crate::loadgen::LoadGen;
-use crate::partition::partition;
+use crate::partition::{partition, ShardPlan};
 use crate::policy::{policy_from_name, UnknownPolicy};
-use crate::router::Router;
-use crate::shard::{ShardCommand, ShardHandle, ShardReply, ShardTick};
-use crate::snapshot::{LatencyStats, Snapshot};
-use mec_sim::{Metrics, SlotConfig};
+use crate::router::{Admission, DegradedPolicy, Router};
+use crate::shard::{RecoverPlan, ShardCommand, ShardHandle, ShardReply, ShardTick, SpawnSpec};
+use crate::snapshot::{FaultStats, LatencyStats, Snapshot};
+use mec_sim::{EngineState, Metrics, SlotConfig};
 use mec_topology::Topology;
 use std::fmt;
+use std::time::Duration;
+
+/// Supervision and recovery knobs.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Per-slot reply deadline in milliseconds; a shard that misses it is
+    /// treated as stalled and restarted. 0 disables the deadline (a
+    /// wedged worker then blocks the barrier forever).
+    pub tick_timeout_ms: u64,
+    /// Ask workers for an engine checkpoint every N slots (0 disables;
+    /// recovery then replays from genesis, which is exact for every
+    /// policy but replays the whole prefix).
+    pub checkpoint_every: u64,
+    /// What happens to arrivals whose home shard is down.
+    pub degraded: DegradedPolicy,
+    /// Restart attempts per shard before the supervisor gives up and
+    /// leaves the shard down until final accounting.
+    pub max_restarts: u64,
+    /// Slots to wait before restarting a failed shard when the chaos spec
+    /// does not pin an explicit recovery slot (minimum 1).
+    pub restart_backoff_slots: u64,
+    /// Per-shard journal capacity in entries; older entries are evicted
+    /// (counted in [`FaultStats::journal_dropped`], making genesis replay
+    /// best-effort).
+    pub journal_cap: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            tick_timeout_ms: 5_000,
+            checkpoint_every: 0,
+            degraded: DegradedPolicy::Buffer,
+            max_restarts: 8,
+            restart_backoff_slots: 1,
+            journal_cap: 1 << 20,
+        }
+    }
+}
 
 /// Knobs for one serving run.
 #[derive(Debug, Clone)]
@@ -47,6 +120,10 @@ pub struct ServeConfig {
     pub drain_slots: u64,
     /// Virtual (as fast as possible) or wall-clock-paced ticking.
     pub clock: ClockMode,
+    /// Supervision, checkpointing, and degraded-routing knobs.
+    pub faults: FaultConfig,
+    /// Scripted faults to inject (empty for a normal run).
+    pub chaos: ChaosSpec,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +136,8 @@ impl Default for ServeConfig {
             sim: SlotConfig::default(),
             drain_slots: 1_000,
             clock: ClockMode::Virtual,
+            faults: FaultConfig::default(),
+            chaos: ChaosSpec::default(),
         }
     }
 }
@@ -69,11 +148,22 @@ pub enum ServeError {
     /// The configured policy name resolves to nothing.
     Policy(UnknownPolicy),
     /// A shard's policy produced an illegal schedule (the wrapped message
-    /// names the shard and the simulation error).
+    /// names the shard and the simulation error). Fatal by design: a
+    /// restart would deterministically replay the same error.
     Shard(String),
-    /// A shard worker exited without replying — its thread panicked or
-    /// was torn down early.
+    /// A shard worker died and could not be revived even for final
+    /// accounting.
     WorkerDied(usize),
+    /// The OS refused to spawn a worker thread.
+    Spawn {
+        /// The shard whose worker could not be spawned.
+        shard: usize,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The chaos spec is inconsistent with the run configuration (e.g.
+    /// targets a shard index beyond the shard count).
+    Chaos(String),
 }
 
 impl fmt::Display for ServeError {
@@ -81,7 +171,11 @@ impl fmt::Display for ServeError {
         match self {
             Self::Policy(e) => write!(f, "{e}"),
             Self::Shard(msg) => write!(f, "shard failed: {msg}"),
-            Self::WorkerDied(shard) => write!(f, "shard {shard} worker died"),
+            Self::WorkerDied(shard) => write!(f, "shard {shard} worker died and stayed dead"),
+            Self::Spawn { shard, source } => {
+                write!(f, "spawning worker for shard {shard}: {source}")
+            }
+            Self::Chaos(msg) => write!(f, "chaos spec: {msg}"),
         }
     }
 }
@@ -115,6 +209,176 @@ fn shard_seed(base: u64, shard: usize) -> u64 {
     base ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Supervisor view of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardStatus {
+    /// Worker live, participating in the barrier.
+    Up,
+    /// Worker failed at `detected_at`; restart scheduled at `restart_at`.
+    Down {
+        /// Slot whose tick the worker missed.
+        detected_at: u64,
+        /// Slot at whose top the supervisor will attempt a restart.
+        restart_at: u64,
+    },
+    /// Supervisor exhausted `max_restarts`; the shard stays down until
+    /// final accounting revives it once more.
+    Dead {
+        /// Slot whose tick the worker missed last.
+        detected_at: u64,
+    },
+}
+
+/// Per-shard supervision state: everything needed to respawn the worker
+/// and to keep reporting cumulative counters while it is down.
+struct Supervised {
+    shard: usize,
+    plan: ShardPlan,
+    sim: SlotConfig,
+    handle: Option<ShardHandle>,
+    status: ShardStatus,
+    restarts_used: u64,
+    /// Scripted faults for this shard not yet consumed by a failure.
+    faults_remaining: Vec<ShardFault>,
+    /// Full fault specs for this shard (for `recover_at` lookups).
+    chaos_faults: Vec<FaultSpec>,
+    /// Recovery base: genesis, or the latest adopted checkpoint.
+    base: EngineState,
+    // Last-known cumulative counters — the snapshot view of a shard that
+    // is currently down.
+    total_reward: f64,
+    completed: usize,
+    expired: usize,
+    aborted: usize,
+    /// Every latency sample this shard has reported (replaced wholesale on
+    /// recovery; per-tick deltas from before a crash are unreliable).
+    latencies: Vec<f64>,
+}
+
+/// The slot at which a failed shard may be restarted: the scripted
+/// `recover_at` when the chaos spec pins one for the fault that (by slot)
+/// just fired, otherwise detection plus the configured backoff. Always
+/// strictly after the detection slot.
+fn failure_restart_slot(sup: &Supervised, detected_at: u64, backoff_slots: u64) -> u64 {
+    let scripted = sup
+        .chaos_faults
+        .iter()
+        .rfind(|f| f.slot <= detected_at)
+        .and_then(|f| f.recover_at);
+    match scripted {
+        Some(at) => at.max(detected_at + 1),
+        None => detected_at + backoff_slots.max(1),
+    }
+}
+
+/// Transitions a shard to `Down`: abandons the handle (never a blocking
+/// join — the worker may be wedged), marks its stations unavailable, and
+/// strips faults it already consumed so the restart cannot crash-loop on
+/// the same scripted fault.
+fn note_down(sup: &mut Supervised, router: &mut Router, detected_at: u64, backoff_slots: u64) {
+    if !matches!(sup.status, ShardStatus::Up) {
+        return;
+    }
+    if let Some(handle) = sup.handle.take() {
+        handle.abandon();
+    }
+    router.mark_down(sup.shard);
+    let restart_at = failure_restart_slot(sup, detected_at, backoff_slots);
+    sup.faults_remaining.retain(|f| f.slot > detected_at);
+    sup.status = ShardStatus::Down {
+        detected_at,
+        restart_at,
+    };
+}
+
+/// Folds one tick reply into the supervisor state: adopt any checkpoint
+/// (pruning the journal it covers), refresh the tracked backlog, and cache
+/// the cumulative counters.
+fn apply_tick(sup: &mut Supervised, router: &mut Router, stats: &mut FaultStats, tick: &ShardTick) {
+    if let Some(state) = &tick.checkpoint {
+        router.prune_journal(sup.shard, state.next_slot);
+        sup.base = state.clone();
+        stats.checkpoints += 1;
+    }
+    router.observe_backlog(sup.shard, tick.backlog);
+    sup.total_reward = tick.total_reward;
+    sup.completed = tick.completed;
+    sup.expired = tick.expired;
+    sup.aborted = tick.aborted;
+    sup.latencies.extend_from_slice(&tick.new_latencies);
+}
+
+/// Restarts a down shard: spawn a fresh worker with the recovery base and
+/// the journal tail, wait for its catch-up report, and fold the recovered
+/// state in. Returns `Ok(false)` if the replacement worker itself died
+/// before reporting (the caller reschedules).
+///
+/// The catch-up wait is a *blocking* receive on purpose: replaying a long
+/// prefix legitimately takes many tick intervals, and scripted faults
+/// never fire during replay, so the deadline that guards live ticks would
+/// only produce false positives here.
+fn restart(
+    sup: &mut Supervised,
+    router: &mut Router,
+    stats: &mut FaultStats,
+    cfg: &ServeConfig,
+    horizon_hint: u64,
+    slot: u64,
+    detected_at: u64,
+) -> Result<bool, ServeError> {
+    let shard = sup.shard;
+    let policy = policy_from_name(&cfg.policy, horizon_hint)?;
+    let journal = router.journal_since(shard, sup.base.next_slot);
+    let spec = SpawnSpec {
+        plan: sup.plan.clone(),
+        config: sup.sim,
+        command_bound: cfg.queue_capacity + 1,
+        checkpoint_every: cfg.faults.checkpoint_every,
+        faults: sup.faults_remaining.clone(),
+        recover: Some(RecoverPlan {
+            base: sup.base.clone(),
+            journal,
+            through: slot.saturating_sub(1),
+        }),
+    };
+    stats.restarts += 1;
+    sup.restarts_used += 1;
+    let handle =
+        ShardHandle::spawn(spec, policy).map_err(|source| ServeError::Spawn { shard, source })?;
+    match handle.recv() {
+        Ok(ShardReply::Recovered(rec)) => {
+            stats.replayed_arrivals += rec.replayed;
+            stats.recovery_latency_slots += slot.saturating_sub(detected_at);
+            sup.total_reward = rec.total_reward;
+            sup.completed = rec.completed;
+            sup.expired = rec.expired;
+            sup.aborted = rec.aborted;
+            sup.latencies = rec.latencies;
+            router.observe_backlog(shard, rec.backlog);
+            router.mark_up(shard);
+            sup.handle = Some(handle);
+            sup.status = ShardStatus::Up;
+            Ok(true)
+        }
+        Ok(ShardReply::Error(msg)) => Err(ServeError::Shard(msg)),
+        Ok(other) => Err(ServeError::Shard(format!(
+            "shard {shard} answered recovery with {other:?}"
+        ))),
+        Err(_) => {
+            handle.abandon();
+            Ok(false)
+        }
+    }
+}
+
+/// Copies the router-owned degraded counters into the fault stats (the
+/// single struct snapshots serialize).
+fn sync_router_stats(stats: &mut FaultStats, router: &Router) {
+    stats.spilled = router.spilled();
+    stats.shed_while_down = router.shed_while_down();
+    stats.journal_dropped = router.journal_dropped();
+}
+
 /// Runs the serving loop to completion over a finite load.
 ///
 /// `on_snapshot` observes each periodic [`Snapshot`] as it is produced
@@ -127,27 +391,44 @@ fn shard_seed(base: u64, shard: usize) -> u64 {
 ///
 /// * [`ServeError::Policy`] — unknown policy name (checked before any
 ///   thread spawns);
-/// * [`ServeError::Shard`] — a policy produced an illegal schedule;
-/// * [`ServeError::WorkerDied`] — a worker thread vanished mid-protocol.
+/// * [`ServeError::Chaos`] — the chaos spec targets a shard that does not
+///   exist;
+/// * [`ServeError::Shard`] — a policy produced an illegal schedule
+///   (fatal: a restart would replay the same error);
+/// * [`ServeError::Spawn`] — the OS refused a worker thread;
+/// * [`ServeError::WorkerDied`] — a worker died and could not be revived
+///   even for final accounting.
 ///
 /// # Panics
 ///
 /// Panics if `cfg.shards` is 0 or exceeds the station count (see
 /// [`partition`]).
+#[allow(clippy::too_many_lines)]
 pub fn serve<F: FnMut(&Snapshot)>(
     topo: &Topology,
     load: LoadGen,
     cfg: &ServeConfig,
     mut on_snapshot: F,
 ) -> Result<ServeOutcome, ServeError> {
+    if let Some(max) = cfg.chaos.max_shard() {
+        if max >= cfg.shards {
+            return Err(ServeError::Chaos(format!(
+                "fault targets shard {max} but the run has only {} shards",
+                cfg.shards
+            )));
+        }
+    }
     let plans = partition(topo, cfg.shards);
     let mut router = Router::new(cfg.shards, cfg.queue_capacity);
+    router.set_station_counts(plans.iter().map(|p| p.topo.station_count()).collect());
+    router.set_degraded_policy(cfg.faults.degraded);
+    router.set_journal_cap(cfg.faults.journal_cap);
     debug_assert!(router.consistent_with(&plans));
 
     // The policy's horizon hint: everything a finite load can need.
     let last_arrival = load.max_arrival();
     let horizon_hint = last_arrival.saturating_add(cfg.drain_slots);
-    let handles: Vec<ShardHandle> = plans
+    let mut supervised: Vec<Supervised> = plans
         .into_iter()
         .map(|plan| {
             let shard = plan.shard;
@@ -157,77 +438,187 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 horizon: horizon_hint,
                 ..cfg.sim
             };
+            let base = EngineState::genesis(plan.topo.station_count());
+            let faults_remaining = cfg.chaos.faults_for(shard);
+            let chaos_faults: Vec<FaultSpec> = cfg
+                .chaos
+                .faults
+                .iter()
+                .filter(|f| f.shard == shard)
+                .copied()
+                .collect();
             // Bound = worst-case commands between barriers: one slot's
             // admissions (≤ queue capacity) plus the tick itself.
-            Ok(ShardHandle::spawn(
+            let spec = SpawnSpec {
+                plan: plan.clone(),
+                config: sim,
+                command_bound: cfg.queue_capacity + 1,
+                checkpoint_every: cfg.faults.checkpoint_every,
+                faults: faults_remaining.clone(),
+                recover: None,
+            };
+            let handle = ShardHandle::spawn(spec, policy)
+                .map_err(|source| ServeError::Spawn { shard, source })?;
+            Ok(Supervised {
+                shard,
                 plan,
                 sim,
-                policy,
-                cfg.queue_capacity + 1,
-            ))
+                handle: Some(handle),
+                status: ShardStatus::Up,
+                restarts_used: 0,
+                faults_remaining,
+                chaos_faults,
+                base,
+                total_reward: 0.0,
+                completed: 0,
+                expired: 0,
+                aborted: 0,
+                latencies: Vec::new(),
+            })
         })
-        .collect::<Result<_, UnknownPolicy>>()?;
+        .collect::<Result<_, ServeError>>()?;
 
     let mut clock = Clock::new(cfg.clock);
+    let mut stats = FaultStats::default();
     let mut arrivals = load.into_requests().into_iter().peekable();
-    let mut latencies: Vec<f64> = Vec::new();
     let mut snapshots_emitted = 0;
+    let backoff = cfg.faults.restart_backoff_slots;
     // At least one slot past the last arrival, so every request is
     // dispatched (and counted as admitted or shed) even with drain 0.
     let hard_stop = last_arrival.saturating_add(cfg.drain_slots.max(1));
 
     loop {
         let slot = clock.ticks();
+
+        // Restart shards whose backoff (or scripted recovery slot) is due.
+        // This runs before dispatch, so the journal holds only arrivals
+        // from slots before `slot` and catch-up through `slot - 1` leaves
+        // the shard exactly at the barrier.
+        for sup in &mut supervised {
+            let ShardStatus::Down {
+                detected_at,
+                restart_at,
+            } = sup.status
+            else {
+                continue;
+            };
+            if restart_at > slot {
+                continue;
+            }
+            if sup.restarts_used >= cfg.faults.max_restarts {
+                sup.status = ShardStatus::Dead { detected_at };
+                continue;
+            }
+            let revived = restart(
+                sup,
+                &mut router,
+                &mut stats,
+                cfg,
+                horizon_hint,
+                slot,
+                detected_at,
+            )?;
+            if !revived {
+                sup.status = ShardStatus::Down {
+                    detected_at,
+                    restart_at: slot + backoff.max(1),
+                };
+            }
+        }
+
         // Dispatch every arrival due by this slot through admission.
         while arrivals.peek().is_some_and(|r| r.arrival_slot() <= slot) {
-            let request = arrivals.next().expect("peeked");
-            if let Some((shard, localized)) = router.admit(&request) {
-                handles[shard]
-                    .send(ShardCommand::Inject(localized))
-                    .map_err(|_| ServeError::WorkerDied(shard))?;
+            let Some(request) = arrivals.next() else {
+                break;
+            };
+            match router.admit(&request, slot) {
+                Admission::Inject { shard, request } | Admission::Spilled { shard, request } => {
+                    let alive = supervised[shard]
+                        .handle
+                        .as_ref()
+                        .is_some_and(|h| h.send(ShardCommand::Inject(request)).is_ok());
+                    if !alive {
+                        // The worker died since its last tick. The request
+                        // is already journaled, so replay delivers it.
+                        note_down(&mut supervised[shard], &mut router, slot, backoff);
+                    }
+                }
+                Admission::Buffered { .. } | Admission::Shed => {}
             }
         }
-        // Barriered tick: all shards advance one slot, replies collected
-        // in shard order.
+
+        // Barriered tick: all live shards advance one slot, replies
+        // collected in shard order.
         clock.tick();
-        for handle in &handles {
-            handle
-                .send(ShardCommand::Tick)
-                .map_err(|_| ServeError::WorkerDied(handle.shard))?;
+        let mut ticked = vec![false; supervised.len()];
+        for i in 0..supervised.len() {
+            if supervised[i].status != ShardStatus::Up {
+                continue;
+            }
+            let alive = supervised[i]
+                .handle
+                .as_ref()
+                .is_some_and(|h| h.send(ShardCommand::Tick).is_ok());
+            if alive {
+                ticked[i] = true;
+            } else {
+                note_down(&mut supervised[i], &mut router, slot, backoff);
+            }
         }
-        let mut ticks: Vec<ShardTick> = Vec::with_capacity(handles.len());
-        for handle in &handles {
-            match handle.recv() {
-                Ok(ShardReply::Tick(tick)) => ticks.push(tick),
-                Ok(ShardReply::Error(msg)) => return Err(ServeError::Shard(msg)),
-                Ok(ShardReply::Final(_)) => {
+        let deadline = cfg.faults.tick_timeout_ms;
+        for i in 0..supervised.len() {
+            if !ticked[i] {
+                continue;
+            }
+            let reply = match &supervised[i].handle {
+                Some(handle) if deadline > 0 => {
+                    handle.recv_timeout(Duration::from_millis(deadline)).ok()
+                }
+                Some(handle) => handle.recv().ok(),
+                None => None,
+            };
+            match reply {
+                Some(ShardReply::Tick(tick)) => {
+                    apply_tick(&mut supervised[i], &mut router, &mut stats, &tick);
+                }
+                Some(ShardReply::Error(msg)) => return Err(ServeError::Shard(msg)),
+                Some(other) => {
                     return Err(ServeError::Shard(format!(
-                        "shard {} sent a final report before Finish",
-                        handle.shard
+                        "shard {} answered Tick with {other:?}",
+                        supervised[i].shard
                     )))
                 }
-                Err(_) => return Err(ServeError::WorkerDied(handle.shard)),
+                // Disconnected (crash) or deadline missed (stall): either
+                // way the shard missed this slot.
+                None => note_down(&mut supervised[i], &mut router, slot, backoff),
             }
         }
-        for tick in &ticks {
-            router.observe_backlog(tick.shard, tick.backlog);
-            latencies.extend_from_slice(&tick.new_latencies);
+        for sup in &supervised {
+            if sup.status != ShardStatus::Up {
+                stats.degraded_slots += 1;
+            }
         }
 
         let slots_done = clock.ticks();
         if cfg.snapshot_every > 0 && slots_done.is_multiple_of(cfg.snapshot_every) {
+            sync_router_stats(&mut stats, &router);
+            let samples: Vec<f64> = supervised
+                .iter()
+                .flat_map(|s| s.latencies.iter().copied())
+                .collect();
             let snap = Snapshot {
                 slot: slots_done,
                 shards: cfg.shards,
                 admitted: router.admitted(),
                 shed: router.shed(),
-                completed: ticks.iter().map(|t| t.completed).sum(),
-                expired: ticks.iter().map(|t| t.expired).sum(),
-                aborted: ticks.iter().map(|t| t.aborted).sum(),
+                completed: supervised.iter().map(|s| s.completed).sum(),
+                expired: supervised.iter().map(|s| s.expired).sum(),
+                aborted: supervised.iter().map(|s| s.aborted).sum(),
                 unserved: 0,
-                total_reward: ticks.iter().map(|t| t.total_reward).sum(),
-                latency: LatencyStats::from_samples(&latencies),
+                total_reward: supervised.iter().map(|s| s.total_reward).sum(),
+                latency: LatencyStats::from_samples(&samples),
                 queue_depths: router.backlogs().to_vec(),
+                faults: stats.clone(),
                 slots_per_sec: Some(slots_done as f64 / clock.elapsed_secs().max(1e-9)),
             };
             on_snapshot(&snap);
@@ -240,32 +631,90 @@ pub fn serve<F: FnMut(&Snapshot)>(
         }
     }
 
-    // Terminal accounting, merged in shard order.
-    for handle in &handles {
-        handle
-            .send(ShardCommand::Finish)
-            .map_err(|_| ServeError::WorkerDied(handle.shard))?;
-    }
+    // Terminal accounting, merged in shard order. Down (or given-up)
+    // shards are revived with a catch-up through the final slot so every
+    // admitted request appears in exactly one shard's metrics; a worker
+    // that dies on Finish gets one more revival. Failures here do not
+    // leave poisoned channels behind: every handle's Drop abandons-then-
+    // joins, so teardown completes even when one shard already exited.
+    let end_slot = clock.ticks();
     let mut metrics = Metrics::new();
-    for handle in &handles {
-        match handle.recv() {
-            Ok(ShardReply::Final(fin)) => metrics.merge(&fin.metrics),
-            Ok(other) => {
-                return Err(ServeError::Shard(format!(
-                    "shard {} answered Finish with {other:?}",
-                    handle.shard
-                )))
+    for sup in &mut supervised {
+        let shard = sup.shard;
+        let mut revivals = 0u32;
+        loop {
+            if sup.status != ShardStatus::Up {
+                let detected_at = match sup.status {
+                    ShardStatus::Down { detected_at, .. } | ShardStatus::Dead { detected_at } => {
+                        detected_at
+                    }
+                    ShardStatus::Up => end_slot,
+                };
+                revivals += 1;
+                if revivals > 2 {
+                    return Err(ServeError::WorkerDied(shard));
+                }
+                let revived = restart(
+                    sup,
+                    &mut router,
+                    &mut stats,
+                    cfg,
+                    horizon_hint,
+                    end_slot,
+                    detected_at,
+                )?;
+                if !revived {
+                    continue;
+                }
             }
-            Err(_) => return Err(ServeError::WorkerDied(handle.shard)),
+            let Some(handle) = sup.handle.take() else {
+                return Err(ServeError::WorkerDied(shard));
+            };
+            if handle.send(ShardCommand::Finish).is_err() {
+                handle.abandon();
+                router.mark_down(shard);
+                sup.status = ShardStatus::Down {
+                    detected_at: end_slot,
+                    restart_at: end_slot,
+                };
+                continue;
+            }
+            let reply = if deadline_for(cfg) > 0 {
+                handle
+                    .recv_timeout(Duration::from_millis(deadline_for(cfg)))
+                    .ok()
+            } else {
+                handle.recv().ok()
+            };
+            match reply {
+                Some(ShardReply::Final(fin)) => {
+                    metrics.merge(&fin.metrics);
+                    handle.join();
+                    break;
+                }
+                Some(ShardReply::Error(msg)) => return Err(ServeError::Shard(msg)),
+                Some(other) => {
+                    return Err(ServeError::Shard(format!(
+                        "shard {shard} answered Finish with {other:?}"
+                    )))
+                }
+                None => {
+                    handle.abandon();
+                    router.mark_down(shard);
+                    sup.status = ShardStatus::Down {
+                        detected_at: end_slot,
+                        restart_at: end_slot,
+                    };
+                }
+            }
         }
     }
     let wall_secs = clock.elapsed_secs();
-    for handle in handles {
-        handle.join();
-    }
+    drop(supervised);
 
+    sync_router_stats(&mut stats, &router);
     let final_snapshot = Snapshot {
-        slot: clock.ticks(),
+        slot: end_slot,
         shards: cfg.shards,
         admitted: router.admitted(),
         shed: router.shed(),
@@ -276,13 +725,19 @@ pub fn serve<F: FnMut(&Snapshot)>(
         total_reward: metrics.total_reward(),
         latency: LatencyStats::from_samples(metrics.latencies_ms()),
         queue_depths: router.backlogs().to_vec(),
+        faults: stats,
         slots_per_sec: None,
     };
     Ok(ServeOutcome {
         final_snapshot,
         metrics,
-        slots_run: clock.ticks(),
+        slots_run: end_slot,
         snapshots_emitted,
         wall_secs,
     })
+}
+
+/// The per-slot reply deadline in milliseconds (0 = none).
+const fn deadline_for(cfg: &ServeConfig) -> u64 {
+    cfg.faults.tick_timeout_ms
 }

@@ -9,12 +9,28 @@
 //! flushes terminal accounting and answers [`ShardReply::Final`]. Because
 //! the driver always collects replies in shard order before the next tick,
 //! every shard executes the same slot in lock step.
+//!
+//! ## Recovery and chaos
+//!
+//! A worker can be spawned with a [`RecoverPlan`]: it restores the engine
+//! from a checkpointed [`EngineState`], replays journaled arrivals slot by
+//! slot through the catch-up horizon, and answers with a single
+//! [`ShardReply::Recovered`] before entering the normal command loop. It
+//! can also be *armed* with scripted [`ShardFault`]s that fire when the
+//! matching live tick arrives — crash (panic), stall (stop replying
+//! without exiting), or slow (sleep before the tick). Faults never fire
+//! during catch-up replay, so a consumed fault cannot re-kill the shard it
+//! already killed.
 
+use crate::chaos::{FaultKind, ShardFault};
 use crate::partition::ShardPlan;
-use mec_sim::{Engine, Metrics, SlotConfig, SlotPolicy, SlotReport};
+use mec_sim::{Engine, EngineState, Metrics, SlotConfig, SlotPolicy, SlotReport};
 use mec_workload::request::Request;
-use std::sync::mpsc::{Receiver, RecvError, SendError, SyncSender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// What the driver sends a shard worker.
 #[derive(Debug)]
@@ -47,6 +63,10 @@ pub struct ShardTick {
     pub aborted: usize,
     /// Latency samples recorded since the previous tick, in ms.
     pub new_latencies: Vec<f64>,
+    /// Engine checkpoint taken right after this slot, when the worker was
+    /// spawned with a nonzero checkpoint interval and this slot completes
+    /// an interval. The supervisor adopts it as the shard's recovery base.
+    pub checkpoint: Option<EngineState>,
 }
 
 /// Terminal report from one shard.
@@ -58,6 +78,30 @@ pub struct ShardFinal {
     pub metrics: Metrics,
 }
 
+/// First reply of a worker spawned with a [`RecoverPlan`]: the state it
+/// reached after restoring the checkpoint and replaying the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRecovered {
+    /// The reporting shard.
+    pub shard: usize,
+    /// Queue depth after catch-up.
+    pub backlog: usize,
+    /// Cumulative reward after catch-up.
+    pub total_reward: f64,
+    /// Cumulative completed count after catch-up.
+    pub completed: usize,
+    /// Cumulative expired count after catch-up.
+    pub expired: usize,
+    /// Cumulative aborted count after catch-up.
+    pub aborted: usize,
+    /// *All* latency samples recorded so far (the driver replaces its
+    /// per-shard sample set wholesale — deltas from before the crash are
+    /// unreliable).
+    pub latencies: Vec<f64>,
+    /// Journal entries re-injected during catch-up.
+    pub replayed: u64,
+}
+
 /// What a shard worker sends back.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ShardReply {
@@ -65,9 +109,47 @@ pub enum ShardReply {
     Tick(ShardTick),
     /// Answer to [`ShardCommand::Finish`]; the worker exits after this.
     Final(ShardFinal),
+    /// First reply after a spawn with a [`RecoverPlan`] — sent before any
+    /// command is consumed.
+    Recovered(ShardRecovered),
     /// The policy produced an illegal schedule; the worker exits after
     /// this and ignores further commands.
     Error(String),
+}
+
+/// How a restarted worker catches back up to the fleet.
+#[derive(Debug, Clone)]
+pub struct RecoverPlan {
+    /// The engine state to restore before replaying. Genesis state replays
+    /// the whole run (exact for every policy); a periodic checkpoint
+    /// replays only the tail (exact for stateless policies).
+    pub base: EngineState,
+    /// Journaled `(admission slot, localized request)` pairs with slot
+    /// `>= base.next_slot`, in admission order.
+    pub journal: Vec<(u64, Request)>,
+    /// Replay ticks through this slot inclusive; the next live tick the
+    /// driver sends is `through + 1`.
+    pub through: u64,
+}
+
+/// Everything needed to spawn (or respawn) one shard worker, minus the
+/// policy (boxed separately because trait objects aren't `Clone`/`Debug`).
+#[derive(Debug, Clone)]
+pub struct SpawnSpec {
+    /// The shard's partition: owned topology, station mapping, bridges.
+    pub plan: ShardPlan,
+    /// Slot parameters (already carrying the shard-derived seed).
+    pub config: SlotConfig,
+    /// Bound on the in-flight command queue — the driver blocks
+    /// (backpressure) rather than buffering unboundedly.
+    pub command_bound: usize,
+    /// Attach an [`EngineState`] checkpoint to every Nth tick reply
+    /// (0 disables checkpointing; recovery then replays from genesis).
+    pub checkpoint_every: u64,
+    /// Scripted faults to fire on matching live ticks.
+    pub faults: Vec<ShardFault>,
+    /// Catch-up plan for a restart; `None` for a cold start.
+    pub recover: Option<RecoverPlan>,
 }
 
 /// Driver-side handle to one shard worker thread.
@@ -78,76 +160,193 @@ pub struct ShardHandle {
     cmd_tx: SyncSender<ShardCommand>,
     reply_rx: Receiver<ShardReply>,
     join: Option<JoinHandle<()>>,
+    abandoned: Arc<AtomicBool>,
 }
 
-impl ShardHandle {
-    /// Spawns the worker thread for `plan`. The worker builds its own
-    /// shortest-path table and engine from the (owned) shard topology, so
-    /// nothing borrowed crosses the thread boundary. `command_bound` caps
-    /// the in-flight command queue — the driver blocks (backpressure)
-    /// rather than buffering unboundedly if it runs ahead of the worker.
-    pub fn spawn(
-        plan: ShardPlan,
-        config: SlotConfig,
-        mut policy: Box<dyn SlotPolicy + Send>,
-        command_bound: usize,
-    ) -> Self {
-        let shard = plan.shard;
-        let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel::<ShardCommand>(command_bound.max(1));
-        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel::<ShardReply>(4);
-        let join = std::thread::Builder::new()
-            .name(format!("mec-shard-{shard}"))
-            .spawn(move || {
-                let paths = plan.topo.shortest_paths();
-                let mut engine = Engine::new(&plan.topo, &paths, Vec::new(), config);
-                let mut seen_latencies = 0;
-                for cmd in cmd_rx {
-                    match cmd {
-                        ShardCommand::Inject(request) => {
-                            engine.inject(request);
+/// The worker body: runs catch-up (if any), then the command loop.
+#[allow(clippy::too_many_lines)]
+fn worker_main(
+    spec: SpawnSpec,
+    mut policy: Box<dyn SlotPolicy + Send>,
+    reply_tx: &SyncSender<ShardReply>,
+    cmd_rx: Receiver<ShardCommand>,
+    abandoned: &AtomicBool,
+) {
+    let shard = spec.plan.shard;
+    let paths = spec.plan.topo.shortest_paths();
+    let mut engine = Engine::new(&spec.plan.topo, &paths, Vec::new(), spec.config);
+    let mut faults = spec.faults;
+    let mut next_live_slot = 0u64;
+    let mut seen_latencies = 0usize;
+
+    if let Some(recover) = spec.recover {
+        let start = recover.base.next_slot;
+        engine.restore(recover.base);
+        let mut replayed = 0u64;
+        let mut journal = recover.journal.into_iter().peekable();
+        for slot in start..=recover.through {
+            // Entries recorded at or before this slot enter the engine
+            // now; `inject` clamps the arrival to the current slot exactly
+            // as the original live injection did.
+            while journal.peek().is_some_and(|(s, _)| *s <= slot) {
+                if let Some((_, request)) = journal.next() {
+                    engine.inject(request);
+                    replayed += 1;
+                }
+            }
+            if let Err(e) = engine.step(policy.as_mut()) {
+                let _ = reply_tx.send(ShardReply::Error(format!(
+                    "shard {shard} failed during replay of slot {slot}: {e}"
+                )));
+                return;
+            }
+        }
+        // Arrivals buffered while the shard was down but not yet due for a
+        // replayed tick (admission slot past the catch-up horizon).
+        for (_, request) in journal {
+            engine.inject(request);
+            replayed += 1;
+        }
+        next_live_slot = if recover.through >= start {
+            recover.through + 1
+        } else {
+            start
+        };
+        let metrics = engine.metrics();
+        seen_latencies = metrics.latencies_ms().len();
+        let recovered = ShardRecovered {
+            shard,
+            backlog: engine.backlog(),
+            total_reward: metrics.total_reward(),
+            completed: metrics.completed(),
+            expired: metrics.expired(),
+            aborted: metrics.aborted(),
+            latencies: metrics.latencies_ms().to_vec(),
+            replayed,
+        };
+        if reply_tx.send(ShardReply::Recovered(recovered)).is_err() {
+            return;
+        }
+    }
+
+    for cmd in cmd_rx {
+        match cmd {
+            ShardCommand::Inject(request) => {
+                engine.inject(request);
+            }
+            ShardCommand::Tick => {
+                if let Some(pos) = faults.iter().position(|f| f.slot == next_live_slot) {
+                    let fault = faults.remove(pos);
+                    match fault.kind {
+                        FaultKind::Crash => {
+                            panic!(
+                                "chaos: injected crash in shard {shard} at slot {}",
+                                fault.slot
+                            );
                         }
-                        ShardCommand::Tick => {
-                            let report = match engine.step(policy.as_mut()) {
-                                Ok(report) => report,
-                                Err(e) => {
-                                    let _ = reply_tx
-                                        .send(ShardReply::Error(format!("shard {shard}: {e}")));
-                                    return;
-                                }
-                            };
-                            let metrics = engine.metrics();
-                            let latencies = metrics.latencies_ms();
-                            let new_latencies = latencies[seen_latencies..].to_vec();
-                            seen_latencies = latencies.len();
-                            let tick = ShardTick {
-                                shard,
-                                report,
-                                backlog: engine.backlog(),
-                                total_reward: metrics.total_reward(),
-                                completed: metrics.completed(),
-                                expired: metrics.expired(),
-                                aborted: metrics.aborted(),
-                                new_latencies,
-                            };
-                            if reply_tx.send(ShardReply::Tick(tick)).is_err() {
-                                return;
+                        FaultKind::Stall => {
+                            // Stop replying without exiting: only the
+                            // driver's reply deadline can see this. Park
+                            // until the supervisor abandons the handle.
+                            while !abandoned.load(Ordering::Acquire) {
+                                std::thread::park_timeout(Duration::from_millis(5));
                             }
-                        }
-                        ShardCommand::Finish => {
-                            let metrics = engine.finish();
-                            let _ = reply_tx.send(ShardReply::Final(ShardFinal { shard, metrics }));
                             return;
+                        }
+                        FaultKind::Slow { ms } => {
+                            std::thread::sleep(Duration::from_millis(ms));
                         }
                     }
                 }
-            })
-            .expect("spawning a shard worker thread");
-        Self {
+                let report = match engine.step(policy.as_mut()) {
+                    Ok(report) => report,
+                    Err(e) => {
+                        let _ = reply_tx.send(ShardReply::Error(format!("shard {shard}: {e}")));
+                        return;
+                    }
+                };
+                next_live_slot = report.slot + 1;
+                let checkpoint = (spec.checkpoint_every > 0
+                    && next_live_slot.is_multiple_of(spec.checkpoint_every))
+                .then(|| engine.checkpoint());
+                let metrics = engine.metrics();
+                let latencies = metrics.latencies_ms();
+                let new_latencies = latencies[seen_latencies..].to_vec();
+                seen_latencies = latencies.len();
+                let tick = ShardTick {
+                    shard,
+                    report,
+                    backlog: engine.backlog(),
+                    total_reward: metrics.total_reward(),
+                    completed: metrics.completed(),
+                    expired: metrics.expired(),
+                    aborted: metrics.aborted(),
+                    new_latencies,
+                    checkpoint,
+                };
+                if reply_tx.send(ShardReply::Tick(tick)).is_err() {
+                    return;
+                }
+            }
+            ShardCommand::Finish => {
+                let metrics = engine.finish();
+                let _ = reply_tx.send(ShardReply::Final(ShardFinal { shard, metrics }));
+                return;
+            }
+        }
+    }
+}
+
+impl ShardHandle {
+    /// Spawns the worker thread for `spec`. The worker builds its own
+    /// shortest-path table and engine from the (owned) shard topology, so
+    /// nothing borrowed crosses the thread boundary.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the OS refuses to spawn the thread.
+    pub fn spawn(spec: SpawnSpec, policy: Box<dyn SlotPolicy + Send>) -> std::io::Result<Self> {
+        let shard = spec.plan.shard;
+        let bound = spec.command_bound.max(1);
+        let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel::<ShardCommand>(bound);
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel::<ShardReply>(4);
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let worker_abandoned = Arc::clone(&abandoned);
+        let join = std::thread::Builder::new()
+            .name(format!("mec-shard-{shard}"))
+            .spawn(move || worker_main(spec, policy, &reply_tx, cmd_rx, &worker_abandoned))?;
+        Ok(Self {
             shard,
             cmd_tx,
             reply_rx,
             join: Some(join),
-        }
+            abandoned,
+        })
+    }
+
+    /// Convenience cold-start spawn with no chaos, no checkpoints, and no
+    /// recovery — the pre-fault-tolerance behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the OS refuses to spawn the thread.
+    pub fn spawn_fresh(
+        plan: ShardPlan,
+        config: SlotConfig,
+        policy: Box<dyn SlotPolicy + Send>,
+        command_bound: usize,
+    ) -> std::io::Result<Self> {
+        Self::spawn(
+            SpawnSpec {
+                plan,
+                config,
+                command_bound,
+                checkpoint_every: 0,
+                faults: Vec::new(),
+                recover: None,
+            },
+            policy,
+        )
     }
 
     /// Sends a command; blocks when the bounded queue is full.
@@ -168,6 +367,18 @@ impl ShardHandle {
         self.reply_rx.recv()
     }
 
+    /// Receives the next reply, giving up after `timeout`. A timeout means
+    /// the worker is stalled (or merely slow); the supervisor decides.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if no reply arrived in time;
+    /// [`RecvTimeoutError::Disconnected`] if the worker exited without
+    /// replying (crash).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<ShardReply, RecvTimeoutError> {
+        self.reply_rx.recv_timeout(timeout)
+    }
+
     /// Waits for the worker thread to exit. Dropping the handle without
     /// joining also shuts the worker down (its command channel closes),
     /// but joining makes teardown deterministic.
@@ -176,13 +387,28 @@ impl ShardHandle {
             let _ = join.join();
         }
     }
+
+    /// Abandons a worker presumed wedged: signals it to exit if it ever
+    /// checks (stalled workers poll the flag), then detaches the thread so
+    /// the driver is never blocked on a join that may not return. A truly
+    /// wedged thread dies with the process.
+    pub fn abandon(mut self) {
+        self.abandoned.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            join.thread().unpark();
+            drop(join);
+        }
+    }
 }
 
 impl Drop for ShardHandle {
     fn drop(&mut self) {
-        // Closing cmd_tx ends the worker's command loop; join if possible
-        // so panics in the worker are not silently leaked mid-test.
+        // Closing cmd_tx ends the worker's command loop; the abandon flag
+        // frees a stalled worker from its park loop. Join if possible so
+        // panics in the worker are not silently leaked mid-test.
+        self.abandoned.store(true, Ordering::Release);
         if let Some(join) = self.join.take() {
+            join.thread().unpark();
             let _ = join.join();
         }
     }
@@ -202,7 +428,7 @@ mod tests {
         let plan = partition(&topo, 1).remove(0);
         let requests = WorkloadBuilder::new(&topo).seed(3).count(20).build();
         let policy = policy_from_name("Greedy", 100).unwrap();
-        let handle = ShardHandle::spawn(plan, SlotConfig::default(), policy, 64);
+        let handle = ShardHandle::spawn_fresh(plan, SlotConfig::default(), policy, 64).unwrap();
         for r in requests {
             handle.send(ShardCommand::Inject(r)).unwrap();
         }
@@ -213,6 +439,7 @@ mod tests {
                 ShardReply::Tick(tick) => {
                     assert_eq!(tick.shard, 0);
                     assert_eq!(tick.report.slot, slot);
+                    assert_eq!(tick.checkpoint, None, "checkpointing is off by default");
                     backlog = tick.backlog;
                 }
                 other => panic!("expected tick reply, got {other:?}"),
@@ -233,5 +460,124 @@ mod tests {
             other => panic!("expected final reply, got {other:?}"),
         }
         handle.join();
+    }
+
+    /// Drives `handle` through `slots` ticks, returning each tick.
+    fn drive(handle: &ShardHandle, slots: u64) -> Vec<ShardTick> {
+        let mut ticks = Vec::new();
+        for _ in 0..slots {
+            handle.send(ShardCommand::Tick).unwrap();
+            match handle.recv().unwrap() {
+                ShardReply::Tick(tick) => ticks.push(tick),
+                other => panic!("expected tick reply, got {other:?}"),
+            }
+        }
+        ticks
+    }
+
+    #[test]
+    fn periodic_checkpoints_attach_to_interval_ticks() {
+        let topo = TopologyBuilder::new(6).seed(7).build();
+        let plan = partition(&topo, 1).remove(0);
+        let policy = policy_from_name("Greedy", 100).unwrap();
+        let spec = SpawnSpec {
+            plan,
+            config: SlotConfig::default(),
+            command_bound: 16,
+            checkpoint_every: 4,
+            faults: Vec::new(),
+            recover: None,
+        };
+        let handle = ShardHandle::spawn(spec, policy).unwrap();
+        let ticks = drive(&handle, 9);
+        for tick in &ticks {
+            let expect_checkpoint = (tick.report.slot + 1) % 4 == 0;
+            assert_eq!(tick.checkpoint.is_some(), expect_checkpoint);
+            if let Some(state) = &tick.checkpoint {
+                assert_eq!(state.next_slot, tick.report.slot + 1);
+            }
+        }
+        handle.send(ShardCommand::Finish).unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn recovered_worker_matches_uninterrupted_run() {
+        let topo = TopologyBuilder::new(8).seed(11).build();
+        let plan = partition(&topo, 1).remove(0);
+        let requests = WorkloadBuilder::new(&topo).seed(11).count(15).build();
+        let config = SlotConfig::default();
+
+        // Reference: one worker runs 40 slots straight through.
+        let reference = {
+            let policy = policy_from_name("Greedy", 100).unwrap();
+            let handle = ShardHandle::spawn_fresh(plan.clone(), config, policy, 64).unwrap();
+            for r in requests.clone() {
+                handle.send(ShardCommand::Inject(r)).unwrap();
+            }
+            let ticks = drive(&handle, 40);
+            let last = ticks.last().unwrap().clone();
+            handle.send(ShardCommand::Finish).unwrap();
+            handle.join();
+            last
+        };
+
+        // Recovery path: replay the same injections from genesis through
+        // slot 29, then tick the last 10 live.
+        let journal: Vec<(u64, Request)> = requests.iter().map(|r| (0u64, r.clone())).collect();
+        let policy = policy_from_name("Greedy", 100).unwrap();
+        let spec = SpawnSpec {
+            plan: plan.clone(),
+            config,
+            command_bound: 64,
+            checkpoint_every: 0,
+            faults: Vec::new(),
+            recover: Some(RecoverPlan {
+                base: EngineState::genesis(plan.topo.station_count()),
+                journal,
+                through: 29,
+            }),
+        };
+        let handle = ShardHandle::spawn(spec, policy).unwrap();
+        let recovered = match handle.recv().unwrap() {
+            ShardReply::Recovered(r) => r,
+            other => panic!("expected recovered reply, got {other:?}"),
+        };
+        assert_eq!(recovered.replayed, 15);
+        let ticks = drive(&handle, 10);
+        let last = ticks.last().unwrap();
+        assert_eq!(last.report.slot, reference.report.slot);
+        assert_eq!(last.backlog, reference.backlog);
+        assert_eq!(last.total_reward, reference.total_reward);
+        assert_eq!(last.completed, reference.completed);
+        handle.send(ShardCommand::Finish).unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn stalled_worker_times_out_and_abandons_cleanly() {
+        let topo = TopologyBuilder::new(4).seed(1).build();
+        let plan = partition(&topo, 1).remove(0);
+        let policy = policy_from_name("Greedy", 100).unwrap();
+        let spec = SpawnSpec {
+            plan,
+            config: SlotConfig::default(),
+            command_bound: 8,
+            checkpoint_every: 0,
+            faults: vec![ShardFault {
+                slot: 2,
+                kind: FaultKind::Stall,
+            }],
+            recover: None,
+        };
+        let handle = ShardHandle::spawn(spec, policy).unwrap();
+        drive(&handle, 2);
+        handle.send(ShardCommand::Tick).unwrap();
+        match handle.recv_timeout(Duration::from_millis(100)) {
+            Err(RecvTimeoutError::Timeout) => {}
+            other => panic!("expected a stall timeout, got {other:?}"),
+        }
+        // Abandon returns promptly even though the worker is wedged.
+        handle.abandon();
     }
 }

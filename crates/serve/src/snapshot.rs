@@ -26,13 +26,15 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Computes the statistics from raw samples (any order).
+    /// Computes the statistics from raw samples (any order). Non-finite
+    /// samples cannot occur in practice (latencies are sums of finite
+    /// delays); `total_cmp` keeps even that case panic-free.
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return Self::default();
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let q = |frac: f64| sorted[((frac * (n - 1) as f64).round()) as usize];
         Self {
@@ -43,6 +45,44 @@ impl LatencyStats {
             p99_ms: q(0.99),
             max_ms: sorted[n - 1],
         }
+    }
+}
+
+/// Fault-tolerance counters: what the supervision layer did during the
+/// run. All quantities are in virtual slots or event counts — never wall
+/// time — so same-seed chaos runs report byte-identical stats.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Shard workers restarted after a crash, stall, or missed deadline.
+    pub restarts: u64,
+    /// Journal entries re-injected into restarted workers during
+    /// catch-up replay.
+    pub replayed_arrivals: u64,
+    /// Arrivals rerouted to a neighbor shard while their home shard was
+    /// down (degraded policy `spill`).
+    pub spilled: u64,
+    /// Arrivals shed *because* their shard was down (degraded policy
+    /// `shed`, or a full journal under `buffer`); also counted in the
+    /// snapshot's `shed` total.
+    pub shed_while_down: u64,
+    /// Shard-slots spent unavailable: each barriered slot a shard missed
+    /// adds one.
+    pub degraded_slots: u64,
+    /// Total outage length across restarts, in slots (restart slot minus
+    /// detection slot, summed).
+    pub recovery_latency_slots: u64,
+    /// Engine checkpoints received from workers.
+    pub checkpoints: u64,
+    /// Journal entries dropped because a shard's journal hit its cap
+    /// (recovery for that shard is best-effort from the oldest retained
+    /// entry).
+    pub journal_dropped: u64,
+}
+
+impl FaultStats {
+    /// Whether nothing fault-related happened (the fault-free fast path).
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
     }
 }
 
@@ -71,6 +111,8 @@ pub struct Snapshot {
     pub latency: LatencyStats,
     /// Per-shard engine backlog (waiting + running jobs), indexed by shard.
     pub queue_depths: Vec<usize>,
+    /// Fault-tolerance counters (restarts, replays, degraded routing).
+    pub faults: FaultStats,
     /// Wall-clock throughput in slots per second. `None` in final
     /// snapshots so deterministic runs serialize identically.
     pub slots_per_sec: Option<f64>,
@@ -106,7 +148,11 @@ impl Snapshot {
                 "\"completed\":{},\"expired\":{},\"aborted\":{},\"unserved\":{},",
                 "\"total_reward\":{},\"latency\":{{\"count\":{},\"mean_ms\":{},",
                 "\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{}}},",
-                "\"queue_depths\":[{}],\"slots_per_sec\":{}}}"
+                "\"queue_depths\":[{}],\"faults\":{{\"restarts\":{},",
+                "\"replayed_arrivals\":{},\"spilled\":{},\"shed_while_down\":{},",
+                "\"degraded_slots\":{},\"recovery_latency_slots\":{},",
+                "\"checkpoints\":{},\"journal_dropped\":{}}},",
+                "\"slots_per_sec\":{}}}"
             ),
             self.slot,
             self.shards,
@@ -124,6 +170,14 @@ impl Snapshot {
             json_f64(self.latency.p99_ms),
             json_f64(self.latency.max_ms),
             depths,
+            self.faults.restarts,
+            self.faults.replayed_arrivals,
+            self.faults.spilled,
+            self.faults.shed_while_down,
+            self.faults.degraded_slots,
+            self.faults.recovery_latency_slots,
+            self.faults.checkpoints,
+            self.faults.journal_dropped,
             sps,
         )
     }
@@ -173,8 +227,23 @@ mod tests {
         assert!(json.contains("\"queue_depths\":[1,2,3,4]"), "{json}");
         assert!(json.contains("\"slots_per_sec\":null"), "{json}");
         assert!(json.contains("\"total_reward\":1234.5"), "{json}");
+        assert!(json.contains("\"faults\":{\"restarts\":0"), "{json}");
         assert!(!json.contains('\n'));
         // Identical snapshots serialize identically.
         assert_eq!(json, snap.clone().to_json());
+    }
+
+    #[test]
+    fn fault_stats_serialize_and_quiet_detect() {
+        let mut snap = Snapshot::default();
+        assert!(snap.faults.is_quiet());
+        snap.faults.restarts = 2;
+        snap.faults.replayed_arrivals = 37;
+        snap.faults.recovery_latency_slots = 10;
+        assert!(!snap.faults.is_quiet());
+        let json = snap.to_json();
+        assert!(json.contains("\"restarts\":2"), "{json}");
+        assert!(json.contains("\"replayed_arrivals\":37"), "{json}");
+        assert!(json.contains("\"recovery_latency_slots\":10"), "{json}");
     }
 }

@@ -1,0 +1,258 @@
+//! Fault-injection tests of the supervised serving runtime: scripted
+//! crashes and stalls, deterministic recovery via journal replay,
+//! degraded-mode routing, and conservation of requests through outages.
+
+use mec_serve::{
+    serve, ChaosSpec, DegradedPolicy, FaultConfig, FaultStats, LoadGen, ServeConfig, ServeError,
+    Snapshot,
+};
+use mec_sim::SlotConfig;
+use mec_topology::{Topology, TopologyBuilder};
+use mec_workload::{Request, WorkloadBuilder};
+
+fn world(stations: usize, requests: usize, seed: u64) -> (Topology, Vec<Request>) {
+    let topo = TopologyBuilder::new(stations).seed(seed).build();
+    let population = WorkloadBuilder::new(&topo)
+        .seed(seed)
+        .count(requests)
+        .build();
+    (topo, population)
+}
+
+/// A config with ample queue capacity (no admission shedding, so backlog
+/// trajectories during an outage cannot change admission decisions).
+fn ample_cfg(policy: &str, seed: u64) -> ServeConfig {
+    ServeConfig {
+        shards: 4,
+        queue_capacity: 4_096,
+        snapshot_every: 0,
+        policy: policy.to_string(),
+        sim: SlotConfig {
+            seed,
+            ..SlotConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// Final snapshot with the fault counters zeroed, for comparing a chaos
+/// run against its fault-free twin (everything else must match exactly).
+fn defaulted_faults(snapshot: &Snapshot) -> Snapshot {
+    Snapshot {
+        faults: FaultStats::default(),
+        ..snapshot.clone()
+    }
+}
+
+fn assert_conserved(snap: &Snapshot, total: u64) {
+    assert_eq!(snap.admitted + snap.shed, total);
+    assert_eq!(
+        (snap.completed + snap.expired + snap.aborted + snap.unserved) as u64,
+        snap.admitted
+    );
+}
+
+#[test]
+fn crash_then_recover_matches_fault_free_run() {
+    // The satellite acceptance test: with genesis replay (the default),
+    // a crash-then-recover run of the *learning* policy ends in exactly
+    // the state of the uninterrupted run, because recovery replays the
+    // full journal and reconstructs both engine and bandit state.
+    let run = |chaos: &str| {
+        let (topo, population) = world(20, 2_500, 77);
+        let load = LoadGen::poisson(population, 1_500.0, 50.0, 77);
+        let cfg = ServeConfig {
+            chaos: ChaosSpec::parse(chaos).unwrap(),
+            ..ample_cfg("DynamicRR", 77)
+        };
+        serve(&topo, load, &cfg, |_| {}).unwrap().final_snapshot
+    };
+    let clean = run("");
+    let chaotic = run("crash:shard=1@slot=10,recover@slot=22");
+    assert!(chaotic.faults.restarts >= 1, "{:?}", chaotic.faults);
+    assert!(chaotic.faults.replayed_arrivals > 0, "{:?}", chaotic.faults);
+    assert_eq!(chaotic.faults.recovery_latency_slots, 12);
+    assert_eq!(chaotic.faults.degraded_slots, 12);
+    assert!(clean.faults.is_quiet(), "{:?}", clean.faults);
+    assert_eq!(
+        defaulted_faults(&chaotic).to_json(),
+        defaulted_faults(&clean).to_json(),
+        "recovered run must be byte-identical to the fault-free run"
+    );
+}
+
+#[test]
+fn chaos_runs_repeat_byte_identically() {
+    // Repeating the identical chaos command reproduces the identical
+    // final snapshot — fault counters included.
+    let run = || {
+        let (topo, population) = world(16, 1_200, 42);
+        let load = LoadGen::poisson(population, 1_200.0, 50.0, 42);
+        let cfg = ServeConfig {
+            snapshot_every: 25,
+            chaos: ChaosSpec::parse("crash:shard=2@slot=8,recover@slot=15").unwrap(),
+            ..ample_cfg("DynamicRR", 42)
+        };
+        let mut periodic = Vec::new();
+        let outcome = serve(&topo, load, &cfg, |snap| {
+            let mut s = snap.clone();
+            s.slots_per_sec = None;
+            periodic.push(s.to_json());
+        })
+        .unwrap();
+        (periodic, outcome.final_snapshot.to_json())
+    };
+    let (periodic_a, final_a) = run();
+    let (periodic_b, final_b) = run();
+    assert_eq!(periodic_a, periodic_b);
+    assert_eq!(final_a, final_b);
+    assert!(final_a.contains("\"restarts\":1"), "{final_a}");
+}
+
+#[test]
+fn stall_is_detected_by_the_reply_deadline_and_recovered() {
+    let (topo, population) = world(12, 600, 9);
+    let total = population.len() as u64;
+    let load = LoadGen::poisson(population, 1_000.0, 50.0, 9);
+    let cfg = ServeConfig {
+        faults: FaultConfig {
+            tick_timeout_ms: 200,
+            ..FaultConfig::default()
+        },
+        chaos: ChaosSpec::parse("stall:shard=0@slot=5").unwrap(),
+        ..ample_cfg("Greedy", 9)
+    };
+    let snap = serve(&topo, load, &cfg, |_| {}).unwrap().final_snapshot;
+    assert!(snap.faults.restarts >= 1, "{:?}", snap.faults);
+    assert!(snap.faults.degraded_slots >= 1, "{:?}", snap.faults);
+    assert_conserved(&snap, total);
+}
+
+#[test]
+fn checkpointed_recovery_is_exact_for_stateless_policies() {
+    // With periodic checkpoints the journal is pruned and catch-up starts
+    // from the last checkpoint instead of genesis. For a stateless policy
+    // this is still exact.
+    let run = |chaos: &str| {
+        let (topo, population) = world(18, 2_000, 33);
+        let load = LoadGen::poisson(population, 1_500.0, 50.0, 33);
+        let cfg = ServeConfig {
+            faults: FaultConfig {
+                checkpoint_every: 8,
+                ..FaultConfig::default()
+            },
+            chaos: ChaosSpec::parse(chaos).unwrap(),
+            ..ample_cfg("Greedy", 33)
+        };
+        serve(&topo, load, &cfg, |_| {}).unwrap().final_snapshot
+    };
+    let clean = run("");
+    let chaotic = run("crash:shard=1@slot=20,recover@slot=26");
+    assert!(chaotic.faults.restarts >= 1, "{:?}", chaotic.faults);
+    assert!(chaotic.faults.checkpoints > 0, "{:?}", chaotic.faults);
+    assert_eq!(
+        defaulted_faults(&chaotic).to_json(),
+        defaulted_faults(&clean).to_json()
+    );
+}
+
+#[test]
+fn shed_policy_drops_arrivals_while_down_but_conserves_accounting() {
+    let (topo, population) = world(8, 2_000, 5);
+    let total = population.len() as u64;
+    // High rate so arrivals land inside the outage window.
+    let load = LoadGen::poisson(population, 4_000.0, 50.0, 5);
+    let cfg = ServeConfig {
+        shards: 2,
+        faults: FaultConfig {
+            degraded: DegradedPolicy::Shed,
+            ..FaultConfig::default()
+        },
+        chaos: ChaosSpec::parse("crash:shard=0@slot=2,recover@slot=9").unwrap(),
+        ..ample_cfg("Greedy", 5)
+    };
+    let snap = serve(&topo, load, &cfg, |_| {}).unwrap().final_snapshot;
+    assert!(snap.faults.shed_while_down > 0, "{:?}", snap.faults);
+    assert_eq!(snap.faults.spilled, 0);
+    assert!(snap.shed >= snap.faults.shed_while_down);
+    assert_conserved(&snap, total);
+}
+
+#[test]
+fn spill_policy_reroutes_to_neighbor_shards() {
+    let (topo, population) = world(8, 2_000, 5);
+    let total = population.len() as u64;
+    let load = LoadGen::poisson(population, 4_000.0, 50.0, 5);
+    let cfg = ServeConfig {
+        shards: 2,
+        faults: FaultConfig {
+            degraded: DegradedPolicy::Spill,
+            ..FaultConfig::default()
+        },
+        chaos: ChaosSpec::parse("crash:shard=0@slot=2,recover@slot=9").unwrap(),
+        ..ample_cfg("Greedy", 5)
+    };
+    let snap = serve(&topo, load, &cfg, |_| {}).unwrap().final_snapshot;
+    assert!(snap.faults.spilled > 0, "{:?}", snap.faults);
+    assert_conserved(&snap, total);
+}
+
+#[test]
+fn supervisor_gives_up_after_max_restarts_but_final_accounting_conserves() {
+    let (topo, population) = world(8, 800, 13);
+    let total = population.len() as u64;
+    let load = LoadGen::poisson(population, 2_000.0, 50.0, 13);
+    let cfg = ServeConfig {
+        shards: 2,
+        faults: FaultConfig {
+            // No supervised restarts at all: the shard stays down from
+            // the crash until final accounting revives it.
+            max_restarts: 0,
+            ..FaultConfig::default()
+        },
+        chaos: ChaosSpec::parse("crash:shard=1@slot=3").unwrap(),
+        ..ample_cfg("Greedy", 13)
+    };
+    let snap = serve(&topo, load, &cfg, |_| {}).unwrap().final_snapshot;
+    // Exactly one revival: the accounting restart at finish.
+    assert_eq!(snap.faults.restarts, 1, "{:?}", snap.faults);
+    assert!(snap.faults.degraded_slots > 0, "{:?}", snap.faults);
+    assert!(snap.faults.replayed_arrivals > 0, "{:?}", snap.faults);
+    assert_conserved(&snap, total);
+}
+
+#[test]
+fn chaos_spec_naming_a_missing_shard_is_rejected() {
+    let (topo, population) = world(8, 10, 1);
+    let load = LoadGen::replay(population);
+    let cfg = ServeConfig {
+        shards: 2,
+        chaos: ChaosSpec::parse("crash:shard=7@slot=1").unwrap(),
+        ..ample_cfg("Greedy", 1)
+    };
+    match serve(&topo, load, &cfg, |_| {}) {
+        Err(ServeError::Chaos(msg)) => {
+            assert!(msg.contains("shard 7"), "{msg}");
+        }
+        other => panic!("expected a chaos validation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn slow_fault_under_the_deadline_changes_nothing() {
+    let run = |chaos: &str| {
+        let (topo, population) = world(10, 400, 21);
+        let load = LoadGen::poisson(population, 1_000.0, 50.0, 21);
+        let cfg = ServeConfig {
+            chaos: ChaosSpec::parse(chaos).unwrap(),
+            ..ample_cfg("Greedy", 21)
+        };
+        serve(&topo, load, &cfg, |_| {}).unwrap().final_snapshot
+    };
+    let clean = run("");
+    let slowed = run("slow:shard=0@slot=4@ms=20");
+    // A slow tick under the deadline is absorbed: no restart, identical
+    // snapshot (the delay is wall-clock only).
+    assert!(slowed.faults.is_quiet(), "{:?}", slowed.faults);
+    assert_eq!(slowed.to_json(), clean.to_json());
+}

@@ -10,6 +10,7 @@ use mec_topology::{PathTable, Topology};
 use mec_workload::request::{Request, RequestId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -124,6 +125,51 @@ pub struct SlotReport {
     pub expired: usize,
     /// Streams aborted by the continuity requirement during this slot.
     pub aborted: usize,
+}
+
+/// A resumable image of an [`Engine`]'s mutable state: everything needed
+/// to rebuild the engine at the same point of the same run — the slot
+/// index, every job's dynamic state (active placements and remaining
+/// work), accumulated metrics, and the demand RNG's stream position.
+///
+/// Captured with [`Engine::checkpoint`] and reapplied with
+/// [`Engine::restore`] onto an engine built over the *same* topology,
+/// path table, and [`SlotConfig`] (in particular the same `seed` — the
+/// RNG is reseeded from it and fast-forwarded to the recorded stream
+/// position). The event trace, if any, is not part of the state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineState {
+    /// The next slot [`Engine::step`] will execute.
+    pub next_slot: u64,
+    /// Slots executed so far.
+    pub slots_run: u64,
+    /// Every job's dynamic state, in dense request-id order.
+    pub jobs: Vec<Job>,
+    /// Granted MHz·slots per station.
+    pub busy_mhz_slots: Vec<f64>,
+    /// Outcome counters accumulated so far.
+    pub metrics: Metrics,
+    /// Whether [`Engine::finish`] already accounted for leftovers.
+    pub finished: bool,
+    /// Words consumed from the demand-realization RNG stream.
+    pub rng_word_pos: u64,
+}
+
+impl EngineState {
+    /// The state of a freshly built engine with an empty workload over a
+    /// `stations`-sized topology — the replay base a supervisor can hold
+    /// before the first checkpoint arrives.
+    pub fn genesis(stations: usize) -> Self {
+        Self {
+            next_slot: 0,
+            slots_run: 0,
+            jobs: Vec::new(),
+            busy_mhz_slots: vec![0.0; stations],
+            metrics: Metrics::new(),
+            finished: false,
+            rng_word_pos: 0,
+        }
+    }
 }
 
 /// The discrete time-slot engine.
@@ -305,6 +351,48 @@ impl<'a> Engine<'a> {
         );
         self.jobs.push(Job::new(request));
         id
+    }
+
+    /// Captures the engine's mutable state as a serializable
+    /// [`EngineState`]. Pairing it with [`Engine::restore`] on an engine
+    /// built over the same topology/paths/config resumes the run exactly:
+    /// the continuation is bit-identical to never having stopped.
+    pub fn checkpoint(&self) -> EngineState {
+        EngineState {
+            next_slot: self.next_slot,
+            slots_run: self.slots_run,
+            jobs: self.jobs.clone(),
+            busy_mhz_slots: self.busy_mhz_slots.clone(),
+            metrics: self.metrics.clone(),
+            finished: self.finished,
+            rng_word_pos: self.rng.get_word_pos(),
+        }
+    }
+
+    /// Reapplies a [`checkpoint`](Engine::checkpoint): replaces every piece
+    /// of mutable state, reseeds the demand RNG from `config.seed`, and
+    /// fast-forwards it to the recorded stream position. The engine must
+    /// have been built over the same topology, path table, and config as
+    /// the one that produced the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's per-station vector does not match this
+    /// engine's topology size.
+    pub fn restore(&mut self, state: EngineState) {
+        assert_eq!(
+            state.busy_mhz_slots.len(),
+            self.topo.station_count(),
+            "engine state is for a different topology"
+        );
+        self.next_slot = state.next_slot;
+        self.slots_run = state.slots_run;
+        self.jobs = state.jobs;
+        self.busy_mhz_slots = state.busy_mhz_slots;
+        self.metrics = state.metrics;
+        self.finished = state.finished;
+        self.rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x5bd1_e995);
+        self.rng.set_word_pos(state.rng_word_pos);
     }
 
     /// Executes exactly one slot under `policy` and reports what happened.
@@ -993,5 +1081,117 @@ mod tests {
         let m1 = mk().run(&mut GreedyHome).unwrap();
         let m2 = mk().run(&mut GreedyHome).unwrap();
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let reqs: Vec<Request> = (0..4).map(|i| request(i, 0, 10, 40.0, 100.0)).collect();
+        let mut engine = Engine::new(&topo, &paths, reqs, SlotConfig::default());
+        for _ in 0..5 {
+            engine.step(&mut GreedyHome).unwrap();
+        }
+        let state = engine.checkpoint();
+        let mut clone = Engine::new(&topo, &paths, Vec::new(), SlotConfig::default());
+        clone.restore(state.clone());
+        assert_eq!(clone.checkpoint(), state, "restore must be lossless");
+    }
+
+    #[test]
+    fn restored_engine_continues_identically() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let mk_reqs =
+            || -> Vec<Request> { (0..6).map(|i| request(i, 0, 10, 40.0, 100.0)).collect() };
+        // Reference run: straight through.
+        let mut reference = Engine::new(&topo, &paths, mk_reqs(), SlotConfig::default());
+        for _ in 0..20 {
+            reference.step(&mut GreedyHome).unwrap();
+        }
+        // Checkpointed run: step 7 slots, checkpoint, restore into a fresh
+        // engine, inject a mid-run request in both, and keep stepping.
+        let mut original = Engine::new(&topo, &paths, mk_reqs(), SlotConfig::default());
+        for _ in 0..7 {
+            original.step(&mut GreedyHome).unwrap();
+        }
+        let state = original.checkpoint();
+        let mut resumed = Engine::new(&topo, &paths, Vec::new(), SlotConfig::default());
+        resumed.restore(state);
+        for _ in 7..20 {
+            let a = original.step(&mut GreedyHome).unwrap();
+            let b = resumed.step(&mut GreedyHome).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(original.finish(), resumed.finish());
+        assert_eq!(resumed.finish(), reference.finish());
+    }
+
+    #[test]
+    fn restore_replays_rng_stream_position() {
+        // Demands realize from the RNG; a checkpoint taken after some
+        // realizations must resume the stream, not restart it.
+        use mec_workload::demand::{DemandDistribution, DemandOutcome};
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let two_level = DemandDistribution::new(vec![
+            DemandOutcome {
+                rate: DataRate::mbps(20.0),
+                prob: 0.5,
+                reward: 50.0,
+            },
+            DemandOutcome {
+                rate: DataRate::mbps(40.0),
+                prob: 0.5,
+                reward: 100.0,
+            },
+        ])
+        .unwrap();
+        let uncertain = |id: usize, arrival: u64| {
+            Request::new(
+                RequestId(id),
+                0.into(),
+                arrival,
+                5,
+                Task::reference_pipeline(),
+                two_level.clone(),
+                Latency::ms(500.0),
+            )
+        };
+        let reqs: Vec<Request> = (0..4).map(|i| uncertain(i, i as u64)).collect();
+        let mut original = Engine::new(&topo, &paths, reqs, SlotConfig::default());
+        for _ in 0..2 {
+            original.step(&mut GreedyHome).unwrap();
+        }
+        let state = original.checkpoint();
+        assert!(state.rng_word_pos > 0, "realizations consumed RNG words");
+        let mut resumed = Engine::new(&topo, &paths, Vec::new(), SlotConfig::default());
+        resumed.restore(state);
+        for _ in 2..30 {
+            let a = original.step(&mut GreedyHome).unwrap();
+            let b = resumed.step(&mut GreedyHome).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(original.finish(), resumed.finish());
+    }
+
+    #[test]
+    fn genesis_state_matches_fresh_engine() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let fresh = Engine::new(&topo, &paths, Vec::new(), SlotConfig::default());
+        assert_eq!(
+            fresh.checkpoint(),
+            EngineState::genesis(topo.station_count())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different topology")]
+    fn restore_rejects_mismatched_topology() {
+        let small = TopologyBuilder::new(2).shape(Shape::Line).build();
+        let small_paths = small.shortest_paths();
+        let mut engine = Engine::new(&small, &small_paths, Vec::new(), SlotConfig::default());
+        engine.restore(EngineState::genesis(5));
     }
 }

@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod sharing;
 pub mod trace;
 
-pub use engine::{Allocation, Engine, SimError, SlotContext, SlotPolicy, SlotReport};
+pub use engine::{Allocation, Engine, EngineState, SimError, SlotContext, SlotPolicy, SlotReport};
 // `Continuity` is defined below alongside `SlotConfig`.
 pub use lifecycle::{Job, JobView, Phase};
 pub use metrics::Metrics;

@@ -53,7 +53,10 @@ impl Job {
             realized: None,
             first_service: None,
             first_station: None,
-            remaining_mb: f64::NAN, // meaningless until realization
+            // Meaningless until realization (the accessor returns NaN
+            // before then); zero rather than NaN so `PartialEq` on jobs —
+            // and on checkpointed engine state — behaves.
+            remaining_mb: 0.0,
             completed_slot: None,
             stalled_slots: 0,
         }

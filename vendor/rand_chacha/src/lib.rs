@@ -37,6 +37,32 @@ pub struct ChaChaRng<const R: usize> {
 }
 
 impl<const R: usize> ChaChaRng<R> {
+    /// The number of 32-bit words consumed from the stream so far — the
+    /// generator's resumable position (mirrors the upstream crate's
+    /// `get_word_pos`, truncated to `u64`).
+    pub fn get_word_pos(&self) -> u64 {
+        if self.idx >= 16 {
+            // A refill is pending: everything through `counter` blocks has
+            // been consumed.
+            self.counter.wrapping_mul(16)
+        } else {
+            self.counter.wrapping_sub(1).wrapping_mul(16) + self.idx as u64
+        }
+    }
+
+    /// Repositions the stream so the next output is word `pos` — the
+    /// counterpart of [`ChaChaRng::get_word_pos`]. Seeking is O(1): only
+    /// the block containing `pos` is regenerated.
+    pub fn set_word_pos(&mut self, pos: u64) {
+        self.counter = pos / 16;
+        self.idx = 16;
+        let offset = (pos % 16) as usize;
+        if offset != 0 {
+            self.refill();
+            self.idx = offset;
+        }
+    }
+
     fn refill(&mut self) {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&CHACHA_CONST);
@@ -137,6 +163,31 @@ mod tests {
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn word_pos_round_trips_mid_block_and_on_boundaries() {
+        for consumed in [0usize, 1, 15, 16, 17, 31, 32, 100] {
+            let mut a = ChaCha8Rng::seed_from_u64(1234);
+            for _ in 0..consumed {
+                let _ = a.next_u32();
+            }
+            assert_eq!(a.get_word_pos(), consumed as u64, "consumed {consumed}");
+            let mut b = ChaCha8Rng::seed_from_u64(1234);
+            b.set_word_pos(a.get_word_pos());
+            for i in 0..200 {
+                assert_eq!(a.next_u32(), b.next_u32(), "consumed {consumed}, word {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_word_pos_rewinds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let first: Vec<u32> = (0..50).map(|_| rng.next_u32()).collect();
+        rng.set_word_pos(0);
+        let again: Vec<u32> = (0..50).map(|_| rng.next_u32()).collect();
+        assert_eq!(first, again);
     }
 
     #[test]
