@@ -6,7 +6,7 @@
 //! geometrically discounts old observations (`γ < 1`), so the policy keeps
 //! adapting; `γ = 1` recovers plain UCB1.
 
-use crate::policy::{ArmId, BanditPolicy};
+use crate::policy::{ArmId, ArmView, BanditPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Per-arm discounted statistics.
@@ -16,6 +16,8 @@ struct DiscountedStats {
     weight: f64,
     /// Discounted reward sum `S_γ`.
     sum: f64,
+    /// Undiscounted pull count (telemetry only; selection uses `weight`).
+    pulls: u64,
 }
 
 impl DiscountedStats {
@@ -69,6 +71,27 @@ impl DiscountedUcb {
         self.arms[arm.index()].mean()
     }
 
+    /// A telemetry view of every arm: discounted means with the D-UCB
+    /// padding as the confidence band (`ucb/lcb = mean ± padding`). No
+    /// arm is ever eliminated.
+    pub fn arm_views(&self) -> Vec<ArmView> {
+        self.arms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let pad = self.padding(a);
+                ArmView {
+                    arm: ArmId(i),
+                    pulls: a.pulls,
+                    mean: a.mean(),
+                    ucb: a.mean() + pad,
+                    lcb: a.mean() - pad,
+                    active: true,
+                }
+            })
+            .collect()
+    }
+
     fn padding(&self, arm: &DiscountedStats) -> f64 {
         if arm.weight <= 0.0 {
             return f64::INFINITY;
@@ -106,6 +129,7 @@ impl BanditPolicy for DiscountedUcb {
         let a = &mut self.arms[arm.index()];
         a.weight += 1.0;
         a.sum += reward.clamp(0.0, 1.0);
+        a.pulls += 1;
         self.total += 1;
     }
 

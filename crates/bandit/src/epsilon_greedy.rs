@@ -1,7 +1,7 @@
 //! ε-greedy — the simplest exploration baseline, used in ablations.
 
-use crate::policy::{ArmId, BanditPolicy};
-use crate::stats::ArmStats;
+use crate::policy::{ArmId, ArmView, BanditPolicy};
+use crate::stats::{ArmStats, ConfidenceSchedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,6 +44,25 @@ impl EpsilonGreedy {
     /// Panics if `arm` is out of range.
     pub fn stats(&self, arm: ArmId) -> &ArmStats {
         &self.stats[arm.index()]
+    }
+
+    /// A telemetry view of every arm. ε-greedy has no confidence
+    /// machinery of its own; the anytime-schedule bounds are reported
+    /// for comparability with the UCB-family learners. No arm is ever
+    /// eliminated.
+    pub fn arm_views(&self) -> Vec<ArmView> {
+        self.stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ArmView {
+                arm: ArmId(i),
+                pulls: s.pulls(),
+                mean: s.mean(),
+                ucb: s.ucb(ConfidenceSchedule::Anytime, self.total),
+                lcb: s.lcb(ConfidenceSchedule::Anytime, self.total),
+                active: true,
+            })
+            .collect()
     }
 }
 

@@ -42,7 +42,7 @@ pub mod ucb;
 pub use discounted::DiscountedUcb;
 pub use epsilon_greedy::EpsilonGreedy;
 pub use lipschitz::LipschitzDomain;
-pub use policy::{ArmId, BanditPolicy};
+pub use policy::{ArmId, ArmView, BanditPolicy};
 pub use regret::RegretTracker;
 pub use stats::{ArmStats, ConfidenceSchedule};
 pub use successive_elimination::SuccessiveElimination;

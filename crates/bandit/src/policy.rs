@@ -28,6 +28,27 @@ impl fmt::Display for ArmId {
     }
 }
 
+/// A telemetry view of one arm: its running statistics, confidence
+/// bounds, and membership in the active set. Produced by the policies'
+/// `arm_views` accessors for observability; policies without confidence
+/// machinery report `ucb == lcb == mean`, and policies that never
+/// eliminate report every arm active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArmView {
+    /// The arm.
+    pub arm: ArmId,
+    /// Times pulled.
+    pub pulls: u64,
+    /// Empirical (or posterior/discounted) mean reward.
+    pub mean: f64,
+    /// Upper confidence bound at the current time.
+    pub ucb: f64,
+    /// Lower confidence bound at the current time.
+    pub lcb: f64,
+    /// Whether the arm is still selectable.
+    pub active: bool,
+}
+
 /// A sequential arm-selection policy.
 ///
 /// The protocol is the standard bandit loop: call [`BanditPolicy::select`]

@@ -9,7 +9,7 @@
 //! `O(sqrt(κ · T · log T))` (Slivkins [25], Thm 1.9 — the bound quoted in
 //! the paper's Theorem 3).
 
-use crate::policy::{ArmId, BanditPolicy};
+use crate::policy::{ArmId, ArmView, BanditPolicy};
 use crate::stats::{ArmStats, ConfidenceSchedule};
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +61,25 @@ impl SuccessiveElimination {
     /// Panics if `arm` is out of range.
     pub fn stats(&self, arm: ArmId) -> &ArmStats {
         &self.stats[arm.index()]
+    }
+
+    /// A telemetry view of every arm: pulls, empirical mean, the
+    /// UCB/LCB bounds at the current total pull count, and whether the
+    /// arm survives in the active set.
+    pub fn arm_views(&self) -> Vec<ArmView> {
+        self.stats
+            .iter()
+            .zip(&self.active)
+            .enumerate()
+            .map(|(i, (s, &active))| ArmView {
+                arm: ArmId(i),
+                pulls: s.pulls(),
+                mean: s.mean(),
+                ucb: s.ucb(self.schedule, self.total),
+                lcb: s.lcb(self.schedule, self.total),
+                active,
+            })
+            .collect()
     }
 
     /// Deactivates every arm dominated by another active arm:

@@ -6,7 +6,7 @@
 //! the posterior exact for binary rewards and a sensible approximation for
 //! fractional ones.
 
-use crate::policy::{ArmId, BanditPolicy};
+use crate::policy::{ArmId, ArmView, BanditPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -111,6 +111,24 @@ impl ThompsonBeta {
     /// Panics if `arm` is out of range.
     pub fn pulls(&self, arm: ArmId) -> u64 {
         self.arms[arm.index()].pulls
+    }
+
+    /// A telemetry view of every arm. The Beta posterior carries no
+    /// frequentist confidence bounds, so `ucb == lcb == mean` (the
+    /// posterior mean). No arm is ever eliminated.
+    pub fn arm_views(&self) -> Vec<ArmView> {
+        self.arms
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ArmView {
+                arm: ArmId(i),
+                pulls: p.pulls,
+                mean: p.mean(),
+                ucb: p.mean(),
+                lcb: p.mean(),
+                active: true,
+            })
+            .collect()
     }
 }
 

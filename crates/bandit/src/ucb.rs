@@ -34,6 +34,23 @@ impl Ucb1 {
     pub fn stats(&self, arm: ArmId) -> &ArmStats {
         &self.stats[arm.index()]
     }
+
+    /// A telemetry view of every arm under the anytime schedule UCB1
+    /// selects with. UCB1 never eliminates, so every arm is active.
+    pub fn arm_views(&self) -> Vec<crate::policy::ArmView> {
+        self.stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| crate::policy::ArmView {
+                arm: ArmId(i),
+                pulls: s.pulls(),
+                mean: s.mean(),
+                ucb: s.ucb(ConfidenceSchedule::Anytime, self.total),
+                lcb: s.lcb(ConfidenceSchedule::Anytime, self.total),
+                active: true,
+            })
+            .collect()
+    }
 }
 
 impl BanditPolicy for Ucb1 {

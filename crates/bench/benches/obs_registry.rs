@@ -1,0 +1,78 @@
+//! Microbenchmarks of the mec-obs registry record path — the operations
+//! the serving runtime performs on its hot path (per served request, per
+//! tick, per telemetry sweep), so regressions here show up before they
+//! show up as serving throughput loss.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_obs::{Registry, STEP_MS_BOUNDS};
+use std::sync::Arc;
+
+const OPS: u64 = 10_000;
+
+fn registry_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_registry");
+    group.sample_size(30);
+    let registry = Registry::new();
+    let counter = registry.counter("bench_counter_total", "bench", &[("shard", "0")]);
+    let gauge = registry.gauge("bench_gauge", "bench", &[]);
+    let histogram = registry.histogram("bench_hist_ms", "bench", &[], STEP_MS_BOUNDS);
+
+    group.bench_function("counter_inc_10k", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                counter.inc();
+            }
+            black_box(counter.get())
+        })
+    });
+    group.bench_function("gauge_set_10k", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                gauge.set(i as f64);
+            }
+            black_box(gauge.get())
+        })
+    });
+    group.bench_function("histogram_observe_10k", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                histogram.observe((i % 100) as f64 * 0.5);
+            }
+            black_box(histogram.snapshot().count)
+        })
+    });
+    // Contended increments: the striped cells are the whole point — this
+    // is the path shard worker threads hit concurrently.
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("counter_inc_10k_contended", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let contended = Arc::new(mec_obs::Counter::new());
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let counter = Arc::clone(&contended);
+                            std::thread::spawn(move || {
+                                for _ in 0..OPS / threads as u64 {
+                                    counter.inc();
+                                }
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        handle.join().unwrap();
+                    }
+                    black_box(contended.get())
+                })
+            },
+        );
+    }
+    group.bench_function("render_prometheus", |b| {
+        b.iter(|| black_box(registry.render_prometheus().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, registry_record);
+criterion_main!(benches);

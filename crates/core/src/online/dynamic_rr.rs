@@ -114,6 +114,16 @@ impl LearnerPolicy {
             other => other.as_policy().arm_count(),
         }
     }
+
+    fn arm_views(&self) -> Vec<mec_bandit::ArmView> {
+        match self {
+            Self::Se(p) => p.arm_views(),
+            Self::Ucb(p) => p.arm_views(),
+            Self::Eps(p) => p.arm_views(),
+            Self::Thompson(p) => p.arm_views(),
+            Self::Ducb(p) => p.arm_views(),
+        }
+    }
 }
 
 /// Tuning knobs for [`DynamicRr`].
@@ -156,6 +166,8 @@ pub struct DynamicRr {
     current_arm: Option<ArmId>,
     /// Running normalizer for the bandit reward signal.
     max_slot_reward: f64,
+    /// Cumulative normalized reward fed to the learner (telemetry).
+    cum_reward: f64,
     /// Instance copy for the LP-PT mode (`None` in fast mode).
     lp_instance: Option<Instance>,
 }
@@ -179,6 +191,7 @@ impl DynamicRr {
             policy,
             current_arm: None,
             max_slot_reward: 0.0,
+            cum_reward: 0.0,
             lp_instance: None,
         }
     }
@@ -462,7 +475,37 @@ impl SlotPolicy for DynamicRr {
         } else {
             0.0
         };
+        self.cum_reward += normalized;
         self.policy.as_policy_mut().update(arm, normalized);
+    }
+
+    fn telemetry(&self) -> Option<mec_sim::PolicyTelemetry> {
+        let views = self.policy.arm_views();
+        let policy = self.policy.as_policy();
+        let best = policy.best();
+        let total = policy.total_pulls();
+        let best_mean = views[best.index()].mean;
+        let arms = views
+            .iter()
+            .map(|v| mec_sim::ArmTelemetry {
+                arm: v.arm.index(),
+                value: self.domain.value(v.arm),
+                pulls: v.pulls,
+                mean: v.mean,
+                ucb: v.ucb,
+                lcb: v.lcb,
+                active: v.active,
+            })
+            .collect();
+        Some(mec_sim::PolicyTelemetry {
+            policy: self.name().to_string(),
+            total_pulls: total,
+            best_arm: best.index(),
+            best_value: self.domain.value(best),
+            cum_reward: self.cum_reward,
+            regret_proxy: (total as f64 * best_mean - self.cum_reward).max(0.0),
+            arms,
+        })
     }
 
     fn name(&self) -> &str {
@@ -564,6 +607,26 @@ mod tests {
         // the implied bound: share >= 2000 means at most total/2000 jobs.
         let bound = (total / 2000.0).floor() as usize;
         assert!(bound >= 1);
+    }
+
+    #[test]
+    fn telemetry_reports_learner_state() {
+        let (_, policy) = run(false, 30, 400);
+        let t = SlotPolicy::telemetry(&policy).expect("DynamicRR exposes telemetry");
+        assert_eq!(t.policy, "DynamicRR");
+        assert_eq!(t.arms.len(), DynamicRrConfig::default().kappa);
+        assert!(t.total_pulls > 0);
+        assert!(t.cum_reward > 0.0);
+        assert!(t.regret_proxy >= 0.0);
+        assert_eq!(t.active_arms(), policy.active_arms());
+        assert_eq!(t.best_arm, t.arms[t.best_arm].arm);
+        assert!((100.0..=1000.0).contains(&t.best_value));
+        // Pull counts across arms account for every learner update.
+        let pulls: u64 = t.arms.iter().map(|a| a.pulls).sum();
+        assert_eq!(pulls, t.total_pulls);
+        for a in &t.arms {
+            assert!(a.ucb >= a.mean - 1e-12 && a.lcb <= a.mean + 1e-12);
+        }
     }
 
     #[test]

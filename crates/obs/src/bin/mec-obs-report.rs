@@ -1,0 +1,72 @@
+//! Renders a post-hoc run report from a `mec-serve --trace-out` JSONL
+//! trace: arm-elimination timeline, admission funnel, fault/restart
+//! log, per-shard latency histograms, final bandit state.
+//!
+//! ```text
+//! mec-obs-report events.jsonl
+//! mec-serve --trace-out - ... | mec-obs-report -
+//! ```
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mec-obs-report: render a run report from a mec-serve trace
+
+USAGE:
+    mec-obs-report <TRACE.jsonl>    read a trace file ('-' for stdin)
+    mec-obs-report --help           print this help
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = match args.next() {
+        Some(p) if p == "--help" || p == "-h" => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Some(p) => p,
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.next().is_some() {
+        eprintln!("too many arguments\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let reader: Box<dyn Read> = if path == "-" {
+        Box::new(std::io::stdin())
+    } else {
+        match std::fs::File::open(&path) {
+            Ok(f) => Box::new(f),
+            Err(e) => {
+                eprintln!("cannot open trace {path:?}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let mut lines = Vec::new();
+    for line in BufReader::new(reader).lines() {
+        match line {
+            Ok(line) => lines.push(line),
+            Err(e) => {
+                eprintln!("cannot read trace {path:?}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match mec_obs::build_report(&lines) {
+        Ok(report) => {
+            print!("{}", report.render());
+            ExitCode::SUCCESS
+        }
+        Err((line_no, e)) => {
+            eprintln!("trace {path:?} line {line_no}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! A minimal reader for the *flat* JSON objects this crate writes.
+//!
+//! The workspace vendors no JSON library, and the trace format is
+//! deliberately restricted to one-line objects with scalar values
+//! (string / number / bool / null), so a small handwritten parser
+//! covers exactly what [`crate::report`] needs. Nested objects and
+//! arrays are rejected — by construction the tracer never emits them.
+
+use std::collections::BTreeMap;
+
+/// A parsed scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// Any JSON number.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Why a line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            message: message.to_string(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {:?}", b as char))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("bad \\u escape");
+                            };
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is valid UTF-8
+                    // because it arrived as &str).
+                    let rest = &self.as_str()[self.pos..];
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn as_str(&self) -> &'a str {
+        std::str::from_utf8(self.bytes).expect("input was a str")
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        self.as_str()[start..self.pos]
+            .parse::<f64>()
+            .map_err(|_| ParseError {
+                at: start,
+                message: "bad number".to_string(),
+            })
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.as_str()[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't' | b'f' | b'n') => {
+                for (word, value) in [
+                    ("true", JsonValue::Bool(true)),
+                    ("false", JsonValue::Bool(false)),
+                    ("null", JsonValue::Null),
+                ] {
+                    if self.literal(word) {
+                        return Ok(value);
+                    }
+                }
+                self.err("expected a scalar value")
+            }
+            Some(b'-' | b'0'..=b'9') => Ok(JsonValue::Num(self.number()?)),
+            Some(b'{' | b'[') => self.err("nested values are not supported"),
+            _ => self.err("expected a scalar value"),
+        }
+    }
+}
+
+/// Parses one flat JSON object line into key → scalar pairs.
+///
+/// # Errors
+///
+/// Fails on anything that is not a single flat object of scalar values
+/// (see module docs).
+pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, ParseError> {
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let mut out = BTreeMap::new();
+    c.skip_ws();
+    c.expect(b'{')?;
+    c.skip_ws();
+    if c.peek() == Some(b'}') {
+        c.pos += 1;
+    } else {
+        loop {
+            c.skip_ws();
+            let key = c.string()?;
+            c.skip_ws();
+            c.expect(b':')?;
+            let value = c.value()?;
+            out.insert(key, value);
+            c.skip_ws();
+            match c.peek() {
+                Some(b',') => c.pos += 1,
+                Some(b'}') => {
+                    c.pos += 1;
+                    break;
+                }
+                _ => return c.err("expected ',' or '}'"),
+            }
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return c.err("trailing input after object");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_tracer_output() {
+        use crate::trace::{TraceEvent, Value};
+        let e = TraceEvent {
+            slot: 42,
+            kind: "arm_eliminated".to_string(),
+            fields: vec![
+                ("shard", Value::U64(2)),
+                ("value_mhz", Value::F64(437.5)),
+                ("note", Value::Str("a \"b\"\nc".to_string())),
+                ("ok", Value::Bool(false)),
+            ],
+        };
+        let parsed = parse_flat_object(&e.to_json_line()).unwrap();
+        assert_eq!(parsed["slot"].as_u64(), Some(42));
+        assert_eq!(parsed["kind"].as_str(), Some("arm_eliminated"));
+        assert_eq!(parsed["shard"].as_u64(), Some(2));
+        assert_eq!(parsed["value_mhz"].as_f64(), Some(437.5));
+        assert_eq!(parsed["note"].as_str(), Some("a \"b\"\nc"));
+        assert_eq!(parsed["ok"], JsonValue::Bool(false));
+    }
+
+    #[test]
+    fn handles_empty_and_whitespace() {
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+        let m = parse_flat_object(" { \"a\" : 1 , \"b\" : null } ").unwrap();
+        assert_eq!(m["a"].as_u64(), Some(1));
+        assert_eq!(m["b"], JsonValue::Null);
+    }
+
+    #[test]
+    fn rejects_nesting_and_garbage() {
+        assert!(parse_flat_object("{\"a\":[1]}").is_err());
+        assert!(parse_flat_object("{\"a\":{\"b\":1}}").is_err());
+        assert!(parse_flat_object("{\"a\":1} extra").is_err());
+        assert!(parse_flat_object("not json").is_err());
+        assert!(parse_flat_object("{\"a\":1").is_err());
+    }
+
+    #[test]
+    fn numbers_parse_with_exponents_and_sign() {
+        let m = parse_flat_object("{\"a\":-1.5e2,\"b\":0.25,\"c\":12}").unwrap();
+        assert_eq!(m["a"].as_f64(), Some(-150.0));
+        assert_eq!(m["b"].as_f64(), Some(0.25));
+        assert_eq!(m["c"].as_u64(), Some(12));
+        assert_eq!(m["a"].as_u64(), None);
+    }
+}

@@ -1,0 +1,639 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms
+//! with striped atomic cells, created on demand and rendered
+//! deterministically.
+//!
+//! ## Contention model
+//!
+//! Shard worker threads record on the hot path (every slot, every
+//! latency sample), so [`Counter`] and [`Histogram`] spread their cells
+//! over [`STRIPES`] cache lines indexed by a per-thread stripe id:
+//! recording is one relaxed atomic add with no shared hot word, and
+//! reads sum the stripes. [`Gauge`] is a single word (gauges are
+//! driver-written, reader-racy by design).
+//!
+//! ## Determinism
+//!
+//! Values recorded from deterministic quantities (slots, counts,
+//! rewards) read back exactly: integer adds are exact, and exposition
+//! sorts metric families and label sets, so two identical runs render
+//! identical pages. Wall-clock observations (e.g. step timings) are
+//! live-only by convention — they must never feed snapshots or traces.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independent cells per striped metric. Eight covers the
+/// shard-worker counts this workspace runs while staying cache-friendly.
+pub const STRIPES: usize = 8;
+
+/// The calling thread's stripe index, assigned round-robin on first use.
+fn stripe() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+            s.set(v);
+        }
+        v
+    })
+}
+
+/// A cache-line-padded atomic cell, so neighbouring stripes do not
+/// false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// Monotonic event counter with striped cells.
+#[derive(Debug, Default)]
+pub struct Counter {
+    cells: [PaddedU64; STRIPES],
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cells[stripe()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across stripes.
+    pub fn get(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Overwrites the total. This exists for *synced* counters whose
+    /// source of truth lives elsewhere (e.g. router-owned admission
+    /// totals): the single owner calls `store` at sync points. Racing
+    /// `store` with concurrent `add`s loses increments — never mix the
+    /// two styles on one counter.
+    pub fn store(&self, v: u64) {
+        self.cells[0].0.store(v, Ordering::Relaxed);
+        for c in &self.cells[1..] {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-value-wins `f64` gauge (single writer expected).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Reads the value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram with striped bucket cells.
+///
+/// Bucket `i` counts observations `v <= bounds[i]` (Prometheus `le`
+/// semantics); one implicit overflow bucket catches the rest. The sum is
+/// accumulated with a CAS loop on `f64` bits, the count with a plain
+/// atomic add.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `STRIPES * (bounds.len() + 1)` cells, stripe-major.
+    cells: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A point-in-time copy of a histogram, mergeable across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// The upper bucket bounds (exclusive of the implicit `+Inf`).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, `bounds.len() + 1` entries (last = overflow).
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram over the given strictly increasing bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let width = bounds.len() + 1;
+        Self {
+            bounds: bounds.to_vec(),
+            cells: (0..STRIPES * width).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let width = self.bounds.len() + 1;
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.cells[stripe() * width + idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Copies the current state (per-bucket totals summed over stripes).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let width = self.bounds.len() + 1;
+        let mut counts = vec![0u64; width];
+        for s in 0..STRIPES {
+            for (i, c) in counts.iter_mut().enumerate() {
+                *c += self.cells[s * width + i].load(Ordering::Relaxed);
+            }
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot over the given bounds.
+    pub fn empty(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Folds `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bucket bounds differ (merging would misattribute
+    /// counts).
+    pub fn merge(&mut self, other: &Self) -> Result<(), BoundsMismatch> {
+        if self.bounds != other.bounds {
+            return Err(BoundsMismatch);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        Ok(())
+    }
+
+    /// Records one observation into the snapshot (for offline
+    /// aggregation, e.g. rebuilding distributions from a trace).
+    pub fn record(&mut self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Estimated `q`-quantile (`0 <= q <= 1`) by linear interpolation
+    /// within the covering bucket; 0 when empty. Observations beyond the
+    /// last bound report the last bound (the histogram cannot resolve
+    /// further).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c;
+            if (next as f64) >= target {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = *self
+                    .bounds
+                    .get(i)
+                    .unwrap_or(&self.bounds[self.bounds.len() - 1]);
+                let frac = (target - seen as f64) / c as f64;
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+            seen = next;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+}
+
+/// Merge rejected: the two histograms have different bucket layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundsMismatch;
+
+impl std::fmt::Display for BoundsMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "histogram bucket bounds differ")
+    }
+}
+
+impl std::error::Error for BoundsMismatch {}
+
+/// One series inside a metric family.
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// All series sharing one metric name.
+#[derive(Debug)]
+struct Family {
+    help: String,
+    /// Keyed by the rendered label set (`{k="v",...}` or empty).
+    series: BTreeMap<String, Series>,
+}
+
+/// The metric store: get-or-create handles keyed by `(name, labels)`.
+///
+/// Handles are `Arc`s — fetch them once and record lock-free; the
+/// registry lock is only taken at creation and exposition time.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// Renders a label set in deterministic (sorted) order.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let body = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{body}}}")
+}
+
+/// Formats an `f64` for exposition (shortest round-trip form).
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        let mut families = self.families.lock().expect("registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        family
+            .series
+            .entry(label_key(labels))
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Fetches (creating on first use) the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series already exists with a different type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.series(name, help, labels, || {
+            Series::Counter(Arc::new(Counter::new()))
+        }) {
+            Series::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Fetches (creating on first use) the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series already exists with a different type.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.series(name, help, labels, || Series::Gauge(Arc::new(Gauge::new()))) {
+            Series::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Fetches (creating on first use) the histogram `name{labels}` over
+    /// `bounds`. An existing series keeps its original bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series already exists with a different type.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        match self.series(name, help, labels, || {
+            Series::Histogram(Arc::new(Histogram::with_bounds(bounds)))
+        }) {
+            Series::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format (version 0.0.4), families and series in sorted order.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("registry lock");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let kind = match family.series.values().next() {
+                Some(Series::Counter(_)) => "counter",
+                Some(Series::Gauge(_)) => "gauge",
+                Some(Series::Histogram(_)) => "histogram",
+                None => continue,
+            };
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{labels} {}", c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{labels} {}", fmt_f64(g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for (i, &c) in snap.counts.iter().enumerate() {
+                            cum += c;
+                            let le = snap.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                            let le = fmt_f64(le);
+                            let inner = if labels.is_empty() {
+                                format!("{{le=\"{le}\"}}")
+                            } else {
+                                format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+                            };
+                            let _ = writeln!(out, "{name}_bucket{inner} {cum}");
+                        }
+                        let _ = writeln!(out, "{name}_sum{labels} {}", fmt_f64(snap.sum));
+                        let _ = writeln!(out, "{name}_count{labels} {}", snap.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the whole registry as one JSON object (families and
+    /// series in sorted order), for programmatic scraping.
+    pub fn render_json(&self) -> String {
+        let families = self.families.lock().expect("registry lock");
+        let mut parts = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, series) in &family.series {
+                let key = crate::trace::escape_json(&format!("{name}{labels}"));
+                match series {
+                    Series::Counter(c) => parts.push(format!("\"{key}\":{}", c.get())),
+                    Series::Gauge(g) => {
+                        let v = g.get();
+                        let v = if v.is_finite() {
+                            format!("{v:?}")
+                        } else {
+                            "null".to_string()
+                        };
+                        parts.push(format!("\"{key}\":{v}"));
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let buckets = snap
+                            .bounds
+                            .iter()
+                            .map(|b| format!("{b:?}"))
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        let counts = snap
+                            .counts
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        parts.push(format!(
+                            "\"{key}\":{{\"bounds\":[{buckets}],\"counts\":[{counts}],\
+                             \"sum\":{:?},\"count\":{}}}",
+                            snap.sum, snap.count
+                        ));
+                    }
+                }
+            }
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn counter_store_resets_all_stripes() {
+        let c = Counter::new();
+        c.add(7);
+        c.store(3);
+        assert_eq!(c.get(), 3);
+        c.store(0);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_round_trips() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_use_le_semantics() {
+        let h = Histogram::with_bounds(&[1.0, 5.0, 10.0]);
+        for v in [0.5, 1.0, 1.1, 5.0, 9.9, 10.0, 11.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // le=1: {0.5, 1.0}; le=5: {1.1, 5.0}; le=10: {9.9, 10.0}; +Inf: {11.0}.
+        assert_eq!(snap.counts, vec![2, 2, 2, 1]);
+        assert_eq!(snap.count, 7);
+        assert!((snap.sum - 38.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_requires_equal_bounds() {
+        let mut a = HistogramSnapshot::empty(&[1.0, 2.0]);
+        let mut b = HistogramSnapshot::empty(&[1.0, 2.0]);
+        a.record(0.5);
+        b.record(1.5);
+        b.record(9.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts, vec![1, 1, 1]);
+        assert_eq!(a.count, 3);
+        let c = HistogramSnapshot::empty(&[1.0, 3.0]);
+        assert_eq!(a.merge(&c), Err(BoundsMismatch));
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates() {
+        let mut s = HistogramSnapshot::empty(&[10.0, 20.0, 40.0]);
+        for _ in 0..50 {
+            s.record(5.0);
+        }
+        for _ in 0..50 {
+            s.record(15.0);
+        }
+        let p50 = s.quantile(0.5);
+        assert!((0.0..=10.0).contains(&p50), "{p50}");
+        let p99 = s.quantile(0.99);
+        assert!((10.0..=20.0).contains(&p99), "{p99}");
+        assert_eq!(HistogramSnapshot::empty(&[1.0]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_well_formed() {
+        let r = Registry::new();
+        r.counter("mec_test_total", "test counter", &[("shard", "1")])
+            .add(3);
+        r.counter("mec_test_total", "test counter", &[("shard", "0")])
+            .add(2);
+        r.gauge("mec_test_depth", "test gauge", &[]).set(1.5);
+        r.histogram(
+            "mec_test_ms",
+            "test histogram",
+            &[("shard", "0")],
+            &[1.0, 10.0],
+        )
+        .observe(0.5);
+        let page = r.render_prometheus();
+        assert_eq!(page, r.render_prometheus());
+        assert!(page.contains("# TYPE mec_test_total counter"), "{page}");
+        // Sorted label sets: shard 0 renders before shard 1.
+        let p0 = page.find("mec_test_total{shard=\"0\"} 2").unwrap();
+        let p1 = page.find("mec_test_total{shard=\"1\"} 3").unwrap();
+        assert!(p0 < p1);
+        assert!(page.contains("mec_test_depth 1.5"), "{page}");
+        assert!(
+            page.contains("mec_test_ms_bucket{shard=\"0\",le=\"1.0\"} 1"),
+            "{page}"
+        );
+        assert!(
+            page.contains("mec_test_ms_bucket{shard=\"0\",le=\"+Inf\"} 1"),
+            "{page}"
+        );
+        assert!(page.contains("mec_test_ms_count{shard=\"0\"} 1"), "{page}");
+    }
+
+    #[test]
+    fn json_rendering_contains_all_series() {
+        let r = Registry::new();
+        r.counter("a_total", "a", &[]).add(1);
+        r.gauge("b", "b", &[("k", "v")]).set(2.0);
+        r.histogram("c_ms", "c", &[], &[1.0]).observe(0.5);
+        let json = r.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"a_total\":1"), "{json}");
+        assert!(json.contains("\"b{k=\\\"v\\\"}\":2.0"), "{json}");
+        assert!(json.contains("\"counts\":[1,0]"), "{json}");
+    }
+
+    #[test]
+    fn registry_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x", &[("s", "0")]);
+        let b = r.counter("x_total", "x", &[("s", "0")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

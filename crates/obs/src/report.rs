@@ -1,0 +1,410 @@
+//! Post-hoc run reports rendered from a JSONL trace.
+//!
+//! [`build_report`] folds the event stream emitted by a traced serving
+//! run (see the `mec-serve --trace-out` schema in DESIGN.md §10) into a
+//! [`RunReport`]; [`RunReport::render`] produces the human-readable
+//! text: run header, admission funnel, arm-elimination timeline, fault
+//! and restart log, per-shard latency histograms, and the final bandit
+//! state per shard.
+
+use crate::json::{parse_flat_object, JsonValue, ParseError};
+use crate::registry::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Latency bucket bounds (ms) used when rebuilding per-shard
+/// distributions from `served` events.
+pub const LATENCY_MS_BOUNDS: &[f64] = &[
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+];
+
+/// One `arm_eliminated` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Elimination {
+    /// Slot the elimination was observed at.
+    pub slot: u64,
+    /// Shard whose learner eliminated the arm.
+    pub shard: u64,
+    /// Eliminated arm index.
+    pub arm: u64,
+    /// The arm's threshold value in MHz.
+    pub value_mhz: f64,
+    /// Active arms remaining after the elimination.
+    pub active_left: u64,
+}
+
+/// One `restart` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Restart {
+    /// Slot the restart completed at.
+    pub slot: u64,
+    /// The restarted shard.
+    pub shard: u64,
+    /// Journal entries replayed during catch-up.
+    pub replayed: u64,
+    /// Outage length in slots.
+    pub latency_slots: u64,
+    /// Whether the replacement worker came up.
+    pub ok: bool,
+}
+
+/// Final per-arm learner state (from the last `arm_state` sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmRow {
+    /// Arm index.
+    pub arm: u64,
+    /// Threshold value in MHz.
+    pub value_mhz: f64,
+    /// Times pulled.
+    pub pulls: u64,
+    /// Empirical mean reward.
+    pub mean: f64,
+    /// Upper confidence bound.
+    pub ucb: f64,
+    /// Lower confidence bound.
+    pub lcb: f64,
+    /// Still active?
+    pub active: bool,
+}
+
+/// Everything the report extracted from the trace.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Total events read.
+    pub events: u64,
+    /// `run_start` attributes (shards, policy, seed, ...), rendered as-is.
+    pub run_start: BTreeMap<String, String>,
+    /// `run_end` attributes (admitted, completed, ...), rendered as-is.
+    pub run_end: BTreeMap<String, String>,
+    /// Admission funnel totals summed over per-slot `admission` events.
+    pub funnel: BTreeMap<&'static str, u64>,
+    /// Every arm elimination, in stream order.
+    pub eliminations: Vec<Elimination>,
+    /// Every restart, in stream order.
+    pub restarts: Vec<Restart>,
+    /// `fault_injected` events as `(slot, shard, kind)`.
+    pub faults_injected: Vec<(u64, u64, String)>,
+    /// `fault_detected` events as `(slot, shard, reason)`.
+    pub faults_detected: Vec<(u64, u64, String)>,
+    /// Per-shard latency distribution from `served` events.
+    pub latency: BTreeMap<u64, HistogramSnapshot>,
+    /// Final per-shard arm table (last `arm_state` sweep wins).
+    pub arms: BTreeMap<u64, BTreeMap<u64, ArmRow>>,
+    /// Per-shard slot of the last `arm_state` sweep seen.
+    pub arms_as_of: BTreeMap<u64, u64>,
+}
+
+fn get_u64(m: &BTreeMap<String, JsonValue>, key: &str) -> u64 {
+    m.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+fn get_f64(m: &BTreeMap<String, JsonValue>, key: &str) -> f64 {
+    m.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+}
+
+fn get_str(m: &BTreeMap<String, JsonValue>, key: &str) -> String {
+    m.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_string()
+}
+
+/// Renders one parsed object's non-(slot, kind) fields for the header
+/// sections, deterministically (keys sorted).
+fn render_attrs(m: &BTreeMap<String, JsonValue>) -> BTreeMap<String, String> {
+    m.iter()
+        .filter(|(k, _)| k.as_str() != "slot" && k.as_str() != "kind")
+        .map(|(k, v)| {
+            let rendered = match v {
+                JsonValue::Str(s) => s.clone(),
+                JsonValue::Num(n) => {
+                    if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+                        format!("{}", *n as i64)
+                    } else {
+                        format!("{n}")
+                    }
+                }
+                JsonValue::Bool(b) => b.to_string(),
+                JsonValue::Null => "null".to_string(),
+            };
+            (k.clone(), rendered)
+        })
+        .collect()
+}
+
+/// Folds trace lines into a [`RunReport`]. Blank lines are skipped;
+/// unknown event kinds are counted but otherwise ignored (forward
+/// compatibility).
+///
+/// # Errors
+///
+/// Fails on the first malformed line, reporting its 1-based number.
+pub fn build_report<I, S>(lines: I) -> Result<RunReport, (usize, ParseError)>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut r = RunReport::default();
+    for (i, line) in lines.into_iter().enumerate() {
+        let line = line.as_ref().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line).map_err(|e| (i + 1, e))?;
+        r.events += 1;
+        let slot = get_u64(&obj, "slot");
+        let shard = get_u64(&obj, "shard");
+        match get_str(&obj, "kind").as_str() {
+            "run_start" => r.run_start = render_attrs(&obj),
+            "run_end" => r.run_end = render_attrs(&obj),
+            "admission" => {
+                for key in ["admitted", "buffered", "spilled", "shed", "shed_down"] {
+                    *r.funnel.entry(key).or_insert(0) += get_u64(&obj, key);
+                }
+            }
+            "arm_eliminated" => r.eliminations.push(Elimination {
+                slot,
+                shard,
+                arm: get_u64(&obj, "arm"),
+                value_mhz: get_f64(&obj, "value_mhz"),
+                active_left: get_u64(&obj, "active_left"),
+            }),
+            "restart" => r.restarts.push(Restart {
+                slot,
+                shard,
+                replayed: get_u64(&obj, "replayed"),
+                latency_slots: get_u64(&obj, "latency_slots"),
+                ok: obj.get("ok") == Some(&JsonValue::Bool(true)),
+            }),
+            "fault_injected" => r
+                .faults_injected
+                .push((slot, shard, get_str(&obj, "fault"))),
+            "fault_detected" => r
+                .faults_detected
+                .push((slot, shard, get_str(&obj, "reason"))),
+            "served" => {
+                r.latency
+                    .entry(shard)
+                    .or_insert_with(|| HistogramSnapshot::empty(LATENCY_MS_BOUNDS))
+                    .record(get_f64(&obj, "lat_ms"));
+            }
+            "arm_state" => {
+                let arm = get_u64(&obj, "arm");
+                // A new sweep (later slot) replaces the previous table.
+                let as_of = r.arms_as_of.entry(shard).or_insert(slot);
+                if *as_of != slot {
+                    *as_of = slot;
+                    r.arms.insert(shard, BTreeMap::new());
+                }
+                r.arms.entry(shard).or_default().insert(
+                    arm,
+                    ArmRow {
+                        arm,
+                        value_mhz: get_f64(&obj, "value_mhz"),
+                        pulls: get_u64(&obj, "pulls"),
+                        mean: get_f64(&obj, "mean"),
+                        ucb: get_f64(&obj, "ucb"),
+                        lcb: get_f64(&obj, "lcb"),
+                        active: obj.get("active") == Some(&JsonValue::Bool(true)),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    Ok(r)
+}
+
+fn section(out: &mut String, title: &str) {
+    let _ = writeln!(out, "\n== {title} ==");
+}
+
+impl RunReport {
+    /// Renders the report as plain text.
+    #[allow(clippy::too_many_lines)]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "mec-obs report ({} events)", self.events);
+
+        if !self.run_start.is_empty() {
+            section(&mut out, "run");
+            for (k, v) in &self.run_start {
+                let _ = writeln!(out, "  {k}: {v}");
+            }
+        }
+        if !self.run_end.is_empty() {
+            section(&mut out, "outcome");
+            for (k, v) in &self.run_end {
+                let _ = writeln!(out, "  {k}: {v}");
+            }
+        }
+
+        section(&mut out, "admission funnel");
+        if self.funnel.values().all(|&v| v == 0) {
+            let _ = writeln!(out, "  (no admission events traced)");
+        } else {
+            let total: u64 = self.funnel.values().sum();
+            let _ = writeln!(out, "  offered: {total}");
+            for key in ["admitted", "buffered", "spilled", "shed", "shed_down"] {
+                let v = self.funnel.get(key).copied().unwrap_or(0);
+                let pct = if total > 0 {
+                    100.0 * v as f64 / total as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(out, "  {key:>9}: {v} ({pct:.1}%)");
+            }
+        }
+
+        section(&mut out, "arm-elimination timeline");
+        if self.eliminations.is_empty() {
+            let _ = writeln!(out, "  (no eliminations recorded)");
+        } else {
+            for e in &self.eliminations {
+                let _ = writeln!(
+                    out,
+                    "  slot {:>6}  shard {}  arm {} ({:.1} MHz) eliminated, {} active left",
+                    e.slot, e.shard, e.arm, e.value_mhz, e.active_left
+                );
+            }
+        }
+
+        if !self.faults_injected.is_empty()
+            || !self.faults_detected.is_empty()
+            || !self.restarts.is_empty()
+        {
+            section(&mut out, "faults and recovery");
+            for (slot, shard, kind) in &self.faults_injected {
+                let _ = writeln!(out, "  slot {slot:>6}  shard {shard}  injected: {kind}");
+            }
+            for (slot, shard, reason) in &self.faults_detected {
+                let _ = writeln!(out, "  slot {slot:>6}  shard {shard}  detected: {reason}");
+            }
+            for r in &self.restarts {
+                let verdict = if r.ok { "recovered" } else { "failed" };
+                let _ = writeln!(
+                    out,
+                    "  slot {:>6}  shard {}  restart {verdict}: {} arrival(s) replayed, \
+                     outage {} slot(s)",
+                    r.slot, r.shard, r.replayed, r.latency_slots
+                );
+            }
+        }
+
+        if !self.latency.is_empty() {
+            section(&mut out, "per-shard latency (ms, from served events)");
+            for (shard, hist) in &self.latency {
+                let _ = writeln!(
+                    out,
+                    "  shard {shard}: n={} mean={:.1} p50~{:.1} p95~{:.1} p99~{:.1}",
+                    hist.count,
+                    if hist.count > 0 {
+                        hist.sum / hist.count as f64
+                    } else {
+                        0.0
+                    },
+                    hist.quantile(0.50),
+                    hist.quantile(0.95),
+                    hist.quantile(0.99),
+                );
+                let peak = hist.counts.iter().copied().max().unwrap_or(0).max(1);
+                for (i, &c) in hist.counts.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    let le = hist
+                        .bounds
+                        .get(i)
+                        .map_or_else(|| "+Inf".to_string(), |b| format!("{b}"));
+                    let bar = "#".repeat((1 + c * 40 / peak) as usize);
+                    let _ = writeln!(out, "    le {le:>6}: {c:>7} {bar}");
+                }
+            }
+        }
+
+        if !self.arms.is_empty() {
+            section(&mut out, "final bandit state");
+            for (shard, arms) in &self.arms {
+                let as_of = self.arms_as_of.get(shard).copied().unwrap_or(0);
+                let _ = writeln!(out, "  shard {shard} (as of slot {as_of}):");
+                let _ = writeln!(
+                    out,
+                    "    {:>3} {:>9} {:>7} {:>7} {:>7} {:>7}  state",
+                    "arm", "mhz", "pulls", "mean", "lcb", "ucb"
+                );
+                for row in arms.values() {
+                    let state = if row.active { "active" } else { "eliminated" };
+                    let _ = writeln!(
+                        out,
+                        "    {:>3} {:>9.1} {:>7} {:>7.3} {:>7.3} {:>7.3}  {state}",
+                        row.arm, row.value_mhz, row.pulls, row.mean, row.lcb, row.ucb
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &[&str] = &[
+        r#"{"slot":0,"kind":"run_start","shards":2,"policy":"DynamicRR","seed":7}"#,
+        r#"{"slot":3,"kind":"admission","admitted":10,"buffered":0,"spilled":1,"shed":2,"shed_down":0}"#,
+        r#"{"slot":4,"kind":"admission","admitted":5,"buffered":1,"spilled":0,"shed":0,"shed_down":3}"#,
+        r#"{"slot":5,"kind":"fault_injected","shard":1,"fault":"crash"}"#,
+        r#"{"slot":5,"kind":"fault_detected","shard":1,"reason":"disconnect"}"#,
+        r#"{"slot":9,"kind":"restart","shard":1,"replayed":12,"latency_slots":4,"ok":true}"#,
+        r#"{"slot":10,"kind":"served","shard":0,"lat_ms":42.0}"#,
+        r#"{"slot":11,"kind":"served","shard":0,"lat_ms":180.0}"#,
+        r#"{"slot":12,"kind":"arm_eliminated","shard":0,"arm":8,"value_mhz":1000.0,"active_left":8}"#,
+        r#"{"slot":20,"kind":"arm_state","shard":0,"arm":0,"value_mhz":100.0,"pulls":9,"mean":0.5,"ucb":0.9,"lcb":0.1,"active":true}"#,
+        r#"{"slot":40,"kind":"arm_state","shard":0,"arm":0,"value_mhz":100.0,"pulls":19,"mean":0.6,"ucb":0.8,"lcb":0.4,"active":true}"#,
+        r#"{"slot":40,"kind":"arm_state","shard":0,"arm":8,"value_mhz":1000.0,"pulls":4,"mean":0.1,"ucb":0.5,"lcb":-0.3,"active":false}"#,
+        r#"{"slot":99,"kind":"run_end","admitted":15,"shed":2,"completed":14}"#,
+    ];
+
+    #[test]
+    fn builds_and_renders_all_sections() {
+        let report = build_report(SAMPLE.iter().copied()).unwrap();
+        assert_eq!(report.events, 13);
+        assert_eq!(report.funnel["admitted"], 15);
+        assert_eq!(report.funnel["shed_down"], 3);
+        assert_eq!(report.eliminations.len(), 1);
+        assert_eq!(report.restarts[0].replayed, 12);
+        assert_eq!(report.latency[&0].count, 2);
+        // The slot-40 sweep replaced the slot-20 one.
+        assert_eq!(report.arms[&0][&0].pulls, 19);
+        assert_eq!(report.arms_as_of[&0], 40);
+
+        let text = report.render();
+        assert!(text.contains("arm-elimination timeline"), "{text}");
+        assert!(
+            text.contains("arm 8 (1000.0 MHz) eliminated, 8 active left"),
+            "{text}"
+        );
+        assert!(text.contains("admission funnel"), "{text}");
+        assert!(
+            text.contains("restart recovered: 12 arrival(s) replayed"),
+            "{text}"
+        );
+        assert!(text.contains("final bandit state"), "{text}");
+        assert!(text.contains("eliminated"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholders() {
+        let report = build_report(std::iter::empty::<&str>()).unwrap();
+        let text = report.render();
+        assert!(text.contains("(no eliminations recorded)"), "{text}");
+        assert!(text.contains("(no admission events traced)"), "{text}");
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let err = build_report(["{}", "not json"].iter().copied()).unwrap_err();
+        assert_eq!(err.0, 2);
+    }
+}

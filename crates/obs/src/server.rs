@@ -1,0 +1,154 @@
+//! A tiny scrape endpoint over `std::net::TcpListener`.
+//!
+//! One background thread accepts connections and answers two routes:
+//! `GET /metrics` (Prometheus text, version 0.0.4) and
+//! `GET /metrics.json` (the registry's JSON rendering). Everything else
+//! is 404. The server exists for *live* observation — nothing about a
+//! run's determinism depends on whether anyone scrapes it.
+
+use crate::registry::Registry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running scrape server; dropping it stops the thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+fn handle(mut stream: TcpStream, registry: &Registry) {
+    // Only the request line matters; read and discard headers so the
+    // client is not hit with a reset before it finishes writing.
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &registry.render_prometheus(),
+        ),
+        "/metrics.json" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &registry.render_json(),
+        ),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral) and
+    /// starts serving `registry` in a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn bind(addr: &str, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("mec-obs-metrics".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        handle(stream, &registry);
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr: local,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_and_json() {
+        let registry = Arc::new(Registry::new());
+        registry
+            .counter("mec_up_total", "test", &[("shard", "0")])
+            .add(5);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let text = get(addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("mec_up_total{shard=\"0\"} 5"), "{text}");
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.contains("application/json"), "{json}");
+        assert!(
+            json.contains("\"mec_up_total{shard=\\\"0\\\"}\":5"),
+            "{json}"
+        );
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        drop(server);
+    }
+}

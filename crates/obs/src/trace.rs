@@ -1,0 +1,348 @@
+//! Slot-attributed structured event tracing.
+//!
+//! A [`TraceEvent`] is a flat record — a virtual slot, an event kind,
+//! and scalar fields — serialized as one JSON line. Worker threads push
+//! events into a shared [`TraceRing`]; the supervisor drains the rings
+//! at the slot barrier (in shard order) and appends to a
+//! [`TraceWriter`], so the stream order is a pure function of the run's
+//! deterministic decisions, never of thread scheduling.
+//!
+//! The deliberate restriction to *flat scalar fields* keeps the format
+//! parseable by the dependency-free reader in [`crate::json`] (this
+//! workspace vendors no JSON library).
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A scalar field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (slots, counts, ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rewards, bounds, milliseconds).
+    F64(f64),
+    /// Short string (kinds, names).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+/// One traced event: what happened, at which virtual slot, with which
+/// scalar attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The virtual slot the event is attributed to.
+    pub slot: u64,
+    /// Event kind (e.g. `"restart"`, `"arm_eliminated"`).
+    pub kind: String,
+    /// Flat scalar attributes, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn value_json(v: &Value) -> String {
+    match v {
+        Value::U64(x) => x.to_string(),
+        Value::I64(x) => x.to_string(),
+        Value::F64(x) => {
+            if x.is_finite() {
+                format!("{x:?}")
+            } else {
+                "null".to_string()
+            }
+        }
+        Value::Str(s) => format!("\"{}\"", escape_json(s)),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+impl TraceEvent {
+    /// Serializes the event as one JSON object (no trailing newline).
+    /// `slot` and `kind` always lead; fields follow in emission order.
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!(
+            "{{\"slot\":{},\"kind\":\"{}\"",
+            self.slot,
+            escape_json(&self.kind)
+        );
+        for (k, v) in &self.fields {
+            out.push_str(&format!(",\"{}\":{}", escape_json(k), value_json(v)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Anything events can be recorded into. The [`crate::event!`] macro is
+/// generic over this, so workers record into rings while the supervisor
+/// records straight into the writer.
+pub trait EventSink {
+    /// Accepts one event.
+    fn record(&self, event: TraceEvent);
+}
+
+// The macro expands to `EventSink::record(&$sink, ...)`, a path call that
+// gets no auto-deref — these blanket impls let any reference to a sink
+// serve as the sink.
+impl<T: EventSink + ?Sized> EventSink for &T {
+    fn record(&self, event: TraceEvent) {
+        (**self).record(event);
+    }
+}
+
+impl<T: EventSink + ?Sized> EventSink for &mut T {
+    fn record(&self, event: TraceEvent) {
+        (**self).record(event);
+    }
+}
+
+struct RingInner {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// A bounded, shareable event buffer: workers push, the supervisor
+/// drains at the slot barrier. When full, the *newest* event is dropped
+/// (and counted) — keeping the prefix preserves causality for whatever
+/// was already recorded.
+#[derive(Clone)]
+pub struct TraceRing {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("trace ring lock");
+        f.debug_struct("TraceRing")
+            .field("len", &inner.buf.len())
+            .field("cap", &inner.cap)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// A ring holding at most `cap` undrained events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(RingInner {
+                buf: VecDeque::new(),
+                cap: cap.max(1),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Removes and returns every buffered event, in push order.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut inner = self.inner.lock().expect("trace ring lock");
+        inner.buf.drain(..).collect()
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace ring lock").dropped
+    }
+}
+
+impl EventSink for TraceRing {
+    fn record(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock().expect("trace ring lock");
+        if inner.buf.len() >= inner.cap {
+            inner.dropped += 1;
+            return;
+        }
+        inner.buf.push_back(event);
+    }
+}
+
+impl EventSink for Option<TraceRing> {
+    fn record(&self, event: TraceEvent) {
+        if let Some(ring) = self {
+            ring.record(event);
+        }
+    }
+}
+
+/// Appends events to a byte sink as JSON lines.
+pub struct TraceWriter {
+    out: Box<dyn Write + Send>,
+    written: u64,
+}
+
+impl std::fmt::Debug for TraceWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("written", &self.written)
+            .finish()
+    }
+}
+
+impl TraceWriter {
+    /// Wraps a byte sink (file, buffer, pipe).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Self { out, written: 0 }
+    }
+
+    /// Writes one event as a JSON line. Write errors are swallowed after
+    /// the first (tracing must never take the run down); the error count
+    /// is visible as the difference between events offered and
+    /// [`TraceWriter::written`].
+    pub fn write(&mut self, event: &TraceEvent) {
+        let line = event.to_json_line();
+        if writeln!(self.out, "{line}").is_ok() {
+            self.written += 1;
+        }
+    }
+
+    /// Events successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(slot: u64, kind: &str, fields: Vec<(&'static str, Value)>) -> TraceEvent {
+        TraceEvent {
+            slot,
+            kind: kind.to_string(),
+            fields,
+        }
+    }
+
+    #[test]
+    fn event_serializes_flat_json() {
+        let e = ev(
+            7,
+            "restart",
+            vec![
+                ("shard", Value::U64(1)),
+                ("ok", Value::Bool(true)),
+                ("latency_ms", Value::F64(1.5)),
+                ("why", Value::Str("stall \"x\"".to_string())),
+            ],
+        );
+        assert_eq!(
+            e.to_json_line(),
+            "{\"slot\":7,\"kind\":\"restart\",\"shard\":1,\"ok\":true,\
+             \"latency_ms\":1.5,\"why\":\"stall \\\"x\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn ring_preserves_order_and_counts_drops() {
+        let ring = TraceRing::with_capacity(2);
+        for slot in 0..3 {
+            ring.record(ev(slot, "x", vec![]));
+        }
+        assert_eq!(ring.dropped(), 1);
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].slot, 0);
+        assert_eq!(drained[1].slot, 1);
+        assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn writer_emits_json_lines() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = TraceWriter::new(Box::new(Shared(Arc::clone(&buf))));
+        w.write(&ev(1, "a", vec![]));
+        w.write(&ev(2, "b", vec![("n", Value::U64(3))]));
+        w.flush();
+        assert_eq!(w.written(), 2);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"slot\":1,\"kind\":\"a\"}\n{\"slot\":2,\"kind\":\"b\",\"n\":3}\n"
+        );
+    }
+}

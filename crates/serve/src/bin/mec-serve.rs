@@ -33,6 +33,10 @@ struct Args {
     checkpoint_every: u64,
     degraded: DegradedPolicy,
     max_restarts: u64,
+    metrics_addr: Option<String>,
+    trace_out: Option<String>,
+    telemetry_every: Option<u64>,
+    hold_metrics_ms: u64,
 }
 
 impl Default for Args {
@@ -56,6 +60,10 @@ impl Default for Args {
             checkpoint_every: faults.checkpoint_every,
             degraded: faults.degraded,
             max_restarts: faults.max_restarts,
+            metrics_addr: None,
+            trace_out: None,
+            telemetry_every: None,
+            hold_metrics_ms: 0,
         }
     }
 }
@@ -92,6 +100,17 @@ OPTIONS:
                           spill [default: buffer]
     --max-restarts <N>    restart attempts per shard before giving up
                           [default: 8]
+
+OBSERVABILITY (requires a build with --features obs):
+    --metrics-addr <ADDR> serve GET /metrics (Prometheus text) and
+                          /metrics.json on this address, e.g. 127.0.0.1:9100
+                          (port 0 picks a free port, printed to stderr)
+    --trace-out <PATH>    append one JSON line per structured event to PATH
+                          (feed it to mec-obs-report)
+    --telemetry-every <N> poll shard learners for per-arm telemetry every
+                          N slots; 0 = off [default: 25]
+    --hold-metrics-ms <N> keep the metrics endpoint up N ms after the run
+                          finishes, for a final scrape [default: 0]
     --help                print this help
 ";
 
@@ -131,6 +150,12 @@ fn parse_args() -> Result<Args, String> {
                 })?;
             }
             "--max-restarts" => args.max_restarts = parse(&value("--max-restarts")?)?,
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--telemetry-every" => {
+                args.telemetry_every = Some(parse(&value("--telemetry-every")?)?);
+            }
+            "--hold-metrics-ms" => args.hold_metrics_ms = parse(&value("--hold-metrics-ms")?)?,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
         }
@@ -161,6 +186,16 @@ fn parse_args() -> Result<Args, String> {
                 args.shards
             ));
         }
+    }
+    #[cfg(not(feature = "obs"))]
+    if args.metrics_addr.is_some()
+        || args.trace_out.is_some()
+        || args.telemetry_every.is_some()
+        || args.hold_metrics_ms > 0
+    {
+        return Err(
+            "observability flags need the obs feature; rebuild with --features obs".to_string(),
+        );
     }
     Ok(args)
 }
@@ -210,6 +245,55 @@ fn main() -> ExitCode {
         LoadGen::poisson(population, args.rps, args.slot_ms, args.seed)
     };
 
+    // Observability attachment: built only when a flag asks for it, so a
+    // plain run keeps a private registry and its exact legacy behaviour.
+    #[cfg(feature = "obs")]
+    let hub = if args.metrics_addr.is_some()
+        || args.trace_out.is_some()
+        || args.telemetry_every.is_some()
+        || args.hold_metrics_ms > 0
+    {
+        let mut hub = mec_serve::ObsHub::new();
+        if let Some(path) = &args.trace_out {
+            let file = match std::fs::File::create(path) {
+                Ok(file) => file,
+                Err(e) => {
+                    eprintln!("cannot create trace file {path:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            hub = hub.with_trace(mec_obs::TraceWriter::new(Box::new(
+                std::io::BufWriter::new(file),
+            )));
+        }
+        if let Some(every) = args.telemetry_every {
+            hub = hub.with_telemetry_every(every);
+        }
+        Some(std::sync::Arc::new(hub))
+    } else {
+        None
+    };
+    #[cfg(feature = "obs")]
+    let _metrics_server = match (&args.metrics_addr, &hub) {
+        (Some(addr), Some(hub)) => {
+            match mec_obs::MetricsServer::bind(addr, std::sync::Arc::clone(hub.registry())) {
+                Ok(server) => {
+                    eprintln!("metrics: GET http://{}/metrics", server.local_addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("cannot bind metrics server on {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        _ => None,
+    };
+    #[cfg(feature = "obs")]
+    let obs = hub.clone();
+    #[cfg(not(feature = "obs"))]
+    let obs = None;
+
     let cfg = ServeConfig {
         shards: args.shards,
         queue_capacity: args.queue_capacity,
@@ -236,6 +320,7 @@ fn main() -> ExitCode {
             ..mec_serve::FaultConfig::default()
         },
         chaos: args.chaos.clone(),
+        obs,
     };
 
     eprintln!(
@@ -279,6 +364,19 @@ fn main() -> ExitCode {
             faults.degraded_slots,
             faults.recovery_latency_slots,
         );
+    }
+    #[cfg(feature = "obs")]
+    {
+        if let Some(hub) = &hub {
+            hub.flush();
+            if let Some(path) = &args.trace_out {
+                eprintln!("trace: {} event(s) written to {path}", hub.trace_written());
+            }
+        }
+        if args.hold_metrics_ms > 0 {
+            eprintln!("metrics: holding endpoint for {} ms", args.hold_metrics_ms);
+            std::thread::sleep(std::time::Duration::from_millis(args.hold_metrics_ms));
+        }
     }
     ExitCode::SUCCESS
 }

@@ -50,6 +50,16 @@
 //! the whole path reproducibly; [`FaultStats`] in each [`Snapshot`] counts
 //! restarts, replayed arrivals, and degraded slots.
 //!
+//! ## Observability
+//!
+//! Attach an [`ObsHub`] (see [`ServeConfig::obs`]) to scrape a live
+//! Prometheus-style metrics page via [`mec_obs::MetricsServer`] and — with
+//! the `obs` cargo feature — stream a structured JSONL event trace
+//! (admission funnel, restarts, fault injections, per-arm learner state).
+//! Without a hub the runtime uses a private registry and behaves exactly
+//! as before; without the feature, tracing compiles to nothing and
+//! same-seed runs stay byte-identical. See DESIGN.md §10.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -75,6 +85,7 @@
 pub mod chaos;
 pub mod clock;
 pub mod loadgen;
+pub mod obs;
 pub mod partition;
 pub mod policy;
 pub mod router;
@@ -85,6 +96,7 @@ pub mod snapshot;
 pub use chaos::{ChaosParseError, ChaosSpec, FaultKind, FaultSpec, ShardFault};
 pub use clock::{Clock, ClockMode};
 pub use loadgen::LoadGen;
+pub use obs::ObsHub;
 pub use partition::{partition, ShardPlan};
 pub use policy::{policy_from_name, UnknownPolicy, POLICY_NAMES};
 pub use router::{Admission, DegradedPolicy, Router};

@@ -1,0 +1,612 @@
+//! Observability wiring for the serving runtime: the [`ObsHub`]
+//! attachment operators hand to [`crate::ServeConfig`], and the
+//! driver-side [`ObsState`] that owns every metric handle and emits the
+//! structured trace.
+//!
+//! The metrics [`Registry`] is **always on**: the supervision loop
+//! sources its snapshot fault counters from registry atomics whether or
+//! not the `obs` cargo feature is enabled, so the counters the operator
+//! scrapes and the counters the snapshot serializes can never disagree.
+//! Event *tracing* and wall-clock *span timing*, by contrast, expand
+//! through the [`mec_obs::event!`] / [`mec_obs::span!`] macros and
+//! compile to nothing without the `obs` feature.
+//!
+//! ## Determinism
+//!
+//! Everything that can reach a snapshot or the trace derives from
+//! virtual slots, event counts, and rewards. Wall-clock quantities
+//! (`mec_serve_step_ms`) live only in the registry for live scraping.
+//! Worker-side events go through per-shard [`TraceRing`]s that the
+//! driver drains at the slot barrier in shard order, so a traced run
+//! replayed with the same seed yields a byte-identical event stream.
+
+use crate::router::Router;
+use crate::shard::ShardTick;
+use crate::snapshot::FaultStats;
+use mec_obs::{
+    Counter, EventSink, Gauge, Histogram, Registry, TraceEvent, TraceRing, TraceWriter,
+    LATENCY_MS_BOUNDS, STEP_MS_BOUNDS,
+};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Capacity of each worker's event ring — ample for one slot's worth of
+/// fault events between barrier drains.
+const RING_CAP: usize = 4_096;
+
+/// Observability attachment for a serving run: a shared metrics
+/// registry (scrape it with [`mec_obs::MetricsServer`]), an optional
+/// JSONL trace sink, and the learner-telemetry polling interval.
+///
+/// The hub outlives the run: registry counters accumulate across every
+/// run attached to the same hub (Prometheus semantics). Runs without a
+/// hub get a private registry, so determinism tests are unaffected.
+pub struct ObsHub {
+    registry: Arc<Registry>,
+    trace: Option<Mutex<TraceWriter>>,
+    telemetry_every: u64,
+}
+
+impl fmt::Debug for ObsHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsHub")
+            .field("tracing", &self.trace.is_some())
+            .field("telemetry_every", &self.telemetry_every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObsHub {
+    /// A hub with a fresh registry, no trace sink, and learner telemetry
+    /// polled every 25 slots.
+    pub fn new() -> Self {
+        Self::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// A hub over an existing registry (e.g. one already served by a
+    /// [`mec_obs::MetricsServer`]).
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Self {
+            registry,
+            trace: None,
+            telemetry_every: 25,
+        }
+    }
+
+    /// Attaches a JSONL trace sink; structured events are appended to it
+    /// as the run executes (requires the `obs` cargo feature to emit
+    /// anything).
+    #[must_use]
+    pub fn with_trace(mut self, writer: TraceWriter) -> Self {
+        self.trace = Some(Mutex::new(writer));
+        self
+    }
+
+    /// Sets how often (in slots) shard learners are polled for
+    /// telemetry; 0 disables polling.
+    #[must_use]
+    pub fn with_telemetry_every(mut self, every: u64) -> Self {
+        self.telemetry_every = every;
+        self
+    }
+
+    /// The hub's registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Whether a trace sink is attached.
+    pub fn has_trace(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Events successfully written to the trace sink so far.
+    pub fn trace_written(&self) -> u64 {
+        self.trace
+            .as_ref()
+            .map_or(0, |w| w.lock().expect("trace writer lock").written())
+    }
+
+    /// Appends one event to the trace sink, if any.
+    pub(crate) fn write_event(&self, event: &TraceEvent) {
+        if let Some(writer) = &self.trace {
+            writer.lock().expect("trace writer lock").write(event);
+        }
+    }
+
+    /// Flushes the trace sink, if any.
+    pub fn flush(&self) {
+        if let Some(writer) = &self.trace {
+            writer.lock().expect("trace writer lock").flush();
+        }
+    }
+}
+
+/// Per-shard learner gauges, with per-arm series grown on first sight.
+struct BanditGauges {
+    threshold_mhz: Arc<Gauge>,
+    active_arms: Arc<Gauge>,
+    regret_proxy: Arc<Gauge>,
+    total_pulls: Arc<Gauge>,
+    per_arm: Vec<ArmGauges>,
+}
+
+struct ArmGauges {
+    pulls: Arc<Counter>,
+    mean: Arc<Gauge>,
+    ucb: Arc<Gauge>,
+    lcb: Arc<Gauge>,
+    active: Arc<Gauge>,
+}
+
+/// Driver-side observability state: one per [`crate::serve`] call. Owns
+/// every metric handle (so the hot path never takes the registry lock),
+/// the per-shard worker trace rings, and the recovery-latency samples
+/// behind the snapshot percentiles.
+pub(crate) struct ObsState {
+    hub: Option<Arc<ObsHub>>,
+    registry: Arc<Registry>,
+    restarts: Vec<Arc<Counter>>,
+    checkpoints: Vec<Arc<Counter>>,
+    replayed: Vec<Arc<Counter>>,
+    degraded: Vec<Arc<Counter>>,
+    recovery_total: Arc<Counter>,
+    admitted: Arc<Counter>,
+    shed: Arc<Counter>,
+    spilled: Arc<Counter>,
+    shed_while_down: Arc<Counter>,
+    journal_dropped: Arc<Counter>,
+    completed: Vec<Arc<Counter>>,
+    expired: Vec<Arc<Counter>>,
+    aborted: Vec<Arc<Counter>>,
+    backlog: Vec<Arc<Gauge>>,
+    slot: Arc<Gauge>,
+    latency: Vec<Arc<Histogram>>,
+    step: Vec<Arc<Histogram>>,
+    bandit: Vec<BanditGauges>,
+    rings: Vec<Option<TraceRing>>,
+    telemetry_every: u64,
+    /// Outage length of every successful restart, in slots (feeds the
+    /// snapshot's recovery percentiles; driver-local, reset per run).
+    recovery_samples: Vec<u64>,
+    /// Last-seen active-arm bitmap per shard, for elimination diffing.
+    prev_active: Vec<Option<Vec<bool>>>,
+}
+
+impl EventSink for ObsState {
+    fn record(&self, event: TraceEvent) {
+        if let Some(hub) = &self.hub {
+            hub.write_event(&event);
+        }
+    }
+}
+
+/// The exact quantile formula [`crate::LatencyStats`] uses, over integer
+/// slot samples: `sorted[round(frac * (n - 1))]`.
+fn slot_quantiles(samples: &[u64]) -> (u64, u64, u64) {
+    if samples.is_empty() {
+        return (0, 0, 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let q = |frac: f64| sorted[((frac * (n - 1) as f64).round()) as usize];
+    (q(0.50), q(0.95), sorted[n - 1])
+}
+
+impl ObsState {
+    pub(crate) fn new(shards: usize, hub: Option<Arc<ObsHub>>) -> Self {
+        let registry = hub
+            .as_ref()
+            .map_or_else(|| Arc::new(Registry::new()), |h| Arc::clone(h.registry()));
+        let telemetry_every = hub.as_ref().map_or(0, |h| h.telemetry_every);
+        let tracing = hub.as_ref().is_some_and(|h| h.has_trace());
+        let r = &registry;
+        let per_shard = |name: &str, help: &str| -> Vec<Arc<Counter>> {
+            (0..shards)
+                .map(|s| r.counter(name, help, &[("shard", &s.to_string())]))
+                .collect()
+        };
+        let bandit = (0..shards)
+            .map(|s| {
+                let l: &[(&str, &str)] = &[("shard", &s.to_string())];
+                BanditGauges {
+                    threshold_mhz: r.gauge(
+                        "mec_bandit_threshold_mhz",
+                        "learner's current best threshold estimate",
+                        l,
+                    ),
+                    active_arms: r.gauge("mec_bandit_active_arms", "non-eliminated arms", l),
+                    regret_proxy: r.gauge(
+                        "mec_bandit_regret_proxy",
+                        "running regret vs the empirical-best arm",
+                        l,
+                    ),
+                    total_pulls: r.gauge("mec_bandit_total_pulls", "learner updates so far", l),
+                    per_arm: Vec::new(),
+                }
+            })
+            .collect();
+        Self {
+            restarts: per_shard("mec_serve_restarts_total", "shard worker restarts"),
+            checkpoints: per_shard("mec_serve_checkpoints_total", "engine checkpoints adopted"),
+            replayed: per_shard(
+                "mec_serve_replayed_arrivals_total",
+                "journal entries replayed during recovery",
+            ),
+            degraded: per_shard(
+                "mec_serve_degraded_slots_total",
+                "barriered slots a shard missed",
+            ),
+            recovery_total: r.counter(
+                "mec_serve_recovery_latency_slots_total",
+                "summed outage length across restarts",
+                &[],
+            ),
+            admitted: r.counter("mec_serve_admitted_total", "requests admitted", &[]),
+            shed: r.counter("mec_serve_shed_total", "requests shed", &[]),
+            spilled: r.counter(
+                "mec_serve_spilled_total",
+                "requests rerouted while their home shard was down",
+                &[],
+            ),
+            shed_while_down: r.counter(
+                "mec_serve_shed_while_down_total",
+                "requests shed because their shard was down",
+                &[],
+            ),
+            journal_dropped: r.counter(
+                "mec_serve_journal_dropped_total",
+                "journal entries evicted by the cap",
+                &[],
+            ),
+            completed: per_shard("mec_serve_completed_total", "requests completed"),
+            expired: per_shard("mec_serve_expired_total", "requests expired unserved"),
+            aborted: per_shard("mec_serve_aborted_total", "streams aborted"),
+            backlog: (0..shards)
+                .map(|s| {
+                    r.gauge(
+                        "mec_serve_backlog",
+                        "waiting + running jobs",
+                        &[("shard", &s.to_string())],
+                    )
+                })
+                .collect(),
+            slot: r.gauge("mec_serve_slot", "virtual slots executed", &[]),
+            latency: (0..shards)
+                .map(|s| {
+                    r.histogram(
+                        "mec_serve_latency_ms",
+                        "served-request response latency",
+                        &[("shard", &s.to_string())],
+                        LATENCY_MS_BOUNDS,
+                    )
+                })
+                .collect(),
+            step: (0..shards)
+                .map(|s| {
+                    r.histogram(
+                        "mec_serve_step_ms",
+                        "wall-clock engine step time (live only, never snapshotted)",
+                        &[("shard", &s.to_string())],
+                        STEP_MS_BOUNDS,
+                    )
+                })
+                .collect(),
+            bandit,
+            rings: (0..shards)
+                .map(|_| tracing.then(|| TraceRing::with_capacity(RING_CAP)))
+                .collect(),
+            telemetry_every,
+            recovery_samples: Vec::new(),
+            prev_active: vec![None; shards],
+            registry,
+            hub,
+        }
+    }
+
+    /// The worker trace ring for `shard` (shared across restarts, so a
+    /// replacement worker writes into the same stream).
+    pub(crate) fn ring(&self, shard: usize) -> Option<TraceRing> {
+        self.rings[shard].clone()
+    }
+
+    /// The worker's wall-clock step-timing histogram for `shard`.
+    pub(crate) fn step_hist(&self, shard: usize) -> Option<Arc<Histogram>> {
+        Some(Arc::clone(&self.step[shard]))
+    }
+
+    pub(crate) fn telemetry_every(&self) -> u64 {
+        self.telemetry_every
+    }
+
+    /// Folds one tick reply into metrics and (with the `obs` feature)
+    /// the trace: backlog gauge, per-sample latency, cumulative shard
+    /// counters, checkpoint count, and the learner-telemetry sweep.
+    pub(crate) fn note_tick(&mut self, tick: &ShardTick) {
+        let shard = tick.shard;
+        let slot = tick.report.slot;
+        self.backlog[shard].set(tick.backlog as f64);
+        self.completed[shard].store(tick.completed as u64);
+        self.expired[shard].store(tick.expired as u64);
+        self.aborted[shard].store(tick.aborted as u64);
+        for &lat in &tick.new_latencies {
+            self.latency[shard].observe(lat);
+            mec_obs::event!(self, slot, "served", shard = shard, lat_ms = lat);
+        }
+        if tick.checkpoint.is_some() {
+            self.checkpoints[shard].inc();
+            mec_obs::event!(
+                self,
+                slot,
+                "checkpoint",
+                shard = shard,
+                next_slot = slot + 1
+            );
+        }
+        if let Some(telemetry) = &tick.telemetry {
+            self.note_telemetry(slot, shard, telemetry);
+        }
+    }
+
+    /// Publishes one learner-telemetry sweep: shard gauges, per-arm
+    /// series, `arm_state` events, and `arm_eliminated` events for every
+    /// arm that left the active set since the previous sweep.
+    fn note_telemetry(&mut self, slot: u64, shard: usize, t: &mec_sim::PolicyTelemetry) {
+        let g = &mut self.bandit[shard];
+        g.threshold_mhz.set(t.best_value);
+        g.active_arms.set(t.active_arms() as f64);
+        g.regret_proxy.set(t.regret_proxy);
+        g.total_pulls.set(t.total_pulls as f64);
+        while g.per_arm.len() < t.arms.len() {
+            let arm = g.per_arm.len();
+            let labels: &[(&str, &str)] =
+                &[("shard", &shard.to_string()), ("arm", &arm.to_string())];
+            g.per_arm.push(ArmGauges {
+                pulls: self.registry.counter(
+                    "mec_bandit_arm_pulls",
+                    "times the arm was pulled",
+                    labels,
+                ),
+                mean: self
+                    .registry
+                    .gauge("mec_bandit_arm_mean", "empirical mean reward", labels),
+                ucb: self
+                    .registry
+                    .gauge("mec_bandit_arm_ucb", "upper confidence bound", labels),
+                lcb: self
+                    .registry
+                    .gauge("mec_bandit_arm_lcb", "lower confidence bound", labels),
+                active: self.registry.gauge(
+                    "mec_bandit_arm_active",
+                    "1 while the arm is in the active set",
+                    labels,
+                ),
+            });
+        }
+        for (arm, view) in t.arms.iter().enumerate() {
+            let h = &g.per_arm[arm];
+            h.pulls.store(view.pulls);
+            h.mean.set(view.mean);
+            h.ucb.set(view.ucb);
+            h.lcb.set(view.lcb);
+            h.active.set(f64::from(u8::from(view.active)));
+        }
+        let active: Vec<bool> = t.arms.iter().map(|a| a.active).collect();
+        let active_left = active.iter().filter(|&&a| a).count() as u64;
+        if let Some(prev) = &self.prev_active[shard] {
+            for (arm, view) in t.arms.iter().enumerate() {
+                if prev.get(arm).copied().unwrap_or(true) && !view.active {
+                    mec_obs::event!(
+                        self,
+                        slot,
+                        "arm_eliminated",
+                        shard = shard,
+                        arm = arm,
+                        value_mhz = view.value,
+                        active_left = active_left,
+                    );
+                }
+            }
+        }
+        self.prev_active[shard] = Some(active);
+        for (arm, view) in t.arms.iter().enumerate() {
+            mec_obs::event!(
+                self,
+                slot,
+                "arm_state",
+                shard = shard,
+                arm = arm,
+                value_mhz = view.value,
+                pulls = view.pulls,
+                mean = view.mean,
+                ucb = view.ucb,
+                lcb = view.lcb,
+                active = view.active,
+            );
+        }
+    }
+
+    /// Records a shard-failure detection (`reason` is `disconnect`,
+    /// `timeout`, or `send_failed`).
+    pub(crate) fn note_detection(&self, slot: u64, shard: usize, reason: &str) {
+        mec_obs::event!(self, slot, "fault_detected", shard = shard, reason = reason);
+    }
+
+    /// Counts one restart attempt (successful or not).
+    pub(crate) fn note_restart_attempt(&self, shard: usize) {
+        self.restarts[shard].inc();
+    }
+
+    /// Records a successful restart: replayed-arrival and outage-length
+    /// counters, the percentile sample, and the `restart` event.
+    pub(crate) fn note_restart_ok(&mut self, slot: u64, shard: usize, replayed: u64, outage: u64) {
+        self.replayed[shard].add(replayed);
+        self.recovery_total.add(outage);
+        self.recovery_samples.push(outage);
+        mec_obs::event!(
+            self,
+            slot,
+            "restart",
+            shard = shard,
+            replayed = replayed,
+            latency_slots = outage,
+            ok = true,
+        );
+    }
+
+    /// Records a restart whose replacement worker died before reporting.
+    pub(crate) fn note_restart_failed(&self, slot: u64, shard: usize) {
+        mec_obs::event!(
+            self,
+            slot,
+            "restart",
+            shard = shard,
+            replayed = 0u64,
+            latency_slots = 0u64,
+            ok = false,
+        );
+    }
+
+    /// Counts one shard-slot spent unavailable.
+    pub(crate) fn note_degraded(&self, shard: usize) {
+        self.degraded[shard].inc();
+    }
+
+    /// Publishes the per-slot admission funnel (skipped when nothing was
+    /// dispatched this slot, to keep traces proportional to activity).
+    #[allow(clippy::similar_names)]
+    pub(crate) fn note_admission(
+        &self,
+        slot: u64,
+        injected: u64,
+        buffered: u64,
+        spilled: u64,
+        shed: u64,
+        shed_down: u64,
+    ) {
+        if injected + buffered + spilled + shed + shed_down == 0 {
+            return;
+        }
+        mec_obs::event!(
+            self,
+            slot,
+            "admission",
+            admitted = injected,
+            buffered = buffered,
+            spilled = spilled,
+            shed = shed,
+            shed_down = shed_down,
+        );
+    }
+
+    /// Updates the slot gauge at the end of a barrier.
+    pub(crate) fn set_slot(&self, slot: u64) {
+        self.slot.set(slot as f64);
+    }
+
+    /// Mirrors the router-owned totals into the registry.
+    pub(crate) fn sync_router(&self, router: &Router) {
+        self.admitted.store(router.admitted());
+        self.shed.store(router.shed());
+        self.spilled.store(router.spilled());
+        self.shed_while_down.store(router.shed_while_down());
+        self.journal_dropped.store(router.journal_dropped());
+    }
+
+    /// Drains every worker ring into the trace, in shard order. Called
+    /// once per slot barrier so worker events interleave
+    /// deterministically with driver events.
+    pub(crate) fn drain_rings(&self) {
+        for ring in self.rings.iter().flatten() {
+            for event in ring.drain() {
+                if let Some(hub) = &self.hub {
+                    hub.write_event(&event);
+                }
+            }
+        }
+    }
+
+    /// The snapshot-facing fault counters, sourced from the registry —
+    /// the compatibility shim that keeps [`FaultStats`] byte-identical
+    /// to the pre-registry implementation, plus the recovery-latency
+    /// percentiles over this run's outage samples.
+    pub(crate) fn fault_stats(&self) -> FaultStats {
+        let sum = |v: &[Arc<Counter>]| v.iter().map(|c| c.get()).sum();
+        let (p50, p95, max) = slot_quantiles(&self.recovery_samples);
+        FaultStats {
+            restarts: sum(&self.restarts),
+            replayed_arrivals: sum(&self.replayed),
+            spilled: self.spilled.get(),
+            shed_while_down: self.shed_while_down.get(),
+            degraded_slots: sum(&self.degraded),
+            recovery_latency_slots: self.recovery_total.get(),
+            checkpoints: sum(&self.checkpoints),
+            journal_dropped: self.journal_dropped.get(),
+            recovery_p50_slots: p50,
+            recovery_p95_slots: p95,
+            recovery_max_slots: max,
+        }
+    }
+
+    /// Flushes the hub's trace sink.
+    pub(crate) fn flush(&self) {
+        if let Some(hub) = &self.hub {
+            hub.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_quantiles_match_latency_stats_formula() {
+        assert_eq!(slot_quantiles(&[]), (0, 0, 0));
+        assert_eq!(slot_quantiles(&[12]), (12, 12, 12));
+        let samples: Vec<u64> = (1..=100).collect();
+        let (p50, p95, max) = slot_quantiles(&samples);
+        assert_eq!(p50, 51); // round(0.5 * 99) = 50 -> sorted[50] = 51
+        assert_eq!(p95, 95); // round(0.95 * 99) = 94 -> sorted[94] = 95
+        assert_eq!(max, 100);
+    }
+
+    #[test]
+    fn fresh_state_reports_quiet_faults() {
+        let obs = ObsState::new(3, None);
+        assert!(obs.fault_stats().is_quiet());
+        assert!(obs.ring(0).is_none(), "no tracing without a hub");
+        assert!(obs.step_hist(2).is_some());
+    }
+
+    #[test]
+    fn restart_accounting_flows_into_fault_stats() {
+        let mut obs = ObsState::new(2, None);
+        obs.note_restart_attempt(1);
+        obs.note_restart_ok(30, 1, 17, 12);
+        obs.note_degraded(1);
+        let stats = obs.fault_stats();
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.replayed_arrivals, 17);
+        assert_eq!(stats.recovery_latency_slots, 12);
+        assert_eq!(stats.degraded_slots, 1);
+        assert_eq!(stats.recovery_p50_slots, 12);
+        assert_eq!(stats.recovery_p95_slots, 12);
+        assert_eq!(stats.recovery_max_slots, 12);
+    }
+
+    #[test]
+    fn hub_with_trace_creates_worker_rings() {
+        let hub = Arc::new(ObsHub::new().with_trace(TraceWriter::new(Box::new(Vec::new()))));
+        let obs = ObsState::new(2, Some(hub));
+        assert!(obs.ring(0).is_some());
+        assert!(obs.ring(1).is_some());
+    }
+}

@@ -51,14 +51,17 @@
 use crate::chaos::{ChaosSpec, FaultSpec, ShardFault};
 use crate::clock::{Clock, ClockMode};
 use crate::loadgen::LoadGen;
+use crate::obs::{ObsHub, ObsState};
 use crate::partition::{partition, ShardPlan};
 use crate::policy::{policy_from_name, UnknownPolicy};
 use crate::router::{Admission, DegradedPolicy, Router};
 use crate::shard::{RecoverPlan, ShardCommand, ShardHandle, ShardReply, ShardTick, SpawnSpec};
-use crate::snapshot::{FaultStats, LatencyStats, Snapshot};
+use crate::snapshot::{LatencyStats, Snapshot};
 use mec_sim::{EngineState, Metrics, SlotConfig};
 use mec_topology::Topology;
 use std::fmt;
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Supervision and recovery knobs.
@@ -124,6 +127,10 @@ pub struct ServeConfig {
     pub faults: FaultConfig,
     /// Scripted faults to inject (empty for a normal run).
     pub chaos: ChaosSpec,
+    /// Observability attachment: a shared metrics registry plus an
+    /// optional event-trace sink. `None` (the default) gives the run a
+    /// private registry and changes nothing observable.
+    pub obs: Option<Arc<ObsHub>>,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +145,7 @@ impl Default for ServeConfig {
             clock: ClockMode::Virtual,
             faults: FaultConfig::default(),
             chaos: ChaosSpec::default(),
+            obs: None,
         }
     }
 }
@@ -274,11 +282,20 @@ fn failure_restart_slot(sup: &Supervised, detected_at: u64, backoff_slots: u64) 
 /// Transitions a shard to `Down`: abandons the handle (never a blocking
 /// join — the worker may be wedged), marks its stations unavailable, and
 /// strips faults it already consumed so the restart cannot crash-loop on
-/// the same scripted fault.
-fn note_down(sup: &mut Supervised, router: &mut Router, detected_at: u64, backoff_slots: u64) {
+/// the same scripted fault. `reason` names the detection signal
+/// (`disconnect`, `timeout`, or `send_failed`) for the trace.
+fn note_down(
+    sup: &mut Supervised,
+    router: &mut Router,
+    obs: &ObsState,
+    detected_at: u64,
+    backoff_slots: u64,
+    reason: &str,
+) {
     if !matches!(sup.status, ShardStatus::Up) {
         return;
     }
+    obs.note_detection(detected_at, sup.shard, reason);
     if let Some(handle) = sup.handle.take() {
         handle.abandon();
     }
@@ -292,13 +309,13 @@ fn note_down(sup: &mut Supervised, router: &mut Router, detected_at: u64, backof
 }
 
 /// Folds one tick reply into the supervisor state: adopt any checkpoint
-/// (pruning the journal it covers), refresh the tracked backlog, and cache
-/// the cumulative counters.
-fn apply_tick(sup: &mut Supervised, router: &mut Router, stats: &mut FaultStats, tick: &ShardTick) {
+/// (pruning the journal it covers), refresh the tracked backlog, cache
+/// the cumulative counters, and feed the tick to the metrics layer.
+fn apply_tick(sup: &mut Supervised, router: &mut Router, obs: &mut ObsState, tick: &ShardTick) {
+    obs.note_tick(tick);
     if let Some(state) = &tick.checkpoint {
         router.prune_journal(sup.shard, state.next_slot);
         sup.base = state.clone();
-        stats.checkpoints += 1;
     }
     router.observe_backlog(sup.shard, tick.backlog);
     sup.total_reward = tick.total_reward;
@@ -320,7 +337,7 @@ fn apply_tick(sup: &mut Supervised, router: &mut Router, stats: &mut FaultStats,
 fn restart(
     sup: &mut Supervised,
     router: &mut Router,
-    stats: &mut FaultStats,
+    obs: &mut ObsState,
     cfg: &ServeConfig,
     horizon_hint: u64,
     slot: u64,
@@ -340,15 +357,17 @@ fn restart(
             journal,
             through: slot.saturating_sub(1),
         }),
+        ring: obs.ring(shard),
+        step_hist: obs.step_hist(shard),
+        telemetry_every: obs.telemetry_every(),
     };
-    stats.restarts += 1;
+    obs.note_restart_attempt(shard);
     sup.restarts_used += 1;
     let handle =
         ShardHandle::spawn(spec, policy).map_err(|source| ServeError::Spawn { shard, source })?;
     match handle.recv() {
         Ok(ShardReply::Recovered(rec)) => {
-            stats.replayed_arrivals += rec.replayed;
-            stats.recovery_latency_slots += slot.saturating_sub(detected_at);
+            obs.note_restart_ok(slot, shard, rec.replayed, slot.saturating_sub(detected_at));
             sup.total_reward = rec.total_reward;
             sup.completed = rec.completed;
             sup.expired = rec.expired;
@@ -365,18 +384,11 @@ fn restart(
             "shard {shard} answered recovery with {other:?}"
         ))),
         Err(_) => {
+            obs.note_restart_failed(slot, shard);
             handle.abandon();
             Ok(false)
         }
     }
-}
-
-/// Copies the router-owned degraded counters into the fault stats (the
-/// single struct snapshots serialize).
-fn sync_router_stats(stats: &mut FaultStats, router: &Router) {
-    stats.spilled = router.spilled();
-    stats.shed_while_down = router.shed_while_down();
-    stats.journal_dropped = router.journal_dropped();
 }
 
 /// Runs the serving loop to completion over a finite load.
@@ -428,6 +440,16 @@ pub fn serve<F: FnMut(&Snapshot)>(
     // The policy's horizon hint: everything a finite load can need.
     let last_arrival = load.max_arrival();
     let horizon_hint = last_arrival.saturating_add(cfg.drain_slots);
+    let mut obs = ObsState::new(cfg.shards, cfg.obs.clone());
+    mec_obs::event!(
+        obs,
+        0u64,
+        "run_start",
+        shards = cfg.shards,
+        policy = cfg.policy.as_str(),
+        seed = cfg.sim.seed,
+        requests = load.len(),
+    );
     let mut supervised: Vec<Supervised> = plans
         .into_iter()
         .map(|plan| {
@@ -456,6 +478,9 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 checkpoint_every: cfg.faults.checkpoint_every,
                 faults: faults_remaining.clone(),
                 recover: None,
+                ring: obs.ring(shard),
+                step_hist: obs.step_hist(shard),
+                telemetry_every: obs.telemetry_every(),
             };
             let handle = ShardHandle::spawn(spec, policy)
                 .map_err(|source| ServeError::Spawn { shard, source })?;
@@ -479,7 +504,6 @@ pub fn serve<F: FnMut(&Snapshot)>(
         .collect::<Result<_, ServeError>>()?;
 
     let mut clock = Clock::new(cfg.clock);
-    let mut stats = FaultStats::default();
     let mut arrivals = load.into_requests().into_iter().peekable();
     let mut snapshots_emitted = 0;
     let backoff = cfg.faults.restart_backoff_slots;
@@ -512,7 +536,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
             let revived = restart(
                 sup,
                 &mut router,
-                &mut stats,
+                &mut obs,
                 cfg,
                 horizon_hint,
                 slot,
@@ -526,12 +550,22 @@ pub fn serve<F: FnMut(&Snapshot)>(
             }
         }
 
-        // Dispatch every arrival due by this slot through admission.
+        // Dispatch every arrival due by this slot through admission,
+        // counting each outcome for the per-slot admission-funnel event.
+        let shed_down_before = router.shed_while_down();
+        let (mut injected, mut buffered, mut spilled, mut shed) = (0u64, 0u64, 0u64, 0u64);
         while arrivals.peek().is_some_and(|r| r.arrival_slot() <= slot) {
             let Some(request) = arrivals.next() else {
                 break;
             };
-            match router.admit(&request, slot) {
+            let decision = router.admit(&request, slot);
+            match &decision {
+                Admission::Inject { .. } => injected += 1,
+                Admission::Spilled { .. } => spilled += 1,
+                Admission::Buffered { .. } => buffered += 1,
+                Admission::Shed => shed += 1,
+            }
+            match decision {
                 Admission::Inject { shard, request } | Admission::Spilled { shard, request } => {
                     let alive = supervised[shard]
                         .handle
@@ -540,12 +574,28 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     if !alive {
                         // The worker died since its last tick. The request
                         // is already journaled, so replay delivers it.
-                        note_down(&mut supervised[shard], &mut router, slot, backoff);
+                        note_down(
+                            &mut supervised[shard],
+                            &mut router,
+                            &obs,
+                            slot,
+                            backoff,
+                            "send_failed",
+                        );
                     }
                 }
                 Admission::Buffered { .. } | Admission::Shed => {}
             }
         }
+        let shed_down = router.shed_while_down() - shed_down_before;
+        obs.note_admission(
+            slot,
+            injected,
+            buffered,
+            spilled,
+            shed.saturating_sub(shed_down),
+            shed_down,
+        );
 
         // Barriered tick: all live shards advance one slot, replies
         // collected in shard order.
@@ -562,7 +612,14 @@ pub fn serve<F: FnMut(&Snapshot)>(
             if alive {
                 ticked[i] = true;
             } else {
-                note_down(&mut supervised[i], &mut router, slot, backoff);
+                note_down(
+                    &mut supervised[i],
+                    &mut router,
+                    &obs,
+                    slot,
+                    backoff,
+                    "send_failed",
+                );
             }
         }
         let deadline = cfg.faults.tick_timeout_ms;
@@ -570,16 +627,22 @@ pub fn serve<F: FnMut(&Snapshot)>(
             if !ticked[i] {
                 continue;
             }
-            let reply = match &supervised[i].handle {
+            // A missing reply carries its detection signal: a closed
+            // channel is a crash, a missed deadline is a stall.
+            let (reply, fail_reason) = match &supervised[i].handle {
                 Some(handle) if deadline > 0 => {
-                    handle.recv_timeout(Duration::from_millis(deadline)).ok()
+                    match handle.recv_timeout(Duration::from_millis(deadline)) {
+                        Ok(reply) => (Some(reply), ""),
+                        Err(RecvTimeoutError::Timeout) => (None, "timeout"),
+                        Err(RecvTimeoutError::Disconnected) => (None, "disconnect"),
+                    }
                 }
-                Some(handle) => handle.recv().ok(),
-                None => None,
+                Some(handle) => (handle.recv().ok(), "disconnect"),
+                None => (None, "send_failed"),
             };
             match reply {
                 Some(ShardReply::Tick(tick)) => {
-                    apply_tick(&mut supervised[i], &mut router, &mut stats, &tick);
+                    apply_tick(&mut supervised[i], &mut router, &mut obs, &tick);
                 }
                 Some(ShardReply::Error(msg)) => return Err(ServeError::Shard(msg)),
                 Some(other) => {
@@ -588,20 +651,29 @@ pub fn serve<F: FnMut(&Snapshot)>(
                         supervised[i].shard
                     )))
                 }
-                // Disconnected (crash) or deadline missed (stall): either
-                // way the shard missed this slot.
-                None => note_down(&mut supervised[i], &mut router, slot, backoff),
+                None => note_down(
+                    &mut supervised[i],
+                    &mut router,
+                    &obs,
+                    slot,
+                    backoff,
+                    fail_reason,
+                ),
             }
         }
         for sup in &supervised {
             if sup.status != ShardStatus::Up {
-                stats.degraded_slots += 1;
+                obs.note_degraded(sup.shard);
             }
         }
 
         let slots_done = clock.ticks();
+        obs.set_slot(slots_done);
+        // Worker-side events join the trace here, at the barrier, in
+        // shard order — the ordering half of the determinism contract.
+        obs.drain_rings();
         if cfg.snapshot_every > 0 && slots_done.is_multiple_of(cfg.snapshot_every) {
-            sync_router_stats(&mut stats, &router);
+            obs.sync_router(&router);
             let samples: Vec<f64> = supervised
                 .iter()
                 .flat_map(|s| s.latencies.iter().copied())
@@ -618,7 +690,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 total_reward: supervised.iter().map(|s| s.total_reward).sum(),
                 latency: LatencyStats::from_samples(&samples),
                 queue_depths: router.backlogs().to_vec(),
-                faults: stats.clone(),
+                faults: obs.fault_stats(),
                 slots_per_sec: Some(slots_done as f64 / clock.elapsed_secs().max(1e-9)),
             };
             on_snapshot(&snap);
@@ -657,7 +729,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 let revived = restart(
                     sup,
                     &mut router,
-                    &mut stats,
+                    &mut obs,
                     cfg,
                     horizon_hint,
                     end_slot,
@@ -712,7 +784,8 @@ pub fn serve<F: FnMut(&Snapshot)>(
     let wall_secs = clock.elapsed_secs();
     drop(supervised);
 
-    sync_router_stats(&mut stats, &router);
+    obs.sync_router(&router);
+    obs.drain_rings();
     let final_snapshot = Snapshot {
         slot: end_slot,
         shards: cfg.shards,
@@ -725,9 +798,22 @@ pub fn serve<F: FnMut(&Snapshot)>(
         total_reward: metrics.total_reward(),
         latency: LatencyStats::from_samples(metrics.latencies_ms()),
         queue_depths: router.backlogs().to_vec(),
-        faults: stats,
+        faults: obs.fault_stats(),
         slots_per_sec: None,
     };
+    mec_obs::event!(
+        obs,
+        end_slot,
+        "run_end",
+        admitted = final_snapshot.admitted,
+        shed = final_snapshot.shed,
+        completed = final_snapshot.completed,
+        expired = final_snapshot.expired,
+        aborted = final_snapshot.aborted,
+        unserved = final_snapshot.unserved,
+        total_reward = final_snapshot.total_reward,
+    );
+    obs.flush();
     Ok(ServeOutcome {
         final_snapshot,
         metrics,

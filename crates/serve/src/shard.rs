@@ -24,7 +24,8 @@
 
 use crate::chaos::{FaultKind, ShardFault};
 use crate::partition::ShardPlan;
-use mec_sim::{Engine, EngineState, Metrics, SlotConfig, SlotPolicy, SlotReport};
+use mec_obs::{Histogram, TraceRing};
+use mec_sim::{Engine, EngineState, Metrics, PolicyTelemetry, SlotConfig, SlotPolicy, SlotReport};
 use mec_workload::request::Request;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, SyncSender};
@@ -67,6 +68,11 @@ pub struct ShardTick {
     /// spawned with a nonzero checkpoint interval and this slot completes
     /// an interval. The supervisor adopts it as the shard's recovery base.
     pub checkpoint: Option<EngineState>,
+    /// Learner-internals snapshot, attached when the worker was spawned
+    /// with a nonzero telemetry interval, this slot completes an
+    /// interval, and the policy exposes telemetry (only learning policies
+    /// do). Boxed: it rides in every tick reply but is rarely populated.
+    pub telemetry: Option<Box<PolicyTelemetry>>,
 }
 
 /// Terminal report from one shard.
@@ -150,6 +156,15 @@ pub struct SpawnSpec {
     pub faults: Vec<ShardFault>,
     /// Catch-up plan for a restart; `None` for a cold start.
     pub recover: Option<RecoverPlan>,
+    /// Worker-side trace ring, drained by the driver at each slot
+    /// barrier. `None` when tracing is off (events become no-ops).
+    pub ring: Option<TraceRing>,
+    /// Wall-clock engine-step timing histogram (live metrics only; never
+    /// reaches snapshots or traces).
+    pub step_hist: Option<std::sync::Arc<Histogram>>,
+    /// Attach a [`PolicyTelemetry`] to every Nth tick reply (0 disables
+    /// the learner-telemetry sweep).
+    pub telemetry_every: u64,
 }
 
 /// Driver-side handle to one shard worker thread.
@@ -237,6 +252,19 @@ fn worker_main(
             ShardCommand::Tick => {
                 if let Some(pos) = faults.iter().position(|f| f.slot == next_live_slot) {
                     let fault = faults.remove(pos);
+                    // Emitted before the fault fires so even a crash (the
+                    // panic below) leaves its injection in the trace.
+                    mec_obs::event!(
+                        spec.ring,
+                        next_live_slot,
+                        "fault_injected",
+                        shard = shard,
+                        fault = match fault.kind {
+                            FaultKind::Crash => "crash",
+                            FaultKind::Stall => "stall",
+                            FaultKind::Slow { .. } => "slow",
+                        },
+                    );
                     match fault.kind {
                         FaultKind::Crash => {
                             panic!(
@@ -258,7 +286,7 @@ fn worker_main(
                         }
                     }
                 }
-                let report = match engine.step(policy.as_mut()) {
+                let report = match mec_obs::span!(spec.step_hist, engine.step(policy.as_mut())) {
                     Ok(report) => report,
                     Err(e) => {
                         let _ = reply_tx.send(ShardReply::Error(format!("shard {shard}: {e}")));
@@ -269,6 +297,11 @@ fn worker_main(
                 let checkpoint = (spec.checkpoint_every > 0
                     && next_live_slot.is_multiple_of(spec.checkpoint_every))
                 .then(|| engine.checkpoint());
+                let telemetry = (spec.telemetry_every > 0
+                    && next_live_slot.is_multiple_of(spec.telemetry_every))
+                .then(|| policy.telemetry())
+                .flatten()
+                .map(Box::new);
                 let metrics = engine.metrics();
                 let latencies = metrics.latencies_ms();
                 let new_latencies = latencies[seen_latencies..].to_vec();
@@ -283,6 +316,7 @@ fn worker_main(
                     aborted: metrics.aborted(),
                     new_latencies,
                     checkpoint,
+                    telemetry,
                 };
                 if reply_tx.send(ShardReply::Tick(tick)).is_err() {
                     return;
@@ -344,6 +378,9 @@ impl ShardHandle {
                 checkpoint_every: 0,
                 faults: Vec::new(),
                 recover: None,
+                ring: None,
+                step_hist: None,
+                telemetry_every: 0,
             },
             policy,
         )
@@ -487,6 +524,9 @@ mod tests {
             checkpoint_every: 4,
             faults: Vec::new(),
             recover: None,
+            ring: None,
+            step_hist: None,
+            telemetry_every: 0,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
         let ticks = drive(&handle, 9);
@@ -537,6 +577,9 @@ mod tests {
                 journal,
                 through: 29,
             }),
+            ring: None,
+            step_hist: None,
+            telemetry_every: 0,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
         let recovered = match handle.recv().unwrap() {
@@ -569,6 +612,9 @@ mod tests {
                 kind: FaultKind::Stall,
             }],
             recover: None,
+            ring: None,
+            step_hist: None,
+            telemetry_every: 0,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
         drive(&handle, 2);

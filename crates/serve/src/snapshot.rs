@@ -77,6 +77,14 @@ pub struct FaultStats {
     /// (recovery for that shard is best-effort from the oldest retained
     /// entry).
     pub journal_dropped: u64,
+    /// Median outage length across successful restarts, in slots (0 when
+    /// no restart completed).
+    pub recovery_p50_slots: u64,
+    /// 95th-percentile outage length across successful restarts, in
+    /// slots.
+    pub recovery_p95_slots: u64,
+    /// Longest outage across successful restarts, in slots.
+    pub recovery_max_slots: u64,
 }
 
 impl FaultStats {
@@ -151,7 +159,9 @@ impl Snapshot {
                 "\"queue_depths\":[{}],\"faults\":{{\"restarts\":{},",
                 "\"replayed_arrivals\":{},\"spilled\":{},\"shed_while_down\":{},",
                 "\"degraded_slots\":{},\"recovery_latency_slots\":{},",
-                "\"checkpoints\":{},\"journal_dropped\":{}}},",
+                "\"checkpoints\":{},\"journal_dropped\":{},",
+                "\"recovery_p50_slots\":{},\"recovery_p95_slots\":{},",
+                "\"recovery_max_slots\":{}}},",
                 "\"slots_per_sec\":{}}}"
             ),
             self.slot,
@@ -178,6 +188,9 @@ impl Snapshot {
             self.faults.recovery_latency_slots,
             self.faults.checkpoints,
             self.faults.journal_dropped,
+            self.faults.recovery_p50_slots,
+            self.faults.recovery_p95_slots,
+            self.faults.recovery_max_slots,
             sps,
         )
     }
@@ -240,10 +253,16 @@ mod tests {
         snap.faults.restarts = 2;
         snap.faults.replayed_arrivals = 37;
         snap.faults.recovery_latency_slots = 10;
+        snap.faults.recovery_p50_slots = 4;
+        snap.faults.recovery_p95_slots = 6;
+        snap.faults.recovery_max_slots = 6;
         assert!(!snap.faults.is_quiet());
         let json = snap.to_json();
         assert!(json.contains("\"restarts\":2"), "{json}");
         assert!(json.contains("\"replayed_arrivals\":37"), "{json}");
         assert!(json.contains("\"recovery_latency_slots\":10"), "{json}");
+        assert!(json.contains("\"recovery_p50_slots\":4"), "{json}");
+        assert!(json.contains("\"recovery_p95_slots\":6"), "{json}");
+        assert!(json.contains("\"recovery_max_slots\":6"), "{json}");
     }
 }

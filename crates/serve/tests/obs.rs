@@ -1,0 +1,143 @@
+//! Observability integration tests (compiled only with the `obs`
+//! feature): trace determinism across same-seed chaos runs, metrics-page
+//! content, learner telemetry, and the snapshot recovery percentiles.
+
+use mec_serve::{serve, ChaosSpec, LoadGen, ObsHub, ServeConfig};
+use mec_sim::SlotConfig;
+use mec_topology::{Topology, TopologyBuilder};
+use mec_workload::{Request, WorkloadBuilder};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+fn world(stations: usize, requests: usize, seed: u64) -> (Topology, Vec<Request>) {
+    let topo = TopologyBuilder::new(stations).seed(seed).build();
+    let population = WorkloadBuilder::new(&topo)
+        .seed(seed)
+        .count(requests)
+        .build();
+    (topo, population)
+}
+
+fn chaos_cfg(seed: u64, chaos: &str) -> ServeConfig {
+    ServeConfig {
+        shards: 4,
+        queue_capacity: 4_096,
+        snapshot_every: 0,
+        policy: "DynamicRR".to_string(),
+        sim: SlotConfig {
+            seed,
+            ..SlotConfig::default()
+        },
+        chaos: ChaosSpec::parse(chaos).unwrap(),
+        ..ServeConfig::default()
+    }
+}
+
+/// A `Write` sink the test can read back after the hub is done with it.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One traced chaos run; returns (trace JSONL, hub, final snapshot).
+fn traced_run(seed: u64, chaos: &str) -> (String, Arc<ObsHub>, mec_serve::Snapshot) {
+    let (topo, population) = world(20, 2_500, seed);
+    let load = LoadGen::poisson(population, 1_500.0, 50.0, seed);
+    let buf = SharedBuf::default();
+    let hub = Arc::new(
+        ObsHub::new()
+            .with_trace(mec_obs::TraceWriter::new(Box::new(buf.clone())))
+            .with_telemetry_every(5),
+    );
+    let cfg = ServeConfig {
+        obs: Some(Arc::clone(&hub)),
+        ..chaos_cfg(seed, chaos)
+    };
+    let snap = serve(&topo, load, &cfg, |_| {}).unwrap().final_snapshot;
+    (buf.contents(), hub, snap)
+}
+
+#[test]
+fn same_seed_chaos_runs_trace_byte_identically() {
+    let chaos = "crash:shard=1@slot=10,recover@slot=22";
+    let (trace_a, hub_a, _) = traced_run(77, chaos);
+    let (trace_b, _, _) = traced_run(77, chaos);
+    assert!(!trace_a.is_empty());
+    assert_eq!(
+        trace_a, trace_b,
+        "a traced run replayed with the same seed must yield an identical event stream"
+    );
+    assert_eq!(hub_a.trace_written(), trace_a.lines().count() as u64);
+    // The stream carries the whole story: run boundaries, the injected
+    // crash (written by the worker before it panicked), its detection,
+    // the recovery, admission funnels, and learner state sweeps.
+    for kind in [
+        "\"kind\":\"run_start\"",
+        "\"kind\":\"fault_injected\"",
+        "\"kind\":\"fault_detected\"",
+        "\"kind\":\"restart\"",
+        "\"kind\":\"admission\"",
+        "\"kind\":\"served\"",
+        "\"kind\":\"arm_state\"",
+        "\"kind\":\"run_end\"",
+    ] {
+        assert!(trace_a.contains(kind), "trace lacks {kind}");
+    }
+    assert!(trace_a.contains("\"fault\":\"crash\""), "{chaos}");
+    assert!(trace_a.contains("\"reason\":\"disconnect\""));
+    assert!(trace_a.contains("\"ok\":true"));
+}
+
+#[test]
+fn report_renders_the_trace() {
+    let (trace, _, _) = traced_run(42, "crash:shard=2@slot=8,recover@slot=15");
+    let report = mec_obs::build_report(trace.lines()).expect("trace must parse");
+    let rendered = report.render();
+    assert!(rendered.contains("arm-elimination timeline"), "{rendered}");
+    assert!(rendered.contains("admission funnel"), "{rendered}");
+    assert!(rendered.contains("replayed"), "{rendered}");
+}
+
+#[test]
+fn metrics_page_exposes_restarts_and_arm_pulls() {
+    let (_, hub, snap) = traced_run(42, "crash:shard=2@slot=8,recover@slot=15");
+    let page = hub.registry().render_prometheus();
+    assert!(
+        page.contains("mec_serve_restarts_total{shard=\"2\"} 1"),
+        "{page}"
+    );
+    assert!(
+        page.contains("mec_serve_restarts_total{shard=\"0\"} 0"),
+        "{page}"
+    );
+    assert!(page.contains("mec_bandit_arm_pulls{"), "{page}");
+    assert!(page.contains("mec_serve_latency_ms_bucket{"), "{page}");
+    // Registry counters and the snapshot shim agree by construction.
+    assert!(snap.faults.restarts >= 1, "{:?}", snap.faults);
+    let json = hub.registry().render_json();
+    assert!(json.contains("mec_serve_admitted_total"), "{json}");
+}
+
+#[test]
+fn recovery_percentiles_populate_under_chaos() {
+    // One restart with a pinned 12-slot outage: every percentile is 12.
+    let (_, _, snap) = traced_run(77, "crash:shard=1@slot=10,recover@slot=22");
+    assert_eq!(snap.faults.recovery_latency_slots, 12, "{:?}", snap.faults);
+    assert_eq!(snap.faults.recovery_p50_slots, 12);
+    assert_eq!(snap.faults.recovery_p95_slots, 12);
+    assert_eq!(snap.faults.recovery_max_slots, 12);
+}

@@ -59,6 +59,12 @@ pub trait SlotPolicy {
     fn name(&self) -> &str {
         "policy"
     }
+
+    /// A deterministic snapshot of the policy's internal learning state,
+    /// for telemetry. Non-learning policies keep the default `None`.
+    fn telemetry(&self) -> Option<crate::telemetry::PolicyTelemetry> {
+        None
+    }
 }
 
 /// Validation failures — a policy returned an illegal schedule.

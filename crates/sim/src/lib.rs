@@ -25,6 +25,7 @@ pub mod engine;
 pub mod lifecycle;
 pub mod metrics;
 pub mod sharing;
+pub mod telemetry;
 pub mod trace;
 
 pub use engine::{Allocation, Engine, EngineState, SimError, SlotContext, SlotPolicy, SlotReport};
@@ -32,6 +33,7 @@ pub use engine::{Allocation, Engine, EngineState, SimError, SlotContext, SlotPol
 pub use lifecycle::{Job, JobView, Phase};
 pub use metrics::Metrics;
 pub use sharing::fair_share;
+pub use telemetry::{ArmTelemetry, PolicyTelemetry};
 pub use trace::{Event, Trace, TracedEvent};
 
 use mec_topology::units::Compute;

@@ -1,0 +1,64 @@
+//! Learner introspection surfaced through [`crate::SlotPolicy`].
+//!
+//! A policy may expose its internal learning state — per-arm pull
+//! counts, confidence bounds, the active set — as a
+//! [`PolicyTelemetry`] snapshot. The serving runtime polls it at a
+//! configurable slot interval and turns it into live gauges and trace
+//! events (arm-elimination timeline, running regret). Everything here
+//! is plain deterministic data derived from the policy's own state, so
+//! telemetry never perturbs a run and two same-seed runs report
+//! identical snapshots.
+
+use serde::{Deserialize, Serialize};
+
+/// One bandit arm's state at a point in virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmTelemetry {
+    /// Arm index in the discretized domain.
+    pub arm: usize,
+    /// The arm's value in problem units (threshold MHz for `DynamicRR`).
+    pub value: f64,
+    /// Times the arm has been pulled.
+    pub pulls: u64,
+    /// Empirical mean of the normalized reward.
+    pub mean: f64,
+    /// Upper confidence bound (infinite for an unpulled arm).
+    pub ucb: f64,
+    /// Lower confidence bound (negative-infinite for an unpulled arm).
+    pub lcb: f64,
+    /// Whether the arm is still in the active (non-eliminated) set.
+    /// Learners that never eliminate report `true` throughout.
+    pub active: bool,
+}
+
+/// A deterministic snapshot of a learning policy's internal state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyTelemetry {
+    /// Policy name (matches [`crate::SlotPolicy::name`]).
+    pub policy: String,
+    /// Total learner updates so far.
+    pub total_pulls: u64,
+    /// Index of the current best arm.
+    pub best_arm: usize,
+    /// The best arm's value in problem units.
+    pub best_value: f64,
+    /// Cumulative normalized reward fed to the learner.
+    pub cum_reward: f64,
+    /// Running regret proxy against the empirical-best arm:
+    /// `total_pulls * best_mean - cum_reward`. This is the hindsight
+    /// comparison available online (the true `OPT_s` of Theorem 3 needs
+    /// the offline optimum); it is exact in the limit where the best
+    /// arm's empirical mean converges.
+    pub regret_proxy: f64,
+    /// Per-arm state, indexed by arm. Empty when the learner exposes no
+    /// per-arm statistics.
+    pub arms: Vec<ArmTelemetry>,
+}
+
+impl PolicyTelemetry {
+    /// Number of arms still active (all arms, for never-eliminating
+    /// learners).
+    pub fn active_arms(&self) -> usize {
+        self.arms.iter().filter(|a| a.active).count()
+    }
+}

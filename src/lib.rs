@@ -39,6 +39,8 @@
 //! | [`bandit`] | successive elimination, UCB1, ε-greedy, Lipschitz domains |
 //! | [`sim`] | discrete time-slot engine with preemption and validation |
 //! | [`core`] | the paper's algorithms and baselines |
+//! | [`serve`] | sharded long-running serving runtime with supervision and chaos |
+//! | [`obs`] | metrics registry, event tracing, scrape server, trace reports |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -46,6 +48,8 @@
 pub use mec_bandit as bandit;
 pub use mec_core as core;
 pub use mec_lp as lp;
+pub use mec_obs as obs;
+pub use mec_serve as serve;
 pub use mec_sim as sim;
 pub use mec_topology as topology;
 pub use mec_workload as workload;
@@ -60,6 +64,8 @@ pub mod prelude {
         hindsight_bound, Appro, DynamicRr, DynamicRrConfig, Exact, Greedy, Heu, HeuKkt, Learner,
         Ocorp, OfflineAlgorithm, OffloadOutcome, OnlineGreedy, OnlineHeuKkt, OnlineOcorp,
     };
+    pub use mec_obs::{MetricsServer, Registry};
+    pub use mec_serve::{serve, LoadGen, ObsHub, ServeConfig, Snapshot};
     pub use mec_sim::{
         Allocation, Continuity, Engine, Metrics, SlotConfig, SlotContext, SlotPolicy,
     };
