@@ -19,9 +19,12 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod gate;
 pub mod parallel;
 pub mod params;
+pub mod profile;
 pub mod table;
 
 pub use params::Defaults;
+pub use profile::ProfileArgs;
 pub use table::Table;

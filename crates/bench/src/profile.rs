@@ -1,0 +1,89 @@
+//! `--profile-out` / `--profile-folded` plumbing shared by the figure
+//! binaries.
+//!
+//! The flags are parsed unconditionally so a build without the `prof`
+//! feature gives a clear "rebuild with --features prof" error instead of
+//! silently writing an empty profile.
+
+/// Parsed profiling flags for a figure binary.
+#[derive(Debug, Default)]
+pub struct ProfileArgs {
+    /// Destination for the JSONL phase profile (`--profile-out`).
+    pub out: Option<String>,
+    /// Destination for collapsed flamegraph stacks (`--profile-folded`).
+    pub folded: Option<String>,
+}
+
+impl ProfileArgs {
+    /// Parses `--profile-out PATH` / `--profile-folded PATH` from the
+    /// process arguments, rejecting anything else.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage string on unknown flags, missing values, or
+    /// profiling flags in a build without the `prof` feature.
+    pub fn from_env(usage: &str) -> Result<Self, String> {
+        let mut args = Self::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .ok_or_else(|| format!("{name} needs a value\n\n{usage}"))
+            };
+            match flag.as_str() {
+                "--profile-out" => args.out = Some(value("--profile-out")?),
+                "--profile-folded" => args.folded = Some(value("--profile-folded")?),
+                "--help" | "-h" => return Err(usage.to_string()),
+                other => return Err(format!("unknown flag {other:?}\n\n{usage}")),
+            }
+        }
+        #[cfg(not(feature = "prof"))]
+        if args.out.is_some() || args.folded.is_some() {
+            return Err(
+                "profiling flags need the prof feature; rebuild with --features prof".to_string(),
+            );
+        }
+        Ok(args)
+    }
+
+    /// True when any profile output was requested.
+    pub fn active(&self) -> bool {
+        self.out.is_some() || self.folded.is_some()
+    }
+
+    /// Arms the profiler if any output was requested.
+    pub fn begin(&self) {
+        #[cfg(feature = "prof")]
+        if self.active() {
+            mec_obs::prof::reset();
+            mec_obs::prof::set_enabled(true);
+        }
+    }
+
+    /// Disarms the profiler and writes the requested outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the file that could not be written.
+    pub fn finish(&self) -> Result<(), String> {
+        #[cfg(feature = "prof")]
+        if self.active() {
+            mec_obs::prof::set_enabled(false);
+            let report = mec_obs::prof::take_report();
+            if let Some(path) = &self.out {
+                std::fs::write(path, report.to_jsonl())
+                    .map_err(|e| format!("cannot write profile {path:?}: {e}"))?;
+                eprintln!(
+                    "profile: {} phase(s) written to {path}",
+                    report.phases.len()
+                );
+            }
+            if let Some(path) = &self.folded {
+                std::fs::write(path, report.render_folded())
+                    .map_err(|e| format!("cannot write folded stacks {path:?}: {e}"))?;
+                eprintln!("profile: folded stacks written to {path}");
+            }
+        }
+        Ok(())
+    }
+}

@@ -452,16 +452,16 @@ impl SlotPolicy for DynamicRr {
             self.current_arm = None;
             return Vec::new();
         }
-        let arm = self.policy.as_policy_mut().select();
+        let arm = mec_obs::prof_span!("dynrr.select", self.policy.as_policy_mut().select());
         self.current_arm = Some(arm);
         let threshold = Compute::mhz(self.domain.value(arm));
-        let admitted = self.admit(ctx, threshold);
+        let admitted = mec_obs::prof_span!("dynrr.admit", self.admit(ctx, threshold));
         let mut allocations = if self.config.use_lp {
-            self.assign_lp(ctx, &admitted)
+            mec_obs::prof_span!("dynrr.assign_lp", self.assign_lp(ctx, &admitted))
         } else {
-            self.assign_fast(ctx, &admitted)
+            mec_obs::prof_span!("dynrr.assign_fast", self.assign_fast(ctx, &admitted))
         };
-        self.keep_alive(ctx, &mut allocations);
+        mec_obs::prof_span!("dynrr.keep_alive", self.keep_alive(ctx, &mut allocations));
         allocations
     }
 

@@ -93,6 +93,7 @@ impl SlotLp {
     /// problem). The LP has one variable per deadline-feasible
     /// `(request, station, slot)` triple.
     pub fn build(instance: &Instance, subset: &[usize], truncation: Truncation) -> Self {
+        mec_obs::prof_scope!("slotlp.build");
         let mut problem = Problem::new(Sense::Maximize);
         let mut vars: Vec<(SlotVar, VarId)> = Vec::new();
         let c_unit = instance.params().c_unit;
@@ -193,7 +194,11 @@ impl SlotLp {
     /// Propagates [`LpError`]; a well-formed instance is always feasible
     /// (`y = 0` satisfies everything) and bounded (`y ≤ 1` via Eq. 9).
     pub fn solve(&self, subset_len: usize) -> Result<FractionalAssignment, LpError> {
-        let sol = self.problem.solve()?;
+        mec_obs::prof_scope!("slotlp.solve");
+        let pivots_before = mec_lp::pivots_performed();
+        let sol = self.problem.solve();
+        mec_obs::prof_count!("simplex_pivots", mec_lp::pivots_performed() - pivots_before);
+        let sol = sol?;
         let mut per_request = vec![Vec::new(); subset_len];
         for &(sv, v) in &self.vars {
             let y = sol.value(v);

@@ -1,0 +1,160 @@
+//! Acceptance tests for the `prof` feature: a profiled same-seed run
+//! must account for the engine's wall time (per-slot phase self-times
+//! sum to within 5% of the measured `Engine::step` wall time), expose
+//! the LP pipeline phases with pivot counts, produce loadable folded
+//! output, and leave the simulation results untouched.
+//!
+//! Gated by `required-features = ["prof"]` — run with
+//! `cargo test -p mec-core --features prof --test prof`.
+
+use mec_core::{DynamicRr, DynamicRrConfig, Instance, InstanceParams};
+use mec_obs::prof;
+use mec_obs::ProfileReport;
+use mec_sim::{Engine, SlotConfig};
+use mec_topology::TopologyBuilder;
+use mec_workload::{ArrivalProcess, WorkloadBuilder};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Profiler state is process-global; serialize the tests that use it.
+static LOCK: Mutex<()> = Mutex::new(());
+
+const HORIZON: u64 = 120;
+
+fn build(seed: u64) -> (Engine<'static>, DynamicRr) {
+    // The engine borrows topology and paths; leak them so the helper
+    // can return it (test-scoped and bounded).
+    let topo = Box::leak(Box::new(TopologyBuilder::new(5).seed(seed).build()));
+    let requests = WorkloadBuilder::new(topo)
+        .seed(seed)
+        .count(40)
+        .arrivals(ArrivalProcess::UniformOver {
+            horizon: HORIZON / 2,
+        })
+        .build();
+    let params = InstanceParams::default();
+    let paths = Box::leak(Box::new(topo.shortest_paths()));
+    let cfg = SlotConfig {
+        horizon: HORIZON,
+        c_unit: params.c_unit,
+        slot_ms: params.slot_ms,
+        seed,
+        ..Default::default()
+    };
+    let instance = Instance::new(topo.clone(), requests.clone(), params);
+    let policy = DynamicRr::with_lp(
+        instance,
+        DynamicRrConfig {
+            horizon_hint: HORIZON,
+            ..Default::default()
+        },
+    );
+    (Engine::new(topo, paths, requests, cfg), policy)
+}
+
+/// One profiled run: the report, the measured stepping wall time in
+/// nanoseconds, and the completion count.
+fn profiled_run() -> (ProfileReport, u64, usize) {
+    prof::reset();
+    prof::set_enabled(true);
+    let (mut engine, mut policy) = build(23);
+    let started = Instant::now();
+    for _ in 0..HORIZON {
+        engine.step(&mut policy).expect("legal schedule");
+    }
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    prof::set_enabled(false);
+    let metrics = engine.finish();
+    (prof::take_report(), wall_ns, metrics.completed())
+}
+
+#[test]
+fn phase_self_times_account_for_step_wall_time() {
+    let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let (report, wall_ns, _) = profiled_run();
+    assert!(!report.is_empty(), "profiled run must record phases");
+
+    let step = report
+        .phases
+        .iter()
+        .find(|p| p.name == "engine.step")
+        .expect("engine.step phase");
+    assert_eq!(step.calls, HORIZON);
+
+    // Per-slot self times across all phases must sum to within 5% of
+    // the measured stepping wall time (the acceptance criterion): self
+    // times partition the span tree, and every span ran under a slot.
+    let slots = report.slot_self_totals();
+    assert_eq!(slots.len(), HORIZON as usize, "every slot attributed");
+    let slot_sum: u64 = slots.values().sum();
+    let ratio = slot_sum as f64 / wall_ns as f64;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "per-slot self sum {slot_sum}ns vs wall {wall_ns}ns (ratio {ratio:.4})"
+    );
+
+    // The subtree accounting agrees with the root's cumulative time.
+    let subtree = report.subtree_self_ns("engine.step");
+    assert!(
+        subtree.abs_diff(step.total_ns) <= step.total_ns / 20,
+        "subtree self {subtree} vs step total {}",
+        step.total_ns
+    );
+}
+
+#[test]
+fn lp_pipeline_phases_and_pivot_counts_show_up() {
+    let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let (report, _, _) = profiled_run();
+    for phase in [
+        "engine.schedule",
+        "dynrr.select",
+        "dynrr.admit",
+        "slotlp.solve",
+    ] {
+        assert!(
+            report.phases.iter().any(|p| p.name == phase),
+            "missing phase {phase}"
+        );
+    }
+    let solve = report
+        .phases
+        .iter()
+        .find(|p| p.name == "slotlp.solve")
+        .unwrap();
+    let pivots = solve.counts.get("simplex_pivots").copied().unwrap_or(0);
+    assert!(pivots > 0, "LP solves must report simplex pivots");
+}
+
+#[test]
+fn folded_output_is_well_formed_stacks() {
+    let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let (report, _, _) = profiled_run();
+    let folded = report.render_folded();
+    assert!(!folded.is_empty());
+    let mut saw_nested = false;
+    for line in folded.lines() {
+        let (stack, weight) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad folded line {line:?}"));
+        assert!(weight.parse::<u64>().is_ok(), "non-integer weight: {line}");
+        assert!(!stack.is_empty());
+        if stack.starts_with("engine.step;engine.schedule;") {
+            saw_nested = true;
+        }
+    }
+    assert!(saw_nested, "expected nested scheduler stacks:\n{folded}");
+}
+
+#[test]
+fn profiling_does_not_change_simulation_results() {
+    let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let (_, _, profiled_completed) = profiled_run();
+    prof::reset();
+    let (mut engine, mut policy) = build(23);
+    for _ in 0..HORIZON {
+        engine.step(&mut policy).expect("legal schedule");
+    }
+    let unprofiled = engine.finish();
+    assert_eq!(profiled_completed, unprofiled.completed());
+}

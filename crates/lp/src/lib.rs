@@ -38,4 +38,5 @@ pub mod solution;
 
 pub use branch_bound::{solve_binary, BranchBoundConfig};
 pub use problem::{Cmp, Problem, Sense, VarId};
+pub use simplex::pivots_performed;
 pub use solution::{LpError, Solution, Status};

@@ -164,9 +164,29 @@ impl Tableau {
                 return Err(LpError::Unbounded);
             };
             self.pivot(row, col);
+            note_pivot();
         }
         Err(LpError::IterationLimit)
     }
+}
+
+thread_local! {
+    /// Cumulative pivots performed on this thread, across both phases
+    /// and branch-and-bound node relaxations. A pivot is O(m·n) dense
+    /// row work, so the single cell increment is free by comparison and
+    /// stays always-on.
+    static PIVOTS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn note_pivot() {
+    PIVOTS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Total simplex pivots performed by the calling thread so far (a
+/// monotonically increasing count; callers diff it around a solve to
+/// attribute iterations to that solve).
+pub fn pivots_performed() -> u64 {
+    PIVOTS.with(std::cell::Cell::get)
 }
 
 /// A variable can be fixed to 0 without losing optimality when it cannot
@@ -377,6 +397,7 @@ pub fn solve(problem: &Problem, config: &SimplexConfig) -> Result<Solution, LpEr
             if t.basis[r] >= art_start {
                 if let Some(col) = (0..art_start).find(|&j| t.at(r, j).abs() > config.eps) {
                     t.pivot(r, col);
+                    note_pivot();
                 }
             }
         }
@@ -617,5 +638,19 @@ mod tests {
         }
         let s = p.solve().unwrap();
         assert!(p.is_feasible(s.values(), 1e-6));
+    }
+
+    #[test]
+    fn pivot_counter_advances_across_a_solve() {
+        let before = pivots_performed();
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0);
+        let y = p.add_var(2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 2.0);
+        p.solve().unwrap();
+        let delta = pivots_performed() - before;
+        assert!(delta > 0, "a non-trivial solve must pivot at least once");
+        assert!(delta < 1_000, "tiny LP cannot need {delta} pivots");
     }
 }

@@ -2,11 +2,22 @@
 //! trace: arm-elimination timeline, admission funnel, fault/restart
 //! log, per-shard latency histograms, final bandit state.
 //!
+//! Also understands the profile streams written by `--profile-out`
+//! (detected by their `{"kind":"profile",...}` header) and renders the
+//! phase tree, hot phases, and per-slot statistics instead.
+//!
 //! ```text
 //! mec-obs-report events.jsonl
+//! mec-obs-report profile.jsonl
 //! mec-serve --trace-out - ... | mec-obs-report -
 //! ```
+//!
+//! A truncated final line (the writer was killed mid-flush) does not
+//! hide the rest of the run: the report is rendered from the complete
+//! lines, the truncation is diagnosed on stderr, and the exit code is
+//! nonzero so scripts still notice.
 
+use mec_obs::ProfileReport;
 use std::io::{BufRead, BufReader, Read};
 use std::process::ExitCode;
 
@@ -14,7 +25,7 @@ const USAGE: &str = "\
 mec-obs-report: render a run report from a mec-serve trace
 
 USAGE:
-    mec-obs-report <TRACE.jsonl>    read a trace file ('-' for stdin)
+    mec-obs-report <TRACE.jsonl>    read a trace or profile ('-' for stdin)
     mec-obs-report --help           print this help
 ";
 
@@ -59,13 +70,78 @@ fn main() -> ExitCode {
         }
     }
 
+    // 1-based number of the last non-blank line: an error exactly there
+    // is (very likely) a truncated final write, not a corrupt stream.
+    let last_line_no = lines
+        .iter()
+        .rposition(|l| !l.trim().is_empty())
+        .map(|i| i + 1);
+    let Some(last_line_no) = last_line_no else {
+        eprintln!("trace {path:?} is empty: no events to report");
+        return ExitCode::FAILURE;
+    };
+
+    let text = lines.join("\n");
+    if ProfileReport::sniff(&text) {
+        return render_profile(&path, &lines, &text, last_line_no);
+    }
+
     match mec_obs::build_report(&lines) {
         Ok(report) => {
             print!("{}", report.render());
             ExitCode::SUCCESS
         }
+        Err((line_no, e)) if line_no == last_line_no => {
+            // Salvage everything before the torn tail.
+            match mec_obs::build_report(&lines[..line_no - 1]) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    eprintln!(
+                        "trace {path:?}: last line {line_no} is truncated ({e}); \
+                         reported the {} complete event(s) before it",
+                        report.events
+                    );
+                    ExitCode::FAILURE
+                }
+                Err((line_no, e)) => {
+                    eprintln!("trace {path:?} line {line_no}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Err((line_no, e)) => {
             eprintln!("trace {path:?} line {line_no}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Renders a `--profile-out` stream; hot-phase table capped at 10.
+fn render_profile(path: &str, lines: &[String], text: &str, last_line_no: usize) -> ExitCode {
+    match ProfileReport::from_jsonl(text) {
+        Ok(report) => {
+            print!("{}", report.render_text(10));
+            ExitCode::SUCCESS
+        }
+        Err(e) if e.line == last_line_no => {
+            let head = lines[..last_line_no - 1].join("\n");
+            match ProfileReport::from_jsonl(&head) {
+                Ok(report) => {
+                    print!("{}", report.render_text(10));
+                    eprintln!(
+                        "profile {path:?}: last line {last_line_no} is truncated ({e}); \
+                         reported the complete lines before it"
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("profile {path:?}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("profile {path:?}: {e}");
             ExitCode::FAILURE
         }
     }

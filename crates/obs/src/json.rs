@@ -1,14 +1,16 @@
-//! A minimal reader for the *flat* JSON objects this crate writes.
+//! A minimal reader for the JSON this workspace writes.
 //!
-//! The workspace vendors no JSON library, and the trace format is
+//! The workspace vendors no JSON library. The trace format is
 //! deliberately restricted to one-line objects with scalar values
-//! (string / number / bool / null), so a small handwritten parser
-//! covers exactly what [`crate::report`] needs. Nested objects and
-//! arrays are rejected — by construction the tracer never emits them.
+//! (string / number / bool / null); [`parse_flat_object`] covers
+//! exactly what [`crate::report`] needs and still rejects nesting — by
+//! construction the tracer never emits it. The bench baselines
+//! (`results/BENCH_*.json`) do nest, so [`parse_json`] additionally
+//! accepts arbitrary arrays and objects.
 
 use std::collections::BTreeMap;
 
-/// A parsed scalar.
+/// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// A JSON string (unescaped).
@@ -19,6 +21,10 @@ pub enum JsonValue {
     Bool(bool),
     /// `null`.
     Null,
+    /// An array (only produced by [`parse_json`]).
+    Arr(Vec<JsonValue>),
+    /// An object (only produced by [`parse_json`]).
+    Obj(BTreeMap<String, JsonValue>),
 }
 
 impl JsonValue {
@@ -44,6 +50,27 @@ impl JsonValue {
             Self::Str(s) => Some(s),
             _ => None,
         }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            Self::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            Self::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_obj().and_then(|m| m.get(key))
     }
 }
 
@@ -197,6 +224,87 @@ impl<'a> Cursor<'a> {
             _ => self.err("expected a scalar value"),
         }
     }
+
+    /// Recursion depth cap for [`parse_json`] — bounds stack use on
+    /// adversarial input.
+    const MAX_DEPTH: usize = 64;
+
+    fn any_value(&mut self, depth: usize) -> Result<JsonValue, ParseError> {
+        if depth >= Self::MAX_DEPTH {
+            return self.err("too deeply nested");
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth).map(JsonValue::Obj),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                loop {
+                    items.push(self.any_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JsonValue::Arr(items));
+                        }
+                        _ => return self.err("expected ',' or ']'"),
+                    }
+                }
+            }
+            _ => self.value(),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<BTreeMap<String, JsonValue>, ParseError> {
+        let mut out = BTreeMap::new();
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            out.insert(key, self.any_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parses one complete JSON value, nesting allowed.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, trailing input, or nesting deeper than an
+/// internal cap.
+pub fn parse_json(text: &str) -> Result<JsonValue, ParseError> {
+    let mut c = Cursor {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = c.any_value(0)?;
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return c.err("trailing input after value");
+    }
+    Ok(value)
 }
 
 /// Parses one flat JSON object line into key → scalar pairs.
@@ -283,6 +391,41 @@ mod tests {
         assert!(parse_flat_object("{\"a\":1} extra").is_err());
         assert!(parse_flat_object("not json").is_err());
         assert!(parse_flat_object("{\"a\":1").is_err());
+    }
+
+    #[test]
+    fn parse_json_accepts_nested_structures() {
+        let v = parse_json(
+            "{\"bench\":\"lp\",\"machine\":{\"cpus\":8},\
+             \"results\":[{\"name\":\"a\",\"median_ns\":1500.0},{\"name\":\"b\"}]}",
+        )
+        .unwrap();
+        assert_eq!(v.get("bench").and_then(JsonValue::as_str), Some("lp"));
+        assert_eq!(
+            v.get("machine")
+                .and_then(|m| m.get("cpus"))
+                .and_then(JsonValue::as_u64),
+            Some(8)
+        );
+        let results = v.get("results").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("median_ns").and_then(JsonValue::as_f64),
+            Some(1500.0)
+        );
+        assert_eq!(
+            parse_json("[1,[2,[3]]]").unwrap().as_arr().unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn parse_json_rejects_malformed_and_bottomless_input() {
+        assert!(parse_json("{\"a\":1,}").is_err());
+        assert!(parse_json("[1 2]").is_err());
+        assert!(parse_json("{\"a\":1} extra").is_err());
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse_json(&deep).is_err());
     }
 
     #[test]

@@ -1,0 +1,886 @@
+//! mec-prof: a low-overhead hierarchical phase profiler.
+//!
+//! Each thread keeps an explicit span stack and a private phase tree;
+//! [`enter`] pushes a frame keyed by a `&'static str` phase name under
+//! the current stack top, and the returned [`SpanGuard`] pops it on
+//! drop, charging the monotonic elapsed time to the phase (self time =
+//! elapsed minus time spent in child spans) and attributing the self
+//! time to the thread's current *virtual slot* (see [`set_slot`]).
+//! Thread-local trees are merged into a process-global tree when a
+//! thread exits or when [`flush_thread`] / [`take_report`] runs, so the
+//! hot path takes no locks and touches no shared cache lines.
+//!
+//! Profiling is off by default: until [`set_enabled`] turns it on,
+//! [`enter`] is a single relaxed atomic load returning an inert guard.
+//! Consumer crates additionally gate every instrumentation site behind
+//! their own `prof` cargo feature via the [`crate::prof_scope!`] /
+//! [`crate::prof_span!`] / [`crate::prof_slot!`] / [`crate::prof_count!`]
+//! macros, which compile to nothing when the feature is off — the
+//! determinism contract of the serving stack (byte-identical snapshots
+//! and event streams) is preserved in both configurations because
+//! profile data never feeds snapshots or traces; it is only written to
+//! dedicated `--profile-out` sinks.
+//!
+//! The aggregated [`ProfileReport`] renders three ways: a human phase
+//! tree with top-N hot phases and per-slot statistics
+//! ([`ProfileReport::render_text`]), collapsed-stack lines for standard
+//! flamegraph tooling ([`ProfileReport::render_folded`]), and flat JSONL
+//! ([`ProfileReport::to_jsonl`]) parseable by [`crate::json`] and by
+//! `mec-obs-report`.
+
+use crate::json::parse_flat_object;
+use crate::trace::escape_json;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns profiling on or off process-wide. Spans entered while enabled
+/// are recorded even if profiling is disabled before they close.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether profiling is currently enabled.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Sentinel parent index for top-level phases.
+const ROOT: usize = usize::MAX;
+
+/// Per-node cap on distinct slot keys; self time for further slots is
+/// folded into the node's overflow bucket so long runs stay bounded.
+const MAX_SLOTS_PER_NODE: usize = 4096;
+
+/// Phase name used when [`add_count`] fires outside any open span.
+const UNSCOPED: &str = "(unscoped)";
+
+#[derive(Debug)]
+struct Node {
+    name: &'static str,
+    parent: usize,
+    calls: u64,
+    self_ns: u64,
+    total_ns: u64,
+    counts: BTreeMap<&'static str, u64>,
+    per_slot: BTreeMap<u64, u64>,
+    overflow_ns: u64,
+}
+
+impl Node {
+    fn new(name: &'static str, parent: usize) -> Self {
+        Self {
+            name,
+            parent,
+            calls: 0,
+            self_ns: 0,
+            total_ns: 0,
+            counts: BTreeMap::new(),
+            per_slot: BTreeMap::new(),
+            overflow_ns: 0,
+        }
+    }
+
+    fn charge_slot(&mut self, slot: u64, self_ns: u64) {
+        if self.per_slot.len() >= MAX_SLOTS_PER_NODE && !self.per_slot.contains_key(&slot) {
+            self.overflow_ns += self_ns;
+        } else {
+            *self.per_slot.entry(slot).or_insert(0) += self_ns;
+        }
+    }
+}
+
+struct Frame {
+    node: usize,
+    start: Instant,
+    child_ns: u64,
+}
+
+/// A phase tree plus the interning index `(parent, name) -> node`.
+/// Children are always created after their parent, so node indices are
+/// topologically ordered (parent index < child index).
+#[derive(Default)]
+struct Tree {
+    nodes: Vec<Node>,
+    index: HashMap<(usize, &'static str), usize>,
+}
+
+impl Tree {
+    fn node_for(&mut self, parent: usize, name: &'static str) -> usize {
+        if let Some(&i) = self.index.get(&(parent, name)) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(Node::new(name, parent));
+        self.index.insert((parent, name), i);
+        i
+    }
+}
+
+#[derive(Default)]
+struct ThreadProf {
+    tree: Tree,
+    stack: Vec<Frame>,
+    slot: u64,
+}
+
+/// Wrapper so thread exit flushes whatever the thread accumulated.
+struct TlsProf(RefCell<ThreadProf>);
+
+impl Drop for TlsProf {
+    fn drop(&mut self) {
+        merge_into_global(&mut self.0.borrow_mut());
+    }
+}
+
+thread_local! {
+    static TLS: TlsProf = TlsProf(RefCell::new(ThreadProf::default()));
+}
+
+static GLOBAL: Mutex<Option<Tree>> = Mutex::new(None);
+
+fn merge_into_global(p: &mut ThreadProf) {
+    // With frames still open the open nodes' accounting is incomplete
+    // and clearing the tree would dangle their indices; skip — the data
+    // flushes when the spans close and the thread exits or flushes again.
+    if !p.stack.is_empty() || p.tree.nodes.is_empty() {
+        return;
+    }
+    let mut guard = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+    let global = guard.get_or_insert_with(Tree::default);
+    let mut map = vec![0usize; p.tree.nodes.len()];
+    for (i, n) in p.tree.nodes.iter().enumerate() {
+        let parent = if n.parent == ROOT {
+            ROOT
+        } else {
+            map[n.parent]
+        };
+        let gi = global.node_for(parent, n.name);
+        map[i] = gi;
+        let g = &mut global.nodes[gi];
+        g.calls += n.calls;
+        g.self_ns += n.self_ns;
+        g.total_ns += n.total_ns;
+        g.overflow_ns += n.overflow_ns;
+        for (k, v) in &n.counts {
+            *g.counts.entry(k).or_insert(0) += v;
+        }
+        for (&slot, &ns) in &n.per_slot {
+            g.charge_slot(slot, ns);
+        }
+    }
+    p.tree.nodes.clear();
+    p.tree.index.clear();
+}
+
+/// An RAII span handle; dropping it closes the span. Inert (and free)
+/// when profiling was disabled at [`enter`] time.
+#[must_use = "a span guard measures until it is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+}
+
+/// Opens a span named `name` under the calling thread's current span.
+/// Returns an inert guard when profiling is disabled.
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { active: false };
+    }
+    let pushed = TLS
+        .try_with(|t| {
+            let mut p = t.0.borrow_mut();
+            let parent = p.stack.last().map_or(ROOT, |f| f.node);
+            let node = p.tree.node_for(parent, name);
+            p.tree.nodes[node].calls += 1;
+            p.stack.push(Frame {
+                node,
+                start: Instant::now(),
+                child_ns: 0,
+            });
+        })
+        .is_ok();
+    SpanGuard { active: pushed }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let _ = TLS.try_with(|t| {
+            let mut p = t.0.borrow_mut();
+            let Some(frame) = p.stack.pop() else {
+                return;
+            };
+            let elapsed = frame.start.elapsed().as_nanos() as u64;
+            let self_ns = elapsed.saturating_sub(frame.child_ns);
+            let slot = p.slot;
+            let node = &mut p.tree.nodes[frame.node];
+            node.self_ns += self_ns;
+            node.total_ns += elapsed;
+            node.charge_slot(slot, self_ns);
+            if let Some(parent) = p.stack.last_mut() {
+                parent.child_ns += elapsed;
+            }
+        });
+    }
+}
+
+/// Sets the virtual slot that subsequent span closes on this thread are
+/// attributed to.
+pub fn set_slot(slot: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let _ = TLS.try_with(|t| t.0.borrow_mut().slot = slot);
+}
+
+/// Adds `n` to the named counter on the phase currently at the top of
+/// the calling thread's span stack (e.g. simplex pivots under the solve
+/// span). Outside any span the count lands on an `(unscoped)` phase.
+pub fn add_count(name: &'static str, n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let _ = TLS.try_with(|t| {
+        let mut p = t.0.borrow_mut();
+        let node = match p.stack.last() {
+            Some(f) => f.node,
+            None => {
+                let node = p.tree.node_for(ROOT, UNSCOPED);
+                p.tree.nodes[node].calls += 1;
+                node
+            }
+        };
+        *p.tree.nodes[node].counts.entry(name).or_insert(0) += n;
+    });
+}
+
+/// Merges the calling thread's accumulated tree into the global tree.
+/// A no-op while the thread has open spans.
+pub fn flush_thread() {
+    let _ = TLS.try_with(|t| merge_into_global(&mut t.0.borrow_mut()));
+}
+
+/// Flushes the calling thread, then takes and clears the global tree.
+///
+/// Threads that are still alive and have neither exited nor called
+/// [`flush_thread`] are not included — join workers first.
+pub fn take_report() -> ProfileReport {
+    flush_thread();
+    let tree = GLOBAL
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+        .unwrap_or_default();
+    ProfileReport::from_tree(&tree)
+}
+
+/// Clears the global tree and the calling thread's local tree (other
+/// threads' local trees are untouched). Intended for tests.
+pub fn reset() {
+    let _ = TLS.try_with(|t| {
+        let mut p = t.0.borrow_mut();
+        p.tree.nodes.clear();
+        p.tree.index.clear();
+        p.stack.clear();
+        p.slot = 0;
+    });
+    *GLOBAL.lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// One aggregated phase in a [`ProfileReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseNode {
+    /// Phase name as given to [`enter`].
+    pub name: String,
+    /// Index of the parent phase in [`ProfileReport::phases`], `None`
+    /// for top-level phases. Parents always precede children.
+    pub parent: Option<usize>,
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Time spent in this phase excluding child spans, nanoseconds.
+    pub self_ns: u64,
+    /// Time spent in this phase including child spans, nanoseconds.
+    pub total_ns: u64,
+    /// Named counters charged to this phase via [`add_count`].
+    pub counts: BTreeMap<String, u64>,
+    /// Self time attributed to each virtual slot.
+    pub per_slot: BTreeMap<u64, u64>,
+    /// Self time beyond the per-node slot cap (no slot attribution).
+    pub overflow_ns: u64,
+}
+
+/// The merged phase tree of a profiled run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Phases in topological order (parents before children).
+    pub phases: Vec<PhaseNode>,
+}
+
+/// A profile JSONL stream failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProfileParseError {}
+
+fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.2}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}us", v / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl ProfileReport {
+    fn from_tree(tree: &Tree) -> Self {
+        Self {
+            phases: tree
+                .nodes
+                .iter()
+                .map(|n| PhaseNode {
+                    name: n.name.to_string(),
+                    parent: (n.parent != ROOT).then_some(n.parent),
+                    calls: n.calls,
+                    self_ns: n.self_ns,
+                    total_ns: n.total_ns,
+                    counts: n.counts.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                    per_slot: n.per_slot.clone(),
+                    overflow_ns: n.overflow_ns,
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether any phase was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Sum of `total_ns` over top-level phases: the whole profiled wall
+    /// time, counted once.
+    pub fn total_ns(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.parent.is_none())
+            .map(|p| p.total_ns)
+            .sum()
+    }
+
+    /// Sum of `self_ns` over the subtree rooted at every phase named
+    /// `name`. Since self times partition a subtree's wall time, this
+    /// equals the summed `total_ns` of those roots up to clock
+    /// granularity.
+    pub fn subtree_self_ns(&self, name: &str) -> u64 {
+        let mut inside = vec![false; self.phases.len()];
+        let mut sum = 0u64;
+        for (i, p) in self.phases.iter().enumerate() {
+            inside[i] = p.name == name || p.parent.is_some_and(|pa| inside[pa]);
+            if inside[i] {
+                sum += p.self_ns;
+            }
+        }
+        sum
+    }
+
+    /// Self time per virtual slot, aggregated over all phases (slot-cap
+    /// overflow excluded — it has no slot attribution).
+    pub fn slot_self_totals(&self) -> BTreeMap<u64, u64> {
+        let mut out: BTreeMap<u64, u64> = BTreeMap::new();
+        for p in &self.phases {
+            for (&slot, &ns) in &p.per_slot {
+                *out.entry(slot).or_insert(0) += ns;
+            }
+        }
+        out
+    }
+
+    fn path(&self, mut i: usize) -> Vec<&str> {
+        let mut parts = vec![self.phases[i].name.as_str()];
+        while let Some(p) = self.phases[i].parent {
+            parts.push(self.phases[p].name.as_str());
+            i = p;
+        }
+        parts.reverse();
+        parts
+    }
+
+    /// Renders the phase tree, the top-`top_n` phases by self time (with
+    /// attached counters), and per-slot statistics, as plain text.
+    pub fn render_text(&self, top_n: usize) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("profile: no phases recorded\n");
+            return out;
+        }
+        let wall = self.total_ns().max(1);
+        let _ = writeln!(
+            out,
+            "profile: {} phase(s), {} profiled wall time",
+            self.phases.len(),
+            fmt_ns(self.total_ns())
+        );
+
+        // Phase tree, children grouped under parents in depth-first order.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.phases.len()];
+        let mut roots = Vec::new();
+        for (i, p) in self.phases.iter().enumerate() {
+            match p.parent {
+                Some(pa) => children[pa].push(i),
+                None => roots.push(i),
+            }
+        }
+        out.push_str("\nphase tree:\n");
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            let p = &self.phases[i];
+            let _ = writeln!(
+                out,
+                "  {:indent$}{:<width$} calls {:>8}  total {:>10}  self {:>10}  ({:.1}%)",
+                "",
+                p.name,
+                p.calls,
+                fmt_ns(p.total_ns),
+                fmt_ns(p.self_ns),
+                p.self_ns as f64 * 100.0 / wall as f64,
+                indent = depth * 2,
+                width = 28usize.saturating_sub(depth * 2),
+            );
+            for &c in children[i].iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+
+        // Top-N hot phases by self time.
+        let mut by_self: Vec<usize> = (0..self.phases.len()).collect();
+        by_self.sort_by_key(|&i| std::cmp::Reverse(self.phases[i].self_ns));
+        let _ = writeln!(
+            out,
+            "\ntop {} phases by self time:",
+            top_n.min(by_self.len())
+        );
+        for (rank, &i) in by_self.iter().take(top_n).enumerate() {
+            let p = &self.phases[i];
+            let _ = writeln!(
+                out,
+                "  {:>2}. {:<40} self {:>10}  ({:.1}%)  calls {}",
+                rank + 1,
+                self.path(i).join(";"),
+                fmt_ns(p.self_ns),
+                p.self_ns as f64 * 100.0 / wall as f64,
+                p.calls,
+            );
+            for (k, v) in &p.counts {
+                let _ = writeln!(out, "      {k} = {v}");
+            }
+        }
+
+        // Per-slot phase table: slot coverage and per-slot self-time
+        // statistics for the hottest phases.
+        let slots = self.slot_self_totals();
+        if !slots.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nper-slot self time ({} slot(s), {} total):",
+                slots.len(),
+                fmt_ns(slots.values().sum())
+            );
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>7} {:>12} {:>12}",
+                "phase", "slots", "mean/slot", "max/slot"
+            );
+            for &i in by_self.iter().take(top_n) {
+                let p = &self.phases[i];
+                if p.per_slot.is_empty() {
+                    continue;
+                }
+                let n = p.per_slot.len() as u64;
+                let sum: u64 = p.per_slot.values().sum();
+                let max = p.per_slot.values().copied().max().unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {:>7} {:>12} {:>12}",
+                    self.path(i).join(";"),
+                    n,
+                    fmt_ns(sum / n.max(1)),
+                    fmt_ns(max),
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders collapsed-stack ("folded") lines — `a;b;c <self_ns>` —
+    /// consumable by standard flamegraph tooling.
+    pub fn render_folded(&self) -> String {
+        let mut out = String::new();
+        for (i, p) in self.phases.iter().enumerate() {
+            if p.self_ns == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "{} {}", self.path(i).join(";"), p.self_ns);
+        }
+        out
+    }
+
+    /// Serializes the report as flat JSON lines (header, one `phase`
+    /// line per node, then `phase_count` / `phase_slot` detail lines).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"profile\",\"version\":1,\"phases\":{}}}",
+            self.phases.len()
+        );
+        for (i, p) in self.phases.iter().enumerate() {
+            let parent = p
+                .parent
+                .map_or_else(|| "null".to_string(), |pa| pa.to_string());
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"phase\",\"id\":{i},\"parent\":{parent},\"name\":\"{}\",\
+                 \"calls\":{},\"self_ns\":{},\"total_ns\":{}}}",
+                escape_json(&p.name),
+                p.calls,
+                p.self_ns,
+                p.total_ns
+            );
+            for (k, v) in &p.counts {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"phase_count\",\"id\":{i},\"counter\":\"{}\",\"value\":{v}}}",
+                    escape_json(k)
+                );
+            }
+            for (slot, ns) in &p.per_slot {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"phase_slot\",\"id\":{i},\"slot\":{slot},\"self_ns\":{ns}}}"
+                );
+            }
+            if p.overflow_ns > 0 {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"phase_slot\",\"id\":{i},\"slot\":-1,\"self_ns\":{}}}",
+                    p.overflow_ns
+                );
+            }
+        }
+        out
+    }
+
+    /// Whether `text` looks like a profile JSONL stream (its first
+    /// non-empty line is a `{"kind":"profile",...}` header).
+    pub fn sniff(text: &str) -> bool {
+        text.lines()
+            .find(|l| !l.trim().is_empty())
+            .and_then(|l| parse_flat_object(l).ok())
+            .is_some_and(|m| m.get("kind").and_then(|v| v.as_str()) == Some("profile"))
+    }
+
+    /// Parses a stream produced by [`ProfileReport::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing/invalid header, malformed line, or an `id` /
+    /// `parent` out of range.
+    pub fn from_jsonl(text: &str) -> Result<Self, ProfileParseError> {
+        let err = |line: usize, message: &str| ProfileParseError {
+            line,
+            message: message.to_string(),
+        };
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (header_no, header) = lines.next().ok_or_else(|| err(1, "empty profile stream"))?;
+        let header = parse_flat_object(header)
+            .map_err(|e| err(header_no + 1, &format!("bad header: {e}")))?;
+        if header.get("kind").and_then(|v| v.as_str()) != Some("profile") {
+            return Err(err(
+                header_no + 1,
+                "not a profile stream (no profile header)",
+            ));
+        }
+        let n = header
+            .get("phases")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| err(header_no + 1, "header missing phase count"))?
+            as usize;
+        let mut phases = vec![
+            PhaseNode {
+                name: String::new(),
+                parent: None,
+                calls: 0,
+                self_ns: 0,
+                total_ns: 0,
+                counts: BTreeMap::new(),
+                per_slot: BTreeMap::new(),
+                overflow_ns: 0,
+            };
+            n
+        ];
+        for (no, line) in lines {
+            let no = no + 1;
+            let m = parse_flat_object(line).map_err(|e| err(no, &e.to_string()))?;
+            let kind = m
+                .get("kind")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| err(no, "line missing kind"))?;
+            let id = m
+                .get("id")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| err(no, "line missing id"))? as usize;
+            if id >= n {
+                return Err(err(no, "phase id out of range"));
+            }
+            match kind {
+                "phase" => {
+                    phases[id].name = m
+                        .get("name")
+                        .and_then(|v| v.as_str())
+                        .ok_or_else(|| err(no, "phase missing name"))?
+                        .to_string();
+                    phases[id].parent = match m.get("parent") {
+                        Some(v) => match v.as_u64() {
+                            Some(p) if (p as usize) < n => Some(p as usize),
+                            Some(_) => return Err(err(no, "parent id out of range")),
+                            None => None,
+                        },
+                        None => None,
+                    };
+                    phases[id].calls = m.get("calls").and_then(|v| v.as_u64()).unwrap_or(0);
+                    phases[id].self_ns = m.get("self_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+                    phases[id].total_ns = m.get("total_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+                }
+                "phase_count" => {
+                    let counter = m
+                        .get("counter")
+                        .and_then(|v| v.as_str())
+                        .ok_or_else(|| err(no, "phase_count missing counter"))?;
+                    let value = m
+                        .get("value")
+                        .and_then(|v| v.as_u64())
+                        .ok_or_else(|| err(no, "phase_count missing value"))?;
+                    *phases[id].counts.entry(counter.to_string()).or_insert(0) += value;
+                }
+                "phase_slot" => {
+                    let ns = m
+                        .get("self_ns")
+                        .and_then(|v| v.as_u64())
+                        .ok_or_else(|| err(no, "phase_slot missing self_ns"))?;
+                    match m.get("slot").and_then(|v| v.as_u64()) {
+                        Some(slot) => *phases[id].per_slot.entry(slot).or_insert(0) += ns,
+                        None => phases[id].overflow_ns += ns,
+                    }
+                }
+                other => return Err(err(no, &format!("unknown line kind {other:?}"))),
+            }
+        }
+        Ok(Self { phases })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Profiler state is process-global; serialize the tests that use it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        let g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        set_enabled(true);
+        g
+    }
+
+    fn spin(ns: u64) {
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < ns {
+            std::hint::black_box(0);
+        }
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        {
+            let _s = enter("a");
+            set_slot(3);
+            add_count("c", 1);
+        }
+        assert!(take_report().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree_with_self_and_total() {
+        let _g = guard();
+        set_slot(7);
+        {
+            let _outer = enter("outer");
+            spin(200_000);
+            {
+                let _inner = enter("inner");
+                spin(200_000);
+            }
+            {
+                let _inner = enter("inner");
+                spin(200_000);
+            }
+        }
+        set_enabled(false);
+        let r = take_report();
+        assert_eq!(r.phases.len(), 2);
+        let outer = &r.phases[0];
+        let inner = &r.phases[1];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.parent, Some(0));
+        assert_eq!(inner.calls, 2);
+        assert!(outer.total_ns >= outer.self_ns + inner.total_ns);
+        assert!(inner.self_ns >= 300_000, "{}", inner.self_ns);
+        assert_eq!(outer.per_slot.keys().copied().collect::<Vec<_>>(), vec![7]);
+        // Self times partition the wall time of the subtree.
+        let sum = r.subtree_self_ns("outer");
+        let total = r.total_ns();
+        assert!(
+            sum.abs_diff(total) <= total / 20,
+            "self sum {sum} vs total {total}"
+        );
+    }
+
+    #[test]
+    fn counts_attach_to_the_open_span() {
+        let _g = guard();
+        {
+            let _s = enter("solve");
+            add_count("pivots", 5);
+            add_count("pivots", 7);
+        }
+        add_count("stray", 1);
+        set_enabled(false);
+        let r = take_report();
+        let solve = r.phases.iter().find(|p| p.name == "solve").unwrap();
+        assert_eq!(solve.counts["pivots"], 12);
+        let unscoped = r.phases.iter().find(|p| p.name == UNSCOPED).unwrap();
+        assert_eq!(unscoped.counts["stray"], 1);
+    }
+
+    #[test]
+    fn threads_merge_on_exit_and_report_drains() {
+        let _g = guard();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    set_slot(i);
+                    let _s = enter("worker");
+                    spin(50_000);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_enabled(false);
+        let r = take_report();
+        let w = r.phases.iter().find(|p| p.name == "worker").unwrap();
+        assert_eq!(w.calls, 3);
+        assert_eq!(w.per_slot.len(), 3);
+        assert!(take_report().is_empty(), "take drains the global tree");
+    }
+
+    #[test]
+    fn folded_output_has_stack_paths_and_integer_weights() {
+        let _g = guard();
+        {
+            let _a = enter("a");
+            spin(100_000);
+            let _b = enter("b");
+            spin(100_000);
+        }
+        set_enabled(false);
+        let r = take_report();
+        let folded = r.render_folded();
+        let mut saw_child = false;
+        for line in folded.lines() {
+            let (stack, weight) = line.rsplit_once(' ').unwrap();
+            assert!(weight.parse::<u64>().is_ok(), "{line}");
+            if stack == "a;b" {
+                saw_child = true;
+            }
+        }
+        assert!(saw_child, "{folded}");
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let _g = guard();
+        set_slot(2);
+        {
+            let _a = enter("a");
+            add_count("pivots", 3);
+            spin(50_000);
+            let _b = enter("b");
+            spin(50_000);
+        }
+        set_enabled(false);
+        let r = take_report();
+        let jsonl = r.to_jsonl();
+        assert!(ProfileReport::sniff(&jsonl));
+        assert!(!ProfileReport::sniff("{\"slot\":1,\"kind\":\"run_start\"}"));
+        let parsed = ProfileReport::from_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn from_jsonl_rejects_garbage() {
+        assert!(ProfileReport::from_jsonl("").is_err());
+        assert!(ProfileReport::from_jsonl("{\"kind\":\"trace\"}").is_err());
+        let bad_ref = "{\"kind\":\"profile\",\"version\":1,\"phases\":1}\n\
+                       {\"kind\":\"phase\",\"id\":4,\"parent\":null,\"name\":\"x\"}";
+        assert!(ProfileReport::from_jsonl(bad_ref).is_err());
+    }
+
+    #[test]
+    fn render_text_mentions_hot_phases() {
+        let _g = guard();
+        set_slot(1);
+        {
+            let _a = enter("hot");
+            spin(300_000);
+        }
+        set_enabled(false);
+        let r = take_report();
+        let text = r.render_text(5);
+        assert!(text.contains("phase tree"), "{text}");
+        assert!(text.contains("hot"), "{text}");
+        assert!(text.contains("per-slot self time"), "{text}");
+    }
+}

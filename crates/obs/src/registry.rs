@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Number of independent cells per striped metric. Eight covers the
 /// shard-worker counts this workspace runs while staying cache-friendly.
@@ -341,6 +341,15 @@ impl Registry {
         Self::default()
     }
 
+    /// The family map stays structurally valid even if a creation
+    /// closure panics mid-entry (BTreeMap insertion is atomic from the
+    /// caller's view), so a poisoned lock is recovered rather than
+    /// propagated — one panicking scrape or registration thread must
+    /// not take the whole exporter down.
+    fn families(&self) -> MutexGuard<'_, BTreeMap<String, Family>> {
+        self.families.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn series(
         &self,
         name: &str,
@@ -348,7 +357,7 @@ impl Registry {
         labels: &[(&str, &str)],
         make: impl FnOnce() -> Series,
     ) -> Series {
-        let mut families = self.families.lock().expect("registry lock");
+        let mut families = self.families();
         let family = families.entry(name.to_string()).or_insert_with(|| Family {
             help: help.to_string(),
             series: BTreeMap::new(),
@@ -410,7 +419,7 @@ impl Registry {
     /// Renders the whole registry in the Prometheus text exposition
     /// format (version 0.0.4), families and series in sorted order.
     pub fn render_prometheus(&self) -> String {
-        let families = self.families.lock().expect("registry lock");
+        let families = self.families();
         let mut out = String::new();
         for (name, family) in families.iter() {
             let kind = match family.series.values().next() {
@@ -455,7 +464,7 @@ impl Registry {
     /// Renders the whole registry as one JSON object (families and
     /// series in sorted order), for programmatic scraping.
     pub fn render_json(&self) -> String {
-        let families = self.families.lock().expect("registry lock");
+        let families = self.families();
         let mut parts = Vec::new();
         for (name, family) in families.iter() {
             for (labels, series) in &family.series {
@@ -624,6 +633,24 @@ mod tests {
         assert!(json.contains("\"a_total\":1"), "{json}");
         assert!(json.contains("\"b{k=\\\"v\\\"}\":2.0"), "{json}");
         assert!(json.contains("\"counts\":[1,0]"), "{json}");
+    }
+
+    #[test]
+    fn registry_survives_a_poisoned_lock() {
+        let r = Arc::new(Registry::new());
+        r.counter("alive_total", "survives", &[]).add(2);
+        // Histogram construction runs under the registry lock; invalid
+        // bounds panic there and poison the mutex.
+        let r2 = Arc::clone(&r);
+        let panicked = std::panic::catch_unwind(move || {
+            r2.histogram("bad_ms", "bad", &[], &[]);
+        });
+        assert!(panicked.is_err());
+        // Every public path still works on the poisoned registry.
+        assert!(r.render_prometheus().contains("alive_total 2"));
+        assert!(r.render_json().contains("\"alive_total\":2"));
+        r.counter("alive_total", "survives", &[]).inc();
+        assert!(r.render_prometheus().contains("alive_total 3"));
     }
 
     #[test]

@@ -126,6 +126,8 @@ fn render_attrs(m: &BTreeMap<String, JsonValue>) -> BTreeMap<String, String> {
                 }
                 JsonValue::Bool(b) => b.to_string(),
                 JsonValue::Null => "null".to_string(),
+                // parse_flat_object never produces these.
+                JsonValue::Arr(_) | JsonValue::Obj(_) => "<nested>".to_string(),
             };
             (k.clone(), rendered)
         })

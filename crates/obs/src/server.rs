@@ -151,4 +151,67 @@ mod tests {
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
         drop(server);
     }
+
+    #[test]
+    fn concurrent_scrapes_all_answer() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("mec_busy_total", "test", &[]).add(1);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let path = if i % 2 == 0 {
+                        "/metrics"
+                    } else {
+                        "/metrics.json"
+                    };
+                    get(addr, path)
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let body = h.join().expect("scraper thread");
+            assert!(body.starts_with("HTTP/1.1 200"), "scrape {i}: {body}");
+            assert!(body.contains("mec_busy_total"), "scrape {i}: {body}");
+        }
+        drop(server);
+    }
+
+    #[test]
+    fn malformed_request_line_gets_a_clean_404() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        // No path at all: the server must answer (as a 404), not hang
+        // or reset the connection.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GARBAGE\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+
+        // Binary junk on the wire must not take the accept loop down:
+        // a well-formed scrape afterwards still succeeds.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&[0xff, 0xfe, 0x00, b'\r', b'\n']).unwrap();
+        drop(stream);
+        let ok = get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        drop(server);
+    }
+
+    #[test]
+    fn unknown_paths_are_404_with_bodies() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+        for path in ["/", "/metrics/extra", "/METRICS", "/favicon.ico"] {
+            let out = get(addr, path);
+            assert!(out.starts_with("HTTP/1.1 404"), "{path}: {out}");
+            assert!(out.ends_with("not found\n"), "{path}: {out}");
+        }
+        drop(server);
+    }
 }

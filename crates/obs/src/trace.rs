@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 use std::io::Write;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A scalar field value.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,9 +180,18 @@ pub struct TraceRing {
     inner: Arc<Mutex<RingInner>>,
 }
 
+impl TraceRing {
+    /// Ring state is a plain buffer with no invariants a panicking
+    /// recorder could break mid-update, so a poisoned lock is safe to
+    /// recover — one crashed worker must not take tracing down with it.
+    fn lock(&self) -> MutexGuard<'_, RingInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 impl std::fmt::Debug for TraceRing {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("trace ring lock");
+        let inner = self.lock();
         f.debug_struct("TraceRing")
             .field("len", &inner.buf.len())
             .field("cap", &inner.cap)
@@ -205,19 +214,19 @@ impl TraceRing {
 
     /// Removes and returns every buffered event, in push order.
     pub fn drain(&self) -> Vec<TraceEvent> {
-        let mut inner = self.inner.lock().expect("trace ring lock");
+        let mut inner = self.lock();
         inner.buf.drain(..).collect()
     }
 
     /// Events discarded because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("trace ring lock").dropped
+        self.lock().dropped
     }
 }
 
 impl EventSink for TraceRing {
     fn record(&self, event: TraceEvent) {
-        let mut inner = self.inner.lock().expect("trace ring lock");
+        let mut inner = self.lock();
         if inner.buf.len() >= inner.cap {
             inner.dropped += 1;
             return;

@@ -1,0 +1,130 @@
+//! CLI behaviour of `mec-obs-report`: trace and profile rendering,
+//! empty input, and truncated-final-line salvage. Drives the real
+//! binary via `CARGO_BIN_EXE_mec-obs-report`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn report_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mec-obs-report"))
+}
+
+fn run_on(content: &str, name: &str) -> Output {
+    let path = scratch(name);
+    std::fs::write(&path, content).expect("write fixture");
+    let out = report_bin().arg(&path).output().expect("spawn report");
+    let _ = std::fs::remove_file(&path);
+    out
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mec-obs-cli-{}-{name}", std::process::id()));
+    p
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+const TRACE: &str = concat!(
+    r#"{"slot":0,"kind":"run_start","shards":2,"policy":"DynamicRR","seed":7}"#,
+    "\n",
+    r#"{"slot":3,"kind":"admission","admitted":10,"buffered":0,"spilled":1,"shed":2,"shed_down":0}"#,
+    "\n",
+    r#"{"slot":9,"kind":"run_end","admitted":10,"shed":2,"completed":9}"#,
+    "\n",
+);
+
+#[test]
+fn renders_a_complete_trace() {
+    let out = run_on(TRACE, "ok.jsonl");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("mec-obs report (3 events)"), "{text}");
+    assert!(text.contains("admission funnel"), "{text}");
+}
+
+#[test]
+fn empty_trace_diagnoses_and_fails() {
+    for content in ["", "\n\n  \n"] {
+        let out = run_on(content, "empty.jsonl");
+        assert!(!out.status.success(), "empty input must exit nonzero");
+        assert_eq!(stdout(&out), "", "no report for empty input");
+        let err = stderr(&out);
+        assert!(err.contains("is empty: no events to report"), "{err}");
+    }
+}
+
+#[test]
+fn truncated_last_line_salvages_the_rest() {
+    // The writer died mid-flush: the final line is half a JSON object.
+    let torn = format!("{TRACE}{}", r#"{"slot":12,"kind":"admis"#);
+    let out = run_on(&torn, "torn.jsonl");
+    assert!(!out.status.success(), "truncation must exit nonzero");
+    let text = stdout(&out);
+    assert!(
+        text.contains("mec-obs report (3 events)"),
+        "complete events still reported: {text}"
+    );
+    let err = stderr(&out);
+    assert!(err.contains("last line 4 is truncated"), "{err}");
+    assert!(err.contains("3 complete event(s)"), "{err}");
+}
+
+#[test]
+fn mid_stream_corruption_is_a_plain_error() {
+    let bad = concat!(
+        r#"{"slot":0,"kind":"run_start","shards":2}"#,
+        "\nnot json at all\n",
+        r#"{"slot":9,"kind":"run_end","admitted":1}"#,
+        "\n",
+    );
+    let out = run_on(bad, "corrupt.jsonl");
+    assert!(!out.status.success());
+    assert_eq!(stdout(&out), "", "corrupt stream renders nothing");
+    assert!(stderr(&out).contains("line 2"), "{}", stderr(&out));
+}
+
+#[test]
+fn profile_stream_renders_phase_report() {
+    let profile = concat!(
+        r#"{"kind":"profile","version":1,"phases":2}"#,
+        "\n",
+        r#"{"kind":"phase","id":0,"parent":null,"name":"engine.step","calls":4,"self_ns":1000,"total_ns":5000}"#,
+        "\n",
+        r#"{"kind":"phase","id":1,"parent":0,"name":"engine.schedule","calls":4,"self_ns":4000,"total_ns":4000}"#,
+        "\n",
+        r#"{"kind":"phase_slot","id":0,"slot":0,"self_ns":1000}"#,
+        "\n",
+    );
+    let out = run_on(profile, "profile.jsonl");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("engine.step"), "{text}");
+    assert!(text.contains("engine.schedule"), "{text}");
+}
+
+#[test]
+fn truncated_profile_salvages_and_fails() {
+    let torn = concat!(
+        r#"{"kind":"profile","version":1,"phases":1}"#,
+        "\n",
+        r#"{"kind":"phase","id":0,"parent":null,"name":"engine.step","calls":4,"self_ns":1000,"total_ns":1000}"#,
+        "\n",
+        r#"{"kind":"phase_slot","id":0,"sl"#,
+    );
+    let out = run_on(torn, "profile-torn.jsonl");
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("engine.step"), "{text}");
+    assert!(
+        stderr(&out).contains("truncated"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}

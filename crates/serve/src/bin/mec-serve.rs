@@ -37,6 +37,8 @@ struct Args {
     trace_out: Option<String>,
     telemetry_every: Option<u64>,
     hold_metrics_ms: u64,
+    profile_out: Option<String>,
+    profile_folded: Option<String>,
 }
 
 impl Default for Args {
@@ -64,6 +66,8 @@ impl Default for Args {
             trace_out: None,
             telemetry_every: None,
             hold_metrics_ms: 0,
+            profile_out: None,
+            profile_folded: None,
         }
     }
 }
@@ -111,6 +115,13 @@ OBSERVABILITY (requires a build with --features obs):
                           N slots; 0 = off [default: 25]
     --hold-metrics-ms <N> keep the metrics endpoint up N ms after the run
                           finishes, for a final scrape [default: 0]
+
+PROFILING (requires a build with --features prof):
+    --profile-out <PATH>  write the hierarchical phase profile as JSON
+                          lines to PATH (feed it to mec-obs-report)
+    --profile-folded <PATH>
+                          write collapsed stacks (one `a;b;c N` line per
+                          stack) to PATH for flamegraph tooling
     --help                print this help
 ";
 
@@ -156,6 +167,8 @@ fn parse_args() -> Result<Args, String> {
                 args.telemetry_every = Some(parse(&value("--telemetry-every")?)?);
             }
             "--hold-metrics-ms" => args.hold_metrics_ms = parse(&value("--hold-metrics-ms")?)?,
+            "--profile-out" => args.profile_out = Some(value("--profile-out")?),
+            "--profile-folded" => args.profile_folded = Some(value("--profile-folded")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
         }
@@ -195,6 +208,12 @@ fn parse_args() -> Result<Args, String> {
     {
         return Err(
             "observability flags need the obs feature; rebuild with --features obs".to_string(),
+        );
+    }
+    #[cfg(not(feature = "prof"))]
+    if args.profile_out.is_some() || args.profile_folded.is_some() {
+        return Err(
+            "profiling flags need the prof feature; rebuild with --features prof".to_string(),
         );
     }
     Ok(args)
@@ -334,6 +353,11 @@ fn main() -> ExitCode {
             args.degraded
         );
     }
+    #[cfg(feature = "prof")]
+    if args.profile_out.is_some() || args.profile_folded.is_some() {
+        mec_obs::prof::reset();
+        mec_obs::prof::set_enabled(true);
+    }
     let outcome = match serve(&topo, load, &cfg, |snap| println!("{}", snap.to_json())) {
         Ok(outcome) => outcome,
         Err(e) => {
@@ -376,6 +400,28 @@ fn main() -> ExitCode {
         if args.hold_metrics_ms > 0 {
             eprintln!("metrics: holding endpoint for {} ms", args.hold_metrics_ms);
             std::thread::sleep(std::time::Duration::from_millis(args.hold_metrics_ms));
+        }
+    }
+    #[cfg(feature = "prof")]
+    if args.profile_out.is_some() || args.profile_folded.is_some() {
+        mec_obs::prof::set_enabled(false);
+        let report = mec_obs::prof::take_report();
+        if let Some(path) = &args.profile_out {
+            if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+                eprintln!("cannot write profile {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "profile: {} phase(s) written to {path}",
+                report.phases.len()
+            );
+        }
+        if let Some(path) = &args.profile_folded {
+            if let Err(e) = std::fs::write(path, report.render_folded()) {
+                eprintln!("cannot write folded stacks {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("profile: folded stacks written to {path}");
         }
     }
     ExitCode::SUCCESS

@@ -108,22 +108,30 @@ impl ObsHub {
 
     /// Events successfully written to the trace sink so far.
     pub fn trace_written(&self) -> u64 {
-        self.trace
-            .as_ref()
-            .map_or(0, |w| w.lock().expect("trace writer lock").written())
+        self.trace.as_ref().map_or(0, |w| {
+            w.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .written()
+        })
     }
 
     /// Appends one event to the trace sink, if any.
     pub(crate) fn write_event(&self, event: &TraceEvent) {
         if let Some(writer) = &self.trace {
-            writer.lock().expect("trace writer lock").write(event);
+            writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .write(event);
         }
     }
 
     /// Flushes the trace sink, if any.
     pub fn flush(&self) {
         if let Some(writer) = &self.trace {
-            writer.lock().expect("trace writer lock").flush();
+            writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .flush();
         }
     }
 }

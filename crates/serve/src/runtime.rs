@@ -554,37 +554,42 @@ pub fn serve<F: FnMut(&Snapshot)>(
         // counting each outcome for the per-slot admission-funnel event.
         let shed_down_before = router.shed_while_down();
         let (mut injected, mut buffered, mut spilled, mut shed) = (0u64, 0u64, 0u64, 0u64);
-        while arrivals.peek().is_some_and(|r| r.arrival_slot() <= slot) {
-            let Some(request) = arrivals.next() else {
-                break;
-            };
-            let decision = router.admit(&request, slot);
-            match &decision {
-                Admission::Inject { .. } => injected += 1,
-                Admission::Spilled { .. } => spilled += 1,
-                Admission::Buffered { .. } => buffered += 1,
-                Admission::Shed => shed += 1,
-            }
-            match decision {
-                Admission::Inject { shard, request } | Admission::Spilled { shard, request } => {
-                    let alive = supervised[shard]
-                        .handle
-                        .as_ref()
-                        .is_some_and(|h| h.send(ShardCommand::Inject(request)).is_ok());
-                    if !alive {
-                        // The worker died since its last tick. The request
-                        // is already journaled, so replay delivers it.
-                        note_down(
-                            &mut supervised[shard],
-                            &mut router,
-                            &obs,
-                            slot,
-                            backoff,
-                            "send_failed",
-                        );
-                    }
+        {
+            mec_obs::prof_slot!(slot);
+            mec_obs::prof_scope!("serve.dispatch");
+            while arrivals.peek().is_some_and(|r| r.arrival_slot() <= slot) {
+                let Some(request) = arrivals.next() else {
+                    break;
+                };
+                let decision = router.admit(&request, slot);
+                match &decision {
+                    Admission::Inject { .. } => injected += 1,
+                    Admission::Spilled { .. } => spilled += 1,
+                    Admission::Buffered { .. } => buffered += 1,
+                    Admission::Shed => shed += 1,
                 }
-                Admission::Buffered { .. } | Admission::Shed => {}
+                match decision {
+                    Admission::Inject { shard, request }
+                    | Admission::Spilled { shard, request } => {
+                        let alive = supervised[shard]
+                            .handle
+                            .as_ref()
+                            .is_some_and(|h| h.send(ShardCommand::Inject(request)).is_ok());
+                        if !alive {
+                            // The worker died since its last tick. The request
+                            // is already journaled, so replay delivers it.
+                            note_down(
+                                &mut supervised[shard],
+                                &mut router,
+                                &obs,
+                                slot,
+                                backoff,
+                                "send_failed",
+                            );
+                        }
+                    }
+                    Admission::Buffered { .. } | Admission::Shed => {}
+                }
             }
         }
         let shed_down = router.shed_while_down() - shed_down_before;
@@ -600,70 +605,73 @@ pub fn serve<F: FnMut(&Snapshot)>(
         // Barriered tick: all live shards advance one slot, replies
         // collected in shard order.
         clock.tick();
-        let mut ticked = vec![false; supervised.len()];
-        for i in 0..supervised.len() {
-            if supervised[i].status != ShardStatus::Up {
-                continue;
+        {
+            mec_obs::prof_scope!("serve.barrier");
+            let mut ticked = vec![false; supervised.len()];
+            for i in 0..supervised.len() {
+                if supervised[i].status != ShardStatus::Up {
+                    continue;
+                }
+                let alive = supervised[i]
+                    .handle
+                    .as_ref()
+                    .is_some_and(|h| h.send(ShardCommand::Tick).is_ok());
+                if alive {
+                    ticked[i] = true;
+                } else {
+                    note_down(
+                        &mut supervised[i],
+                        &mut router,
+                        &obs,
+                        slot,
+                        backoff,
+                        "send_failed",
+                    );
+                }
             }
-            let alive = supervised[i]
-                .handle
-                .as_ref()
-                .is_some_and(|h| h.send(ShardCommand::Tick).is_ok());
-            if alive {
-                ticked[i] = true;
-            } else {
-                note_down(
-                    &mut supervised[i],
-                    &mut router,
-                    &obs,
-                    slot,
-                    backoff,
-                    "send_failed",
-                );
-            }
-        }
-        let deadline = cfg.faults.tick_timeout_ms;
-        for i in 0..supervised.len() {
-            if !ticked[i] {
-                continue;
-            }
-            // A missing reply carries its detection signal: a closed
-            // channel is a crash, a missed deadline is a stall.
-            let (reply, fail_reason) = match &supervised[i].handle {
-                Some(handle) if deadline > 0 => {
-                    match handle.recv_timeout(Duration::from_millis(deadline)) {
-                        Ok(reply) => (Some(reply), ""),
-                        Err(RecvTimeoutError::Timeout) => (None, "timeout"),
-                        Err(RecvTimeoutError::Disconnected) => (None, "disconnect"),
+            let deadline = cfg.faults.tick_timeout_ms;
+            for i in 0..supervised.len() {
+                if !ticked[i] {
+                    continue;
+                }
+                // A missing reply carries its detection signal: a closed
+                // channel is a crash, a missed deadline is a stall.
+                let (reply, fail_reason) = match &supervised[i].handle {
+                    Some(handle) if deadline > 0 => {
+                        match handle.recv_timeout(Duration::from_millis(deadline)) {
+                            Ok(reply) => (Some(reply), ""),
+                            Err(RecvTimeoutError::Timeout) => (None, "timeout"),
+                            Err(RecvTimeoutError::Disconnected) => (None, "disconnect"),
+                        }
                     }
+                    Some(handle) => (handle.recv().ok(), "disconnect"),
+                    None => (None, "send_failed"),
+                };
+                match reply {
+                    Some(ShardReply::Tick(tick)) => {
+                        apply_tick(&mut supervised[i], &mut router, &mut obs, &tick);
+                    }
+                    Some(ShardReply::Error(msg)) => return Err(ServeError::Shard(msg)),
+                    Some(other) => {
+                        return Err(ServeError::Shard(format!(
+                            "shard {} answered Tick with {other:?}",
+                            supervised[i].shard
+                        )))
+                    }
+                    None => note_down(
+                        &mut supervised[i],
+                        &mut router,
+                        &obs,
+                        slot,
+                        backoff,
+                        fail_reason,
+                    ),
                 }
-                Some(handle) => (handle.recv().ok(), "disconnect"),
-                None => (None, "send_failed"),
-            };
-            match reply {
-                Some(ShardReply::Tick(tick)) => {
-                    apply_tick(&mut supervised[i], &mut router, &mut obs, &tick);
-                }
-                Some(ShardReply::Error(msg)) => return Err(ServeError::Shard(msg)),
-                Some(other) => {
-                    return Err(ServeError::Shard(format!(
-                        "shard {} answered Tick with {other:?}",
-                        supervised[i].shard
-                    )))
-                }
-                None => note_down(
-                    &mut supervised[i],
-                    &mut router,
-                    &obs,
-                    slot,
-                    backoff,
-                    fail_reason,
-                ),
             }
-        }
-        for sup in &supervised {
-            if sup.status != ShardStatus::Up {
-                obs.note_degraded(sup.shard);
+            for sup in &supervised {
+                if sup.status != ShardStatus::Up {
+                    obs.note_degraded(sup.shard);
+                }
             }
         }
 
@@ -673,6 +681,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
         // shard order — the ordering half of the determinism contract.
         obs.drain_rings();
         if cfg.snapshot_every > 0 && slots_done.is_multiple_of(cfg.snapshot_every) {
+            mec_obs::prof_scope!("serve.snapshot");
             obs.sync_router(&router);
             let samples: Vec<f64> = supervised
                 .iter()

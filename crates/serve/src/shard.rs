@@ -250,6 +250,7 @@ fn worker_main(
                 engine.inject(request);
             }
             ShardCommand::Tick => {
+                mec_obs::prof_scope!("serve.shard_tick");
                 if let Some(pos) = faults.iter().position(|f| f.slot == next_live_slot) {
                     let fault = faults.remove(pos);
                     // Emitted before the fault fires so even a crash (the

@@ -414,6 +414,8 @@ impl<'a> Engine<'a> {
     pub fn step<P: SlotPolicy + ?Sized>(&mut self, policy: &mut P) -> Result<SlotReport, SimError> {
         debug_assert!(!self.finished, "step() after finish()");
         let slot = self.next_slot;
+        mec_obs::prof_slot!(slot);
+        mec_obs::prof_scope!("engine.step");
         let mut report = SlotReport {
             slot,
             ..SlotReport::default()
@@ -432,42 +434,47 @@ impl<'a> Engine<'a> {
                 }
             }
             // Expire waiting jobs that can no longer start anywhere in time.
-            let mut expired_now: Vec<mec_workload::request::RequestId> = Vec::new();
-            for job in &mut self.jobs {
-                if job.phase() == Phase::Waiting
-                    && job.request().arrival_slot() <= slot
-                    && !{
-                        let waiting = job.waiting_slots(slot);
-                        let topo = self.topo;
-                        let paths = self.paths;
-                        let slot_ms = self.config.slot_ms;
-                        topo.station_ids().any(|s| {
-                            job.request()
-                                .meets_deadline_at(topo, paths, s, waiting, slot_ms)
-                        })
+            {
+                mec_obs::prof_scope!("engine.expire");
+                let mut expired_now: Vec<mec_workload::request::RequestId> = Vec::new();
+                for job in &mut self.jobs {
+                    if job.phase() == Phase::Waiting
+                        && job.request().arrival_slot() <= slot
+                        && !{
+                            let waiting = job.waiting_slots(slot);
+                            let topo = self.topo;
+                            let paths = self.paths;
+                            let slot_ms = self.config.slot_ms;
+                            topo.station_ids().any(|s| {
+                                job.request()
+                                    .meets_deadline_at(topo, paths, s, waiting, slot_ms)
+                            })
+                        }
+                    {
+                        job.expire();
+                        self.metrics.record_expired();
+                        report.expired += 1;
+                        let request = job.id();
+                        expired_now.push(request);
                     }
-                {
-                    job.expire();
-                    self.metrics.record_expired();
-                    report.expired += 1;
-                    let request = job.id();
-                    expired_now.push(request);
                 }
-            }
-            for request in expired_now {
-                self.record(slot, Event::Expired { request });
+                for request in expired_now {
+                    self.record(slot, Event::Expired { request });
+                }
             }
 
             // Build the policy's view.
-            let views: Vec<JobView<'_>> = self
-                .jobs
-                .iter()
-                .filter(|j| {
-                    j.request().arrival_slot() <= slot
-                        && matches!(j.phase(), Phase::Waiting | Phase::Running)
-                })
-                .map(|job| JobView { job, now: slot })
-                .collect();
+            let views: Vec<JobView<'_>> = mec_obs::prof_span!(
+                "engine.views",
+                self.jobs
+                    .iter()
+                    .filter(|j| {
+                        j.request().arrival_slot() <= slot
+                            && matches!(j.phase(), Phase::Waiting | Phase::Running)
+                    })
+                    .map(|job| JobView { job, now: slot })
+                    .collect()
+            );
             let ctx = SlotContext {
                 slot,
                 views,
@@ -475,37 +482,40 @@ impl<'a> Engine<'a> {
                 paths: self.paths,
                 config: &self.config,
             };
-            let allocations = policy.schedule(&ctx);
+            let allocations = mec_obs::prof_span!("engine.schedule", policy.schedule(&ctx));
             drop(ctx);
 
             // Validate.
-            let mut seen: HashMap<RequestId, ()> = HashMap::new();
-            let mut station_load: HashMap<StationId, f64> = HashMap::new();
-            for a in &allocations {
-                let Some(job) = self.jobs.get(a.request.index()) else {
-                    return Err(SimError::UnknownRequest(a.request));
-                };
-                if job.request().arrival_slot() > slot
-                    || !matches!(job.phase(), Phase::Waiting | Phase::Running)
-                {
-                    return Err(SimError::NotSchedulable(a.request));
+            {
+                mec_obs::prof_scope!("engine.validate");
+                let mut seen: HashMap<RequestId, ()> = HashMap::new();
+                let mut station_load: HashMap<StationId, f64> = HashMap::new();
+                for a in &allocations {
+                    let Some(job) = self.jobs.get(a.request.index()) else {
+                        return Err(SimError::UnknownRequest(a.request));
+                    };
+                    if job.request().arrival_slot() > slot
+                        || !matches!(job.phase(), Phase::Waiting | Phase::Running)
+                    {
+                        return Err(SimError::NotSchedulable(a.request));
+                    }
+                    if seen.insert(a.request, ()).is_some() {
+                        return Err(SimError::DuplicateAllocation(a.request));
+                    }
+                    if self.paths.delay(job.request().home(), a.station).is_none() {
+                        return Err(SimError::Unreachable(a.request, a.station));
+                    }
+                    *station_load.entry(a.station).or_insert(0.0) += a.compute.as_mhz();
                 }
-                if seen.insert(a.request, ()).is_some() {
-                    return Err(SimError::DuplicateAllocation(a.request));
-                }
-                if self.paths.delay(job.request().home(), a.station).is_none() {
-                    return Err(SimError::Unreachable(a.request, a.station));
-                }
-                *station_load.entry(a.station).or_insert(0.0) += a.compute.as_mhz();
-            }
-            for (&station, &used) in &station_load {
-                let capacity = self.topo.station(station).capacity().as_mhz();
-                if used > capacity + 1e-6 {
-                    return Err(SimError::CapacityExceeded {
-                        station,
-                        used,
-                        capacity,
-                    });
+                for (&station, &used) in &station_load {
+                    let capacity = self.topo.station(station).capacity().as_mhz();
+                    if used > capacity + 1e-6 {
+                        return Err(SimError::CapacityExceeded {
+                            station,
+                            used,
+                            capacity,
+                        });
+                    }
                 }
             }
 
@@ -513,60 +523,64 @@ impl<'a> Engine<'a> {
             let slot_s = self.config.slot_seconds();
             let mut slot_reward = 0.0;
             let mut served_mb: HashMap<RequestId, f64> = HashMap::new();
-            for a in &allocations {
-                self.busy_mhz_slots[a.station.index()] += a.compute.as_mhz();
-                let job = &mut self.jobs[a.request.index()];
-                if job.realized().is_none() {
-                    let waiting = job.waiting_slots(slot);
-                    if !job.request().meets_deadline_at(
-                        self.topo,
-                        self.paths,
-                        a.station,
-                        waiting,
-                        self.config.slot_ms,
-                    ) {
-                        return Err(SimError::DeadlineViolated(a.request));
+            {
+                mec_obs::prof_scope!("engine.serve");
+                for a in &allocations {
+                    self.busy_mhz_slots[a.station.index()] += a.compute.as_mhz();
+                    let job = &mut self.jobs[a.request.index()];
+                    if job.realized().is_none() {
+                        let waiting = job.waiting_slots(slot);
+                        if !job.request().meets_deadline_at(
+                            self.topo,
+                            self.paths,
+                            a.station,
+                            waiting,
+                            self.config.slot_ms,
+                        ) {
+                            return Err(SimError::DeadlineViolated(a.request));
+                        }
+                        let outcome = job.request().demand().sample(&mut self.rng);
+                        job.realize(outcome, slot, a.station, slot_s);
+                        if let Some(trace) = &mut self.trace {
+                            trace.record(
+                                slot,
+                                Event::Started {
+                                    request: a.request,
+                                    station: a.station,
+                                    rate_mbps: outcome.rate.as_mbps(),
+                                },
+                            );
+                        }
                     }
-                    let outcome = job.request().demand().sample(&mut self.rng);
-                    job.realize(outcome, slot, a.station, slot_s);
-                    if let Some(trace) = &mut self.trace {
-                        trace.record(
-                            slot,
-                            Event::Started {
-                                request: a.request,
-                                station: a.station,
-                                rate_mbps: outcome.rate.as_mbps(),
-                            },
-                        );
-                    }
-                }
-                let processed_mb = (a.compute.as_mhz() / self.config.c_unit.as_mhz()) * slot_s;
-                *served_mb.entry(a.request).or_insert(0.0) += processed_mb;
-                if job.process(processed_mb, slot) {
-                    let reward = job.realized().expect("realized on service").reward;
-                    let latency = job
-                        .experienced_latency(self.topo, self.paths, self.config.slot_ms)
-                        .expect("served jobs have latency");
-                    self.metrics.record_completion(reward, latency.as_ms());
-                    report.completed += 1;
-                    slot_reward += reward;
-                    if let Some(trace) = &mut self.trace {
-                        trace.record(
-                            slot,
-                            Event::Completed {
-                                request: a.request,
-                                reward,
-                            },
-                        );
+                    let processed_mb = (a.compute.as_mhz() / self.config.c_unit.as_mhz()) * slot_s;
+                    *served_mb.entry(a.request).or_insert(0.0) += processed_mb;
+                    if job.process(processed_mb, slot) {
+                        let reward = job.realized().expect("realized on service").reward;
+                        let latency = job
+                            .experienced_latency(self.topo, self.paths, self.config.slot_ms)
+                            .expect("served jobs have latency");
+                        self.metrics.record_completion(reward, latency.as_ms());
+                        report.completed += 1;
+                        slot_reward += reward;
+                        if let Some(trace) = &mut self.trace {
+                            trace.record(
+                                slot,
+                                Event::Completed {
+                                    request: a.request,
+                                    reward,
+                                },
+                            );
+                        }
                     }
                 }
             }
-            policy.observe(slot, slot_reward);
+            mec_obs::prof_span!("engine.observe", policy.observe(slot, slot_reward));
             report.completed_reward = slot_reward;
 
             // Sustained-service enforcement: running streams served below
             // the floor for too many consecutive slots tear down.
             if let Some(continuity) = self.config.continuity {
+                mec_obs::prof_scope!("engine.continuity");
                 let mut aborted: Vec<RequestId> = Vec::new();
                 for job in &mut self.jobs {
                     if job.phase() != Phase::Running {

@@ -6,6 +6,10 @@
 //! guardrails.
 //!
 //! Run with: `cargo run --release --example failure_injection`
+//!
+//! With `--features obs` the example also crashes a shard inside the
+//! traced serving runtime and prints the fault/restart log plus the
+//! admission funnel recovered from the event stream.
 
 use mec_ar::lp::{Cmp, Problem, Sense};
 use mec_ar::prelude::*;
@@ -120,4 +124,78 @@ fn main() {
     println!("bad demand      -> {}", bad.unwrap_err());
 
     println!("\nall injected failures were caught");
+
+    #[cfg(feature = "obs")]
+    traced_fault_summary();
+}
+
+/// Crashes a shard mid-run under tracing and summarizes the fault,
+/// restart, and funnel events the runtime recorded about it.
+#[cfg(feature = "obs")]
+fn traced_fault_summary() {
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Default)]
+    struct Captured(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for Captured {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let topo = TopologyBuilder::new(8).seed(1).build();
+    let population = WorkloadBuilder::new(&topo).seed(1).count(300).build();
+    let load = LoadGen::poisson(population, 2_000.0, 50.0, 1);
+    let sink = Captured::default();
+    let hub = ObsHub::new().with_trace(mec_ar::obs::TraceWriter::new(Box::new(sink.clone())));
+    let chaos = mec_ar::serve::ChaosSpec::parse("crash:shard=1@slot=30,recover@slot=40")
+        .expect("chaos grammar");
+    let cfg = ServeConfig {
+        shards: 2,
+        queue_capacity: 64,
+        snapshot_every: 0,
+        chaos,
+        obs: Some(Arc::new(hub)),
+        ..ServeConfig::default()
+    };
+    serve(&topo, load, &cfg, |_| {}).expect("chaos serve run");
+    if let Some(hub) = &cfg.obs {
+        hub.flush();
+    }
+
+    let bytes = sink.0.lock().unwrap();
+    let text = String::from_utf8_lossy(&bytes);
+    let report = mec_ar::obs::build_report(text.lines()).expect("well-formed trace");
+    println!("\n== traced shard crash (--features obs) ==");
+    println!("events captured: {}", report.events);
+    let offered: u64 = report.funnel.values().sum();
+    print!("funnel: offered {offered}");
+    for key in ["admitted", "buffered", "spilled", "shed", "shed_down"] {
+        print!(" | {key} {}", report.funnel.get(key).copied().unwrap_or(0));
+    }
+    println!();
+    for (slot, shard, kind) in &report.faults_injected {
+        println!("  slot {slot:>5}  shard {shard}  injected: {kind}");
+    }
+    for (slot, shard, reason) in &report.faults_detected {
+        println!("  slot {slot:>5}  shard {shard}  detected: {reason}");
+    }
+    for r in &report.restarts {
+        println!(
+            "  slot {:>5}  shard {}  restart {}: {} arrival(s) replayed, outage {} slot(s)",
+            r.slot,
+            r.shard,
+            if r.ok { "recovered" } else { "failed" },
+            r.replayed,
+            r.latency_slots
+        );
+    }
+    assert!(
+        !report.faults_injected.is_empty(),
+        "the scripted crash must appear in the trace"
+    );
 }

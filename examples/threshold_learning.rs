@@ -4,6 +4,12 @@
 //! every fixed threshold (the regret oracle of Theorem 3).
 //!
 //! Run with: `cargo run --release --example threshold_learning`
+//!
+//! With `--features obs` the example also drives the same workload
+//! through the traced serving runtime and prints a mini admission
+//! funnel + elimination summary from the captured event stream; with
+//! `--features prof` it additionally prints the hottest profiler
+//! phases of the learning run.
 
 use mec_ar::prelude::*;
 
@@ -78,4 +84,85 @@ fn main() {
             d.regret_bound(0.5, 400)
         );
     }
+
+    #[cfg(feature = "obs")]
+    traced_serve_summary();
+    #[cfg(feature = "prof")]
+    phase_summary(&topo, &requests, cfg);
+}
+
+/// Replays a small traced serving run of the same kind of workload and
+/// folds its event stream into a funnel + elimination summary.
+#[cfg(feature = "obs")]
+fn traced_serve_summary() {
+    use std::sync::{Arc, Mutex};
+
+    // An in-memory byte sink for the trace: the report is built straight
+    // from the captured lines, no temp file involved.
+    #[derive(Clone, Default)]
+    struct Captured(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for Captured {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let topo = TopologyBuilder::new(12).seed(3).build();
+    let population = WorkloadBuilder::new(&topo).seed(3).count(400).build();
+    let load = LoadGen::poisson(population, 2_000.0, 50.0, 3);
+    let sink = Captured::default();
+    let hub = ObsHub::new()
+        .with_trace(mec_ar::obs::TraceWriter::new(Box::new(sink.clone())))
+        .with_telemetry_every(25);
+    let cfg = ServeConfig {
+        shards: 2,
+        queue_capacity: 64,
+        snapshot_every: 0,
+        obs: Some(Arc::new(hub)),
+        ..ServeConfig::default()
+    };
+    serve(&topo, load, &cfg, |_| {}).expect("traced serve run");
+    if let Some(hub) = &cfg.obs {
+        hub.flush();
+    }
+
+    let bytes = sink.0.lock().unwrap();
+    let text = String::from_utf8_lossy(&bytes);
+    let report = mec_ar::obs::build_report(text.lines()).expect("well-formed trace");
+    println!("\n== traced serving run (--features obs) ==");
+    println!("events captured: {}", report.events);
+    let offered: u64 = report.funnel.values().sum();
+    print!("funnel: offered {offered}");
+    for key in ["admitted", "buffered", "spilled", "shed"] {
+        print!(" | {key} {}", report.funnel.get(key).copied().unwrap_or(0));
+    }
+    println!();
+    println!(
+        "arm eliminations observed: {} across {} shard(s)",
+        report.eliminations.len(),
+        cfg.shards
+    );
+    for e in report.eliminations.iter().take(5) {
+        println!(
+            "  slot {:>5}  shard {}  arm {} ({:.0} MHz) out, {} left",
+            e.slot, e.shard, e.arm, e.value_mhz, e.active_left
+        );
+    }
+}
+
+/// Profiles one learning run and prints the hottest phases.
+#[cfg(feature = "prof")]
+fn phase_summary(topo: &Topology, requests: &[Request], cfg: SlotConfig) {
+    use mec_ar::obs::prof;
+    prof::reset();
+    prof::set_enabled(true);
+    let _ = run_once(topo, requests, cfg, 100.0, 1000.0, 9);
+    prof::set_enabled(false);
+    let report = prof::take_report();
+    println!("\n== profiled learning run (--features prof) ==");
+    print!("{}", report.render_text(5));
 }

@@ -6,11 +6,29 @@
 //! [`criterion_main!`] and [`black_box`] — backed by a simple
 //! `std::time::Instant` loop instead of criterion's statistical engine.
 //! Each benchmark prints `name/param: <mean per iteration>` to stdout.
+//!
+//! On top of the upstream-compatible surface, every bench target also
+//! emits a normalized result file `BENCH_<target>.json` (schema below)
+//! for the `mec-bench-gate` perf-regression gate:
+//!
+//! ```json
+//! {"schema":1,"bench":"lp_solver","machine":{"cpus":8,"os":"linux",
+//!  "arch":"x86_64"},"results":[{"name":"solve/120","samples":10,
+//!  "mean_ns":12345,"median_ns":12000,"p95_ns":15000,
+//!  "throughput_iters_per_sec":81300.8}]}
+//! ```
+//!
+//! The file lands in `<workspace>/results/` (derived from the bench
+//! target's manifest dir); `MEC_BENCH_JSON_DIR` overrides the directory
+//! and `MEC_BENCH_JSON=0` disables emission. No timestamps are written,
+//! so a rerun on identical hardware produces structurally identical
+//! files.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimizer from deleting work.
@@ -46,19 +64,128 @@ impl Display for BenchmarkId {
 #[derive(Debug)]
 pub struct Bencher {
     iters: u64,
-    elapsed: Duration,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times `f` over this bencher's iteration budget.
+    /// Times `f` over this bencher's iteration budget, keeping one
+    /// timing sample per iteration.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // One warmup iteration outside the timed window.
         black_box(f());
-        let start = Instant::now();
+        self.samples.clear();
+        self.samples.reserve(self.iters as usize);
         for _ in 0..self.iters {
+            let start = Instant::now();
             black_box(f());
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = start.elapsed();
+    }
+}
+
+/// Aggregated timings of one benchmark, as written to `BENCH_*.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// Full label, `group/function/param`.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: u64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: u64,
+    /// 95th-percentile nanoseconds per iteration.
+    pub p95_ns: u64,
+    /// Iterations per second implied by the mean.
+    pub throughput_iters_per_sec: f64,
+}
+
+impl BenchStats {
+    /// Summarizes raw per-iteration samples.
+    pub fn from_samples(name: String, samples: &[Duration]) -> Self {
+        let mut ns: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+        ns.sort_unstable();
+        let n = ns.len().max(1);
+        let total: u128 = ns.iter().sum();
+        let mean = (total / n as u128) as u64;
+        let median = ns.get(n / 2).copied().unwrap_or(0) as u64;
+        // Nearest-rank p95 (1-based rank ceil(0.95 n)).
+        let rank = (n * 95).div_ceil(100).max(1);
+        let p95 = ns.get(rank - 1).copied().unwrap_or(0) as u64;
+        Self {
+            name,
+            samples: samples.len() as u64,
+            mean_ns: mean,
+            median_ns: median,
+            p95_ns: p95,
+            throughput_iters_per_sec: if mean == 0 { 0.0 } else { 1e9 / mean as f64 },
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"samples\":{},\"mean_ns\":{},\"median_ns\":{},\
+             \"p95_ns\":{},\"throughput_iters_per_sec\":{:.3}}}",
+            escape(&self.name),
+            self.samples,
+            self.mean_ns,
+            self.median_ns,
+            self.p95_ns,
+            self.throughput_iters_per_sec,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Results recorded by every group in this process, drained by
+/// [`write_report`] at the end of `main`.
+static RESULTS: Mutex<Vec<BenchStats>> = Mutex::new(Vec::new());
+
+/// Renders the normalized report for the collected results.
+pub fn render_report(bench: &str, results: &[BenchStats]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut out = format!(
+        "{{\"schema\":1,\"bench\":\"{}\",\"machine\":{{\"cpus\":{},\"os\":\"{}\",\"arch\":\"{}\"}},\"results\":[",
+        escape(bench),
+        cpus,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    );
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.to_json());
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Drains the collected results and writes `BENCH_<bench>.json`.
+///
+/// Called by the `main` that [`criterion_main!`] generates; `bench` is
+/// the bench target's crate name and `manifest_dir` its
+/// `CARGO_MANIFEST_DIR`. Honors `MEC_BENCH_JSON=0` (skip) and
+/// `MEC_BENCH_JSON_DIR` (output directory, default
+/// `<manifest>/../../results`). Emission failures only warn: a missing
+/// results directory must not fail the benchmark run itself.
+pub fn write_report(bench: &str, manifest_dir: &str) {
+    let results = std::mem::take(&mut *RESULTS.lock().unwrap_or_else(|p| p.into_inner()));
+    if std::env::var("MEC_BENCH_JSON").is_ok_and(|v| v == "0") {
+        return;
+    }
+    let dir = std::env::var("MEC_BENCH_JSON_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::Path::new(manifest_dir).join("../../results"));
+    let path = dir.join(format!("BENCH_{bench}.json"));
+    let report = render_report(bench, &results);
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, report)) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("bench results -> {}", path.display());
     }
 }
 
@@ -80,11 +207,15 @@ impl BenchmarkGroup<'_> {
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
         let mut b = Bencher {
             iters: self.sample_size,
-            elapsed: Duration::ZERO,
+            samples: Vec::new(),
         };
         f(&mut b);
-        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
-        println!("{}/{label}: {:.3} ms/iter", self.name, per_iter * 1e3);
+        let stats = BenchStats::from_samples(format!("{}/{label}", self.name), &b.samples);
+        println!("{}: {:.3} ms/iter", stats.name, stats.mean_ns as f64 / 1e6);
+        RESULTS
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(stats);
     }
 
     /// Runs one benchmark with an input value.
@@ -153,12 +284,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` running the given groups.
+/// Emits `main` running the given groups, then writing the normalized
+/// `BENCH_<target>.json` result file.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_report(env!("CARGO_CRATE_NAME"), env!("CARGO_MANIFEST_DIR"));
         }
     };
 }
@@ -179,12 +312,42 @@ mod tests {
     criterion_group!(benches, sample_bench);
 
     #[test]
-    fn harness_runs() {
+    fn harness_runs_and_records() {
         benches();
+        let recorded = RESULTS.lock().unwrap_or_else(|p| p.into_inner());
+        let stats = recorded
+            .iter()
+            .find(|s| s.name == "shim/sum/100")
+            .expect("recorded stats");
+        assert_eq!(stats.samples, 3);
+        assert!(stats.median_ns <= stats.p95_ns);
     }
 
     #[test]
     fn id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+
+    #[test]
+    fn stats_from_known_samples() {
+        let samples: Vec<Duration> = [100u64, 200, 300, 400, 500]
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect();
+        let s = BenchStats::from_samples("x".into(), &samples);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.mean_ns, 300);
+        assert_eq!(s.median_ns, 300);
+        assert_eq!(s.p95_ns, 500);
+        assert!((s.throughput_iters_per_sec - 1e9 / 300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn report_is_parseable_shape() {
+        let s = BenchStats::from_samples("a/b".into(), &[Duration::from_nanos(10)]);
+        let text = render_report("demo", &[s]);
+        assert!(text.starts_with("{\"schema\":1,\"bench\":\"demo\""));
+        assert!(text.contains("\"median_ns\":10"));
+        assert!(text.trim_end().ends_with("]}"));
     }
 }
