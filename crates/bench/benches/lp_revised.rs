@@ -1,0 +1,81 @@
+//! Cross-slot warm-starting: a sliding window of per-slot LPs, solved
+//! dense, revised-cold, revised-warm, and warm with chunked fan-out.
+//!
+//! Each benchmark walks the same 48-step sequence of overlapping request
+//! subsets (window 40, step 1 — the arrival/expiry churn DynamicRR sees
+//! between slots) and solves every window's `SlotLp`. The labels differ
+//! only in the solver driving the sequence, so the dense/warm median
+//! ratio in `BENCH_lp_revised.json` *is* the warm-start speedup, and the
+//! gate pins each label against its own baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_bench::figures::bench_instance;
+use mec_bench::parallel::parallel_map;
+use mec_core::slotlp::{SlotLp, SlotLpSolver, Truncation};
+use mec_core::SolverKind;
+
+const WINDOW: usize = 40;
+const STEP: usize = 1;
+const SLOTS: usize = 48;
+
+fn build_sequence() -> Vec<SlotLp> {
+    let total = WINDOW + STEP * (SLOTS - 1);
+    let (instance, _) = bench_instance(total, 20, 2);
+    (0..SLOTS)
+        .map(|t| {
+            let subset: Vec<usize> = (t * STEP..t * STEP + WINDOW).collect();
+            SlotLp::build(&instance, &subset, Truncation::Standard)
+        })
+        .collect()
+}
+
+fn run_sequential(lps: &[SlotLp], kind: SolverKind, warm: bool) -> f64 {
+    let mut solver = SlotLpSolver::new(kind).warm_start(warm);
+    lps.iter()
+        .map(|lp| {
+            solver
+                .solve(lp, WINDOW)
+                .expect("slot LP is feasible")
+                .objective()
+        })
+        .sum()
+}
+
+/// Warm fan-out: contiguous chunks of the sequence, one warm solver per
+/// chunk, fanned over scoped threads. Within a chunk slots stay ordered,
+/// so each solver still warm-starts from its previous slot.
+fn run_parallel(lps: &[SlotLp]) -> f64 {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let chunk = lps.len().div_ceil(workers);
+    let chunks: Vec<&[SlotLp]> = lps.chunks(chunk).collect();
+    parallel_map(&chunks, |chunk| {
+        run_sequential(chunk, SolverKind::Revised, true)
+    })
+    .into_iter()
+    .sum()
+}
+
+fn slot_sequence(c: &mut Criterion) {
+    let lps = build_sequence();
+    let param = format!("{SLOTS}x{WINDOW}");
+    let mut group = c.benchmark_group("slot_seq");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("dense", &param), &lps, |b, lps| {
+        b.iter(|| run_sequential(lps, SolverKind::Dense, false))
+    });
+    group.bench_with_input(BenchmarkId::new("revised_cold", &param), &lps, |b, lps| {
+        b.iter(|| run_sequential(lps, SolverKind::Revised, false))
+    });
+    group.bench_with_input(BenchmarkId::new("revised_warm", &param), &lps, |b, lps| {
+        b.iter(|| run_sequential(lps, SolverKind::Revised, true))
+    });
+    group.bench_with_input(BenchmarkId::new("warm_parallel", &param), &lps, |b, lps| {
+        b.iter(|| run_parallel(lps))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, slot_sequence);
+criterion_main!(benches);

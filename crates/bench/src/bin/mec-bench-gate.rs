@@ -10,7 +10,7 @@
 //! any regression, 2 on usage or IO errors.
 
 use mec_bench::gate::{compare, load_dir, Thresholds};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -29,6 +29,9 @@ OPTIONS:
                               file name (e.g. lp_solver); repeatable
     --inject-slowdown <F>     scale current medians by F before comparing
                               (CI negative test: 2.0 must FAIL the gate)
+    --update-baselines        after printing the comparison, copy every
+                              current BENCH_*.json over its baseline and
+                              exit 0 (refreshing committed baselines)
     --help                    print this help
 ";
 
@@ -37,12 +40,14 @@ struct Args {
     current: PathBuf,
     thresholds: Thresholds,
     slowdown: f64,
+    update_baselines: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let (mut baseline, mut current) = (None, None);
     let mut thresholds = Thresholds::default();
     let mut slowdown = 1.0f64;
+    let mut update_baselines = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -72,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--inject-slowdown must be positive".to_string());
                 }
             }
+            "--update-baselines" => update_baselines = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
         }
@@ -81,7 +87,28 @@ fn parse_args() -> Result<Args, String> {
         current: current.ok_or(format!("--current is required\n\n{USAGE}"))?,
         thresholds,
         slowdown,
+        update_baselines,
     })
+}
+
+/// Copies every `BENCH_*.json` in `current` over `baseline`, returning the
+/// refreshed file names.
+fn refresh_baselines(baseline: &Path, current: &Path) -> Result<Vec<String>, String> {
+    let mut copied = Vec::new();
+    let entries =
+        std::fs::read_dir(current).map_err(|e| format!("read {}: {e}", current.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", current.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let dst = baseline.join(&name);
+        std::fs::copy(entry.path(), &dst).map_err(|e| format!("copy {name}: {e}"))?;
+        copied.push(name);
+    }
+    copied.sort();
+    Ok(copied)
 }
 
 fn parse_frac(s: &str) -> Result<f64, String> {
@@ -124,6 +151,20 @@ fn main() -> ExitCode {
     }
     let outcome = compare(&baselines, &currents, &args.thresholds, args.slowdown);
     print!("{}", outcome.render());
+    if args.update_baselines {
+        match refresh_baselines(&args.baseline, &args.current) {
+            Ok(copied) => {
+                for name in &copied {
+                    println!("refreshed {name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if outcome.passed() {
         ExitCode::SUCCESS
     } else {

@@ -16,7 +16,8 @@
 use crate::model::{Instance, Realizations};
 use crate::outcome::{OfflineAlgorithm, OffloadOutcome};
 use crate::placement::TaskPlacement;
-use crate::slotlp::{FractionalAssignment, SlotLp, Truncation};
+use crate::slotlp::{FractionalAssignment, SlotLp, SlotLpSolver, Truncation};
+use mec_lp::SolverKind;
 use mec_sim::Metrics;
 use mec_topology::station::StationId;
 use mec_topology::units::{total_cmp, Compute};
@@ -245,6 +246,7 @@ pub(crate) fn residual_fill(
 pub struct Appro {
     seed: u64,
     rounds: usize,
+    solver: SolverKind,
 }
 
 /// Default number of backfill rounds.
@@ -256,6 +258,7 @@ impl Appro {
         Self {
             seed,
             rounds: DEFAULT_ROUNDS,
+            solver: SolverKind::default(),
         }
     }
 
@@ -269,6 +272,14 @@ impl Appro {
     pub fn rounds(mut self, rounds: usize) -> Self {
         assert!(rounds >= 1, "need at least one rounding round");
         self.rounds = rounds;
+        self
+    }
+
+    /// Picks which simplex solves the LP relaxation (the dense tableau is
+    /// the correctness oracle; the revised solver is the default).
+    #[must_use]
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
         self
     }
 }
@@ -287,7 +298,9 @@ impl OfflineAlgorithm for Appro {
         let n = instance.request_count();
         let subset: Vec<usize> = (0..n).collect();
         let lp = SlotLp::build(instance, &subset, Truncation::Standard);
-        let frac = lp.solve(n).map_err(|e| format!("LP solve failed: {e}"))?;
+        let frac = SlotLpSolver::new(self.solver)
+            .solve(&lp, n)
+            .map_err(|e| format!("LP solve failed: {e}"))?;
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xA55A_5AA5);
         let mut state = AdmissionState::new(instance);

@@ -20,7 +20,8 @@ use crate::appro::{
 };
 use crate::model::{Instance, Realizations};
 use crate::outcome::{OfflineAlgorithm, OffloadOutcome};
-use crate::slotlp::{SlotLp, Truncation};
+use crate::slotlp::{SlotLp, SlotLpSolver, Truncation};
+use mec_lp::SolverKind;
 use mec_topology::station::StationId;
 use mec_topology::units::total_cmp;
 use rand::SeedableRng;
@@ -36,6 +37,7 @@ use std::time::Instant;
 pub struct Heu {
     seed: u64,
     rounds: usize,
+    solver: SolverKind,
 }
 
 impl Heu {
@@ -44,6 +46,7 @@ impl Heu {
         Self {
             seed,
             rounds: DEFAULT_ROUNDS,
+            solver: SolverKind::default(),
         }
     }
 
@@ -57,6 +60,49 @@ impl Heu {
         assert!(rounds >= 1, "need at least one rounding round");
         self.rounds = rounds;
         self
+    }
+
+    /// Picks which simplex solves the LP relaxation (the dense tableau is
+    /// the correctness oracle; the revised solver is the default).
+    #[must_use]
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+}
+
+/// Per-solve memo of each station's migration targets, nearest first by
+/// backhaul delay. Topology delays are fixed for a solve, but the
+/// migration repair re-ranks them for every overflow; with `S` stations
+/// the first lookup pays the `O(S log S)` sort and the rest are free.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NearestTargets {
+    by_station: Vec<Option<Vec<StationId>>>,
+}
+
+impl NearestTargets {
+    pub(crate) fn new(station_count: usize) -> Self {
+        Self {
+            by_station: vec![None; station_count],
+        }
+    }
+
+    /// The other stations ordered nearest-first from `station`.
+    pub(crate) fn ordered(&mut self, instance: &Instance, station: StationId) -> &[StationId] {
+        self.by_station[station.index()].get_or_insert_with(|| {
+            let mut targets: Vec<StationId> = instance
+                .topo()
+                .station_ids()
+                .filter(|&s| s != station)
+                .collect();
+            targets.sort_by(|&a, &b| {
+                total_cmp(
+                    &instance.paths().delay(station, a),
+                    &instance.paths().delay(station, b),
+                )
+            });
+            targets
+        })
     }
 }
 
@@ -72,6 +118,7 @@ pub(crate) fn migrate_one_task(
     realized: &Realizations,
     state: &mut AdmissionState,
     station: StationId,
+    nearest: &mut NearestTargets,
 ) -> bool {
     // Victim: admitted here, largest realized rate, not yet migrated
     // (one migration per request keeps Theorem 2's feasibility argument).
@@ -112,18 +159,9 @@ pub(crate) fn migrate_one_task(
     let demand = instance.demand_of(realized.outcome(j).rate);
     let task_demand = demand * (task.complexity() / total_complexity);
 
-    // Candidate targets: nearest first by backhaul delay from `station`.
-    let mut targets: Vec<StationId> = instance
-        .topo()
-        .station_ids()
-        .filter(|&s| s != station)
-        .collect();
-    targets.sort_by(|&a, &b| {
-        total_cmp(
-            &instance.paths().delay(station, a),
-            &instance.paths().delay(station, b),
-        )
-    });
+    // Candidate targets: nearest first by backhaul delay from `station`
+    // (memoized per solve — the ranking never changes within one).
+    let targets = nearest.ordered(instance, station).to_vec();
 
     let placement = state.placements[j]
         .clone()
@@ -164,10 +202,13 @@ impl OfflineAlgorithm for Heu {
         let n = instance.request_count();
         let subset: Vec<usize> = (0..n).collect();
         let lp = SlotLp::build(instance, &subset, Truncation::Standard);
-        let frac = lp.solve(n).map_err(|e| format!("LP solve failed: {e}"))?;
+        let frac = SlotLpSolver::new(self.solver)
+            .solve(&lp, n)
+            .map_err(|e| format!("LP solve failed: {e}"))?;
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5EED_BEEF);
         let mut state = AdmissionState::new(instance);
+        let mut nearest = NearestTargets::new(instance.topo().station_count());
         {
             mec_obs::prof_scope!("heu.rounding");
             for _ in 0..self.rounds {
@@ -195,7 +236,13 @@ impl OfflineAlgorithm for Heu {
                                 state.admit(instance, realized, j, station);
                             } else if mec_obs::prof_span!(
                                 "heu.migrate",
-                                migrate_one_task(instance, realized, &mut state, station)
+                                migrate_one_task(
+                                    instance,
+                                    realized,
+                                    &mut state,
+                                    station,
+                                    &mut nearest
+                                )
                             ) && state.occupied[station.index()].as_mhz()
                                 <= prefix.as_mhz() + 1e-9
                             {
@@ -254,7 +301,14 @@ mod tests {
         assert!((state.occupied[0].as_mhz() - demand).abs() < 1e-9);
         assert!(state.placements[0].as_ref().unwrap().is_consolidated());
 
-        assert!(migrate_one_task(&inst, &realized, &mut state, 0.into()));
+        let mut nearest = NearestTargets::new(inst.topo().station_count());
+        assert!(migrate_one_task(
+            &inst,
+            &realized,
+            &mut state,
+            0.into(),
+            &mut nearest
+        ));
 
         // Reference pipeline: render has complexity 2.0 of Σ 5.5.
         let task_share = demand * (2.0 / 5.5);
@@ -265,7 +319,13 @@ mod tests {
         assert_eq!(placement.station_of(0), StationId(1)); // render moved
                                                            // A second migration of the same request is refused (one per
                                                            // request keeps Theorem 2's argument).
-        assert!(!migrate_one_task(&inst, &realized, &mut state, 0.into()));
+        assert!(!migrate_one_task(
+            &inst,
+            &realized,
+            &mut state,
+            0.into(),
+            &mut nearest
+        ));
     }
 
     #[test]

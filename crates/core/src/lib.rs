@@ -54,7 +54,9 @@ pub use baselines::{Greedy, HeuKkt, Ocorp};
 pub use exact::Exact;
 pub use heu::Heu;
 pub use hindsight::hindsight_bound;
+pub use mec_lp::SolverKind;
 pub use model::{Instance, InstanceParams, Realizations};
 pub use online::{DynamicRr, DynamicRrConfig, Learner, OnlineGreedy, OnlineHeuKkt, OnlineOcorp};
 pub use outcome::{OfflineAlgorithm, OffloadOutcome};
 pub use placement::TaskPlacement;
+pub use slotlp::{SlotLpSolver, SolverStats};

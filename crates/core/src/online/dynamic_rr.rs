@@ -27,11 +27,12 @@
 
 use crate::model::Instance;
 use crate::online::{startable_at, useful_compute, SlotCapacity};
-use crate::slotlp::{SlotLp, Truncation};
+use crate::slotlp::{SlotLp, SlotLpSolver, SolverStats, Truncation};
 use mec_bandit::{
     ArmId, BanditPolicy, ConfidenceSchedule, DiscountedUcb, EpsilonGreedy, LipschitzDomain,
     SuccessiveElimination, ThompsonBeta, Ucb1,
 };
+use mec_lp::SolverKind;
 use mec_sim::{Allocation, SlotContext, SlotPolicy};
 use mec_topology::station::StationId;
 use mec_topology::units::{total_cmp, Compute};
@@ -141,6 +142,12 @@ pub struct DynamicRrConfig {
     pub use_lp: bool,
     /// Which bandit learns the threshold (ablation hook).
     pub learner: Learner,
+    /// Which simplex solves LP-PT (`use_lp` mode only).
+    #[serde(default)]
+    pub solver: SolverKind,
+    /// Carry the optimal basis across slots (`use_lp` + revised only).
+    #[serde(default)]
+    pub warm_start: bool,
 }
 
 impl Default for DynamicRrConfig {
@@ -152,6 +159,8 @@ impl Default for DynamicRrConfig {
             horizon_hint: 400,
             use_lp: false,
             learner: Learner::SuccessiveElimination,
+            solver: SolverKind::default(),
+            warm_start: true,
         }
     }
 }
@@ -170,6 +179,8 @@ pub struct DynamicRr {
     cum_reward: f64,
     /// Instance copy for the LP-PT mode (`None` in fast mode).
     lp_instance: Option<Instance>,
+    /// Persistent slot-LP solver carrying the warm-start cache.
+    lp_solver: SlotLpSolver,
 }
 
 impl DynamicRr {
@@ -185,6 +196,7 @@ impl DynamicRr {
             config.kappa,
         );
         let policy = LearnerPolicy::new(config.learner, config.kappa, config.horizon_hint);
+        let lp_solver = SlotLpSolver::new(config.solver).warm_start(config.warm_start);
         Self {
             config,
             domain,
@@ -193,6 +205,7 @@ impl DynamicRr {
             max_slot_reward: 0.0,
             cum_reward: 0.0,
             lp_instance: None,
+            lp_solver,
         }
     }
 
@@ -213,6 +226,11 @@ impl DynamicRr {
     /// learners never eliminate, so they report the full arm count).
     pub fn active_arms(&self) -> usize {
         self.policy.active_count()
+    }
+
+    /// Slot-LP solver counters (all zero outside `use_lp` mode).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.lp_solver.stats()
     }
 
     /// Line 10-11: admit sorted-by-expected-rate requests while the
@@ -287,7 +305,7 @@ impl DynamicRr {
     /// Faithful assignment: running jobs stay on their first-service
     /// station; the **LP-PT** relaxation routes the still-waiting part of
     /// the admitted set; everything is then water-filled per station.
-    fn assign_lp(&self, ctx: &SlotContext<'_>, admitted: &[usize]) -> Vec<Allocation> {
+    fn assign_lp(&mut self, ctx: &SlotContext<'_>, admitted: &[usize]) -> Vec<Allocation> {
         let Some(instance) = &self.lp_instance else {
             return self.assign_fast(ctx, admitted);
         };
@@ -310,7 +328,7 @@ impl DynamicRr {
                     active: admitted.len().max(1),
                 },
             );
-            lp.solve(subset.len()).ok()
+            self.lp_solver.solve(&lp, subset.len()).ok()
         };
         for (local, &i) in waiting.iter().enumerate() {
             let view = &ctx.views[i];

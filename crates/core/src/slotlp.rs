@@ -15,10 +15,15 @@
 //! per-slot contention.
 
 use crate::model::Instance;
-use mec_lp::{Cmp, LpError, Problem, Sense, VarId};
+use mec_lp::revised;
+use mec_lp::{
+    BasisCol, BasisSnapshot, Cmp, LpError, Problem, RevisedConfig, Sense, Solution, SolverKind,
+    VarId, WarmOutcome,
+};
 use mec_topology::station::StationId;
 use mec_topology::units::DataRate;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 
 /// Which truncation Constraint (10)/(23) applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,11 +49,42 @@ pub struct SlotVar {
     pub slot: usize,
 }
 
+/// Identity of a `y_{jil}` variable that is stable **across slots**: it
+/// names the request globally (instance index, not subset position), so a
+/// basis learned on slot `t`'s subset can be re-aimed at slot `t+1`'s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VarKey {
+    /// Global request index into [`Instance::requests`].
+    pub request: usize,
+    /// Station `i`.
+    pub station: StationId,
+    /// 1-based starting resource slot `l`.
+    pub slot: usize,
+}
+
+/// Identity of an LP row that is stable across slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowKey {
+    /// Constraint (9) for a request, named globally.
+    Start(usize),
+    /// Constraint (10)/(23) for a station's slot prefix `l`.
+    Prefix(StationId, usize),
+}
+
+/// A basis member remembered by stable identity rather than position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyCol {
+    Var(VarKey),
+    Slack(RowKey),
+}
+
 /// A built slot-indexed LP, ready to solve.
 #[derive(Debug, Clone)]
 pub struct SlotLp {
     problem: Problem,
     vars: Vec<(SlotVar, VarId)>,
+    var_keys: Vec<VarKey>,
+    row_keys: Vec<RowKey>,
 }
 
 /// The fractional solution `y`, grouped per request.
@@ -96,6 +132,8 @@ impl SlotLp {
         mec_obs::prof_scope!("slotlp.build");
         let mut problem = Problem::new(Sense::Maximize);
         let mut vars: Vec<(SlotVar, VarId)> = Vec::new();
+        let mut var_keys: Vec<VarKey> = Vec::new();
+        let mut row_keys: Vec<RowKey> = Vec::new();
         let c_unit = instance.params().c_unit;
         let slot_cap = instance.params().slot_capacity;
 
@@ -117,12 +155,17 @@ impl SlotLp {
                         },
                         var,
                     ));
+                    var_keys.push(VarKey {
+                        request: j,
+                        station,
+                        slot: l.get(),
+                    });
                 }
             }
         }
 
         // Constraint (9): each request starts at most once.
-        for local_j in 0..subset.len() {
+        for (local_j, &j) in subset.iter().enumerate() {
             let coeffs: Vec<(VarId, f64)> = vars
                 .iter()
                 .filter(|(sv, _)| sv.request == local_j)
@@ -130,6 +173,7 @@ impl SlotLp {
                 .collect();
             if !coeffs.is_empty() {
                 problem.add_constraint(coeffs, Cmp::Le, 1.0);
+                row_keys.push(RowKey::Start(j));
             }
         }
 
@@ -170,11 +214,17 @@ impl SlotLp {
                 }
                 if !coeffs.is_empty() {
                     problem.add_constraint(coeffs, Cmp::Le, 2.0 * prefix_rate.as_mbps());
+                    row_keys.push(RowKey::Prefix(station, l.get()));
                 }
             }
         }
 
-        Self { problem, vars }
+        Self {
+            problem,
+            vars,
+            var_keys,
+            row_keys,
+        }
     }
 
     /// Number of `y` variables.
@@ -187,7 +237,9 @@ impl SlotLp {
         &self.problem
     }
 
-    /// Solves the relaxation.
+    /// Solves the relaxation with the default solver (a cold revised
+    /// simplex; the dense tableau remains reachable via
+    /// [`SlotLpSolver`] with [`SolverKind::Dense`]).
     ///
     /// # Errors
     ///
@@ -196,9 +248,20 @@ impl SlotLp {
     pub fn solve(&self, subset_len: usize) -> Result<FractionalAssignment, LpError> {
         mec_obs::prof_scope!("slotlp.solve");
         let pivots_before = mec_lp::pivots_performed();
-        let sol = self.problem.solve();
+        let sol = match revised::solve(&self.problem, &RevisedConfig::default()) {
+            Ok(sol) => Ok(sol),
+            // The slot LP is always feasible and bounded, so a revised
+            // failure is numerical; the dense tableau is the fallback
+            // oracle.
+            Err(LpError::IterationLimit) => self.problem.solve(),
+            Err(e) => Err(e),
+        };
         mec_obs::prof_count!("simplex_pivots", mec_lp::pivots_performed() - pivots_before);
-        let sol = sol?;
+        Ok(self.extract(&sol?, subset_len))
+    }
+
+    /// Reads the fractional assignment out of a raw LP solution.
+    fn extract(&self, sol: &Solution, subset_len: usize) -> FractionalAssignment {
         let mut per_request = vec![Vec::new(); subset_len];
         for &(sv, v) in &self.vars {
             let y = sol.value(v);
@@ -206,10 +269,208 @@ impl SlotLp {
                 per_request[sv.request].push((sv.station, sv.slot, y));
             }
         }
-        Ok(FractionalAssignment {
+        FractionalAssignment {
             per_request,
             objective: sol.objective(),
-        })
+        }
+    }
+}
+
+/// Counters describing how a [`SlotLpSolver`]'s solves actually ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Total solves issued.
+    pub solves: u64,
+    /// Solves that started from a previous slot's basis.
+    pub warm_hits: u64,
+    /// Solves where a cached basis was offered but rejected as stale.
+    pub warm_fallbacks: u64,
+    /// Solves with no usable cache (first slot, resets, dense kind).
+    pub cold_starts: u64,
+}
+
+/// A persistent slot-LP solver that carries the optimal basis from one
+/// slot's LP to the next.
+///
+/// Successive per-slot LPs differ only by arrival/expiry deltas: a few
+/// request columns and start-once rows appear or vanish while the station
+/// prefix rows persist. The solver snapshots the optimal basis after each
+/// solve, keyed by [`VarKey`]/[`RowKey`] identity rather than position,
+/// and re-aims it at the next LP's layout. Departed members degrade to the
+/// owning row's slack (the cold choice for that row), so a mostly-shared
+/// basis warm-starts phase 2 directly and the simplex only repairs the
+/// delta. Any stale snapshot falls back to a cold start — warm-starting
+/// is a latency optimization, never a correctness risk.
+#[derive(Debug, Clone)]
+pub struct SlotLpSolver {
+    kind: SolverKind,
+    warm_enabled: bool,
+    warm: Option<Vec<(RowKey, KeyCol)>>,
+    stats: SolverStats,
+}
+
+impl SlotLpSolver {
+    /// Creates a solver of the given kind with warm-starting enabled.
+    pub fn new(kind: SolverKind) -> Self {
+        Self {
+            kind,
+            warm_enabled: true,
+            warm: None,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Enables or disables the cross-slot warm-start cache (revised only;
+    /// the dense tableau always starts cold).
+    #[must_use]
+    pub fn warm_start(mut self, enabled: bool) -> Self {
+        self.warm_enabled = enabled;
+        if !enabled {
+            self.warm = None;
+        }
+        self
+    }
+
+    /// Which simplex this solver drives.
+    pub fn kind(&self) -> SolverKind {
+        self.kind
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Drops the cached basis (e.g. on an instance swap).
+    pub fn reset(&mut self) {
+        self.warm = None;
+    }
+
+    /// Solves `lp`, warm-starting from the previous solve when possible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LpError`] exactly like [`SlotLp::solve`].
+    pub fn solve(
+        &mut self,
+        lp: &SlotLp,
+        subset_len: usize,
+    ) -> Result<FractionalAssignment, LpError> {
+        mec_obs::prof_scope!("slotlp.solve");
+        self.stats.solves += 1;
+        let pivots_before = mec_lp::pivots_performed();
+        let result = self.solve_inner(lp, subset_len);
+        mec_obs::prof_count!("simplex_pivots", mec_lp::pivots_performed() - pivots_before);
+        result
+    }
+
+    fn solve_inner(
+        &mut self,
+        lp: &SlotLp,
+        subset_len: usize,
+    ) -> Result<FractionalAssignment, LpError> {
+        if self.kind == SolverKind::Dense {
+            self.stats.cold_starts += 1;
+            let sol = lp.problem.solve()?;
+            return Ok(lp.extract(&sol, subset_len));
+        }
+
+        let config = RevisedConfig::default();
+        let snapshot = if self.warm_enabled {
+            self.translate(lp)
+        } else {
+            None
+        };
+        match revised::solve_with_basis(&lp.problem, &config, snapshot.as_ref()) {
+            Ok((sol, basis, outcome)) => {
+                match outcome {
+                    WarmOutcome::Warm => {
+                        // Belt and suspenders: a warm solve that drifted
+                        // off the feasible region restarts cold.
+                        if !lp.problem.is_feasible(sol.values(), 1e-6) {
+                            self.warm = None;
+                            self.stats.warm_fallbacks += 1;
+                            return self.solve_inner(lp, subset_len);
+                        }
+                        self.stats.warm_hits += 1;
+                    }
+                    WarmOutcome::FellBack => self.stats.warm_fallbacks += 1,
+                    WarmOutcome::Cold => self.stats.cold_starts += 1,
+                }
+                self.remember(lp, &basis);
+                Ok(lp.extract(&sol, subset_len))
+            }
+            // Numerical breakdown: drop the cache and use the dense oracle.
+            Err(LpError::IterationLimit) => {
+                self.warm = None;
+                self.stats.cold_starts += 1;
+                let sol = lp.problem.solve()?;
+                Ok(lp.extract(&sol, subset_len))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Re-aims the cached basis at `lp`'s row/column layout.
+    fn translate(&self, lp: &SlotLp) -> Option<BasisSnapshot> {
+        let cache = self.warm.as_ref()?;
+        if lp.row_keys.is_empty() {
+            return None;
+        }
+        let cached: HashMap<RowKey, KeyCol> = cache.iter().copied().collect();
+        let var_index: HashMap<VarKey, usize> = lp
+            .var_keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i))
+            .collect();
+        let row_index: HashMap<RowKey, usize> = lp
+            .row_keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i))
+            .collect();
+        let mut cols: Vec<BasisCol> = Vec::with_capacity(lp.row_keys.len());
+        for (r, rk) in lp.row_keys.iter().enumerate() {
+            let carried = match cached.get(rk) {
+                Some(KeyCol::Var(vk)) => var_index.get(vk).map(|&v| BasisCol::Structural(v)),
+                Some(KeyCol::Slack(srk)) => row_index.get(srk).map(|&i| BasisCol::Slack(i)),
+                None => None,
+            };
+            // A row with no surviving basis member starts on its own slack
+            // — exactly what a cold basis would assign it.
+            cols.push(carried.unwrap_or(BasisCol::Slack(r)));
+        }
+        // Column deltas can collapse two rows onto one column (e.g. both
+        // inherit the same survivor). Later claimants degrade to their own
+        // slack; if even that is taken the duplicate stays — the installer
+        // dedups and unit-fills, so a clash only weakens the hint.
+        let mut used: HashSet<BasisCol> = HashSet::with_capacity(cols.len());
+        for (r, c) in cols.iter_mut().enumerate() {
+            if !used.insert(*c) {
+                let own = BasisCol::Slack(r);
+                if used.insert(own) {
+                    *c = own;
+                }
+            }
+        }
+        Some(BasisSnapshot { cols })
+    }
+
+    /// Stores the optimal basis keyed by stable identities.
+    fn remember(&mut self, lp: &SlotLp, basis: &BasisSnapshot) {
+        let mut keyed = Vec::with_capacity(basis.cols.len());
+        for (r, &col) in basis.cols.iter().enumerate() {
+            let key = match col {
+                BasisCol::Structural(v) => KeyCol::Var(lp.var_keys[v]),
+                BasisCol::Slack(row) => KeyCol::Slack(lp.row_keys[row]),
+                // The slot LP is all-`≤`, so these blocks are empty; treat
+                // defensively as the row's own slack.
+                BasisCol::Surplus(_) | BasisCol::Artificial(_) => KeyCol::Slack(lp.row_keys[r]),
+            };
+            keyed.push((lp.row_keys[r], key));
+        }
+        self.warm = Some(keyed);
     }
 }
 
@@ -286,6 +547,87 @@ mod tests {
         let frac = lp.solve(0).unwrap();
         assert_eq!(frac.objective(), 0.0);
         assert_eq!(frac.request_count(), 0);
+    }
+
+    #[test]
+    fn solver_kinds_agree_on_objective() {
+        let inst = instance(15, 4);
+        let subset: Vec<usize> = (0..15).collect();
+        let lp = SlotLp::build(&inst, &subset, Truncation::Standard);
+        let dense = SlotLpSolver::new(SolverKind::Dense).solve(&lp, 15).unwrap();
+        let revised = SlotLpSolver::new(SolverKind::Revised)
+            .solve(&lp, 15)
+            .unwrap();
+        assert!(
+            (dense.objective() - revised.objective()).abs() < 1e-6,
+            "dense {} vs revised {}",
+            dense.objective(),
+            revised.objective()
+        );
+    }
+
+    #[test]
+    fn warm_cache_carries_across_sliding_subsets() {
+        // A sliding window over the request population mimics the per-slot
+        // arrival/expiry deltas DynamicRR produces.
+        let inst = instance(30, 4);
+        let mut warm = SlotLpSolver::new(SolverKind::Revised);
+        let mut cold = SlotLpSolver::new(SolverKind::Revised).warm_start(false);
+        for start in 0..12 {
+            let subset: Vec<usize> = (start..start + 14).collect();
+            let lp = SlotLp::build(&inst, &subset, Truncation::Standard);
+            let a = warm.solve(&lp, subset.len()).unwrap();
+            let b = cold.solve(&lp, subset.len()).unwrap();
+            assert!(
+                (a.objective() - b.objective()).abs() < 1e-6,
+                "slot {start}: warm {} vs cold {}",
+                a.objective(),
+                b.objective()
+            );
+        }
+        let stats = warm.stats();
+        assert_eq!(stats.solves, 12);
+        assert!(
+            stats.warm_hits >= 8,
+            "expected mostly warm starts, got {stats:?}"
+        );
+        assert_eq!(cold.stats().warm_hits, 0);
+    }
+
+    #[test]
+    fn warm_solver_survives_subset_shrink_and_growth() {
+        let inst = instance(25, 3);
+        let mut solver = SlotLpSolver::new(SolverKind::Revised);
+        for subset in [
+            (0..20).collect::<Vec<usize>>(),
+            (5..10).collect(),
+            vec![],
+            (0..25).collect(),
+        ] {
+            let lp = SlotLp::build(&inst, &subset, Truncation::Standard);
+            let got = solver.solve(&lp, subset.len()).unwrap();
+            let fresh = lp.solve(subset.len()).unwrap();
+            assert!(
+                (got.objective() - fresh.objective()).abs() < 1e-6,
+                "subset len {}: {} vs {}",
+                subset.len(),
+                got.objective(),
+                fresh.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_the_cache() {
+        let inst = instance(10, 3);
+        let subset: Vec<usize> = (0..10).collect();
+        let lp = SlotLp::build(&inst, &subset, Truncation::Standard);
+        let mut solver = SlotLpSolver::new(SolverKind::Revised);
+        solver.solve(&lp, 10).unwrap();
+        solver.reset();
+        solver.solve(&lp, 10).unwrap();
+        assert_eq!(solver.stats().warm_hits, 0);
+        assert_eq!(solver.stats().cold_starts, 2);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! `SolverKind` equivalence: the sparse revised simplex — cold or
+//! warm-started across slots — must be indistinguishable from the dense
+//! tableau oracle when it drives `DynamicRR`'s LP-PT mode. Same seed, same
+//! 200-slot run, same admitted requests, same `Metrics`.
+
+use mec_core::model::{Instance, InstanceParams};
+use mec_core::{DynamicRr, DynamicRrConfig, SolverKind};
+use mec_sim::{Engine, Metrics, SlotConfig};
+use mec_topology::TopologyBuilder;
+use mec_workload::{ArrivalProcess, WorkloadBuilder};
+
+const HORIZON: u64 = 200;
+
+fn run(solver: SolverKind, warm_start: bool) -> Metrics {
+    let topo = TopologyBuilder::new(5).seed(42).build();
+    let requests = WorkloadBuilder::new(&topo)
+        .seed(42)
+        .count(40)
+        .arrivals(ArrivalProcess::UniformOver {
+            horizon: HORIZON / 2,
+        })
+        .build();
+    let params = InstanceParams::default();
+    let paths = topo.shortest_paths();
+    let cfg = SlotConfig {
+        horizon: HORIZON,
+        c_unit: params.c_unit,
+        slot_ms: params.slot_ms,
+        seed: 42,
+        ..Default::default()
+    };
+    let instance = Instance::new(topo.clone(), requests.clone(), params);
+    let mut policy = DynamicRr::with_lp(
+        instance,
+        DynamicRrConfig {
+            horizon_hint: HORIZON,
+            solver,
+            warm_start,
+            ..Default::default()
+        },
+    );
+    let mut engine = Engine::new(&topo, &paths, requests, cfg);
+    engine.run(&mut policy).expect("run completes")
+}
+
+#[test]
+fn revised_warm_matches_dense_over_200_slots() {
+    let dense = run(SolverKind::Dense, false);
+    let warm = run(SolverKind::Revised, true);
+    assert_eq!(dense, warm, "warm revised diverged from the dense oracle");
+}
+
+#[test]
+fn warm_matches_cold_over_200_slots() {
+    let cold = run(SolverKind::Revised, false);
+    let warm = run(SolverKind::Revised, true);
+    assert_eq!(cold, warm, "warm-starting changed the run");
+}

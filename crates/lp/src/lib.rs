@@ -9,6 +9,10 @@
 //!   optional upper bounds),
 //! * a **two-phase dense primal simplex** ([`simplex`]) with Dantzig pricing
 //!   and a Bland anti-cycling fallback,
+//! * a **sparse revised simplex** ([`revised`]) over CSC columns
+//!   ([`sparse`]) with an eta-file basis inverse, periodic
+//!   refactorization, and warm starts from a [`BasisSnapshot`] — the fast
+//!   path for the slot-indexed LP; the dense tableau stays the oracle,
 //! * a **branch-and-bound** solver ([`branch_bound`]) for problems with
 //!   binary variables.
 //!
@@ -33,10 +37,13 @@
 
 pub mod branch_bound;
 pub mod problem;
+pub mod revised;
 pub mod simplex;
 pub mod solution;
+pub mod sparse;
 
 pub use branch_bound::{solve_binary, BranchBoundConfig};
 pub use problem::{Cmp, Problem, Sense, VarId};
+pub use revised::{BasisCol, BasisSnapshot, RevisedConfig, SolverKind, WarmOutcome};
 pub use simplex::pivots_performed;
 pub use solution::{LpError, Solution, Status};

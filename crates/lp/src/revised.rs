@@ -1,0 +1,1286 @@
+//! Two-phase **sparse revised simplex** with a product-form basis inverse
+//! and warm-start support.
+//!
+//! Where [`crate::simplex`] rebuilds and eliminates a dense `m × n` tableau
+//! on every pivot, this solver keeps the constraint matrix in CSC form
+//! ([`crate::sparse::CscMatrix`]) and represents the basis inverse as a
+//! refactorized dense seed `B₀⁻¹` composed with an *eta file* of rank-one
+//! pivot updates. Per iteration it runs one BTRAN (`O(m² + k·m)`), prices
+//! every nonbasic column against the sparse matrix (`O(nnz)`), and one
+//! FTRAN of the entering column — instead of the tableau's `O(m · n)` row
+//! elimination. On the slot-indexed LP (`m ≈ hundreds`, `n ≈ tens of
+//! thousands`, a handful of nonzeros per column) that is a
+//! couple-orders-of-magnitude cheaper pivot.
+//!
+//! The standard-form construction, phase structure, pricing rule, and
+//! tie-breaks deliberately mirror the dense solver so the two pivot
+//! identically and stay byte-comparable oracles for each other:
+//! `≤` rows get slacks, `≥` rows a surplus plus an artificial, `=` rows an
+//! artificial; rhs is normalized non-negative; Dantzig pricing picks the
+//! most negative reduced cost with the **lowest column index** on ties
+//! within `eps`, degrading to Bland's rule after `bland_after` pivots; the
+//! ratio test breaks ties toward the smallest basis index.
+//!
+//! Warm starts: [`solve_with_basis`] accepts a [`BasisSnapshot`] from a
+//! previous, structurally-similar problem. The snapshot is re-resolved
+//! against the new column layout, refactorized, and validated (unique
+//! columns, nonsingular, primal feasible, no loaded artificials); any
+//! failure falls back to a cold start, so a stale basis costs one
+//! factorization, never correctness.
+
+use crate::problem::{Cmp, Problem, Sense};
+use crate::simplex::note_pivot;
+use crate::solution::{LpError, Solution};
+use crate::sparse::{CscBuilder, CscMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Which simplex implementation a caller wants.
+///
+/// `Dense` is the original tableau solver — kept as the correctness
+/// oracle. `Revised` (the default) is this module's sparse solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Dense two-phase tableau simplex ([`crate::simplex`]).
+    Dense,
+    /// Sparse revised simplex with eta-file updates (this module).
+    #[default]
+    Revised,
+}
+
+impl std::str::FromStr for SolverKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "dense" => Ok(Self::Dense),
+            "revised" => Ok(Self::Revised),
+            other => Err(format!("unknown solver kind {other:?} (dense|revised)")),
+        }
+    }
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Dense => "dense",
+            Self::Revised => "revised",
+        })
+    }
+}
+
+/// Tuning knobs for the revised simplex.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RevisedConfig {
+    /// Hard cap on pivots per phase.
+    pub max_iterations: usize,
+    /// Pivot/zero tolerance.
+    pub eps: f64,
+    /// After this many pivots in a phase, switch from Dantzig to Bland's
+    /// anti-cycling rule.
+    pub bland_after: usize,
+    /// Refactorize `B₀⁻¹` (and drop the eta file) after this many etas.
+    /// Bounds both per-FTRAN work and accumulated drift.
+    pub refactor_every: usize,
+    /// Primal feasibility tolerance for accepting a warm basis.
+    pub feas_tol: f64,
+}
+
+impl Default for RevisedConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 50_000,
+            eps: 1e-9,
+            bland_after: 10_000,
+            refactor_every: 64,
+            feas_tol: 1e-7,
+        }
+    }
+}
+
+/// A basis member, named structurally so it survives re-indexing between
+/// two problems that share row/variable *identities* but not positions.
+///
+/// Row indices refer to the solver's internal row order: explicit
+/// constraints in insertion order, then upper-bound rows in variable order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BasisCol {
+    /// Decision variable by dense index.
+    Structural(usize),
+    /// The slack of a `≤` row.
+    Slack(usize),
+    /// The surplus of a `≥` row.
+    Surplus(usize),
+    /// The artificial of a `≥`/`=` row.
+    Artificial(usize),
+}
+
+/// The optimal basis of a solved problem — one [`BasisCol`] per internal
+/// row, in row order. Feed it back via [`solve_with_basis`] to warm-start
+/// a neighboring problem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasisSnapshot {
+    /// `cols[r]` is the basic column of row `r`.
+    pub cols: Vec<BasisCol>,
+}
+
+/// How a [`solve_with_basis`] call actually started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmOutcome {
+    /// No snapshot was offered; cold start.
+    Cold,
+    /// The snapshot validated and phase 1 was skipped.
+    Warm,
+    /// A snapshot was offered but failed validation; cold start.
+    FellBack,
+}
+
+/// Standard form shared by both phases: normalized rows and the full CSC
+/// matrix over structural + slack + surplus + artificial columns.
+struct StdForm {
+    n: usize,
+    m: usize,
+    art_start: usize,
+    n_total: usize,
+    csc: CscMatrix,
+    rhs: Vec<f64>,
+    negated: Vec<bool>,
+    init_basis: Vec<usize>,
+    slack_of_row: Vec<Option<usize>>,
+    surplus_of_row: Vec<Option<usize>>,
+    art_of_row: Vec<Option<usize>>,
+}
+
+impl StdForm {
+    fn build(problem: &Problem) -> Self {
+        let n = problem.var_count();
+
+        struct NormRow {
+            coeffs: Vec<(usize, f64)>,
+            cmp: Cmp,
+            rhs: f64,
+        }
+        let mut rows: Vec<NormRow> = problem
+            .rows_vec()
+            .iter()
+            .map(|r| NormRow {
+                coeffs: r.coeffs.clone(),
+                cmp: r.cmp,
+                rhs: r.rhs,
+            })
+            .collect();
+        for (i, ub) in problem.upper_bounds_vec().iter().enumerate() {
+            if let Some(u) = ub {
+                rows.push(NormRow {
+                    coeffs: vec![(i, 1.0)],
+                    cmp: Cmp::Le,
+                    rhs: *u,
+                });
+            }
+        }
+        let mut negated = vec![false; rows.len()];
+        for (r, row) in rows.iter_mut().enumerate() {
+            if row.rhs < 0.0 {
+                negated[r] = true;
+                row.rhs = -row.rhs;
+                for c in &mut row.coeffs {
+                    c.1 = -c.1;
+                }
+                row.cmp = match row.cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+        }
+
+        let m = rows.len();
+        let n_slack = rows.iter().filter(|r| r.cmp == Cmp::Le).count();
+        let n_surplus = rows.iter().filter(|r| r.cmp == Cmp::Ge).count();
+        let n_art = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+        let art_start = n + n_slack + n_surplus;
+        let n_total = art_start + n_art;
+
+        // Transpose the row-major coefficients into per-column entry lists.
+        let mut col_entries: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (r, row) in rows.iter().enumerate() {
+            for &(v, c) in &row.coeffs {
+                col_entries[v].push((r, c));
+            }
+        }
+        let nnz_hint = rows.iter().map(|r| r.coeffs.len()).sum::<usize>() + (n_total - n);
+        let mut csc = CscBuilder::new(m, nnz_hint);
+        for entries in &col_entries {
+            csc.push_column(entries);
+        }
+
+        let mut rhs = vec![0.0; m];
+        let mut init_basis = vec![0; m];
+        let mut slack_of_row = vec![None; m];
+        let mut surplus_of_row = vec![None; m];
+        let mut art_of_row = vec![None; m];
+        // Unit columns come after the structural block, grouped slack /
+        // surplus / artificial exactly like the dense solver.
+        let mut next_slack = n;
+        let mut next_surplus = n + n_slack;
+        let mut next_art = art_start;
+        for (r, row) in rows.iter().enumerate() {
+            rhs[r] = row.rhs;
+            match row.cmp {
+                Cmp::Le => {
+                    slack_of_row[r] = Some(next_slack);
+                    init_basis[r] = next_slack;
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    surplus_of_row[r] = Some(next_surplus);
+                    art_of_row[r] = Some(next_art);
+                    init_basis[r] = next_art;
+                    next_surplus += 1;
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    art_of_row[r] = Some(next_art);
+                    init_basis[r] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+        // Second sweep appends the unit columns in index order so the CSC
+        // column numbering matches the dense tableau's layout.
+        for (r, s) in slack_of_row.iter().enumerate() {
+            if s.is_some() {
+                csc.push_unit(r, 1.0);
+            }
+        }
+        for (r, s) in surplus_of_row.iter().enumerate() {
+            if s.is_some() {
+                csc.push_unit(r, -1.0);
+            }
+        }
+        for (r, a) in art_of_row.iter().enumerate() {
+            if a.is_some() {
+                csc.push_unit(r, 1.0);
+            }
+        }
+
+        Self {
+            n,
+            m,
+            art_start,
+            n_total,
+            csc: csc.finish(),
+            rhs,
+            negated,
+            init_basis,
+            slack_of_row,
+            surplus_of_row,
+            art_of_row,
+        }
+    }
+
+    /// Maps a structural [`BasisCol`] to this problem's column index.
+    fn resolve(&self, col: BasisCol) -> Option<usize> {
+        match col {
+            BasisCol::Structural(j) => (j < self.n).then_some(j),
+            BasisCol::Slack(r) => self.slack_of_row.get(r).copied().flatten(),
+            BasisCol::Surplus(r) => self.surplus_of_row.get(r).copied().flatten(),
+            BasisCol::Artificial(r) => self.art_of_row.get(r).copied().flatten(),
+        }
+    }
+
+    /// Inverse of [`StdForm::resolve`] for snapshot extraction.
+    fn unresolve(&self, col: usize) -> BasisCol {
+        if col < self.n {
+            return BasisCol::Structural(col);
+        }
+        for r in 0..self.m {
+            if self.slack_of_row[r] == Some(col) {
+                return BasisCol::Slack(r);
+            }
+            if self.surplus_of_row[r] == Some(col) {
+                return BasisCol::Surplus(r);
+            }
+            if self.art_of_row[r] == Some(col) {
+                return BasisCol::Artificial(r);
+            }
+        }
+        unreachable!("column {col} outside every block");
+    }
+}
+
+/// One product-form update: the basis inverse gains a left factor `E`
+/// equal to the identity with column `row` replaced by `col`.
+struct Eta {
+    row: usize,
+    col: Vec<f64>,
+}
+
+/// Revised simplex working state.
+struct Rsx {
+    std: StdForm,
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// Dense seed inverse `B₀⁻¹`, row-major `m × m`.
+    binv0: Vec<f64>,
+    etas: Vec<Eta>,
+    /// Current basic values `x_B = B⁻¹ b`, updated incrementally.
+    xb: Vec<f64>,
+}
+
+/// Inverts a dense row-major `m × m` matrix by Gauss-Jordan with partial
+/// pivoting. `Err(col)` reports the first column with no usable pivot —
+/// i.e. the (numerically) dependent basis position — so callers can
+/// repair it.
+fn invert(mut a: Vec<f64>, m: usize, eps: f64) -> Result<Vec<f64>, usize> {
+    let mut inv = vec![0.0; m * m];
+    for i in 0..m {
+        inv[i * m + i] = 1.0;
+    }
+    for col in 0..m {
+        let pivot_row = (col..m)
+            .max_by(|&p, &q| {
+                a[p * m + col]
+                    .abs()
+                    .partial_cmp(&a[q * m + col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty pivot range");
+        if a[pivot_row * m + col].abs() <= eps {
+            return Err(col);
+        }
+        if pivot_row != col {
+            for j in 0..m {
+                a.swap(col * m + j, pivot_row * m + j);
+                inv.swap(col * m + j, pivot_row * m + j);
+            }
+        }
+        let p = a[col * m + col];
+        let pinv = 1.0 / p;
+        for j in 0..m {
+            a[col * m + j] *= pinv;
+            inv[col * m + j] *= pinv;
+        }
+        for r in 0..m {
+            if r == col {
+                continue;
+            }
+            let f = a[r * m + col];
+            if f != 0.0 {
+                for j in 0..m {
+                    a[r * m + j] -= f * a[col * m + j];
+                    inv[r * m + j] -= f * inv[col * m + j];
+                }
+            }
+        }
+    }
+    Ok(inv)
+}
+
+impl Rsx {
+    /// Cold state: the all-slack/artificial basis is `B = I`.
+    fn cold(std: StdForm) -> Self {
+        let m = std.m;
+        let basis = std.init_basis.clone();
+        let mut in_basis = vec![false; std.n_total];
+        for &c in &basis {
+            in_basis[c] = true;
+        }
+        let mut binv0 = vec![0.0; m * m];
+        for i in 0..m {
+            binv0[i * m + i] = 1.0;
+        }
+        let xb = std.rhs.clone();
+        Self {
+            std,
+            basis,
+            in_basis,
+            binv0,
+            etas: Vec::new(),
+            xb,
+        }
+    }
+
+    /// Tries to install `cols` as a *rank-valid* starting basis of `std`;
+    /// `Err` returns the standard form so the caller can start cold.
+    ///
+    /// A snapshot carried across a column delta is a *hint*, not a valid
+    /// basis: surviving columns can have become linearly dependent (two
+    /// columns of one request at the same station differ by a prefix-row
+    /// unit, so a departed column's slack fallback completes a dependence
+    /// in practice), and the implied vertex can have drifted primal
+    /// infeasible.
+    ///
+    /// The cheap common case comes first: place each snapshot member
+    /// directly at the row it was paired with (an exact re-solve then
+    /// reproduces the basis verbatim), fill unresolved rows with their own
+    /// unit column, and factorize once — the factorization itself is the
+    /// rank check. A singular placement drops into the rank-revealing
+    /// [`Self::crash_install`] repair. Either way the returned basis may
+    /// be primal *infeasible* (negative basic values); the caller repairs
+    /// that with dual pivots ([`Self::dual_repair`]) or falls back cold.
+    // Err moves the StdForm back out so a fallback cold start reuses it
+    // instead of rebuilding — a move, never a copy.
+    #[allow(clippy::result_large_err)]
+    fn try_warm(std: StdForm, cols: &[BasisCol], config: &RevisedConfig) -> Result<Self, StdForm> {
+        let m = std.m;
+        if cols.len() != m || m == 0 {
+            return Err(std);
+        }
+        // Resolve snapshot members against the new layout, keeping the
+        // row each was paired with; duplicates collapse to one.
+        let mut candidates: Vec<(usize, usize)> = Vec::with_capacity(m);
+        let mut claimed = vec![false; std.n_total];
+        for (r, &bc) in cols.iter().enumerate() {
+            if let Some(c) = std.resolve(bc) {
+                if !claimed[c] {
+                    claimed[c] = true;
+                    candidates.push((c, r));
+                }
+            }
+        }
+
+        // Fast path: direct row-keyed placement, one factorization.
+        let mut basis = vec![usize::MAX; m];
+        for &(c, r) in &candidates {
+            basis[r] = c;
+        }
+        for (r, slot) in basis.iter_mut().enumerate() {
+            if *slot == usize::MAX {
+                let Some(unit) = Self::unit_fill(&std, r, &claimed) else {
+                    return Err(std);
+                };
+                claimed[unit] = true;
+                *slot = unit;
+            }
+        }
+        let mut b_mat = vec![0.0; m * m];
+        for (r, &c) in basis.iter().enumerate() {
+            for (i, v) in std.csc.column(c) {
+                b_mat[i * m + r] = v;
+            }
+        }
+        if let Ok(binv0) = invert(b_mat, m, config.eps) {
+            let mut xb = vec![0.0; m];
+            for i in 0..m {
+                let mut acc = 0.0;
+                for j in 0..m {
+                    acc += binv0[i * m + j] * std.rhs[j];
+                }
+                xb[i] = acc;
+            }
+            let mut in_basis = vec![false; std.n_total];
+            for &c in &basis {
+                in_basis[c] = true;
+            }
+            return Ok(Self {
+                std,
+                basis,
+                in_basis,
+                binv0,
+                etas: Vec::new(),
+                xb,
+            });
+        }
+        Self::crash_install(std, &candidates, config)
+    }
+
+    /// Rank-revealing crash repair for a snapshot the direct placement
+    /// could not install (dependent survivors).
+    ///
+    /// Greedily accepts candidate columns while they stay independent,
+    /// fills every unpivoted row with its own unit column, and
+    /// factorizes. A stray unit collision or a near-dependence the
+    /// crash's eps missed bans the offender and reruns; the ban set only
+    /// grows, so the loop cannot cycle. The returned basis is rank-valid
+    /// but — like the fast path — may be primal infeasible; feasibility
+    /// is the caller's dual-repair problem, not this installer's.
+    #[allow(clippy::result_large_err)] // same Err-returns-ownership contract as try_warm
+    fn crash_install(
+        std: StdForm,
+        candidates: &[(usize, usize)],
+        config: &RevisedConfig,
+    ) -> Result<Self, StdForm> {
+        let m = std.m;
+        let validated = (|| {
+            let mut excluded = vec![false; std.n_total];
+            'round: for _round in 0..16 {
+                // Greedy elimination: transformed copies of accepted
+                // columns, each owning one pivot row; dependent candidates
+                // are dropped.
+                let mut transformed: Vec<Vec<f64>> = Vec::with_capacity(m);
+                let mut pivot_row_of: Vec<usize> = Vec::with_capacity(m);
+                let mut accepted: Vec<usize> = Vec::with_capacity(m);
+                let mut row_pivoted = vec![false; m];
+                for &(c, snapshot_row) in candidates {
+                    if excluded[c] {
+                        continue;
+                    }
+                    let mut v = vec![0.0; m];
+                    std.csc.scatter_column(c, &mut v);
+                    for (t, &pr) in transformed.iter().zip(&pivot_row_of) {
+                        let f = v[pr] / t[pr];
+                        if f != 0.0 {
+                            for i in 0..m {
+                                v[i] -= f * t[i];
+                            }
+                        }
+                    }
+                    // Prefer the row the snapshot paired this column with;
+                    // otherwise the strongest unpivoted row.
+                    let preferred = (!row_pivoted[snapshot_row]
+                        && v[snapshot_row].abs() > config.eps)
+                        .then_some(snapshot_row);
+                    let best = preferred.or_else(|| {
+                        (0..m)
+                            .filter(|&i| !row_pivoted[i] && v[i].abs() > config.eps)
+                            .max_by(|&a, &b| {
+                                v[a].abs()
+                                    .partial_cmp(&v[b].abs())
+                                    .expect("finite eliminations")
+                            })
+                    });
+                    if let Some(pr) = best {
+                        row_pivoted[pr] = true;
+                        pivot_row_of.push(pr);
+                        transformed.push(v);
+                        accepted.push(c);
+                    }
+                    // else: dependent on earlier candidates — drop.
+                }
+
+                // Basis ordered by pivot row; unpivoted rows take their own
+                // unit column (the cold choice for that row). A fill unit
+                // already basic as a stray candidate gets banned instead,
+                // freeing it for its home row next round.
+                let mut basis = vec![usize::MAX; m];
+                for (&c, &pr) in accepted.iter().zip(&pivot_row_of) {
+                    basis[pr] = c;
+                }
+                let mut in_basis = vec![false; std.n_total];
+                for (r, slot) in basis.iter_mut().enumerate() {
+                    if *slot == usize::MAX {
+                        let unit = std.slack_of_row[r].or(std.art_of_row[r])?;
+                        if in_basis[unit] {
+                            excluded[unit] = true;
+                            continue 'round;
+                        }
+                        *slot = unit;
+                    }
+                    if in_basis[*slot] {
+                        excluded[*slot] = true;
+                        continue 'round;
+                    }
+                    in_basis[*slot] = true;
+                }
+
+                let mut b_mat = vec![0.0; m * m];
+                for (r, &c) in basis.iter().enumerate() {
+                    for (i, v) in std.csc.column(c) {
+                        b_mat[i * m + r] = v;
+                    }
+                }
+                let binv0 = match invert(b_mat, m, config.eps) {
+                    Ok(b) => b,
+                    Err(pos) => {
+                        // Near-dependence the crash's eps missed: ban the
+                        // offender and retry, unless it is already banned
+                        // (then the factorization is truly stuck).
+                        if excluded[basis[pos]] {
+                            return None;
+                        }
+                        excluded[basis[pos]] = true;
+                        continue 'round;
+                    }
+                };
+                let mut xb = vec![0.0; m];
+                for i in 0..m {
+                    let mut acc = 0.0;
+                    for j in 0..m {
+                        acc += binv0[i * m + j] * std.rhs[j];
+                    }
+                    xb[i] = acc;
+                }
+                return Some((basis, in_basis, binv0, xb));
+            }
+            None
+        })();
+        match validated {
+            Some((basis, in_basis, binv0, xb)) => Ok(Self {
+                std,
+                basis,
+                in_basis,
+                binv0,
+                etas: Vec::new(),
+                xb,
+            }),
+            None => Err(std),
+        }
+    }
+
+    /// The unit column (slack, else artificial) owning `row`, skipping any
+    /// already marked used.
+    fn unit_fill(std: &StdForm, row: usize, used: &[bool]) -> Option<usize> {
+        [std.slack_of_row[row], std.art_of_row[row]]
+            .into_iter()
+            .flatten()
+            .find(|&u| !used[u])
+    }
+
+    /// FTRAN: `B⁻¹ a_col` for a matrix column.
+    fn ftran_col(&self, col: usize) -> Vec<f64> {
+        let m = self.std.m;
+        let mut x = vec![0.0; m];
+        for (r, v) in self.std.csc.column(col) {
+            for (i, xi) in x.iter_mut().enumerate() {
+                *xi += self.binv0[i * m + r] * v;
+            }
+        }
+        for eta in &self.etas {
+            let t = x[eta.row];
+            if t != 0.0 {
+                for (xi, &ei) in x.iter_mut().zip(&eta.col) {
+                    *xi += ei * t;
+                }
+                // eta.col[row] holds 1/pivot, and the loop above added
+                // t·(1/pivot) on top of t itself; correct the pivot row.
+                x[eta.row] -= t;
+            }
+        }
+        x
+    }
+
+    /// BTRAN: `yᵀ = y₀ᵀ B⁻¹` for a dense row vector.
+    fn btran_vec(&self, mut y: Vec<f64>) -> Vec<f64> {
+        let m = self.std.m;
+        for eta in self.etas.iter().rev() {
+            let mut acc = 0.0;
+            for (&yi, &ei) in y.iter().zip(&eta.col) {
+                acc += yi * ei;
+            }
+            y[eta.row] = acc;
+        }
+        let mut z = vec![0.0; m];
+        for (i, &yi) in y.iter().enumerate() {
+            if yi != 0.0 {
+                let row = &self.binv0[i * m..(i + 1) * m];
+                for (zj, bij) in z.iter_mut().zip(row) {
+                    *zj += yi * bij;
+                }
+            }
+        }
+        z
+    }
+
+    /// The simplex multipliers `yᵀ = c_Bᵀ B⁻¹` for a phase cost vector.
+    fn multipliers(&self, cost: &[f64]) -> Vec<f64> {
+        let y0: Vec<f64> = self.basis.iter().map(|&c| cost[c]).collect();
+        self.btran_vec(y0)
+    }
+
+    /// Rebuilds `B₀⁻¹` from the current basis and clears the eta file.
+    fn refactor(&mut self, config: &RevisedConfig) -> Result<(), LpError> {
+        let m = self.std.m;
+        let mut b_mat = vec![0.0; m * m];
+        for (r, &c) in self.basis.iter().enumerate() {
+            for (i, v) in self.std.csc.column(c) {
+                b_mat[i * m + r] = v;
+            }
+        }
+        // A basis reached by valid pivots is nonsingular in exact
+        // arithmetic; a singular factorization here means the eta file
+        // drifted beyond repair.
+        let binv0 = invert(b_mat, m, config.eps).map_err(|_| LpError::IterationLimit)?;
+        self.binv0 = binv0;
+        self.etas.clear();
+        for i in 0..m {
+            let mut acc = 0.0;
+            for j in 0..m {
+                acc += self.binv0[i * m + j] * self.std.rhs[j];
+            }
+            self.xb[i] = acc;
+        }
+        Ok(())
+    }
+
+    /// One pivot: `col` enters at `row`; `d = B⁻¹ a_col` from the caller.
+    fn pivot(
+        &mut self,
+        row: usize,
+        col: usize,
+        d: &[f64],
+        config: &RevisedConfig,
+    ) -> Result<(), LpError> {
+        let m = self.std.m;
+        let dr = d[row];
+        debug_assert!(dr.abs() > 0.0, "zero pivot");
+        let t = self.xb[row] / dr;
+        for (i, (xi, &di)) in self.xb.iter_mut().zip(d).enumerate() {
+            if i != row {
+                *xi -= di * t;
+            }
+        }
+        self.xb[row] = t;
+        let mut col_vec = vec![0.0; m];
+        let inv = 1.0 / dr;
+        for (ci, &di) in col_vec.iter_mut().zip(d) {
+            *ci = -di * inv;
+        }
+        col_vec[row] = inv;
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[col] = true;
+        self.basis[row] = col;
+        self.etas.push(Eta { row, col: col_vec });
+        if self.etas.len() >= config.refactor_every {
+            self.refactor(config)?;
+        }
+        Ok(())
+    }
+
+    /// Runs pivots on a phase cost until optimal / unbounded / cap.
+    fn optimize(&mut self, cost: &[f64], config: &RevisedConfig) -> Result<(), LpError> {
+        let art_start = self.std.art_start;
+        let mut red = vec![0.0; art_start];
+        for iter in 0..config.max_iterations {
+            let bland = iter >= config.bland_after;
+            let y = self.multipliers(cost);
+            // Entering column: artificials never re-enter. Dantzig picks
+            // the most negative reduced cost, lowest index on ties within
+            // eps — the same deterministic rule as the dense tableau.
+            let mut entering: Option<usize> = None;
+            if bland {
+                for (j, &cj) in cost.iter().enumerate().take(art_start) {
+                    if self.in_basis[j] {
+                        continue;
+                    }
+                    if cj - self.std.csc.dot_column(&y, j) < -config.eps {
+                        entering = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                self.std.csc.price_into(&y, cost, &self.in_basis, &mut red);
+                let mut best = 0.0f64;
+                for &dj in &red {
+                    if dj < best {
+                        best = dj;
+                    }
+                }
+                if best < -config.eps {
+                    entering =
+                        (0..art_start).find(|&j| !self.in_basis[j] && red[j] <= best + config.eps);
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(()); // optimal
+            };
+            let d = self.ftran_col(col);
+            // Ratio test; ties toward the smallest basis index.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for (r, &dr) in d.iter().enumerate() {
+                if dr > config.eps {
+                    let ratio = self.xb[r] / dr;
+                    let better = ratio < best_ratio - config.eps
+                        || (ratio < best_ratio + config.eps
+                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(row) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col, &d, config)?;
+            note_pivot();
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// Basic artificial mass (the phase-1 objective at the current point).
+    fn artificial_mass(&self) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .filter(|&(&c, _)| c >= self.std.art_start)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Dual-simplex repair of primal infeasibility from a rank-valid warm
+    /// basis: while some basic value is negative, that row leaves and the
+    /// nonbasic column minimizing the dual ratio `max(d̄_j, 0) / −α_j`
+    /// (lowest index on ties) enters.
+    ///
+    /// A warm basis carried across a small problem delta stays (near)
+    /// dual feasible — it was optimal a moment ago — so a handful of dual
+    /// pivots walks it back into the feasible region far cheaper than a
+    /// cold phase 1. Because the start need not be exactly dual feasible
+    /// (arriving columns can price negative), reduced costs are clamped
+    /// at zero in the ratio and termination is not guaranteed; the pivot
+    /// budget bounds the attempt and `false` tells the caller to start
+    /// cold instead. Artificials never enter; they may leave.
+    fn dual_repair(&mut self, cost: &[f64], config: &RevisedConfig) -> bool {
+        let m = self.std.m;
+        let art_start = self.std.art_start;
+        let zeros = vec![0.0; art_start];
+        let mut red = vec![0.0; art_start];
+        let mut neg_alpha = vec![0.0; art_start];
+        let budget = (2 * m).max(64);
+        for _ in 0..budget {
+            // Leaving row: the most negative basic value.
+            let mut pos = None;
+            let mut most = -config.feas_tol;
+            for (r, &v) in self.xb.iter().enumerate() {
+                if v < most {
+                    most = v;
+                    pos = Some(r);
+                }
+            }
+            let Some(pos) = pos else {
+                return true; // primal feasible
+            };
+            let y = self.multipliers(cost);
+            self.std.csc.price_into(&y, cost, &self.in_basis, &mut red);
+            // Row `pos` of the tableau via one BTRAN; pricing the zero
+            // objective against it yields −α_j per nonbasic column.
+            let mut e = vec![0.0; m];
+            e[pos] = 1.0;
+            let beta = self.btran_vec(e);
+            self.std
+                .csc
+                .price_into(&beta, &zeros, &self.in_basis, &mut neg_alpha);
+            let mut best: Option<(usize, f64)> = None;
+            for (j, (&na, &dj)) in neg_alpha.iter().zip(&red).enumerate().take(art_start) {
+                if self.in_basis[j] || na <= config.eps {
+                    continue;
+                }
+                let ratio = dj.max(0.0) / na;
+                if best.is_none_or(|(_, b)| ratio < b - config.eps) {
+                    best = Some((j, ratio));
+                }
+            }
+            let Some((col, _)) = best else {
+                return false; // no dual step exists — give up, start cold
+            };
+            let d = self.ftran_col(col);
+            if d[pos] >= -config.eps || self.pivot(pos, col, &d, config).is_err() {
+                return false;
+            }
+            note_pivot();
+        }
+        false
+    }
+
+    /// Pivots degenerate basic artificials out where a usable column
+    /// exists; all-zero rows are redundant and stay harmlessly basic.
+    fn drive_out_artificials(&mut self, config: &RevisedConfig) -> Result<(), LpError> {
+        for r in 0..self.std.m {
+            if self.basis[r] < self.std.art_start {
+                continue;
+            }
+            // Row r of B⁻¹, then ρ_j = β · a_j is the tableau entry the
+            // dense solver scans; basic columns give exactly 0.
+            let mut e = vec![0.0; self.std.m];
+            e[r] = 1.0;
+            let beta = self.btran_vec(e);
+            let col = (0..self.std.art_start)
+                .find(|&j| self.std.csc.dot_column(&beta, j).abs() > config.eps);
+            if let Some(col) = col {
+                let d = self.ftran_col(col);
+                self.pivot(r, col, &d, config)?;
+                note_pivot();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves `problem` cold with the revised simplex.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`], [`LpError::Unbounded`] (in the problem's own
+/// sense), or [`LpError::IterationLimit`] (also on numerical breakdown).
+pub fn solve(problem: &Problem, config: &RevisedConfig) -> Result<Solution, LpError> {
+    solve_with_basis(problem, config, None).map(|(sol, _, _)| sol)
+}
+
+/// Solves `problem`, optionally warm-starting from a prior basis, and
+/// returns the solution together with the optimal basis snapshot and how
+/// the solve actually started.
+///
+/// # Errors
+///
+/// Same as [`solve`]. A rejected warm basis is not an error — the solver
+/// silently falls back to a cold start and reports
+/// [`WarmOutcome::FellBack`].
+pub fn solve_with_basis(
+    problem: &Problem,
+    config: &RevisedConfig,
+    warm: Option<&BasisSnapshot>,
+) -> Result<(Solution, BasisSnapshot, WarmOutcome), LpError> {
+    let std_form = StdForm::build(problem);
+    let n = std_form.n;
+    let n_total = std_form.n_total;
+    let n_art = n_total - std_form.art_start;
+
+    // Phase-2 cost up front — a warm basis is repaired against it.
+    let sign = match problem.sense() {
+        Sense::Maximize => -1.0,
+        Sense::Minimize => 1.0,
+    };
+    let mut c2 = vec![0.0; n_total];
+    for (j, &c) in problem.objective_vec().iter().enumerate() {
+        c2[j] = sign * c;
+    }
+
+    // A warm install is rank-valid but possibly primal infeasible; dual
+    // pivots walk it back into the feasible region. If that stalls, or
+    // an artificial still carries weight (the old point violates a
+    // `≥`/`=` row of the new problem), start cold instead.
+    let (mut rsx, outcome) = match warm {
+        Some(snap) => match Rsx::try_warm(std_form, &snap.cols, config) {
+            Ok(mut warm_rsx) => {
+                if warm_rsx.dual_repair(&c2, config)
+                    && warm_rsx.artificial_mass() <= config.feas_tol
+                {
+                    (warm_rsx, WarmOutcome::Warm)
+                } else {
+                    (Rsx::cold(StdForm::build(problem)), WarmOutcome::FellBack)
+                }
+            }
+            Err(std_form) => (Rsx::cold(std_form), WarmOutcome::FellBack),
+        },
+        None => (Rsx::cold(std_form), WarmOutcome::Cold),
+    };
+
+    // Phase 1 (cold starts with artificials only): minimize the artificial
+    // sum to reach a basic feasible point. A validated warm basis is
+    // already feasible with weightless artificials, so it skips straight
+    // to phase 2.
+    if outcome != WarmOutcome::Warm && n_art > 0 {
+        let mut c1 = vec![0.0; rsx.std.n_total];
+        for c in c1.iter_mut().skip(rsx.std.art_start) {
+            *c = 1.0;
+        }
+        rsx.optimize(&c1, config)?;
+        if rsx.artificial_mass() > config.feas_tol {
+            return Err(LpError::Infeasible);
+        }
+        rsx.drive_out_artificials(config)?;
+    }
+
+    // Phase 2: minimize the sense-adjusted objective.
+    rsx.optimize(&c2, config)?;
+
+    let mut x = vec![0.0; n];
+    for (r, &c) in rsx.basis.iter().enumerate() {
+        if c < n {
+            x[c] = rsx.xb[r].max(0.0);
+        }
+    }
+    let objective = problem.objective_at(&x);
+
+    // Duals: the final multipliers are the internal row prices; translate
+    // through the rhs-normalization flip and the sense flip, keeping only
+    // explicit constraint rows (upper-bound rows were appended last).
+    let y = rsx.multipliers(&c2);
+    let explicit = problem.constraint_count();
+    let mut duals = Vec::with_capacity(explicit);
+    for (r, &yi) in y.iter().enumerate().take(explicit) {
+        let unflip = if rsx.std.negated[r] { -1.0 } else { 1.0 };
+        duals.push(sign * yi * unflip);
+    }
+
+    let snapshot = BasisSnapshot {
+        cols: rsx.basis.iter().map(|&c| rsx.std.unresolve(c)).collect(),
+    };
+    Ok((Solution::with_duals(objective, x, duals), snapshot, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    fn cfg() -> RevisedConfig {
+        RevisedConfig::default()
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), z=36.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0);
+        let y = p.add_var(5.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        p.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = solve(&p, &cfg()).unwrap();
+        assert_close(s.objective(), 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(2.0);
+        let y = p.add_var(3.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 1.0);
+        let s = solve(&p, &cfg()).unwrap();
+        assert_close(s.objective(), 8.0);
+        assert_close(s.value(x), 4.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0);
+        p.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0);
+        let s = solve(&p, &cfg()).unwrap();
+        assert_close(s.objective(), 3.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(solve(&p, &cfg()).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0);
+        let y = p.add_var(0.0);
+        p.add_constraint(vec![(x, -1.0), (y, 1.0)], Cmp::Le, 1.0);
+        assert_eq!(solve(&p, &cfg()).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0);
+        let y = p.add_var(0.0);
+        p.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Le, -2.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 5.0);
+        let s = solve(&p, &cfg()).unwrap();
+        assert_close(s.objective(), 5.0);
+        assert!(s.value(y) >= 7.0 - 1e-6);
+    }
+
+    #[test]
+    fn upper_bounds_enforced() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0);
+        p.set_upper_bound(x, 0.5);
+        let s = solve(&p, &cfg()).unwrap();
+        assert_close(s.objective(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint(vec![(y, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint(vec![(x, 2.0), (y, 1.0)], Cmp::Le, 2.0);
+        let s = solve(&p, &cfg()).unwrap();
+        assert_close(s.objective(), 1.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0);
+        let y = p.add_var(2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        let s = solve(&p, &cfg()).unwrap();
+        assert_close(s.objective(), 4.0);
+        assert_close(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let p = Problem::new(Sense::Maximize);
+        let s = solve(&p, &cfg()).unwrap();
+        assert_close(s.objective(), 0.0);
+        assert!(s.values().is_empty());
+    }
+
+    #[test]
+    fn duals_match_dense() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0);
+        let y = p.add_var(5.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        p.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let dense = p.solve().unwrap();
+        let revised = solve(&p, &cfg()).unwrap();
+        assert_eq!(dense.duals().len(), revised.duals().len());
+        for (d, r) in dense.duals().iter().zip(revised.duals()) {
+            assert_close(*d, *r);
+        }
+    }
+
+    #[test]
+    fn frequent_refactorization_is_exact() {
+        // refactor_every = 1 discards the eta file after every pivot; the
+        // answer must not move.
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| p.add_var(1.0 + 0.25 * i as f64)).collect();
+        for k in 0..6 {
+            let coeffs = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, ((i + k) % 4) as f64 + 0.5))
+                .collect();
+            p.add_constraint(coeffs, Cmp::Le, 9.0 + k as f64);
+        }
+        let baseline = solve(&p, &cfg()).unwrap();
+        let eager = solve(
+            &p,
+            &RevisedConfig {
+                refactor_every: 1,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        assert_close(baseline.objective(), eager.objective());
+        assert!(p.is_feasible(eager.values(), 1e-6));
+    }
+
+    #[test]
+    fn warm_restart_from_own_basis_skips_to_optimal() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0);
+        let y = p.add_var(5.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        p.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let (cold, snap, how) = solve_with_basis(&p, &cfg(), None).unwrap();
+        assert_eq!(how, WarmOutcome::Cold);
+        let before = crate::pivots_performed();
+        let (warm, snap2, how2) = solve_with_basis(&p, &cfg(), Some(&snap)).unwrap();
+        assert_eq!(how2, WarmOutcome::Warm);
+        assert_eq!(
+            crate::pivots_performed(),
+            before,
+            "warm re-solve of the same problem must pivot zero times"
+        );
+        assert_close(cold.objective(), warm.objective());
+        assert_eq!(snap, snap2);
+    }
+
+    #[test]
+    fn warm_restart_tracks_perturbed_rhs() {
+        // Same structure, slightly different capacities: the old basis
+        // stays feasible and the warm solve lands on the right optimum.
+        let build = |cap: f64| {
+            let mut p = Problem::new(Sense::Maximize);
+            let x = p.add_var(3.0);
+            let y = p.add_var(5.0);
+            p.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+            p.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+            p.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, cap);
+            p
+        };
+        let (_, snap, _) = solve_with_basis(&build(18.0), &cfg(), None).unwrap();
+        let p2 = build(19.0);
+        let (warm, _, how) = solve_with_basis(&p2, &cfg(), Some(&snap)).unwrap();
+        assert_eq!(how, WarmOutcome::Warm);
+        let cold = solve(&p2, &cfg()).unwrap();
+        assert_close(warm.objective(), cold.objective());
+        assert!(p2.is_feasible(warm.values(), 1e-6));
+    }
+
+    #[test]
+    fn stale_warm_basis_falls_back_cold() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 2.0);
+        // Nonsense snapshot: wrong row count and duplicate columns.
+        let bad = BasisSnapshot {
+            cols: vec![BasisCol::Structural(7), BasisCol::Structural(7)],
+        };
+        let (sol, _, how) = solve_with_basis(&p, &cfg(), Some(&bad)).unwrap();
+        assert_eq!(how, WarmOutcome::FellBack);
+        assert_close(sol.objective(), 2.0);
+    }
+
+    #[test]
+    fn infeasible_warm_basis_falls_back_cold() {
+        // A basis whose B⁻¹b goes negative for the new rhs is rejected.
+        let build = |rhs: f64| {
+            let mut p = Problem::new(Sense::Maximize);
+            let x = p.add_var(1.0);
+            let y = p.add_var(2.0);
+            p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, rhs);
+            p.add_constraint(vec![(y, 1.0)], Cmp::Le, 3.0);
+            p
+        };
+        let (_, snap, _) = solve_with_basis(&build(5.0), &cfg(), None).unwrap();
+        // Shrink the shared row so the old vertex (y=3, slack=2) flips the
+        // slack negative.
+        let p2 = build(1.0);
+        let (sol, _, how) = solve_with_basis(&p2, &cfg(), Some(&snap)).unwrap();
+        assert!(matches!(how, WarmOutcome::FellBack | WarmOutcome::Warm));
+        let cold = solve(&p2, &cfg()).unwrap();
+        assert_close(sol.objective(), cold.objective());
+        assert!(p2.is_feasible(sol.values(), 1e-6));
+    }
+
+    #[test]
+    fn agrees_with_dense_on_a_grid_of_instances() {
+        for seed in 0..20u64 {
+            let mut p = Problem::new(Sense::Maximize);
+            let nv = 3 + (seed % 5) as usize;
+            let nc = 2 + (seed % 4) as usize;
+            let vars: Vec<_> = (0..nv)
+                .map(|i| p.add_var(((seed * 7 + i as u64 * 3) % 11) as f64 * 0.5))
+                .collect();
+            for k in 0..nc {
+                let coeffs: Vec<_> = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, ((seed as usize + i * k) % 4) as f64 + 0.5))
+                    .collect();
+                p.add_constraint(coeffs, Cmp::Le, 5.0 + (seed % 7) as f64);
+            }
+            let dense = p.solve().unwrap();
+            let revised = solve(&p, &cfg()).unwrap();
+            assert_close(dense.objective(), revised.objective());
+            assert!(p.is_feasible(revised.values(), 1e-6));
+        }
+    }
+
+    #[test]
+    fn solver_kind_parses_and_displays() {
+        assert_eq!("dense".parse::<SolverKind>().unwrap(), SolverKind::Dense);
+        assert_eq!(
+            "Revised".parse::<SolverKind>().unwrap(),
+            SolverKind::Revised
+        );
+        assert!("simplex".parse::<SolverKind>().is_err());
+        assert_eq!(SolverKind::default(), SolverKind::Revised);
+        assert_eq!(SolverKind::Dense.to_string(), "dense");
+    }
+}

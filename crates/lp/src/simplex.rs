@@ -127,19 +127,27 @@ impl Tableau {
     fn optimize(&mut self, config: &SimplexConfig) -> Result<(), LpError> {
         for iter in 0..config.max_iterations {
             let bland = iter >= config.bland_after;
-            // Entering column: artificials never re-enter.
-            let mut entering: Option<usize> = None;
-            let mut best = -config.eps;
-            for j in 0..self.art_start {
-                let cj = self.cost[j];
-                if cj < best {
-                    entering = Some(j);
-                    if bland {
-                        break; // Bland: first improving index.
+            // Entering column: artificials never re-enter. Dantzig takes
+            // the most negative reduced cost; costs within `eps` of it tie
+            // and the lowest index wins, so reruns — and the revised
+            // solver, which recomputes reduced costs from scratch — pivot
+            // identically.
+            let entering: Option<usize> = if bland {
+                // Bland: first improving index.
+                (0..self.art_start).find(|&j| self.cost[j] < -config.eps)
+            } else {
+                let mut best = 0.0f64;
+                for j in 0..self.art_start {
+                    if self.cost[j] < best {
+                        best = self.cost[j];
                     }
-                    best = cj;
                 }
-            }
+                if best < -config.eps {
+                    (0..self.art_start).find(|&j| self.cost[j] <= best + config.eps)
+                } else {
+                    None
+                }
+            };
             let Some(col) = entering else {
                 return Ok(()); // optimal
             };
@@ -178,7 +186,7 @@ thread_local! {
     static PIVOTS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
-fn note_pivot() {
+pub(crate) fn note_pivot() {
     PIVOTS.with(|c| c.set(c.get().wrapping_add(1)));
 }
 

@@ -20,6 +20,7 @@ struct Args {
     requests: usize,
     shards: usize,
     policy: String,
+    solver: mec_core::SolverKind,
     rps: f64,
     seed: u64,
     snapshot_every: u64,
@@ -49,6 +50,7 @@ impl Default for Args {
             requests: 100_000,
             shards: 4,
             policy: "DynamicRR".to_string(),
+            solver: mec_core::SolverKind::default(),
             rps: 2_000.0,
             seed: 0,
             snapshot_every: 100,
@@ -83,6 +85,8 @@ OPTIONS:
     --requests <N>        requests to generate [default: 100000]
     --shards <N>          shard worker threads [default: 4]
     --policy <NAME>       scheduling policy [default: DynamicRR]
+    --solver <KIND>       simplex backing the policy's LP solves:
+                          dense | revised [default: revised]
     --rps <F>             offered load, requests per second [default: 2000]
     --seed <N>            run seed (topology, workload, demand) [default: 0]
     --snapshot-every <N>  slots between JSON snapshots; 0 = none [default: 100]
@@ -135,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
             "--requests" => args.requests = parse(&value("--requests")?)?,
             "--shards" => args.shards = parse(&value("--shards")?)?,
             "--policy" => args.policy = value("--policy")?,
+            "--solver" => args.solver = parse(&value("--solver")?)?,
             "--rps" => args.rps = parse(&value("--rps")?)?,
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--snapshot-every" => args.snapshot_every = parse(&value("--snapshot-every")?)?,
@@ -318,6 +323,7 @@ fn main() -> ExitCode {
         queue_capacity: args.queue_capacity,
         snapshot_every: args.snapshot_every,
         policy: args.policy.clone(),
+        solver: args.solver,
         sim: mec_sim::SlotConfig {
             slot_ms: args.slot_ms,
             seed: args.seed,

@@ -114,6 +114,9 @@ pub struct ServeConfig {
     pub snapshot_every: u64,
     /// Scheduling policy name; see [`crate::POLICY_NAMES`].
     pub policy: String,
+    /// Which simplex backs the policy's LP solves (see
+    /// [`mec_core::SolverKind`]); `DynamicRR` is the only consumer today.
+    pub solver: mec_core::SolverKind,
     /// Slot parameters shared by every shard engine. The per-shard seed is
     /// derived from `sim.seed` and the shard index; `sim.horizon` is
     /// ignored (the serving loop owns the clock).
@@ -140,6 +143,7 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             snapshot_every: 100,
             policy: "DynamicRR".to_string(),
+            solver: mec_core::SolverKind::default(),
             sim: SlotConfig::default(),
             drain_slots: 1_000,
             clock: ClockMode::Virtual,
@@ -344,7 +348,7 @@ fn restart(
     detected_at: u64,
 ) -> Result<bool, ServeError> {
     let shard = sup.shard;
-    let policy = policy_from_name(&cfg.policy, horizon_hint)?;
+    let policy = policy_from_name(&cfg.policy, horizon_hint, cfg.solver)?;
     let journal = router.journal_since(shard, sup.base.next_slot);
     let spec = SpawnSpec {
         plan: sup.plan.clone(),
@@ -454,7 +458,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
         .into_iter()
         .map(|plan| {
             let shard = plan.shard;
-            let policy = policy_from_name(&cfg.policy, horizon_hint)?;
+            let policy = policy_from_name(&cfg.policy, horizon_hint, cfg.solver)?;
             let sim = SlotConfig {
                 seed: shard_seed(cfg.sim.seed, shard),
                 horizon: horizon_hint,

@@ -465,7 +465,7 @@ mod tests {
         let topo = TopologyBuilder::new(8).seed(3).build();
         let plan = partition(&topo, 1).remove(0);
         let requests = WorkloadBuilder::new(&topo).seed(3).count(20).build();
-        let policy = policy_from_name("Greedy", 100).unwrap();
+        let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
         let handle = ShardHandle::spawn_fresh(plan, SlotConfig::default(), policy, 64).unwrap();
         for r in requests {
             handle.send(ShardCommand::Inject(r)).unwrap();
@@ -517,7 +517,7 @@ mod tests {
     fn periodic_checkpoints_attach_to_interval_ticks() {
         let topo = TopologyBuilder::new(6).seed(7).build();
         let plan = partition(&topo, 1).remove(0);
-        let policy = policy_from_name("Greedy", 100).unwrap();
+        let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
         let spec = SpawnSpec {
             plan,
             config: SlotConfig::default(),
@@ -551,7 +551,7 @@ mod tests {
 
         // Reference: one worker runs 40 slots straight through.
         let reference = {
-            let policy = policy_from_name("Greedy", 100).unwrap();
+            let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
             let handle = ShardHandle::spawn_fresh(plan.clone(), config, policy, 64).unwrap();
             for r in requests.clone() {
                 handle.send(ShardCommand::Inject(r)).unwrap();
@@ -566,7 +566,7 @@ mod tests {
         // Recovery path: replay the same injections from genesis through
         // slot 29, then tick the last 10 live.
         let journal: Vec<(u64, Request)> = requests.iter().map(|r| (0u64, r.clone())).collect();
-        let policy = policy_from_name("Greedy", 100).unwrap();
+        let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
         let spec = SpawnSpec {
             plan: plan.clone(),
             config,
@@ -602,7 +602,7 @@ mod tests {
     fn stalled_worker_times_out_and_abandons_cleanly() {
         let topo = TopologyBuilder::new(4).seed(1).build();
         let plan = partition(&topo, 1).remove(0);
-        let policy = policy_from_name("Greedy", 100).unwrap();
+        let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
         let spec = SpawnSpec {
             plan,
             config: SlotConfig::default(),
