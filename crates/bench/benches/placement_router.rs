@@ -1,0 +1,76 @@
+//! Routing-layer cost of placement-aware admission: every arrival walks
+//! `PlacementPlane::route` and then shard admission, exactly as the
+//! serving loop's dispatch does. The `disabled` arm prices the identity
+//! path (placement off — the pre-placement router), the `services_1k`
+//! arm prices cache lookups, holder searches, and install bookkeeping
+//! against a 1000-service catalog, so the overhead of the placement
+//! subsystem is a single ratio.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_placement::{OpsLog, PlacementConfig};
+use mec_serve::{PlacementPlane, RouteDecision, Router};
+use mec_topology::{Topology, TopologyBuilder};
+use mec_workload::{Request, WorkloadBuilder};
+
+const SHARDS: usize = 4;
+const REQUESTS: usize = 10_000;
+
+fn world() -> (Topology, Vec<Request>) {
+    let topo = TopologyBuilder::new(64).seed(7).build();
+    let requests = WorkloadBuilder::new(&topo).seed(7).count(REQUESTS).build();
+    (topo, requests)
+}
+
+/// One full dispatch pass: route every request through the plane, admit
+/// the survivors. Returns a checksum so nothing is optimized away.
+fn route_all(topo: &Topology, requests: &[Request], services: usize) -> u64 {
+    let cfg = PlacementConfig {
+        services,
+        cache_capacity: 8,
+        seed: 7,
+        ..PlacementConfig::default()
+    };
+    let mut plane = PlacementPlane::new(topo, &cfg, OpsLog::default()).unwrap();
+    let mut router = Router::new(SHARDS, REQUESTS);
+    router.set_station_counts(
+        mec_serve::partition(topo, SHARDS)
+            .iter()
+            .map(|p| p.topo.station_count())
+            .collect(),
+    );
+    let mut admitted = 0u64;
+    for request in requests {
+        let slot = request.arrival_slot();
+        match plane.route(request.clone(), slot) {
+            RouteDecision::Proceed(r) => {
+                let holders = plane.holders_of(&r);
+                let hint = if holders.is_empty() {
+                    None
+                } else {
+                    Some(holders.as_slice())
+                };
+                router.admit_with(&r, slot, hint);
+                admitted += 1;
+            }
+            RouteDecision::Held { .. } | RouteDecision::Shed => {}
+        }
+    }
+    admitted + plane.stats().hits + plane.stats().misses
+}
+
+fn placement_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_router");
+    group.sample_size(20);
+    let (topo, requests) = world();
+    for (label, services) in [("disabled", 0usize), ("services_1k", 1_000)] {
+        group.bench_with_input(
+            BenchmarkId::new("route_10k", label),
+            &services,
+            |b, &services| b.iter(|| black_box(route_all(&topo, &requests, services))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, placement_router);
+criterion_main!(benches);

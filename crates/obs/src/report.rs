@@ -18,6 +18,10 @@ pub const LATENCY_MS_BOUNDS: &[f64] = &[
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
 ];
 
+/// Install-latency bucket bounds (slots) used when rebuilding the
+/// distribution from `install` events.
+pub const INSTALL_SLOT_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 13.0];
+
 /// One `arm_eliminated` event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Elimination {
@@ -31,6 +35,21 @@ pub struct Elimination {
     pub value_mhz: f64,
     /// Active arms remaining after the elimination.
     pub active_left: u64,
+}
+
+/// One `reconfig` or `handoff` event, in stream order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reconfig {
+    /// Slot the op (or handoff) applied at.
+    pub slot: u64,
+    /// `join`, `leave`, `drain`, or `handoff`.
+    pub op: String,
+    /// The station it targets.
+    pub station: u64,
+    /// For handoffs: the takeover station (-1 when the fleet was empty).
+    pub takeover: i64,
+    /// For handoffs: journal entries migrated to the takeover station.
+    pub migrated: u64,
 }
 
 /// One `restart` event.
@@ -78,6 +97,15 @@ pub struct RunReport {
     pub run_end: BTreeMap<String, String>,
     /// Admission funnel totals summed over per-slot `admission` events.
     pub funnel: BTreeMap<&'static str, u64>,
+    /// Placement totals summed over per-slot `placement` events.
+    pub placement: BTreeMap<&'static str, u64>,
+    /// Completed installs: total count and warm count.
+    pub installs: (u64, u64),
+    /// Install-latency distribution (slots) from `install` events.
+    pub install_latency: Option<HistogramSnapshot>,
+    /// Reconfiguration timeline: `reconfig` and `handoff` events in
+    /// stream order.
+    pub reconfigs: Vec<Reconfig>,
     /// Every arm elimination, in stream order.
     pub eliminations: Vec<Elimination>,
     /// Every restart, in stream order.
@@ -164,6 +192,37 @@ where
                     *r.funnel.entry(key).or_insert(0) += get_u64(&obj, key);
                 }
             }
+            "placement" => {
+                for key in ["hits", "misses", "redirects", "rehomed", "held", "shed"] {
+                    *r.placement.entry(key).or_insert(0) += get_u64(&obj, key);
+                }
+            }
+            "install" => {
+                r.installs.0 += 1;
+                if obj.get("warm") == Some(&JsonValue::Bool(true)) {
+                    r.installs.1 += 1;
+                }
+                r.install_latency
+                    .get_or_insert_with(|| HistogramSnapshot::empty(INSTALL_SLOT_BOUNDS))
+                    .record(get_f64(&obj, "latency_slots"));
+            }
+            "reconfig" => r.reconfigs.push(Reconfig {
+                slot,
+                op: get_str(&obj, "op"),
+                station: get_u64(&obj, "station"),
+                takeover: -1,
+                migrated: 0,
+            }),
+            "handoff" => r.reconfigs.push(Reconfig {
+                slot,
+                op: "handoff".to_string(),
+                station: get_u64(&obj, "station"),
+                takeover: obj
+                    .get("takeover")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(-1.0) as i64,
+                migrated: get_u64(&obj, "migrated"),
+            }),
             "arm_eliminated" => r.eliminations.push(Elimination {
                 slot,
                 shard,
@@ -255,6 +314,57 @@ impl RunReport {
                     0.0
                 };
                 let _ = writeln!(out, "  {key:>9}: {v} ({pct:.1}%)");
+            }
+        }
+
+        let placement_active = self.placement.values().any(|&v| v > 0)
+            || self.installs.0 > 0
+            || !self.reconfigs.is_empty();
+        if placement_active {
+            section(&mut out, "placement");
+            for key in ["hits", "misses", "redirects", "rehomed", "held", "shed"] {
+                let v = self.placement.get(key).copied().unwrap_or(0);
+                let _ = writeln!(out, "  {key:>9}: {v}");
+            }
+            let (total, warm) = self.installs;
+            let _ = writeln!(out, "   installs: {total} ({warm} warm)");
+            if let Some(hist) = &self.install_latency {
+                let _ = writeln!(
+                    out,
+                    "  install latency (slots): n={} mean={:.1} p50~{:.1} p95~{:.1}",
+                    hist.count,
+                    if hist.count > 0 {
+                        hist.sum / hist.count as f64
+                    } else {
+                        0.0
+                    },
+                    hist.quantile(0.50),
+                    hist.quantile(0.95),
+                );
+            }
+            if !self.reconfigs.is_empty() {
+                let _ = writeln!(out, "  reconfiguration timeline:");
+                for r in &self.reconfigs {
+                    if r.op == "handoff" {
+                        let takeover = if r.takeover < 0 {
+                            "nobody".to_string()
+                        } else {
+                            format!("station {}", r.takeover)
+                        };
+                        let _ = writeln!(
+                            out,
+                            "    slot {:>6}  station {} handed off to {takeover} \
+                             ({} journal entr(ies) migrated)",
+                            r.slot, r.station, r.migrated
+                        );
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "    slot {:>6}  {} station {}",
+                            r.slot, r.op, r.station
+                        );
+                    }
+                }
             }
         }
 
@@ -394,6 +504,42 @@ mod tests {
         );
         assert!(text.contains("final bandit state"), "{text}");
         assert!(text.contains("eliminated"), "{text}");
+    }
+
+    #[test]
+    fn placement_events_render_their_own_section() {
+        let lines = [
+            r#"{"slot":3,"kind":"placement","hits":4,"misses":6,"redirects":2,"rehomed":1,"held":3,"shed":0}"#,
+            r#"{"slot":5,"kind":"placement","hits":6,"misses":1,"redirects":0,"rehomed":0,"held":0,"shed":1}"#,
+            r#"{"slot":6,"kind":"install","station":2,"service":17,"warm":false,"latency_slots":4}"#,
+            r#"{"slot":7,"kind":"install","station":2,"service":3,"warm":true,"latency_slots":2}"#,
+            r#"{"slot":8,"kind":"reconfig","op":"drain","station":5}"#,
+            r#"{"slot":12,"kind":"handoff","station":5,"takeover":9,"migrated":7,"leave":false}"#,
+            r#"{"slot":20,"kind":"handoff","station":9,"takeover":-1,"migrated":0,"leave":true}"#,
+        ];
+        let report = build_report(lines.iter().copied()).unwrap();
+        assert_eq!(report.placement["hits"], 10);
+        assert_eq!(report.placement["misses"], 7);
+        assert_eq!(report.installs, (2, 1));
+        assert_eq!(report.install_latency.as_ref().unwrap().count, 2);
+        assert_eq!(report.reconfigs.len(), 3);
+        assert_eq!(report.reconfigs[1].takeover, 9);
+
+        let text = report.render();
+        assert!(text.contains("== placement =="), "{text}");
+        assert!(text.contains("installs: 2 (1 warm)"), "{text}");
+        assert!(text.contains("drain station 5"), "{text}");
+        assert!(
+            text.contains("station 5 handed off to station 9 (7 journal entr(ies) migrated)"),
+            "{text}"
+        );
+        assert!(text.contains("station 9 handed off to nobody"), "{text}");
+    }
+
+    #[test]
+    fn quiet_runs_omit_the_placement_section() {
+        let report = build_report(SAMPLE.iter().copied()).unwrap();
+        assert!(!report.render().contains("== placement =="));
     }
 
     #[test]

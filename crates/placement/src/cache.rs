@@ -1,0 +1,282 @@
+//! Per-station service cache: capacity-bounded storage with
+//! deterministic eviction.
+//!
+//! Eviction never consults randomness: victims are chosen by
+//! `(last_used, id)` under LRU or `(uses, last_used, id)` under LFU,
+//! with the smallest service id breaking every tie — so a run's cache
+//! contents depend only on the seed and the request stream, never on
+//! iteration order or thread timing.
+//!
+//! Capacity is *reserved* when an install begins and *committed* when it
+//! completes, so concurrent pending installs can never overcommit the
+//! store. Stations remember every service they ever finished installing
+//! (the warm set): reinstalling one of those is a warm install even
+//! after eviction — the layers are still on disk.
+
+use crate::service::ServiceId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a full cache chooses its eviction victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used resident (ties: smallest id).
+    #[default]
+    Lru,
+    /// Evict the least-frequently-used resident (ties: least recently
+    /// used, then smallest id).
+    Lfu,
+}
+
+impl EvictionPolicy {
+    /// Parses the CLI spelling (`lru` | `lfu`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "lru" => Some(Self::Lru),
+            "lfu" => Some(Self::Lfu),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Lru => write!(f, "lru"),
+            Self::Lfu => write!(f, "lfu"),
+        }
+    }
+}
+
+/// Usage bookkeeping for one resident service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Residency {
+    footprint: u32,
+    last_used: u64,
+    uses: u64,
+}
+
+/// One base station's capacity-bounded service store.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BsCache {
+    capacity: u32,
+    /// Units held by residents plus reservations for pending installs.
+    used: u32,
+    resident: BTreeMap<ServiceId, Residency>,
+    /// Services this station ever finished installing (warm on return).
+    warm: BTreeSet<ServiceId>,
+}
+
+impl BsCache {
+    /// An empty cache holding at most `capacity` storage units.
+    pub fn new(capacity: u32) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Whether `service` is resident (installed and not evicted).
+    pub fn contains(&self, service: ServiceId) -> bool {
+        self.resident.contains_key(&service)
+    }
+
+    /// Whether a (re-)install of `service` would be warm.
+    pub fn is_warm(&self, service: ServiceId) -> bool {
+        self.warm.contains(&service)
+    }
+
+    /// Storage units currently used (residents plus reservations).
+    pub const fn occupancy(&self) -> u32 {
+        self.used
+    }
+
+    /// The cache's capacity in storage units.
+    pub const fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Resident service ids, ascending.
+    pub fn residents(&self) -> impl Iterator<Item = ServiceId> + '_ {
+        self.resident.keys().copied()
+    }
+
+    /// Records a use of a resident `service` at `slot`. Returns `false`
+    /// (and changes nothing) if the service is not resident.
+    pub fn touch(&mut self, service: ServiceId, slot: u64) -> bool {
+        match self.resident.get_mut(&service) {
+            Some(r) => {
+                r.last_used = slot;
+                r.uses += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The eviction victim under `policy`, if any resident exists.
+    fn victim(&self, policy: EvictionPolicy) -> Option<ServiceId> {
+        self.resident
+            .iter()
+            .min_by_key(|(id, r)| match policy {
+                // BTreeMap iterates ascending by id, and `min_by_key`
+                // keeps the first minimum — the smallest id wins ties.
+                EvictionPolicy::Lru => (r.last_used, 0, **id),
+                EvictionPolicy::Lfu => (r.uses, r.last_used, **id),
+            })
+            .map(|(id, _)| *id)
+    }
+
+    /// Reserves `footprint` units for an install of `service`, evicting
+    /// residents per `policy` until the reservation fits. Returns the
+    /// evicted ids (possibly empty), or `None` when `footprint` exceeds
+    /// the total capacity (the service can never be placed here).
+    pub fn reserve(
+        &mut self,
+        service: ServiceId,
+        footprint: u32,
+        policy: EvictionPolicy,
+    ) -> Option<Vec<ServiceId>> {
+        debug_assert!(!self.contains(service), "reserving a resident service");
+        if footprint > self.capacity {
+            return None;
+        }
+        let mut evicted = Vec::new();
+        while self.used + footprint > self.capacity {
+            // Reservations are not evictable, so a station saturated by
+            // pending installs refuses further installs this slot.
+            let victim = self.victim(policy)?;
+            let r = self.resident.remove(&victim).expect("victim is resident");
+            self.used -= r.footprint;
+            evicted.push(victim);
+        }
+        self.used += footprint;
+        Some(evicted)
+    }
+
+    /// Releases a reservation made by [`BsCache::reserve`] for an
+    /// install that was abandoned (e.g. the station drained away).
+    pub fn release(&mut self, footprint: u32) {
+        self.used = self.used.saturating_sub(footprint);
+    }
+
+    /// Completes an install: the reserved `service` becomes resident
+    /// (first use at `slot`) and joins the warm set.
+    pub fn commit(&mut self, service: ServiceId, footprint: u32, slot: u64) {
+        self.resident.insert(
+            service,
+            Residency {
+                footprint,
+                last_used: slot,
+                uses: 1,
+            },
+        );
+        self.warm.insert(service);
+    }
+
+    /// Drops every resident (a station leaving the fleet). The warm set
+    /// survives: storage is not wiped, so a returning station reinstalls
+    /// warm.
+    pub fn clear_residents(&mut self) {
+        for r in self.resident.values() {
+            self.used -= r.footprint;
+        }
+        self.resident.clear();
+    }
+
+    /// Deterministic one-line rendering (for digests and tests).
+    pub fn digest(&self) -> String {
+        let residents: Vec<String> = self
+            .resident
+            .iter()
+            .map(|(id, r)| format!("{}:{}u@{}x{}", id.index(), r.footprint, r.last_used, r.uses))
+            .collect();
+        format!(
+            "used={}/{} [{}]",
+            self.used,
+            self.capacity,
+            residents.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> ServiceId {
+        ServiceId(i)
+    }
+
+    #[test]
+    fn lru_evicts_oldest_with_id_tiebreak() {
+        let mut c = BsCache::new(3);
+        for i in 0..3 {
+            assert_eq!(c.reserve(id(i), 1, EvictionPolicy::Lru), Some(vec![]));
+            c.commit(id(i), 1, 5); // identical last_used: tie on id
+        }
+        let evicted = c.reserve(id(9), 1, EvictionPolicy::Lru).unwrap();
+        assert_eq!(evicted, vec![id(0)], "tie broken by smallest id");
+        c.commit(id(9), 1, 6);
+        // Touching 1 makes 2 the LRU victim.
+        assert!(c.touch(id(1), 7));
+        let evicted = c.reserve(id(10), 1, EvictionPolicy::Lru).unwrap();
+        assert_eq!(evicted, vec![id(2)]);
+    }
+
+    #[test]
+    fn lfu_evicts_least_used_then_lru_then_id() {
+        let mut c = BsCache::new(3);
+        for i in 0..3 {
+            c.reserve(id(i), 1, EvictionPolicy::Lfu).unwrap();
+            c.commit(id(i), 1, i as u64); // uses=1 each, last_used 0,1,2
+        }
+        c.touch(id(0), 10); // uses: 2,1,1 → victim is 1 (older than 2? no:
+                            // last_used 1 < 2 → 1 evicted)
+        let evicted = c.reserve(id(5), 1, EvictionPolicy::Lfu).unwrap();
+        assert_eq!(evicted, vec![id(1)]);
+        c.commit(id(5), 1, 11);
+        // Equal uses and equal last_used tie-break on id: make 2 and 5 tie.
+        c.touch(id(2), 20);
+        c.touch(id(5), 20);
+        c.touch(id(0), 21);
+        // uses: svc0=3, svc2=2, svc5=2; last_used: svc2=20, svc5=20.
+        let evicted = c.reserve(id(6), 1, EvictionPolicy::Lfu).unwrap();
+        assert_eq!(evicted, vec![id(2)], "tie broken by smallest id");
+    }
+
+    #[test]
+    fn oversized_service_is_unplaceable() {
+        let mut c = BsCache::new(4);
+        assert_eq!(c.reserve(id(0), 5, EvictionPolicy::Lru), None);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn reservations_hold_capacity_until_commit_or_release() {
+        let mut c = BsCache::new(4);
+        c.reserve(id(0), 3, EvictionPolicy::Lru).unwrap();
+        assert_eq!(c.occupancy(), 3);
+        assert!(!c.contains(id(0)), "reserved, not yet resident");
+        // A second pending install cannot evict the reservation.
+        assert_eq!(c.reserve(id(1), 2, EvictionPolicy::Lru), None);
+        c.release(3);
+        assert_eq!(c.reserve(id(1), 2, EvictionPolicy::Lru), Some(vec![]));
+        c.commit(id(1), 2, 0);
+        assert!(c.contains(id(1)));
+    }
+
+    #[test]
+    fn warm_set_survives_eviction_and_clear() {
+        let mut c = BsCache::new(2);
+        c.reserve(id(3), 2, EvictionPolicy::Lru).unwrap();
+        c.commit(id(3), 2, 0);
+        assert!(c.is_warm(id(3)));
+        let evicted = c.reserve(id(4), 2, EvictionPolicy::Lru).unwrap();
+        assert_eq!(evicted, vec![id(3)]);
+        assert!(c.is_warm(id(3)), "evicted but still warm");
+        c.commit(id(4), 2, 1);
+        c.clear_residents();
+        assert_eq!(c.occupancy(), 0);
+        assert!(c.is_warm(id(4)), "leaving does not wipe the warm set");
+    }
+}

@@ -1,0 +1,41 @@
+//! `mec-placement` — service placement, caching, and live topology
+//! reconfiguration for the MEC serving plane.
+//!
+//! The paper's model lets every base station execute any AR request the
+//! moment it arrives. A production edge does not: a request can only be
+//! served where its *service* (models, feature databases, renderers) is
+//! already placed, stations have bounded storage, and the fleet itself
+//! changes while the run is live. This crate supplies that layer:
+//!
+//! - [`ServiceCatalog`] — a seed-deterministic catalog of services with
+//!   storage footprints, placement costs, and warm/cold install
+//!   latencies ([`service`]).
+//! - [`BsCache`] — a capacity-bounded per-station store with
+//!   deterministic LRU / LFU eviction and seed-stable tie-breaks
+//!   ([`cache`]).
+//! - [`PlacementState`] — the per-BS state machine: membership
+//!   (active / draining / inactive), resident services, and installs in
+//!   flight with their latency charged against the slot budget
+//!   ([`state`]).
+//! - [`OpsLog`] — `BsJoin` / `BsLeave` / `BsDrain` reconfiguration ops
+//!   as a compacted, replayable JSONL journal ([`ops`]).
+//!
+//! Everything is deterministic by construction — `BTreeMap` state, no
+//! wall-clock, pinned tie-breaks — because the serving plane's oracle
+//! is snapshot byte-identity: same seed + same ops script must produce
+//! byte-identical final snapshots, including across crash-and-replay.
+//! The wiring into admission, routing, shard handoff, and chaos lives
+//! in `mec-serve`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod ops;
+pub mod service;
+pub mod state;
+
+pub use cache::{BsCache, EvictionPolicy};
+pub use ops::{OpsLog, OpsParseError, ReconfigOp};
+pub use service::{Service, ServiceCatalog, ServiceId};
+pub use state::{BsStatus, InstallDone, InstallOutcome, PlacementConfig, PlacementState};

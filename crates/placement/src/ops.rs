@@ -1,0 +1,414 @@
+//! Live topology reconfiguration ops and their JSONL journal.
+//!
+//! A reconfiguration is a sequence of [`ReconfigOp`]s, each pinned to a
+//! virtual slot: a station **joins** the serving fleet, **leaves** it
+//! immediately, or **drains** — stops taking new admissions at `slot`
+//! and hands its in-flight state off `window` slots later. Ops are
+//! carried as JSON lines, one op per line:
+//!
+//! ```text
+//! {"op":"join","station":12,"slot":40}
+//! {"op":"drain","station":3,"slot":50,"window":10}
+//! {"op":"leave","station":7,"slot":90}
+//! ```
+//!
+//! The same format is both the *script* an operator feeds a run
+//! (`mec-serve --ops-script`) and the *journal* the run writes back
+//! (`--ops-journal-out`): replaying a journal reproduces the run's
+//! reconfiguration byte-for-byte. Blank lines and `#` comments are
+//! allowed on input for script ergonomics.
+//!
+//! [`OpsLog::compact`] collapses a long journal to the per-station ops
+//! that determine membership: the first op when it is a join (a station
+//! whose first op is a join starts *outside* the fleet) and the last op
+//! (which fixes the final status). Replaying a compacted log yields the
+//! same final [`crate::PlacementState`] membership as the uncompacted
+//! one — property-tested in `tests/compaction.rs`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One scripted reconfiguration op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconfigOp {
+    /// The station (re-)enters the fleet at `slot` and starts taking
+    /// admissions. A station whose *first* op is a join starts outside
+    /// the fleet.
+    BsJoin {
+        /// Global station id.
+        station: usize,
+        /// Virtual slot the join takes effect at.
+        slot: u64,
+    },
+    /// The station leaves immediately at `slot`: admissions stop and
+    /// in-flight state is handed off in the same slot.
+    BsLeave {
+        /// Global station id.
+        station: usize,
+        /// Virtual slot the leave takes effect at.
+        slot: u64,
+    },
+    /// The station stops taking new admissions at `slot` and hands its
+    /// in-flight state off at `slot + window`.
+    BsDrain {
+        /// Global station id.
+        station: usize,
+        /// Virtual slot draining begins at.
+        slot: u64,
+        /// Slots between the drain start and the handoff.
+        window: u64,
+    },
+}
+
+impl ReconfigOp {
+    /// The station the op targets.
+    pub const fn station(&self) -> usize {
+        match *self {
+            Self::BsJoin { station, .. }
+            | Self::BsLeave { station, .. }
+            | Self::BsDrain { station, .. } => station,
+        }
+    }
+
+    /// The slot the op begins at.
+    pub const fn slot(&self) -> u64 {
+        match *self {
+            Self::BsJoin { slot, .. } | Self::BsLeave { slot, .. } | Self::BsDrain { slot, .. } => {
+                slot
+            }
+        }
+    }
+
+    /// The op's JSONL spelling (one line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        match *self {
+            Self::BsJoin { station, slot } => {
+                format!("{{\"op\":\"join\",\"station\":{station},\"slot\":{slot}}}")
+            }
+            Self::BsLeave { station, slot } => {
+                format!("{{\"op\":\"leave\",\"station\":{station},\"slot\":{slot}}}")
+            }
+            Self::BsDrain {
+                station,
+                slot,
+                window,
+            } => format!(
+                "{{\"op\":\"drain\",\"station\":{station},\"slot\":{slot},\"window\":{window}}}"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for ReconfigOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::BsJoin { station, slot } => write!(f, "join station {station} at slot {slot}"),
+            Self::BsLeave { station, slot } => write!(f, "leave station {station} at slot {slot}"),
+            Self::BsDrain {
+                station,
+                slot,
+                window,
+            } => write!(
+                f,
+                "drain station {station} at slot {slot} (window {window})"
+            ),
+        }
+    }
+}
+
+/// An ops line that failed to parse; the message names the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpsParseError {
+    /// What went wrong, including the offending text.
+    pub message: String,
+}
+
+impl fmt::Display for OpsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ops journal: {}", self.message)
+    }
+}
+
+impl std::error::Error for OpsParseError {}
+
+fn err(message: impl Into<String>) -> OpsParseError {
+    OpsParseError {
+        message: message.into(),
+    }
+}
+
+/// Parses one flat JSON object line of the ops journal. The format is
+/// fixed and flat (string `op`, integer fields), so a tiny hand-rolled
+/// scanner suffices — no JSON framework in the hot path.
+fn parse_line(line: &str) -> Result<ReconfigOp, OpsParseError> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| err(format!("expected a JSON object, got {line:?}")))?;
+    let (mut op, mut station, mut slot, mut window) = (None, None, None, None);
+    for field in inner.split(',') {
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| err(format!("expected \"key\":value, got {field:?} in {line:?}")))?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "op" => op = Some(value.trim_matches('"').to_string()),
+            "station" | "slot" | "window" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| err(format!("bad number {value:?} in {line:?}")))?;
+                match key {
+                    "station" => station = Some(n as usize),
+                    "slot" => slot = Some(n),
+                    _ => window = Some(n),
+                }
+            }
+            other => return Err(err(format!("unknown field {other:?} in {line:?}"))),
+        }
+    }
+    let station = station.ok_or_else(|| err(format!("missing \"station\" in {line:?}")))?;
+    let slot = slot.ok_or_else(|| err(format!("missing \"slot\" in {line:?}")))?;
+    match op.as_deref() {
+        Some("join") => Ok(ReconfigOp::BsJoin { station, slot }),
+        Some("leave") => Ok(ReconfigOp::BsLeave { station, slot }),
+        Some("drain") => Ok(ReconfigOp::BsDrain {
+            station,
+            slot,
+            window: window.ok_or_else(|| err(format!("drain needs \"window\" in {line:?}")))?,
+        }),
+        Some(other) => Err(err(format!(
+            "unknown op {other:?} (accepted: join, leave, drain)"
+        ))),
+        None => Err(err(format!("missing \"op\" in {line:?}"))),
+    }
+}
+
+/// An ordered log of reconfiguration ops.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpsLog {
+    /// The ops, in log order.
+    pub ops: Vec<ReconfigOp>,
+}
+
+impl OpsLog {
+    /// Parses a JSONL ops script/journal. Blank lines are skipped and
+    /// `#` starts a comment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpsParseError`] naming the first malformed line.
+    pub fn parse_jsonl(text: &str) -> Result<Self, OpsParseError> {
+        let mut ops = Vec::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            ops.push(parse_line(line)?);
+        }
+        Ok(Self { ops })
+    }
+
+    /// Renders the log as JSONL, one op per line with a trailing
+    /// newline, in log order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            out.push_str(&op.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Whether the log holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of ops in the log.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Sorts the log by `(slot, log order)` — the order the runtime
+    /// applies ops in. The sort is stable, so same-slot ops keep their
+    /// relative script order.
+    pub fn normalize(&mut self) {
+        let mut indexed: Vec<(usize, ReconfigOp)> = self.ops.drain(..).enumerate().collect();
+        indexed.sort_by_key(|(i, op)| (op.slot(), *i));
+        self.ops = indexed.into_iter().map(|(_, op)| op).collect();
+    }
+
+    /// The largest station id any op names (for validation against the
+    /// actual topology).
+    pub fn max_station(&self) -> Option<usize> {
+        self.ops.iter().map(ReconfigOp::station).max()
+    }
+
+    /// The stations that start *outside* the fleet: those whose first op
+    /// (in normalized order) is a join.
+    pub fn initially_inactive(&self) -> Vec<usize> {
+        let mut sorted = self.clone();
+        sorted.normalize();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut inactive = std::collections::BTreeSet::new();
+        for op in &sorted.ops {
+            if seen.insert(op.station()) {
+                if let ReconfigOp::BsJoin { station, .. } = op {
+                    inactive.insert(*station);
+                }
+            }
+        }
+        inactive.into_iter().collect()
+    }
+
+    /// Compacts the log to the ops that determine membership: per
+    /// station, the first op when it is a join (it decides the station's
+    /// *initial* activity) and the last op (it decides the *final*
+    /// status). Everything in between is history with no effect on the
+    /// final [`crate::PlacementState`] membership.
+    ///
+    /// The result is normalized. Replaying it yields the same final
+    /// membership as replaying the full log.
+    pub fn compact(&self) -> Self {
+        let mut sorted = self.clone();
+        sorted.normalize();
+        let mut first: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        let mut last: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        for (i, op) in sorted.ops.iter().enumerate() {
+            first.entry(op.station()).or_insert(i);
+            last.insert(op.station(), i);
+        }
+        let mut keep = std::collections::BTreeSet::new();
+        for (station, &f) in &first {
+            if matches!(sorted.ops[f], ReconfigOp::BsJoin { .. }) {
+                keep.insert(f);
+            }
+            keep.insert(last[station]);
+        }
+        Self {
+            ops: keep.into_iter().map(|i| sorted.ops[i]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn join(station: usize, slot: u64) -> ReconfigOp {
+        ReconfigOp::BsJoin { station, slot }
+    }
+    fn leave(station: usize, slot: u64) -> ReconfigOp {
+        ReconfigOp::BsLeave { station, slot }
+    }
+    fn drain(station: usize, slot: u64, window: u64) -> ReconfigOp {
+        ReconfigOp::BsDrain {
+            station,
+            slot,
+            window,
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let log = OpsLog {
+            ops: vec![join(12, 40), drain(3, 50, 10), leave(7, 90)],
+        };
+        let text = log.to_jsonl();
+        assert_eq!(
+            text,
+            "{\"op\":\"join\",\"station\":12,\"slot\":40}\n\
+             {\"op\":\"drain\",\"station\":3,\"slot\":50,\"window\":10}\n\
+             {\"op\":\"leave\",\"station\":7,\"slot\":90}\n"
+        );
+        assert_eq!(OpsLog::parse_jsonl(&text).unwrap(), log);
+    }
+
+    #[test]
+    fn scripts_allow_comments_and_blanks() {
+        let text = "\n# drain station 3 for ten slots\n\
+                    {\"op\":\"drain\",\"station\":3,\"slot\":50,\"window\":10}  # inline\n\n";
+        let log = OpsLog::parse_jsonl(text).unwrap();
+        assert_eq!(log.ops, vec![drain(3, 50, 10)]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "not json",
+            "{\"op\":\"explode\",\"station\":1,\"slot\":2}",
+            "{\"op\":\"join\",\"slot\":2}",
+            "{\"op\":\"join\",\"station\":1}",
+            "{\"op\":\"drain\",\"station\":1,\"slot\":2}",
+            "{\"op\":\"join\",\"station\":-1,\"slot\":2}",
+            "{\"station\":1,\"slot\":2}",
+            "{\"op\":\"join\",\"station\":1,\"slot\":2,\"bogus\":3}",
+        ] {
+            let res = OpsLog::parse_jsonl(bad);
+            assert!(res.is_err(), "{bad:?} should not parse: {res:?}");
+        }
+    }
+
+    #[test]
+    fn normalize_sorts_by_slot_stably() {
+        let mut log = OpsLog {
+            ops: vec![leave(1, 90), join(2, 10), leave(2, 10), join(1, 5)],
+        };
+        log.normalize();
+        assert_eq!(
+            log.ops,
+            vec![join(1, 5), join(2, 10), leave(2, 10), leave(1, 90)]
+        );
+    }
+
+    #[test]
+    fn initially_inactive_sees_first_join() {
+        let log = OpsLog {
+            ops: vec![leave(1, 90), join(1, 5), join(4, 20), drain(2, 30, 5)],
+        };
+        // Station 1's first op (slot 5) is a join; 4's only op is a join;
+        // 2's first op is a drain.
+        assert_eq!(log.initially_inactive(), vec![1, 4]);
+    }
+
+    #[test]
+    fn compaction_keeps_first_join_and_last_op() {
+        let log = OpsLog {
+            ops: vec![
+                join(1, 5),
+                leave(1, 20),
+                join(1, 40),
+                drain(2, 10, 5),
+                join(2, 50),
+                leave(3, 8),
+            ],
+        };
+        let compacted = log.compact();
+        assert_eq!(
+            compacted.ops,
+            vec![join(1, 5), leave(3, 8), join(1, 40), join(2, 50)],
+            "first join survives, last op survives, history dropped"
+        );
+        // Compaction may flip a station's *initial* membership (station 2
+        // starts inactive above) but never its replayed *final* state:
+        // that only happens when the kept last op is a join.
+        let replay = |l: &OpsLog| {
+            let mut s = crate::PlacementState::new(4, &crate::PlacementConfig::default());
+            s.replay_ops(l, 10_000);
+            s.digest()
+        };
+        assert_eq!(replay(&compacted), replay(&log));
+    }
+
+    #[test]
+    fn max_station_spans_all_ops() {
+        let log = OpsLog {
+            ops: vec![join(3, 1), drain(17, 2, 1)],
+        };
+        assert_eq!(log.max_station(), Some(17));
+        assert_eq!(OpsLog::default().max_station(), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! The service catalog: what can be placed on a base station.
+//!
+//! Every AR request executes against exactly one *service* (the detector
+//! models, feature databases, and renderers its pipeline needs). A
+//! service occupies storage on the station that hosts it and takes time
+//! to install: a **cold** install fetches everything from the backbone,
+//! a **warm** install restores a service the station has hosted before
+//! (layers still present in local storage).
+//!
+//! Catalogs are generated deterministically from a seed (splitmix64 per
+//! service index), so two runs with the same `(count, seed)` see the
+//! same footprints, costs, and install latencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a service within a catalog (dense `0..n`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ServiceId(pub usize);
+
+impl ServiceId {
+    /// The underlying dense index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ServiceId {
+    fn from(value: usize) -> Self {
+        ServiceId(value)
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc{}", self.0)
+    }
+}
+
+/// One placeable service: storage footprint, placement cost, and install
+/// latencies in slots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Service {
+    /// The service's identifier.
+    pub id: ServiceId,
+    /// Storage units the service occupies in a station cache.
+    pub footprint: u32,
+    /// Slots a cold (first-ever on this station) install takes.
+    pub cold_slots: u64,
+    /// Slots a warm (previously hosted, then evicted) install takes.
+    pub warm_slots: u64,
+    /// Abstract placement cost charged per install (reported, not
+    /// optimized — the routing layer decides by latency, not cost).
+    pub install_cost: f64,
+}
+
+/// splitmix64: the same finalizer the serving runtime uses for shard
+/// seeds; one application per draw keeps the catalog seed-stable.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic set of services plus the request → service mapping.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceCatalog {
+    services: Vec<Service>,
+}
+
+impl ServiceCatalog {
+    /// Generates `count` services from `seed`. Footprints span 1–4
+    /// storage units, cold installs 2–5 slots, warm installs half the
+    /// cold latency (at least one slot).
+    pub fn generate(count: usize, seed: u64) -> Self {
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        let services = (0..count)
+            .map(|i| {
+                let r = splitmix64(&mut state);
+                let footprint = 1 + (r % 4) as u32;
+                let cold_slots = 2 + ((r >> 8) % 4);
+                let warm_slots = (cold_slots / 2).max(1);
+                Service {
+                    id: ServiceId(i),
+                    footprint,
+                    cold_slots,
+                    warm_slots,
+                    install_cost: f64::from(footprint) + cold_slots as f64 * 0.5,
+                }
+            })
+            .collect();
+        Self { services }
+    }
+
+    /// Number of services in the catalog.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the catalog is empty (placement disabled).
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// The service a request with dense index `request_index` executes
+    /// against: a fixed modulo mapping, so the service mix follows the
+    /// request id distribution deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty.
+    pub fn service_of(&self, request_index: usize) -> ServiceId {
+        assert!(!self.services.is_empty(), "catalog is empty");
+        ServiceId(request_index % self.services.len())
+    }
+
+    /// The service with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: ServiceId) -> &Service {
+        &self.services[id.index()]
+    }
+
+    /// All services, ascending by id.
+    pub fn services(&self) -> &[Service] {
+        &self.services
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ServiceCatalog::generate(64, 7);
+        let b = ServiceCatalog::generate(64, 7);
+        assert_eq!(a, b);
+        let c = ServiceCatalog::generate(64, 8);
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn parameters_stay_in_range() {
+        let catalog = ServiceCatalog::generate(200, 3);
+        assert_eq!(catalog.len(), 200);
+        for s in catalog.services() {
+            assert!((1..=4).contains(&s.footprint));
+            assert!((2..=5).contains(&s.cold_slots));
+            assert!(s.warm_slots >= 1 && s.warm_slots < s.cold_slots);
+            assert!(s.install_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn service_mapping_is_modulo() {
+        let catalog = ServiceCatalog::generate(10, 0);
+        assert_eq!(catalog.service_of(3), ServiceId(3));
+        assert_eq!(catalog.service_of(13), ServiceId(3));
+        assert_eq!(catalog.service_of(10), ServiceId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog is empty")]
+    fn empty_catalog_has_no_mapping() {
+        let _ = ServiceCatalog::default().service_of(0);
+    }
+}

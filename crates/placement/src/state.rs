@@ -1,0 +1,507 @@
+//! The per-base-station placement state machine.
+//!
+//! [`PlacementState`] owns, for every base station: a membership status
+//! ([`BsStatus`]), a capacity-bounded service cache ([`BsCache`]), and
+//! the set of installs currently in flight. All of it is deterministic:
+//! the catalog comes from a seed, eviction tie-breaks are pinned, and
+//! pending installs live in a `BTreeMap` so completion order never
+//! depends on hash or thread state.
+//!
+//! The serving runtime drives this machine directly (admission checks,
+//! install decisions, drain handoffs). [`PlacementState::replay_ops`]
+//! additionally replays a whole [`OpsLog`] against a fresh state with
+//! the same membership semantics the runtime uses — that is what the
+//! compaction round-trip proptest leans on.
+
+use crate::cache::{BsCache, EvictionPolicy};
+use crate::ops::{OpsLog, ReconfigOp};
+use crate::service::{ServiceCatalog, ServiceId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A base station's fleet-membership status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BsStatus {
+    /// Serving: admits requests and accepts installs.
+    #[default]
+    Active,
+    /// Winding down: refuses new admissions, hands its in-flight state
+    /// off at slot `until`.
+    Draining {
+        /// The slot the handoff happens at.
+        until: u64,
+    },
+    /// Out of the fleet: no admissions, no residents.
+    Inactive,
+}
+
+impl fmt::Display for BsStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Active => write!(f, "active"),
+            Self::Draining { until } => write!(f, "draining(until={until})"),
+            Self::Inactive => write!(f, "inactive"),
+        }
+    }
+}
+
+/// Placement configuration carried inside the serve config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementConfig {
+    /// Catalog size; `0` disables placement entirely (every station
+    /// serves every request, as in the pre-placement runtime).
+    pub services: usize,
+    /// Per-station cache capacity in storage units.
+    pub cache_capacity: u32,
+    /// Eviction policy for full caches.
+    pub eviction: EvictionPolicy,
+    /// Catalog generation seed.
+    pub seed: u64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        Self {
+            services: 0,
+            cache_capacity: 8,
+            eviction: EvictionPolicy::Lru,
+            seed: 0,
+        }
+    }
+}
+
+/// What [`PlacementState::begin_install`] decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallOutcome {
+    /// An install started; the service becomes resident at `ready_at`.
+    Started {
+        /// First slot the service is usable at.
+        ready_at: u64,
+        /// Whether this is a warm (previously hosted) install.
+        warm: bool,
+        /// Residents evicted to make room, ascending by eviction order.
+        evicted: Vec<ServiceId>,
+    },
+    /// The same install is already in flight; ride along.
+    AlreadyInstalling {
+        /// First slot the service is usable at.
+        ready_at: u64,
+    },
+    /// The service cannot be placed here (station out of the fleet, or
+    /// the cache cannot make room).
+    Unplaceable,
+}
+
+/// A completed install reported by [`PlacementState::complete_due`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstallDone {
+    /// Station the service is now resident on.
+    pub station: usize,
+    /// The installed service.
+    pub service: ServiceId,
+    /// Whether the install was warm.
+    pub warm: bool,
+    /// Slots the install took.
+    pub latency: u64,
+}
+
+/// An install in flight on one station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    ready_at: u64,
+    started: u64,
+}
+
+/// Placement state across the whole fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementState {
+    catalog: ServiceCatalog,
+    eviction: EvictionPolicy,
+    status: Vec<BsStatus>,
+    caches: Vec<BsCache>,
+    pending: BTreeMap<(usize, ServiceId), Pending>,
+}
+
+impl PlacementState {
+    /// Fresh state for `stations` base stations, all active, caches
+    /// empty. With `cfg.services == 0` the state is *disabled*: no
+    /// catalog, [`PlacementState::enabled`] is `false`, and routing
+    /// should skip placement checks entirely (membership ops still
+    /// apply).
+    pub fn new(stations: usize, cfg: &PlacementConfig) -> Self {
+        Self {
+            catalog: ServiceCatalog::generate(cfg.services, cfg.seed),
+            eviction: cfg.eviction,
+            status: vec![BsStatus::Active; stations],
+            caches: (0..stations)
+                .map(|_| BsCache::new(cfg.cache_capacity))
+                .collect(),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Whether placement is on (non-empty catalog).
+    pub fn enabled(&self) -> bool {
+        !self.catalog.is_empty()
+    }
+
+    /// Number of base stations tracked.
+    pub fn stations(&self) -> usize {
+        self.status.len()
+    }
+
+    /// The service catalog.
+    pub fn catalog(&self) -> &ServiceCatalog {
+        &self.catalog
+    }
+
+    /// The service a request with dense index `request_index` needs.
+    pub fn service_of(&self, request_index: usize) -> ServiceId {
+        self.catalog.service_of(request_index)
+    }
+
+    /// Station `st`'s membership status.
+    pub fn status(&self, st: usize) -> BsStatus {
+        self.status[st]
+    }
+
+    /// Whether station `st` currently admits new requests.
+    pub fn is_active(&self, st: usize) -> bool {
+        matches!(self.status[st], BsStatus::Active)
+    }
+
+    /// Whether `service` is resident and usable on an active `st`.
+    pub fn holds(&self, st: usize, service: ServiceId) -> bool {
+        self.is_active(st) && self.caches[st].contains(service)
+    }
+
+    /// Records a use of `service` on `st` at `slot` (cache recency /
+    /// frequency bookkeeping). Returns `false` if not resident.
+    pub fn touch(&mut self, st: usize, service: ServiceId, slot: u64) -> bool {
+        self.caches[st].touch(service, slot)
+    }
+
+    /// Starts (or joins) an install of `service` on `st` at `slot`.
+    pub fn begin_install(&mut self, st: usize, service: ServiceId, slot: u64) -> InstallOutcome {
+        if !self.is_active(st) {
+            return InstallOutcome::Unplaceable;
+        }
+        if let Some(p) = self.pending.get(&(st, service)) {
+            return InstallOutcome::AlreadyInstalling {
+                ready_at: p.ready_at,
+            };
+        }
+        debug_assert!(
+            !self.caches[st].contains(service),
+            "installing a service that is already resident"
+        );
+        let spec = *self.catalog.get(service);
+        let warm = self.caches[st].is_warm(service);
+        let Some(evicted) = self.caches[st].reserve(service, spec.footprint, self.eviction) else {
+            return InstallOutcome::Unplaceable;
+        };
+        let slots = if warm {
+            spec.warm_slots
+        } else {
+            spec.cold_slots
+        };
+        let ready_at = slot + slots;
+        self.pending.insert(
+            (st, service),
+            Pending {
+                ready_at,
+                started: slot,
+            },
+        );
+        InstallOutcome::Started {
+            ready_at,
+            warm,
+            evicted,
+        }
+    }
+
+    /// Completes every pending install with `ready_at <= slot`, in
+    /// ascending `(station, service)` order. The services become
+    /// resident (and warm) on their stations.
+    pub fn complete_due(&mut self, slot: u64) -> Vec<InstallDone> {
+        let due: Vec<(usize, ServiceId)> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.ready_at <= slot)
+            .map(|(k, _)| *k)
+            .collect();
+        due.into_iter()
+            .map(|(st, service)| {
+                let p = self.pending.remove(&(st, service)).expect("key just seen");
+                let spec = *self.catalog.get(service);
+                // The warm set only grows at commit, so probing it just
+                // before commit reproduces the install's warmth.
+                let warm = self.caches[st].is_warm(service);
+                self.caches[st].commit(service, spec.footprint, slot);
+                InstallDone {
+                    station: st,
+                    service,
+                    warm,
+                    latency: p.ready_at - p.started,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of installs in flight fleet-wide.
+    pub fn pending_installs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Station `st` (re-)joins the fleet, cancelling any drain. Its warm
+    /// set survived being away, so reinstalls are warm.
+    pub fn activate(&mut self, st: usize) {
+        self.status[st] = BsStatus::Active;
+    }
+
+    /// Station `st` stops admitting and will hand off at `until`.
+    /// Draining an inactive station is a no-op (returns `false`).
+    pub fn begin_drain(&mut self, st: usize, until: u64) -> bool {
+        if matches!(self.status[st], BsStatus::Inactive) {
+            return false;
+        }
+        self.status[st] = BsStatus::Draining { until };
+        true
+    }
+
+    /// Station `st` leaves the fleet now: pending installs are
+    /// abandoned (reservations released), residents dropped (warm set
+    /// survives), status set to [`BsStatus::Inactive`].
+    pub fn deactivate(&mut self, st: usize) {
+        let abandoned: Vec<(usize, ServiceId)> = self
+            .pending
+            .range((st, ServiceId(0))..(st + 1, ServiceId(0)))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in abandoned {
+            self.pending.remove(&key);
+            self.caches[st].release(self.catalog.get(key.1).footprint);
+        }
+        self.caches[st].clear_residents();
+        self.status[st] = BsStatus::Inactive;
+    }
+
+    /// Storage units used on station `st` (residents + reservations).
+    pub fn occupancy(&self, st: usize) -> u32 {
+        self.caches[st].occupancy()
+    }
+
+    /// Per-station cache capacity.
+    pub fn capacity(&self, st: usize) -> u32 {
+        self.caches[st].capacity()
+    }
+
+    /// Stations currently admitting, ascending.
+    pub fn active_stations(&self) -> Vec<usize> {
+        (0..self.status.len())
+            .filter(|&s| self.is_active(s))
+            .collect()
+    }
+
+    /// Active stations holding `service`, ascending.
+    pub fn holders(&self, service: ServiceId) -> Vec<usize> {
+        (0..self.status.len())
+            .filter(|&s| self.holds(s, service))
+            .collect()
+    }
+
+    /// Stations whose drain handoff is due at or before `slot`,
+    /// ascending.
+    pub fn drains_due(&self, slot: u64) -> Vec<usize> {
+        (0..self.status.len())
+            .filter(|&s| matches!(self.status[s], BsStatus::Draining { until } if until <= slot))
+            .collect()
+    }
+
+    /// Applies one membership op at its scheduled slot. Joins activate
+    /// (cancelling drains), leaves deactivate immediately, drains
+    /// schedule a handoff at `slot + window`.
+    pub fn apply_op(&mut self, op: &ReconfigOp) {
+        match *op {
+            ReconfigOp::BsJoin { station, .. } => self.activate(station),
+            ReconfigOp::BsLeave { station, .. } => self.deactivate(station),
+            ReconfigOp::BsDrain {
+                station,
+                slot,
+                window,
+            } => {
+                self.begin_drain(station, slot.saturating_add(window));
+            }
+        }
+    }
+
+    /// Replays a whole ops log against this (fresh) state with the
+    /// runtime's membership semantics: stations whose first op is a join
+    /// start inactive, ops apply in normalized order, drain handoffs due
+    /// at a slot land before ops scheduled at that slot, and every drain
+    /// due by `horizon` completes at the end.
+    pub fn replay_ops(&mut self, log: &OpsLog, horizon: u64) {
+        for st in log.initially_inactive() {
+            self.status[st] = BsStatus::Inactive;
+        }
+        let mut sorted = log.clone();
+        sorted.normalize();
+        for op in &sorted.ops {
+            for st in self.drains_due(op.slot()) {
+                self.deactivate(st);
+            }
+            self.apply_op(op);
+        }
+        for st in self.drains_due(horizon) {
+            self.deactivate(st);
+        }
+    }
+
+    /// Deterministic multi-line rendering of the full machine state —
+    /// membership, cache contents, and pending installs. Two states with
+    /// equal digests route identically.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for st in 0..self.status.len() {
+            out.push_str(&format!(
+                "bs{} {} {}\n",
+                st,
+                self.status[st],
+                self.caches[st].digest()
+            ));
+        }
+        for ((st, svc), p) in &self.pending {
+            out.push_str(&format!(
+                "pending bs{} {} ready_at={} started={}\n",
+                st, svc, p.ready_at, p.started
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(services: usize) -> PlacementConfig {
+        PlacementConfig {
+            services,
+            cache_capacity: 4,
+            eviction: EvictionPolicy::Lru,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn disabled_state_routes_nowhere_special() {
+        let state = PlacementState::new(3, &cfg(0));
+        assert!(!state.enabled());
+        assert!(state.is_active(2));
+    }
+
+    #[test]
+    fn install_lifecycle_warm_and_cold() {
+        let mut state = PlacementState::new(2, &cfg(8));
+        let svc = state.service_of(3);
+        let spec = *state.catalog().get(svc);
+        let InstallOutcome::Started {
+            ready_at,
+            warm,
+            evicted,
+        } = state.begin_install(0, svc, 10)
+        else {
+            panic!("expected a started install")
+        };
+        assert!(!warm, "first-ever install is cold");
+        assert!(evicted.is_empty());
+        assert_eq!(ready_at, 10 + spec.cold_slots);
+        // Joining the same install reports the same completion slot.
+        assert_eq!(
+            state.begin_install(0, svc, 11),
+            InstallOutcome::AlreadyInstalling { ready_at }
+        );
+        assert!(state.complete_due(ready_at - 1).is_empty());
+        let done = state.complete_due(ready_at);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].latency, spec.cold_slots);
+        assert!(state.holds(0, svc));
+        // Drop and reinstall: warm this time.
+        state.deactivate(0);
+        assert!(!state.holds(0, svc));
+        state.activate(0);
+        match state.begin_install(0, svc, 50) {
+            InstallOutcome::Started { warm, ready_at, .. } => {
+                assert!(warm, "previously hosted service reinstalls warm");
+                assert_eq!(ready_at, 50 + spec.warm_slots);
+            }
+            other => panic!("expected a warm install, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_refuses_admissions_then_hands_off() {
+        let mut state = PlacementState::new(2, &cfg(4));
+        assert!(state.begin_drain(1, 30));
+        assert!(!state.is_active(1), "draining stations stop admitting");
+        assert_eq!(state.drains_due(29), Vec::<usize>::new());
+        assert_eq!(state.drains_due(30), vec![1]);
+        // A join cancels the drain.
+        state.activate(1);
+        assert_eq!(state.drains_due(30), Vec::<usize>::new());
+        assert!(state.is_active(1));
+    }
+
+    #[test]
+    fn deactivate_releases_pending_reservations() {
+        let mut state = PlacementState::new(1, &cfg(6));
+        let svc = state.service_of(0);
+        state.begin_install(0, svc, 0);
+        assert!(state.occupancy(0) > 0);
+        state.deactivate(0);
+        assert_eq!(state.occupancy(0), 0);
+        assert_eq!(state.pending_installs(), 0);
+        assert_eq!(state.complete_due(u64::MAX), vec![]);
+    }
+
+    #[test]
+    fn replay_matches_runtime_membership_semantics() {
+        use crate::ops::ReconfigOp::*;
+        let log = OpsLog {
+            ops: vec![
+                BsJoin {
+                    station: 2,
+                    slot: 5,
+                }, // first op join → starts inactive
+                BsDrain {
+                    station: 0,
+                    slot: 10,
+                    window: 5,
+                },
+                BsJoin {
+                    station: 0,
+                    slot: 12,
+                }, // cancels the drain before its handoff
+                BsDrain {
+                    station: 1,
+                    slot: 20,
+                    window: 3,
+                }, // completes at 23
+            ],
+        };
+        let mut state = PlacementState::new(3, &cfg(0));
+        state.replay_ops(&log, 1_000);
+        assert!(state.is_active(0), "join cancelled the drain");
+        assert_eq!(state.status(1), BsStatus::Inactive);
+        assert!(state.is_active(2));
+    }
+
+    #[test]
+    fn digest_pins_membership_caches_and_pending() {
+        let mut a = PlacementState::new(2, &cfg(4));
+        let b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        a.begin_install(0, a.service_of(0), 3);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,67 @@
+//! Property test: compacting an ops journal never changes the final
+//! placement state a replay produces.
+//!
+//! `OpsLog::compact` keeps, per station, the first op when it is a join
+//! (which fixes the station's initial membership) and the last op (which
+//! fixes its final status). For *any* sequence of join/leave/drain ops,
+//! replaying the compacted log must land on the same final
+//! `PlacementState` digest as replaying the full log.
+
+use mec_placement::{OpsLog, PlacementConfig, PlacementState, ReconfigOp};
+use proptest::prelude::*;
+
+const STATIONS: usize = 6;
+const HORIZON: u64 = 10_000;
+
+fn arb_op() -> impl Strategy<Value = ReconfigOp> {
+    let station = 0..STATIONS;
+    let slot = 0u64..200;
+    prop_oneof![
+        (station.clone(), slot.clone())
+            .prop_map(|(station, slot)| ReconfigOp::BsJoin { station, slot }),
+        (station.clone(), slot.clone())
+            .prop_map(|(station, slot)| ReconfigOp::BsLeave { station, slot }),
+        (station, slot, 0u64..40).prop_map(|(station, slot, window)| ReconfigOp::BsDrain {
+            station,
+            slot,
+            window
+        }),
+    ]
+}
+
+fn replayed(log: &OpsLog) -> String {
+    let cfg = PlacementConfig {
+        services: 16,
+        cache_capacity: 4,
+        seed: 9,
+        ..PlacementConfig::default()
+    };
+    let mut state = PlacementState::new(STATIONS, &cfg);
+    state.replay_ops(log, HORIZON);
+    state.digest()
+}
+
+proptest! {
+    #[test]
+    fn compaction_roundtrip_preserves_final_state(ops in prop::collection::vec(arb_op(), 0..64)) {
+        let log = OpsLog { ops };
+        let compacted = log.compact();
+        prop_assert!(compacted.len() <= log.len());
+        prop_assert_eq!(replayed(&compacted), replayed(&log));
+    }
+
+    #[test]
+    fn compaction_is_idempotent(ops in prop::collection::vec(arb_op(), 0..64)) {
+        let log = OpsLog { ops };
+        let once = log.compact();
+        let twice = once.compact();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_lossless(ops in prop::collection::vec(arb_op(), 0..64)) {
+        let log = OpsLog { ops };
+        let parsed = OpsLog::parse_jsonl(&log.to_jsonl()).unwrap();
+        prop_assert_eq!(parsed, log);
+    }
+}

@@ -10,6 +10,7 @@
 //! mec-serve --chaos crash:shard=1@slot=50,recover@slot=60 --seed 7
 //! ```
 
+use mec_placement::{EvictionPolicy, OpsLog, PlacementConfig};
 use mec_serve::{serve, ChaosSpec, ClockMode, DegradedPolicy, LoadGen, ServeConfig, POLICY_NAMES};
 use mec_topology::TopologyBuilder;
 use mec_workload::WorkloadBuilder;
@@ -40,11 +41,17 @@ struct Args {
     hold_metrics_ms: u64,
     profile_out: Option<String>,
     profile_folded: Option<String>,
+    services: usize,
+    cache_capacity: u32,
+    eviction: EvictionPolicy,
+    ops: OpsLog,
+    ops_journal_out: Option<String>,
 }
 
 impl Default for Args {
     fn default() -> Self {
         let faults = mec_serve::FaultConfig::default();
+        let placement = PlacementConfig::default();
         Self {
             stations: 100,
             requests: 100_000,
@@ -70,6 +77,11 @@ impl Default for Args {
             hold_metrics_ms: 0,
             profile_out: None,
             profile_folded: None,
+            services: placement.services,
+            cache_capacity: placement.cache_capacity,
+            eviction: placement.eviction,
+            ops: OpsLog::default(),
+            ops_journal_out: None,
         }
     }
 }
@@ -95,11 +107,26 @@ OPTIONS:
     --drain-slots <N>     slots allowed after the last arrival [default: 1000]
     --paced               pace ticks to wall time instead of virtual time
     --trace <PATH>        replay a mec-workload CSV trace instead of generating
-    --chaos <SPEC>        inject scripted faults, e.g.
+    --chaos <SPEC>        inject scripted faults and reconfigurations, e.g.
                           crash:shard=1@slot=50,recover@slot=60
-                          (kinds: crash, stall, slow:...@ms=M)
+                          (fault kinds: crash, stall, slow:...@ms=M;
+                          reconfig kinds: join/leave:station=K@slot=N,
+                          drain:station=K@slot=N[@window=W])
     --chaos-script <PATH> same grammar from a file; one or more directives
                           per line, '#' comments
+
+PLACEMENT AND RECONFIGURATION:
+    --services <N>        size of the service catalog; 0 disables
+                          placement-aware routing [default: 0]
+    --cache-capacity <N>  per-station cache capacity in footprint units
+                          [default: 8]
+    --eviction <POLICY>   cache eviction policy: lru | lfu [default: lru]
+    --ops-script <PATH>   replay a topology reconfiguration journal (JSONL
+                          of join/leave/drain ops; '#' comments), merged
+                          with any --chaos reconfig directives
+    --ops-journal-out <PATH>
+                          write the normalized ops journal the run applied
+                          (replayable via --ops-script)
     --tick-timeout-ms <N> per-slot reply deadline before a shard counts as
                           stalled; 0 = wait forever [default: 5000]
     --checkpoint-every <N> checkpoint shard engines every N slots; 0 =
@@ -166,6 +193,26 @@ fn parse_args() -> Result<Args, String> {
                 })?;
             }
             "--max-restarts" => args.max_restarts = parse(&value("--max-restarts")?)?,
+            "--services" => args.services = parse(&value("--services")?)?,
+            "--cache-capacity" => args.cache_capacity = parse(&value("--cache-capacity")?)?,
+            "--eviction" => {
+                args.eviction = match value("--eviction")?.as_str() {
+                    "lru" => EvictionPolicy::Lru,
+                    "lfu" => EvictionPolicy::Lfu,
+                    other => {
+                        return Err(format!(
+                            "unknown eviction policy {other:?}; accepted: lru, lfu"
+                        ))
+                    }
+                };
+            }
+            "--ops-script" => {
+                let path = value("--ops-script")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read ops script {path:?}: {e}"))?;
+                args.ops = OpsLog::parse_jsonl(&text).map_err(|e| e.to_string())?;
+            }
+            "--ops-journal-out" => args.ops_journal_out = Some(value("--ops-journal-out")?),
             "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--telemetry-every" => {
@@ -204,6 +251,20 @@ fn parse_args() -> Result<Args, String> {
                 args.shards
             ));
         }
+    }
+    if let Some(max) = args.ops.max_station().max(args.chaos.max_station()) {
+        if max >= args.stations {
+            return Err(format!(
+                "reconfiguration op targets station {max} but --stations is {}",
+                args.stations
+            ));
+        }
+    }
+    let has_ops = !args.ops.is_empty() || !args.chaos.ops.is_empty();
+    if has_ops && args.checkpoint_every != 0 {
+        return Err(
+            "reconfiguration ops require genesis replay; drop --checkpoint-every".to_string(),
+        );
     }
     #[cfg(not(feature = "obs"))]
     if args.metrics_addr.is_some()
@@ -346,6 +407,13 @@ fn main() -> ExitCode {
         },
         chaos: args.chaos.clone(),
         obs,
+        placement: PlacementConfig {
+            services: args.services,
+            cache_capacity: args.cache_capacity,
+            eviction: args.eviction,
+            seed: args.seed,
+        },
+        ops: args.ops.clone(),
     };
 
     eprintln!(
@@ -358,6 +426,18 @@ fn main() -> ExitCode {
             args.chaos.faults.len(),
             args.degraded
         );
+    }
+    if args.services > 0 {
+        eprintln!(
+            "placement: {} service(s), cache capacity {}, eviction {:?}",
+            args.services, args.cache_capacity, args.eviction
+        );
+    }
+    {
+        let ops = args.ops.len() + args.chaos.ops.len();
+        if ops > 0 {
+            eprintln!("reconfiguration: {ops} op(s) scheduled");
+        }
     }
     #[cfg(feature = "prof")]
     if args.profile_out.is_some() || args.profile_folded.is_some() {
@@ -382,6 +462,34 @@ fn main() -> ExitCode {
         outcome.final_snapshot.shed,
         outcome.metrics,
     );
+    let placement = &outcome.final_snapshot.placement;
+    if !placement.is_quiet() {
+        eprintln!(
+            "placement: {} hit(s) / {} miss(es), {} redirect(s), {} rehomed, \
+             {} install(s) ({} warm), {} held, {} shed | \
+             {} join(s), {} leave(s), {} drain(s), {} handoff(s), {} entr(ies) migrated",
+            placement.hits,
+            placement.misses,
+            placement.redirects,
+            placement.rehomed,
+            placement.installs_warm + placement.installs_cold,
+            placement.installs_warm,
+            placement.held,
+            placement.placement_shed,
+            placement.joins,
+            placement.leaves,
+            placement.drains,
+            placement.handoffs,
+            placement.migrated,
+        );
+    }
+    if let Some(path) = &args.ops_journal_out {
+        if let Err(e) = std::fs::write(path, &outcome.ops_journal) {
+            eprintln!("cannot write ops journal {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("ops journal: written to {path}");
+    }
     let faults = &outcome.final_snapshot.faults;
     if !faults.is_quiet() {
         eprintln!(

@@ -12,24 +12,32 @@
 //!
 //! ```text
 //! spec      := directive (',' directive)*
-//! directive := fault | recover
+//! directive := fault | recover | reconfig
 //! fault     := kind ':' 'shard=' K '@slot=' N ['@ms=' M]
 //! kind      := 'crash' | 'stall' | 'slow'
 //! recover   := 'recover' ['shard=' K] '@slot=' N
+//! reconfig  := ('join' | 'leave') ':' 'station=' K '@slot=' N
+//!            | 'drain' ':' 'station=' K '@slot=' N ['@window=' W]
 //! ```
 //!
 //! A `recover` directive without a shard attaches to the directly
-//! preceding fault. Examples:
+//! preceding fault. `join`/`leave`/`drain` directives target *stations*
+//! (not shards) and become [`mec_placement::ReconfigOp`]s carried in
+//! [`ChaosSpec::ops`], merged with any `--ops-script` the run was given.
+//! A `drain` without a window hands off immediately-ish (window 0).
+//! Examples:
 //!
 //! ```text
 //! crash:shard=1@slot=50,recover@slot=60
 //! stall:shard=0@slot=25
 //! slow:shard=2@slot=10@ms=200
+//! drain:station=3@slot=40@window=10,join:station=3@slot=90
 //! ```
 //!
 //! Fault *scripts* are the same grammar spread over lines: one or more
 //! directives per line, `#` starts a comment (see [`ChaosSpec::parse_script`]).
 
+use mec_placement::ReconfigOp;
 use std::fmt;
 
 /// What a fault does to the shard worker when its slot comes up.
@@ -81,6 +89,9 @@ pub struct FaultSpec {
 pub struct ChaosSpec {
     /// Scripted faults, in spec order.
     pub faults: Vec<FaultSpec>,
+    /// Scripted topology reconfiguration ops (`join`/`leave`/`drain`
+    /// directives), in spec order; merged with the run's ops script.
+    pub ops: Vec<ReconfigOp>,
 }
 
 /// A chaos spec that failed to parse; the message names the offending
@@ -111,6 +122,8 @@ struct Fields {
     shard: Option<usize>,
     slot: Option<u64>,
     ms: Option<u64>,
+    station: Option<usize>,
+    window: Option<u64>,
 }
 
 fn parse_fields(directive: &str, parts: &[&str]) -> Result<Fields, ChaosParseError> {
@@ -133,6 +146,14 @@ fn parse_fields(directive: &str, parts: &[&str]) -> Result<Fields, ChaosParseErr
             }
             "slot" => fields.slot = Some(parse_u64(value)?),
             "ms" => fields.ms = Some(parse_u64(value)?),
+            "station" => {
+                fields.station = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| err(format!("bad station {value:?} in {directive:?}")))?,
+                )
+            }
+            "window" => fields.window = Some(parse_u64(value)?),
             other => {
                 return Err(err(format!("unknown field {other:?} in {directive:?}")));
             }
@@ -142,9 +163,10 @@ fn parse_fields(directive: &str, parts: &[&str]) -> Result<Fields, ChaosParseErr
 }
 
 impl ChaosSpec {
-    /// Whether the schedule is empty (no faults to inject).
+    /// Whether the schedule is empty (no faults to inject and no
+    /// reconfiguration ops to apply).
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.ops.is_empty()
     }
 
     /// Parses a one-line spec (see the module docs for the grammar).
@@ -224,6 +246,38 @@ impl ChaosSpec {
             target.recover_at = Some(slot);
             return Ok(());
         }
+        if matches!(kind, "join" | "leave" | "drain") {
+            if fields.shard.is_some() || fields.ms.is_some() {
+                return Err(err(format!(
+                    "{kind} targets a station, not a shard, in {directive:?}"
+                )));
+            }
+            let station = fields
+                .station
+                .ok_or_else(|| err(format!("{kind} needs station=K in {directive:?}")))?;
+            let slot = fields
+                .slot
+                .ok_or_else(|| err(format!("{kind} needs @slot=N in {directive:?}")))?;
+            let op = match kind {
+                "join" => ReconfigOp::BsJoin { station, slot },
+                "leave" => ReconfigOp::BsLeave { station, slot },
+                _ => ReconfigOp::BsDrain {
+                    station,
+                    slot,
+                    window: fields.window.unwrap_or(0),
+                },
+            };
+            if kind != "drain" && fields.window.is_some() {
+                return Err(err(format!("only drain takes @window=W in {directive:?}")));
+            }
+            self.ops.push(op);
+            return Ok(());
+        }
+        if fields.station.is_some() || fields.window.is_some() {
+            return Err(err(format!(
+                "{kind} targets a shard, not a station, in {directive:?}"
+            )));
+        }
         let shard = fields
             .shard
             .ok_or_else(|| err(format!("{kind} needs shard=K in {directive:?}")))?;
@@ -240,7 +294,8 @@ impl ChaosSpec {
             },
             other => {
                 return Err(err(format!(
-                    "unknown fault kind {other:?} (accepted: crash, stall, slow, recover)"
+                    "unknown fault kind {other:?} (accepted: crash, stall, slow, recover, \
+                     join, leave, drain)"
                 )));
             }
         };
@@ -270,6 +325,12 @@ impl ChaosSpec {
     /// actual shard count).
     pub fn max_shard(&self) -> Option<usize> {
         self.faults.iter().map(|f| f.shard).max()
+    }
+
+    /// The largest station id any reconfiguration op names (for
+    /// validation against the actual topology).
+    pub fn max_station(&self) -> Option<usize> {
+        self.ops.iter().map(ReconfigOp::station).max()
     }
 }
 
@@ -346,6 +407,46 @@ stall:shard=0@slot=100   # detected via the reply deadline
     }
 
     #[test]
+    fn parses_reconfig_directives_into_ops() {
+        let spec = ChaosSpec::parse(
+            "drain:station=3@slot=40@window=10,crash:shard=1@slot=50,\
+             join:station=3@slot=90,leave:station=5@slot=120,drain:station=2@slot=7",
+        )
+        .unwrap();
+        assert_eq!(spec.faults.len(), 1);
+        assert_eq!(
+            spec.ops,
+            vec![
+                ReconfigOp::BsDrain {
+                    station: 3,
+                    slot: 40,
+                    window: 10
+                },
+                ReconfigOp::BsJoin {
+                    station: 3,
+                    slot: 90
+                },
+                ReconfigOp::BsLeave {
+                    station: 5,
+                    slot: 120
+                },
+                ReconfigOp::BsDrain {
+                    station: 2,
+                    slot: 7,
+                    window: 0
+                },
+            ]
+        );
+        assert_eq!(spec.max_station(), Some(5));
+        assert_eq!(spec.max_shard(), Some(1));
+        assert!(!spec.is_empty());
+        // An ops-only spec is not empty either.
+        assert!(!ChaosSpec::parse("join:station=0@slot=1")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
     fn rejects_malformed_directives() {
         for bad in [
             "explode:shard=0@slot=1",
@@ -357,6 +458,11 @@ stall:shard=0@slot=100   # detected via the reply deadline
             "crash:shard=0@slot=abc",
             "recover shard=3@slot=10",
             "crash:shard=0@slot=1@bogus=2",
+            "join:shard=1@slot=2",
+            "join:station=1",
+            "drain:station=1@slot=2@ms=5",
+            "leave:station=1@slot=2@window=5",
+            "crash:station=1@slot=2",
         ] {
             let res = ChaosSpec::parse(bad);
             assert!(res.is_err(), "{bad:?} should not parse: {res:?}");

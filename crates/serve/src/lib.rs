@@ -50,6 +50,21 @@
 //! the whole path reproducibly; [`FaultStats`] in each [`Snapshot`] counts
 //! restarts, replayed arrivals, and degraded slots.
 //!
+//! ## Placement and live reconfiguration
+//!
+//! With [`ServeConfig::placement`] enabled (`services > 0`), every
+//! arrival routes through a [`PlacementPlane`] before shard admission
+//! (see DESIGN.md §13): a hit on the home station's service cache
+//! proceeds; a miss redirects to the nearest deadline-feasible holder or
+//! triggers a capacity-bounded install (LRU/LFU eviction, warm/cold
+//! latency charged in slots) that parks the request until the service is
+//! resident. [`ServeConfig::ops`] — or `drain:`/`join:`/`leave:`
+//! directives in the chaos spec — reconfigures the fleet mid-run:
+//! drains hand in-flight journal state off to the nearest active station
+//! deterministically, so same seed + same ops script still reproduces a
+//! byte-identical final snapshot. [`PlacementStats`] in each
+//! [`Snapshot`] counts hits, installs, rehomes, and handoffs.
+//!
 //! ## Observability
 //!
 //! Attach an [`ObsHub`] (see [`ServeConfig::obs`]) to scrape a live
@@ -87,6 +102,7 @@ pub mod clock;
 pub mod loadgen;
 pub mod obs;
 pub mod partition;
+pub mod placement;
 pub mod policy;
 pub mod router;
 pub mod runtime;
@@ -98,6 +114,7 @@ pub use clock::{Clock, ClockMode};
 pub use loadgen::LoadGen;
 pub use obs::ObsHub;
 pub use partition::{partition, ShardPlan};
+pub use placement::{PlacementPlane, RouteDecision};
 pub use policy::{policy_from_name, UnknownPolicy, POLICY_NAMES};
 pub use router::{Admission, DegradedPolicy, Router};
 pub use runtime::{serve, FaultConfig, ServeConfig, ServeError, ServeOutcome};
@@ -105,4 +122,4 @@ pub use shard::{
     RecoverPlan, ShardCommand, ShardFinal, ShardHandle, ShardRecovered, ShardReply, ShardTick,
     SpawnSpec,
 };
-pub use snapshot::{FaultStats, LatencyStats, Snapshot};
+pub use snapshot::{FaultStats, LatencyStats, PlacementStats, Snapshot};

@@ -22,17 +22,22 @@
 
 use crate::router::Router;
 use crate::shard::ShardTick;
-use crate::snapshot::FaultStats;
+use crate::snapshot::{FaultStats, PlacementStats};
 use mec_obs::{
     Counter, EventSink, Gauge, Histogram, Registry, TraceEvent, TraceRing, TraceWriter,
     LATENCY_MS_BOUNDS, STEP_MS_BOUNDS,
 };
+use mec_placement::{InstallDone, PlacementState, ReconfigOp};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
 /// Capacity of each worker's event ring — ample for one slot's worth of
 /// fault events between barrier drains.
 const RING_CAP: usize = 4_096;
+
+/// Install latencies are a handful of slots (warm 1–2, cold 2–5), so the
+/// buckets hug the small integers.
+const INSTALL_SLOT_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 13.0];
 
 /// Observability attachment for a serving run: a shared metrics
 /// registry (scrape it with [`mec_obs::MetricsServer`]), an optional
@@ -178,6 +183,12 @@ pub(crate) struct ObsState {
     latency: Vec<Arc<Histogram>>,
     step: Vec<Arc<Histogram>>,
     bandit: Vec<BanditGauges>,
+    place_hits: Arc<Counter>,
+    place_misses: Arc<Counter>,
+    place_evictions: Arc<Counter>,
+    install_latency: Arc<Histogram>,
+    /// Per-BS cache occupancy gauges, grown lazily to the fleet size.
+    occupancy: Vec<Arc<Gauge>>,
     rings: Vec<Option<TraceRing>>,
     telemetry_every: u64,
     /// Outage length of every successful restart, in slots (feeds the
@@ -308,6 +319,28 @@ impl ObsState {
                 })
                 .collect(),
             bandit,
+            place_hits: r.counter(
+                "mec_placement_cache_hits_total",
+                "arrivals whose home station held their service",
+                &[],
+            ),
+            place_misses: r.counter(
+                "mec_placement_cache_misses_total",
+                "arrivals whose home station lacked their service",
+                &[],
+            ),
+            place_evictions: r.counter(
+                "mec_placement_evictions_total",
+                "residents evicted to make room for installs",
+                &[],
+            ),
+            install_latency: r.histogram(
+                "mec_placement_install_latency_slots",
+                "slots from install decision to residency",
+                &[],
+                INSTALL_SLOT_BOUNDS,
+            ),
+            occupancy: Vec::new(),
             rings: (0..shards)
                 .map(|_| tracing.then(|| TraceRing::with_capacity(RING_CAP)))
                 .collect(),
@@ -489,7 +522,7 @@ impl ObsState {
 
     /// Publishes the per-slot admission funnel (skipped when nothing was
     /// dispatched this slot, to keep traces proportional to activity).
-    #[allow(clippy::similar_names)]
+    #[allow(clippy::similar_names, clippy::too_many_arguments)]
     pub(crate) fn note_admission(
         &self,
         slot: u64,
@@ -498,8 +531,9 @@ impl ObsState {
         spilled: u64,
         shed: u64,
         shed_down: u64,
+        held: u64,
     ) {
-        if injected + buffered + spilled + shed + shed_down == 0 {
+        if injected + buffered + spilled + shed + shed_down + held == 0 {
             return;
         }
         mec_obs::event!(
@@ -511,12 +545,97 @@ impl ObsState {
             spilled = spilled,
             shed = shed,
             shed_down = shed_down,
+            held = held,
         );
     }
 
     /// Updates the slot gauge at the end of a barrier.
     pub(crate) fn set_slot(&self, slot: u64) {
         self.slot.set(slot as f64);
+    }
+
+    /// Publishes one slot's placement routing delta (cache counters plus
+    /// the `placement` trace event; skipped when nothing happened).
+    pub(crate) fn note_placement(&self, slot: u64, delta: &PlacementStats) {
+        if delta.is_quiet() {
+            return;
+        }
+        self.place_hits.add(delta.hits);
+        self.place_misses.add(delta.misses);
+        self.place_evictions.add(delta.evictions);
+        mec_obs::event!(
+            self,
+            slot,
+            "placement",
+            hits = delta.hits,
+            misses = delta.misses,
+            redirects = delta.redirects,
+            rehomed = delta.rehomed,
+            held = delta.held,
+            shed = delta.placement_shed,
+        );
+    }
+
+    /// Records a completed service install: the latency histogram and
+    /// the `install` event.
+    pub(crate) fn note_install_done(&self, slot: u64, done: &InstallDone) {
+        self.install_latency.observe(done.latency as f64);
+        mec_obs::event!(
+            self,
+            slot,
+            "install",
+            station = done.station,
+            service = done.service.0,
+            warm = done.warm,
+            latency_slots = done.latency,
+        );
+    }
+
+    /// Records a membership op the moment it applies.
+    pub(crate) fn note_reconfig(&self, slot: u64, op: &ReconfigOp) {
+        let kind = match op {
+            ReconfigOp::BsJoin { .. } => "join",
+            ReconfigOp::BsLeave { .. } => "leave",
+            ReconfigOp::BsDrain { .. } => "drain",
+        };
+        mec_obs::event!(self, slot, "reconfig", op = kind, station = op.station());
+    }
+
+    /// Records a drain/leave handoff: which station left, who took its
+    /// journaled in-flight state, and how much state moved.
+    pub(crate) fn note_handoff(
+        &self,
+        slot: u64,
+        station: usize,
+        takeover: Option<usize>,
+        migrated: u64,
+        leave: bool,
+    ) {
+        mec_obs::event!(
+            self,
+            slot,
+            "handoff",
+            station = station,
+            takeover = takeover.map_or(-1i64, |t| t as i64),
+            migrated = migrated,
+            leave = leave,
+        );
+    }
+
+    /// Mirrors per-BS cache occupancy into the registry, growing the
+    /// gauge set to the fleet size on first call.
+    pub(crate) fn sync_placement(&mut self, state: &PlacementState) {
+        while self.occupancy.len() < state.stations() {
+            let bs = self.occupancy.len();
+            self.occupancy.push(self.registry.gauge(
+                "mec_placement_bs_occupancy",
+                "storage units used (residents + reservations)",
+                &[("bs", &bs.to_string())],
+            ));
+        }
+        for st in 0..state.stations() {
+            self.occupancy[st].set(f64::from(state.occupancy(st)));
+        }
     }
 
     /// Mirrors the router-owned totals into the registry.

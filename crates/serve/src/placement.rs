@@ -1,0 +1,456 @@
+//! The serving plane's view of placement: placement-aware routing ahead
+//! of shard admission, install latency charged against the slot budget,
+//! and live `BsJoin`/`BsLeave`/`BsDrain` reconfiguration.
+//!
+//! [`PlacementPlane`] wraps a [`mec_placement::PlacementState`] with
+//! everything the driver loop needs:
+//!
+//! * [`PlacementPlane::route`] runs *before* [`crate::Router::admit`]:
+//!   an arrival whose home station is out of the fleet is rehomed to the
+//!   nearest active station; a placement miss either redirects to the
+//!   nearest active holder (when the round-trip still meets the
+//!   deadline) or triggers an install and **holds** the request until
+//!   the service is resident — a miss is an explicit decision, never a
+//!   silent acceptance.
+//! * Scheduled ops apply at the top of their slot
+//!   ([`PlacementPlane::ops_due`]), and drain handoffs come due through
+//!   [`PlacementPlane::drains_due`] — the runtime migrates the drained
+//!   station's journaled in-flight state to the takeover station and
+//!   rebuilds the affected shards by journal replay.
+//!
+//! Determinism: the plane's decisions read only seed-derived state
+//! (catalog, caches), the slot index, and the topology's path table.
+//! Held requests live in a `BTreeMap` keyed by release slot and are
+//! released in arrival order, so same seed + same ops script reproduces
+//! the identical admission stream.
+
+use crate::snapshot::PlacementStats;
+use mec_placement::{InstallOutcome, OpsLog, PlacementConfig, PlacementState, ReconfigOp};
+use mec_topology::{PathTable, StationId, Topology};
+use mec_workload::Request;
+use std::collections::BTreeMap;
+
+/// What the placement plane decided for one arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteDecision {
+    /// Hand the request to shard admission (possibly rehomed onto a
+    /// station that is active and/or holds the service).
+    Proceed(Request),
+    /// An install is in flight; the request is parked in the plane and
+    /// re-dispatched at `ready_at`.
+    Held {
+        /// Slot the request will be released at.
+        ready_at: u64,
+    },
+    /// No active station can take the request (fleet empty, or the
+    /// service is unplaceable and no holder exists). Count as shed.
+    Shed,
+}
+
+/// Rewrites a request's home station, preserving everything else.
+fn rehome(request: &Request, home: StationId) -> Request {
+    Request::new(
+        request.id(),
+        home,
+        request.arrival_slot(),
+        request.duration_slots(),
+        request.tasks().to_vec(),
+        request.demand().clone(),
+        request.deadline(),
+    )
+}
+
+/// Driver-side placement state for one serving run.
+pub struct PlacementPlane {
+    state: PlacementState,
+    paths: PathTable,
+    /// Scheduled ops, normalized (slot-sorted, stable); `cursor` marks
+    /// the first not-yet-applied op.
+    ops: OpsLog,
+    cursor: usize,
+    /// Requests parked for an in-flight install, keyed by release slot.
+    held: BTreeMap<u64, Vec<Request>>,
+    stats: PlacementStats,
+}
+
+impl PlacementPlane {
+    /// Builds the plane for `topo` from the placement config and the
+    /// merged ops schedule (CLI script plus chaos ops). Stations whose
+    /// first op is a join start outside the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an op names a station the topology does
+    /// not have.
+    pub fn new(topo: &Topology, cfg: &PlacementConfig, mut ops: OpsLog) -> Result<Self, String> {
+        if let Some(max) = ops.max_station() {
+            if max >= topo.station_count() {
+                return Err(format!(
+                    "ops target station {max} but the topology has only {} stations",
+                    topo.station_count()
+                ));
+            }
+        }
+        ops.normalize();
+        let mut state = PlacementState::new(topo.station_count(), cfg);
+        for st in ops.initially_inactive() {
+            state.deactivate(st);
+        }
+        Ok(Self {
+            state,
+            paths: topo.shortest_paths(),
+            ops,
+            cursor: 0,
+            held: BTreeMap::new(),
+            stats: PlacementStats::default(),
+        })
+    }
+
+    /// Whether the plane can change anything at all: placement enabled
+    /// or at least one scheduled op. When false, [`PlacementPlane::route`]
+    /// is the identity and the driver loop's placement phases no-op.
+    pub fn is_live(&self) -> bool {
+        self.state.enabled() || !self.ops.is_empty()
+    }
+
+    /// The underlying placement state machine.
+    pub fn state(&self) -> &PlacementState {
+        &self.state
+    }
+
+    /// Cumulative placement counters (snapshot payload).
+    pub fn stats(&self) -> &PlacementStats {
+        &self.stats
+    }
+
+    /// The normalized full ops journal as JSONL — what `--ops-journal-out`
+    /// writes, and what replays the run byte-identically.
+    pub fn ops_journal(&self) -> String {
+        self.ops.to_jsonl()
+    }
+
+    /// The nearest active station to `from` (excluding `from` itself),
+    /// delay ties broken by smallest id. `None` when the fleet has no
+    /// other active station.
+    pub fn nearest_active(&self, from: usize) -> Option<usize> {
+        let candidates = self
+            .state
+            .active_stations()
+            .into_iter()
+            .filter(|&s| s != from)
+            .map(StationId);
+        self.paths
+            .nearest(StationId(from), candidates)
+            .map(|s| s.index())
+    }
+
+    /// Active stations holding the service `request` needs (global ids,
+    /// ascending) — the placement hint for spill target selection. Empty
+    /// when placement is disabled.
+    pub fn holders_of(&self, request: &Request) -> Vec<usize> {
+        if !self.state.enabled() {
+            return Vec::new();
+        }
+        let svc = self.state.service_of(request.id().index());
+        self.state.holders(svc)
+    }
+
+    /// Routes one arrival at `slot`: membership first (inactive home →
+    /// rehome to the nearest active station), then placement (hit →
+    /// proceed; miss → redirect to the nearest deadline-feasible holder,
+    /// else install-and-hold, else any holder, else shed).
+    pub fn route(&mut self, request: Request, slot: u64) -> RouteDecision {
+        // Membership: requests never land on draining or inactive
+        // stations.
+        let request = if self.state.is_active(request.home().index()) {
+            request
+        } else {
+            match self.nearest_active(request.home().index()) {
+                Some(target) => {
+                    self.stats.rehomed += 1;
+                    rehome(&request, StationId(target))
+                }
+                None => {
+                    self.stats.placement_shed += 1;
+                    return RouteDecision::Shed;
+                }
+            }
+        };
+        if !self.state.enabled() {
+            return RouteDecision::Proceed(request);
+        }
+        let home = request.home().index();
+        let svc = self.state.service_of(request.id().index());
+        if self.state.holds(home, svc) {
+            self.state.touch(home, svc, slot);
+            self.stats.hits += 1;
+            return RouteDecision::Proceed(request);
+        }
+        self.stats.misses += 1;
+        // Redirect beats installing when a holder is close enough that
+        // the round trip still meets the request's latency requirement.
+        let holder = self.paths.nearest(
+            request.home(),
+            self.state.holders(svc).into_iter().map(StationId),
+        );
+        if let Some(target) = holder {
+            let feasible = self
+                .paths
+                .delay(request.home(), target)
+                .is_some_and(|d| (d * 2.0).as_ms() <= request.deadline().as_ms() + 1e-9);
+            if feasible {
+                self.state.touch(target.index(), svc, slot);
+                self.stats.redirects += 1;
+                return RouteDecision::Proceed(rehome(&request, target));
+            }
+        }
+        match self.state.begin_install(home, svc, slot) {
+            InstallOutcome::Started {
+                ready_at,
+                warm,
+                evicted,
+            } => {
+                if warm {
+                    self.stats.installs_warm += 1;
+                } else {
+                    self.stats.installs_cold += 1;
+                }
+                self.stats.evictions += evicted.len() as u64;
+                self.hold(ready_at, request);
+                RouteDecision::Held { ready_at }
+            }
+            InstallOutcome::AlreadyInstalling { ready_at } => {
+                self.hold(ready_at, request);
+                RouteDecision::Held { ready_at }
+            }
+            InstallOutcome::Unplaceable => match holder {
+                // Too far for the deadline, but a placed copy beats
+                // dropping the request outright.
+                Some(target) => {
+                    self.state.touch(target.index(), svc, slot);
+                    self.stats.redirects += 1;
+                    RouteDecision::Proceed(rehome(&request, target))
+                }
+                None => {
+                    self.stats.placement_shed += 1;
+                    RouteDecision::Shed
+                }
+            },
+        }
+    }
+
+    fn hold(&mut self, ready_at: u64, request: Request) {
+        self.stats.held += 1;
+        self.held.entry(ready_at).or_default().push(request);
+    }
+
+    /// Completes installs due at `slot` (services become resident).
+    pub fn complete_installs(&mut self, slot: u64) -> Vec<mec_placement::InstallDone> {
+        self.state.complete_due(slot)
+    }
+
+    /// Releases every held request due at or before `slot`, in release
+    /// slot order then arrival order. Each re-enters routing (the
+    /// station may have drained away in the meantime).
+    pub fn release_due(&mut self, slot: u64) -> Vec<Request> {
+        let mut rest = self.held.split_off(&(slot + 1));
+        std::mem::swap(&mut self.held, &mut rest);
+        rest.into_values().flatten().collect()
+    }
+
+    /// Whether any request is parked waiting for an install.
+    pub fn has_held(&self) -> bool {
+        !self.held.is_empty()
+    }
+
+    /// Drops every held request (run cut off at the hard stop). Returns
+    /// how many were abandoned; the caller counts them as shed.
+    pub fn abandon_held(&mut self) -> u64 {
+        let n = self.held.values().map(Vec::len).sum::<usize>() as u64;
+        self.held.clear();
+        self.stats.placement_shed += n;
+        n
+    }
+
+    /// Ops scheduled at or before `slot` that have not been applied yet,
+    /// in normalized order. The caller applies each (joins/drains via
+    /// [`PlacementPlane::apply_join`] / [`PlacementPlane::apply_drain`];
+    /// leaves via the runtime's handoff, then
+    /// [`PlacementPlane::apply_leave`]).
+    pub fn ops_due(&mut self, slot: u64) -> Vec<ReconfigOp> {
+        let mut due = Vec::new();
+        while self.cursor < self.ops.ops.len() && self.ops.ops[self.cursor].slot() <= slot {
+            due.push(self.ops.ops[self.cursor]);
+            self.cursor += 1;
+        }
+        due
+    }
+
+    /// Whether every scheduled op has been applied.
+    pub fn ops_exhausted(&self) -> bool {
+        self.cursor >= self.ops.ops.len()
+    }
+
+    /// The last slot at which the schedule can still change membership
+    /// (op slots, plus drain handoff slots). 0 with no ops.
+    pub fn last_op_effect_slot(&self) -> u64 {
+        self.ops
+            .ops
+            .iter()
+            .map(|op| match *op {
+                ReconfigOp::BsDrain { slot, window, .. } => slot.saturating_add(window),
+                other => other.slot(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Stations whose drain handoff is due at or before `slot`.
+    pub fn drains_due(&self, slot: u64) -> Vec<usize> {
+        self.state.drains_due(slot)
+    }
+
+    /// Whether any station is still draining (the run waits for its
+    /// handoff before declaring itself drained).
+    pub fn has_pending_drains(&self) -> bool {
+        !self.state.drains_due(u64::MAX).is_empty()
+    }
+
+    /// Applies a join: the station re-enters the fleet (cancelling any
+    /// drain in progress).
+    pub fn apply_join(&mut self, station: usize) {
+        self.state.activate(station);
+        self.stats.joins += 1;
+    }
+
+    /// Applies a drain: the station stops admitting now and hands off at
+    /// `until`.
+    pub fn apply_drain(&mut self, station: usize, until: u64) {
+        if self.state.begin_drain(station, until) {
+            self.stats.drains += 1;
+        }
+    }
+
+    /// Finishes a leave or drain handoff: the station goes inactive,
+    /// abandoning pending installs (their held requests re-route on
+    /// release). `migrated` is the number of journal entries the runtime
+    /// moved to the takeover station.
+    pub fn apply_handoff(&mut self, station: usize, leave: bool, migrated: u64) {
+        self.state.deactivate(station);
+        if leave {
+            self.stats.leaves += 1;
+        }
+        self.stats.handoffs += 1;
+        self.stats.migrated += migrated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_placement::EvictionPolicy;
+    use mec_topology::TopologyBuilder;
+    use mec_workload::WorkloadBuilder;
+
+    fn plane(services: usize, ops: OpsLog) -> (Topology, Vec<Request>, PlacementPlane) {
+        let topo = TopologyBuilder::new(8).seed(3).build();
+        let requests = WorkloadBuilder::new(&topo).seed(3).count(40).build();
+        let cfg = PlacementConfig {
+            services,
+            cache_capacity: 4,
+            eviction: EvictionPolicy::Lru,
+            seed: 3,
+        };
+        let plane = PlacementPlane::new(&topo, &cfg, ops).unwrap();
+        (topo, requests, plane)
+    }
+
+    #[test]
+    fn disabled_plane_is_identity() {
+        let (_, requests, mut plane) = plane(0, OpsLog::default());
+        assert!(!plane.is_live());
+        let r = requests[0].clone();
+        assert_eq!(plane.route(r.clone(), 0), RouteDecision::Proceed(r));
+        assert!(plane.stats().is_quiet());
+    }
+
+    #[test]
+    fn first_touch_installs_and_holds_then_hits() {
+        let (_, requests, mut plane) = plane(4, OpsLog::default());
+        let r = requests[0].clone();
+        let RouteDecision::Held { ready_at } = plane.route(r.clone(), 0) else {
+            panic!("cold start must install, not proceed");
+        };
+        assert!(ready_at > 0, "install latency is charged in slots");
+        assert_eq!(plane.stats().misses, 1);
+        assert!(plane.has_held());
+        assert!(plane.release_due(ready_at - 1).is_empty());
+        plane.complete_installs(ready_at);
+        let released = plane.release_due(ready_at);
+        assert_eq!(released, vec![r.clone()]);
+        // Released request re-routes: now a hit on the same station.
+        assert_eq!(plane.route(r.clone(), ready_at), RouteDecision::Proceed(r));
+        assert_eq!(plane.stats().hits, 1);
+    }
+
+    #[test]
+    fn inactive_home_rehomes_to_nearest_active() {
+        let ops = OpsLog::parse_jsonl("{\"op\":\"leave\",\"station\":2,\"slot\":0}").unwrap();
+        let (_, requests, mut plane) = plane(0, ops);
+        for op in plane.ops_due(0) {
+            assert!(matches!(op, ReconfigOp::BsLeave { station: 2, .. }));
+            plane.apply_handoff(2, true, 0);
+        }
+        let victim = requests
+            .iter()
+            .find(|r| r.home().index() == 2)
+            .expect("seeded workload covers station 2")
+            .clone();
+        match plane.route(victim, 5) {
+            RouteDecision::Proceed(r) => assert_ne!(r.home().index(), 2),
+            other => panic!("expected a rehome, got {other:?}"),
+        }
+        assert_eq!(plane.stats().rehomed, 1);
+        assert_eq!(plane.stats().leaves, 1);
+    }
+
+    #[test]
+    fn everything_inactive_sheds() {
+        let mut lines = String::new();
+        for st in 0..8 {
+            lines.push_str(&format!(
+                "{{\"op\":\"leave\",\"station\":{st},\"slot\":0}}\n"
+            ));
+        }
+        let (_, requests, mut plane) = plane(0, OpsLog::parse_jsonl(&lines).unwrap());
+        for op in plane.ops_due(0) {
+            plane.apply_handoff(op.station(), true, 0);
+        }
+        assert_eq!(plane.route(requests[0].clone(), 1), RouteDecision::Shed);
+        assert_eq!(plane.stats().placement_shed, 1);
+    }
+
+    #[test]
+    fn ops_cursor_is_slot_ordered_and_exhausts() {
+        let ops = OpsLog::parse_jsonl(
+            "{\"op\":\"drain\",\"station\":1,\"slot\":10,\"window\":5}\n\
+             {\"op\":\"join\",\"station\":1,\"slot\":40}\n",
+        )
+        .unwrap();
+        let (_, _, mut plane) = plane(0, ops);
+        assert!(plane.is_live(), "ops alone make the plane live");
+        assert!(plane.ops_due(9).is_empty());
+        let due = plane.ops_due(10);
+        assert_eq!(due.len(), 1);
+        plane.apply_drain(1, 15);
+        assert_eq!(plane.drains_due(14), Vec::<usize>::new());
+        assert_eq!(plane.drains_due(15), vec![1]);
+        assert!(!plane.ops_exhausted());
+        assert_eq!(plane.last_op_effect_slot(), 40);
+        let due = plane.ops_due(40);
+        assert_eq!(due.len(), 1);
+        plane.apply_join(1);
+        assert!(plane.ops_exhausted());
+        assert!(!plane.has_pending_drains());
+    }
+}

@@ -198,6 +198,32 @@ impl Router {
         )
     }
 
+    /// Picks the spill destination for a request homing on (down)
+    /// `home_shard`. With a placement hint, the winner is the hinted
+    /// *holder station* whose shard is up — minimum cyclic shard distance
+    /// first, then smallest global station id (the pinned tie-break) —
+    /// and the request lands exactly on that station. Without a usable
+    /// hint this falls back to the legacy nearest-available-shard rule.
+    /// Returns `(shard, Some(local_station))` for a directed spill,
+    /// `(shard, None)` for the legacy clamp.
+    fn spill_choice(
+        &self,
+        home_shard: usize,
+        holders: Option<&[usize]>,
+    ) -> Option<(usize, Option<usize>)> {
+        if let Some(holders) = holders {
+            let best = holders
+                .iter()
+                .map(|&g| (g % self.shards, g))
+                .filter(|&(s, _)| s != home_shard && self.available[s])
+                .min_by_key(|&(s, g)| ((s + self.shards - home_shard) % self.shards, g));
+            if let Some((shard, global)) = best {
+                return Some((shard, Some(global / self.shards)));
+            }
+        }
+        self.spill_target(home_shard).map(|s| (s, None))
+    }
+
     /// Marks `shard` unavailable: subsequent arrivals follow the degraded
     /// policy until [`Router::mark_up`].
     pub fn mark_down(&mut self, shard: usize) {
@@ -242,6 +268,20 @@ impl Router {
     /// injected, buffered, or spilled — is recorded in the journal of the
     /// shard that will (eventually) own it.
     pub fn admit(&mut self, request: &Request, slot: u64) -> Admission {
+        self.admit_with(request, slot, None)
+    }
+
+    /// [`Router::admit`] with a placement hint: `holders` are the global
+    /// ids of stations currently holding the request's service. The hint
+    /// only affects [`DegradedPolicy::Spill`], which then reroutes onto a
+    /// station that can actually serve the request instead of the
+    /// geometrically nearest shard.
+    pub fn admit_with(
+        &mut self,
+        request: &Request,
+        slot: u64,
+        holders: Option<&[usize]>,
+    ) -> Admission {
         let home_shard = self.shard_of(request.home());
         if self.available[home_shard] {
             if self.backlog[home_shard] >= self.queue_capacity {
@@ -278,7 +318,7 @@ impl Router {
                 Admission::Shed
             }
             DegradedPolicy::Spill => {
-                let Some(target) = self.spill_target(home_shard) else {
+                let Some((target, station)) = self.spill_choice(home_shard, holders) else {
                     self.shed += 1;
                     self.shed_while_down += 1;
                     return Admission::Shed;
@@ -288,7 +328,18 @@ impl Router {
                     self.shed_while_down += 1;
                     return Admission::Shed;
                 }
-                let localized = self.localize_into(target, request);
+                let localized = match station {
+                    Some(local) => Request::new(
+                        request.id(),
+                        StationId(local.min(self.station_counts[target].saturating_sub(1))),
+                        request.arrival_slot(),
+                        request.duration_slots(),
+                        request.tasks().to_vec(),
+                        request.demand().clone(),
+                        request.deadline(),
+                    ),
+                    None => self.localize_into(target, request),
+                };
                 self.backlog[target] += 1;
                 self.admitted += 1;
                 self.spilled += 1;
@@ -299,6 +350,56 @@ impl Router {
                 }
             }
         }
+    }
+
+    /// Moves every journaled request homed on global station `from` to
+    /// global station `to` — the journal half of a drain/leave handoff.
+    /// Entries leave the source shard's journal, are rewritten to `to`'s
+    /// local id space, and merge into the destination shard's journal in
+    /// admission-slot order (existing entries first on equal slots, so
+    /// the merge is deterministic). Returns how many entries moved.
+    ///
+    /// The caller is responsible for rebuilding affected live workers by
+    /// journal replay; the router only rewrites the replay log.
+    pub fn migrate_station(&mut self, from: StationId, to: StationId) -> u64 {
+        let from_shard = self.shard_of(from);
+        let to_shard = self.shard_of(to);
+        let from_local = from.index() / self.shards;
+        let to_local = to.index() / self.shards;
+        let (moved, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut self.journal[from_shard])
+            .into_iter()
+            .partition(|(_, r)| r.home().index() == from_local);
+        self.journal[from_shard] = kept.into_iter().collect();
+        let migrated = moved.len() as u64;
+        if migrated == 0 {
+            return 0;
+        }
+        let mut merged: Vec<(u64, Request)> = self.journal[to_shard].drain(..).collect();
+        for (slot, r) in moved {
+            merged.push((
+                slot,
+                Request::new(
+                    r.id(),
+                    StationId(to_local),
+                    r.arrival_slot(),
+                    r.duration_slots(),
+                    r.tasks().to_vec(),
+                    r.demand().clone(),
+                    r.deadline(),
+                ),
+            ));
+        }
+        // Stable: existing destination entries keep winning equal-slot ties.
+        merged.sort_by_key(|(slot, _)| *slot);
+        self.journal[to_shard] = merged.into_iter().collect();
+        migrated
+    }
+
+    /// Counts `n` requests shed outside the router (placement-plane
+    /// sheds, held requests abandoned at the hard stop), keeping the
+    /// `admitted + shed == dispatched` invariant intact.
+    pub fn count_shed(&mut self, n: u64) {
+        self.shed += n;
     }
 
     /// Clones `shard`'s journal entries with admission slot `>= from_slot`
@@ -536,6 +637,85 @@ mod tests {
         }
         assert_eq!(router.shed(), 4);
         assert_eq!(router.shed_while_down(), 4);
+    }
+
+    #[test]
+    fn placement_spill_prefers_holder_with_pinned_tie_break() {
+        let topo = TopologyBuilder::new(9).seed(4).build();
+        let plans = partition(&topo, 3);
+        let requests = WorkloadBuilder::new(&topo).seed(4).count(30).build();
+        let mut router = Router::new(3, 64);
+        router.set_station_counts(plans.iter().map(|p| p.topo.station_count()).collect());
+        router.set_degraded_policy(DegradedPolicy::Spill);
+        router.mark_down(0);
+        let victim = requests
+            .iter()
+            .find(|r| r.home().index() % 3 == 0)
+            .expect("seeded workload covers shard 0");
+        // Holders 4 and 7 share shard 1 (cyclic distance 1 from shard 0),
+        // holder 5 sits on shard 2 (distance 2). The tie inside shard 1
+        // resolves to the smallest global station id: 4, local index 1.
+        match router.admit_with(victim, 0, Some(&[7, 5, 4])) {
+            Admission::Spilled { shard, request } => {
+                assert_eq!(shard, 1);
+                assert_eq!(request.home().index(), 4 / 3);
+            }
+            other => panic!("expected a directed spill, got {other:?}"),
+        }
+        // The same arrival without a hint follows the legacy clamp rule.
+        let mut legacy = Router::new(3, 64);
+        legacy.set_station_counts(plans.iter().map(|p| p.topo.station_count()).collect());
+        legacy.set_degraded_policy(DegradedPolicy::Spill);
+        legacy.mark_down(0);
+        assert_eq!(
+            legacy.admit_with(victim, 0, None),
+            legacy.clone().admit(victim, 0),
+            "no hint degrades to the legacy spill"
+        );
+        // Holders only on the down shard itself: fall back to legacy too.
+        let mut own = Router::new(3, 64);
+        own.set_station_counts(plans.iter().map(|p| p.topo.station_count()).collect());
+        own.set_degraded_policy(DegradedPolicy::Spill);
+        own.mark_down(0);
+        match own.admit_with(victim, 0, Some(&[0, 3])) {
+            Admission::Spilled { shard, .. } => assert_eq!(shard, 1),
+            other => panic!("expected the legacy spill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn migrate_station_moves_and_rewrites_journal_entries() {
+        let topo = TopologyBuilder::new(8).seed(6).build();
+        let requests = WorkloadBuilder::new(&topo).seed(6).count(40).build();
+        let mut router = Router::new(2, 1024);
+        router.set_station_counts(vec![4, 4]);
+        for (i, r) in requests.iter().enumerate() {
+            let _ = router.admit(r, i as u64);
+        }
+        let before: usize = (0..2).map(|s| router.journal_len(s)).sum();
+        // Move station 6 (shard 0, local 3) onto station 1 (shard 1, local 0).
+        let from_count = router
+            .journal_since(0, 0)
+            .iter()
+            .filter(|(_, r)| r.home().index() == 3)
+            .count() as u64;
+        assert!(
+            from_count > 0,
+            "seeded workload homes requests on station 6"
+        );
+        let moved = router.migrate_station(StationId(6), StationId(1));
+        assert_eq!(moved, from_count);
+        let after: usize = (0..2).map(|s| router.journal_len(s)).sum();
+        assert_eq!(before, after, "migration moves entries, never drops them");
+        assert!(router
+            .journal_since(0, 0)
+            .iter()
+            .all(|(_, r)| r.home().index() != 3));
+        // Destination journal stays slot-sorted after the merge.
+        let dest = router.journal_since(1, 0);
+        assert!(dest.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Nothing homed on the source: a second migration is a no-op.
+        assert_eq!(router.migrate_station(StationId(6), StationId(1)), 0);
     }
 
     #[test]

@@ -53,12 +53,15 @@ use crate::clock::{Clock, ClockMode};
 use crate::loadgen::LoadGen;
 use crate::obs::{ObsHub, ObsState};
 use crate::partition::{partition, ShardPlan};
+use crate::placement::{PlacementPlane, RouteDecision};
 use crate::policy::{policy_from_name, UnknownPolicy};
 use crate::router::{Admission, DegradedPolicy, Router};
 use crate::shard::{RecoverPlan, ShardCommand, ShardHandle, ShardReply, ShardTick, SpawnSpec};
 use crate::snapshot::{LatencyStats, Snapshot};
+use mec_placement::{OpsLog, PlacementConfig, ReconfigOp};
 use mec_sim::{EngineState, Metrics, SlotConfig};
-use mec_topology::Topology;
+use mec_topology::{StationId, Topology};
+use mec_workload::Request;
 use std::fmt;
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
@@ -134,6 +137,15 @@ pub struct ServeConfig {
     /// optional event-trace sink. `None` (the default) gives the run a
     /// private registry and changes nothing observable.
     pub obs: Option<Arc<ObsHub>>,
+    /// Service placement knobs; `services == 0` (the default) disables
+    /// placement-aware routing entirely.
+    pub placement: PlacementConfig,
+    /// Scripted topology reconfiguration ops (joins/leaves/drains),
+    /// merged with any ops carried by the chaos spec. Incompatible with
+    /// periodic checkpointing ([`FaultConfig::checkpoint_every`] must be
+    /// 0 when ops are present): drain handoffs rewrite replay journals,
+    /// which is only exact under genesis replay.
+    pub ops: OpsLog,
 }
 
 impl Default for ServeConfig {
@@ -150,6 +162,8 @@ impl Default for ServeConfig {
             faults: FaultConfig::default(),
             chaos: ChaosSpec::default(),
             obs: None,
+            placement: PlacementConfig::default(),
+            ops: OpsLog::default(),
         }
     }
 }
@@ -176,6 +190,10 @@ pub enum ServeError {
     /// The chaos spec is inconsistent with the run configuration (e.g.
     /// targets a shard index beyond the shard count).
     Chaos(String),
+    /// The placement/reconfiguration setup is invalid (an op targets a
+    /// station the topology lacks, or ops are combined with periodic
+    /// checkpointing).
+    Reconfig(String),
 }
 
 impl fmt::Display for ServeError {
@@ -188,6 +206,7 @@ impl fmt::Display for ServeError {
                 write!(f, "spawning worker for shard {shard}: {source}")
             }
             Self::Chaos(msg) => write!(f, "chaos spec: {msg}"),
+            Self::Reconfig(msg) => write!(f, "reconfiguration: {msg}"),
         }
     }
 }
@@ -213,6 +232,11 @@ pub struct ServeOutcome {
     pub snapshots_emitted: usize,
     /// Wall-clock duration of the run in seconds.
     pub wall_secs: f64,
+    /// The normalized ops journal the run applied, as JSONL (empty when
+    /// no ops ran). Feeding it back as the ops script of a same-seed run
+    /// reproduces the identical final snapshot — that is the
+    /// crash-and-replay oracle for live reconfiguration.
+    pub ops_journal: String,
 }
 
 /// Derives a shard engine's seed from the run seed. The odd multiplier
@@ -334,10 +358,17 @@ fn apply_tick(sup: &mut Supervised, router: &mut Router, obs: &mut ObsState, tic
 /// state in. Returns `Ok(false)` if the replacement worker itself died
 /// before reporting (the caller reschedules).
 ///
+/// With `handoff` set the rebuild is part of a drain/leave journal
+/// migration, not a failure: the restart budget and every [`FaultStats`]
+/// counter stay untouched (a pure reconfiguration run must report quiet
+/// fault stats), and the handoff accounting lives in
+/// [`crate::PlacementStats`] instead.
+///
 /// The catch-up wait is a *blocking* receive on purpose: replaying a long
 /// prefix legitimately takes many tick intervals, and scripted faults
 /// never fire during replay, so the deadline that guards live ticks would
 /// only produce false positives here.
+#[allow(clippy::too_many_arguments)]
 fn restart(
     sup: &mut Supervised,
     router: &mut Router,
@@ -346,6 +377,7 @@ fn restart(
     horizon_hint: u64,
     slot: u64,
     detected_at: u64,
+    handoff: bool,
 ) -> Result<bool, ServeError> {
     let shard = sup.shard;
     let policy = policy_from_name(&cfg.policy, horizon_hint, cfg.solver)?;
@@ -365,13 +397,17 @@ fn restart(
         step_hist: obs.step_hist(shard),
         telemetry_every: obs.telemetry_every(),
     };
-    obs.note_restart_attempt(shard);
-    sup.restarts_used += 1;
+    if !handoff {
+        obs.note_restart_attempt(shard);
+        sup.restarts_used += 1;
+    }
     let handle =
         ShardHandle::spawn(spec, policy).map_err(|source| ServeError::Spawn { shard, source })?;
     match handle.recv() {
         Ok(ShardReply::Recovered(rec)) => {
-            obs.note_restart_ok(slot, shard, rec.replayed, slot.saturating_sub(detected_at));
+            if !handoff {
+                obs.note_restart_ok(slot, shard, rec.replayed, slot.saturating_sub(detected_at));
+            }
             sup.total_reward = rec.total_reward;
             sup.completed = rec.completed;
             sup.expired = rec.expired;
@@ -392,6 +428,149 @@ fn restart(
             handle.abandon();
             Ok(false)
         }
+    }
+}
+
+/// Executes one drain/leave handoff at the top of `slot`: pick the
+/// takeover station (nearest active, smallest id on delay ties), migrate
+/// the departing station's journal entries onto it, deactivate the
+/// station in the plane, and rebuild the affected *live* workers by
+/// journal replay so their engines match the rewritten journal. Runs
+/// before this slot's supervisor restarts, so a Down shard picks the
+/// migrated journal up in its ordinary recovery pass.
+#[allow(clippy::too_many_arguments)]
+fn handoff(
+    station: usize,
+    leave: bool,
+    plane: &mut PlacementPlane,
+    router: &mut Router,
+    supervised: &mut [Supervised],
+    obs: &mut ObsState,
+    cfg: &ServeConfig,
+    horizon_hint: u64,
+    slot: u64,
+) -> Result<(), ServeError> {
+    let takeover = plane.nearest_active(station);
+    let migrated = match takeover {
+        Some(to) => router.migrate_station(StationId(station), StationId(to)),
+        None => 0,
+    };
+    plane.apply_handoff(station, leave, migrated);
+    obs.note_handoff(slot, station, takeover, migrated, leave);
+    if migrated == 0 {
+        // Nothing journaled on the departing station: membership already
+        // changed, no worker needs rebuilding.
+        return Ok(());
+    }
+    let to = takeover.expect("migrated entries imply a takeover station");
+    let from_shard = router.shard_of(StationId(station));
+    let to_shard = router.shard_of(StationId(to));
+    let mut shards = vec![from_shard];
+    if to_shard != from_shard {
+        shards.push(to_shard);
+    }
+    for shard in shards {
+        if !matches!(supervised[shard].status, ShardStatus::Up) {
+            continue;
+        }
+        if let Some(handle) = supervised[shard].handle.take() {
+            handle.abandon();
+        }
+        router.mark_down(shard);
+        let revived = restart(
+            &mut supervised[shard],
+            router,
+            obs,
+            cfg,
+            horizon_hint,
+            slot,
+            slot,
+            true,
+        )?;
+        if !revived {
+            // The replacement died before reporting: fall back to the
+            // ordinary supervision path (now counted as a failure).
+            supervised[shard].status = ShardStatus::Down {
+                detected_at: slot,
+                restart_at: slot + cfg.faults.restart_backoff_slots.max(1),
+            };
+        }
+    }
+    Ok(())
+}
+
+/// Per-slot dispatch counters for the admission-funnel event.
+#[derive(Default)]
+struct DispatchCounts {
+    injected: u64,
+    buffered: u64,
+    spilled: u64,
+    shed: u64,
+    held: u64,
+}
+
+/// Routes one request through the placement plane and, when it proceeds,
+/// through shard admission — the single dispatch path both fresh
+/// arrivals and released held requests take.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_one(
+    request: Request,
+    slot: u64,
+    plane: &mut PlacementPlane,
+    router: &mut Router,
+    supervised: &mut [Supervised],
+    obs: &ObsState,
+    backoff: u64,
+    counts: &mut DispatchCounts,
+) {
+    let request = match plane.route(request, slot) {
+        RouteDecision::Proceed(r) => r,
+        RouteDecision::Held { .. } => {
+            counts.held += 1;
+            return;
+        }
+        RouteDecision::Shed => {
+            router.count_shed(1);
+            counts.shed += 1;
+            return;
+        }
+    };
+    let holders = plane.holders_of(&request);
+    let decision = router.admit_with(
+        &request,
+        slot,
+        if holders.is_empty() {
+            None
+        } else {
+            Some(&holders)
+        },
+    );
+    match &decision {
+        Admission::Inject { .. } => counts.injected += 1,
+        Admission::Spilled { .. } => counts.spilled += 1,
+        Admission::Buffered { .. } => counts.buffered += 1,
+        Admission::Shed => counts.shed += 1,
+    }
+    match decision {
+        Admission::Inject { shard, request } | Admission::Spilled { shard, request } => {
+            let alive = supervised[shard]
+                .handle
+                .as_ref()
+                .is_some_and(|h| h.send(ShardCommand::Inject(request)).is_ok());
+            if !alive {
+                // The worker died since its last tick. The request is
+                // already journaled, so replay delivers it.
+                note_down(
+                    &mut supervised[shard],
+                    router,
+                    obs,
+                    slot,
+                    backoff,
+                    "send_failed",
+                );
+            }
+        }
+        Admission::Buffered { .. } | Admission::Shed => {}
     }
 }
 
@@ -434,6 +613,15 @@ pub fn serve<F: FnMut(&Snapshot)>(
             )));
         }
     }
+    let mut merged_ops = cfg.ops.clone();
+    merged_ops.ops.extend(cfg.chaos.ops.iter().copied());
+    if !merged_ops.is_empty() && cfg.faults.checkpoint_every != 0 {
+        return Err(ServeError::Reconfig(
+            "reconfiguration ops require genesis replay; set checkpoint_every to 0".to_string(),
+        ));
+    }
+    let mut plane =
+        PlacementPlane::new(topo, &cfg.placement, merged_ops).map_err(ServeError::Reconfig)?;
     let plans = partition(topo, cfg.shards);
     let mut router = Router::new(cfg.shards, cfg.queue_capacity);
     router.set_station_counts(plans.iter().map(|p| p.topo.station_count()).collect());
@@ -511,12 +699,57 @@ pub fn serve<F: FnMut(&Snapshot)>(
     let mut arrivals = load.into_requests().into_iter().peekable();
     let mut snapshots_emitted = 0;
     let backoff = cfg.faults.restart_backoff_slots;
-    // At least one slot past the last arrival, so every request is
-    // dispatched (and counted as admitted or shed) even with drain 0.
-    let hard_stop = last_arrival.saturating_add(cfg.drain_slots.max(1));
+    // At least one slot past the last arrival (and past the last
+    // scheduled reconfiguration effect), so every request is dispatched
+    // (and counted as admitted or shed) even with drain 0.
+    let hard_stop = last_arrival
+        .max(plane.last_op_effect_slot())
+        .saturating_add(cfg.drain_slots.max(1));
 
     loop {
         let slot = clock.ticks();
+
+        // Reconfiguration phase: drain handoffs whose window expired, then
+        // ops scheduled for this slot. This runs before the supervisor's
+        // restart pass so a Down shard's ordinary recovery already sees
+        // the migrated journal.
+        if plane.is_live() {
+            for station in plane.drains_due(slot) {
+                handoff(
+                    station,
+                    false,
+                    &mut plane,
+                    &mut router,
+                    &mut supervised,
+                    &mut obs,
+                    cfg,
+                    horizon_hint,
+                    slot,
+                )?;
+            }
+            for op in plane.ops_due(slot) {
+                obs.note_reconfig(slot, &op);
+                match op {
+                    ReconfigOp::BsJoin { station, .. } => plane.apply_join(station),
+                    ReconfigOp::BsLeave { station, .. } => handoff(
+                        station,
+                        true,
+                        &mut plane,
+                        &mut router,
+                        &mut supervised,
+                        &mut obs,
+                        cfg,
+                        horizon_hint,
+                        slot,
+                    )?,
+                    ReconfigOp::BsDrain {
+                        station,
+                        slot: at,
+                        window,
+                    } => plane.apply_drain(station, at.saturating_add(window)),
+                }
+            }
+        }
 
         // Restart shards whose backoff (or scripted recovery slot) is due.
         // This runs before dispatch, so the journal holds only arrivals
@@ -545,6 +778,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 horizon_hint,
                 slot,
                 detected_at,
+                false,
             )?;
             if !revived {
                 sup.status = ShardStatus::Down {
@@ -554,57 +788,61 @@ pub fn serve<F: FnMut(&Snapshot)>(
             }
         }
 
-        // Dispatch every arrival due by this slot through admission,
-        // counting each outcome for the per-slot admission-funnel event.
+        // Installs that finished their latency window become resident
+        // before this slot's dispatch, so their held requests hit.
+        for done in plane.complete_installs(slot) {
+            obs.note_install_done(slot, &done);
+        }
+
+        // Dispatch requests released from install holds, then every
+        // arrival due by this slot — all through the placement plane and
+        // admission, counting each outcome for the admission-funnel event.
         let shed_down_before = router.shed_while_down();
-        let (mut injected, mut buffered, mut spilled, mut shed) = (0u64, 0u64, 0u64, 0u64);
+        let place_before = plane.stats().clone();
+        let mut counts = DispatchCounts::default();
         {
             mec_obs::prof_slot!(slot);
             mec_obs::prof_scope!("serve.dispatch");
+            for request in plane.release_due(slot) {
+                dispatch_one(
+                    request,
+                    slot,
+                    &mut plane,
+                    &mut router,
+                    &mut supervised,
+                    &obs,
+                    backoff,
+                    &mut counts,
+                );
+            }
             while arrivals.peek().is_some_and(|r| r.arrival_slot() <= slot) {
                 let Some(request) = arrivals.next() else {
                     break;
                 };
-                let decision = router.admit(&request, slot);
-                match &decision {
-                    Admission::Inject { .. } => injected += 1,
-                    Admission::Spilled { .. } => spilled += 1,
-                    Admission::Buffered { .. } => buffered += 1,
-                    Admission::Shed => shed += 1,
-                }
-                match decision {
-                    Admission::Inject { shard, request }
-                    | Admission::Spilled { shard, request } => {
-                        let alive = supervised[shard]
-                            .handle
-                            .as_ref()
-                            .is_some_and(|h| h.send(ShardCommand::Inject(request)).is_ok());
-                        if !alive {
-                            // The worker died since its last tick. The request
-                            // is already journaled, so replay delivers it.
-                            note_down(
-                                &mut supervised[shard],
-                                &mut router,
-                                &obs,
-                                slot,
-                                backoff,
-                                "send_failed",
-                            );
-                        }
-                    }
-                    Admission::Buffered { .. } | Admission::Shed => {}
-                }
+                dispatch_one(
+                    request,
+                    slot,
+                    &mut plane,
+                    &mut router,
+                    &mut supervised,
+                    &obs,
+                    backoff,
+                    &mut counts,
+                );
             }
         }
         let shed_down = router.shed_while_down() - shed_down_before;
         obs.note_admission(
             slot,
-            injected,
-            buffered,
-            spilled,
-            shed.saturating_sub(shed_down),
+            counts.injected,
+            counts.buffered,
+            counts.spilled,
+            counts.shed.saturating_sub(shed_down),
             shed_down,
+            counts.held,
         );
+        let place_delta = plane.stats().delta_since(&place_before);
+        obs.note_placement(slot, &place_delta);
 
         // Barriered tick: all live shards advance one slot, replies
         // collected in shard order.
@@ -687,6 +925,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
         if cfg.snapshot_every > 0 && slots_done.is_multiple_of(cfg.snapshot_every) {
             mec_obs::prof_scope!("serve.snapshot");
             obs.sync_router(&router);
+            obs.sync_placement(plane.state());
             let samples: Vec<f64> = supervised
                 .iter()
                 .flat_map(|s| s.latencies.iter().copied())
@@ -704,16 +943,29 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 latency: LatencyStats::from_samples(&samples),
                 queue_depths: router.backlogs().to_vec(),
                 faults: obs.fault_stats(),
+                placement: plane.stats().clone(),
                 slots_per_sec: Some(slots_done as f64 / clock.elapsed_secs().max(1e-9)),
             };
             on_snapshot(&snap);
             snapshots_emitted += 1;
         }
 
-        let drained = arrivals.peek().is_none() && router.backlogs().iter().all(|&b| b == 0);
+        let drained = arrivals.peek().is_none()
+            && router.backlogs().iter().all(|&b| b == 0)
+            && !plane.has_held()
+            && plane.ops_exhausted()
+            && !plane.has_pending_drains();
         if drained || slots_done >= hard_stop {
             break;
         }
+    }
+
+    // The hard stop can cut the run off with requests still parked behind
+    // in-flight installs; they count as shed so admitted + shed covers
+    // every arrival.
+    let abandoned = plane.abandon_held();
+    if abandoned > 0 {
+        router.count_shed(abandoned);
     }
 
     // Terminal accounting, merged in shard order. Down (or given-up)
@@ -747,6 +999,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     horizon_hint,
                     end_slot,
                     detected_at,
+                    false,
                 )?;
                 if !revived {
                     continue;
@@ -798,6 +1051,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
     drop(supervised);
 
     obs.sync_router(&router);
+    obs.sync_placement(plane.state());
     obs.drain_rings();
     let final_snapshot = Snapshot {
         slot: end_slot,
@@ -812,6 +1066,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
         latency: LatencyStats::from_samples(metrics.latencies_ms()),
         queue_depths: router.backlogs().to_vec(),
         faults: obs.fault_stats(),
+        placement: plane.stats().clone(),
         slots_per_sec: None,
     };
     mec_obs::event!(
@@ -833,6 +1088,11 @@ pub fn serve<F: FnMut(&Snapshot)>(
         slots_run: end_slot,
         snapshots_emitted,
         wall_secs,
+        ops_journal: if plane.is_live() {
+            plane.ops_journal()
+        } else {
+            String::new()
+        },
     })
 }
 

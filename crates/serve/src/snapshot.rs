@@ -94,6 +94,74 @@ impl FaultStats {
     }
 }
 
+/// Placement-plane counters: service cache behaviour and live topology
+/// reconfiguration over the run. All quantities are event counts keyed to
+/// virtual slots, so same-seed runs with the same ops script report
+/// byte-identical stats.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlacementStats {
+    /// Arrivals whose home station already held their service.
+    pub hits: u64,
+    /// Arrivals whose home station did not hold their service.
+    pub misses: u64,
+    /// Misses served by rerouting to the nearest station holding the
+    /// service.
+    pub redirects: u64,
+    /// Arrivals moved to another station because their home was draining
+    /// or out of the fleet.
+    pub rehomed: u64,
+    /// Installs that started warm (service previously hosted there).
+    pub installs_warm: u64,
+    /// Installs that started cold.
+    pub installs_cold: u64,
+    /// Residents evicted to make room for installs.
+    pub evictions: u64,
+    /// Arrivals parked while an install was in flight.
+    pub held: u64,
+    /// Arrivals shed by the placement plane (no active station, or an
+    /// unplaceable service with no holder); also counted in the
+    /// snapshot's `shed` total.
+    pub placement_shed: u64,
+    /// `join` ops applied.
+    pub joins: u64,
+    /// `leave` ops applied.
+    pub leaves: u64,
+    /// `drain` ops applied.
+    pub drains: u64,
+    /// Journal entries migrated to takeover stations during handoffs.
+    pub migrated: u64,
+    /// Drain/leave handoffs completed.
+    pub handoffs: u64,
+}
+
+impl PlacementStats {
+    /// Whether the placement plane did nothing (disabled, no ops).
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Field-wise difference against an earlier reading — the per-slot
+    /// delta fed to the placement metrics/event layer.
+    pub fn delta_since(&self, before: &Self) -> Self {
+        Self {
+            hits: self.hits.saturating_sub(before.hits),
+            misses: self.misses.saturating_sub(before.misses),
+            redirects: self.redirects.saturating_sub(before.redirects),
+            rehomed: self.rehomed.saturating_sub(before.rehomed),
+            installs_warm: self.installs_warm.saturating_sub(before.installs_warm),
+            installs_cold: self.installs_cold.saturating_sub(before.installs_cold),
+            evictions: self.evictions.saturating_sub(before.evictions),
+            held: self.held.saturating_sub(before.held),
+            placement_shed: self.placement_shed.saturating_sub(before.placement_shed),
+            joins: self.joins.saturating_sub(before.joins),
+            leaves: self.leaves.saturating_sub(before.leaves),
+            drains: self.drains.saturating_sub(before.drains),
+            migrated: self.migrated.saturating_sub(before.migrated),
+            handoffs: self.handoffs.saturating_sub(before.handoffs),
+        }
+    }
+}
+
 /// One aggregated view of the whole serving fleet at a virtual slot.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Snapshot {
@@ -121,6 +189,8 @@ pub struct Snapshot {
     pub queue_depths: Vec<usize>,
     /// Fault-tolerance counters (restarts, replays, degraded routing).
     pub faults: FaultStats,
+    /// Placement-plane counters (cache behaviour, reconfiguration).
+    pub placement: PlacementStats,
     /// Wall-clock throughput in slots per second. `None` in final
     /// snapshots so deterministic runs serialize identically.
     pub slots_per_sec: Option<f64>,
@@ -162,6 +232,11 @@ impl Snapshot {
                 "\"checkpoints\":{},\"journal_dropped\":{},",
                 "\"recovery_p50_slots\":{},\"recovery_p95_slots\":{},",
                 "\"recovery_max_slots\":{}}},",
+                "\"placement\":{{\"hits\":{},\"misses\":{},\"redirects\":{},",
+                "\"rehomed\":{},\"installs_warm\":{},\"installs_cold\":{},",
+                "\"evictions\":{},\"held\":{},\"placement_shed\":{},",
+                "\"joins\":{},\"leaves\":{},\"drains\":{},\"migrated\":{},",
+                "\"handoffs\":{}}},",
                 "\"slots_per_sec\":{}}}"
             ),
             self.slot,
@@ -191,6 +266,20 @@ impl Snapshot {
             self.faults.recovery_p50_slots,
             self.faults.recovery_p95_slots,
             self.faults.recovery_max_slots,
+            self.placement.hits,
+            self.placement.misses,
+            self.placement.redirects,
+            self.placement.rehomed,
+            self.placement.installs_warm,
+            self.placement.installs_cold,
+            self.placement.evictions,
+            self.placement.held,
+            self.placement.placement_shed,
+            self.placement.joins,
+            self.placement.leaves,
+            self.placement.drains,
+            self.placement.migrated,
+            self.placement.handoffs,
             sps,
         )
     }
@@ -264,5 +353,25 @@ mod tests {
         assert!(json.contains("\"recovery_p50_slots\":4"), "{json}");
         assert!(json.contains("\"recovery_p95_slots\":6"), "{json}");
         assert!(json.contains("\"recovery_max_slots\":6"), "{json}");
+    }
+
+    #[test]
+    fn placement_stats_serialize_and_quiet_detect() {
+        let mut snap = Snapshot::default();
+        assert!(snap.placement.is_quiet());
+        let json = snap.to_json();
+        assert!(json.contains("\"placement\":{\"hits\":0"), "{json}");
+        snap.placement.hits = 7;
+        snap.placement.misses = 2;
+        snap.placement.installs_cold = 2;
+        snap.placement.drains = 1;
+        snap.placement.migrated = 13;
+        snap.placement.handoffs = 1;
+        assert!(!snap.placement.is_quiet());
+        let json = snap.to_json();
+        assert!(json.contains("\"hits\":7"), "{json}");
+        assert!(json.contains("\"installs_cold\":2"), "{json}");
+        assert!(json.contains("\"migrated\":13"), "{json}");
+        assert!(json.contains("\"handoffs\":1"), "{json}");
     }
 }

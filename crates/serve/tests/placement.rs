@@ -1,0 +1,239 @@
+//! Placement and live-reconfiguration tests of the serving runtime: the
+//! byte-identical determinism oracle over ops scripts, the ops-journal
+//! replay equivalence, crash-mid-drain recovery, and conservation of
+//! requests through installs, redirects, and handoffs.
+
+use mec_placement::{OpsLog, PlacementConfig};
+use mec_serve::{serve, ChaosSpec, FaultConfig, LoadGen, ServeConfig, ServeError, Snapshot};
+use mec_sim::SlotConfig;
+use mec_topology::{Topology, TopologyBuilder};
+use mec_workload::{Request, WorkloadBuilder};
+
+fn world(stations: usize, requests: usize, seed: u64) -> (Topology, Vec<Request>) {
+    let topo = TopologyBuilder::new(stations).seed(seed).build();
+    let population = WorkloadBuilder::new(&topo)
+        .seed(seed)
+        .count(requests)
+        .build();
+    (topo, population)
+}
+
+/// A placement-enabled config with ample queue capacity, so backlog
+/// shedding cannot mask placement effects.
+fn placement_cfg(seed: u64) -> ServeConfig {
+    ServeConfig {
+        shards: 4,
+        queue_capacity: 4_096,
+        snapshot_every: 0,
+        policy: "Greedy".to_string(),
+        sim: SlotConfig {
+            seed,
+            ..SlotConfig::default()
+        },
+        placement: PlacementConfig {
+            services: 12,
+            cache_capacity: 6,
+            seed,
+            ..PlacementConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn assert_conserved(snap: &Snapshot, total: u64) {
+    assert_eq!(snap.admitted + snap.shed, total, "{snap:?}");
+    assert_eq!(
+        (snap.completed + snap.expired + snap.aborted + snap.unserved) as u64,
+        snap.admitted
+    );
+}
+
+#[test]
+fn placement_runs_with_ops_repeat_byte_identically() {
+    // The tentpole oracle: same seed + same ops script ⇒ byte-identical
+    // periodic and final snapshots, across a drain, a leave, and a
+    // re-join.
+    let script = "\
+        {\"op\":\"drain\",\"station\":3,\"slot\":5,\"window\":4}\n\
+        {\"op\":\"leave\",\"station\":7,\"slot\":9}\n\
+        {\"op\":\"join\",\"station\":3,\"slot\":18}\n";
+    let run = || {
+        let (topo, population) = world(16, 1_500, 11);
+        let load = LoadGen::poisson(population, 1_500.0, 50.0, 11);
+        let cfg = ServeConfig {
+            snapshot_every: 10,
+            ops: OpsLog::parse_jsonl(script).unwrap(),
+            ..placement_cfg(11)
+        };
+        let mut periodic = Vec::new();
+        let outcome = serve(&topo, load, &cfg, |snap| {
+            let mut s = snap.clone();
+            s.slots_per_sec = None;
+            periodic.push(s.to_json());
+        })
+        .unwrap();
+        (periodic, outcome)
+    };
+    let (periodic_a, out_a) = run();
+    let (periodic_b, out_b) = run();
+    assert_eq!(periodic_a, periodic_b);
+    assert_eq!(
+        out_a.final_snapshot.to_json(),
+        out_b.final_snapshot.to_json()
+    );
+    assert_eq!(out_a.ops_journal, out_b.ops_journal);
+    let place = &out_a.final_snapshot.placement;
+    assert!(place.hits > 0, "{place:?}");
+    assert!(place.misses > 0, "{place:?}");
+    assert!(place.installs_cold > 0, "{place:?}");
+    assert_eq!(place.drains, 1, "{place:?}");
+    assert_eq!(place.leaves, 1, "{place:?}");
+    assert_eq!(place.joins, 1, "{place:?}");
+    assert_eq!(place.handoffs, 2, "{place:?}");
+    assert!(place.rehomed > 0, "{place:?}");
+    assert_conserved(&out_a.final_snapshot, 1_500);
+    // A pure reconfiguration run keeps quiet fault stats: handoff
+    // rebuilds are not failures.
+    assert!(
+        out_a.final_snapshot.faults.is_quiet(),
+        "{:?}",
+        out_a.final_snapshot.faults
+    );
+}
+
+#[test]
+fn ops_journal_replay_reproduces_the_identical_snapshot() {
+    // Chaos-carried reconfig directives and a replayed --ops-script style
+    // journal are the same run: feed the journal a run wrote back in as
+    // the ops script of a fresh run and the final snapshot is
+    // byte-identical. This is the crash-and-replay oracle for the ops
+    // journal itself.
+    let run = |chaos: &str, ops: OpsLog| {
+        let (topo, population) = world(12, 1_000, 29);
+        let load = LoadGen::poisson(population, 1_200.0, 50.0, 29);
+        let cfg = ServeConfig {
+            chaos: ChaosSpec::parse(chaos).unwrap(),
+            ops,
+            ..placement_cfg(29)
+        };
+        serve(&topo, load, &cfg, |_| {}).unwrap()
+    };
+    let original = run(
+        "drain:station=2@slot=6@window=3,join:station=2@slot=20",
+        OpsLog::default(),
+    );
+    assert!(!original.ops_journal.is_empty());
+    let replayed = run("", OpsLog::parse_jsonl(&original.ops_journal).unwrap());
+    assert_eq!(
+        original.final_snapshot.to_json(),
+        replayed.final_snapshot.to_json()
+    );
+    assert_eq!(original.ops_journal, replayed.ops_journal);
+}
+
+#[test]
+fn crash_mid_drain_recovers_losslessly_and_repeats() {
+    // A shard crash overlapping a drain window: the drained station's
+    // journal entries migrate while their shard is down, recovery replays
+    // the rewritten journal, and the whole composition still repeats
+    // byte-identically and conserves every request.
+    let run = || {
+        let (topo, population) = world(16, 1_800, 53);
+        let load = LoadGen::poisson(population, 2_000.0, 50.0, 53);
+        let cfg = ServeConfig {
+            // Station 5 lives in shard 1 (round-robin by id, 4 shards);
+            // the crash window [7, 12) covers the drain handoff at 10.
+            chaos: ChaosSpec::parse(
+                "crash:shard=1@slot=7,recover@slot=12,drain:station=5@slot=6@window=4",
+            )
+            .unwrap(),
+            ..placement_cfg(53)
+        };
+        serve(&topo, load, &cfg, |_| {}).unwrap()
+    };
+    let out_a = run();
+    let out_b = run();
+    assert_eq!(
+        out_a.final_snapshot.to_json(),
+        out_b.final_snapshot.to_json()
+    );
+    let snap = &out_a.final_snapshot;
+    assert!(snap.faults.restarts >= 1, "{:?}", snap.faults);
+    assert_eq!(snap.placement.drains, 1, "{:?}", snap.placement);
+    assert_eq!(snap.placement.handoffs, 1, "{:?}", snap.placement);
+    assert_conserved(snap, 1_800);
+}
+
+#[test]
+fn disabled_placement_stays_quiet() {
+    // The default config (services == 0, no ops) must not change a run:
+    // placement stats stay all-zero and the ops journal stays empty.
+    let run = || {
+        let (topo, population) = world(10, 600, 7);
+        let load = LoadGen::poisson(population, 1_000.0, 50.0, 7);
+        let cfg = ServeConfig {
+            shards: 2,
+            queue_capacity: 4_096,
+            snapshot_every: 0,
+            policy: "Greedy".to_string(),
+            sim: SlotConfig {
+                seed: 7,
+                ..SlotConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        serve(&topo, load, &cfg, |_| {}).unwrap()
+    };
+    let out_a = run();
+    let out_b = run();
+    assert!(
+        out_a.final_snapshot.placement.is_quiet(),
+        "{:?}",
+        out_a.final_snapshot.placement
+    );
+    assert!(out_a.ops_journal.is_empty());
+    assert_eq!(
+        out_a.final_snapshot.to_json(),
+        out_b.final_snapshot.to_json()
+    );
+    assert_conserved(&out_a.final_snapshot, 600);
+}
+
+#[test]
+fn ops_with_periodic_checkpointing_are_rejected() {
+    // Handoffs rewrite replay journals, which is only exact under genesis
+    // replay; combining ops with checkpoints must fail fast.
+    let (topo, population) = world(8, 50, 1);
+    let load = LoadGen::replay(population);
+    let cfg = ServeConfig {
+        faults: FaultConfig {
+            checkpoint_every: 8,
+            ..FaultConfig::default()
+        },
+        ops: OpsLog::parse_jsonl("{\"op\":\"drain\",\"station\":1,\"slot\":2,\"window\":1}\n")
+            .unwrap(),
+        ..placement_cfg(1)
+    };
+    match serve(&topo, load, &cfg, |_| {}) {
+        Err(ServeError::Reconfig(msg)) => {
+            assert!(msg.contains("genesis"), "{msg}");
+        }
+        other => panic!("expected a reconfiguration validation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn ops_naming_a_missing_station_are_rejected() {
+    let (topo, population) = world(8, 50, 1);
+    let load = LoadGen::replay(population);
+    let cfg = ServeConfig {
+        ops: OpsLog::parse_jsonl("{\"op\":\"leave\",\"station\":99,\"slot\":2}\n").unwrap(),
+        ..placement_cfg(1)
+    };
+    match serve(&topo, load, &cfg, |_| {}) {
+        Err(ServeError::Reconfig(msg)) => {
+            assert!(msg.contains("99"), "{msg}");
+        }
+        other => panic!("expected a reconfiguration validation error, got {other:?}"),
+    }
+}

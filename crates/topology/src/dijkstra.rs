@@ -129,6 +129,25 @@ impl PathTable {
     pub fn source_count(&self) -> usize {
         self.trees.len()
     }
+
+    /// The reachable candidate nearest to `from` by one-way delay, with the
+    /// smallest station id breaking delay ties (deterministic regardless of
+    /// candidate order). `None` when no candidate is reachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn nearest(
+        &self,
+        from: StationId,
+        candidates: impl IntoIterator<Item = StationId>,
+    ) -> Option<StationId> {
+        candidates
+            .into_iter()
+            .filter_map(|c| self.delay(from, c).map(|d| (d.as_ms(), c.index())))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, idx)| StationId(idx))
+    }
 }
 
 impl Topology {
@@ -193,6 +212,24 @@ mod tests {
         assert_eq!(paths.delay(0.into(), 2.into()).unwrap().as_ms(), 5.0);
         // And 1→2 can go direct (10) rather than via 0 (15).
         assert_eq!(paths.delay(1.into(), 2.into()).unwrap().as_ms(), 10.0);
+    }
+
+    #[test]
+    fn nearest_breaks_delay_ties_by_smallest_id() {
+        // Line with equal hops: stations 0 and 2 are both 1.0 ms from 1.
+        let topo = topo_line(&[1.0, 1.0, 5.0]);
+        let paths = topo.shortest_paths();
+        let ids = |v: &[usize]| v.iter().map(|&i| StationId(i)).collect::<Vec<_>>();
+        assert_eq!(
+            paths.nearest(StationId(1), ids(&[2, 0])),
+            Some(StationId(0)),
+            "equal delays resolve to the smaller id, not candidate order"
+        );
+        assert_eq!(
+            paths.nearest(StationId(0), ids(&[2, 3])),
+            Some(StationId(2))
+        );
+        assert_eq!(paths.nearest(StationId(0), ids(&[])), None);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! | [`core`] | the paper's algorithms and baselines |
 //! | [`serve`] | sharded long-running serving runtime with supervision and chaos |
 //! | [`obs`] | metrics registry, event tracing, scrape server, trace reports |
+//! | [`placement`] | service catalog, per-BS caches, live join/leave/drain reconfiguration |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -49,6 +50,7 @@ pub use mec_bandit as bandit;
 pub use mec_core as core;
 pub use mec_lp as lp;
 pub use mec_obs as obs;
+pub use mec_placement as placement;
 pub use mec_serve as serve;
 pub use mec_sim as sim;
 pub use mec_topology as topology;

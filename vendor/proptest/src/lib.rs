@@ -85,6 +85,14 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// Erases the strategy's concrete type (for [`Union`]s).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::of(self)
+        }
     }
 
     /// Always yields a clone of one value.
@@ -95,6 +103,48 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, _rng: &mut TestRng) -> T {
             self.0.clone()
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Erases `strategy`'s concrete type.
+        pub fn of<S>(strategy: S) -> Self
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| strategy.generate(rng)))
+        }
+    }
+
+    /// Picks uniformly among several strategies for the same type; the
+    /// backing store of [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        variants: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `variants` (must be non-empty).
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!variants.is_empty(), "empty union");
+            Self { variants }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.variants.len());
+            self.variants[idx].generate(rng)
         }
     }
 
@@ -220,6 +270,17 @@ pub mod collection {
     }
 }
 
+/// Picks uniformly among several strategies for one value type:
+/// `prop_oneof![strat_a, strat_b, strat_c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::BoxedStrategy::of($strat)),+
+        ])
+    };
+}
+
 /// Fails the current case with `assert!` semantics.
 #[macro_export]
 macro_rules! prop_assert {
@@ -278,9 +339,9 @@ macro_rules! __proptest_impl {
 pub mod prelude {
     //! The glob-import surface: `use proptest::prelude::*;`.
 
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     pub mod prop {
         //! Namespace mirror of the crate root (`prop::collection::vec`).
