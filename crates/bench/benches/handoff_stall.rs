@@ -1,0 +1,73 @@
+//! Handoff pause vs run length: what a drain/leave handoff makes the
+//! driver wait for, as the run grows older.
+//!
+//! The `split_extract_absorb` arm prices the splittable-checkpoint path
+//! the runtime now uses — extract the drained station's slice, absorb it
+//! into the takeover engine — which moves only the state that belongs to
+//! the station and must stay *flat* as the run length grows. The
+//! `genesis_replay` arm prices the pre-split alternative the takeover
+//! shard used to pay — rebuild from genesis and re-step every slot —
+//! which is linear in run length. The gap between the two arms at the
+//! longest run is the point of the splittable design.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_bench::Defaults;
+use mec_core::OnlineGreedy;
+use mec_sim::Engine;
+use mec_topology::station::StationId;
+
+/// Run lengths (slots) the handoff pause is sampled at.
+const RUN_LENGTHS: &[u64] = &[64, 256, 1024];
+
+fn handoff_stall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handoff_stall");
+    group.sample_size(10);
+    for &len in RUN_LENGTHS {
+        // Arrivals spread over the whole run, so in-flight work at the
+        // handoff slot is comparable across run lengths; only history
+        // (slots stepped, journal length) grows with `len`.
+        let d = Defaults {
+            requests: 600,
+            arrival_horizon: len,
+            sim_horizon: len + 64,
+            runs: 1,
+            ..Defaults::paper()
+        };
+        let (topo, requests, cfg) = d.online_world(7);
+        let paths = topo.shortest_paths();
+        // Drive the run to slot `len` once; the split arm restores this
+        // state per iteration instead of re-stepping history.
+        let mut engine = Engine::new(&topo, &paths, requests.clone(), cfg);
+        let mut policy = OnlineGreedy::new();
+        for _ in 0..len {
+            engine.step(&mut policy).expect("legal schedules");
+        }
+        let state = engine.checkpoint();
+
+        group.bench_with_input(
+            BenchmarkId::new("split_extract_absorb", len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    engine.restore(state.clone());
+                    let slice = engine.extract_station(StationId(3));
+                    black_box(engine.absorb_station(&slice, StationId(5)))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("genesis_replay", len), &len, |b, _| {
+            b.iter(|| {
+                let mut fresh = Engine::new(&topo, &paths, requests.clone(), cfg);
+                let mut policy = OnlineGreedy::new();
+                for _ in 0..len {
+                    fresh.step(&mut policy).expect("legal schedules");
+                }
+                black_box(fresh.checkpoint().next_slot)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, handoff_stall);
+criterion_main!(benches);

@@ -4,8 +4,9 @@
 //! run (see the `mec-serve --trace-out` schema in DESIGN.md §10) into a
 //! [`RunReport`]; [`RunReport::render`] produces the human-readable
 //! text: run header, admission funnel, arm-elimination timeline, fault
-//! and restart log, per-shard latency histograms, and the final bandit
-//! state per shard.
+//! and restart log, disk-recovery summary (checkpoint mirror sizes,
+//! salvage and corruption incidents, per-handoff moved state), per-shard
+//! latency histograms, and the final bandit state per shard.
 
 use crate::json::{parse_flat_object, JsonValue, ParseError};
 use crate::registry::HistogramSnapshot;
@@ -48,8 +49,43 @@ pub struct Reconfig {
     pub station: u64,
     /// For handoffs: the takeover station (-1 when the fleet was empty).
     pub takeover: i64,
-    /// For handoffs: journal entries migrated to the takeover station.
+    /// For handoffs: in-flight jobs migrated to the takeover station.
     pub migrated: u64,
+    /// For handoffs: encoded station-slice bytes shipped.
+    pub bytes: u64,
+}
+
+/// One `journal_salvage` event: a shard's disk mirror came back damaged
+/// and was salvaged during recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Salvage {
+    /// Slot the salvage happened at.
+    pub slot: u64,
+    /// The shard whose files were damaged.
+    pub shard: u64,
+    /// CRC-failed records detected.
+    pub corrupt_records: u64,
+    /// Bytes truncated away to reach the last valid record.
+    pub salvaged_bytes: u64,
+    /// Read retries spent before the files yielded.
+    pub retries: u64,
+    /// Checkpoint reads that fell back from current to previous.
+    pub checkpoint_fallbacks: u64,
+}
+
+/// One `disk_fault` event: an injected chaos fault landing on the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskFault {
+    /// Slot the fault applied at.
+    pub slot: u64,
+    /// The shard whose files it hit.
+    pub shard: u64,
+    /// `journal` or `ckpt`.
+    pub target: String,
+    /// `truncate`, `corrupt`, or `slowdisk`.
+    pub kind: String,
+    /// Bytes affected.
+    pub bytes: u64,
 }
 
 /// One `restart` event.
@@ -114,6 +150,16 @@ pub struct RunReport {
     pub faults_injected: Vec<(u64, u64, String)>,
     /// `fault_detected` events as `(slot, shard, reason)`.
     pub faults_detected: Vec<(u64, u64, String)>,
+    /// `checkpoint_write` totals: (writes, framed bytes).
+    pub checkpoint_writes: (u64, u64),
+    /// Every `journal_salvage` event, in stream order.
+    pub salvages: Vec<Salvage>,
+    /// `disk_fallback` events as `(slot, shard)`.
+    pub disk_fallbacks: Vec<(u64, u64)>,
+    /// Every injected `disk_fault` event, in stream order.
+    pub disk_faults: Vec<DiskFault>,
+    /// `disk_error` events as `(slot, shard, op)` (shard -1 = store-wide).
+    pub disk_errors: Vec<(u64, i64, String)>,
     /// Per-shard latency distribution from `served` events.
     pub latency: BTreeMap<u64, HistogramSnapshot>,
     /// Final per-shard arm table (last `arm_state` sweep wins).
@@ -212,6 +258,7 @@ where
                 station: get_u64(&obj, "station"),
                 takeover: -1,
                 migrated: 0,
+                bytes: 0,
             }),
             "handoff" => r.reconfigs.push(Reconfig {
                 slot,
@@ -222,7 +269,33 @@ where
                     .and_then(JsonValue::as_f64)
                     .unwrap_or(-1.0) as i64,
                 migrated: get_u64(&obj, "migrated"),
+                bytes: get_u64(&obj, "bytes"),
             }),
+            "checkpoint_write" => {
+                r.checkpoint_writes.0 += 1;
+                r.checkpoint_writes.1 += get_u64(&obj, "bytes");
+            }
+            "journal_salvage" => r.salvages.push(Salvage {
+                slot,
+                shard,
+                corrupt_records: get_u64(&obj, "corrupt_records"),
+                salvaged_bytes: get_u64(&obj, "salvaged_bytes"),
+                retries: get_u64(&obj, "retries"),
+                checkpoint_fallbacks: get_u64(&obj, "checkpoint_fallbacks"),
+            }),
+            "disk_fallback" => r.disk_fallbacks.push((slot, shard)),
+            "disk_fault" => r.disk_faults.push(DiskFault {
+                slot,
+                shard,
+                target: get_str(&obj, "target"),
+                kind: get_str(&obj, "fault"),
+                bytes: get_u64(&obj, "bytes"),
+            }),
+            "disk_error" => r.disk_errors.push((
+                slot,
+                obj.get("shard").and_then(JsonValue::as_f64).unwrap_or(-1.0) as i64,
+                get_str(&obj, "op"),
+            )),
             "arm_eliminated" => r.eliminations.push(Elimination {
                 slot,
                 shard,
@@ -403,6 +476,86 @@ impl RunReport {
             }
         }
 
+        let handoffs: Vec<&Reconfig> = self
+            .reconfigs
+            .iter()
+            .filter(|r| r.op == "handoff")
+            .collect();
+        let recovery_active = self.checkpoint_writes.0 > 0
+            || !self.salvages.is_empty()
+            || !self.disk_fallbacks.is_empty()
+            || !self.disk_faults.is_empty()
+            || !self.disk_errors.is_empty()
+            || !self.restarts.is_empty()
+            || handoffs.iter().any(|h| h.bytes > 0);
+        if recovery_active {
+            section(&mut out, "recovery");
+            let (writes, bytes) = self.checkpoint_writes;
+            if writes > 0 {
+                let _ = writeln!(
+                    out,
+                    "  checkpoints mirrored: {writes} ({bytes} bytes, mean {:.0})",
+                    bytes as f64 / writes as f64
+                );
+            }
+            let ok: Vec<&Restart> = self.restarts.iter().filter(|r| r.ok).collect();
+            if !ok.is_empty() {
+                let total: u64 = ok.iter().map(|r| r.latency_slots).sum();
+                let max = ok.iter().map(|r| r.latency_slots).max().unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  restores: {} (outage mean {:.1} slot(s), max {max})",
+                    ok.len(),
+                    total as f64 / ok.len() as f64
+                );
+            }
+            for f in &self.disk_faults {
+                let _ = writeln!(
+                    out,
+                    "  slot {:>6}  shard {}  injected disk fault: {} {} ({} byte(s))",
+                    f.slot, f.shard, f.kind, f.target, f.bytes
+                );
+            }
+            for s in &self.salvages {
+                let _ = writeln!(
+                    out,
+                    "  slot {:>6}  shard {}  salvage: {} corrupt record(s), \
+                     {} byte(s) truncated, {} retr(ies), {} checkpoint fallback(s)",
+                    s.slot,
+                    s.shard,
+                    s.corrupt_records,
+                    s.salvaged_bytes,
+                    s.retries,
+                    s.checkpoint_fallbacks
+                );
+            }
+            for (slot, shard) in &self.disk_fallbacks {
+                let _ = writeln!(
+                    out,
+                    "  slot {slot:>6}  shard {shard}  disk mirror distrusted; \
+                     recovered from memory and healed"
+                );
+            }
+            for (slot, shard, op) in &self.disk_errors {
+                let who = if *shard < 0 {
+                    "store".to_string()
+                } else {
+                    format!("shard {shard}")
+                };
+                let _ = writeln!(out, "  slot {slot:>6}  {who}  disk {op} error absorbed");
+            }
+            if handoffs.iter().any(|h| h.bytes > 0) {
+                let _ = writeln!(out, "  per-handoff moved state:");
+                for h in &handoffs {
+                    let _ = writeln!(
+                        out,
+                        "    slot {:>6}  station {}: {} job(s), {} byte(s)",
+                        h.slot, h.station, h.migrated, h.bytes
+                    );
+                }
+            }
+        }
+
         if !self.latency.is_empty() {
             section(&mut out, "per-shard latency (ms, from served events)");
             for (shard, hist) in &self.latency {
@@ -534,6 +687,50 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("station 9 handed off to nobody"), "{text}");
+    }
+
+    #[test]
+    fn recovery_events_render_their_own_section() {
+        let lines = [
+            r#"{"slot":4,"kind":"checkpoint_write","shard":0,"bytes":900}"#,
+            r#"{"slot":8,"kind":"checkpoint_write","shard":1,"bytes":1100}"#,
+            r#"{"slot":10,"kind":"disk_fault","shard":1,"target":"journal","fault":"corrupt","bytes":16}"#,
+            r#"{"slot":14,"kind":"journal_salvage","shard":1,"corrupt_records":2,"salvaged_bytes":64,"retries":1,"checkpoint_fallbacks":0}"#,
+            r#"{"slot":14,"kind":"disk_fallback","shard":1}"#,
+            r#"{"slot":14,"kind":"restart","shard":1,"replayed":30,"latency_slots":4,"ok":true}"#,
+            r#"{"slot":15,"kind":"disk_error","shard":-1,"op":"flush","error":"boom"}"#,
+            r#"{"slot":20,"kind":"handoff","station":5,"takeover":9,"migrated":7,"bytes":512,"leave":false}"#,
+        ];
+        let report = build_report(lines.iter().copied()).unwrap();
+        assert_eq!(report.checkpoint_writes, (2, 2000));
+        assert_eq!(report.salvages.len(), 1);
+        assert_eq!(report.salvages[0].salvaged_bytes, 64);
+        assert_eq!(report.disk_fallbacks, vec![(14, 1)]);
+        assert_eq!(report.disk_errors, vec![(15, -1, "flush".to_string())]);
+        assert_eq!(report.reconfigs[0].bytes, 512);
+
+        let text = report.render();
+        assert!(text.contains("== recovery =="), "{text}");
+        assert!(
+            text.contains("checkpoints mirrored: 2 (2000 bytes, mean 1000)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("salvage: 2 corrupt record(s), 64 byte(s) truncated"),
+            "{text}"
+        );
+        assert!(text.contains("disk mirror distrusted"), "{text}");
+        assert!(text.contains("store  disk flush error absorbed"), "{text}");
+        assert!(text.contains("station 5: 7 job(s), 512 byte(s)"), "{text}");
+    }
+
+    #[test]
+    fn quiet_runs_omit_the_recovery_section() {
+        let lines = [
+            r#"{"slot":3,"kind":"admission","admitted":10,"buffered":0,"spilled":0,"shed":0,"shed_down":0}"#,
+        ];
+        let report = build_report(lines.iter().copied()).unwrap();
+        assert!(!report.render().contains("== recovery =="));
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod service;
 pub mod state;
 
 pub use cache::{BsCache, EvictionPolicy};
-pub use ops::{OpsLog, OpsParseError, ReconfigOp};
+pub use ops::{OpsLog, OpsParseError, OpsSalvage, ReconfigOp};
 pub use service::{Service, ServiceCatalog, ServiceId};
 pub use state::{BsStatus, InstallDone, InstallOutcome, PlacementConfig, PlacementState};

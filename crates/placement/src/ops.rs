@@ -185,6 +185,25 @@ fn parse_line(line: &str) -> Result<ReconfigOp, OpsParseError> {
     }
 }
 
+/// What [`OpsLog::parse_jsonl_lossy`] dropped while salvaging a damaged
+/// ops journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpsSalvage {
+    /// Non-blank lines dropped (the first malformed one and everything
+    /// after it).
+    pub dropped_lines: usize,
+    /// Why the first dropped line failed to parse; `None` when nothing
+    /// was dropped.
+    pub detail: Option<String>,
+}
+
+impl OpsSalvage {
+    /// Whether the journal parsed without loss.
+    pub fn is_clean(&self) -> bool {
+        self.dropped_lines == 0
+    }
+}
+
 /// An ordered log of reconfiguration ops.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpsLog {
@@ -209,6 +228,42 @@ impl OpsLog {
             ops.push(parse_line(line)?);
         }
         Ok(Self { ops })
+    }
+
+    /// Parses a JSONL ops journal that may have a torn or corrupted
+    /// tail, salvaging the longest valid prefix: parsing stops at the
+    /// first malformed line and everything from there on is *dropped*,
+    /// never skipped over — matching the arrival-journal salvage rule, a
+    /// bad record ends the trustworthy region of the file.
+    ///
+    /// Returns the salvaged log plus how many non-blank lines were
+    /// dropped and why the first one failed (`None` when the journal was
+    /// fully intact). Deterministic: the same bytes always salvage to
+    /// the same log.
+    pub fn parse_jsonl_lossy(text: &str) -> (Self, OpsSalvage) {
+        let mut ops = Vec::new();
+        let mut lines = text.lines();
+        let mut salvage = OpsSalvage::default();
+        for line in lines.by_ref() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            match parse_line(line) {
+                Ok(op) => ops.push(op),
+                Err(e) => {
+                    salvage.dropped_lines = 1;
+                    salvage.detail = Some(e.message);
+                    break;
+                }
+            }
+        }
+        if salvage.detail.is_some() {
+            salvage.dropped_lines += lines
+                .filter(|l| !l.split('#').next().unwrap_or("").trim().is_empty())
+                .count();
+        }
+        (Self { ops }, salvage)
     }
 
     /// Renders the log as JSONL, one op per line with a trailing
@@ -350,6 +405,28 @@ mod tests {
             let res = OpsLog::parse_jsonl(bad);
             assert!(res.is_err(), "{bad:?} should not parse: {res:?}");
         }
+    }
+
+    #[test]
+    fn lossy_parse_salvages_prefix_and_counts_drops() {
+        let text = "{\"op\":\"join\",\"station\":1,\"slot\":5}\n\
+                    # a comment survives\n\
+                    {\"op\":\"drain\",\"station\":2,\"slot\":9,\"win\n\
+                    {\"op\":\"leave\",\"station\":3,\"slot\":12}\n";
+        let (log, salvage) = OpsLog::parse_jsonl_lossy(text);
+        assert_eq!(log.ops, vec![join(1, 5)]);
+        assert_eq!(
+            salvage.dropped_lines, 2,
+            "torn line and the valid one after it"
+        );
+        assert!(!salvage.is_clean());
+        assert!(salvage.detail.is_some());
+
+        let (clean, salvage) =
+            OpsLog::parse_jsonl_lossy("{\"op\":\"join\",\"station\":1,\"slot\":5}\n");
+        assert_eq!(clean.ops, vec![join(1, 5)]);
+        assert!(salvage.is_clean());
+        assert_eq!(salvage.detail, None);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests: salvaging a damaged ops journal is deterministic and
+//! never invents ops.
+//!
+//! `OpsLog::parse_jsonl_lossy` follows the arrival-journal salvage rule:
+//! the first malformed line ends the trustworthy region, everything
+//! after it is dropped (counted, never skipped over). Under arbitrary
+//! truncation and injected garbage the salvaged log must be an exact
+//! prefix of the original, and the salvage must compose with the
+//! normalize/compact round-trips the clean parser guarantees.
+
+use mec_placement::{OpsLog, ReconfigOp};
+use proptest::prelude::*;
+
+const STATIONS: usize = 6;
+
+fn arb_op() -> impl Strategy<Value = ReconfigOp> {
+    let station = 0..STATIONS;
+    let slot = 0u64..200;
+    prop_oneof![
+        (station.clone(), slot.clone())
+            .prop_map(|(station, slot)| ReconfigOp::BsJoin { station, slot }),
+        (station.clone(), slot.clone())
+            .prop_map(|(station, slot)| ReconfigOp::BsLeave { station, slot }),
+        (station, slot, 0u64..40).prop_map(|(station, slot, window)| ReconfigOp::BsDrain {
+            station,
+            slot,
+            window
+        }),
+    ]
+}
+
+/// Lines guaranteed not to parse as ops: plain garbage, unknown ops and
+/// fields, missing fields, and torn (mid-write truncated) records.
+fn arb_garbage() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("not json".to_string()),
+        Just("{\"op\":\"explode\",\"station\":1,\"slot\":2}".to_string()),
+        Just("{\"op\":\"join\",\"slot\":2}".to_string()),
+        Just("{\"op\":\"drain\",\"station\":1,\"slot\":2}".to_string()),
+        Just("{\"bogus\":1,\"station\":1,\"slot\":2}".to_string()),
+        Just("{::,}".to_string()),
+        (0u64..1000).prop_map(|n| format!("{{\"op\":\"join\",\"station\":{n}")),
+        (0u64..1000).prop_map(|n| format!("{{\"op\":\"leave\",\"station\":{n},\"slot\":x}}")),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn truncation_salvages_an_exact_prefix(
+        ops in prop::collection::vec(arb_op(), 0..64),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let log = OpsLog { ops };
+        let text = log.to_jsonl();
+        // The journal is pure ASCII, so any byte index is a char boundary.
+        let cut = ((cut_frac * text.len() as f64) as usize).min(text.len());
+        let torn = &text[..cut];
+        let (salvaged, salvage) = OpsLog::parse_jsonl_lossy(torn);
+        prop_assert!(salvaged.len() <= log.len());
+        prop_assert_eq!(&salvaged.ops[..], &log.ops[..salvaged.len()]);
+        // Deterministic: the same bytes salvage identically every time.
+        let (again, salvage_again) = OpsLog::parse_jsonl_lossy(torn);
+        prop_assert_eq!(&salvaged, &again);
+        prop_assert_eq!(&salvage, &salvage_again);
+        // A clean salvage means the strict parser agrees byte-for-byte.
+        if salvage.is_clean() {
+            prop_assert_eq!(OpsLog::parse_jsonl(torn).unwrap(), salvaged);
+        }
+    }
+
+    #[test]
+    fn garbage_ends_the_trustworthy_region(
+        ops in prop::collection::vec(arb_op(), 0..32),
+        garbage in arb_garbage(),
+        pos in 0usize..4096,
+    ) {
+        // Inject one non-blank garbage line; valid lines after it must be
+        // dropped, not skipped over: a bad record ends the file's
+        // trustworthy region.
+        prop_assert!(OpsLog::parse_jsonl(&garbage).is_err(), "{garbage:?}");
+        let log = OpsLog { ops };
+        let mut lines: Vec<String> = log.to_jsonl().lines().map(String::from).collect();
+        let k = pos % (lines.len() + 1);
+        lines.insert(k, garbage);
+        let text = lines.join("\n");
+        let (salvaged, salvage) = OpsLog::parse_jsonl_lossy(&text);
+        prop_assert_eq!(&salvaged.ops[..], &log.ops[..k]);
+        prop_assert_eq!(salvage.dropped_lines, 1 + (log.len() - k));
+        prop_assert!(!salvage.is_clean());
+        prop_assert!(salvage.detail.is_some());
+    }
+
+    #[test]
+    fn salvaged_logs_compose_with_normalize_and_compact(
+        ops in prop::collection::vec(arb_op(), 0..64),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let log = OpsLog { ops };
+        let text = log.to_jsonl();
+        let cut = ((cut_frac * text.len() as f64) as usize).min(text.len());
+        let (mut salvaged, _) = OpsLog::parse_jsonl_lossy(&text[..cut]);
+        // Whatever survived salvage round-trips losslessly through the
+        // strict parser...
+        let reparsed = OpsLog::parse_jsonl(&salvaged.to_jsonl()).unwrap();
+        prop_assert_eq!(&reparsed, &salvaged);
+        // ...and still supports the normalize/compact invariants.
+        salvaged.normalize();
+        let compacted = salvaged.compact();
+        prop_assert!(compacted.len() <= salvaged.len());
+        prop_assert_eq!(compacted.compact(), salvaged.compact());
+    }
+}

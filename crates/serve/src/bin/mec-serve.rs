@@ -46,6 +46,7 @@ struct Args {
     eviction: EvictionPolicy,
     ops: OpsLog,
     ops_journal_out: Option<String>,
+    state_dir: Option<String>,
 }
 
 impl Default for Args {
@@ -82,6 +83,7 @@ impl Default for Args {
             eviction: placement.eviction,
             ops: OpsLog::default(),
             ops_journal_out: None,
+            state_dir: None,
         }
     }
 }
@@ -111,7 +113,10 @@ OPTIONS:
                           crash:shard=1@slot=50,recover@slot=60
                           (fault kinds: crash, stall, slow:...@ms=M;
                           reconfig kinds: join/leave:station=K@slot=N,
-                          drain:station=K@slot=N[@window=W])
+                          drain:station=K@slot=N[@window=W];
+                          disk faults, need --state-dir:
+                          truncate/corrupt:shard=K@slot=N@target=
+                          journal|ckpt[@bytes=B], slowdisk:...@ms=M)
     --chaos-script <PATH> same grammar from a file; one or more directives
                           per line, '#' comments
 
@@ -130,7 +135,11 @@ PLACEMENT AND RECONFIGURATION:
     --tick-timeout-ms <N> per-slot reply deadline before a shard counts as
                           stalled; 0 = wait forever [default: 5000]
     --checkpoint-every <N> checkpoint shard engines every N slots; 0 =
-                          recover by replaying from genesis [default: 0]
+                          recover by replaying from genesis; composes
+                          with --ops-script [default: 0]
+    --state-dir <DIR>     mirror arrival journals and checkpoints to DIR
+                          as CRC-framed files (verified on recovery;
+                          required by disk-fault chaos specs)
     --degraded <POLICY>   routing while a shard is down: buffer | shed |
                           spill [default: buffer]
     --max-restarts <N>    restart attempts per shard before giving up
@@ -213,6 +222,7 @@ fn parse_args() -> Result<Args, String> {
                 args.ops = OpsLog::parse_jsonl(&text).map_err(|e| e.to_string())?;
             }
             "--ops-journal-out" => args.ops_journal_out = Some(value("--ops-journal-out")?),
+            "--state-dir" => args.state_dir = Some(value("--state-dir")?),
             "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--telemetry-every" => {
@@ -260,11 +270,8 @@ fn parse_args() -> Result<Args, String> {
             ));
         }
     }
-    let has_ops = !args.ops.is_empty() || !args.chaos.ops.is_empty();
-    if has_ops && args.checkpoint_every != 0 {
-        return Err(
-            "reconfiguration ops require genesis replay; drop --checkpoint-every".to_string(),
-        );
+    if !args.chaos.disk_faults.is_empty() && args.state_dir.is_none() {
+        return Err("disk fault injection needs a state directory (--state-dir)".to_string());
     }
     #[cfg(not(feature = "obs"))]
     if args.metrics_addr.is_some()
@@ -414,6 +421,7 @@ fn main() -> ExitCode {
             seed: args.seed,
         },
         ops: args.ops.clone(),
+        state_dir: args.state_dir.as_ref().map(std::path::PathBuf::from),
     };
 
     eprintln!(
@@ -484,7 +492,15 @@ fn main() -> ExitCode {
         );
     }
     if let Some(path) = &args.ops_journal_out {
-        if let Err(e) = std::fs::write(path, &outcome.ops_journal) {
+        // Plain JSONL (replayable via --ops-script), but written through
+        // the journal writer so the bytes are buffered, synced, and any
+        // io error surfaces instead of vanishing.
+        let write =
+            mec_serve::JournalWriter::create(std::path::Path::new(path)).and_then(|mut w| {
+                w.write_raw(outcome.ops_journal.as_bytes())?;
+                w.sync()
+            });
+        if let Err(e) = write {
             eprintln!("cannot write ops journal {path:?}: {e}");
             return ExitCode::FAILURE;
         }

@@ -12,12 +12,15 @@
 //!
 //! ```text
 //! spec      := directive (',' directive)*
-//! directive := fault | recover | reconfig
+//! directive := fault | recover | reconfig | diskfault
 //! fault     := kind ':' 'shard=' K '@slot=' N ['@ms=' M]
 //! kind      := 'crash' | 'stall' | 'slow'
 //! recover   := 'recover' ['shard=' K] '@slot=' N
 //! reconfig  := ('join' | 'leave') ':' 'station=' K '@slot=' N
 //!            | 'drain' ':' 'station=' K '@slot=' N ['@window=' W]
+//! diskfault := ('truncate' | 'corrupt') ':' 'shard=' K '@slot=' N
+//!                  '@target=' ('journal' | 'ckpt') ['@bytes=' B]
+//!            | 'slowdisk' ':' 'shard=' K '@slot=' N '@ms=' M
 //! ```
 //!
 //! A `recover` directive without a shard attaches to the directly
@@ -25,6 +28,9 @@
 //! (not shards) and become [`mec_placement::ReconfigOp`]s carried in
 //! [`ChaosSpec::ops`], merged with any `--ops-script` the run was given.
 //! A `drain` without a window hands off immediately-ish (window 0).
+//! Disk faults mutate the shard's on-disk journal or checkpoint file at
+//! the top of the given slot (`bytes` defaults to 8 — enough to tear a
+//! frame header); they require the run to have a `--state-dir`.
 //! Examples:
 //!
 //! ```text
@@ -32,6 +38,9 @@
 //! stall:shard=0@slot=25
 //! slow:shard=2@slot=10@ms=200
 //! drain:station=3@slot=40@window=10,join:station=3@slot=90
+//! corrupt:shard=1@slot=45@target=journal@bytes=5
+//! truncate:shard=0@slot=30@target=ckpt
+//! slowdisk:shard=1@slot=12@ms=50
 //! ```
 //!
 //! Fault *scripts* are the same grammar spread over lines: one or more
@@ -84,6 +93,59 @@ pub struct FaultSpec {
     pub recover_at: Option<u64>,
 }
 
+/// Which persisted file a disk fault mutates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskTarget {
+    /// The shard's CRC-framed arrival journal (`shard-K.journal`).
+    Journal,
+    /// The shard's current checkpoint file (`shard-K.ckpt`).
+    Checkpoint,
+}
+
+impl fmt::Display for DiskTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Journal => write!(f, "journal"),
+            Self::Checkpoint => write!(f, "ckpt"),
+        }
+    }
+}
+
+/// What a disk fault does to the target file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// Chop this many bytes off the end (a torn write).
+    Truncate {
+        /// Bytes removed from the tail.
+        bytes: u64,
+    },
+    /// Flip bits in the last `bytes` bytes (silent media corruption —
+    /// the file length is unchanged, only CRC validation can see it).
+    Corrupt {
+        /// Bytes XOR-scrambled at the tail.
+        bytes: u64,
+    },
+    /// Delay the shard's next disk operation by `ms` milliseconds
+    /// (recoverable: retry-with-backoff rides it out).
+    SlowDisk {
+        /// Injected latency in milliseconds.
+        ms: u64,
+    },
+}
+
+/// One scripted disk fault, applied by the driver at the top of `slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFaultSpec {
+    /// The shard whose persisted files are hit.
+    pub shard: usize,
+    /// The virtual slot at whose top the fault is applied.
+    pub slot: u64,
+    /// Which file.
+    pub target: DiskTarget,
+    /// What happens to it.
+    pub kind: DiskFaultKind,
+}
+
 /// A deterministic fault schedule for one serving run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChaosSpec {
@@ -92,6 +154,9 @@ pub struct ChaosSpec {
     /// Scripted topology reconfiguration ops (`join`/`leave`/`drain`
     /// directives), in spec order; merged with the run's ops script.
     pub ops: Vec<ReconfigOp>,
+    /// Scripted disk faults (`truncate`/`corrupt`/`slowdisk` directives),
+    /// in spec order; require a state directory.
+    pub disk_faults: Vec<DiskFaultSpec>,
 }
 
 /// A chaos spec that failed to parse; the message names the offending
@@ -124,6 +189,8 @@ struct Fields {
     ms: Option<u64>,
     station: Option<usize>,
     window: Option<u64>,
+    target: Option<DiskTarget>,
+    bytes: Option<u64>,
 }
 
 fn parse_fields(directive: &str, parts: &[&str]) -> Result<Fields, ChaosParseError> {
@@ -154,6 +221,18 @@ fn parse_fields(directive: &str, parts: &[&str]) -> Result<Fields, ChaosParseErr
                 )
             }
             "window" => fields.window = Some(parse_u64(value)?),
+            "target" => {
+                fields.target = Some(match value {
+                    "journal" => DiskTarget::Journal,
+                    "ckpt" => DiskTarget::Checkpoint,
+                    other => {
+                        return Err(err(format!(
+                            "bad target {other:?} (accepted: journal, ckpt) in {directive:?}"
+                        )));
+                    }
+                })
+            }
+            "bytes" => fields.bytes = Some(parse_u64(value)?),
             other => {
                 return Err(err(format!("unknown field {other:?} in {directive:?}")));
             }
@@ -163,10 +242,10 @@ fn parse_fields(directive: &str, parts: &[&str]) -> Result<Fields, ChaosParseErr
 }
 
 impl ChaosSpec {
-    /// Whether the schedule is empty (no faults to inject and no
-    /// reconfiguration ops to apply).
+    /// Whether the schedule is empty (no faults to inject, no
+    /// reconfiguration ops to apply, no disk faults to deal).
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty() && self.ops.is_empty()
+        self.faults.is_empty() && self.ops.is_empty() && self.disk_faults.is_empty()
     }
 
     /// Parses a one-line spec (see the module docs for the grammar).
@@ -246,8 +325,56 @@ impl ChaosSpec {
             target.recover_at = Some(slot);
             return Ok(());
         }
+        if matches!(kind, "truncate" | "corrupt" | "slowdisk") {
+            if fields.station.is_some() || fields.window.is_some() {
+                return Err(err(format!(
+                    "{kind} targets a shard's files, not a station, in {directive:?}"
+                )));
+            }
+            let shard = fields
+                .shard
+                .ok_or_else(|| err(format!("{kind} needs shard=K in {directive:?}")))?;
+            let slot = fields
+                .slot
+                .ok_or_else(|| err(format!("{kind} needs @slot=N in {directive:?}")))?;
+            let (target, disk_kind) = if kind == "slowdisk" {
+                if fields.target.is_some() || fields.bytes.is_some() {
+                    return Err(err(format!(
+                        "slowdisk delays the next disk op; it takes @ms=M, \
+                         not target/bytes, in {directive:?}"
+                    )));
+                }
+                let ms = fields
+                    .ms
+                    .ok_or_else(|| err(format!("slowdisk needs @ms=M in {directive:?}")))?;
+                (DiskTarget::Journal, DiskFaultKind::SlowDisk { ms })
+            } else {
+                if fields.ms.is_some() {
+                    return Err(err(format!("{kind} does not take @ms=M in {directive:?}")));
+                }
+                let target = fields.target.ok_or_else(|| {
+                    err(format!(
+                        "{kind} needs @target=journal|ckpt in {directive:?}"
+                    ))
+                })?;
+                let bytes = fields.bytes.unwrap_or(8);
+                let disk_kind = if kind == "truncate" {
+                    DiskFaultKind::Truncate { bytes }
+                } else {
+                    DiskFaultKind::Corrupt { bytes }
+                };
+                (target, disk_kind)
+            };
+            self.disk_faults.push(DiskFaultSpec {
+                shard,
+                slot,
+                target,
+                kind: disk_kind,
+            });
+            return Ok(());
+        }
         if matches!(kind, "join" | "leave" | "drain") {
-            if fields.shard.is_some() || fields.ms.is_some() {
+            if fields.shard.is_some() || fields.ms.is_some() || fields.target.is_some() {
                 return Err(err(format!(
                     "{kind} targets a station, not a shard, in {directive:?}"
                 )));
@@ -278,6 +405,12 @@ impl ChaosSpec {
                 "{kind} targets a shard, not a station, in {directive:?}"
             )));
         }
+        if fields.target.is_some() || fields.bytes.is_some() {
+            return Err(err(format!(
+                "{kind} is not a disk fault; target/bytes need truncate, corrupt, \
+                 or slowdisk in {directive:?}"
+            )));
+        }
         let shard = fields
             .shard
             .ok_or_else(|| err(format!("{kind} needs shard=K in {directive:?}")))?;
@@ -295,7 +428,7 @@ impl ChaosSpec {
             other => {
                 return Err(err(format!(
                     "unknown fault kind {other:?} (accepted: crash, stall, slow, recover, \
-                     join, leave, drain)"
+                     join, leave, drain, truncate, corrupt, slowdisk)"
                 )));
             }
         };
@@ -321,10 +454,23 @@ impl ChaosSpec {
             .collect()
     }
 
-    /// The largest shard index any fault names (for validation against the
-    /// actual shard count).
+    /// The largest shard index any fault (thread or disk) names (for
+    /// validation against the actual shard count).
     pub fn max_shard(&self) -> Option<usize> {
-        self.faults.iter().map(|f| f.shard).max()
+        self.faults
+            .iter()
+            .map(|f| f.shard)
+            .chain(self.disk_faults.iter().map(|f| f.shard))
+            .max()
+    }
+
+    /// The disk faults scheduled for the top of `slot`, in spec order.
+    pub fn disk_faults_due(&self, slot: u64) -> Vec<DiskFaultSpec> {
+        self.disk_faults
+            .iter()
+            .filter(|f| f.slot == slot)
+            .copied()
+            .collect()
     }
 
     /// The largest station id any reconfiguration op names (for
@@ -447,6 +593,44 @@ stall:shard=0@slot=100   # detected via the reply deadline
     }
 
     #[test]
+    fn parses_disk_fault_directives() {
+        let spec = ChaosSpec::parse(
+            "corrupt:shard=1@slot=45@target=journal@bytes=5,\
+             truncate:shard=0@slot=30@target=ckpt,\
+             slowdisk:shard=2@slot=12@ms=50",
+        )
+        .unwrap();
+        assert!(spec.faults.is_empty());
+        assert_eq!(
+            spec.disk_faults,
+            vec![
+                DiskFaultSpec {
+                    shard: 1,
+                    slot: 45,
+                    target: DiskTarget::Journal,
+                    kind: DiskFaultKind::Corrupt { bytes: 5 },
+                },
+                DiskFaultSpec {
+                    shard: 0,
+                    slot: 30,
+                    target: DiskTarget::Checkpoint,
+                    kind: DiskFaultKind::Truncate { bytes: 8 },
+                },
+                DiskFaultSpec {
+                    shard: 2,
+                    slot: 12,
+                    target: DiskTarget::Journal,
+                    kind: DiskFaultKind::SlowDisk { ms: 50 },
+                },
+            ]
+        );
+        assert_eq!(spec.max_shard(), Some(2));
+        assert!(!spec.is_empty());
+        assert_eq!(spec.disk_faults_due(45).len(), 1);
+        assert_eq!(spec.disk_faults_due(46).len(), 0);
+    }
+
+    #[test]
     fn rejects_malformed_directives() {
         for bad in [
             "explode:shard=0@slot=1",
@@ -463,6 +647,15 @@ stall:shard=0@slot=100   # detected via the reply deadline
             "drain:station=1@slot=2@ms=5",
             "leave:station=1@slot=2@window=5",
             "crash:station=1@slot=2",
+            "crash:shard=0@slot=1@target=journal",
+            "crash:shard=0@slot=1@bytes=4",
+            "truncate:shard=0@slot=1",
+            "truncate:shard=0@slot=1@target=nvram",
+            "corrupt:shard=0@slot=1@target=ckpt@ms=5",
+            "corrupt:station=0@slot=1@target=ckpt",
+            "slowdisk:shard=0@slot=1",
+            "slowdisk:shard=0@slot=1@ms=5@target=journal",
+            "join:station=1@slot=2@target=journal",
         ] {
             let res = ChaosSpec::parse(bad);
             assert!(res.is_err(), "{bad:?} should not parse: {res:?}");

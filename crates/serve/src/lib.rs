@@ -60,10 +60,15 @@
 //! latency charged in slots) that parks the request until the service is
 //! resident. [`ServeConfig::ops`] — or `drain:`/`join:`/`leave:`
 //! directives in the chaos spec — reconfigures the fleet mid-run:
-//! drains hand in-flight journal state off to the nearest active station
-//! deterministically, so same seed + same ops script still reproduces a
+//! a drain extracts only the drained station's in-flight jobs (a
+//! [`mec_sim::StationSlice`]) and ships them to the nearest active
+//! station deterministically, so handoff cost is bounded by the moved
+//! state and same seed + same ops script still reproduces a
 //! byte-identical final snapshot. [`PlacementStats`] in each
-//! [`Snapshot`] counts hits, installs, rehomes, and handoffs.
+//! [`Snapshot`] counts hits, installs, rehomes, and handoffs. With
+//! [`ServeConfig::state_dir`] set, arrivals and checkpoints also persist
+//! to CRC-framed on-disk journals (see the [`journal`] module) that
+//! survive — and report — injected disk faults.
 //!
 //! ## Observability
 //!
@@ -99,6 +104,7 @@
 
 pub mod chaos;
 pub mod clock;
+pub mod journal;
 pub mod loadgen;
 pub mod obs;
 pub mod partition;
@@ -109,8 +115,12 @@ pub mod runtime;
 pub mod shard;
 pub mod snapshot;
 
-pub use chaos::{ChaosParseError, ChaosSpec, FaultKind, FaultSpec, ShardFault};
+pub use chaos::{
+    ChaosParseError, ChaosSpec, DiskFaultKind, DiskFaultSpec, DiskTarget, FaultKind, FaultSpec,
+    ShardFault,
+};
 pub use clock::{Clock, ClockMode};
+pub use journal::{DiskIncidents, DiskRecovery, DiskStore, JournalError, JournalWriter, Salvage};
 pub use loadgen::LoadGen;
 pub use obs::ObsHub;
 pub use partition::{partition, ShardPlan};
@@ -119,7 +129,7 @@ pub use policy::{policy_from_name, UnknownPolicy, POLICY_NAMES};
 pub use router::{Admission, DegradedPolicy, Router};
 pub use runtime::{serve, FaultConfig, ServeConfig, ServeError, ServeOutcome};
 pub use shard::{
-    RecoverPlan, ShardCommand, ShardFinal, ShardHandle, ShardRecovered, ShardReply, ShardTick,
-    SpawnSpec,
+    HandoffEvent, RecoverPlan, ShardCommand, ShardFinal, ShardHandle, ShardRecovered, ShardReply,
+    ShardTick, SpawnSpec,
 };
 pub use snapshot::{FaultStats, LatencyStats, PlacementStats, Snapshot};

@@ -20,6 +20,8 @@
 //! driver drains at the slot barrier in shard order, so a traced run
 //! replayed with the same seed yields a byte-identical event stream.
 
+use crate::chaos::{DiskFaultKind, DiskFaultSpec, DiskTarget};
+use crate::journal::DiskIncidents;
 use crate::router::Router;
 use crate::shard::ShardTick;
 use crate::snapshot::{FaultStats, PlacementStats};
@@ -187,6 +189,12 @@ pub(crate) struct ObsState {
     place_misses: Arc<Counter>,
     place_evictions: Arc<Counter>,
     install_latency: Arc<Histogram>,
+    disk_corrupt_records: Arc<Counter>,
+    disk_salvaged_bytes: Arc<Counter>,
+    disk_fallbacks: Arc<Counter>,
+    disk_retries: Arc<Counter>,
+    checkpoint_bytes: Arc<Counter>,
+    moved_state_bytes: Arc<Counter>,
     /// Per-BS cache occupancy gauges, grown lazily to the fleet size.
     occupancy: Vec<Arc<Gauge>>,
     rings: Vec<Option<TraceRing>>,
@@ -339,6 +347,36 @@ impl ObsState {
                 "slots from install decision to residency",
                 &[],
                 INSTALL_SLOT_BOUNDS,
+            ),
+            disk_corrupt_records: r.counter(
+                "mec_serve_recovery_corrupt_records_total",
+                "CRC-failed journal/checkpoint records detected on disk",
+                &[],
+            ),
+            disk_salvaged_bytes: r.counter(
+                "mec_serve_recovery_salvaged_bytes_total",
+                "bytes truncated away while salvaging torn journal tails",
+                &[],
+            ),
+            disk_fallbacks: r.counter(
+                "mec_serve_recovery_disk_fallbacks_total",
+                "recoveries that distrusted disk and fell back to memory",
+                &[],
+            ),
+            disk_retries: r.counter(
+                "mec_serve_recovery_disk_retries_total",
+                "disk read retries and write errors absorbed during recovery",
+                &[],
+            ),
+            checkpoint_bytes: r.counter(
+                "mec_serve_recovery_checkpoint_bytes_total",
+                "framed bytes written across all checkpoint mirrors",
+                &[],
+            ),
+            moved_state_bytes: r.counter(
+                "mec_serve_recovery_moved_state_bytes_total",
+                "encoded station-slice bytes shipped by drain/leave handoffs",
+                &[],
             ),
             occupancy: Vec::new(),
             rings: (0..shards)
@@ -602,15 +640,18 @@ impl ObsState {
     }
 
     /// Records a drain/leave handoff: which station left, who took its
-    /// journaled in-flight state, and how much state moved.
+    /// extracted in-flight slice, and how much state moved (jobs and
+    /// encoded bytes — the per-handoff cost the recovery report plots).
     pub(crate) fn note_handoff(
         &self,
         slot: u64,
         station: usize,
         takeover: Option<usize>,
         migrated: u64,
+        bytes: u64,
         leave: bool,
     ) {
+        self.moved_state_bytes.add(bytes);
         mec_obs::event!(
             self,
             slot,
@@ -618,7 +659,92 @@ impl ObsState {
             station = station,
             takeover = takeover.map_or(-1i64, |t| t as i64),
             migrated = migrated,
+            bytes = bytes,
             leave = leave,
+        );
+    }
+
+    /// Folds one shard's disk-recovery incident tally into the recovery
+    /// counters and emits a `journal_salvage` event (skipped when the
+    /// read-back was clean).
+    pub(crate) fn note_disk_incidents(&self, slot: u64, shard: usize, inc: &DiskIncidents) {
+        if inc.is_clean() {
+            return;
+        }
+        self.disk_corrupt_records.add(inc.corrupt_records);
+        self.disk_salvaged_bytes.add(inc.salvaged_bytes);
+        self.disk_retries.add(inc.retries);
+        self.disk_fallbacks.add(inc.checkpoint_fallbacks);
+        mec_obs::event!(
+            self,
+            slot,
+            "journal_salvage",
+            shard = shard,
+            corrupt_records = inc.corrupt_records,
+            salvaged_bytes = inc.salvaged_bytes,
+            retries = inc.retries,
+            checkpoint_fallbacks = inc.checkpoint_fallbacks,
+        );
+    }
+
+    /// Records a recovery that distrusted the disk mirror (read-back did
+    /// not byte-match memory) and healed it from the in-memory truth.
+    pub(crate) fn note_disk_fallback(&self, slot: u64, shard: usize) {
+        self.disk_fallbacks.inc();
+        mec_obs::event!(self, slot, "disk_fallback", shard = shard);
+    }
+
+    /// Records a checkpoint mirrored to disk and its framed byte size.
+    pub(crate) fn note_checkpoint_write(&self, slot: u64, shard: usize, bytes: u64) {
+        self.checkpoint_bytes.add(bytes);
+        mec_obs::event!(self, slot, "checkpoint_write", shard = shard, bytes = bytes);
+    }
+
+    /// Records a disk write error absorbed without aborting the run
+    /// (`op` is `append`, `checkpoint`, `prune`, `heal`, `flush`, or
+    /// `fault`; `shard == usize::MAX` marks a store-wide operation).
+    pub(crate) fn note_disk_write_error(
+        &self,
+        slot: u64,
+        shard: usize,
+        op: &str,
+        e: &std::io::Error,
+    ) {
+        self.disk_retries.inc();
+        let shard_id = if shard == usize::MAX {
+            -1i64
+        } else {
+            shard as i64
+        };
+        mec_obs::event!(
+            self,
+            slot,
+            "disk_error",
+            shard = shard_id,
+            op = op,
+            error = e.to_string(),
+        );
+    }
+
+    /// Records an injected disk fault the moment it lands on the store.
+    pub(crate) fn note_disk_fault(&self, slot: u64, fault: &DiskFaultSpec, bytes: u64) {
+        let target = match fault.target {
+            DiskTarget::Journal => "journal",
+            DiskTarget::Checkpoint => "ckpt",
+        };
+        let kind = match fault.kind {
+            DiskFaultKind::Truncate { .. } => "truncate",
+            DiskFaultKind::Corrupt { .. } => "corrupt",
+            DiskFaultKind::SlowDisk { .. } => "slowdisk",
+        };
+        mec_obs::event!(
+            self,
+            slot,
+            "disk_fault",
+            shard = fault.shard,
+            target = target,
+            fault = kind,
+            bytes = bytes,
         );
     }
 
@@ -679,6 +805,10 @@ impl ObsState {
             recovery_p50_slots: p50,
             recovery_p95_slots: p95,
             recovery_max_slots: max,
+            disk_corrupt_records: self.disk_corrupt_records.get(),
+            disk_salvaged_bytes: self.disk_salvaged_bytes.get(),
+            disk_fallbacks: self.disk_fallbacks.get(),
+            disk_retries: self.disk_retries.get(),
         }
     }
 
@@ -727,6 +857,30 @@ mod tests {
         assert_eq!(stats.recovery_p50_slots, 12);
         assert_eq!(stats.recovery_p95_slots, 12);
         assert_eq!(stats.recovery_max_slots, 12);
+    }
+
+    #[test]
+    fn disk_incidents_flow_into_fault_stats() {
+        let obs = ObsState::new(1, None);
+        obs.note_disk_incidents(
+            5,
+            0,
+            &DiskIncidents {
+                corrupt_records: 2,
+                salvaged_bytes: 64,
+                retries: 3,
+                checkpoint_fallbacks: 1,
+            },
+        );
+        obs.note_disk_fallback(6, 0);
+        let stats = obs.fault_stats();
+        assert_eq!(stats.disk_corrupt_records, 2);
+        assert_eq!(stats.disk_salvaged_bytes, 64);
+        assert_eq!(stats.disk_retries, 3);
+        assert_eq!(
+            stats.disk_fallbacks, 2,
+            "incident fallback + verify fallback"
+        );
     }
 
     #[test]

@@ -333,8 +333,9 @@ impl PlacementPlane {
 
     /// Finishes a leave or drain handoff: the station goes inactive,
     /// abandoning pending installs (their held requests re-route on
-    /// release). `migrated` is the number of journal entries the runtime
-    /// moved to the takeover station.
+    /// release). `migrated` counts state the caller already moved; the
+    /// runtime passes 0 here and credits the actual move later through
+    /// [`PlacementPlane::note_migrated`], once the extraction executes.
     pub fn apply_handoff(&mut self, station: usize, leave: bool, migrated: u64) {
         self.state.deactivate(station);
         if leave {
@@ -342,6 +343,13 @@ impl PlacementPlane {
         }
         self.stats.handoffs += 1;
         self.stats.migrated += migrated;
+    }
+
+    /// Credits `jobs` in-flight jobs (shipping as `bytes` of encoded
+    /// station slice) moved by an executed handoff.
+    pub fn note_migrated(&mut self, jobs: u64, bytes: u64) {
+        self.stats.migrated += jobs;
+        self.stats.moved_state_bytes += bytes;
     }
 }
 

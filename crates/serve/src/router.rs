@@ -72,6 +72,9 @@ pub enum Admission {
     Buffered {
         /// The (down) owning shard.
         shard: usize,
+        /// The request, rewritten into the shard-local id space — what
+        /// the journal holds and replay will eventually deliver.
+        request: Request,
     },
     /// The home shard is down and the policy spills: inject the request
     /// into a neighbor shard now.
@@ -309,8 +312,11 @@ impl Router {
                 let localized = self.localize(request);
                 self.backlog[home_shard] += 1;
                 self.admitted += 1;
-                self.journal_push(home_shard, slot, localized);
-                Admission::Buffered { shard: home_shard }
+                self.journal_push(home_shard, slot, localized.clone());
+                Admission::Buffered {
+                    shard: home_shard,
+                    request: localized,
+                }
             }
             DegradedPolicy::Shed => {
                 self.shed += 1;
@@ -360,7 +366,10 @@ impl Router {
     /// the merge is deterministic). Returns how many entries moved.
     ///
     /// The caller is responsible for rebuilding affected live workers by
-    /// journal replay; the router only rewrites the replay log.
+    /// journal replay; the router only rewrites the replay log. The live
+    /// handoff path no longer uses this (it ships engine state directly
+    /// as a [`mec_sim::StationSlice`] and keeps journals untouched so
+    /// replay stays exact); it remains for offline journal surgery.
     pub fn migrate_station(&mut self, from: StationId, to: StationId) -> u64 {
         let from_shard = self.shard_of(from);
         let to_shard = self.shard_of(to);
@@ -393,6 +402,19 @@ impl Router {
         merged.sort_by_key(|(slot, _)| *slot);
         self.journal[to_shard] = merged.into_iter().collect();
         migrated
+    }
+
+    /// Moves `n` tracked in-flight jobs from `from`'s backlog to `to`'s
+    /// — the admission-control view of a station handoff. Saturating on
+    /// the source side (the next barriered tick reports resynchronize
+    /// the truth either way).
+    pub fn transfer_backlog(&mut self, from: usize, to: usize, n: usize) {
+        if from == to || n == 0 {
+            return;
+        }
+        let moved = n.min(self.backlog[from]);
+        self.backlog[from] -= moved;
+        self.backlog[to] += moved;
     }
 
     /// Counts `n` requests shed outside the router (placement-plane
@@ -556,8 +578,9 @@ mod tests {
         let mut injected = 0;
         for (i, r) in requests.iter().enumerate() {
             match router.admit(r, i as u64) {
-                Admission::Buffered { shard } => {
+                Admission::Buffered { shard, request } => {
                     assert_eq!(shard, 0);
+                    assert_eq!(request.id(), r.id());
                     buffered += 1;
                 }
                 Admission::Inject { shard, .. } => {
@@ -716,6 +739,21 @@ mod tests {
         assert!(dest.windows(2).all(|w| w[0].0 <= w[1].0));
         // Nothing homed on the source: a second migration is a no-op.
         assert_eq!(router.migrate_station(StationId(6), StationId(1)), 0);
+    }
+
+    #[test]
+    fn transfer_backlog_moves_and_saturates() {
+        let mut router = Router::new(3, 16);
+        router.observe_backlog(0, 5);
+        router.observe_backlog(1, 2);
+        router.transfer_backlog(0, 1, 3);
+        assert_eq!(router.backlogs(), &[2, 5, 0]);
+        // Saturates at the tracked source depth.
+        router.transfer_backlog(0, 2, 10);
+        assert_eq!(router.backlogs(), &[0, 5, 2]);
+        // Self-transfer is a no-op.
+        router.transfer_backlog(1, 1, 4);
+        assert_eq!(router.backlogs(), &[0, 5, 2]);
     }
 
     #[test]

@@ -47,22 +47,36 @@
 //! [`FaultConfig::max_restarts`] failed restarts the supervisor stops
 //! retrying; the shard is revived once more at finish so terminal
 //! accounting still covers every admitted request.
+//!
+//! Drain/leave handoffs are **splittable**: only the departing station's
+//! in-flight jobs move (a [`mec_sim::StationSlice`]), and the move is
+//! recorded as replay events on the shards involved, so handoffs compose
+//! with periodic checkpoints instead of forcing genesis replay. With
+//! [`ServeConfig::state_dir`] set, arrival journals and checkpoints
+//! additionally persist to CRC-framed files (see [`crate::journal`])
+//! that are read back and verified against the in-memory truth on every
+//! recovery — injected disk faults (`truncate:` / `corrupt:` /
+//! `slowdisk:`) move recovery counters, never the simulation outcome.
 
 use crate::chaos::{ChaosSpec, FaultSpec, ShardFault};
 use crate::clock::{Clock, ClockMode};
+use crate::journal::{self, DiskStore};
 use crate::loadgen::LoadGen;
 use crate::obs::{ObsHub, ObsState};
 use crate::partition::{partition, ShardPlan};
 use crate::placement::{PlacementPlane, RouteDecision};
 use crate::policy::{policy_from_name, UnknownPolicy};
 use crate::router::{Admission, DegradedPolicy, Router};
-use crate::shard::{RecoverPlan, ShardCommand, ShardHandle, ShardReply, ShardTick, SpawnSpec};
+use crate::shard::{
+    HandoffEvent, RecoverPlan, ShardCommand, ShardHandle, ShardReply, ShardTick, SpawnSpec,
+};
 use crate::snapshot::{LatencyStats, Snapshot};
 use mec_placement::{OpsLog, PlacementConfig, ReconfigOp};
 use mec_sim::{EngineState, Metrics, SlotConfig};
 use mec_topology::{StationId, Topology};
 use mec_workload::Request;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::time::Duration;
@@ -141,11 +155,23 @@ pub struct ServeConfig {
     /// placement-aware routing entirely.
     pub placement: PlacementConfig,
     /// Scripted topology reconfiguration ops (joins/leaves/drains),
-    /// merged with any ops carried by the chaos spec. Incompatible with
-    /// periodic checkpointing ([`FaultConfig::checkpoint_every`] must be
-    /// 0 when ops are present): drain handoffs rewrite replay journals,
-    /// which is only exact under genesis replay.
+    /// merged with any ops carried by the chaos spec. Handoffs ship only
+    /// the departing station's in-flight jobs as a
+    /// [`mec_sim::StationSlice`] and are recorded as replay events, so
+    /// they compose with periodic checkpointing
+    /// ([`FaultConfig::checkpoint_every`]) — recovery restarts from the
+    /// newest checkpoint at or before the op and replays only the
+    /// journal suffix.
     pub ops: OpsLog,
+    /// Directory for on-disk persistence: per-shard CRC-framed arrival
+    /// journals plus atomically-rotated engine checkpoints (see the
+    /// [`crate::journal`] module). `None` (the default) keeps all
+    /// recovery state in memory. The in-memory supervisor state stays
+    /// authoritative either way — disk state is a verified mirror, read
+    /// back and checked on every recovery, falling back (and healing)
+    /// on any corruption so injected disk faults can change recovery
+    /// counters but never the simulation outcome.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -164,6 +190,7 @@ impl Default for ServeConfig {
             obs: None,
             placement: PlacementConfig::default(),
             ops: OpsLog::default(),
+            state_dir: None,
         }
     }
 }
@@ -191,9 +218,11 @@ pub enum ServeError {
     /// targets a shard index beyond the shard count).
     Chaos(String),
     /// The placement/reconfiguration setup is invalid (an op targets a
-    /// station the topology lacks, or ops are combined with periodic
-    /// checkpointing).
+    /// station the topology lacks).
     Reconfig(String),
+    /// The state directory could not be created (persistence failures
+    /// *during* the run degrade to fault counters instead).
+    Disk(std::io::Error),
 }
 
 impl fmt::Display for ServeError {
@@ -207,6 +236,7 @@ impl fmt::Display for ServeError {
             }
             Self::Chaos(msg) => write!(f, "chaos spec: {msg}"),
             Self::Reconfig(msg) => write!(f, "reconfiguration: {msg}"),
+            Self::Disk(e) => write!(f, "state directory: {e}"),
         }
     }
 }
@@ -280,6 +310,11 @@ struct Supervised {
     chaos_faults: Vec<FaultSpec>,
     /// Recovery base: genesis, or the latest adopted checkpoint.
     base: EngineState,
+    /// Handoff operations this shard participated in since the recovery
+    /// base, re-applied at their original slots during catch-up replay.
+    /// Pruned when a newer checkpoint (which already embeds their
+    /// effect) is adopted.
+    replay_events: Vec<HandoffEvent>,
     // Last-known cumulative counters — the snapshot view of a shard that
     // is currently down.
     total_reward: f64,
@@ -337,13 +372,32 @@ fn note_down(
 }
 
 /// Folds one tick reply into the supervisor state: adopt any checkpoint
-/// (pruning the journal it covers), refresh the tracked backlog, cache
-/// the cumulative counters, and feed the tick to the metrics layer.
-fn apply_tick(sup: &mut Supervised, router: &mut Router, obs: &mut ObsState, tick: &ShardTick) {
+/// (pruning the journal and replay events it covers, and mirroring it
+/// to disk when a state directory is configured), refresh the tracked
+/// backlog, cache the cumulative counters, and feed the tick to the
+/// metrics layer.
+fn apply_tick(
+    sup: &mut Supervised,
+    router: &mut Router,
+    obs: &mut ObsState,
+    store: &mut Option<DiskStore>,
+    tick: &ShardTick,
+) {
     obs.note_tick(tick);
     if let Some(state) = &tick.checkpoint {
         router.prune_journal(sup.shard, state.next_slot);
+        sup.replay_events.retain(|e| e.slot() >= state.next_slot);
         sup.base = state.clone();
+        if let Some(store) = store.as_mut() {
+            let slot = tick.report.slot;
+            match store.write_checkpoint(sup.shard, state) {
+                Ok(bytes) => obs.note_checkpoint_write(slot, sup.shard, bytes),
+                Err(e) => obs.note_disk_write_error(slot, sup.shard, "checkpoint", &e),
+            }
+            if let Err(e) = store.prune_journal(sup.shard, state.next_slot) {
+                obs.note_disk_write_error(slot, sup.shard, "prune", &e);
+            }
+        }
     }
     router.observe_backlog(sup.shard, tick.backlog);
     sup.total_reward = tick.total_reward;
@@ -353,16 +407,78 @@ fn apply_tick(sup: &mut Supervised, router: &mut Router, obs: &mut ObsState, tic
     sup.latencies.extend_from_slice(&tick.new_latencies);
 }
 
-/// Restarts a down shard: spawn a fresh worker with the recovery base and
-/// the journal tail, wait for its catch-up report, and fold the recovered
-/// state in. Returns `Ok(false)` if the replacement worker itself died
-/// before reporting (the caller reschedules).
-///
-/// With `handoff` set the rebuild is part of a drain/leave journal
-/// migration, not a failure: the restart budget and every [`FaultStats`]
-/// counter stay untouched (a pure reconfiguration run must report quiet
-/// fault stats), and the handoff accounting lives in
-/// [`crate::PlacementStats`] instead.
+/// Reads `shard`'s persisted state back and checks it round-trips to the
+/// authoritative in-memory copy (checkpoint byte-equal to the recovery
+/// base, journal suffix equal to the router's). Returns the verified
+/// disk journal on success, `None` on any corruption, truncation, or
+/// divergence — every incident lands in the recovery counters, never in
+/// the simulation outcome.
+fn verified_disk_journal(
+    store: &mut DiskStore,
+    sup: &Supervised,
+    router: &Router,
+    obs: &mut ObsState,
+    slot: u64,
+) -> Option<Vec<(u64, Request)>> {
+    let shard = sup.shard;
+    let recovered = store.recover_shard(shard);
+    if !recovered.incidents.is_clean() {
+        obs.note_disk_incidents(slot, shard, &recovered.incidents);
+    }
+    let base_ok = match &recovered.checkpoint {
+        Some(state) => journal::encode_state(state) == journal::encode_state(&sup.base),
+        None => sup.base.next_slot == 0,
+    };
+    let suffix: Vec<(u64, Request)> = recovered
+        .journal
+        .into_iter()
+        .filter(|(s, _)| *s >= sup.base.next_slot)
+        .collect();
+    if base_ok && suffix == router.journal_since(shard, sup.base.next_slot) {
+        Some(suffix)
+    } else {
+        obs.note_disk_fallback(slot, shard);
+        None
+    }
+}
+
+/// The replay journal for a restart: the on-disk mirror when it verifies
+/// intact, else the authoritative in-memory suffix — in which case the
+/// mirror is rewritten (healed) from memory so later recoveries read
+/// clean state again. Identical bytes either way; the difference is
+/// only visible in the recovery counters.
+fn recovery_journal(
+    sup: &Supervised,
+    router: &Router,
+    obs: &mut ObsState,
+    store: &mut Option<DiskStore>,
+    slot: u64,
+) -> Vec<(u64, Request)> {
+    let shard = sup.shard;
+    let Some(store) = store.as_mut() else {
+        return router.journal_since(shard, sup.base.next_slot);
+    };
+    if let Some(disk) = verified_disk_journal(store, sup, router, obs, slot) {
+        return disk;
+    }
+    let memory = router.journal_since(shard, sup.base.next_slot);
+    if let Err(e) = store.rewrite_journal(shard, &memory) {
+        obs.note_disk_write_error(slot, shard, "heal", &e);
+    }
+    if sup.base.next_slot > 0 {
+        match store.write_checkpoint(shard, &sup.base) {
+            Ok(bytes) => obs.note_checkpoint_write(slot, shard, bytes),
+            Err(e) => obs.note_disk_write_error(slot, shard, "heal", &e),
+        }
+    }
+    memory
+}
+
+/// Restarts a down shard: spawn a fresh worker with the recovery base,
+/// the journal tail, and the handoff events recorded since the base,
+/// wait for its catch-up report, and fold the recovered state in.
+/// Returns `Ok(false)` if the replacement worker itself died before
+/// reporting (the caller reschedules).
 ///
 /// The catch-up wait is a *blocking* receive on purpose: replaying a long
 /// prefix legitimately takes many tick intervals, and scripted faults
@@ -373,15 +489,22 @@ fn restart(
     sup: &mut Supervised,
     router: &mut Router,
     obs: &mut ObsState,
+    store: &mut Option<DiskStore>,
     cfg: &ServeConfig,
     horizon_hint: u64,
     slot: u64,
     detected_at: u64,
-    handoff: bool,
 ) -> Result<bool, ServeError> {
     let shard = sup.shard;
     let policy = policy_from_name(&cfg.policy, horizon_hint, cfg.solver)?;
-    let journal = router.journal_since(shard, sup.base.next_slot);
+    let journal = recovery_journal(sup, router, obs, store, slot);
+    let through = slot.saturating_sub(1);
+    let events: Vec<HandoffEvent> = sup
+        .replay_events
+        .iter()
+        .filter(|e| e.slot() >= sup.base.next_slot && e.slot() <= through)
+        .cloned()
+        .collect();
     let spec = SpawnSpec {
         plan: sup.plan.clone(),
         config: sup.sim,
@@ -391,23 +514,20 @@ fn restart(
         recover: Some(RecoverPlan {
             base: sup.base.clone(),
             journal,
-            through: slot.saturating_sub(1),
+            events,
+            through,
         }),
         ring: obs.ring(shard),
         step_hist: obs.step_hist(shard),
         telemetry_every: obs.telemetry_every(),
     };
-    if !handoff {
-        obs.note_restart_attempt(shard);
-        sup.restarts_used += 1;
-    }
+    obs.note_restart_attempt(shard);
+    sup.restarts_used += 1;
     let handle =
         ShardHandle::spawn(spec, policy).map_err(|source| ServeError::Spawn { shard, source })?;
     match handle.recv() {
         Ok(ShardReply::Recovered(rec)) => {
-            if !handoff {
-                obs.note_restart_ok(slot, shard, rec.replayed, slot.saturating_sub(detected_at));
-            }
+            obs.note_restart_ok(slot, shard, rec.replayed, slot.saturating_sub(detected_at));
             sup.total_reward = rec.total_reward;
             sup.completed = rec.completed;
             sup.expired = rec.expired;
@@ -431,72 +551,156 @@ fn restart(
     }
 }
 
-/// Executes one drain/leave handoff at the top of `slot`: pick the
-/// takeover station (nearest active, smallest id on delay ties), migrate
-/// the departing station's journal entries onto it, deactivate the
-/// station in the plane, and rebuild the affected *live* workers by
-/// journal replay so their engines match the rewritten journal. Runs
-/// before this slot's supervisor restarts, so a Down shard picks the
-/// migrated journal up in its ordinary recovery pass.
-#[allow(clippy::too_many_arguments)]
-fn handoff(
+/// A scheduled drain/leave handoff waiting for its source shard to be
+/// up. The takeover station is pinned at schedule time so the outcome
+/// does not depend on how long the source shard stays down.
+struct PendingHandoff {
+    station: usize,
+    takeover: Option<usize>,
+    leave: bool,
+}
+
+/// Schedules one drain/leave handoff: membership changes now (the
+/// station stops admitting immediately), the state move executes in
+/// [`process_handoffs`] once the source shard is up.
+fn schedule_handoff(
     station: usize,
     leave: bool,
+    plane: &mut PlacementPlane,
+    pending: &mut Vec<PendingHandoff>,
+) {
+    let takeover = plane.nearest_active(station);
+    plane.apply_handoff(station, leave, 0);
+    pending.push(PendingHandoff {
+        station,
+        takeover,
+        leave,
+    });
+}
+
+/// Executes every pending handoff whose source shard is up: extract the
+/// departing station's in-flight jobs as a [`mec_sim::StationSlice`],
+/// record the extract/absorb pair as replay events on the shards
+/// involved, and ship the slice live to the takeover shard. Cost is
+/// proportional to the moved slice, never to the journal or run length.
+///
+/// Runs *after* the slot's restart pass, so any shard still Down here
+/// has `restart_at > slot` — its eventual catch-up (through ≥ `slot`)
+/// replays the events recorded now. A source shard that is Down keeps
+/// the handoff pending (the jobs are safe in its replayed engine); a
+/// Dead source drops it — those jobs finish in place under final
+/// accounting, and nothing moves.
+#[allow(clippy::too_many_arguments)]
+fn process_handoffs(
+    pending: &mut Vec<PendingHandoff>,
     plane: &mut PlacementPlane,
     router: &mut Router,
     supervised: &mut [Supervised],
     obs: &mut ObsState,
-    cfg: &ServeConfig,
-    horizon_hint: u64,
+    backoff: u64,
+    shards: usize,
     slot: u64,
-) -> Result<(), ServeError> {
-    let takeover = plane.nearest_active(station);
-    let migrated = match takeover {
-        Some(to) => router.migrate_station(StationId(station), StationId(to)),
-        None => 0,
-    };
-    plane.apply_handoff(station, leave, migrated);
-    obs.note_handoff(slot, station, takeover, migrated, leave);
-    if migrated == 0 {
-        // Nothing journaled on the departing station: membership already
-        // changed, no worker needs rebuilding.
-        return Ok(());
-    }
-    let to = takeover.expect("migrated entries imply a takeover station");
-    let from_shard = router.shard_of(StationId(station));
-    let to_shard = router.shard_of(StationId(to));
-    let mut shards = vec![from_shard];
-    if to_shard != from_shard {
-        shards.push(to_shard);
-    }
-    for shard in shards {
-        if !matches!(supervised[shard].status, ShardStatus::Up) {
+) {
+    let mut keep = Vec::new();
+    for p in pending.drain(..) {
+        let from_shard = router.shard_of(StationId(p.station));
+        let local = StationId(p.station / shards);
+        match supervised[from_shard].status {
+            ShardStatus::Down { .. } => {
+                keep.push(p);
+                continue;
+            }
+            ShardStatus::Dead { .. } => {
+                obs.note_handoff(slot, p.station, p.takeover, 0, 0, p.leave);
+                continue;
+            }
+            ShardStatus::Up => {}
+        }
+        let Some(to) = p.takeover else {
+            // No other active station: jobs finish where they are.
+            obs.note_handoff(slot, p.station, None, 0, 0, p.leave);
+            continue;
+        };
+        let sent = supervised[from_shard]
+            .handle
+            .as_ref()
+            .is_some_and(|h| h.send(ShardCommand::ExtractStation(local)).is_ok());
+        if !sent {
+            note_down(
+                &mut supervised[from_shard],
+                router,
+                obs,
+                slot,
+                backoff,
+                "send_failed",
+            );
+            keep.push(p);
             continue;
         }
-        if let Some(handle) = supervised[shard].handle.take() {
-            handle.abandon();
+        let reply = supervised[from_shard]
+            .handle
+            .as_ref()
+            .expect("sent implies a live handle")
+            .recv();
+        let slice = match reply {
+            Ok(ShardReply::Extracted(slice)) => slice,
+            // Died mid-extract: the extract event was never recorded, so
+            // the replayed engine still owns the jobs; retry next slot.
+            _ => {
+                note_down(
+                    &mut supervised[from_shard],
+                    router,
+                    obs,
+                    slot,
+                    backoff,
+                    "disconnect",
+                );
+                keep.push(p);
+                continue;
+            }
+        };
+        let moved = slice.jobs.len() as u64;
+        if moved == 0 {
+            obs.note_handoff(slot, p.station, Some(to), 0, 0, p.leave);
+            continue;
         }
-        router.mark_down(shard);
-        let revived = restart(
-            &mut supervised[shard],
-            router,
-            obs,
-            cfg,
-            horizon_hint,
-            slot,
-            slot,
-            true,
-        )?;
-        if !revived {
-            // The replacement died before reporting: fall back to the
-            // ordinary supervision path (now counted as a failure).
-            supervised[shard].status = ShardStatus::Down {
-                detected_at: slot,
-                restart_at: slot + cfg.faults.restart_backoff_slots.max(1),
-            };
+        let bytes = journal::encode_slice(&slice).len() as u64;
+        supervised[from_shard]
+            .replay_events
+            .push(HandoffEvent::Extract {
+                slot,
+                station: local,
+            });
+        let to_shard = router.shard_of(StationId(to));
+        let to_local = StationId(to / shards);
+        router.transfer_backlog(from_shard, to_shard, moved as usize);
+        supervised[to_shard]
+            .replay_events
+            .push(HandoffEvent::Absorb {
+                slot,
+                slice: slice.clone(),
+                home: to_local,
+            });
+        if matches!(supervised[to_shard].status, ShardStatus::Up) {
+            let ok = supervised[to_shard]
+                .handle
+                .as_ref()
+                .is_some_and(|h| h.send(ShardCommand::AbsorbStation(slice, to_local)).is_ok());
+            if !ok {
+                note_down(
+                    &mut supervised[to_shard],
+                    router,
+                    obs,
+                    slot,
+                    backoff,
+                    "send_failed",
+                );
+            }
         }
+        plane.note_migrated(moved, bytes);
+        obs.note_handoff(slot, p.station, Some(to), moved, bytes, p.leave);
     }
-    Ok(())
+    *pending = keep;
 }
 
 /// Per-slot dispatch counters for the admission-funnel event.
@@ -511,7 +715,9 @@ struct DispatchCounts {
 
 /// Routes one request through the placement plane and, when it proceeds,
 /// through shard admission — the single dispatch path both fresh
-/// arrivals and released held requests take.
+/// arrivals and released held requests take. Every admitted request is
+/// mirrored to the shard's on-disk journal when a state directory is
+/// configured (write failures degrade to counters, never to outcome).
 #[allow(clippy::too_many_arguments)]
 fn dispatch_one(
     request: Request,
@@ -520,6 +726,7 @@ fn dispatch_one(
     router: &mut Router,
     supervised: &mut [Supervised],
     obs: &ObsState,
+    store: &mut Option<DiskStore>,
     backoff: u64,
     counts: &mut DispatchCounts,
 ) {
@@ -553,6 +760,11 @@ fn dispatch_one(
     }
     match decision {
         Admission::Inject { shard, request } | Admission::Spilled { shard, request } => {
+            if let Some(store) = store.as_mut() {
+                if let Err(e) = store.append_arrival(shard, slot, &request) {
+                    obs.note_disk_write_error(slot, shard, "append", &e);
+                }
+            }
             let alive = supervised[shard]
                 .handle
                 .as_ref()
@@ -570,7 +782,14 @@ fn dispatch_one(
                 );
             }
         }
-        Admission::Buffered { .. } | Admission::Shed => {}
+        Admission::Buffered { shard, request } => {
+            if let Some(store) = store.as_mut() {
+                if let Err(e) = store.append_arrival(shard, slot, &request) {
+                    obs.note_disk_write_error(slot, shard, "append", &e);
+                }
+            }
+        }
+        Admission::Shed => {}
     }
 }
 
@@ -613,13 +832,17 @@ pub fn serve<F: FnMut(&Snapshot)>(
             )));
         }
     }
-    let mut merged_ops = cfg.ops.clone();
-    merged_ops.ops.extend(cfg.chaos.ops.iter().copied());
-    if !merged_ops.is_empty() && cfg.faults.checkpoint_every != 0 {
-        return Err(ServeError::Reconfig(
-            "reconfiguration ops require genesis replay; set checkpoint_every to 0".to_string(),
+    if !cfg.chaos.disk_faults.is_empty() && cfg.state_dir.is_none() {
+        return Err(ServeError::Chaos(
+            "disk fault injection needs a state directory (--state-dir)".to_string(),
         ));
     }
+    let mut store: Option<DiskStore> = match &cfg.state_dir {
+        Some(dir) => Some(DiskStore::create(dir, cfg.shards).map_err(ServeError::Disk)?),
+        None => None,
+    };
+    let mut merged_ops = cfg.ops.clone();
+    merged_ops.ops.extend(cfg.chaos.ops.iter().copied());
     let mut plane =
         PlacementPlane::new(topo, &cfg.placement, merged_ops).map_err(ServeError::Reconfig)?;
     let plans = partition(topo, cfg.shards);
@@ -686,6 +909,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 faults_remaining,
                 chaos_faults,
                 base,
+                replay_events: Vec::new(),
                 total_reward: 0.0,
                 completed: 0,
                 expired: 0,
@@ -698,6 +922,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
     let mut clock = Clock::new(cfg.clock);
     let mut arrivals = load.into_requests().into_iter().peekable();
     let mut snapshots_emitted = 0;
+    let mut pending: Vec<PendingHandoff> = Vec::new();
     let backoff = cfg.faults.restart_backoff_slots;
     // At least one slot past the last arrival (and past the last
     // scheduled reconfiguration effect), so every request is dispatched
@@ -709,39 +934,32 @@ pub fn serve<F: FnMut(&Snapshot)>(
     loop {
         let slot = clock.ticks();
 
+        // Scripted disk faults fire at the top of their slot, before any
+        // persistence or recovery touches the files.
+        if let Some(store) = store.as_mut() {
+            for fault in cfg.chaos.disk_faults_due(slot) {
+                match store.apply_fault(&fault) {
+                    Ok(bytes) => obs.note_disk_fault(slot, &fault, bytes),
+                    Err(e) => obs.note_disk_write_error(slot, fault.shard, "fault", &e),
+                }
+            }
+        }
+
         // Reconfiguration phase: drain handoffs whose window expired, then
-        // ops scheduled for this slot. This runs before the supervisor's
-        // restart pass so a Down shard's ordinary recovery already sees
-        // the migrated journal.
+        // ops scheduled for this slot. Membership changes immediately; the
+        // state move itself executes in the pending pass below, after the
+        // supervisor has had its restart chance.
         if plane.is_live() {
             for station in plane.drains_due(slot) {
-                handoff(
-                    station,
-                    false,
-                    &mut plane,
-                    &mut router,
-                    &mut supervised,
-                    &mut obs,
-                    cfg,
-                    horizon_hint,
-                    slot,
-                )?;
+                schedule_handoff(station, false, &mut plane, &mut pending);
             }
             for op in plane.ops_due(slot) {
                 obs.note_reconfig(slot, &op);
                 match op {
                     ReconfigOp::BsJoin { station, .. } => plane.apply_join(station),
-                    ReconfigOp::BsLeave { station, .. } => handoff(
-                        station,
-                        true,
-                        &mut plane,
-                        &mut router,
-                        &mut supervised,
-                        &mut obs,
-                        cfg,
-                        horizon_hint,
-                        slot,
-                    )?,
+                    ReconfigOp::BsLeave { station, .. } => {
+                        schedule_handoff(station, true, &mut plane, &mut pending);
+                    }
                     ReconfigOp::BsDrain {
                         station,
                         slot: at,
@@ -774,11 +992,11 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 sup,
                 &mut router,
                 &mut obs,
+                &mut store,
                 cfg,
                 horizon_hint,
                 slot,
                 detected_at,
-                false,
             )?;
             if !revived {
                 sup.status = ShardStatus::Down {
@@ -786,6 +1004,23 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     restart_at: slot + backoff.max(1),
                 };
             }
+        }
+
+        // Pending drain/leave handoffs execute once their source shard is
+        // up — after the restart pass, so a shard that stays down keeps
+        // `restart_at > slot` and its catch-up replays the events
+        // recorded here.
+        if !pending.is_empty() {
+            process_handoffs(
+                &mut pending,
+                &mut plane,
+                &mut router,
+                &mut supervised,
+                &mut obs,
+                backoff,
+                cfg.shards,
+                slot,
+            );
         }
 
         // Installs that finished their latency window become resident
@@ -811,6 +1046,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     &mut router,
                     &mut supervised,
                     &obs,
+                    &mut store,
                     backoff,
                     &mut counts,
                 );
@@ -826,9 +1062,17 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     &mut router,
                     &mut supervised,
                     &obs,
+                    &mut store,
                     backoff,
                     &mut counts,
                 );
+            }
+        }
+        // Per-slot durability point: everything this slot admitted is on
+        // disk before the barrier ticks.
+        if let Some(store) = store.as_mut() {
+            if let Err(e) = store.flush() {
+                obs.note_disk_write_error(slot, usize::MAX, "flush", &e);
             }
         }
         let shed_down = router.shed_while_down() - shed_down_before;
@@ -891,7 +1135,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 };
                 match reply {
                     Some(ShardReply::Tick(tick)) => {
-                        apply_tick(&mut supervised[i], &mut router, &mut obs, &tick);
+                        apply_tick(&mut supervised[i], &mut router, &mut obs, &mut store, &tick);
                     }
                     Some(ShardReply::Error(msg)) => return Err(ServeError::Shard(msg)),
                     Some(other) => {
@@ -954,7 +1198,8 @@ pub fn serve<F: FnMut(&Snapshot)>(
             && router.backlogs().iter().all(|&b| b == 0)
             && !plane.has_held()
             && plane.ops_exhausted()
-            && !plane.has_pending_drains();
+            && !plane.has_pending_drains()
+            && pending.is_empty();
         if drained || slots_done >= hard_stop {
             break;
         }
@@ -995,11 +1240,11 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     sup,
                     &mut router,
                     &mut obs,
+                    &mut store,
                     cfg,
                     horizon_hint,
                     end_slot,
                     detected_at,
-                    false,
                 )?;
                 if !revived {
                     continue;
@@ -1048,6 +1293,15 @@ pub fn serve<F: FnMut(&Snapshot)>(
         }
     }
     let wall_secs = clock.elapsed_secs();
+
+    // Final disk audit: read every shard's persisted state back and check
+    // it round-trips to the in-memory truth, so corruption injected after
+    // the last restart still surfaces in the recovery counters.
+    if let Some(store) = store.as_mut() {
+        for sup in &supervised {
+            let _ = verified_disk_journal(store, sup, &router, &mut obs, end_slot);
+        }
+    }
     drop(supervised);
 
     obs.sync_router(&router);

@@ -25,7 +25,10 @@
 use crate::chaos::{FaultKind, ShardFault};
 use crate::partition::ShardPlan;
 use mec_obs::{Histogram, TraceRing};
-use mec_sim::{Engine, EngineState, Metrics, PolicyTelemetry, SlotConfig, SlotPolicy, SlotReport};
+use mec_sim::{
+    Engine, EngineState, Metrics, PolicyTelemetry, SlotConfig, SlotPolicy, SlotReport, StationSlice,
+};
+use mec_topology::StationId;
 use mec_workload::request::Request;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, SyncSender};
@@ -38,6 +41,14 @@ use std::time::Duration;
 pub enum ShardCommand {
     /// Feed one admitted (already shard-localized) request to the engine.
     Inject(Request),
+    /// Clone this shard-local station's in-flight jobs into a
+    /// [`StationSlice`], mark the originals migrated, and reply with
+    /// [`ShardReply::Extracted`]. The drain/leave handoff path: only the
+    /// drained station's state moves, never the whole engine.
+    ExtractStation(StationId),
+    /// Continue the jobs in a slice extracted elsewhere, re-homed onto the
+    /// given shard-local station. No reply (like [`ShardCommand::Inject`]).
+    AbsorbStation(Box<StationSlice>, StationId),
     /// Execute exactly one slot and reply with a [`ShardReply::Tick`].
     Tick,
     /// Flush terminal accounting, reply with [`ShardReply::Final`], stop.
@@ -118,9 +129,49 @@ pub enum ShardReply {
     /// First reply after a spawn with a [`RecoverPlan`] — sent before any
     /// command is consumed.
     Recovered(ShardRecovered),
+    /// Answer to [`ShardCommand::ExtractStation`]: the drained station's
+    /// in-flight jobs, ready to ship to the takeover shard.
+    Extracted(Box<StationSlice>),
     /// The policy produced an illegal schedule; the worker exits after
     /// this and ignores further commands.
     Error(String),
+}
+
+/// One handoff operation a shard participated in, recorded by the
+/// supervisor so catch-up replay can re-apply it at the top of the same
+/// slot it originally executed in. Without these, a restarted shard would
+/// either resurrect jobs it handed away (missing extract) or lose jobs it
+/// took over (missing absorb).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HandoffEvent {
+    /// Re-extract this shard-local station's in-flight jobs at the top of
+    /// `slot` (the slice is discarded — the takeover shard replays its own
+    /// [`HandoffEvent::Absorb`], which carries the original slice).
+    Extract {
+        /// Slot the extraction originally executed in.
+        slot: u64,
+        /// Shard-local station that was drained.
+        station: StationId,
+    },
+    /// Re-absorb `slice` onto shard-local station `home` at the top of
+    /// `slot`.
+    Absorb {
+        /// Slot the absorption originally executed in.
+        slot: u64,
+        /// The extracted jobs, verbatim as originally shipped.
+        slice: Box<StationSlice>,
+        /// Shard-local takeover station the jobs were re-homed onto.
+        home: StationId,
+    },
+}
+
+impl HandoffEvent {
+    /// The slot this event executes at the top of.
+    pub fn slot(&self) -> u64 {
+        match self {
+            Self::Extract { slot, .. } | Self::Absorb { slot, .. } => *slot,
+        }
+    }
 }
 
 /// How a restarted worker catches back up to the fleet.
@@ -133,6 +184,11 @@ pub struct RecoverPlan {
     /// Journaled `(admission slot, localized request)` pairs with slot
     /// `>= base.next_slot`, in admission order.
     pub journal: Vec<(u64, Request)>,
+    /// Handoff operations to re-apply during catch-up, ordered by slot
+    /// (ties in recorded order). Each is applied at the top of its slot,
+    /// before that slot's journal injections — matching the live driver
+    /// loop, where handoffs precede dispatch.
+    pub events: Vec<HandoffEvent>,
     /// Replay ticks through this slot inclusive; the next live tick the
     /// driver sends is `through + 1`.
     pub through: u64,
@@ -199,7 +255,22 @@ fn worker_main(
         engine.restore(recover.base);
         let mut replayed = 0u64;
         let mut journal = recover.journal.into_iter().peekable();
+        let mut events = recover.events.into_iter().peekable();
         for slot in start..=recover.through {
+            // Handoffs recorded at (or somehow before) this slot re-apply
+            // first: live handoffs run at the top of a slot, before that
+            // slot's dispatch phase.
+            while events.peek().is_some_and(|e| e.slot() <= slot) {
+                match events.next() {
+                    Some(HandoffEvent::Extract { station, .. }) => {
+                        engine.extract_station(station);
+                    }
+                    Some(HandoffEvent::Absorb { slice, home, .. }) => {
+                        engine.absorb_station(&slice, home);
+                    }
+                    None => unreachable!("peeked event vanished"),
+                }
+            }
             // Entries recorded at or before this slot enter the engine
             // now; `inject` clamps the arrival to the current slot exactly
             // as the original live injection did.
@@ -214,6 +285,19 @@ fn worker_main(
                     "shard {shard} failed during replay of slot {slot}: {e}"
                 )));
                 return;
+            }
+        }
+        // Leftovers past the catch-up horizon (defensive — the supervisor
+        // records handoff events only at slots it has already replayed or
+        // will deliver live, so this loop is normally empty).
+        for event in events {
+            match event {
+                HandoffEvent::Extract { station, .. } => {
+                    engine.extract_station(station);
+                }
+                HandoffEvent::Absorb { slice, home, .. } => {
+                    engine.absorb_station(&slice, home);
+                }
             }
         }
         // Arrivals buffered while the shard was down but not yet due for a
@@ -248,6 +332,18 @@ fn worker_main(
         match cmd {
             ShardCommand::Inject(request) => {
                 engine.inject(request);
+            }
+            ShardCommand::ExtractStation(station) => {
+                let slice = engine.extract_station(station);
+                if reply_tx
+                    .send(ShardReply::Extracted(Box::new(slice)))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ShardCommand::AbsorbStation(slice, home) => {
+                engine.absorb_station(&slice, home);
             }
             ShardCommand::Tick => {
                 mec_obs::prof_scope!("serve.shard_tick");
@@ -576,6 +672,7 @@ mod tests {
             recover: Some(RecoverPlan {
                 base: EngineState::genesis(plan.topo.station_count()),
                 journal,
+                events: Vec::new(),
                 through: 29,
             }),
             ring: None,

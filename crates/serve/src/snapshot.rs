@@ -85,6 +85,19 @@ pub struct FaultStats {
     pub recovery_p95_slots: u64,
     /// Longest outage across successful restarts, in slots.
     pub recovery_max_slots: u64,
+    /// On-disk records that failed CRC or structural validation
+    /// (journal frames, checkpoint payloads).
+    pub disk_corrupt_records: u64,
+    /// Bytes truncated past the last intact on-disk record during
+    /// torn-write salvage.
+    pub disk_salvaged_bytes: u64,
+    /// Recoveries that fell back to the authoritative in-memory state
+    /// because the disk mirror was corrupt, truncated, or diverged
+    /// (includes checkpoint current→prev fallbacks).
+    pub disk_fallbacks: u64,
+    /// Disk read retries (transient io errors, bounded backoff) plus
+    /// write errors absorbed without aborting the run.
+    pub disk_retries: u64,
 }
 
 impl FaultStats {
@@ -128,10 +141,13 @@ pub struct PlacementStats {
     pub leaves: u64,
     /// `drain` ops applied.
     pub drains: u64,
-    /// Journal entries migrated to takeover stations during handoffs.
+    /// In-flight jobs migrated to takeover stations during handoffs.
     pub migrated: u64,
     /// Drain/leave handoffs completed.
     pub handoffs: u64,
+    /// Encoded bytes of station-slice state shipped by handoffs — the
+    /// "how much actually moved" half of the bounded-handoff contract.
+    pub moved_state_bytes: u64,
 }
 
 impl PlacementStats {
@@ -158,6 +174,9 @@ impl PlacementStats {
             drains: self.drains.saturating_sub(before.drains),
             migrated: self.migrated.saturating_sub(before.migrated),
             handoffs: self.handoffs.saturating_sub(before.handoffs),
+            moved_state_bytes: self
+                .moved_state_bytes
+                .saturating_sub(before.moved_state_bytes),
         }
     }
 }
@@ -231,12 +250,14 @@ impl Snapshot {
                 "\"degraded_slots\":{},\"recovery_latency_slots\":{},",
                 "\"checkpoints\":{},\"journal_dropped\":{},",
                 "\"recovery_p50_slots\":{},\"recovery_p95_slots\":{},",
-                "\"recovery_max_slots\":{}}},",
+                "\"recovery_max_slots\":{},\"disk_corrupt_records\":{},",
+                "\"disk_salvaged_bytes\":{},\"disk_fallbacks\":{},",
+                "\"disk_retries\":{}}},",
                 "\"placement\":{{\"hits\":{},\"misses\":{},\"redirects\":{},",
                 "\"rehomed\":{},\"installs_warm\":{},\"installs_cold\":{},",
                 "\"evictions\":{},\"held\":{},\"placement_shed\":{},",
                 "\"joins\":{},\"leaves\":{},\"drains\":{},\"migrated\":{},",
-                "\"handoffs\":{}}},",
+                "\"handoffs\":{},\"moved_state_bytes\":{}}},",
                 "\"slots_per_sec\":{}}}"
             ),
             self.slot,
@@ -266,6 +287,10 @@ impl Snapshot {
             self.faults.recovery_p50_slots,
             self.faults.recovery_p95_slots,
             self.faults.recovery_max_slots,
+            self.faults.disk_corrupt_records,
+            self.faults.disk_salvaged_bytes,
+            self.faults.disk_fallbacks,
+            self.faults.disk_retries,
             self.placement.hits,
             self.placement.misses,
             self.placement.redirects,
@@ -280,6 +305,7 @@ impl Snapshot {
             self.placement.drains,
             self.placement.migrated,
             self.placement.handoffs,
+            self.placement.moved_state_bytes,
             sps,
         )
     }
@@ -353,6 +379,15 @@ mod tests {
         assert!(json.contains("\"recovery_p50_slots\":4"), "{json}");
         assert!(json.contains("\"recovery_p95_slots\":6"), "{json}");
         assert!(json.contains("\"recovery_max_slots\":6"), "{json}");
+        snap.faults.disk_corrupt_records = 3;
+        snap.faults.disk_salvaged_bytes = 128;
+        snap.faults.disk_fallbacks = 1;
+        snap.faults.disk_retries = 2;
+        let json = snap.to_json();
+        assert!(json.contains("\"disk_corrupt_records\":3"), "{json}");
+        assert!(json.contains("\"disk_salvaged_bytes\":128"), "{json}");
+        assert!(json.contains("\"disk_fallbacks\":1"), "{json}");
+        assert!(json.contains("\"disk_retries\":2"), "{json}");
     }
 
     #[test]
@@ -367,11 +402,13 @@ mod tests {
         snap.placement.drains = 1;
         snap.placement.migrated = 13;
         snap.placement.handoffs = 1;
+        snap.placement.moved_state_bytes = 2048;
         assert!(!snap.placement.is_quiet());
         let json = snap.to_json();
         assert!(json.contains("\"hits\":7"), "{json}");
         assert!(json.contains("\"installs_cold\":2"), "{json}");
         assert!(json.contains("\"migrated\":13"), "{json}");
         assert!(json.contains("\"handoffs\":1"), "{json}");
+        assert!(json.contains("\"moved_state_bytes\":2048"), "{json}");
     }
 }

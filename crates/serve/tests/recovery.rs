@@ -1,0 +1,236 @@
+//! Bounded-cost recovery tests: the disk mirror (CRC-framed journals and
+//! checkpoints under `--state-dir`), deterministic salvage of corrupted
+//! and truncated files, and the composition of periodic checkpoints with
+//! live reconfiguration ops. The oracle throughout: disk faults may move
+//! recovery counters, but the simulation outcome — every snapshot byte —
+//! must match the clean run.
+
+use mec_placement::{OpsLog, PlacementConfig};
+use mec_serve::{serve, ChaosSpec, FaultConfig, LoadGen, ServeConfig, ServeError, ServeOutcome};
+use mec_sim::SlotConfig;
+use mec_topology::{Topology, TopologyBuilder};
+use mec_workload::{Request, WorkloadBuilder};
+use std::path::PathBuf;
+
+fn world(stations: usize, requests: usize, seed: u64) -> (Topology, Vec<Request>) {
+    let topo = TopologyBuilder::new(stations).seed(seed).build();
+    let population = WorkloadBuilder::new(&topo)
+        .seed(seed)
+        .count(requests)
+        .build();
+    (topo, population)
+}
+
+/// A fresh scratch directory under the system temp dir; callers pass a
+/// distinct `tag` so parallel tests never collide.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mec-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Stateless-policy config (Greedy) so checkpoint replay is exact.
+fn base_cfg(seed: u64) -> ServeConfig {
+    ServeConfig {
+        shards: 4,
+        queue_capacity: 4_096,
+        snapshot_every: 0,
+        policy: "Greedy".to_string(),
+        sim: SlotConfig {
+            seed,
+            ..SlotConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn run(cfg: &ServeConfig, seed: u64) -> ServeOutcome {
+    let (topo, population) = world(16, 1_200, seed);
+    let load = LoadGen::poisson(population, 1_500.0, 50.0, seed);
+    serve(&topo, load, cfg, |_| {}).unwrap()
+}
+
+/// Snapshot JSON with the fault block defaulted away: disk faults and
+/// checkpoint cadence legitimately move those counters without being
+/// allowed to move anything else.
+fn defaulted_faults(out: &ServeOutcome) -> String {
+    let mut snap = out.final_snapshot.clone();
+    snap.faults = Default::default();
+    snap.to_json()
+}
+
+#[test]
+fn disk_mirror_leaves_the_run_byte_identical() {
+    // Mirroring journals and checkpoints to disk is pure bookkeeping: a
+    // clean run with --state-dir matches the stateless run on every byte,
+    // fault counters included (nothing failed, nothing was salvaged).
+    let chaos = "crash:shard=2@slot=9,recover@slot=14";
+    let cfg = |state_dir: Option<PathBuf>| ServeConfig {
+        chaos: ChaosSpec::parse(chaos).unwrap(),
+        faults: FaultConfig {
+            checkpoint_every: 6,
+            ..FaultConfig::default()
+        },
+        state_dir,
+        ..base_cfg(17)
+    };
+    let dir = scratch("mirror");
+    let mirrored = run(&cfg(Some(dir.clone())), 17);
+    let memory_only = run(&cfg(None), 17);
+    assert_eq!(
+        mirrored.final_snapshot.to_json(),
+        memory_only.final_snapshot.to_json()
+    );
+    assert!(mirrored.final_snapshot.faults.restarts >= 1);
+    assert_eq!(mirrored.final_snapshot.faults.disk_fallbacks, 0);
+    // The mirror is really on disk: every shard has a journal file and
+    // the checkpointed shards have a current checkpoint.
+    for shard in 0..4 {
+        assert!(dir.join(format!("shard-{shard}.journal")).exists());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_journal_is_salvaged_and_outcome_is_unchanged() {
+    // Flip bits in a journal, then crash its shard: recovery reads the
+    // mirror back, CRC framing catches the damage, salvage truncates to
+    // the last valid record, the verified-mirror check falls back to
+    // memory and heals the file — and the simulation outcome matches the
+    // fault-free run byte-for-byte.
+    // checkpoint_every is longer than the fault slot so no prune has
+    // rewritten the journal before the corruption lands on it.
+    let cfg = |state_dir: Option<PathBuf>, disk: &str| ServeConfig {
+        chaos: ChaosSpec::parse(&format!("crash:shard=1@slot=12,recover@slot=16{disk}")).unwrap(),
+        faults: FaultConfig {
+            checkpoint_every: 40,
+            ..FaultConfig::default()
+        },
+        state_dir,
+        ..base_cfg(23)
+    };
+    let dir_a = scratch("corrupt-a");
+    let dir_b = scratch("corrupt-b");
+    let fault = ",corrupt:shard=1@slot=10@target=journal@bytes=16";
+    let faulted_a = run(&cfg(Some(dir_a.clone()), fault), 23);
+    let faulted_b = run(&cfg(Some(dir_b.clone()), fault), 23);
+    let clean = run(&cfg(None, ""), 23);
+    // Deterministic: same seed + same faults twice over.
+    assert_eq!(
+        faulted_a.final_snapshot.to_json(),
+        faulted_b.final_snapshot.to_json()
+    );
+    // Harmless: the outcome matches the clean run once recovery counters
+    // are defaulted away.
+    assert_eq!(defaulted_faults(&faulted_a), defaulted_faults(&clean));
+    // Visible: the damage was detected, not silently absorbed.
+    let faults = &faulted_b.final_snapshot.faults;
+    assert!(
+        faults.disk_fallbacks >= 1 || faults.disk_corrupt_records >= 1,
+        "{faults:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn truncated_checkpoint_falls_back_and_outcome_is_unchanged() {
+    // Tear the tail off the current checkpoint, then crash the shard:
+    // recovery falls back (prev checkpoint or memory), counts the
+    // incident, and the outcome still matches the fault-free run.
+    // The truncation lands at slot 15, while the shard is down (crashed
+    // at 13, restarts at 17): after its last checkpoint write, before
+    // recovery reads the file back — so no rotation can mask the damage.
+    let cfg = |state_dir: Option<PathBuf>, disk: &str| ServeConfig {
+        chaos: ChaosSpec::parse(&format!("crash:shard=0@slot=13,recover@slot=17{disk}")).unwrap(),
+        faults: FaultConfig {
+            checkpoint_every: 4,
+            ..FaultConfig::default()
+        },
+        state_dir,
+        ..base_cfg(31)
+    };
+    let dir = scratch("truncate");
+    let fault = ",truncate:shard=0@slot=15@target=ckpt@bytes=12";
+    let faulted = run(&cfg(Some(dir.clone()), fault), 31);
+    let clean = run(&cfg(None, ""), 31);
+    assert_eq!(defaulted_faults(&faulted), defaulted_faults(&clean));
+    let faults = &faulted.final_snapshot.faults;
+    assert!(
+        faults.disk_fallbacks >= 1 || faults.disk_corrupt_records >= 1,
+        "{faults:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_drain_with_checkpoints_matches_genesis_replay() {
+    // The headline acceptance run: reconfiguration ops + periodic
+    // checkpoints + a crash overlapping the drain window. The handoff
+    // stays pending while the source shard is down, recovery replays from
+    // the newest checkpoint plus the journal suffix and the recorded
+    // handoff events, and the result is byte-identical to the
+    // genesis-replay run.
+    let cfg = |checkpoint_every: u64| ServeConfig {
+        chaos: ChaosSpec::parse("crash:shard=1@slot=7,recover@slot=12").unwrap(),
+        ops: OpsLog::parse_jsonl("{\"op\":\"drain\",\"station\":5,\"slot\":6,\"window\":4}\n")
+            .unwrap(),
+        faults: FaultConfig {
+            checkpoint_every,
+            ..FaultConfig::default()
+        },
+        placement: PlacementConfig {
+            services: 12,
+            cache_capacity: 6,
+            seed: 53,
+            ..PlacementConfig::default()
+        },
+        ..base_cfg(53)
+    };
+    let checkpointed = run(&cfg(5), 53);
+    let genesis = run(&cfg(0), 53);
+    assert_eq!(defaulted_faults(&checkpointed), defaulted_faults(&genesis));
+    let snap = &checkpointed.final_snapshot;
+    assert!(snap.faults.restarts >= 1, "{:?}", snap.faults);
+    assert!(snap.faults.checkpoints >= 1, "{:?}", snap.faults);
+    assert_eq!(snap.placement.drains, 1, "{:?}", snap.placement);
+    assert_eq!(snap.placement.handoffs, 1, "{:?}", snap.placement);
+}
+
+#[test]
+fn handoffs_report_moved_state_bytes() {
+    // A drain that actually ships jobs credits moved_state_bytes with the
+    // encoded slice size — the per-handoff cost the stall bench bounds.
+    let cfg = ServeConfig {
+        ops: OpsLog::parse_jsonl("{\"op\":\"drain\",\"station\":3,\"slot\":8,\"window\":2}\n")
+            .unwrap(),
+        placement: PlacementConfig {
+            services: 12,
+            cache_capacity: 6,
+            seed: 11,
+            ..PlacementConfig::default()
+        },
+        ..base_cfg(11)
+    };
+    let out = run(&cfg, 11);
+    let place = &out.final_snapshot.placement;
+    assert_eq!(place.handoffs, 1, "{place:?}");
+    if place.migrated > 0 {
+        assert!(place.moved_state_bytes > 0, "{place:?}");
+    } else {
+        assert_eq!(place.moved_state_bytes, 0, "{place:?}");
+    }
+}
+
+#[test]
+fn disk_faults_without_state_dir_are_rejected() {
+    let cfg = ServeConfig {
+        chaos: ChaosSpec::parse("corrupt:shard=0@slot=5@target=journal").unwrap(),
+        ..base_cfg(3)
+    };
+    let (topo, population) = world(8, 50, 3);
+    match serve(&topo, LoadGen::replay(population), &cfg, |_| {}) {
+        Err(ServeError::Chaos(msg)) => assert!(msg.contains("state"), "{msg}"),
+        other => panic!("expected a chaos validation error, got {other:?}"),
+    }
+}

@@ -176,6 +176,49 @@ impl EngineState {
             rng_word_pos: 0,
         }
     }
+
+    /// Splits the in-flight jobs homed on `station` out of this
+    /// checkpoint: they are cloned into the returned [`StationSlice`] and
+    /// the originals become [`Phase::Migrated`] in place. This is what
+    /// makes checkpoints *splittable per-station* — a handoff ships only
+    /// the drained station's slice, never the whole image.
+    pub fn split_station(&mut self, station: StationId) -> StationSlice {
+        let mut jobs = Vec::new();
+        for job in &mut self.jobs {
+            if job.request().home() == station
+                && matches!(job.phase(), Phase::Waiting | Phase::Running)
+            {
+                jobs.push(job.clone());
+                job.mark_migrated();
+            }
+        }
+        StationSlice { station, jobs }
+    }
+}
+
+/// The in-flight (waiting or running) jobs homed on one station, extracted
+/// from an engine or checkpoint for a drain/leave handoff. The slice — not
+/// the full engine image — is what moves between shards, so handoff cost
+/// is bounded by the state that actually moved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationSlice {
+    /// The station the jobs were homed on, in the *source* engine's
+    /// station id space.
+    pub station: StationId,
+    /// The moved jobs, in dense source-id order.
+    pub jobs: Vec<Job>,
+}
+
+impl StationSlice {
+    /// Number of moved jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether nothing moved.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
 }
 
 /// The discrete time-slot engine.
@@ -357,6 +400,40 @@ impl<'a> Engine<'a> {
         );
         self.jobs.push(Job::new(request));
         id
+    }
+
+    /// Extracts the in-flight jobs homed on `station` for a handoff:
+    /// clones of every waiting/running job whose home is `station` are
+    /// returned as a [`StationSlice`] and the originals become
+    /// [`Phase::Migrated`] — terminal here, finishing elsewhere. Job ids
+    /// stay dense (nothing is removed), so checkpoints and journals remain
+    /// valid. Deterministic: jobs are visited in dense id order.
+    pub fn extract_station(&mut self, station: StationId) -> StationSlice {
+        let mut jobs = Vec::new();
+        for job in &mut self.jobs {
+            if job.request().home() == station
+                && matches!(job.phase(), Phase::Waiting | Phase::Running)
+            {
+                jobs.push(job.clone());
+                job.mark_migrated();
+            }
+        }
+        StationSlice { station, jobs }
+    }
+
+    /// Absorbs a [`StationSlice`] extracted from another engine: each job
+    /// is re-identified with the next dense id and rehomed to `home` (a
+    /// station id in *this* engine's topology), preserving all dynamic
+    /// state — phase, realized demand, remaining work, first-service slot.
+    /// Unlike [`Engine::inject`], arrivals are *not* clamped forward and
+    /// demands already realized are not re-drawn. Returns the absorbed
+    /// job count.
+    pub fn absorb_station(&mut self, slice: &StationSlice, home: StationId) -> usize {
+        for job in &slice.jobs {
+            let id = RequestId(self.jobs.len());
+            self.jobs.push(job.rehome(id, home));
+        }
+        slice.jobs.len()
     }
 
     /// Captures the engine's mutable state as a serializable
@@ -626,7 +703,9 @@ impl<'a> Engine<'a> {
                         job.experienced_latency(self.topo, self.paths, self.config.slot_ms)
                             .map(|l| l.as_ms()),
                     ),
-                    Phase::Completed | Phase::Expired | Phase::Aborted => {}
+                    // A migrated job finishes in the engine that absorbed
+                    // it; counting it here would double-book the outcome.
+                    Phase::Completed | Phase::Expired | Phase::Aborted | Phase::Migrated => {}
                 }
             }
         }
@@ -1204,6 +1283,97 @@ mod tests {
             fresh.checkpoint(),
             EngineState::genesis(topo.station_count())
         );
+    }
+
+    #[test]
+    fn extract_station_moves_only_active_jobs_and_preserves_state() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        // Two jobs homed on station 0; run a few slots so both realize.
+        let reqs: Vec<Request> = (0..2).map(|i| request(i, 0, 10, 40.0, 100.0)).collect();
+        let mut engine = Engine::new(&topo, &paths, reqs, SlotConfig::default());
+        for _ in 0..3 {
+            engine.step(&mut GreedyHome).unwrap();
+        }
+        let before_remaining = engine.jobs()[0].remaining_mb();
+        let slice = engine.extract_station(0.into());
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice.station, StationId::from(0));
+        assert!(
+            engine.jobs().iter().all(|j| j.phase() == Phase::Migrated),
+            "originals marked migrated"
+        );
+        assert_eq!(engine.backlog(), 0);
+        // The clone keeps realized demand and remaining work.
+        assert_eq!(slice.jobs[0].remaining_mb(), before_remaining);
+        assert_eq!(slice.jobs[0].phase(), Phase::Running);
+        // A second extract finds nothing left.
+        assert!(engine.extract_station(0.into()).is_empty());
+        // finish() books nothing for migrated jobs.
+        let m = engine.finish();
+        assert_eq!(m.completed() + m.expired() + m.unserved() + m.aborted(), 0);
+    }
+
+    #[test]
+    fn absorb_station_continues_jobs_with_new_home() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let reqs: Vec<Request> = (0..2).map(|i| request(i, 0, 10, 40.0, 100.0)).collect();
+        let mut source = Engine::new(&topo, &paths, reqs, SlotConfig::default());
+        for _ in 0..3 {
+            source.step(&mut GreedyHome).unwrap();
+        }
+        let slice = source.extract_station(0.into());
+
+        // The takeover engine already holds one unrelated job, so absorbed
+        // ids must start after it.
+        let mut take = Engine::new(
+            &topo,
+            &paths,
+            vec![request(0, 0, 10, 40.0, 50.0)],
+            SlotConfig::default(),
+        );
+        for _ in 0..3 {
+            take.step(&mut GreedyHome).unwrap();
+        }
+        let absorbed = take.absorb_station(&slice, 0.into());
+        assert_eq!(absorbed, 2);
+        let jobs = take.jobs();
+        assert_eq!(jobs.len(), 3);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id().index(), i, "ids stay dense");
+        }
+        let moved = &jobs[1];
+        assert_eq!(moved.phase(), Phase::Running);
+        assert_eq!(moved.first_station(), Some(0.into()), "rehomed");
+        assert_eq!(moved.realized(), slice.jobs[0].realized());
+        assert_eq!(moved.remaining_mb(), slice.jobs[0].remaining_mb());
+        // The absorbed jobs run to completion at the new home.
+        for _ in 0..20 {
+            take.step(&mut GreedyHome).unwrap();
+        }
+        let m = take.finish();
+        assert_eq!(m.completed(), 3);
+    }
+
+    #[test]
+    fn split_station_partitions_checkpoint() {
+        let topo = topo();
+        let paths = topo.shortest_paths();
+        let reqs: Vec<Request> = (0..3).map(|i| request(i, 0, 10, 40.0, 100.0)).collect();
+        let mut engine = Engine::new(&topo, &paths, reqs, SlotConfig::default());
+        for _ in 0..2 {
+            engine.step(&mut GreedyHome).unwrap();
+        }
+        let mut state = engine.checkpoint();
+        let slice = state.split_station(0.into());
+        assert_eq!(slice.len(), 3);
+        assert!(state.jobs.iter().all(|j| j.phase() == Phase::Migrated));
+        // Splitting the live engine at the same point yields the same
+        // slice and the same residual state.
+        let live = engine.extract_station(0.into());
+        assert_eq!(live, slice);
+        assert_eq!(engine.checkpoint(), state);
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod sharing;
 pub mod telemetry;
 pub mod trace;
 
-pub use engine::{Allocation, Engine, EngineState, SimError, SlotContext, SlotPolicy, SlotReport};
+pub use engine::{
+    Allocation, Engine, EngineState, SimError, SlotContext, SlotPolicy, SlotReport, StationSlice,
+};
 // `Continuity` is defined below alongside `SlotConfig`.
 pub use lifecycle::{Job, JobView, Phase};
 pub use metrics::Metrics;

@@ -21,6 +21,10 @@ pub enum Phase {
     /// Started, but was served below the sustained-service floor for too
     /// long (see [`crate::Continuity`]); the stream tore down mid-flight.
     Aborted,
+    /// Handed off to another engine mid-flight (a station drain/leave
+    /// migration): a clone continues elsewhere and finishes there, so this
+    /// copy is terminal and counts toward no outcome bucket.
+    Migrated,
 }
 
 /// One request's dynamic state inside the engine.
@@ -101,6 +105,39 @@ impl Job {
         }
     }
 
+    /// The raw remaining-work field regardless of realization (zero until
+    /// realized). For state codecs that must round-trip the job exactly;
+    /// everything else wants [`Job::remaining_mb`].
+    pub const fn remaining_mb_raw(&self) -> f64 {
+        self.remaining_mb
+    }
+
+    /// Rebuilds a job from checkpointed parts — the inverse of reading the
+    /// accessors field by field. For state codecs only: no invariants are
+    /// re-derived, the caller must supply a consistent snapshot.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        request: Request,
+        phase: Phase,
+        realized: Option<DemandOutcome>,
+        first_service: Option<u64>,
+        first_station: Option<StationId>,
+        remaining_mb: f64,
+        completed_slot: Option<u64>,
+        stalled_slots: u64,
+    ) -> Self {
+        Self {
+            request,
+            phase,
+            realized,
+            first_service,
+            first_station,
+            remaining_mb,
+            completed_slot,
+            stalled_slots,
+        }
+    }
+
     /// Slot in which the job completed, if it did.
     pub const fn completed_slot(&self) -> Option<u64> {
         self.completed_slot
@@ -173,6 +210,43 @@ impl Job {
     pub(crate) fn abort(&mut self) {
         debug_assert!(matches!(self.phase, Phase::Running));
         self.phase = Phase::Aborted;
+    }
+
+    /// Marks the job as handed off to another engine: terminal here, a
+    /// clone continues (and finishes) elsewhere.
+    pub(crate) fn mark_migrated(&mut self) {
+        debug_assert!(matches!(self.phase, Phase::Waiting | Phase::Running));
+        self.phase = Phase::Migrated;
+    }
+
+    /// Rebuilds the job for absorption into another engine: new dense id,
+    /// new home station, and — when already served — the first-service
+    /// station rewritten to the new home, because the original station id
+    /// is local to the *source* engine's topology and would corrupt
+    /// latency lookups at the destination. All dynamic state (phase,
+    /// realized demand, remaining work, first-service slot, stall counter)
+    /// carries over unchanged.
+    pub(crate) fn rehome(&self, id: RequestId, home: StationId) -> Self {
+        let r = &self.request;
+        let request = Request::new(
+            id,
+            home,
+            r.arrival_slot(),
+            r.duration_slots(),
+            r.tasks().to_vec(),
+            r.demand().clone(),
+            r.deadline(),
+        );
+        Self {
+            request,
+            phase: self.phase,
+            realized: self.realized,
+            first_service: self.first_service,
+            first_station: self.first_station.map(|_| home),
+            remaining_mb: self.remaining_mb,
+            completed_slot: self.completed_slot,
+            stalled_slots: self.stalled_slots,
+        }
     }
 
     /// Experienced latency per Eq. 2 (waiting + round-trip transmission +

@@ -20,6 +20,26 @@ impl Metrics {
         Self::default()
     }
 
+    /// Rebuilds a metrics record from checkpointed parts — the inverse of
+    /// reading the accessors. For state codecs only.
+    pub fn from_parts(
+        total_reward: f64,
+        latencies_ms: Vec<f64>,
+        completed: usize,
+        expired: usize,
+        unserved: usize,
+        aborted: usize,
+    ) -> Self {
+        Self {
+            total_reward,
+            latencies_ms,
+            completed,
+            expired,
+            unserved,
+            aborted,
+        }
+    }
+
     /// Credits reward for a completed request and records its experienced
     /// latency.
     pub fn record_completion(&mut self, reward: f64, latency_ms: f64) {
