@@ -1,0 +1,49 @@
+//! Cost of request-lifecycle tracing on the serving runtime: one full
+//! virtual-clock replay per iteration at 4 shards, with and without a
+//! lifecycle sink attached. Both arms compile the `lifecycle` feature —
+//! the comparison prices the *attached* path (per-request records
+//! drained at every barrier, latency exemplars, id-map upkeep) against
+//! the dormant one (every record site short-circuits on a `None` ring).
+//! The acceptance budget for the attached arm is +5% over detached.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_serve::{serve, LoadGen, ObsHub, ServeConfig};
+use mec_topology::TopologyBuilder;
+use mec_workload::WorkloadBuilder;
+use std::sync::Arc;
+
+fn run(topo: &mec_topology::Topology, hub: Option<Arc<ObsHub>>) -> mec_serve::ServeOutcome {
+    let population = WorkloadBuilder::new(topo).seed(7).count(2_000).build();
+    let load = LoadGen::poisson(population, 4_000.0, 50.0, 7);
+    let cfg = ServeConfig {
+        shards: 4,
+        queue_capacity: 128,
+        snapshot_every: 0,
+        policy: "Greedy".to_string(),
+        obs: hub,
+        ..ServeConfig::default()
+    };
+    serve(topo, load, &cfg, |_| {}).expect("serving run completes")
+}
+
+fn lifecycle_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifecycle_overhead");
+    group.sample_size(10);
+    let topo = TopologyBuilder::new(32).seed(7).build();
+    group.bench_with_input(BenchmarkId::new("detached", 4), &(), |b, ()| {
+        b.iter(|| run(&topo, None))
+    });
+    group.bench_with_input(BenchmarkId::new("attached", 4), &(), |b, ()| {
+        b.iter(|| {
+            let hub = Arc::new(
+                ObsHub::new()
+                    .with_lifecycle(mec_obs::LifecycleWriter::new(Box::new(std::io::sink()))),
+            );
+            run(&topo, Some(hub))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, lifecycle_overhead);
+criterion_main!(benches);

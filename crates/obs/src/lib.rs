@@ -16,9 +16,11 @@
 //! is evaluated in the **calling** crate, so a consumer that declares
 //! an `obs` feature gets tracing and wall-clock spans compiled in only
 //! when that feature is on, and a compile-time no-op (arguments
-//! type-checked, never evaluated) when it is off. The registry is not
-//! gated: counters are integer atomics cheap enough to stay always-on,
-//! which lets runtime snapshots source their counters from the registry
+//! type-checked, never evaluated) when it is off. The [`lifecycle!`]
+//! macro works the same way against a consumer `lifecycle` feature for
+//! per-request lifecycle records. The registry is not gated: counters
+//! are integer atomics cheap enough to stay always-on, which lets
+//! runtime snapshots source their counters from the registry
 //! unconditionally.
 //!
 //! ## Determinism contract
@@ -55,18 +57,23 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod lifecycle;
 pub mod prof;
 pub mod registry;
 pub mod report;
 pub mod server;
+pub mod slo;
 pub mod trace;
 
+pub use lifecycle::{LifecycleRecord, LifecycleRing, LifecycleSink, LifecycleWriter};
 pub use prof::{PhaseNode, ProfileReport};
 pub use registry::{
-    BoundsMismatch, Counter, Gauge, Histogram, HistogramSnapshot, Registry, STRIPES,
+    log_linear_bounds, BoundsMismatch, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    STRIPES,
 };
 pub use report::{build_report, RunReport, LATENCY_MS_BOUNDS};
-pub use server::MetricsServer;
+pub use server::{MetricsServer, SharedDoc};
+pub use slo::{SloEngine, SloSpec, SloStatus, SloTransition, SlotSample};
 pub use trace::{EventSink, TraceEvent, TraceRing, TraceWriter, Value};
 
 /// Bucket bounds (ms) for wall-clock engine-step timing histograms.
@@ -171,6 +178,42 @@ macro_rules! span {
                 let _ = &$hist;
             }
             $body
+        }
+    }};
+}
+
+/// Records one [`LifecycleRecord`] into a [`LifecycleSink`].
+///
+/// ```ignore
+/// mec_obs::lifecycle!(sink, id, "admit", slot, shard as i64, bs as i64);
+/// ```
+///
+/// Mirrors [`event!`]: in a consumer crate compiled **with** its
+/// `lifecycle` feature this builds the record and calls
+/// [`LifecycleSink::life`]; without the feature it compiles to nothing
+/// (arguments type-checked, never evaluated), so the per-request hot
+/// path carries zero cost in plain builds.
+#[macro_export]
+macro_rules! lifecycle {
+    ($sink:expr, $id:expr, $stage:expr, $slot:expr, $shard:expr, $bs:expr $(,)?) => {{
+        #[cfg(feature = "lifecycle")]
+        {
+            $crate::LifecycleSink::life(
+                &$sink,
+                $crate::LifecycleRecord {
+                    id: $id,
+                    stage: $stage,
+                    slot: $slot,
+                    shard: $shard,
+                    bs: $bs,
+                },
+            );
+        }
+        #[cfg(not(feature = "lifecycle"))]
+        {
+            if false {
+                let _ = (&$sink, &$id, &$stage, &$slot, &$shard, &$bs);
+            }
         }
     }};
 }

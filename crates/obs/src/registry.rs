@@ -50,6 +50,36 @@ fn stripe() -> usize {
 #[repr(align(64))]
 struct PaddedU64(AtomicU64);
 
+/// Log-linear bucket bounds in the style of HDR histograms: each decade
+/// `[m, 10m]` is divided into `per_decade` equal linear steps, so the
+/// relative resolution stays roughly constant across magnitudes while
+/// the bounds stay human-round (e.g. `per_decade = 9` from 1 yields
+/// 1, 2, …, 9, 10, 20, …, 90, 100, 200, …). The sequence starts at
+/// `min` and stops at the first bound `>= max`.
+///
+/// # Panics
+///
+/// Panics if `min` is not strictly positive and finite, `max <= min`,
+/// or `per_decade == 0`.
+pub fn log_linear_bounds(min: f64, max: f64, per_decade: usize) -> Vec<f64> {
+    assert!(min > 0.0 && min.is_finite(), "min must be positive");
+    assert!(max > min && max.is_finite(), "max must exceed min");
+    assert!(per_decade >= 1, "need at least one step per decade");
+    let mut out = vec![min];
+    let mut base = min;
+    'decades: loop {
+        for k in 1..=per_decade {
+            let b = base * (per_decade + 9 * k) as f64 / per_decade as f64;
+            out.push(b);
+            if b >= max {
+                break 'decades;
+            }
+        }
+        base *= 10.0;
+    }
+    out
+}
+
 /// Monotonic event counter with striped cells.
 #[derive(Debug, Default)]
 pub struct Counter {
@@ -126,6 +156,9 @@ pub struct Histogram {
     cells: Vec<AtomicU64>,
     sum_bits: AtomicU64,
     count: AtomicU64,
+    /// One optional exemplar id per bucket (last writer wins);
+    /// `u64::MAX` means "no exemplar yet".
+    exemplars: Vec<AtomicU64>,
 }
 
 /// A point-in-time copy of a histogram, mergeable across shards.
@@ -159,6 +192,7 @@ impl Histogram {
             cells: (0..STRIPES * width).map(|_| AtomicU64::new(0)).collect(),
             sum_bits: AtomicU64::new(0f64.to_bits()),
             count: AtomicU64::new(0),
+            exemplars: (0..width).map(|_| AtomicU64::new(u64::MAX)).collect(),
         }
     }
 
@@ -186,6 +220,27 @@ impl Histogram {
                 Err(actual) => cur = actual,
             }
         }
+    }
+
+    /// Attaches an exemplar: `id` becomes the bucket-covering-`v`'s
+    /// representative request id (last writer wins). This does *not*
+    /// count as an observation — pair it with [`Histogram::observe`]
+    /// from whichever side of the pipeline knows the id.
+    pub fn note_exemplar(&self, v: f64, id: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.exemplars[idx].store(id, Ordering::Relaxed);
+    }
+
+    /// The current exemplar id per bucket (`bounds.len() + 1` entries,
+    /// last = overflow); `None` where no exemplar was recorded.
+    pub fn exemplars(&self) -> Vec<Option<u64>> {
+        self.exemplars
+            .iter()
+            .map(|e| {
+                let v = e.load(Ordering::Relaxed);
+                (v != u64::MAX).then_some(v)
+            })
+            .collect()
     }
 
     /// Copies the current state (per-bucket totals summed over stripes).
@@ -245,9 +300,11 @@ impl HistogramSnapshot {
     }
 
     /// Estimated `q`-quantile (`0 <= q <= 1`) by linear interpolation
-    /// within the covering bucket; 0 when empty. Observations beyond the
-    /// last bound report the last bound (the histogram cannot resolve
-    /// further).
+    /// within the covering bucket; 0 when empty. When the target
+    /// quantile falls into the implicit overflow bucket the histogram
+    /// cannot resolve it and the result is `f64::INFINITY` — a mis-sized
+    /// bucket layout is loud, never silently clamped to the last bound.
+    /// [`HistogramSnapshot::overflow`] reports the unresolved mass.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -260,17 +317,22 @@ impl HistogramSnapshot {
             }
             let next = seen + c;
             if (next as f64) >= target {
+                if i == self.bounds.len() {
+                    return f64::INFINITY;
+                }
                 let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
-                let hi = *self
-                    .bounds
-                    .get(i)
-                    .unwrap_or(&self.bounds[self.bounds.len() - 1]);
+                let hi = self.bounds[i];
                 let frac = (target - seen as f64) / c as f64;
                 return lo + (hi - lo) * frac.clamp(0.0, 1.0);
             }
             seen = next;
         }
-        self.bounds[self.bounds.len() - 1]
+        f64::INFINITY
+    }
+
+    /// Observations that fell beyond the last bound (the `+Inf` bucket).
+    pub fn overflow(&self) -> u64 {
+        self.counts.last().copied().unwrap_or(0)
     }
 }
 
@@ -494,11 +556,26 @@ impl Registry {
                             .map(ToString::to_string)
                             .collect::<Vec<_>>()
                             .join(",");
-                        parts.push(format!(
-                            "\"{key}\":{{\"bounds\":[{buckets}],\"counts\":[{counts}],\
-                             \"sum\":{:?},\"count\":{}}}",
-                            snap.sum, snap.count
-                        ));
+                        // The `+Inf` mass also sits in `counts` (last
+                        // entry); naming it keeps mis-sized layouts
+                        // visible to scrapers that only read scalars.
+                        let mut obj = format!(
+                            "\"bounds\":[{buckets}],\"counts\":[{counts}],\
+                             \"sum\":{:?},\"count\":{},\"overflow\":{}",
+                            snap.sum,
+                            snap.count,
+                            snap.overflow()
+                        );
+                        let exemplars = h.exemplars();
+                        if exemplars.iter().any(Option::is_some) {
+                            let ids = exemplars
+                                .iter()
+                                .map(|e| e.map_or("null".to_string(), |id| id.to_string()))
+                                .collect::<Vec<_>>()
+                                .join(",");
+                            let _ = write!(obj, ",\"exemplars\":[{ids}]");
+                        }
+                        parts.push(format!("\"{key}\":{{{obj}}}"));
                     }
                 }
             }
@@ -586,6 +663,57 @@ mod tests {
         let p99 = s.quantile(0.99);
         assert!((10.0..=20.0).contains(&p99), "{p99}");
         assert_eq!(HistogramSnapshot::empty(&[1.0]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantile_reports_overflow_as_infinity() {
+        let mut s = HistogramSnapshot::empty(&[10.0, 20.0]);
+        for _ in 0..80 {
+            s.record(5.0);
+        }
+        for _ in 0..20 {
+            s.record(1000.0); // beyond the last bound
+        }
+        assert_eq!(s.overflow(), 20);
+        // p50 is resolvable, p95 lands in the +Inf bucket.
+        assert!(s.quantile(0.5).is_finite());
+        assert_eq!(s.quantile(0.95), f64::INFINITY);
+        assert_eq!(s.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn log_linear_bounds_are_round_and_increasing() {
+        let b = log_linear_bounds(1.0, 100.0, 9);
+        assert_eq!(
+            b,
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0,
+                70.0, 80.0, 90.0, 100.0
+            ]
+        );
+        let coarse = log_linear_bounds(0.5, 5000.0, 3);
+        assert!(coarse.windows(2).all(|w| w[0] < w[1]), "{coarse:?}");
+        assert!(*coarse.last().unwrap() >= 5000.0);
+        // The output always satisfies Histogram::with_bounds.
+        let _ = Histogram::with_bounds(&coarse);
+    }
+
+    #[test]
+    fn exemplars_attach_to_buckets_and_render() {
+        let r = Registry::new();
+        let h = r.histogram("ex_ms", "exemplar test", &[], &[1.0, 10.0]);
+        assert!(h.exemplars().iter().all(Option::is_none));
+        h.observe(0.5);
+        h.note_exemplar(0.5, 7);
+        h.observe(99.0);
+        h.note_exemplar(99.0, 42);
+        assert_eq!(h.exemplars(), vec![Some(7), None, Some(42)]);
+        // Last writer wins within a bucket.
+        h.note_exemplar(0.7, 8);
+        assert_eq!(h.exemplars()[0], Some(8));
+        let json = r.render_json();
+        assert!(json.contains("\"exemplars\":[8,null,42]"), "{json}");
+        assert!(json.contains("\"overflow\":1"), "{json}");
     }
 
     #[test]

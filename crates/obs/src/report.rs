@@ -103,6 +103,49 @@ pub struct Restart {
     pub ok: bool,
 }
 
+/// One `slo_breach` / `slo_recovered` transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloEvent {
+    /// Slot the transition fired at.
+    pub slot: u64,
+    /// The spec string (e.g. `deadline_hit_rate>=0.95@512`).
+    pub spec: String,
+    /// `true` = entered breach, `false` = recovered.
+    pub breached: bool,
+    /// The windowed value at the transition.
+    pub value: f64,
+    /// Fast-window burn rate at the transition.
+    pub burn_fast: f64,
+    /// Slow-window burn rate at the transition.
+    pub burn_slow: f64,
+}
+
+/// One `stall_shard` event: a shard's run-total wall-time split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallShard {
+    /// The shard.
+    pub shard: u64,
+    /// Total time inside `engine.step` (ms).
+    pub work_ms: f64,
+    /// Total time between finishing one tick and receiving the next (ms).
+    pub wait_ms: f64,
+}
+
+/// The `stall_driver` event: the driver's run-total phase split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallDriver {
+    /// Wall time of the serve loop (ms).
+    pub wall_ms: f64,
+    /// Time spent routing/injecting arrivals (ms).
+    pub dispatch_ms: f64,
+    /// Time spent detecting faults and restarting workers (ms).
+    pub recovery_ms: f64,
+    /// Time spent inside the barriered tick (ms).
+    pub barrier_ms: f64,
+    /// Slots the loop ran.
+    pub slots: u64,
+}
+
 /// Final per-arm learner state (from the last `arm_state` sweep).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArmRow {
@@ -166,6 +209,14 @@ pub struct RunReport {
     pub arms: BTreeMap<u64, BTreeMap<u64, ArmRow>>,
     /// Per-shard slot of the last `arm_state` sweep seen.
     pub arms_as_of: BTreeMap<u64, u64>,
+    /// SLO breach/recovery transitions, in stream order.
+    pub slo_events: Vec<SloEvent>,
+    /// Per-shard wall-time splits from `stall_shard` events.
+    pub stall_shards: Vec<StallShard>,
+    /// The driver's wall-time split, when traced with `--stall-events`.
+    pub stall_driver: Option<StallDriver>,
+    /// Trace events dropped to ring saturation (from `trace_drops`).
+    pub trace_dropped: u64,
 }
 
 fn get_u64(m: &BTreeMap<String, JsonValue>, key: &str) -> u64 {
@@ -322,6 +373,29 @@ where
                     .or_insert_with(|| HistogramSnapshot::empty(LATENCY_MS_BOUNDS))
                     .record(get_f64(&obj, "lat_ms"));
             }
+            kind @ ("slo_breach" | "slo_recovered") => r.slo_events.push(SloEvent {
+                slot,
+                spec: get_str(&obj, "slo"),
+                breached: kind == "slo_breach",
+                value: get_f64(&obj, "value"),
+                burn_fast: get_f64(&obj, "burn_fast"),
+                burn_slow: get_f64(&obj, "burn_slow"),
+            }),
+            "stall_shard" => r.stall_shards.push(StallShard {
+                shard,
+                work_ms: get_f64(&obj, "work_ms"),
+                wait_ms: get_f64(&obj, "wait_ms"),
+            }),
+            "stall_driver" => {
+                r.stall_driver = Some(StallDriver {
+                    wall_ms: get_f64(&obj, "wall_ms"),
+                    dispatch_ms: get_f64(&obj, "dispatch_ms"),
+                    recovery_ms: get_f64(&obj, "recovery_ms"),
+                    barrier_ms: get_f64(&obj, "barrier_ms"),
+                    slots: get_u64(&obj, "slots"),
+                });
+            }
+            "trace_drops" => r.trace_dropped += get_u64(&obj, "count"),
             "arm_state" => {
                 let arm = get_u64(&obj, "arm");
                 // A new sweep (later slot) replaces the previous table.
@@ -353,12 +427,28 @@ fn section(out: &mut String, title: &str) {
     let _ = writeln!(out, "\n== {title} ==");
 }
 
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole > 0.0 {
+        100.0 * part / whole
+    } else {
+        0.0
+    }
+}
+
 impl RunReport {
     /// Renders the report as plain text.
     #[allow(clippy::too_many_lines)]
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "mec-obs report ({} events)", self.events);
+        if self.trace_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: trace ring saturated — {} event(s) dropped; \
+                 this report may be incomplete (raise the ring capacity)",
+                self.trace_dropped
+            );
+        }
 
         if !self.run_start.is_empty() {
             section(&mut out, "run");
@@ -387,6 +477,31 @@ impl RunReport {
                     0.0
                 };
                 let _ = writeln!(out, "  {key:>9}: {v} ({pct:.1}%)");
+            }
+        }
+
+        if !self.slo_events.is_empty() {
+            section(&mut out, "slo");
+            for e in &self.slo_events {
+                let verdict = if e.breached { "BREACHED" } else { "recovered" };
+                let _ = writeln!(
+                    out,
+                    "  slot {:>6}  {} {verdict} (value {:.4}, burn fast {:.2} / slow {:.2})",
+                    e.slot, e.spec, e.value, e.burn_fast, e.burn_slow
+                );
+            }
+            // Final state per spec: the last transition wins.
+            let mut last: BTreeMap<&str, &SloEvent> = BTreeMap::new();
+            for e in &self.slo_events {
+                last.insert(e.spec.as_str(), e);
+            }
+            for (spec, e) in &last {
+                let state = if e.breached {
+                    "still breached at end of trace"
+                } else {
+                    "healthy at end of trace"
+                };
+                let _ = writeln!(out, "  {spec}: {state}");
             }
         }
 
@@ -553,6 +668,53 @@ impl RunReport {
                         h.slot, h.station, h.migrated, h.bytes
                     );
                 }
+            }
+        }
+
+        if !self.stall_shards.is_empty() || self.stall_driver.is_some() {
+            section(&mut out, "barrier-stall attribution");
+            let wall = self.stall_driver.map_or(0.0, |d| d.wall_ms);
+            if let Some(d) = &self.stall_driver {
+                let _ = writeln!(
+                    out,
+                    "  driver wall {:.1} ms over {} slot(s): dispatch {:.1} ms ({:.1}%), \
+                     recovery {:.1} ms ({:.1}%), barrier {:.1} ms ({:.1}%)",
+                    d.wall_ms,
+                    d.slots,
+                    d.dispatch_ms,
+                    pct(d.dispatch_ms, wall),
+                    d.recovery_ms,
+                    pct(d.recovery_ms, wall),
+                    d.barrier_ms,
+                    pct(d.barrier_ms, wall),
+                );
+            }
+            let mut work_shares = Vec::new();
+            for s in &self.stall_shards {
+                let total = s.work_ms + s.wait_ms;
+                let denom = if wall > 0.0 { wall } else { total };
+                work_shares.push(pct(s.work_ms, denom));
+                let _ = writeln!(
+                    out,
+                    "  shard {}: work {:.1} ms ({:.1}%) + barrier-wait {:.1} ms ({:.1}%) \
+                     = {:.1} ms ({:.1}% of wall)",
+                    s.shard,
+                    s.work_ms,
+                    pct(s.work_ms, denom),
+                    s.wait_ms,
+                    pct(s.wait_ms, denom),
+                    total,
+                    pct(total, denom),
+                );
+            }
+            if !work_shares.is_empty() {
+                let mean = work_shares.iter().sum::<f64>() / work_shares.len() as f64;
+                let _ = writeln!(
+                    out,
+                    "  mean shard work share: {mean:.1}% — the remaining {:.1}% is spent \
+                     idle at the per-slot tick barrier, which is what caps shard scaling",
+                    100.0 - mean
+                );
             }
         }
 
@@ -751,5 +913,82 @@ mod tests {
     fn malformed_line_reports_line_number() {
         let err = build_report(["{}", "not json"].iter().copied()).unwrap_err();
         assert_eq!(err.0, 2);
+    }
+
+    #[test]
+    fn slo_transitions_render_timeline_and_final_state() {
+        let lines = [
+            r#"{"slot":83,"kind":"slo_breach","slo":"deadline_hit_rate>=0.95@512","value":0.9120,"burn_fast":4.20,"burn_slow":1.30}"#,
+            r#"{"slot":164,"kind":"slo_recovered","slo":"deadline_hit_rate>=0.95@512","value":0.9612,"burn_fast":0.40,"burn_slow":1.10}"#,
+            r#"{"slot":190,"kind":"slo_breach","slo":"p99_latency<=250@512","value":310.0,"burn_fast":2.00,"burn_slow":1.50}"#,
+        ];
+        let report = build_report(lines.iter().copied()).unwrap();
+        assert_eq!(report.slo_events.len(), 3);
+        assert!(report.slo_events[0].breached);
+        assert!(!report.slo_events[1].breached);
+
+        let text = report.render();
+        assert!(text.contains("== slo =="), "{text}");
+        assert!(
+            text.contains(
+                "slot     83  deadline_hit_rate>=0.95@512 BREACHED \
+                 (value 0.9120, burn fast 4.20 / slow 1.30)"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("deadline_hit_rate>=0.95@512: healthy at end of trace"),
+            "{text}"
+        );
+        assert!(
+            text.contains("p99_latency<=250@512: still breached at end of trace"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn stall_events_render_barrier_attribution() {
+        let lines = [
+            r#"{"slot":250,"kind":"stall_shard","shard":0,"work_ms":2000.0,"wait_ms":8000.0}"#,
+            r#"{"slot":250,"kind":"stall_shard","shard":1,"work_ms":4000.0,"wait_ms":6000.0}"#,
+            r#"{"slot":250,"kind":"stall_driver","wall_ms":10000.0,"dispatch_ms":500.0,"recovery_ms":0.0,"barrier_ms":9000.0,"slots":250}"#,
+        ];
+        let report = build_report(lines.iter().copied()).unwrap();
+        assert_eq!(report.stall_shards.len(), 2);
+        let d = report.stall_driver.unwrap();
+        assert_eq!(d.slots, 250);
+
+        let text = report.render();
+        assert!(text.contains("== barrier-stall attribution =="), "{text}");
+        assert!(
+            text.contains("driver wall 10000.0 ms over 250 slot(s)"),
+            "{text}"
+        );
+        // Shard 0: 20% work + 80% wait, summing to 100% of wall.
+        assert!(
+            text.contains(
+                "shard 0: work 2000.0 ms (20.0%) + barrier-wait 8000.0 ms (80.0%) \
+                 = 10000.0 ms (100.0% of wall)"
+            ),
+            "{text}"
+        );
+        // Mean work share over the two shards: (20 + 40) / 2 = 30%.
+        assert!(text.contains("mean shard work share: 30.0%"), "{text}");
+        assert!(text.contains("caps shard scaling"), "{text}");
+    }
+
+    #[test]
+    fn trace_drops_emit_a_loud_warning_up_top() {
+        let lines = [r#"{"slot":99,"kind":"trace_drops","count":42}"#];
+        let report = build_report(lines.iter().copied()).unwrap();
+        assert_eq!(report.trace_dropped, 42);
+        let text = report.render();
+        let warn = text.find("WARNING: trace ring saturated").unwrap();
+        assert!(text.contains("42 event(s) dropped"), "{text}");
+        // The warning sits above every section.
+        assert!(warn < text.find("==").unwrap(), "{text}");
+
+        let clean = build_report(SAMPLE.iter().copied()).unwrap();
+        assert!(!clean.render().contains("WARNING"), "no spurious warning");
     }
 }

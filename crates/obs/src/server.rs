@@ -1,24 +1,30 @@
 //! A tiny scrape endpoint over `std::net::TcpListener`.
 //!
-//! One background thread accepts connections and answers two routes:
-//! `GET /metrics` (Prometheus text, version 0.0.4) and
-//! `GET /metrics.json` (the registry's JSON rendering). Everything else
+//! One background thread accepts connections and answers four routes:
+//! `GET /metrics` (Prometheus text, version 0.0.4), `GET /metrics.json`
+//! (the registry's JSON rendering), `GET /healthz` (liveness: uptime
+//! and a scrape counter), and `GET /slo.json` (the SLO engine's state
+//! document, when the embedding runtime publishes one). Everything else
 //! is 404. The server exists for *live* observation — nothing about a
 //! run's determinism depends on whether anyone scrapes it.
 
 use crate::registry::Registry;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// A shared, swappable document (e.g. the `/slo.json` body): the
+/// runtime overwrites it each slot, the server serves the latest copy.
+pub type SharedDoc = Arc<Mutex<String>>;
 
 /// A running scrape server; dropping it stops the thread.
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    join: Option<JoinHandle<()>>,
+    join: Option<std::thread::JoinHandle<()>>,
 }
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
@@ -30,7 +36,15 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
     let _ = stream.flush();
 }
 
-fn handle(mut stream: TcpStream, registry: &Registry) {
+/// Everything the accept loop needs to answer a request.
+struct ServerState {
+    registry: Arc<Registry>,
+    slo: Option<SharedDoc>,
+    started: Instant,
+    scrapes: AtomicU64,
+}
+
+fn handle(mut stream: TcpStream, state: &ServerState) {
     // Only the request line matters; read and discard headers so the
     // client is not hit with a reset before it finishes writing.
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -49,19 +63,41 @@ fn handle(mut stream: TcpStream, registry: &Registry) {
         header.clear();
     }
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    // Every answered request counts, including 404s — the counter is a
+    // liveness signal, not a success meter.
+    let scrapes = state.scrapes.fetch_add(1, Ordering::Relaxed) + 1;
     match path {
         "/metrics" => respond(
             &mut stream,
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
-            &registry.render_prometheus(),
+            &state.registry.render_prometheus(),
         ),
         "/metrics.json" => respond(
             &mut stream,
             "200 OK",
             "application/json",
-            &registry.render_json(),
+            &state.registry.render_json(),
         ),
+        "/healthz" => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"uptime_ms\":{},\"scrapes\":{scrapes}}}",
+                state.started.elapsed().as_millis()
+            );
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/slo.json" => match &state.slo {
+            Some(doc) => {
+                let body = doc.lock().unwrap_or_else(PoisonError::into_inner).clone();
+                respond(&mut stream, "200 OK", "application/json", &body);
+            }
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain",
+                "no slo engine attached\n",
+            ),
+        },
         _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
     }
 }
@@ -74,10 +110,30 @@ impl MetricsServer {
     ///
     /// Fails when the address cannot be bound.
     pub fn bind(addr: &str, registry: Arc<Registry>) -> std::io::Result<Self> {
+        Self::bind_with_slo(addr, registry, None)
+    }
+
+    /// [`MetricsServer::bind`], additionally publishing `slo` at
+    /// `GET /slo.json`. Without a document that route answers 404.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn bind_with_slo(
+        addr: &str,
+        registry: Arc<Registry>,
+        slo: Option<SharedDoc>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
+        let state = ServerState {
+            registry,
+            slo,
+            started: Instant::now(),
+            scrapes: AtomicU64::new(0),
+        };
         let join = std::thread::Builder::new()
             .name("mec-obs-metrics".to_string())
             .spawn(move || {
@@ -86,7 +142,7 @@ impl MetricsServer {
                         break;
                     }
                     if let Ok(stream) = stream {
-                        handle(stream, &registry);
+                        handle(stream, &state);
                     }
                 }
             })?;
@@ -149,6 +205,46 @@ mod tests {
 
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        drop(server);
+    }
+
+    #[test]
+    fn healthz_reports_uptime_and_counts_scrapes() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+        let first = get(addr, "/healthz");
+        assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+        assert!(first.contains("\"status\":\"ok\""), "{first}");
+        assert!(first.contains("\"uptime_ms\":"), "{first}");
+        assert!(first.contains("\"scrapes\":1"), "{first}");
+        let _ = get(addr, "/metrics");
+        let third = get(addr, "/healthz");
+        assert!(third.contains("\"scrapes\":3"), "{third}");
+        drop(server);
+    }
+
+    #[test]
+    fn slo_json_serves_latest_document_or_404() {
+        let registry = Arc::new(Registry::new());
+        // No document attached: the route is a 404, not an empty body.
+        let bare = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let out = get(bare.local_addr(), "/slo.json");
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+        drop(bare);
+
+        let doc: SharedDoc = Arc::new(Mutex::new("{\"slot\":0,\"slos\":[]}".to_string()));
+        let server =
+            MetricsServer::bind_with_slo("127.0.0.1:0", Arc::clone(&registry), Some(doc.clone()))
+                .unwrap();
+        let addr = server.local_addr();
+        let out = get(addr, "/slo.json");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        assert!(out.ends_with("{\"slot\":0,\"slos\":[]}"), "{out}");
+        // The runtime swaps the document; the server serves the copy.
+        *doc.lock().unwrap() = "{\"slot\":7,\"slos\":[]}".to_string();
+        let out = get(addr, "/slo.json");
+        assert!(out.contains("\"slot\":7"), "{out}");
         drop(server);
     }
 

@@ -1,0 +1,614 @@
+//! Declarative service-level objectives with multi-window error-budget
+//! burn rates.
+//!
+//! A spec is a compact string — `deadline_hit_rate>=0.95@512` or
+//! `p99_latency<=250@512` — parsed into an [`SloSpec`]: an objective, a
+//! threshold, and a sliding window in slots. The [`SloEngine`] consumes
+//! one [`SlotSample`] per slot (request outcomes and latency samples,
+//! all derived from deterministic quantities, so SLO state and its
+//! trace events stay byte-reproducible for a fixed seed) and maintains,
+//! per spec:
+//!
+//! * the **value** over the window (hit rate, or the latency quantile
+//!   estimated from a log-linear windowed histogram);
+//! * the **error-budget burn rate** at two window lengths — the full
+//!   window and a fast window of one eighth its length — where a burn
+//!   of 1.0 means "spending the budget exactly as fast as the SLO
+//!   allows";
+//! * a breach state machine in the multi-window style: **breach** when
+//!   both burns reach 1.0 (the fast window confirms the slow one, so a
+//!   short blip does not page), **recover** when the fast window's burn
+//!   drops below 1.0 (the slow window may stay polluted by the outage
+//!   long after the system is healthy again).
+//!
+//! Transitions are returned to the caller for `slo_breach` /
+//! `slo_recovered` trace events; [`SloEngine::render_json`] produces
+//! the deterministic document served at `/slo.json`.
+
+use crate::registry::{log_linear_bounds, HistogramSnapshot};
+use std::collections::VecDeque;
+
+/// What an SLO constrains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloKind {
+    /// Fraction of dispatched requests that completed in time
+    /// (completions vs. expiries + aborts + sheds).
+    DeadlineHitRate,
+    /// A latency quantile in virtual milliseconds; the payload is the
+    /// quantile `q` in `(0, 1)`.
+    LatencyQuantile(f64),
+}
+
+/// One parsed SLO specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    raw: String,
+    kind: SloKind,
+    threshold: f64,
+    window: u64,
+}
+
+impl SloSpec {
+    /// Parses specs like `deadline_hit_rate>=0.95@512` and
+    /// `p99_latency<=250@512`. Supported metrics: `deadline_hit_rate`
+    /// (with `>=`, threshold in `(0, 1)`) and `p50_latency` /
+    /// `p95_latency` / `p99_latency` / `p999_latency` (with `<=`,
+    /// threshold in virtual milliseconds). The `@N` suffix is the
+    /// sliding window in slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown metrics, wrong
+    /// comparison direction, or out-of-range thresholds/windows.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let raw = text.trim().to_string();
+        let (expr, window) = raw
+            .split_once('@')
+            .ok_or_else(|| format!("missing '@window' suffix in {raw:?}"))?;
+        let window: u64 = window
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad window in {raw:?} (want a positive slot count)"))?;
+        if window == 0 {
+            return Err(format!("window must be positive in {raw:?}"));
+        }
+        let (metric, op, threshold) = if let Some((m, t)) = expr.split_once(">=") {
+            (m.trim(), ">=", t.trim())
+        } else if let Some((m, t)) = expr.split_once("<=") {
+            (m.trim(), "<=", t.trim())
+        } else {
+            return Err(format!("missing '>=' or '<=' in {raw:?}"));
+        };
+        let threshold: f64 = threshold
+            .parse()
+            .map_err(|_| format!("bad threshold in {raw:?}"))?;
+        let kind = match metric {
+            "deadline_hit_rate" => {
+                if op != ">=" {
+                    return Err(format!("deadline_hit_rate needs '>=' in {raw:?}"));
+                }
+                if !(threshold > 0.0 && threshold < 1.0) {
+                    return Err(format!("hit-rate threshold must be in (0,1) in {raw:?}"));
+                }
+                SloKind::DeadlineHitRate
+            }
+            "p50_latency" | "p95_latency" | "p99_latency" | "p999_latency" => {
+                if op != "<=" {
+                    return Err(format!("latency objectives need '<=' in {raw:?}"));
+                }
+                if !(threshold > 0.0 && threshold.is_finite()) {
+                    return Err(format!("latency threshold must be positive in {raw:?}"));
+                }
+                let q = match metric {
+                    "p50_latency" => 0.50,
+                    "p95_latency" => 0.95,
+                    "p99_latency" => 0.99,
+                    _ => 0.999,
+                };
+                SloKind::LatencyQuantile(q)
+            }
+            other => return Err(format!("unknown SLO metric {other:?} in {raw:?}")),
+        };
+        Ok(Self {
+            raw,
+            kind,
+            threshold,
+            window,
+        })
+    }
+
+    /// The spec exactly as written (label value for gauges and events).
+    pub fn label(&self) -> &str {
+        &self.raw
+    }
+
+    /// What this spec constrains.
+    pub fn kind(&self) -> SloKind {
+        self.kind
+    }
+
+    /// The threshold (a rate or virtual milliseconds, per the kind).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The sliding window in slots.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The error budget: the bad-event fraction the SLO tolerates.
+    fn budget(&self) -> f64 {
+        match self.kind {
+            SloKind::DeadlineHitRate => 1.0 - self.threshold,
+            SloKind::LatencyQuantile(q) => 1.0 - q,
+        }
+    }
+}
+
+/// One slot's worth of SLO-relevant outcomes, all deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlotSample<'a> {
+    /// Requests that completed in time this slot.
+    pub good: u64,
+    /// Requests lost this slot: expired, aborted, or shed.
+    pub bad: u64,
+    /// Latencies (virtual ms) of this slot's completions.
+    pub latencies_ms: &'a [f64],
+}
+
+/// A breach-state change to surface as a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTransition {
+    /// Index into [`SloEngine::specs`].
+    pub index: usize,
+    /// `true` = entered breach, `false` = recovered.
+    pub breached: bool,
+    /// The windowed value at the transition.
+    pub value: f64,
+    /// Fast-window burn rate at the transition.
+    pub burn_fast: f64,
+    /// Slow-window burn rate at the transition.
+    pub burn_slow: f64,
+}
+
+/// Good/bad totals over a sliding slot window (subtract-on-evict).
+#[derive(Debug)]
+struct WindowCounts {
+    ring: VecDeque<(u64, u64)>,
+    cap: usize,
+    good: u64,
+    bad: u64,
+}
+
+impl WindowCounts {
+    fn new(cap: u64) -> Self {
+        Self {
+            ring: VecDeque::new(),
+            cap: cap.max(1) as usize,
+            good: 0,
+            bad: 0,
+        }
+    }
+
+    fn push(&mut self, good: u64, bad: u64) {
+        self.ring.push_back((good, bad));
+        self.good += good;
+        self.bad += bad;
+        if self.ring.len() > self.cap {
+            let (g, b) = self.ring.pop_front().expect("non-empty ring");
+            self.good -= g;
+            self.bad -= b;
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.good + self.bad
+    }
+
+    /// Bad-event fraction; 0 when the window saw no traffic.
+    fn bad_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.bad as f64 / total as f64
+        }
+    }
+}
+
+/// Windowed latency distribution: per-slot bucket counts over shared
+/// log-linear bounds, merged with subtract-on-evict.
+#[derive(Debug)]
+struct LatencyWindow {
+    bounds: Vec<f64>,
+    ring: VecDeque<Vec<u64>>,
+    cap: usize,
+    merged: Vec<u64>,
+}
+
+impl LatencyWindow {
+    fn new(cap: u64) -> Self {
+        // 1 ms to 100 s at nine steps per decade resolves p999 for any
+        // latency profile this workspace produces.
+        let bounds = log_linear_bounds(1.0, 100_000.0, 9);
+        let width = bounds.len() + 1;
+        Self {
+            bounds,
+            ring: VecDeque::new(),
+            cap: cap.max(1) as usize,
+            merged: vec![0; width],
+        }
+    }
+
+    fn push(&mut self, latencies_ms: &[f64]) {
+        let mut slot = vec![0u64; self.merged.len()];
+        for &v in latencies_ms {
+            let idx = self.bounds.partition_point(|&b| b < v);
+            slot[idx] += 1;
+            self.merged[idx] += 1;
+        }
+        self.ring.push_back(slot);
+        if self.ring.len() > self.cap {
+            let old = self.ring.pop_front().expect("non-empty ring");
+            for (m, o) in self.merged.iter_mut().zip(&old) {
+                *m -= o;
+            }
+        }
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        let count: u64 = self.merged.iter().sum();
+        let snap = HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.merged.clone(),
+            sum: 0.0, // quantile estimation never reads the sum
+            count,
+        };
+        snap.quantile(q)
+    }
+}
+
+#[derive(Debug)]
+struct SpecState {
+    fast: WindowCounts,
+    slow: WindowCounts,
+    latency: Option<LatencyWindow>,
+    breached: bool,
+    breaches: u64,
+    value: f64,
+    burn_fast: f64,
+    burn_slow: f64,
+}
+
+/// The point-in-time state of one SLO, for gauges and `/slo.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The windowed value (hit rate or latency quantile).
+    pub value: f64,
+    /// Fast-window burn rate.
+    pub burn_fast: f64,
+    /// Slow-window burn rate.
+    pub burn_slow: f64,
+    /// Whether the SLO is currently in breach.
+    pub breached: bool,
+    /// Breaches entered so far.
+    pub breaches: u64,
+}
+
+/// Evaluates a set of [`SloSpec`]s slot by slot.
+#[derive(Debug)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    states: Vec<SpecState>,
+}
+
+impl SloEngine {
+    /// An engine over `specs` (possibly empty — then it is a no-op).
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        let states = specs
+            .iter()
+            .map(|s| SpecState {
+                fast: WindowCounts::new(s.window / 8),
+                slow: WindowCounts::new(s.window),
+                latency: match s.kind {
+                    SloKind::LatencyQuantile(_) => Some(LatencyWindow::new(s.window)),
+                    SloKind::DeadlineHitRate => None,
+                },
+                breached: false,
+                breaches: 0,
+                value: match s.kind {
+                    SloKind::DeadlineHitRate => 1.0,
+                    SloKind::LatencyQuantile(_) => 0.0,
+                },
+                burn_fast: 0.0,
+                burn_slow: 0.0,
+            })
+            .collect();
+        Self { specs, states }
+    }
+
+    /// Whether there is anything to evaluate.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The specs, in evaluation order.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Feeds one slot's outcomes to every spec and returns the breach
+    /// transitions that fired.
+    pub fn observe_slot(&mut self, sample: SlotSample<'_>) -> Vec<SloTransition> {
+        let mut transitions = Vec::new();
+        for (index, (spec, state)) in self.specs.iter().zip(&mut self.states).enumerate() {
+            let (good, bad) = match spec.kind {
+                SloKind::DeadlineHitRate => (sample.good, sample.bad),
+                SloKind::LatencyQuantile(_) => {
+                    let slow = sample
+                        .latencies_ms
+                        .iter()
+                        .filter(|&&v| v > spec.threshold)
+                        .count() as u64;
+                    (sample.latencies_ms.len() as u64 - slow, slow)
+                }
+            };
+            state.fast.push(good, bad);
+            state.slow.push(good, bad);
+            let budget = spec.budget();
+            state.burn_fast = state.fast.bad_fraction() / budget;
+            state.burn_slow = state.slow.bad_fraction() / budget;
+            state.value = match spec.kind {
+                SloKind::DeadlineHitRate => {
+                    if state.slow.total() == 0 {
+                        1.0
+                    } else {
+                        state.slow.good as f64 / state.slow.total() as f64
+                    }
+                }
+                SloKind::LatencyQuantile(q) => {
+                    let lat = state.latency.as_mut().expect("latency spec has a window");
+                    lat.push(sample.latencies_ms);
+                    lat.quantile(q)
+                }
+            };
+            let was = state.breached;
+            if !was && state.burn_fast >= 1.0 && state.burn_slow >= 1.0 {
+                state.breached = true;
+                state.breaches += 1;
+            } else if was && state.burn_fast < 1.0 {
+                state.breached = false;
+            }
+            if state.breached != was {
+                transitions.push(SloTransition {
+                    index,
+                    breached: state.breached,
+                    value: state.value,
+                    burn_fast: state.burn_fast,
+                    burn_slow: state.burn_slow,
+                });
+            }
+        }
+        transitions
+    }
+
+    /// The current state of spec `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn status(&self, index: usize) -> SloStatus {
+        let s = &self.states[index];
+        SloStatus {
+            value: s.value,
+            burn_fast: s.burn_fast,
+            burn_slow: s.burn_slow,
+            breached: s.breached,
+            breaches: s.breaches,
+        }
+    }
+
+    /// Renders the deterministic `/slo.json` document for slot `slot`.
+    pub fn render_json(&self, slot: u64) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:?}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let slos = self
+            .specs
+            .iter()
+            .zip(&self.states)
+            .map(|(spec, s)| {
+                format!(
+                    "{{\"spec\":\"{}\",\"window\":{},\"value\":{},\"burn_fast\":{},\
+                     \"burn_slow\":{},\"breached\":{},\"breaches\":{}}}",
+                    crate::trace::escape_json(&spec.raw),
+                    spec.window,
+                    num(s.value),
+                    num(s.burn_fast),
+                    num(s.burn_slow),
+                    s.breached,
+                    s.breaches
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"slot\":{slot},\"slos\":[{slos}]}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit_rate(spec: &str) -> SloSpec {
+        SloSpec::parse(spec).unwrap()
+    }
+
+    #[test]
+    fn parses_both_metric_families() {
+        let s = hit_rate("deadline_hit_rate>=0.95@512");
+        assert_eq!(s.kind(), SloKind::DeadlineHitRate);
+        assert_eq!(s.threshold(), 0.95);
+        assert_eq!(s.window(), 512);
+        assert_eq!(s.label(), "deadline_hit_rate>=0.95@512");
+        let l = hit_rate(" p99_latency <= 250 @ 64 ");
+        assert_eq!(l.kind(), SloKind::LatencyQuantile(0.99));
+        assert_eq!(l.threshold(), 250.0);
+        assert_eq!(l.window(), 64);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "deadline_hit_rate>=0.95",    // no window
+            "deadline_hit_rate<=0.95@10", // wrong direction
+            "deadline_hit_rate>=1.5@10",  // out of range
+            "p99_latency>=250@10",        // wrong direction
+            "p99_latency<=-1@10",         // negative
+            "throughput>=5@10",           // unknown metric
+            "deadline_hit_rate>=0.95@0",  // zero window
+            "deadline_hit_rate~=0.95@10", // bad operator
+            "deadline_hit_rate>=zero@10", // bad threshold
+            "deadline_hit_rate>=0.9@-2",  // bad window
+        ] {
+            assert!(SloSpec::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn breach_needs_both_windows_and_recovery_needs_only_fast() {
+        // Window 16 → fast window 2. Budget = 5%.
+        let mut e = SloEngine::new(vec![hit_rate("deadline_hit_rate>=0.95@16")]);
+        // Healthy traffic: no transitions.
+        for _ in 0..16 {
+            let t = e.observe_slot(SlotSample {
+                good: 100,
+                bad: 0,
+                latencies_ms: &[],
+            });
+            assert!(t.is_empty());
+        }
+        assert!(!e.status(0).breached);
+        assert_eq!(e.status(0).value, 1.0);
+        // A partial outage: 20% of each slot's requests fail (4x the
+        // 5% budget). The fast window trips right away but the slow
+        // window needs several bad slots' mass to confirm: no breach on
+        // the very first bad slot.
+        let first = e.observe_slot(SlotSample {
+            good: 80,
+            bad: 20,
+            latencies_ms: &[],
+        });
+        assert!(first.is_empty(), "slow window must confirm first");
+        assert!(e.status(0).burn_fast >= 1.0, "fast window alone trips");
+        let mut breach_seen = false;
+        for _ in 0..8 {
+            for t in e.observe_slot(SlotSample {
+                good: 80,
+                bad: 20,
+                latencies_ms: &[],
+            }) {
+                assert!(t.breached);
+                assert!(t.burn_fast >= 1.0 && t.burn_slow >= 1.0);
+                breach_seen = true;
+            }
+        }
+        assert!(breach_seen);
+        assert!(e.status(0).breached);
+        assert_eq!(e.status(0).breaches, 1);
+        // Recovery: two healthy slots clear the fast window even though
+        // the slow window still remembers the outage.
+        let mut recovered = false;
+        for _ in 0..2 {
+            for t in e.observe_slot(SlotSample {
+                good: 100,
+                bad: 0,
+                latencies_ms: &[],
+            }) {
+                assert!(!t.breached);
+                recovered = true;
+            }
+        }
+        assert!(recovered);
+        assert!(!e.status(0).breached);
+        assert!(e.status(0).burn_slow >= 1.0, "slow window stays polluted");
+    }
+
+    #[test]
+    fn empty_slots_keep_previous_state() {
+        let mut e = SloEngine::new(vec![hit_rate("deadline_hit_rate>=0.9@8")]);
+        for _ in 0..20 {
+            assert!(e
+                .observe_slot(SlotSample {
+                    good: 0,
+                    bad: 0,
+                    latencies_ms: &[],
+                })
+                .is_empty());
+        }
+        let s = e.status(0);
+        assert!(!s.breached);
+        assert_eq!(s.value, 1.0);
+        assert_eq!(s.burn_fast, 0.0);
+    }
+
+    #[test]
+    fn latency_quantile_tracks_the_window() {
+        let mut e = SloEngine::new(vec![hit_rate("p99_latency<=250@8")]);
+        // All fast: no breach, low p99.
+        for _ in 0..8 {
+            let t = e.observe_slot(SlotSample {
+                good: 0,
+                bad: 0,
+                latencies_ms: &[10.0; 100],
+            });
+            assert!(t.is_empty());
+        }
+        assert!(e.status(0).value <= 20.0, "{}", e.status(0).value);
+        // All slow: p99 climbs past the threshold and the SLO breaches.
+        let mut breached = false;
+        for _ in 0..8 {
+            for t in e.observe_slot(SlotSample {
+                good: 0,
+                bad: 0,
+                latencies_ms: &[400.0; 100],
+            }) {
+                breached |= t.breached;
+            }
+        }
+        assert!(breached);
+        assert!(e.status(0).value > 250.0);
+    }
+
+    #[test]
+    fn render_json_is_deterministic_and_parseable() {
+        let mut e = SloEngine::new(vec![
+            hit_rate("deadline_hit_rate>=0.95@16"),
+            hit_rate("p99_latency<=250@16"),
+        ]);
+        e.observe_slot(SlotSample {
+            good: 99,
+            bad: 1,
+            latencies_ms: &[12.0, 200.0],
+        });
+        let doc = e.render_json(41);
+        assert_eq!(doc, e.render_json(41));
+        let parsed = crate::json::parse_json(&doc).unwrap();
+        assert_eq!(parsed.get("slot").and_then(|v| v.as_u64()), Some(41));
+        let slos = parsed.get("slos").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(slos.len(), 2);
+        assert_eq!(
+            slos[0].get("spec").and_then(|v| v.as_str()),
+            Some("deadline_hit_rate>=0.95@16")
+        );
+        assert_eq!(
+            slos[0].get("breached"),
+            Some(&crate::json::JsonValue::Bool(false))
+        );
+    }
+}

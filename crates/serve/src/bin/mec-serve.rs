@@ -47,6 +47,9 @@ struct Args {
     ops: OpsLog,
     ops_journal_out: Option<String>,
     state_dir: Option<String>,
+    slo: Vec<mec_obs::SloSpec>,
+    lifecycle_out: Option<String>,
+    stall_events: bool,
 }
 
 impl Default for Args {
@@ -84,6 +87,9 @@ impl Default for Args {
             ops: OpsLog::default(),
             ops_journal_out: None,
             state_dir: None,
+            slo: Vec::new(),
+            lifecycle_out: None,
+            stall_events: false,
         }
     }
 }
@@ -155,6 +161,20 @@ OBSERVABILITY (requires a build with --features obs):
                           N slots; 0 = off [default: 25]
     --hold-metrics-ms <N> keep the metrics endpoint up N ms after the run
                           finishes, for a final scrape [default: 0]
+    --slo <SPEC>          evaluate a service-level objective every slot and
+                          emit slo_breach / slo_recovered trace events plus
+                          burn-rate gauges and GET /slo.json; repeatable.
+                          Grammar: deadline_hit_rate>=0.95@512 or
+                          p99_latency<=250@512 (p50/p95/p99/p999; @N is the
+                          sliding window in slots)
+    --stall-events        emit run-end stall_shard / stall_driver trace
+                          events (wall-clock payloads; off by default so
+                          same-seed traces stay byte-identical)
+
+LIFECYCLE (requires a build with --features lifecycle):
+    --lifecycle-out <PATH>
+                          append one JSON line per request-lifecycle stage
+                          (admit, start, complete, handoff, ...) to PATH
 
 PROFILING (requires a build with --features prof):
     --profile-out <PATH>  write the hierarchical phase profile as JSON
@@ -229,6 +249,11 @@ fn parse_args() -> Result<Args, String> {
                 args.telemetry_every = Some(parse(&value("--telemetry-every")?)?);
             }
             "--hold-metrics-ms" => args.hold_metrics_ms = parse(&value("--hold-metrics-ms")?)?,
+            "--slo" => args.slo.push(
+                mec_obs::SloSpec::parse(&value("--slo")?).map_err(|e| format!("--slo: {e}"))?,
+            ),
+            "--lifecycle-out" => args.lifecycle_out = Some(value("--lifecycle-out")?),
+            "--stall-events" => args.stall_events = true,
             "--profile-out" => args.profile_out = Some(value("--profile-out")?),
             "--profile-folded" => args.profile_folded = Some(value("--profile-folded")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -278,9 +303,18 @@ fn parse_args() -> Result<Args, String> {
         || args.trace_out.is_some()
         || args.telemetry_every.is_some()
         || args.hold_metrics_ms > 0
+        || !args.slo.is_empty()
+        || args.stall_events
     {
         return Err(
             "observability flags need the obs feature; rebuild with --features obs".to_string(),
+        );
+    }
+    #[cfg(not(feature = "lifecycle"))]
+    if args.lifecycle_out.is_some() {
+        return Err(
+            "--lifecycle-out needs the lifecycle feature; rebuild with --features lifecycle"
+                .to_string(),
         );
     }
     #[cfg(not(feature = "prof"))]
@@ -344,6 +378,9 @@ fn main() -> ExitCode {
         || args.trace_out.is_some()
         || args.telemetry_every.is_some()
         || args.hold_metrics_ms > 0
+        || args.lifecycle_out.is_some()
+        || !args.slo.is_empty()
+        || args.stall_events
     {
         let mut hub = mec_serve::ObsHub::new();
         if let Some(path) = &args.trace_out {
@@ -358,9 +395,22 @@ fn main() -> ExitCode {
                 std::io::BufWriter::new(file),
             )));
         }
+        if let Some(path) = &args.lifecycle_out {
+            let file = match std::fs::File::create(path) {
+                Ok(file) => file,
+                Err(e) => {
+                    eprintln!("cannot create lifecycle file {path:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            hub = hub.with_lifecycle(mec_obs::LifecycleWriter::new(Box::new(
+                std::io::BufWriter::new(file),
+            )));
+        }
         if let Some(every) = args.telemetry_every {
             hub = hub.with_telemetry_every(every);
         }
+        hub = hub.with_stall_events(args.stall_events);
         Some(std::sync::Arc::new(hub))
     } else {
         None
@@ -368,7 +418,14 @@ fn main() -> ExitCode {
     #[cfg(feature = "obs")]
     let _metrics_server = match (&args.metrics_addr, &hub) {
         (Some(addr), Some(hub)) => {
-            match mec_obs::MetricsServer::bind(addr, std::sync::Arc::clone(hub.registry())) {
+            // The SLO document is attached whenever specs exist, so
+            // /slo.json serves live burn-rate state alongside /metrics.
+            let slo_doc = (!args.slo.is_empty()).then(|| hub.slo_doc());
+            match mec_obs::MetricsServer::bind_with_slo(
+                addr,
+                std::sync::Arc::clone(hub.registry()),
+                slo_doc,
+            ) {
                 Ok(server) => {
                     eprintln!("metrics: GET http://{}/metrics", server.local_addr());
                     Some(server)
@@ -422,6 +479,7 @@ fn main() -> ExitCode {
         },
         ops: args.ops.clone(),
         state_dir: args.state_dir.as_ref().map(std::path::PathBuf::from),
+        slo: args.slo.clone(),
     };
 
     eprintln!(
@@ -525,6 +583,12 @@ fn main() -> ExitCode {
             hub.flush();
             if let Some(path) = &args.trace_out {
                 eprintln!("trace: {} event(s) written to {path}", hub.trace_written());
+            }
+            if let Some(path) = &args.lifecycle_out {
+                eprintln!(
+                    "lifecycle: {} record(s) written to {path}",
+                    hub.lifecycle_written()
+                );
             }
         }
         if args.hold_metrics_ms > 0 {

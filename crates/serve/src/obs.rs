@@ -26,8 +26,9 @@ use crate::router::Router;
 use crate::shard::ShardTick;
 use crate::snapshot::{FaultStats, PlacementStats};
 use mec_obs::{
-    Counter, EventSink, Gauge, Histogram, Registry, TraceEvent, TraceRing, TraceWriter,
-    LATENCY_MS_BOUNDS, STEP_MS_BOUNDS,
+    Counter, EventSink, Gauge, Histogram, LifecycleRecord, LifecycleRing, LifecycleSink,
+    LifecycleWriter, Registry, SharedDoc, SloEngine, SloTransition, TraceEvent, TraceRing,
+    TraceWriter, LATENCY_MS_BOUNDS, STEP_MS_BOUNDS,
 };
 use mec_placement::{InstallDone, PlacementState, ReconfigOp};
 use std::fmt;
@@ -36,6 +37,11 @@ use std::sync::{Arc, Mutex};
 /// Capacity of each worker's event ring — ample for one slot's worth of
 /// fault events between barrier drains.
 const RING_CAP: usize = 4_096;
+
+/// Capacity of each worker's lifecycle ring. Lifecycle records are per
+/// request (start/complete/expire/abort), so the ring is sized for a
+/// burst of several slots' worth of terminal events between drains.
+const LIFE_RING_CAP: usize = 65_536;
 
 /// Install latencies are a handful of slots (warm 1–2, cold 2–5), so the
 /// buckets hug the small integers.
@@ -51,6 +57,9 @@ const INSTALL_SLOT_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 13.0];
 pub struct ObsHub {
     registry: Arc<Registry>,
     trace: Option<Mutex<TraceWriter>>,
+    lifecycle: Option<Mutex<LifecycleWriter>>,
+    slo_doc: SharedDoc,
+    stall_events: bool,
     telemetry_every: u64,
 }
 
@@ -58,6 +67,8 @@ impl fmt::Debug for ObsHub {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ObsHub")
             .field("tracing", &self.trace.is_some())
+            .field("lifecycle", &self.lifecycle.is_some())
+            .field("stall_events", &self.stall_events)
             .field("telemetry_every", &self.telemetry_every)
             .finish_non_exhaustive()
     }
@@ -82,6 +93,9 @@ impl ObsHub {
         Self {
             registry,
             trace: None,
+            lifecycle: None,
+            slo_doc: Arc::new(Mutex::new(String::new())),
+            stall_events: false,
             telemetry_every: 25,
         }
     }
@@ -92,6 +106,25 @@ impl ObsHub {
     #[must_use]
     pub fn with_trace(mut self, writer: TraceWriter) -> Self {
         self.trace = Some(Mutex::new(writer));
+        self
+    }
+
+    /// Attaches a lifecycle sink; per-request lifecycle records (admit,
+    /// start, complete, ...) are appended to it as JSONL (requires the
+    /// `lifecycle` cargo feature to emit anything).
+    #[must_use]
+    pub fn with_lifecycle(mut self, writer: LifecycleWriter) -> Self {
+        self.lifecycle = Some(Mutex::new(writer));
+        self
+    }
+
+    /// Emits run-end `stall_shard` / `stall_driver` events into the
+    /// trace. Off by default because their payloads are wall-clock
+    /// measurements, which would break trace byte-identity across
+    /// same-seed runs.
+    #[must_use]
+    pub fn with_stall_events(mut self, on: bool) -> Self {
+        self.stall_events = on;
         self
     }
 
@@ -113,6 +146,42 @@ impl ObsHub {
         self.trace.is_some()
     }
 
+    /// Whether a lifecycle sink is attached.
+    pub fn has_lifecycle(&self) -> bool {
+        self.lifecycle.is_some()
+    }
+
+    /// Whether run-end stall events were requested.
+    pub fn stall_events(&self) -> bool {
+        self.stall_events
+    }
+
+    /// The live SLO state document served at `/slo.json` — hand it to
+    /// [`mec_obs::MetricsServer::bind_with_slo`]; the runtime overwrites
+    /// it every slot while an SLO engine is configured.
+    pub fn slo_doc(&self) -> SharedDoc {
+        Arc::clone(&self.slo_doc)
+    }
+
+    /// Lifecycle records successfully written to the sink so far.
+    pub fn lifecycle_written(&self) -> u64 {
+        self.lifecycle.as_ref().map_or(0, |w| {
+            w.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .written()
+        })
+    }
+
+    /// Appends one record to the lifecycle sink, if any.
+    pub(crate) fn write_life(&self, record: &LifecycleRecord) {
+        if let Some(writer) = &self.lifecycle {
+            writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .write(record);
+        }
+    }
+
     /// Events successfully written to the trace sink so far.
     pub fn trace_written(&self) -> u64 {
         self.trace.as_ref().map_or(0, |w| {
@@ -132,7 +201,7 @@ impl ObsHub {
         }
     }
 
-    /// Flushes the trace sink, if any.
+    /// Flushes the trace and lifecycle sinks, if any.
     pub fn flush(&self) {
         if let Some(writer) = &self.trace {
             writer
@@ -140,7 +209,28 @@ impl ObsHub {
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .flush();
         }
+        if let Some(writer) = &self.lifecycle {
+            writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .flush();
+        }
     }
+}
+
+/// Always-on wall-clock stall instrumentation a worker carries: the
+/// cumulative work/wait gauges (ms) behind the barrier-stall
+/// attribution, plus a per-tick wait histogram. Gauges are cumulative
+/// across restarts because a replacement worker re-reads them at spawn.
+#[derive(Clone, Debug)]
+pub struct StallProbe {
+    /// Cumulative wall-clock ms spent inside `engine.step`.
+    pub(crate) work_ms: Arc<Gauge>,
+    /// Cumulative wall-clock ms spent idle between ticks (barrier wait,
+    /// dispatch wait, and any driver-side recovery stall).
+    pub(crate) wait_ms: Arc<Gauge>,
+    /// Per-tick wait time distribution.
+    pub(crate) wait_hist: Arc<Histogram>,
 }
 
 /// Per-shard learner gauges, with per-arm series grown on first sight.
@@ -198,6 +288,18 @@ pub(crate) struct ObsState {
     /// Per-BS cache occupancy gauges, grown lazily to the fleet size.
     occupancy: Vec<Arc<Gauge>>,
     rings: Vec<Option<TraceRing>>,
+    /// Per-shard lifecycle rings (present only with a lifecycle sink).
+    life_rings: Vec<Option<LifecycleRing>>,
+    /// Per-shard work/wait stall probes (always on, like the registry).
+    stall: Vec<StallProbe>,
+    /// Fine-grained (log-linear) all-shard latency histogram; carries
+    /// the request-id exemplars when lifecycle tracking is active.
+    latency_fine: Arc<Histogram>,
+    /// Per-spec SLO gauges (value, burn fast/slow, breached), built on
+    /// the first `note_slo` call.
+    slo_gauges: Vec<[Arc<Gauge>; 4]>,
+    /// Driver phase totals: wall, dispatch, recovery, barrier (ms).
+    driver_stall: [Arc<Gauge>; 4],
     telemetry_every: u64,
     /// Outage length of every successful restart, in slots (feeds the
     /// snapshot's recovery percentiles; driver-local, reset per run).
@@ -210,6 +312,17 @@ impl EventSink for ObsState {
     fn record(&self, event: TraceEvent) {
         if let Some(hub) = &self.hub {
             hub.write_event(&event);
+        }
+    }
+}
+
+impl LifecycleSink for ObsState {
+    /// Driver-side lifecycle records go straight to the hub's sink —
+    /// the driver runs between barriers, so its records are already
+    /// deterministically ordered relative to the worker-ring drains.
+    fn life(&self, record: LifecycleRecord) {
+        if let Some(hub) = &self.hub {
+            hub.write_life(&record);
         }
     }
 }
@@ -234,6 +347,9 @@ impl ObsState {
             .map_or_else(|| Arc::new(Registry::new()), |h| Arc::clone(h.registry()));
         let telemetry_every = hub.as_ref().map_or(0, |h| h.telemetry_every);
         let tracing = hub.as_ref().is_some_and(|h| h.has_trace());
+        let lifecycle =
+            cfg!(feature = "lifecycle") && hub.as_ref().is_some_and(|h| h.has_lifecycle());
+        let fine_bounds = mec_obs::log_linear_bounds(1.0, 100_000.0, 9);
         let r = &registry;
         let per_shard = |name: &str, help: &str| -> Vec<Arc<Counter>> {
             (0..shards)
@@ -382,6 +498,52 @@ impl ObsState {
             rings: (0..shards)
                 .map(|_| tracing.then(|| TraceRing::with_capacity(RING_CAP)))
                 .collect(),
+            life_rings: (0..shards)
+                .map(|_| lifecycle.then(|| LifecycleRing::with_capacity(LIFE_RING_CAP)))
+                .collect(),
+            stall: (0..shards)
+                .map(|s| {
+                    let l: &[(&str, &str)] = &[("shard", &s.to_string())];
+                    StallProbe {
+                        work_ms: r.gauge(
+                            "mec_serve_work_ms_total",
+                            "cumulative wall-clock ms inside engine.step (live only)",
+                            l,
+                        ),
+                        wait_ms: r.gauge(
+                            "mec_serve_wait_ms_total",
+                            "cumulative wall-clock ms idle between ticks (live only)",
+                            l,
+                        ),
+                        wait_hist: r.histogram(
+                            "mec_serve_barrier_wait_ms",
+                            "per-tick wall-clock wait at the slot barrier (live only)",
+                            l,
+                            STEP_MS_BOUNDS,
+                        ),
+                    }
+                })
+                .collect(),
+            latency_fine: r.histogram(
+                "mec_serve_latency_fine_ms",
+                "all-shard response latency on log-linear buckets",
+                &[],
+                &fine_bounds,
+            ),
+            slo_gauges: Vec::new(),
+            driver_stall: [
+                ("mec_serve_driver_wall_ms_total", "serve-loop wall time"),
+                ("mec_serve_driver_dispatch_ms_total", "arrival dispatch"),
+                ("mec_serve_driver_recovery_ms_total", "fault recovery"),
+                ("mec_serve_driver_barrier_ms_total", "barriered ticks"),
+            ]
+            .map(|(name, what)| {
+                r.gauge(
+                    name,
+                    &format!("cumulative ms the driver spent on {what}"),
+                    &[],
+                )
+            }),
             telemetry_every,
             recovery_samples: Vec::new(),
             prev_active: vec![None; shards],
@@ -401,6 +563,27 @@ impl ObsState {
         Some(Arc::clone(&self.step[shard]))
     }
 
+    /// The worker lifecycle ring for `shard` (shared across restarts,
+    /// like the trace ring). `None` when no lifecycle sink is attached.
+    pub(crate) fn life_ring(&self, shard: usize) -> Option<LifecycleRing> {
+        self.life_rings[shard].clone()
+    }
+
+    /// The worker's stall probe for `shard`.
+    pub(crate) fn stall_probe(&self, shard: usize) -> StallProbe {
+        self.stall[shard].clone()
+    }
+
+    /// The fine-grained latency histogram (for worker-side exemplars).
+    pub(crate) fn latency_fine(&self) -> Arc<Histogram> {
+        Arc::clone(&self.latency_fine)
+    }
+
+    /// Whether run-end stall events were requested on the hub.
+    pub(crate) fn stall_events(&self) -> bool {
+        self.hub.as_ref().is_some_and(|h| h.stall_events())
+    }
+
     pub(crate) fn telemetry_every(&self) -> u64 {
         self.telemetry_every
     }
@@ -417,6 +600,7 @@ impl ObsState {
         self.aborted[shard].store(tick.aborted as u64);
         for &lat in &tick.new_latencies {
             self.latency[shard].observe(lat);
+            self.latency_fine.observe(lat);
             mec_obs::event!(self, slot, "served", shard = shard, lat_ms = lat);
         }
         if tick.checkpoint.is_some() {
@@ -775,7 +959,8 @@ impl ObsState {
 
     /// Drains every worker ring into the trace, in shard order. Called
     /// once per slot barrier so worker events interleave
-    /// deterministically with driver events.
+    /// deterministically with driver events. Lifecycle rings drain the
+    /// same way into the lifecycle sink.
     pub(crate) fn drain_rings(&self) {
         for ring in self.rings.iter().flatten() {
             for event in ring.drain() {
@@ -784,6 +969,128 @@ impl ObsState {
                 }
             }
         }
+        for ring in self.life_rings.iter().flatten() {
+            for record in ring.drain() {
+                if let Some(hub) = &self.hub {
+                    hub.write_life(&record);
+                }
+            }
+        }
+    }
+
+    /// Publishes one slot's SLO evaluation: per-spec gauges, breach /
+    /// recovery trace events, and the live `/slo.json` document.
+    pub(crate) fn note_slo(
+        &mut self,
+        slot: u64,
+        engine: &SloEngine,
+        transitions: &[SloTransition],
+    ) {
+        if engine.is_empty() {
+            return;
+        }
+        if self.slo_gauges.is_empty() {
+            for spec in engine.specs() {
+                let l: &[(&str, &str)] = &[("slo", spec.label())];
+                self.slo_gauges.push([
+                    self.registry
+                        .gauge("mec_slo_value", "windowed SLI value", l),
+                    self.registry.gauge(
+                        "mec_slo_burn_fast",
+                        "fast-window error-budget burn rate",
+                        l,
+                    ),
+                    self.registry.gauge(
+                        "mec_slo_burn_slow",
+                        "slow-window error-budget burn rate",
+                        l,
+                    ),
+                    self.registry
+                        .gauge("mec_slo_breached", "1 while the SLO is in breach", l),
+                ]);
+            }
+        }
+        for (i, gauges) in self.slo_gauges.iter().enumerate() {
+            let status = engine.status(i);
+            gauges[0].set(status.value);
+            gauges[1].set(status.burn_fast);
+            gauges[2].set(status.burn_slow);
+            gauges[3].set(f64::from(u8::from(status.breached)));
+        }
+        for t in transitions {
+            let spec = engine.specs()[t.index].label();
+            let kind = if t.breached {
+                "slo_breach"
+            } else {
+                "slo_recovered"
+            };
+            mec_obs::event!(
+                self,
+                slot,
+                kind,
+                slo = spec,
+                value = t.value,
+                burn_fast = t.burn_fast,
+                burn_slow = t.burn_slow,
+            );
+        }
+        if let Some(hub) = &self.hub {
+            *hub.slo_doc
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = engine.render_json(slot);
+        }
+    }
+
+    /// Mirrors the driver's cumulative phase split into the registry.
+    pub(crate) fn note_driver_stall(
+        &self,
+        wall_ms: f64,
+        dispatch_ms: f64,
+        recovery_ms: f64,
+        barrier_ms: f64,
+    ) {
+        for (gauge, v) in
+            self.driver_stall
+                .iter()
+                .zip([wall_ms, dispatch_ms, recovery_ms, barrier_ms])
+        {
+            gauge.set(v);
+        }
+    }
+
+    /// Emits the run-end `stall_shard` / `stall_driver` trace events.
+    /// Only called when the hub opted in with `--stall-events`: the
+    /// payloads are wall-clock measurements, which would break trace
+    /// byte-identity across same-seed runs.
+    pub(crate) fn note_stall_summary(
+        &self,
+        slot: u64,
+        wall_ms: f64,
+        dispatch_ms: f64,
+        recovery_ms: f64,
+        barrier_ms: f64,
+        slots: u64,
+    ) {
+        for (shard, probe) in self.stall.iter().enumerate() {
+            mec_obs::event!(
+                self,
+                slot,
+                "stall_shard",
+                shard = shard,
+                work_ms = probe.work_ms.get(),
+                wait_ms = probe.wait_ms.get(),
+            );
+        }
+        mec_obs::event!(
+            self,
+            slot,
+            "stall_driver",
+            wall_ms = wall_ms,
+            dispatch_ms = dispatch_ms,
+            recovery_ms = recovery_ms,
+            barrier_ms = barrier_ms,
+            slots = slots,
+        );
     }
 
     /// The snapshot-facing fault counters, sourced from the registry —
@@ -812,8 +1119,32 @@ impl ObsState {
         }
     }
 
-    /// Flushes the hub's trace sink.
-    pub(crate) fn flush(&self) {
+    /// Surfaces trace-ring saturation, then flushes the hub's sinks.
+    /// Drop counts are deterministic (ring capacity vs per-slot event
+    /// volume), so the `trace_drops` event keeps byte-identity.
+    pub(crate) fn flush(&self, slot: u64) {
+        let dropped: u64 = self
+            .rings
+            .iter()
+            .flatten()
+            .map(TraceRing::dropped)
+            .sum::<u64>()
+            + self
+                .life_rings
+                .iter()
+                .flatten()
+                .map(LifecycleRing::dropped)
+                .sum::<u64>();
+        if dropped > 0 {
+            self.registry
+                .counter(
+                    "mec_obs_trace_dropped_total",
+                    "worker ring events lost to saturation",
+                    &[],
+                )
+                .store(dropped);
+            mec_obs::event!(self, slot, "trace_drops", count = dropped);
+        }
         if let Some(hub) = &self.hub {
             hub.flush();
         }

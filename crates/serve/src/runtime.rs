@@ -71,6 +71,8 @@ use crate::shard::{
     HandoffEvent, RecoverPlan, ShardCommand, ShardHandle, ShardReply, ShardTick, SpawnSpec,
 };
 use crate::snapshot::{LatencyStats, Snapshot};
+use mec_obs::lifecycle::{DRIVER, NO_BS};
+use mec_obs::{SloEngine, SloSpec, SlotSample};
 use mec_placement::{OpsLog, PlacementConfig, ReconfigOp};
 use mec_sim::{EngineState, Metrics, SlotConfig};
 use mec_topology::{StationId, Topology};
@@ -172,6 +174,11 @@ pub struct ServeConfig {
     /// on any corruption so injected disk faults can change recovery
     /// counters but never the simulation outcome.
     pub state_dir: Option<PathBuf>,
+    /// Service-level objectives evaluated after every slot barrier (see
+    /// [`mec_obs::SloSpec::parse`]). Empty (the default) disables the
+    /// engine entirely; evaluation reads only deterministic per-slot
+    /// deltas, so attaching SLOs never perturbs the run.
+    pub slo: Vec<SloSpec>,
 }
 
 impl Default for ServeConfig {
@@ -191,6 +198,7 @@ impl Default for ServeConfig {
             placement: PlacementConfig::default(),
             ops: OpsLog::default(),
             state_dir: None,
+            slo: Vec::new(),
         }
     }
 }
@@ -324,6 +332,36 @@ struct Supervised {
     /// Every latency sample this shard has reported (replaced wholesale on
     /// recovery; per-tick deltas from before a crash are unreliable).
     latencies: Vec<f64>,
+    /// Global ids of the requests inside `base`, in engine-local (dense
+    /// inject) order — the supervisor-side mirror of the worker's
+    /// lifecycle id map. The engine re-identifies requests on inject, so
+    /// a checkpoint alone cannot recover global ids; this mirror is
+    /// extended at each adoption (from the journal and handoff events the
+    /// checkpoint absorbs) and seeds the tracker of a replacement worker.
+    /// Maintained only under the `lifecycle` feature; empty otherwise.
+    life_ids: Vec<u64>,
+}
+
+/// Extends a supervisor-side lifecycle id mirror with everything a
+/// catch-up replay would inject on top of it: handoff absorbs and
+/// journaled arrivals merged by slot, absorbs first within a slot —
+/// exactly the order `worker_main` re-identifies them (handoffs precede
+/// dispatch in the live loop, and replay preserves that).
+fn extend_life_ids(map: &mut Vec<u64>, events: &[HandoffEvent], journal: &[(u64, Request)]) {
+    let mut events = events.iter().peekable();
+    for (slot, request) in journal {
+        while let Some(event) = events.next_if(|e| e.slot() <= *slot) {
+            if let HandoffEvent::Absorb { ids, .. } = event {
+                map.extend_from_slice(ids);
+            }
+        }
+        map.push(request.id().index() as u64);
+    }
+    for event in events {
+        if let HandoffEvent::Absorb { ids, .. } = event {
+            map.extend_from_slice(ids);
+        }
+    }
 }
 
 /// The slot at which a failed shard may be restarted: the scripted
@@ -385,6 +423,26 @@ fn apply_tick(
 ) {
     obs.note_tick(tick);
     if let Some(state) = &tick.checkpoint {
+        if cfg!(feature = "lifecycle") {
+            // Fold the journal suffix and handoff events this checkpoint
+            // embeds into the id mirror *before* they are pruned away —
+            // the worker's map as of the new base is the old base's map
+            // plus these, in replay order.
+            let journal: Vec<(u64, Request)> = router
+                .journal_since(sup.shard, sup.base.next_slot)
+                .into_iter()
+                .filter(|(s, _)| *s < state.next_slot)
+                .collect();
+            let events: Vec<HandoffEvent> = sup
+                .replay_events
+                .iter()
+                .filter(|e| e.slot() < state.next_slot)
+                .cloned()
+                .collect();
+            let mut life_ids = std::mem::take(&mut sup.life_ids);
+            extend_life_ids(&mut life_ids, &events, &journal);
+            sup.life_ids = life_ids;
+        }
         router.prune_journal(sup.shard, state.next_slot);
         sup.replay_events.retain(|e| e.slot() >= state.next_slot);
         sup.base = state.clone();
@@ -516,10 +574,18 @@ fn restart(
             journal,
             events,
             through,
+            // The dead worker emitted lifecycle records through the slot
+            // before the one whose tick it missed; replay re-emits only
+            // from the missed slot on, keeping the stream duplicate-free.
+            life_from: detected_at,
+            life_ids: sup.life_ids.clone(),
         }),
         ring: obs.ring(shard),
         step_hist: obs.step_hist(shard),
         telemetry_every: obs.telemetry_every(),
+        life_ring: obs.life_ring(shard),
+        stall: Some(obs.stall_probe(shard)),
+        fine_hist: Some(obs.latency_fine()),
     };
     obs.note_restart_attempt(shard);
     sup.restarts_used += 1;
@@ -642,8 +708,8 @@ fn process_handoffs(
             .as_ref()
             .expect("sent implies a live handle")
             .recv();
-        let slice = match reply {
-            Ok(ShardReply::Extracted(slice)) => slice,
+        let (slice, ids) = match reply {
+            Ok(ShardReply::Extracted(slice, ids)) => (slice, ids),
             // Died mid-extract: the extract event was never recorded, so
             // the replayed engine still owns the jobs; retry next slot.
             _ => {
@@ -674,18 +740,22 @@ fn process_handoffs(
         let to_shard = router.shard_of(StationId(to));
         let to_local = StationId(to / shards);
         router.transfer_backlog(from_shard, to_shard, moved as usize);
+        for &id in &ids {
+            mec_obs::lifecycle!(&*obs, id, "handoff", slot, to_shard as i64, to as i64);
+        }
         supervised[to_shard]
             .replay_events
             .push(HandoffEvent::Absorb {
                 slot,
                 slice: slice.clone(),
                 home: to_local,
+                ids: ids.clone(),
             });
         if matches!(supervised[to_shard].status, ShardStatus::Up) {
-            let ok = supervised[to_shard]
-                .handle
-                .as_ref()
-                .is_some_and(|h| h.send(ShardCommand::AbsorbStation(slice, to_local)).is_ok());
+            let ok = supervised[to_shard].handle.as_ref().is_some_and(|h| {
+                h.send(ShardCommand::AbsorbStation(slice, to_local, ids))
+                    .is_ok()
+            });
             if !ok {
                 note_down(
                     &mut supervised[to_shard],
@@ -730,19 +800,27 @@ fn dispatch_one(
     backoff: u64,
     counts: &mut DispatchCounts,
 ) {
+    let rid = request.id().index() as u64;
     let request = match plane.route(request, slot) {
         RouteDecision::Proceed(r) => r,
         RouteDecision::Held { .. } => {
+            mec_obs::lifecycle!(obs, rid, "hold", slot, DRIVER, NO_BS);
             counts.held += 1;
             return;
         }
         RouteDecision::Shed => {
+            mec_obs::lifecycle!(obs, rid, "shed", slot, DRIVER, NO_BS);
             router.count_shed(1);
             counts.shed += 1;
             return;
         }
     };
     let holders = plane.holders_of(&request);
+    if !holders.is_empty() {
+        // Placement steered this request away from its home shard toward
+        // a replica holder.
+        mec_obs::lifecycle!(obs, rid, "redirect", slot, DRIVER, NO_BS);
+    }
     let decision = router.admit_with(
         &request,
         slot,
@@ -753,10 +831,22 @@ fn dispatch_one(
         },
     );
     match &decision {
-        Admission::Inject { .. } => counts.injected += 1,
-        Admission::Spilled { .. } => counts.spilled += 1,
-        Admission::Buffered { .. } => counts.buffered += 1,
-        Admission::Shed => counts.shed += 1,
+        Admission::Inject { shard, .. } => {
+            mec_obs::lifecycle!(obs, rid, "admit", slot, *shard as i64, NO_BS);
+            counts.injected += 1;
+        }
+        Admission::Spilled { shard, .. } => {
+            mec_obs::lifecycle!(obs, rid, "spill", slot, *shard as i64, NO_BS);
+            counts.spilled += 1;
+        }
+        Admission::Buffered { shard, .. } => {
+            mec_obs::lifecycle!(obs, rid, "buffer", slot, *shard as i64, NO_BS);
+            counts.buffered += 1;
+        }
+        Admission::Shed => {
+            mec_obs::lifecycle!(obs, rid, "shed", slot, DRIVER, NO_BS);
+            counts.shed += 1;
+        }
     }
     match decision {
         Admission::Inject { shard, request } | Admission::Spilled { shard, request } => {
@@ -896,6 +986,9 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 ring: obs.ring(shard),
                 step_hist: obs.step_hist(shard),
                 telemetry_every: obs.telemetry_every(),
+                life_ring: obs.life_ring(shard),
+                stall: Some(obs.stall_probe(shard)),
+                fine_hist: Some(obs.latency_fine()),
             };
             let handle = ShardHandle::spawn(spec, policy)
                 .map_err(|source| ServeError::Spawn { shard, source })?;
@@ -915,6 +1008,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 expired: 0,
                 aborted: 0,
                 latencies: Vec::new(),
+                life_ids: Vec::new(),
             })
         })
         .collect::<Result<_, ServeError>>()?;
@@ -924,6 +1018,13 @@ pub fn serve<F: FnMut(&Snapshot)>(
     let mut snapshots_emitted = 0;
     let mut pending: Vec<PendingHandoff> = Vec::new();
     let backoff = cfg.faults.restart_backoff_slots;
+    let mut slo_engine = SloEngine::new(cfg.slo.clone());
+    // Driver-side phase split (wall-clock, registry-only): how much of
+    // the wall is spent dispatching, recovering shards, and waiting at
+    // the tick barrier. The remainder is reconfig/snapshot overhead.
+    let mut dispatch_ms = 0.0f64;
+    let mut recovery_ms = 0.0f64;
+    let mut barrier_ms = 0.0f64;
     // At least one slot past the last arrival (and past the last
     // scheduled reconfiguration effect), so every request is dispatched
     // (and counted as admitted or shed) even with drain 0.
@@ -973,6 +1074,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
         // This runs before dispatch, so the journal holds only arrivals
         // from slots before `slot` and catch-up through `slot - 1` leaves
         // the shard exactly at the barrier.
+        let recovery_start = std::time::Instant::now();
         for sup in &mut supervised {
             let ShardStatus::Down {
                 detected_at,
@@ -1005,6 +1107,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 };
             }
         }
+        recovery_ms += recovery_start.elapsed().as_secs_f64() * 1e3;
 
         // Pending drain/leave handoffs execute once their source shard is
         // up — after the restart pass, so a shard that stays down keeps
@@ -1035,10 +1138,19 @@ pub fn serve<F: FnMut(&Snapshot)>(
         let shed_down_before = router.shed_while_down();
         let place_before = plane.stats().clone();
         let mut counts = DispatchCounts::default();
+        let dispatch_start = std::time::Instant::now();
         {
             mec_obs::prof_slot!(slot);
             mec_obs::prof_scope!("serve.dispatch");
             for request in plane.release_due(slot) {
+                mec_obs::lifecycle!(
+                    obs,
+                    request.id().index() as u64,
+                    "release",
+                    slot,
+                    DRIVER,
+                    NO_BS
+                );
                 dispatch_one(
                     request,
                     slot,
@@ -1075,6 +1187,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 obs.note_disk_write_error(slot, usize::MAX, "flush", &e);
             }
         }
+        dispatch_ms += dispatch_start.elapsed().as_secs_f64() * 1e3;
         let shed_down = router.shed_while_down() - shed_down_before;
         obs.note_admission(
             slot,
@@ -1090,7 +1203,24 @@ pub fn serve<F: FnMut(&Snapshot)>(
 
         // Barriered tick: all live shards advance one slot, replies
         // collected in shard order.
+        let slo_active = !slo_engine.is_empty();
+        let (good_before, bad_before, lat_lens) = if slo_active {
+            (
+                supervised.iter().map(|s| s.completed).sum::<usize>(),
+                supervised
+                    .iter()
+                    .map(|s| s.expired + s.aborted)
+                    .sum::<usize>(),
+                supervised
+                    .iter()
+                    .map(|s| s.latencies.len())
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            (0, 0, Vec::new())
+        };
         clock.tick();
+        let barrier_start = std::time::Instant::now();
         {
             mec_obs::prof_scope!("serve.barrier");
             let mut ticked = vec![false; supervised.len()];
@@ -1160,9 +1290,44 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 }
             }
         }
+        barrier_ms += barrier_start.elapsed().as_secs_f64() * 1e3;
 
         let slots_done = clock.ticks();
         obs.set_slot(slots_done);
+        obs.note_driver_stall(
+            clock.elapsed_secs() * 1e3,
+            dispatch_ms,
+            recovery_ms,
+            barrier_ms,
+        );
+
+        // SLO evaluation over this slot's deterministic deltas: completions
+        // (with their latencies) are good events; expirations, aborts, and
+        // sheds are bad. Runs before `drain_rings` so breach/recovery
+        // events land in the trace at the slot that caused them.
+        if slo_active {
+            let good = supervised
+                .iter()
+                .map(|s| s.completed)
+                .sum::<usize>()
+                .saturating_sub(good_before);
+            let lost = supervised
+                .iter()
+                .map(|s| s.expired + s.aborted)
+                .sum::<usize>()
+                .saturating_sub(bad_before);
+            let latencies: Vec<f64> = supervised
+                .iter()
+                .zip(&lat_lens)
+                .flat_map(|(s, &seen)| s.latencies[seen.min(s.latencies.len())..].iter().copied())
+                .collect();
+            let transitions = slo_engine.observe_slot(SlotSample {
+                good: good as u64,
+                bad: (lost as u64) + counts.shed,
+                latencies_ms: &latencies,
+            });
+            obs.note_slo(slot, &slo_engine, &transitions);
+        }
         // Worker-side events join the trace here, at the barrier, in
         // shard order — the ordering half of the determinism contract.
         obs.drain_rings();
@@ -1335,7 +1500,21 @@ pub fn serve<F: FnMut(&Snapshot)>(
         unserved = final_snapshot.unserved,
         total_reward = final_snapshot.total_reward,
     );
-    obs.flush();
+    // Wall-clock stall summary events are opt-in (`--stall-events`):
+    // their payloads vary run to run, which would break trace
+    // byte-identity for same-seed comparisons.
+    if obs.stall_events() {
+        obs.note_stall_summary(
+            end_slot,
+            wall_secs * 1e3,
+            dispatch_ms,
+            recovery_ms,
+            barrier_ms,
+            end_slot,
+        );
+    }
+    obs.note_driver_stall(wall_secs * 1e3, dispatch_ms, recovery_ms, barrier_ms);
+    obs.flush(end_slot);
     Ok(ServeOutcome {
         final_snapshot,
         metrics,

@@ -23,8 +23,11 @@
 //! already killed.
 
 use crate::chaos::{FaultKind, ShardFault};
+use crate::obs::StallProbe;
 use crate::partition::ShardPlan;
-use mec_obs::{Histogram, TraceRing};
+use mec_obs::{Histogram, LifecycleRing, TraceRing};
+#[cfg(feature = "lifecycle")]
+use mec_obs::{LifecycleRecord, LifecycleSink};
 use mec_sim::{
     Engine, EngineState, Metrics, PolicyTelemetry, SlotConfig, SlotPolicy, SlotReport, StationSlice,
 };
@@ -48,7 +51,10 @@ pub enum ShardCommand {
     ExtractStation(StationId),
     /// Continue the jobs in a slice extracted elsewhere, re-homed onto the
     /// given shard-local station. No reply (like [`ShardCommand::Inject`]).
-    AbsorbStation(Box<StationSlice>, StationId),
+    /// The third field carries the global request id of each job in slice
+    /// order, so lifecycle tracking survives the engine re-identifying the
+    /// absorbed jobs (empty when lifecycle tracing is off).
+    AbsorbStation(Box<StationSlice>, StationId, Vec<u64>),
     /// Execute exactly one slot and reply with a [`ShardReply::Tick`].
     Tick,
     /// Flush terminal accounting, reply with [`ShardReply::Final`], stop.
@@ -130,8 +136,10 @@ pub enum ShardReply {
     /// command is consumed.
     Recovered(ShardRecovered),
     /// Answer to [`ShardCommand::ExtractStation`]: the drained station's
-    /// in-flight jobs, ready to ship to the takeover shard.
-    Extracted(Box<StationSlice>),
+    /// in-flight jobs, ready to ship to the takeover shard, plus the
+    /// global request id of each job in slice order (empty when lifecycle
+    /// tracing is off).
+    Extracted(Box<StationSlice>, Vec<u64>),
     /// The policy produced an illegal schedule; the worker exits after
     /// this and ignores further commands.
     Error(String),
@@ -162,6 +170,9 @@ pub enum HandoffEvent {
         slice: Box<StationSlice>,
         /// Shard-local takeover station the jobs were re-homed onto.
         home: StationId,
+        /// Global request ids in slice order, as originally shipped
+        /// (empty when lifecycle tracing is off).
+        ids: Vec<u64>,
     },
 }
 
@@ -192,6 +203,19 @@ pub struct RecoverPlan {
     /// Replay ticks through this slot inclusive; the next live tick the
     /// driver sends is `through + 1`.
     pub through: u64,
+    /// Lifecycle records for slots `>= life_from` are emitted during
+    /// catch-up replay; earlier slots were already recorded by the dead
+    /// worker before it crashed (its ring outlives it), so re-emitting
+    /// them would duplicate the stream. The supervisor sets this to the
+    /// first slot the dead worker missed; 0 replays everything.
+    pub life_from: u64,
+    /// Global ids of the requests already inside `base`, in engine-local
+    /// (dense inject) order. The engine re-identifies requests on inject,
+    /// so a checkpoint alone cannot recover global ids — the supervisor
+    /// mirrors the map and seeds the replacement worker's tracker with
+    /// it. Empty for a genesis base (replay rebuilds the map from the
+    /// journal, which still carries global ids).
+    pub life_ids: Vec<u64>,
 }
 
 /// Everything needed to spawn (or respawn) one shard worker, minus the
@@ -218,6 +242,18 @@ pub struct SpawnSpec {
     /// Wall-clock engine-step timing histogram (live metrics only; never
     /// reaches snapshots or traces).
     pub step_hist: Option<std::sync::Arc<Histogram>>,
+    /// Worker-side lifecycle ring, drained by the driver at each slot
+    /// barrier. `None` when lifecycle tracing is off; records also
+    /// require the `lifecycle` cargo feature to be emitted at all.
+    pub life_ring: Option<LifecycleRing>,
+    /// Always-on work/wait stall probe behind the barrier-stall
+    /// attribution (live metrics only; never reaches snapshots or
+    /// deterministic traces).
+    pub stall: Option<StallProbe>,
+    /// Fine-grained latency histogram to attach completed-request-id
+    /// exemplars to (only consulted while lifecycle tracking is active;
+    /// the driver owns the observation counts).
+    pub fine_hist: Option<std::sync::Arc<Histogram>>,
     /// Attach a [`PolicyTelemetry`] to every Nth tick reply (0 disables
     /// the learner-telemetry sweep).
     pub telemetry_every: u64,
@@ -232,6 +268,95 @@ pub struct ShardHandle {
     reply_rx: Receiver<ShardReply>,
     join: Option<JoinHandle<()>>,
     abandoned: Arc<AtomicBool>,
+}
+
+/// Engine-trace capacity for lifecycle tracking — several events per
+/// request, so this covers runs of a few hundred thousand requests.
+#[cfg(feature = "lifecycle")]
+const LIFE_TRACE_CAP: usize = 1 << 20;
+
+/// Worker-side lifecycle tracking: maps engine-local request ids back to
+/// global ones (the engine re-identifies on inject and absorb) and turns
+/// engine-trace events into [`LifecycleRecord`]s on the shard's ring.
+#[cfg(feature = "lifecycle")]
+struct LifeTracker {
+    ring: LifecycleRing,
+    /// Engine-local request id (dense inject order) -> global id.
+    ids: Vec<u64>,
+    /// Engine-trace events already consumed.
+    seen: usize,
+    /// Suppress records below this slot during catch-up replay: the dead
+    /// worker already recorded them and its ring outlives it.
+    emit_from: u64,
+}
+
+#[cfg(feature = "lifecycle")]
+impl LifeTracker {
+    /// Called immediately before each `engine.inject`: the engine assigns
+    /// local ids densely in inject order.
+    fn note_inject(&mut self, request: &Request) {
+        self.ids.push(request.id().index() as u64);
+    }
+
+    /// Called immediately before each `engine.absorb_station`: absorbed
+    /// jobs are re-identified in slice order. A length mismatch (ids from
+    /// a lifecycle-off peer) maps to `u64::MAX` rather than misattributing.
+    fn note_absorb(&mut self, jobs: usize, ids: &[u64]) {
+        for i in 0..jobs {
+            self.ids.push(ids.get(i).copied().unwrap_or(u64::MAX));
+        }
+    }
+
+    /// The global id behind an engine-local one.
+    fn global(&self, local: mec_workload::request::RequestId) -> u64 {
+        self.ids.get(local.index()).copied().unwrap_or(u64::MAX)
+    }
+
+    /// Emits records for engine-trace events appended since the last
+    /// call, returning the global ids of requests that completed (in
+    /// completion order, for latency-exemplar pairing). `Arrived` is
+    /// skipped — the driver records the `admit` stage with the routing
+    /// context the worker no longer has.
+    fn drain(&mut self, engine: &Engine, shard: usize, plan: &ShardPlan) -> Vec<u64> {
+        let mut completed = Vec::new();
+        let Some(trace) = engine.trace() else {
+            return completed;
+        };
+        let events = trace.events();
+        for traced in &events[self.seen..] {
+            if traced.slot < self.emit_from {
+                continue;
+            }
+            let no_bs = mec_obs::lifecycle::NO_BS;
+            let (request, stage, bs) = match traced.event {
+                mec_sim::Event::Arrived { .. } => continue,
+                mec_sim::Event::Started {
+                    request, station, ..
+                } => {
+                    let bs = plan
+                        .stations
+                        .get(station.index())
+                        .map_or(no_bs, |global| global.index() as i64);
+                    (request, "start", bs)
+                }
+                mec_sim::Event::Completed { request, .. } => {
+                    completed.push(self.global(request));
+                    (request, "complete", no_bs)
+                }
+                mec_sim::Event::Expired { request } => (request, "expire", no_bs),
+                mec_sim::Event::Aborted { request } => (request, "abort", no_bs),
+            };
+            self.ring.life(LifecycleRecord {
+                id: self.global(request),
+                stage,
+                slot: traced.slot,
+                shard: shard as i64,
+                bs,
+            });
+        }
+        self.seen = events.len();
+        completed
+    }
 }
 
 /// The worker body: runs catch-up (if any), then the command loop.
@@ -249,6 +374,26 @@ fn worker_main(
     let mut faults = spec.faults;
     let mut next_live_slot = 0u64;
     let mut seen_latencies = 0usize;
+    #[cfg(feature = "lifecycle")]
+    let mut life = spec.life_ring.clone().map(|ring| LifeTracker {
+        ring,
+        ids: spec
+            .recover
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.life_ids.clone()),
+        seen: 0,
+        emit_from: spec.recover.as_ref().map_or(0, |r| r.life_from),
+    });
+    #[cfg(feature = "lifecycle")]
+    if life.is_some() {
+        engine.enable_trace(LIFE_TRACE_CAP);
+    }
+    // Stall accounting is always on (it feeds live gauges only). The
+    // gauges are cumulative across restarts: a replacement worker picks
+    // up the totals its predecessor left behind.
+    let mut work_ms = spec.stall.as_ref().map_or(0.0, |p| p.work_ms.get());
+    let mut wait_ms = spec.stall.as_ref().map_or(0.0, |p| p.wait_ms.get());
+    let mut idle_since = std::time::Instant::now();
 
     if let Some(recover) = spec.recover {
         let start = recover.base.next_slot;
@@ -256,6 +401,7 @@ fn worker_main(
         let mut replayed = 0u64;
         let mut journal = recover.journal.into_iter().peekable();
         let mut events = recover.events.into_iter().peekable();
+        let replay_start = std::time::Instant::now();
         for slot in start..=recover.through {
             // Handoffs recorded at (or somehow before) this slot re-apply
             // first: live handoffs run at the top of a slot, before that
@@ -265,7 +411,15 @@ fn worker_main(
                     Some(HandoffEvent::Extract { station, .. }) => {
                         engine.extract_station(station);
                     }
-                    Some(HandoffEvent::Absorb { slice, home, .. }) => {
+                    Some(HandoffEvent::Absorb {
+                        slice, home, ids, ..
+                    }) => {
+                        #[cfg(feature = "lifecycle")]
+                        if let Some(life) = life.as_mut() {
+                            life.note_absorb(slice.jobs.len(), &ids);
+                        }
+                        #[cfg(not(feature = "lifecycle"))]
+                        let _ = &ids;
                         engine.absorb_station(&slice, home);
                     }
                     None => unreachable!("peeked event vanished"),
@@ -276,6 +430,10 @@ fn worker_main(
             // as the original live injection did.
             while journal.peek().is_some_and(|(s, _)| *s <= slot) {
                 if let Some((_, request)) = journal.next() {
+                    #[cfg(feature = "lifecycle")]
+                    if let Some(life) = life.as_mut() {
+                        life.note_inject(&request);
+                    }
                     engine.inject(request);
                     replayed += 1;
                 }
@@ -295,7 +453,15 @@ fn worker_main(
                 HandoffEvent::Extract { station, .. } => {
                     engine.extract_station(station);
                 }
-                HandoffEvent::Absorb { slice, home, .. } => {
+                HandoffEvent::Absorb {
+                    slice, home, ids, ..
+                } => {
+                    #[cfg(feature = "lifecycle")]
+                    if let Some(life) = life.as_mut() {
+                        life.note_absorb(slice.jobs.len(), &ids);
+                    }
+                    #[cfg(not(feature = "lifecycle"))]
+                    let _ = &ids;
                     engine.absorb_station(&slice, home);
                 }
             }
@@ -303,8 +469,25 @@ fn worker_main(
         // Arrivals buffered while the shard was down but not yet due for a
         // replayed tick (admission slot past the catch-up horizon).
         for (_, request) in journal {
+            #[cfg(feature = "lifecycle")]
+            if let Some(life) = life.as_mut() {
+                life.note_inject(&request);
+            }
             engine.inject(request);
             replayed += 1;
+        }
+        // Catch-up replay is engine work; count it so the work/wait split
+        // stays honest across restarts.
+        if let Some(probe) = &spec.stall {
+            work_ms += replay_start.elapsed().as_secs_f64() * 1e3;
+            probe.work_ms.set(work_ms);
+        }
+        // Records for slots the dead worker already emitted are skipped
+        // (`life_from`); the rest — slots missed during the outage — enter
+        // the ring now and drain at the next barrier.
+        #[cfg(feature = "lifecycle")]
+        if let Some(life) = life.as_mut() {
+            life.drain(&engine, shard, &spec.plan);
         }
         next_live_slot = if recover.through >= start {
             recover.through + 1
@@ -331,22 +514,55 @@ fn worker_main(
     for cmd in cmd_rx {
         match cmd {
             ShardCommand::Inject(request) => {
+                #[cfg(feature = "lifecycle")]
+                if let Some(life) = life.as_mut() {
+                    life.note_inject(&request);
+                }
                 engine.inject(request);
             }
             ShardCommand::ExtractStation(station) => {
                 let slice = engine.extract_station(station);
+                // Report the departing jobs' global ids so the receiving
+                // shard can keep attributing lifecycle records to them.
+                #[cfg(feature = "lifecycle")]
+                let ids = life.as_ref().map_or_else(Vec::new, |l| {
+                    slice.jobs.iter().map(|j| l.global(j.id())).collect()
+                });
+                #[cfg(not(feature = "lifecycle"))]
+                let ids = Vec::new();
                 if reply_tx
-                    .send(ShardReply::Extracted(Box::new(slice)))
+                    .send(ShardReply::Extracted(Box::new(slice), ids))
                     .is_err()
                 {
                     return;
                 }
             }
-            ShardCommand::AbsorbStation(slice, home) => {
+            ShardCommand::AbsorbStation(slice, home, ids) => {
+                #[cfg(feature = "lifecycle")]
+                if let Some(life) = life.as_mut() {
+                    life.note_absorb(slice.jobs.len(), &ids);
+                }
+                #[cfg(not(feature = "lifecycle"))]
+                let _ = &ids;
                 engine.absorb_station(&slice, home);
             }
             ShardCommand::Tick => {
                 mec_obs::prof_scope!("serve.shard_tick");
+                // Everything since the last tick reply was spent waiting on
+                // the driver: barrier straggling, dispatch, recovery. The
+                // inject/absorb handling above is queue drain measured in
+                // microseconds — close enough to wait to count as wait.
+                if let Some(probe) = &spec.stall {
+                    let waited = idle_since.elapsed().as_secs_f64() * 1e3;
+                    wait_ms += waited;
+                    probe.wait_ms.set(wait_ms);
+                    probe.wait_hist.observe(waited);
+                }
+                // Work covers the whole tick handling — engine step plus
+                // checkpoint/telemetry/reply assembly — so work + wait
+                // partitions the worker's loop time exactly (the report
+                // checks the per-shard sum against driver wall time).
+                let busy_since = std::time::Instant::now();
                 if let Some(pos) = faults.iter().position(|f| f.slot == next_live_slot) {
                     let fault = faults.remove(pos);
                     // Emitted before the fault fires so even a crash (the
@@ -403,6 +619,20 @@ fn worker_main(
                 let latencies = metrics.latencies_ms();
                 let new_latencies = latencies[seen_latencies..].to_vec();
                 seen_latencies = latencies.len();
+                #[cfg(feature = "lifecycle")]
+                {
+                    let completed_ids = life
+                        .as_mut()
+                        .map_or_else(Vec::new, |l| l.drain(&engine, shard, &spec.plan));
+                    // Latencies append in completion order, so this slot's
+                    // tail zips 1:1 with this slot's completed ids —
+                    // attach them as histogram exemplars.
+                    if let Some(hist) = &spec.fine_hist {
+                        for (lat, id) in new_latencies.iter().zip(&completed_ids) {
+                            hist.note_exemplar(*lat, *id);
+                        }
+                    }
+                }
                 let tick = ShardTick {
                     shard,
                     report,
@@ -418,6 +648,11 @@ fn worker_main(
                 if reply_tx.send(ShardReply::Tick(tick)).is_err() {
                     return;
                 }
+                if let Some(probe) = &spec.stall {
+                    work_ms += busy_since.elapsed().as_secs_f64() * 1e3;
+                    probe.work_ms.set(work_ms);
+                }
+                idle_since = std::time::Instant::now();
             }
             ShardCommand::Finish => {
                 let metrics = engine.finish();
@@ -478,6 +713,9 @@ impl ShardHandle {
                 ring: None,
                 step_hist: None,
                 telemetry_every: 0,
+                life_ring: None,
+                stall: None,
+                fine_hist: None,
             },
             policy,
         )
@@ -624,6 +862,9 @@ mod tests {
             ring: None,
             step_hist: None,
             telemetry_every: 0,
+            life_ring: None,
+            stall: None,
+            fine_hist: None,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
         let ticks = drive(&handle, 9);
@@ -674,10 +915,15 @@ mod tests {
                 journal,
                 events: Vec::new(),
                 through: 29,
+                life_from: 0,
+                life_ids: Vec::new(),
             }),
             ring: None,
             step_hist: None,
             telemetry_every: 0,
+            life_ring: None,
+            stall: None,
+            fine_hist: None,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
         let recovered = match handle.recv().unwrap() {
@@ -713,6 +959,9 @@ mod tests {
             ring: None,
             step_hist: None,
             telemetry_every: 0,
+            life_ring: None,
+            stall: None,
+            fine_hist: None,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
         drive(&handle, 2);
