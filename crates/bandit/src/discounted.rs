@@ -7,6 +7,7 @@
 //! adapting; `γ = 1` recovers plain UCB1.
 
 use crate::policy::{ArmId, ArmView, BanditPolicy};
+use crate::probe::{ArmEventKind, ArmLifecycleEvent, LearnerProbe, ProbeRecorder};
 use serde::{Deserialize, Serialize};
 
 /// Per-arm discounted statistics.
@@ -38,6 +39,8 @@ pub struct DiscountedUcb {
     /// Exploration scale (the `ξ` constant; 2.0 is the classical choice).
     xi: f64,
     total: u64,
+    #[serde(skip, default)]
+    probe: ProbeRecorder,
 }
 
 impl DiscountedUcb {
@@ -54,6 +57,7 @@ impl DiscountedUcb {
             gamma,
             xi: 2.0,
             total: 0,
+            probe: ProbeRecorder::new(),
         }
     }
 
@@ -131,6 +135,35 @@ impl BanditPolicy for DiscountedUcb {
         a.sum += reward.clamp(0.0, 1.0);
         a.pulls += 1;
         self.total += 1;
+        if self.probe.enabled() {
+            let t = self.total;
+            let a = self.arms[arm.index()];
+            let oracle = self
+                .arms
+                .iter()
+                .map(DiscountedStats::mean)
+                .fold(f64::NEG_INFINITY, f64::max);
+            self.probe.push(
+                ArmEventKind::Sample,
+                t,
+                arm,
+                a.pulls,
+                a.mean(),
+                self.padding(&a),
+                Some(reward.clamp(0.0, 1.0)),
+                Some(oracle),
+            );
+            self.probe.push(
+                ArmEventKind::BoundUpdate,
+                t,
+                arm,
+                a.pulls,
+                a.mean(),
+                self.padding(&a),
+                None,
+                None,
+            );
+        }
     }
 
     fn best(&self) -> ArmId {
@@ -146,6 +179,40 @@ impl BanditPolicy for DiscountedUcb {
 
     fn total_pulls(&self) -> u64 {
         self.total
+    }
+}
+
+impl LearnerProbe for DiscountedUcb {
+    fn set_probe(&mut self, enabled: bool) {
+        let attach = enabled && !self.probe.enabled();
+        self.probe.set_enabled(enabled);
+        if attach {
+            let t = self.total;
+            for (i, a) in self.arms.iter().enumerate() {
+                self.probe.push(
+                    ArmEventKind::Activate,
+                    t,
+                    ArmId(i),
+                    a.pulls,
+                    a.mean(),
+                    self.padding(a),
+                    None,
+                    None,
+                );
+            }
+        }
+    }
+
+    fn probe_enabled(&self) -> bool {
+        self.probe.enabled()
+    }
+
+    fn drain_probe(&mut self) -> Vec<ArmLifecycleEvent> {
+        self.probe.drain()
+    }
+
+    fn probe_dropped(&self) -> u64 {
+        self.probe.dropped()
     }
 }
 

@@ -1,6 +1,7 @@
 //! ε-greedy — the simplest exploration baseline, used in ablations.
 
 use crate::policy::{ArmId, ArmView, BanditPolicy};
+use crate::probe::{ArmEventKind, ArmLifecycleEvent, LearnerProbe, ProbeRecorder};
 use crate::stats::{ArmStats, ConfidenceSchedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -13,6 +14,7 @@ pub struct EpsilonGreedy {
     epsilon: f64,
     rng: StdRng,
     total: u64,
+    probe: ProbeRecorder,
 }
 
 impl EpsilonGreedy {
@@ -29,6 +31,7 @@ impl EpsilonGreedy {
             epsilon,
             rng: StdRng::seed_from_u64(seed),
             total: 0,
+            probe: ProbeRecorder::new(),
         }
     }
 
@@ -90,6 +93,36 @@ impl BanditPolicy for EpsilonGreedy {
         );
         self.total += 1;
         self.stats[arm.index()].record(reward.clamp(0.0, 1.0));
+        if self.probe.enabled() {
+            let t = self.total;
+            let s = self.stats[arm.index()];
+            let radius = s.radius(ConfidenceSchedule::Anytime, t);
+            let oracle = self
+                .stats
+                .iter()
+                .map(ArmStats::mean)
+                .fold(f64::NEG_INFINITY, f64::max);
+            self.probe.push(
+                ArmEventKind::Sample,
+                t,
+                arm,
+                s.pulls(),
+                s.mean(),
+                radius,
+                Some(reward.clamp(0.0, 1.0)),
+                Some(oracle),
+            );
+            self.probe.push(
+                ArmEventKind::BoundUpdate,
+                t,
+                arm,
+                s.pulls(),
+                s.mean(),
+                radius,
+                None,
+                None,
+            );
+        }
     }
 
     fn best(&self) -> ArmId {
@@ -105,6 +138,40 @@ impl BanditPolicy for EpsilonGreedy {
 
     fn total_pulls(&self) -> u64 {
         self.total
+    }
+}
+
+impl LearnerProbe for EpsilonGreedy {
+    fn set_probe(&mut self, enabled: bool) {
+        let attach = enabled && !self.probe.enabled();
+        self.probe.set_enabled(enabled);
+        if attach {
+            let t = self.total;
+            for (i, s) in self.stats.iter().enumerate() {
+                self.probe.push(
+                    ArmEventKind::Activate,
+                    t,
+                    ArmId(i),
+                    s.pulls(),
+                    s.mean(),
+                    s.radius(ConfidenceSchedule::Anytime, t),
+                    None,
+                    None,
+                );
+            }
+        }
+    }
+
+    fn probe_enabled(&self) -> bool {
+        self.probe.enabled()
+    }
+
+    fn drain_probe(&mut self) -> Vec<ArmLifecycleEvent> {
+        self.probe.drain()
+    }
+
+    fn probe_dropped(&self) -> u64 {
+        self.probe.dropped()
     }
 }
 

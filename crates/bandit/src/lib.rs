@@ -33,6 +33,7 @@ pub mod discounted;
 pub mod epsilon_greedy;
 pub mod lipschitz;
 pub mod policy;
+pub mod probe;
 pub mod regret;
 pub mod stats;
 pub mod successive_elimination;
@@ -43,7 +44,8 @@ pub use discounted::DiscountedUcb;
 pub use epsilon_greedy::EpsilonGreedy;
 pub use lipschitz::LipschitzDomain;
 pub use policy::{ArmId, ArmView, BanditPolicy};
-pub use regret::RegretTracker;
+pub use probe::{ArmEventKind, ArmLifecycleEvent, LearnerProbe, ProbeRecorder};
+pub use regret::{RegretAccountant, RegretTracker};
 pub use stats::{ArmStats, ConfidenceSchedule};
 pub use successive_elimination::SuccessiveElimination;
 pub use thompson::ThompsonBeta;

@@ -1,0 +1,228 @@
+//! Learner probe: structured arm-lifecycle events for observability.
+//!
+//! Every policy in this crate implements [`LearnerProbe`]: a detachable
+//! recorder of **arm-lifecycle events** — activate, sample, bound-update,
+//! eliminate, re-activate — each carrying the arm's pull count, empirical
+//! mean, and confidence radius at emission time. The recorder is *off by
+//! default* and a disabled recorder is a branch-and-return on the update
+//! path, so detached learners behave (and perform) exactly as before:
+//! recording never perturbs selection, elimination, or RNG state.
+//!
+//! The buffer is bounded ([`PROBE_BUFFER_CAP`]): when a consumer stops
+//! draining, further events are counted as dropped rather than growing
+//! memory without bound, mirroring the trace-ring policy in `mec-obs`.
+
+use crate::policy::ArmId;
+use serde::{Deserialize, Serialize};
+
+/// Events a drained probe buffer can hold before dropping (per learner).
+pub const PROBE_BUFFER_CAP: usize = 4096;
+
+/// What happened to an arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArmEventKind {
+    /// The arm entered (or re-entered at probe attach) the active set.
+    Activate,
+    /// The arm was pulled and a reward was observed.
+    Sample,
+    /// The arm's confidence bounds changed (emitted for the pulled arm).
+    BoundUpdate,
+    /// The arm was removed from the active set.
+    Eliminate,
+    /// A previously eliminated arm was restored to the active set.
+    Reactivate,
+}
+
+impl ArmEventKind {
+    /// Stable lowercase name, used verbatim in trace events.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ArmEventKind::Activate => "activate",
+            ArmEventKind::Sample => "sample",
+            ArmEventKind::BoundUpdate => "bound_update",
+            ArmEventKind::Eliminate => "eliminate",
+            ArmEventKind::Reactivate => "reactivate",
+        }
+    }
+}
+
+/// One structured arm-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArmLifecycleEvent {
+    /// The learner's total pull count when the event fired.
+    pub step: u64,
+    /// The arm concerned.
+    pub arm: ArmId,
+    /// What happened.
+    pub kind: ArmEventKind,
+    /// The arm's pull count after the event.
+    pub pulls: u64,
+    /// The arm's empirical (or posterior/discounted) mean after the event.
+    pub mean: f64,
+    /// The arm's confidence radius after the event (infinite while
+    /// unpulled; 0 for policies without confidence machinery).
+    pub radius: f64,
+    /// The observed reward ([`ArmEventKind::Sample`] only).
+    pub reward: Option<f64>,
+    /// The best active arm's mean after the event ([`ArmEventKind::Sample`]
+    /// only) — the online-available per-step oracle for regret accounting.
+    pub oracle: Option<f64>,
+}
+
+/// Bounded, detachable event buffer embedded in every policy.
+///
+/// Policies call [`ProbeRecorder::push`] at their lifecycle sites; the
+/// calls are no-ops until a consumer enables the recorder. The recorder
+/// is deliberately excluded from policy equality and serialization — it
+/// is observability state, not learning state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProbeRecorder {
+    enabled: bool,
+    events: Vec<ArmLifecycleEvent>,
+    dropped: u64,
+}
+
+impl ProbeRecorder {
+    /// A fresh, disabled recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether events are being recorded.
+    pub const fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns recording on or off. Turning it off keeps already-buffered
+    /// events for a final drain.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Records one event; drops (and counts) when the buffer is full.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        kind: ArmEventKind,
+        step: u64,
+        arm: ArmId,
+        pulls: u64,
+        mean: f64,
+        radius: f64,
+        reward: Option<f64>,
+        oracle: Option<f64>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= PROBE_BUFFER_CAP {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(ArmLifecycleEvent {
+            step,
+            arm,
+            kind,
+            pulls,
+            mean,
+            radius,
+            reward,
+            oracle,
+        });
+    }
+
+    /// Removes and returns everything recorded since the last drain.
+    pub fn drain(&mut self) -> Vec<ArmLifecycleEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Events lost to the buffer cap since creation.
+    pub const fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A learner whose arm lifecycle can be observed.
+///
+/// Implemented by every policy in this crate. The probe is detached by
+/// default; [`LearnerProbe::set_probe`]`(true)` starts recording and
+/// immediately emits an [`ArmEventKind::Activate`] event per currently
+/// active arm, so a consumer attaching mid-run still sees the full live
+/// set before any samples arrive.
+pub trait LearnerProbe {
+    /// Attaches (`true`) or detaches (`false`) the probe.
+    fn set_probe(&mut self, enabled: bool);
+
+    /// Whether the probe is attached.
+    fn probe_enabled(&self) -> bool;
+
+    /// Drains the lifecycle events recorded since the last drain.
+    fn drain_probe(&mut self) -> Vec<ArmLifecycleEvent>;
+
+    /// Events lost to the bounded probe buffer.
+    fn probe_dropped(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let mut r = ProbeRecorder::new();
+        r.push(
+            ArmEventKind::Sample,
+            1,
+            ArmId(0),
+            1,
+            0.5,
+            0.1,
+            Some(0.5),
+            Some(0.5),
+        );
+        assert!(r.drain().is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_buffer_counts_drops() {
+        let mut r = ProbeRecorder::new();
+        r.set_enabled(true);
+        for i in 0..(PROBE_BUFFER_CAP as u64 + 10) {
+            r.push(
+                ArmEventKind::BoundUpdate,
+                i,
+                ArmId(0),
+                i,
+                0.5,
+                0.1,
+                None,
+                None,
+            );
+        }
+        assert_eq!(r.dropped(), 10);
+        let drained = r.drain();
+        assert_eq!(drained.len(), PROBE_BUFFER_CAP);
+        // Drain frees the buffer; new events record again.
+        r.push(
+            ArmEventKind::Sample,
+            0,
+            ArmId(1),
+            1,
+            0.2,
+            0.3,
+            Some(0.2),
+            Some(0.2),
+        );
+        assert_eq!(r.drain().len(), 1);
+    }
+
+    #[test]
+    fn event_kinds_have_stable_names() {
+        assert_eq!(ArmEventKind::Activate.as_str(), "activate");
+        assert_eq!(ArmEventKind::Sample.as_str(), "sample");
+        assert_eq!(ArmEventKind::BoundUpdate.as_str(), "bound_update");
+        assert_eq!(ArmEventKind::Eliminate.as_str(), "eliminate");
+        assert_eq!(ArmEventKind::Reactivate.as_str(), "reactivate");
+    }
+}

@@ -67,9 +67,100 @@ impl RegretTracker {
     }
 }
 
+/// Online regret accounting against a *moving* per-step oracle.
+///
+/// [`RegretTracker`] assumes the oracle's per-step mean is known up
+/// front (the Theorem-3 experiment knows the arm distribution). A live
+/// deployment does not: the best available per-step bound is whatever
+/// hindsight information exists *at that step* — the best active arm's
+/// empirical mean online, or the per-slot LP bound from
+/// `mec-core::hindsight` offline. This accountant takes the oracle value
+/// alongside each reward, so both planes share one regret definition:
+/// `regret_T = Σ_t oracle_t − Σ_t reward_t`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegretAccountant {
+    cumulative_reward: f64,
+    oracle_total: f64,
+    steps: u64,
+}
+
+impl RegretAccountant {
+    /// A fresh accountant with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one step's realized reward against that step's oracle
+    /// bound, returning the cumulative regret. Non-finite oracle values
+    /// (e.g. the bound of a still-unpulled arm) contribute the realized
+    /// reward instead — an unknowable oracle step accrues zero regret
+    /// rather than poisoning the total.
+    pub fn record(&mut self, reward: f64, oracle: f64) -> f64 {
+        self.steps += 1;
+        self.cumulative_reward += reward;
+        self.oracle_total += if oracle.is_finite() { oracle } else { reward };
+        self.regret()
+    }
+
+    /// Cumulative regret `Σ oracle − Σ rewards` (clamped at zero: a
+    /// lucky run against empirical oracles is "no regret", not credit).
+    pub fn regret(&self) -> f64 {
+        (self.oracle_total - self.cumulative_reward).max(0.0)
+    }
+
+    /// Cumulative realized reward.
+    pub const fn cumulative_reward(&self) -> f64 {
+        self.cumulative_reward
+    }
+
+    /// Sum of the per-step oracle bounds.
+    pub const fn oracle_total(&self) -> f64 {
+        self.oracle_total
+    }
+
+    /// Number of recorded steps.
+    pub const fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn accountant_tracks_moving_oracle() {
+        let mut a = RegretAccountant::new();
+        assert_eq!(a.record(0.5, 1.0), 0.5);
+        assert_eq!(a.record(1.0, 1.0), 0.5);
+        // A better-than-oracle step shrinks but never goes negative.
+        assert_eq!(a.record(1.0, 0.2), 0.0);
+        assert_eq!(a.steps(), 3);
+        assert!((a.cumulative_reward() - 2.5).abs() < 1e-12);
+        assert!((a.oracle_total() - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accountant_skips_non_finite_oracle_steps() {
+        let mut a = RegretAccountant::new();
+        a.record(0.3, f64::INFINITY);
+        assert_eq!(a.regret(), 0.0);
+        a.record(0.3, 0.8);
+        assert!((a.regret() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accountant_matches_tracker_for_fixed_oracle() {
+        // With a constant oracle the two definitions coincide (while
+        // regret stays non-negative).
+        let mut t = RegretTracker::new(0.9);
+        let mut a = RegretAccountant::new();
+        for r in [0.1, 0.5, 0.9, 0.3] {
+            t.record(r);
+            a.record(r, 0.9);
+        }
+        assert!((t.regret() - a.regret()).abs() < 1e-12);
+    }
 
     #[test]
     fn regret_accumulates() {

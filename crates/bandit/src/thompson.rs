@@ -7,6 +7,7 @@
 //! fractional ones.
 
 use crate::policy::{ArmId, ArmView, BanditPolicy};
+use crate::probe::{ArmEventKind, ArmLifecycleEvent, LearnerProbe, ProbeRecorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,6 +31,13 @@ impl Posterior {
 
     fn mean(&self) -> f64 {
         self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Posterior standard deviation — the Bayesian analogue of the
+    /// frequentist confidence radius reported by the UCB-family probes.
+    fn std_dev(&self) -> f64 {
+        let n = self.alpha + self.beta;
+        (self.alpha * self.beta / (n * n * (n + 1.0))).sqrt()
     }
 
     /// Draws one posterior sample via the Jöhnk/gamma-free method: for
@@ -78,6 +86,7 @@ pub struct ThompsonBeta {
     arms: Vec<Posterior>,
     rng: StdRng,
     total: u64,
+    probe: ProbeRecorder,
 }
 
 impl ThompsonBeta {
@@ -92,6 +101,7 @@ impl ThompsonBeta {
             arms: vec![Posterior::new(); arms],
             rng: StdRng::seed_from_u64(seed),
             total: 0,
+            probe: ProbeRecorder::new(),
         }
     }
 
@@ -159,6 +169,35 @@ impl BanditPolicy for ThompsonBeta {
         p.beta += 1.0 - r;
         p.pulls += 1;
         self.total += 1;
+        if self.probe.enabled() {
+            let t = self.total;
+            let p = self.arms[arm.index()];
+            let oracle = self
+                .arms
+                .iter()
+                .map(Posterior::mean)
+                .fold(f64::NEG_INFINITY, f64::max);
+            self.probe.push(
+                ArmEventKind::Sample,
+                t,
+                arm,
+                p.pulls,
+                p.mean(),
+                p.std_dev(),
+                Some(r),
+                Some(oracle),
+            );
+            self.probe.push(
+                ArmEventKind::BoundUpdate,
+                t,
+                arm,
+                p.pulls,
+                p.mean(),
+                p.std_dev(),
+                None,
+                None,
+            );
+        }
     }
 
     fn best(&self) -> ArmId {
@@ -174,6 +213,40 @@ impl BanditPolicy for ThompsonBeta {
 
     fn total_pulls(&self) -> u64 {
         self.total
+    }
+}
+
+impl LearnerProbe for ThompsonBeta {
+    fn set_probe(&mut self, enabled: bool) {
+        let attach = enabled && !self.probe.enabled();
+        self.probe.set_enabled(enabled);
+        if attach {
+            let t = self.total;
+            for (i, p) in self.arms.iter().enumerate() {
+                self.probe.push(
+                    ArmEventKind::Activate,
+                    t,
+                    ArmId(i),
+                    p.pulls,
+                    p.mean(),
+                    p.std_dev(),
+                    None,
+                    None,
+                );
+            }
+        }
+    }
+
+    fn probe_enabled(&self) -> bool {
+        self.probe.enabled()
+    }
+
+    fn drain_probe(&mut self) -> Vec<ArmLifecycleEvent> {
+        self.probe.drain()
+    }
+
+    fn probe_dropped(&self) -> u64 {
+        self.probe.dropped()
     }
 }
 

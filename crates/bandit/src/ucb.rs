@@ -1,6 +1,7 @@
 //! UCB1 (Auer et al.) — an ablation baseline for the threshold learner.
 
 use crate::policy::{ArmId, BanditPolicy};
+use crate::probe::{ArmEventKind, ArmLifecycleEvent, LearnerProbe, ProbeRecorder};
 use crate::stats::{ArmStats, ConfidenceSchedule};
 use serde::{Deserialize, Serialize};
 
@@ -10,6 +11,8 @@ use serde::{Deserialize, Serialize};
 pub struct Ucb1 {
     stats: Vec<ArmStats>,
     total: u64,
+    #[serde(skip, default)]
+    probe: ProbeRecorder,
 }
 
 impl Ucb1 {
@@ -23,6 +26,7 @@ impl Ucb1 {
         Self {
             stats: vec![ArmStats::new(); arms],
             total: 0,
+            probe: ProbeRecorder::new(),
         }
     }
 
@@ -79,6 +83,36 @@ impl BanditPolicy for Ucb1 {
         );
         self.total += 1;
         self.stats[arm.index()].record(reward.clamp(0.0, 1.0));
+        if self.probe.enabled() {
+            let t = self.total;
+            let s = self.stats[arm.index()];
+            let radius = s.radius(ConfidenceSchedule::Anytime, t);
+            let oracle = self
+                .stats
+                .iter()
+                .map(ArmStats::mean)
+                .fold(f64::NEG_INFINITY, f64::max);
+            self.probe.push(
+                ArmEventKind::Sample,
+                t,
+                arm,
+                s.pulls(),
+                s.mean(),
+                radius,
+                Some(reward.clamp(0.0, 1.0)),
+                Some(oracle),
+            );
+            self.probe.push(
+                ArmEventKind::BoundUpdate,
+                t,
+                arm,
+                s.pulls(),
+                s.mean(),
+                radius,
+                None,
+                None,
+            );
+        }
     }
 
     fn best(&self) -> ArmId {
@@ -94,6 +128,40 @@ impl BanditPolicy for Ucb1 {
 
     fn total_pulls(&self) -> u64 {
         self.total
+    }
+}
+
+impl LearnerProbe for Ucb1 {
+    fn set_probe(&mut self, enabled: bool) {
+        let attach = enabled && !self.probe.enabled();
+        self.probe.set_enabled(enabled);
+        if attach {
+            let t = self.total;
+            for (i, s) in self.stats.iter().enumerate() {
+                self.probe.push(
+                    ArmEventKind::Activate,
+                    t,
+                    ArmId(i),
+                    s.pulls(),
+                    s.mean(),
+                    s.radius(ConfidenceSchedule::Anytime, t),
+                    None,
+                    None,
+                );
+            }
+        }
+    }
+
+    fn probe_enabled(&self) -> bool {
+        self.probe.enabled()
+    }
+
+    fn drain_probe(&mut self) -> Vec<ArmLifecycleEvent> {
+        self.probe.drain()
+    }
+
+    fn probe_dropped(&self) -> u64 {
+        self.probe.dropped()
     }
 }
 

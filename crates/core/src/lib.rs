@@ -54,6 +54,7 @@ pub use baselines::{Greedy, HeuKkt, Ocorp};
 pub use exact::Exact;
 pub use heu::Heu;
 pub use hindsight::hindsight_bound;
+pub use mec_bandit::RegretAccountant;
 pub use mec_lp::SolverKind;
 pub use model::{Instance, InstanceParams, Realizations};
 pub use online::{DynamicRr, DynamicRrConfig, Learner, OnlineGreedy, OnlineHeuKkt, OnlineOcorp};

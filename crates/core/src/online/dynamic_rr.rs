@@ -29,8 +29,8 @@ use crate::model::Instance;
 use crate::online::{startable_at, useful_compute, SlotCapacity};
 use crate::slotlp::{SlotLp, SlotLpSolver, SolverStats, Truncation};
 use mec_bandit::{
-    ArmId, BanditPolicy, ConfidenceSchedule, DiscountedUcb, EpsilonGreedy, LipschitzDomain,
-    SuccessiveElimination, ThompsonBeta, Ucb1,
+    ArmId, BanditPolicy, ConfidenceSchedule, DiscountedUcb, EpsilonGreedy, LearnerProbe,
+    LipschitzDomain, SuccessiveElimination, ThompsonBeta, Ucb1,
 };
 use mec_lp::SolverKind;
 use mec_sim::{Allocation, SlotContext, SlotPolicy};
@@ -125,6 +125,26 @@ impl LearnerPolicy {
             Self::Ducb(p) => p.arm_views(),
         }
     }
+
+    fn as_probe_mut(&mut self) -> &mut dyn LearnerProbe {
+        match self {
+            Self::Se(p) => p,
+            Self::Ucb(p) => p,
+            Self::Eps(p) => p,
+            Self::Thompson(p) => p,
+            Self::Ducb(p) => p,
+        }
+    }
+
+    fn as_probe(&self) -> &dyn LearnerProbe {
+        match self {
+            Self::Se(p) => p,
+            Self::Ucb(p) => p,
+            Self::Eps(p) => p,
+            Self::Thompson(p) => p,
+            Self::Ducb(p) => p,
+        }
+    }
 }
 
 /// Tuning knobs for [`DynamicRr`].
@@ -181,6 +201,9 @@ pub struct DynamicRr {
     lp_instance: Option<Instance>,
     /// Persistent slot-LP solver carrying the warm-start cache.
     lp_solver: SlotLpSolver,
+    /// The last slot's decision digest (recorded only while the learner
+    /// probe is attached — the flight recorder's per-slot feed).
+    last_decision: Option<mec_sim::DecisionRecord>,
 }
 
 impl DynamicRr {
@@ -206,6 +229,7 @@ impl DynamicRr {
             cum_reward: 0.0,
             lp_instance: None,
             lp_solver,
+            last_decision: None,
         }
     }
 
@@ -462,6 +486,46 @@ impl DynamicRr {
             }
         }
     }
+
+    /// Builds the flight-recorder digest of one slot's decision. All
+    /// inputs are deterministic (chosen arm, learner state, allocations),
+    /// so the digest stream is byte-reproducible for a fixed seed.
+    fn decision_record(
+        &self,
+        slot: u64,
+        arm: ArmId,
+        allocations: &[Allocation],
+    ) -> mec_sim::DecisionRecord {
+        // FNV-1a over the (request, station, grant-millihertz) triples.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        let mut granted_mhz = 0.0;
+        for a in allocations {
+            mix(a.request.index() as u64);
+            mix(a.station.index() as u64);
+            mix(a.compute.as_mhz().to_bits());
+            granted_mhz += a.compute.as_mhz();
+        }
+        let policy = self.policy.as_policy();
+        let best = policy.best();
+        let best_mean = self.policy.arm_views()[best.index()].mean;
+        mec_sim::DecisionRecord {
+            slot,
+            arm: arm.index(),
+            value: self.domain.value(arm),
+            active_arms: self.policy.active_count() as u64,
+            best_arm: best.index(),
+            best_mean,
+            granted: allocations.len() as u64,
+            granted_mhz,
+            assign_digest: h,
+        }
+    }
 }
 
 impl SlotPolicy for DynamicRr {
@@ -480,6 +544,9 @@ impl SlotPolicy for DynamicRr {
             mec_obs::prof_span!("dynrr.assign_fast", self.assign_fast(ctx, &admitted))
         };
         mec_obs::prof_span!("dynrr.keep_alive", self.keep_alive(ctx, &mut allocations));
+        if self.policy.as_probe().probe_enabled() {
+            self.last_decision = Some(self.decision_record(ctx.slot, arm, &allocations));
+        }
         allocations
     }
 
@@ -523,11 +590,61 @@ impl SlotPolicy for DynamicRr {
             cum_reward: self.cum_reward,
             regret_proxy: (total as f64 * best_mean - self.cum_reward).max(0.0),
             arms,
+            solver: self.config.use_lp.then(|| {
+                let s = self.lp_solver.stats();
+                mec_sim::SolverTelemetry {
+                    solves: s.solves,
+                    warm_hits: s.warm_hits,
+                    warm_fallbacks: s.warm_fallbacks,
+                    cold_starts: s.cold_starts,
+                    pivots: s.pivots,
+                    refactorizations: s.refactorizations,
+                }
+            }),
         })
     }
 
     fn name(&self) -> &str {
         "DynamicRR"
+    }
+
+    fn set_probe(&mut self, enabled: bool) {
+        self.policy.as_probe_mut().set_probe(enabled);
+        self.lp_solver
+            .set_record_times(enabled && self.config.use_lp);
+        if !enabled {
+            self.last_decision = None;
+        }
+    }
+
+    fn drain_learner_events(&mut self) -> Vec<mec_sim::LearnerEvent> {
+        let events = self.policy.as_probe_mut().drain_probe();
+        events
+            .into_iter()
+            .map(|e| mec_sim::LearnerEvent {
+                step: e.step,
+                arm: e.arm.index(),
+                value: self.domain.value(e.arm),
+                kind: e.kind.as_str(),
+                pulls: e.pulls,
+                mean: e.mean,
+                radius: e.radius,
+                reward: e.reward,
+                oracle: e.oracle,
+            })
+            .collect()
+    }
+
+    fn probe_dropped(&self) -> u64 {
+        self.policy.as_probe().probe_dropped()
+    }
+
+    fn last_decision(&self) -> Option<mec_sim::DecisionRecord> {
+        self.last_decision
+    }
+
+    fn drain_solve_times_ms(&mut self) -> Vec<f64> {
+        self.lp_solver.drain_solve_times_ms()
     }
 }
 
@@ -540,6 +657,15 @@ mod tests {
     use mec_workload::{ArrivalProcess, WorkloadBuilder};
 
     fn run(use_lp: bool, n: usize, horizon: u64) -> (mec_sim::Metrics, DynamicRr) {
+        run_probed(use_lp, n, horizon, false)
+    }
+
+    fn run_probed(
+        use_lp: bool,
+        n: usize,
+        horizon: u64,
+        probe: bool,
+    ) -> (mec_sim::Metrics, DynamicRr) {
         let topo = TopologyBuilder::new(5).seed(23).build();
         let requests = WorkloadBuilder::new(&topo)
             .seed(23)
@@ -572,6 +698,9 @@ mod tests {
                 ..Default::default()
             })
         };
+        if probe {
+            SlotPolicy::set_probe(&mut policy, true);
+        }
         let mut engine = Engine::new(&topo, &paths, requests, cfg);
         let metrics = engine.run(&mut policy).unwrap();
         (metrics, policy)
@@ -645,6 +774,69 @@ mod tests {
         for a in &t.arms {
             assert!(a.ucb >= a.mean - 1e-12 && a.lcb <= a.mean + 1e-12);
         }
+    }
+
+    #[test]
+    fn probe_streams_lifecycle_events_with_domain_values() {
+        let (_, mut policy) = run_probed(false, 30, 400, true);
+        let events = SlotPolicy::drain_learner_events(&mut policy);
+        assert!(!events.is_empty());
+        let kappa = DynamicRrConfig::default().kappa;
+        let activates = events.iter().filter(|e| e.kind == "activate").count();
+        assert_eq!(activates, kappa, "attach emits one activate per arm");
+        let samples: Vec<_> = events.iter().filter(|e| e.kind == "sample").collect();
+        assert!(!samples.is_empty(), "updates emit sample events");
+        for e in &events {
+            assert!(e.arm < kappa);
+            // Arm ids are mapped to threshold MHz through the domain.
+            assert!((100.0..=1000.0).contains(&e.value), "value {}", e.value);
+        }
+        for s in &samples {
+            let r = s.reward.expect("samples carry the realized reward");
+            assert!((0.0..=1.0).contains(&r));
+            let o = s.oracle.expect("samples carry the per-step oracle");
+            assert!((0.0..=1.0).contains(&o));
+        }
+        // Second drain is empty; drop counter is exposed.
+        assert!(SlotPolicy::drain_learner_events(&mut policy).is_empty());
+        let _ = SlotPolicy::probe_dropped(&policy);
+    }
+
+    #[test]
+    fn probe_records_deterministic_decision_digest() {
+        let (_, p1) = run_probed(false, 30, 120, true);
+        let (_, p2) = run_probed(false, 30, 120, true);
+        let d1 = SlotPolicy::last_decision(&p1).expect("probed run records decisions");
+        let d2 = SlotPolicy::last_decision(&p2).expect("probed run records decisions");
+        assert_eq!(
+            d1, d2,
+            "same seed must produce an identical decision record"
+        );
+        assert!(d1.slot < 120);
+        assert!((100.0..=1000.0).contains(&d1.value));
+        assert!(d1.active_arms >= 1);
+        // Unprobed runs record nothing: the probe must not leak state.
+        let (_, p3) = run(false, 30, 120);
+        assert!(SlotPolicy::last_decision(&p3).is_none());
+    }
+
+    #[test]
+    fn solver_telemetry_present_only_in_lp_mode() {
+        let (_, mut policy) = run_probed(true, 10, 60, true);
+        let t = SlotPolicy::telemetry(&policy).unwrap();
+        let solver = t.solver.expect("LP mode reports solver telemetry");
+        assert!(solver.solves > 0);
+        assert_eq!(
+            solver.warm_hits + solver.warm_fallbacks + solver.cold_starts,
+            solver.solves
+        );
+        // Probed LP runs buffer wall-clock solve times (live-only data).
+        let times = SlotPolicy::drain_solve_times_ms(&mut policy);
+        assert_eq!(times.len() as u64, solver.solves);
+        assert!(times.iter().all(|t| t.is_finite() && *t >= 0.0));
+
+        let (_, fast) = run(false, 30, 120);
+        assert!(SlotPolicy::telemetry(&fast).unwrap().solver.is_none());
     }
 
     #[test]

@@ -277,6 +277,10 @@ impl SlotLp {
 }
 
 /// Counters describing how a [`SlotLpSolver`]'s solves actually ran.
+///
+/// Every field is deterministic — pivot and refactorization counts come
+/// from the simplex's own arithmetic, never wall-clock — so the stats
+/// are safe to surface in traces and snapshots.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolverStats {
     /// Total solves issued.
@@ -287,6 +291,10 @@ pub struct SolverStats {
     pub warm_fallbacks: u64,
     /// Solves with no usable cache (first slot, resets, dense kind).
     pub cold_starts: u64,
+    /// Simplex pivots attributed to this solver's solves.
+    pub pivots: u64,
+    /// Basis refactorizations attributed to this solver's solves.
+    pub refactorizations: u64,
 }
 
 /// A persistent slot-LP solver that carries the optimal basis from one
@@ -307,6 +315,11 @@ pub struct SlotLpSolver {
     warm_enabled: bool,
     warm: Option<Vec<(RowKey, KeyCol)>>,
     stats: SolverStats,
+    /// When set, each solve's wall-clock duration is buffered for
+    /// [`SlotLpSolver::drain_solve_times_ms`]. Off by default: timing is
+    /// observability-only and must stay out of deterministic streams.
+    record_times: bool,
+    solve_times_ms: Vec<f64>,
 }
 
 impl SlotLpSolver {
@@ -317,7 +330,24 @@ impl SlotLpSolver {
             warm_enabled: true,
             warm: None,
             stats: SolverStats::default(),
+            record_times: false,
+            solve_times_ms: Vec::new(),
         }
+    }
+
+    /// Enables wall-clock timing of each solve. The buffered durations
+    /// are for live histograms only; they never influence the solve.
+    pub fn set_record_times(&mut self, on: bool) {
+        self.record_times = on;
+        if !on {
+            self.solve_times_ms.clear();
+        }
+    }
+
+    /// Drains the solve durations (milliseconds) buffered since the
+    /// last drain. Empty unless [`SlotLpSolver::set_record_times`] is on.
+    pub fn drain_solve_times_ms(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.solve_times_ms)
     }
 
     /// Enables or disables the cross-slot warm-start cache (revised only;
@@ -359,8 +389,16 @@ impl SlotLpSolver {
         mec_obs::prof_scope!("slotlp.solve");
         self.stats.solves += 1;
         let pivots_before = mec_lp::pivots_performed();
+        let refactors_before = mec_lp::refactors_performed();
+        let started = self.record_times.then(std::time::Instant::now);
         let result = self.solve_inner(lp, subset_len);
-        mec_obs::prof_count!("simplex_pivots", mec_lp::pivots_performed() - pivots_before);
+        if let Some(t0) = started {
+            self.solve_times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let pivots = mec_lp::pivots_performed() - pivots_before;
+        self.stats.pivots += pivots;
+        self.stats.refactorizations += mec_lp::refactors_performed() - refactors_before;
+        mec_obs::prof_count!("simplex_pivots", pivots);
         result
     }
 

@@ -45,5 +45,5 @@ pub mod sparse;
 pub use branch_bound::{solve_binary, BranchBoundConfig};
 pub use problem::{Cmp, Problem, Sense, VarId};
 pub use revised::{BasisCol, BasisSnapshot, RevisedConfig, SolverKind, WarmOutcome};
-pub use simplex::pivots_performed;
+pub use simplex::{pivots_performed, refactors_performed};
 pub use solution::{LpError, Solution, Status};

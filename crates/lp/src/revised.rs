@@ -29,7 +29,7 @@
 //! factorization, never correctness.
 
 use crate::problem::{Cmp, Problem, Sense};
-use crate::simplex::note_pivot;
+use crate::simplex::{note_pivot, note_refactor};
 use crate::solution::{LpError, Solution};
 use crate::sparse::{CscBuilder, CscMatrix};
 use serde::{Deserialize, Serialize};
@@ -679,6 +679,7 @@ impl Rsx {
 
     /// Rebuilds `B₀⁻¹` from the current basis and clears the eta file.
     fn refactor(&mut self, config: &RevisedConfig) -> Result<(), LpError> {
+        note_refactor();
         let m = self.std.m;
         let mut b_mat = vec![0.0; m * m];
         for (r, &c) in self.basis.iter().enumerate() {

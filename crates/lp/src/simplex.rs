@@ -197,6 +197,22 @@ pub fn pivots_performed() -> u64 {
     PIVOTS.with(std::cell::Cell::get)
 }
 
+thread_local! {
+    /// Cumulative basis refactorizations on this thread (revised simplex
+    /// only — the dense tableau never refactorizes). Same diff-around-a-
+    /// solve contract as [`pivots_performed`].
+    static REFACTORS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+pub(crate) fn note_refactor() {
+    REFACTORS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Total basis refactorizations performed by the calling thread so far.
+pub fn refactors_performed() -> u64 {
+    REFACTORS.with(std::cell::Cell::get)
+}
+
 /// A variable can be fixed to 0 without losing optimality when it cannot
 /// help the objective (sense-adjusted coefficient pulls the wrong way) and
 /// cannot help feasibility: in every `≤` row (after rhs normalization) its

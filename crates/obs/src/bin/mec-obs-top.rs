@@ -1,9 +1,12 @@
 //! A live terminal view of a running `mec-serve --metrics-addr` server.
 //!
-//! Scrapes `/healthz`, `/metrics.json`, and `/slo.json` over plain TCP
-//! and renders one compact frame: run header (uptime, slot), the
-//! admission funnel with rates, the per-shard work vs barrier-wait
-//! split, fine-grained latency quantiles, and live SLO burn-rate state.
+//! Scrapes `/healthz`, `/metrics.json`, `/slo.json`, and `/learning.json`
+//! over plain TCP and renders one compact frame: run header (uptime,
+//! slot), the admission funnel with rates, the per-shard work vs
+//! barrier-wait split, fine-grained latency quantiles, live SLO
+//! burn-rate state, and — when a learner probe is attached — a learner
+//! panel with one sparkline of arm means per shard, eliminated arms
+//! marked `·`, and live cumulative regret.
 //!
 //! ```text
 //! mec-obs-top                          # watch 127.0.0.1:9464, 1s cadence
@@ -190,11 +193,37 @@ fn fmt_quantile(v: f64) -> String {
     }
 }
 
+/// One glyph per arm: the empirical mean scaled into `▁..█` across the
+/// shard's currently active arms; eliminated arms render as `·`.
+fn spark(arms: &[(f64, bool)]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(mean, active) in arms {
+        if active && mean.is_finite() {
+            lo = lo.min(mean);
+            hi = hi.max(mean);
+        }
+    }
+    arms.iter()
+        .map(|&(mean, active)| {
+            if !active {
+                '·'
+            } else if !mean.is_finite() || hi <= lo {
+                GLYPHS[3]
+            } else {
+                let t = (mean - lo) / (hi - lo);
+                GLYPHS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
 fn render(
     addr: &str,
     health: Option<&str>,
     metrics: Option<&Metrics>,
     slo: Option<&str>,
+    learning: Option<&str>,
 ) -> String {
     let mut out = String::new();
     let push = |out: &mut String, line: String| {
@@ -278,6 +307,50 @@ fn render(
         }
     }
 
+    // Learner panel: per-shard arm sparkline + live regret, fed by the
+    // `/learning.json` document the serve runtime publishes when a
+    // learner probe is attached (`--learner-events`).
+    if let Some(doc) = learning.and_then(|body| parse_json(body).ok()) {
+        let shards = doc.get("shards").and_then(JsonValue::as_arr).unwrap_or(&[]);
+        if !shards.is_empty() {
+            push(
+                &mut out,
+                "learner  (arm means ▁..█, · = eliminated)".to_string(),
+            );
+            for row in shards {
+                let f = |k: &str| row.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
+                let arms = row.get("arms").and_then(JsonValue::as_arr).unwrap_or(&[]);
+                let states: Vec<(f64, bool)> = arms
+                    .iter()
+                    .map(|arm| {
+                        (
+                            arm.get("mean").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                            matches!(arm.get("active"), Some(JsonValue::Bool(true))),
+                        )
+                    })
+                    .collect();
+                let active_n = states.iter().filter(|(_, a)| *a).count();
+                let drift = f("drift_suspected");
+                let drift_tag = if drift > 0.0 {
+                    format!("  drift x{drift:.0}")
+                } else {
+                    String::new()
+                };
+                push(
+                    &mut out,
+                    format!(
+                        "{:>5}  {} {active_n:>3}/{:<3} active  regret {:>9.3}  steps {:.0}{drift_tag}",
+                        f("shard"),
+                        spark(&states),
+                        states.len(),
+                        f("regret"),
+                        f("steps"),
+                    ),
+                );
+            }
+        }
+    }
+
     match slo.and_then(|body| parse_json(body).ok()) {
         Some(doc) => {
             let rows = doc.get("slos").and_then(JsonValue::as_arr).unwrap_or(&[]);
@@ -331,12 +404,14 @@ fn main() -> ExitCode {
                 _ => None,
             });
         let slo = get(&args.addr, "/slo.json");
+        let learning = get(&args.addr, "/learning.json");
 
         let frame = render(
             &args.addr,
             health.as_deref(),
             metrics.as_ref(),
             slo.as_deref(),
+            learning.as_deref(),
         );
         if args.once {
             print!("{frame}");
@@ -350,5 +425,46 @@ fn main() -> ExitCode {
         print!("\x1b[2J\x1b[H{frame}");
         let _ = std::io::stdout().flush();
         std::thread::sleep(Duration::from_millis(args.interval_ms.max(50)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spark_scales_means_and_marks_eliminated() {
+        let s = spark(&[(0.1, true), (0.5, true), (0.9, true), (0.7, false)]);
+        let glyphs: Vec<char> = s.chars().collect();
+        assert_eq!(glyphs.len(), 4);
+        assert_eq!(glyphs[0], '▁', "lowest active mean maps to the floor");
+        assert_eq!(glyphs[2], '█', "highest active mean maps to the cap");
+        assert_eq!(glyphs[3], '·', "eliminated arm renders as a dot");
+        // Flat field (single distinct mean) stays mid-glyph, no div-by-zero.
+        assert_eq!(spark(&[(0.4, true), (0.4, true)]), "▄▄");
+        assert_eq!(spark(&[]), "");
+    }
+
+    #[test]
+    fn learner_panel_renders_from_learning_doc() {
+        let health = r#"{"uptime_ms":1000,"scrapes":3}"#;
+        let learning = r#"{"slot":42,"shards":[
+            {"shard":0,"regret":1.25,"steps":40,"drift_suspected":2,
+             "arms":[{"arm":0,"mean":0.2,"active":true},
+                     {"arm":1,"mean":0.8,"active":true},
+                     {"arm":2,"mean":0.1,"active":false}]}]}"#;
+        let m = Metrics(BTreeMap::new());
+        let frame = render("x:1", Some(health), Some(&m), None, Some(learning));
+        assert!(frame.contains("learner"), "panel header missing:\n{frame}");
+        assert!(frame.contains("2/3"), "active-arm ratio missing:\n{frame}");
+        assert!(
+            frame.contains("regret     1.250"),
+            "regret missing:\n{frame}"
+        );
+        assert!(frame.contains("drift x2"), "drift tag missing:\n{frame}");
+        assert!(frame.contains('·'), "eliminated mark missing:\n{frame}");
+        // No learning doc → no panel, frame still renders.
+        let bare = render("x:1", Some(health), Some(&m), None, None);
+        assert!(!bare.contains("learner"));
     }
 }

@@ -1,0 +1,220 @@
+//! Page–Hinkley drift detection for per-arm reward streams.
+//!
+//! The serve runtime feeds each arm's realized (normalized) rewards into a
+//! [`PageHinkley`] detector. When the cumulative deviation statistic on
+//! either side exceeds `lambda`, the detector fires once and resets — the
+//! observability layer turns that into a `drift_suspected` trace event and
+//! an SLO-style suspected/cleared transition. This is groundwork for a
+//! sliding-window successive-elimination learner: a fired detector is the
+//! signal that the stationarity assumption behind the current confidence
+//! bounds no longer holds.
+//!
+//! The statistic is the classic two-sided Page–Hinkley test: maintain the
+//! running mean `x̄_t`, accumulate `U_t = Σ (x_i − x̄_i − δ)` (upward side)
+//! and `D_t = Σ (x_i − x̄_i + δ)` (downward side), and fire when
+//! `U_t − min U` or `max D − D_t` exceeds `λ`. `δ` absorbs slow wander;
+//! `λ` sets the evidence needed to call a change.
+
+/// Default tolerance `δ` for normalized-reward streams in `[0, 1]`.
+pub const DEFAULT_DELTA: f64 = 0.005;
+/// Default firing threshold `λ` for normalized-reward streams.
+pub const DEFAULT_LAMBDA: f64 = 2.0;
+/// Default warm-up: no firing before this many samples.
+pub const DEFAULT_MIN_SAMPLES: u64 = 30;
+
+/// Two-sided Page–Hinkley change detector over a scalar stream.
+///
+/// Deterministic: state depends only on the observed values, so a
+/// same-seed replay produces the identical firing slots.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    delta: f64,
+    lambda: f64,
+    min_samples: u64,
+    n: u64,
+    mean: f64,
+    up: f64,
+    up_min: f64,
+    down: f64,
+    down_max: f64,
+    fired: u64,
+}
+
+impl Default for PageHinkley {
+    fn default() -> Self {
+        Self::new(DEFAULT_DELTA, DEFAULT_LAMBDA, DEFAULT_MIN_SAMPLES)
+    }
+}
+
+impl PageHinkley {
+    /// Creates a detector with tolerance `delta`, threshold `lambda`, and
+    /// a `min_samples` warm-up during which it never fires.
+    pub fn new(delta: f64, lambda: f64, min_samples: u64) -> Self {
+        Self {
+            delta: delta.max(0.0),
+            lambda: lambda.max(0.0),
+            min_samples,
+            n: 0,
+            mean: 0.0,
+            up: 0.0,
+            up_min: 0.0,
+            down: 0.0,
+            down_max: 0.0,
+            fired: 0,
+        }
+    }
+
+    /// Feeds one observation. Returns `true` iff the statistic crossed
+    /// `lambda` on either side — the detector then resets so the next
+    /// firing requires fresh evidence against the post-change mean.
+    pub fn observe(&mut self, x: f64) -> bool {
+        if !x.is_finite() {
+            return false;
+        }
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+        self.up += x - self.mean - self.delta;
+        self.up_min = self.up_min.min(self.up);
+        self.down += x - self.mean + self.delta;
+        self.down_max = self.down_max.max(self.down);
+        if self.n >= self.min_samples && self.score() > self.lambda {
+            self.fired += 1;
+            self.reset_statistic();
+            return true;
+        }
+        false
+    }
+
+    /// Current two-sided statistic (max of both directions); compared
+    /// against `lambda`. Exposed as a gauge so operators can watch
+    /// evidence accumulate before a firing.
+    pub fn score(&self) -> f64 {
+        let rise = self.up - self.up_min;
+        let fall = self.down_max - self.down;
+        rise.max(fall)
+    }
+
+    /// Observations seen since the last reset.
+    pub fn samples(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean of the current window.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Total number of firings over the detector's lifetime.
+    pub fn firings(&self) -> u64 {
+        self.fired
+    }
+
+    fn reset_statistic(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.up = 0.0;
+        self.up_min = 0.0;
+        self.down = 0.0;
+        self.down_max = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic jitter in [-amp, amp] (tiny LCG, no external RNG).
+    fn jitter(i: u64, amp: f64) -> f64 {
+        let r = i
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = ((r >> 33) as f64) / ((1u64 << 31) as f64); // [0, 2)
+        (u - 1.0) * amp
+    }
+
+    #[test]
+    fn stationary_stream_never_fires() {
+        let mut d = PageHinkley::default();
+        for i in 0..5_000 {
+            assert!(!d.observe(0.6 + jitter(i, 0.02)), "fired at sample {i}");
+        }
+        assert_eq!(d.firings(), 0);
+        assert!((d.mean() - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn downward_step_fires_and_resets() {
+        let mut d = PageHinkley::default();
+        for i in 0..500 {
+            assert!(!d.observe(0.8 + jitter(i, 0.02)));
+        }
+        let mut fired_at = None;
+        for i in 0..500 {
+            if d.observe(0.3 + jitter(1000 + i, 0.02)) {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let at = fired_at.expect("a 0.8 -> 0.3 step must fire");
+        assert!(at < 100, "fired too slowly: {at} samples after the step");
+        assert_eq!(d.firings(), 1);
+        // After the reset the detector re-arms against the new regime.
+        assert_eq!(d.samples(), 0);
+        for i in 0..1_000 {
+            assert!(!d.observe(0.3 + jitter(9000 + i, 0.02)));
+        }
+    }
+
+    #[test]
+    fn upward_step_fires_via_the_other_side() {
+        let mut d = PageHinkley::default();
+        for i in 0..500 {
+            d.observe(0.2 + jitter(i, 0.02));
+        }
+        let fired = (0..500).any(|i| d.observe(0.7 + jitter(7000 + i, 0.02)));
+        assert!(fired, "a 0.2 -> 0.7 step must fire");
+    }
+
+    #[test]
+    fn warm_up_suppresses_firing() {
+        let mut d = PageHinkley::new(0.005, 0.1, 50);
+        // A violent alternation would fire immediately without warm-up.
+        for i in 0..49 {
+            assert!(!d.observe(if i % 2 == 0 { 0.0 } else { 1.0 }));
+        }
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut d = PageHinkley::default();
+        for i in 0..100 {
+            d.observe(0.5 + jitter(i, 0.02));
+        }
+        let before = d.samples();
+        assert!(!d.observe(f64::NAN));
+        assert!(!d.observe(f64::INFINITY));
+        assert_eq!(d.samples(), before);
+    }
+
+    #[test]
+    fn score_is_monotone_under_sustained_shift() {
+        let mut d = PageHinkley::new(0.005, f64::INFINITY, 10);
+        for i in 0..200 {
+            d.observe(0.9 + jitter(i, 0.01));
+        }
+        let mut last = d.score();
+        let mut grew = 0;
+        for i in 0..50 {
+            d.observe(0.1 + jitter(5000 + i, 0.01));
+            let s = d.score();
+            if s > last {
+                grew += 1;
+            }
+            last = s;
+        }
+        assert!(
+            grew > 40,
+            "score should accumulate under a shift ({grew}/50)"
+        );
+    }
+}

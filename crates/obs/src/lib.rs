@@ -56,6 +56,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod drift;
+pub mod flight;
 pub mod json;
 pub mod lifecycle;
 pub mod prof;
@@ -65,15 +67,22 @@ pub mod server;
 pub mod slo;
 pub mod trace;
 
+pub use drift::PageHinkley;
+pub use flight::{
+    DecisionSnapshot, FlightRecorder, FlightTrigger, FlightTriggerParseError, FlightTriggerSet,
+};
 pub use lifecycle::{LifecycleRecord, LifecycleRing, LifecycleSink, LifecycleWriter};
 pub use prof::{PhaseNode, ProfileReport};
 pub use registry::{
     log_linear_bounds, BoundsMismatch, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
-    STRIPES,
+    WindowedHistogram, STRIPES,
 };
-pub use report::{build_report, RunReport, LATENCY_MS_BOUNDS};
+pub use report::{
+    build_flight_report, build_lifecycle_report, build_report, sniff_flight, sniff_lifecycle,
+    FlightStreamReport, LifecycleReport, RunReport, LATENCY_MS_BOUNDS,
+};
 pub use server::{MetricsServer, SharedDoc};
-pub use slo::{SloEngine, SloSpec, SloStatus, SloTransition, SlotSample};
+pub use slo::{SloEngine, SloParseError, SloSpec, SloStatus, SloTransition, SlotSample};
 pub use trace::{EventSink, TraceEvent, TraceRing, TraceWriter, Value};
 
 /// Bucket bounds (ms) for wall-clock engine-step timing histograms.

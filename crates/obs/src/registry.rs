@@ -19,7 +19,7 @@
 //! identical pages. Wall-clock observations (e.g. step timings) are
 //! live-only by convention — they must never feed snapshots or traces.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -336,6 +336,69 @@ impl HistogramSnapshot {
     }
 }
 
+/// A sliding-window histogram: one [`HistogramSnapshot`] per slot over
+/// a shared bucket layout, folded into a running window total with
+/// subtract-on-evict. All bucket filling and quantile estimation goes
+/// through [`HistogramSnapshot::record`] / [`HistogramSnapshot::quantile`]
+/// — the same single path fixed histograms use — so windowed quantiles
+/// (e.g. SLO latency objectives) can never disagree with whole-run
+/// quantiles on bucket or interpolation semantics.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    ring: VecDeque<HistogramSnapshot>,
+    cap: usize,
+    merged: HistogramSnapshot,
+}
+
+impl WindowedHistogram {
+    /// A window of `cap` slots over `bounds` (a `cap` of 0 is promoted
+    /// to 1).
+    pub fn new(bounds: &[f64], cap: usize) -> Self {
+        Self {
+            ring: VecDeque::new(),
+            cap: cap.max(1),
+            merged: HistogramSnapshot::empty(bounds),
+        }
+    }
+
+    /// Appends one slot's observations and evicts the oldest slot once
+    /// the window is full.
+    pub fn push_slot(&mut self, values: &[f64]) {
+        let mut slot = HistogramSnapshot::empty(&self.merged.bounds);
+        for &v in values {
+            slot.record(v);
+        }
+        self.merged
+            .merge(&slot)
+            .expect("slot snapshot shares the window's bounds");
+        self.ring.push_back(slot);
+        if self.ring.len() > self.cap {
+            let old = self.ring.pop_front().expect("non-empty ring");
+            for (m, o) in self.merged.counts.iter_mut().zip(&old.counts) {
+                *m -= o;
+            }
+            self.merged.sum -= old.sum;
+            self.merged.count -= old.count;
+        }
+    }
+
+    /// Estimated `q`-quantile over the current window (see
+    /// [`HistogramSnapshot::quantile`] for overflow semantics).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.merged.quantile(q)
+    }
+
+    /// The merged window distribution.
+    pub fn snapshot(&self) -> &HistogramSnapshot {
+        &self.merged
+    }
+
+    /// Observations currently inside the window.
+    pub fn count(&self) -> u64 {
+        self.merged.count
+    }
+}
+
 /// Merge rejected: the two histograms have different bucket layouts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoundsMismatch;
@@ -587,6 +650,43 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn windowed_histogram_matches_fresh_snapshot_over_window_tail() {
+        // The window must be indistinguishable from a fresh snapshot
+        // built from only the retained slots — same record path, same
+        // quantile path.
+        let bounds = log_linear_bounds(1.0, 1000.0, 9);
+        let mut w = WindowedHistogram::new(&bounds, 3);
+        let slots: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                (0..50)
+                    .map(|j| 1.0 + ((i * 37 + j * 13) % 900) as f64)
+                    .collect()
+            })
+            .collect();
+        for slot in &slots {
+            w.push_slot(slot);
+        }
+        let mut fresh = HistogramSnapshot::empty(&bounds);
+        for slot in &slots[3..] {
+            for &v in slot {
+                fresh.record(v);
+            }
+        }
+        assert_eq!(w.snapshot().counts, fresh.counts);
+        assert_eq!(w.count(), fresh.count);
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(w.quantile(q), fresh.quantile(q));
+        }
+    }
+
+    #[test]
+    fn windowed_histogram_empty_window_reports_zero() {
+        let w = WindowedHistogram::new(&[1.0, 10.0], 4);
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.quantile(0.99), 0.0);
+    }
 
     #[test]
     fn counter_sums_across_threads() {

@@ -120,6 +120,70 @@ pub struct SloEvent {
     pub burn_slow: f64,
 }
 
+/// One `drift_suspected` / `drift_cleared` event from the per-arm
+/// Page–Hinkley detectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftEvent {
+    /// Slot the detector fired (or cleared) at.
+    pub slot: u64,
+    /// Shard whose learner the arm belongs to.
+    pub shard: u64,
+    /// The arm whose reward stream drifted.
+    pub arm: u64,
+    /// The detector's running mean at the transition.
+    pub mean: f64,
+    /// The Page–Hinkley statistic at the transition.
+    pub score: f64,
+    /// `true` = drift suspected, `false` = cleared.
+    pub suspected: bool,
+}
+
+/// Final per-shard regret accounting (from the last `learning_state`
+/// sweep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearningState {
+    /// Slot of the sweep.
+    pub slot: u64,
+    /// Realized cumulative (normalized) reward.
+    pub cum_reward: f64,
+    /// The moving hindsight-oracle total.
+    pub oracle: f64,
+    /// Cumulative regret (oracle − realized, floored at 0).
+    pub regret: f64,
+    /// Learner updates accounted.
+    pub steps: u64,
+}
+
+/// Final per-shard LP introspection (from the last `lp_state` sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LpState {
+    /// Slot of the sweep.
+    pub slot: u64,
+    /// Slot-LP solves so far.
+    pub solves: u64,
+    /// Warm starts that installed and survived.
+    pub warm_hits: u64,
+    /// Warm starts that fell back to a cold solve.
+    pub warm_fallbacks: u64,
+    /// Solves with no usable cached basis.
+    pub cold_starts: u64,
+    /// Simplex pivots performed.
+    pub pivots: u64,
+    /// Basis refactorizations performed.
+    pub refactorizations: u64,
+}
+
+/// One `flight_dump` header from the decision flight recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Slot the trigger fired at.
+    pub slot: u64,
+    /// What tripped the dump (`slo`, `drift`, `crash`, `manual`).
+    pub trigger: String,
+    /// Snapshots in the dump.
+    pub snapshots: u64,
+}
+
 /// One `stall_shard` event: a shard's run-total wall-time split.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StallShard {
@@ -217,6 +281,23 @@ pub struct RunReport {
     pub stall_driver: Option<StallDriver>,
     /// Trace events dropped to ring saturation (from `trace_drops`).
     pub trace_dropped: u64,
+    /// Lifecycle records dropped to ring saturation (from
+    /// `lifecycle_drops`).
+    pub lifecycle_dropped: u64,
+    /// Arm-lifecycle event counts by kind (`activate`, `sample`, ...),
+    /// from `arm_lifecycle` events.
+    pub arm_lifecycle: BTreeMap<String, u64>,
+    /// Learner-probe events dropped at the policy buffer (from
+    /// `arm_lifecycle_drops`).
+    pub arm_lifecycle_dropped: u64,
+    /// Drift suspected/cleared transitions, in stream order.
+    pub drift_events: Vec<DriftEvent>,
+    /// Final per-shard regret accounting (last `learning_state` wins).
+    pub learning: BTreeMap<u64, LearningState>,
+    /// Final per-shard LP introspection (last `lp_state` wins).
+    pub lp: BTreeMap<u64, LpState>,
+    /// Flight-recorder dump headers, in stream order.
+    pub flight_dumps: Vec<FlightDump>,
 }
 
 fn get_u64(m: &BTreeMap<String, JsonValue>, key: &str) -> u64 {
@@ -396,6 +477,50 @@ where
                 });
             }
             "trace_drops" => r.trace_dropped += get_u64(&obj, "count"),
+            "lifecycle_drops" => r.lifecycle_dropped += get_u64(&obj, "count"),
+            "arm_lifecycle" => {
+                *r.arm_lifecycle.entry(get_str(&obj, "event")).or_insert(0) += 1;
+            }
+            "arm_lifecycle_drops" => r.arm_lifecycle_dropped += get_u64(&obj, "count"),
+            kind @ ("drift_suspected" | "drift_cleared") => r.drift_events.push(DriftEvent {
+                slot,
+                shard,
+                arm: get_u64(&obj, "arm"),
+                mean: get_f64(&obj, "mean"),
+                score: get_f64(&obj, "score"),
+                suspected: kind == "drift_suspected",
+            }),
+            "learning_state" => {
+                r.learning.insert(
+                    shard,
+                    LearningState {
+                        slot,
+                        cum_reward: get_f64(&obj, "cum_reward"),
+                        oracle: get_f64(&obj, "oracle"),
+                        regret: get_f64(&obj, "regret"),
+                        steps: get_u64(&obj, "steps"),
+                    },
+                );
+            }
+            "lp_state" => {
+                r.lp.insert(
+                    shard,
+                    LpState {
+                        slot,
+                        solves: get_u64(&obj, "solves"),
+                        warm_hits: get_u64(&obj, "warm_hits"),
+                        warm_fallbacks: get_u64(&obj, "warm_fallbacks"),
+                        cold_starts: get_u64(&obj, "cold_starts"),
+                        pivots: get_u64(&obj, "pivots"),
+                        refactorizations: get_u64(&obj, "refactorizations"),
+                    },
+                );
+            }
+            "flight_dump" => r.flight_dumps.push(FlightDump {
+                slot,
+                trigger: get_str(&obj, "trigger"),
+                snapshots: get_u64(&obj, "snapshots"),
+            }),
             "arm_state" => {
                 let arm = get_u64(&obj, "arm");
                 // A new sweep (later slot) replaces the previous table.
@@ -447,6 +572,14 @@ impl RunReport {
                 "WARNING: trace ring saturated — {} event(s) dropped; \
                  this report may be incomplete (raise the ring capacity)",
                 self.trace_dropped
+            );
+        }
+        if self.lifecycle_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: lifecycle ring saturated — {} record(s) dropped; \
+                 request journeys may have gaps (raise the lifecycle ring capacity)",
+                self.lifecycle_dropped
             );
         }
 
@@ -565,6 +698,91 @@ impl RunReport {
                     out,
                     "  slot {:>6}  shard {}  arm {} ({:.1} MHz) eliminated, {} active left",
                     e.slot, e.shard, e.arm, e.value_mhz, e.active_left
+                );
+            }
+        }
+
+        let learning_active = !self.arm_lifecycle.is_empty()
+            || !self.drift_events.is_empty()
+            || !self.learning.is_empty()
+            || !self.lp.is_empty()
+            || !self.flight_dumps.is_empty()
+            || self.arm_lifecycle_dropped > 0;
+        if learning_active {
+            section(&mut out, "learning");
+            if !self.arm_lifecycle.is_empty() {
+                let total: u64 = self.arm_lifecycle.values().sum();
+                let _ = writeln!(out, "  arm-lifecycle events: {total}");
+                for kind in [
+                    "activate",
+                    "sample",
+                    "bound_update",
+                    "eliminate",
+                    "reactivate",
+                ] {
+                    if let Some(&n) = self.arm_lifecycle.get(kind) {
+                        let _ = writeln!(out, "    {kind:>12}: {n}");
+                    }
+                }
+                for (kind, n) in &self.arm_lifecycle {
+                    if !matches!(
+                        kind.as_str(),
+                        "activate" | "sample" | "bound_update" | "eliminate" | "reactivate"
+                    ) {
+                        let _ = writeln!(out, "    {kind:>12}: {n}");
+                    }
+                }
+            }
+            if self.arm_lifecycle_dropped > 0 {
+                let _ = writeln!(
+                    out,
+                    "  WARNING: learner probe buffer saturated — {} event(s) dropped \
+                     before the driver drained them",
+                    self.arm_lifecycle_dropped
+                );
+            }
+            for (shard, l) in &self.learning {
+                let _ = writeln!(
+                    out,
+                    "  shard {shard} regret (as of slot {}): {:.4} \
+                     (realized {:.4} vs oracle {:.4} over {} step(s))",
+                    l.slot, l.regret, l.cum_reward, l.oracle, l.steps
+                );
+            }
+            for (shard, lp) in &self.lp {
+                let warm_pct = pct(lp.warm_hits as f64, lp.solves as f64);
+                let _ = writeln!(
+                    out,
+                    "  shard {shard} slot-lp (as of slot {}): {} solve(s), \
+                     {} warm hit(s) ({warm_pct:.1}%), {} fallback(s), {} cold, \
+                     {} pivot(s), {} refactorization(s)",
+                    lp.slot,
+                    lp.solves,
+                    lp.warm_hits,
+                    lp.warm_fallbacks,
+                    lp.cold_starts,
+                    lp.pivots,
+                    lp.refactorizations
+                );
+            }
+            if !self.drift_events.is_empty() {
+                let _ = writeln!(out, "  drift timeline:");
+                for d in &self.drift_events {
+                    let verdict = if d.suspected { "SUSPECTED" } else { "cleared" };
+                    let _ = writeln!(
+                        out,
+                        "    slot {:>6}  shard {}  arm {} drift {verdict} \
+                         (mean {:.4}, score {:.3})",
+                        d.slot, d.shard, d.arm, d.mean, d.score
+                    );
+                }
+            }
+            for f in &self.flight_dumps {
+                let _ = writeln!(
+                    out,
+                    "  slot {:>6}  flight recorder dumped {} snapshot(s) \
+                     (trigger: {})",
+                    f.slot, f.snapshots, f.trigger
                 );
             }
         }
@@ -765,6 +983,207 @@ impl RunReport {
                         out,
                         "    {:>3} {:>9.1} {:>7} {:>7.3} {:>7.3} {:>7.3}  {state}",
                         row.arm, row.value_mhz, row.pulls, row.mean, row.lcb, row.ucb
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Summary of a `--lifecycle-out` request-journey stream.
+#[derive(Debug, Default)]
+pub struct LifecycleReport {
+    /// Records read.
+    pub records: u64,
+    /// Distinct request ids seen.
+    pub requests: u64,
+    /// Records per stage name, sorted.
+    pub stages: BTreeMap<String, u64>,
+    /// Slot range covered (first, last).
+    pub slots: Option<(u64, u64)>,
+}
+
+/// Does this line look like a lifecycle record? (`id` and `stage`
+/// fields, no `kind` — trace events always carry `kind`.)
+pub fn sniff_lifecycle(first_line: &str) -> bool {
+    parse_flat_object(first_line.trim()).is_ok_and(|obj| {
+        obj.contains_key("id") && obj.contains_key("stage") && !obj.contains_key("kind")
+    })
+}
+
+/// Folds a lifecycle JSONL stream into a [`LifecycleReport`]. Blank
+/// lines are skipped.
+///
+/// # Errors
+///
+/// Fails on the first malformed line, reporting its 1-based number —
+/// callers salvage a torn tail exactly like they do for traces.
+pub fn build_lifecycle_report<I, S>(lines: I) -> Result<LifecycleReport, (usize, ParseError)>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut r = LifecycleReport::default();
+    let mut ids = std::collections::BTreeSet::new();
+    for (i, line) in lines.into_iter().enumerate() {
+        let line = line.as_ref().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line).map_err(|e| (i + 1, e))?;
+        r.records += 1;
+        ids.insert(get_u64(&obj, "id"));
+        *r.stages.entry(get_str(&obj, "stage")).or_insert(0) += 1;
+        let slot = get_u64(&obj, "slot");
+        r.slots = Some(match r.slots {
+            None => (slot, slot),
+            Some((lo, hi)) => (lo.min(slot), hi.max(slot)),
+        });
+    }
+    r.requests = ids.len() as u64;
+    Ok(r)
+}
+
+impl LifecycleReport {
+    /// Renders the summary as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "mec-obs lifecycle report ({} record(s), {} request(s))",
+            self.records, self.requests
+        );
+        if let Some((lo, hi)) = self.slots {
+            let _ = writeln!(out, "  slots {lo}..={hi}");
+        }
+        for (stage, n) in &self.stages {
+            let _ = writeln!(out, "  {stage:>9}: {n}");
+        }
+        out
+    }
+}
+
+/// One dump block inside a flight-recorder stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDumpBlock {
+    /// The header (trigger, slot, advertised snapshot count).
+    pub header: FlightDump,
+    /// Snapshot lines actually present under this header.
+    pub snapshots: u64,
+    /// Slot range the snapshots cover.
+    pub slots: Option<(u64, u64)>,
+    /// Distinct shards contributing snapshots.
+    pub shards: u64,
+}
+
+/// Summary of a `--flight-out` decision flight-recorder stream.
+#[derive(Debug, Default)]
+pub struct FlightStreamReport {
+    /// Lines read.
+    pub events: u64,
+    /// The dump blocks, in stream order.
+    pub dumps: Vec<FlightDumpBlock>,
+}
+
+/// Does this line look like a flight-recorder stream? (First event is
+/// always a `flight_dump` header; a bare `flight` line means a torn
+/// stream, still recognizably flight data.)
+pub fn sniff_flight(first_line: &str) -> bool {
+    parse_flat_object(first_line.trim())
+        .is_ok_and(|obj| matches!(get_str(&obj, "kind").as_str(), "flight_dump" | "flight"))
+}
+
+/// Folds a flight-recorder JSONL stream into a [`FlightStreamReport`].
+///
+/// # Errors
+///
+/// Fails on the first malformed line, reporting its 1-based number —
+/// callers salvage a torn tail exactly like they do for traces.
+pub fn build_flight_report<I, S>(lines: I) -> Result<FlightStreamReport, (usize, ParseError)>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut r = FlightStreamReport::default();
+    let mut shards = std::collections::BTreeSet::new();
+    for (i, line) in lines.into_iter().enumerate() {
+        let line = line.as_ref().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line).map_err(|e| (i + 1, e))?;
+        r.events += 1;
+        let slot = get_u64(&obj, "slot");
+        match get_str(&obj, "kind").as_str() {
+            "flight_dump" => {
+                if let Some(last) = r.dumps.last_mut() {
+                    last.shards = shards.len() as u64;
+                }
+                shards.clear();
+                r.dumps.push(FlightDumpBlock {
+                    header: FlightDump {
+                        slot,
+                        trigger: get_str(&obj, "trigger"),
+                        snapshots: get_u64(&obj, "snapshots"),
+                    },
+                    snapshots: 0,
+                    slots: None,
+                    shards: 0,
+                });
+            }
+            "flight" => {
+                shards.insert(get_u64(&obj, "shard"));
+                if let Some(dump) = r.dumps.last_mut() {
+                    dump.snapshots += 1;
+                    dump.slots = Some(match dump.slots {
+                        None => (slot, slot),
+                        Some((lo, hi)) => (lo.min(slot), hi.max(slot)),
+                    });
+                    dump.shards = shards.len() as u64;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(r)
+}
+
+impl FlightStreamReport {
+    /// Renders the summary as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "mec-obs flight report ({} dump(s), {} line(s))",
+            self.dumps.len(),
+            self.events
+        );
+        for d in &self.dumps {
+            let range = d.slots.map_or_else(
+                || "no snapshots".to_string(),
+                |(lo, hi)| format!("slots {lo}..={hi}"),
+            );
+            let _ = writeln!(
+                out,
+                "  slot {:>6}  trigger {}: {} snapshot(s) over {} shard(s), {range}",
+                d.header.slot, d.header.trigger, d.snapshots, d.shards
+            );
+            if d.snapshots != d.header.snapshots {
+                let _ = writeln!(
+                    out,
+                    "    WARNING: header advertised {} snapshot(s) but {} present \
+                     (torn dump?)",
+                    d.header.snapshots, d.snapshots
+                );
+            }
+            if let Some((_, hi)) = d.slots {
+                if hi != d.header.slot {
+                    let _ = writeln!(
+                        out,
+                        "    note: last snapshot slot {hi} != trigger slot {} \
+                         (shards may have lagged the trigger)",
+                        d.header.slot
                     );
                 }
             }
@@ -975,6 +1394,141 @@ mod tests {
         // Mean work share over the two shards: (20 + 40) / 2 = 30%.
         assert!(text.contains("mean shard work share: 30.0%"), "{text}");
         assert!(text.contains("caps shard scaling"), "{text}");
+    }
+
+    #[test]
+    fn learning_events_render_their_own_section() {
+        let lines = [
+            r#"{"slot":1,"kind":"arm_lifecycle","shard":0,"arm":0,"event":"activate","pulls":0,"mean":0.0,"radius":null,"value_mhz":100.0}"#,
+            r#"{"slot":5,"kind":"arm_lifecycle","shard":0,"arm":0,"event":"sample","pulls":3,"mean":0.5,"radius":0.4,"value_mhz":100.0}"#,
+            r#"{"slot":5,"kind":"arm_lifecycle","shard":0,"arm":0,"event":"bound_update","pulls":3,"mean":0.5,"radius":0.4,"value_mhz":100.0}"#,
+            r#"{"slot":9,"kind":"arm_lifecycle","shard":0,"arm":2,"event":"eliminate","pulls":4,"mean":0.1,"radius":0.3,"value_mhz":1000.0}"#,
+            r#"{"slot":12,"kind":"drift_suspected","shard":0,"arm":1,"mean":0.3120,"score":2.145}"#,
+            r#"{"slot":30,"kind":"drift_cleared","shard":0,"arm":1,"mean":0.7,"score":0.1}"#,
+            r#"{"slot":40,"kind":"learning_state","shard":0,"cum_reward":22.5,"oracle":24.0,"regret":1.5,"steps":40}"#,
+            r#"{"slot":40,"kind":"lp_state","shard":0,"solves":40,"warm_hits":36,"warm_fallbacks":2,"cold_starts":2,"pivots":120,"refactorizations":3}"#,
+            r#"{"slot":41,"kind":"flight_dump","trigger":"drift","snapshots":12,"evicted":3}"#,
+            r#"{"slot":50,"kind":"arm_lifecycle_drops","count":7}"#,
+        ];
+        let report = build_report(lines.iter().copied()).unwrap();
+        assert_eq!(report.arm_lifecycle["sample"], 1);
+        assert_eq!(report.arm_lifecycle["eliminate"], 1);
+        assert_eq!(report.drift_events.len(), 2);
+        assert!(report.drift_events[0].suspected);
+        assert!(!report.drift_events[1].suspected);
+        assert_eq!(report.learning[&0].steps, 40);
+        assert_eq!(report.lp[&0].warm_hits, 36);
+        assert_eq!(report.flight_dumps[0].trigger, "drift");
+        assert_eq!(report.arm_lifecycle_dropped, 7);
+
+        let text = report.render();
+        assert!(text.contains("== learning =="), "{text}");
+        assert!(text.contains("arm-lifecycle events: 4"), "{text}");
+        assert!(
+            text.contains("arm 1 drift SUSPECTED (mean 0.3120, score 2.145)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("shard 0 regret (as of slot 40): 1.5000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("40 solve(s), 36 warm hit(s) (90.0%), 2 fallback(s), 2 cold"),
+            "{text}"
+        );
+        assert!(
+            text.contains("flight recorder dumped 12 snapshot(s) (trigger: drift)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("learner probe buffer saturated — 7 event(s) dropped"),
+            "{text}"
+        );
+        // Quiet runs omit the section.
+        let quiet = build_report(SAMPLE.iter().copied()).unwrap();
+        assert!(!quiet.render().contains("== learning =="));
+    }
+
+    #[test]
+    fn lifecycle_drops_warn_up_top() {
+        let lines = [r#"{"slot":80,"kind":"lifecycle_drops","count":9}"#];
+        let report = build_report(lines.iter().copied()).unwrap();
+        assert_eq!(report.lifecycle_dropped, 9);
+        let text = report.render();
+        assert!(
+            text.contains("WARNING: lifecycle ring saturated — 9 record(s) dropped"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn lifecycle_stream_builds_salvages_and_sniffs() {
+        let lines = [
+            r#"{"id":1,"stage":"admit","slot":0,"shard":-1,"bs":3}"#,
+            r#"{"id":1,"stage":"start","slot":2,"shard":0,"bs":3}"#,
+            r#"{"id":2,"stage":"admit","slot":2,"shard":-1,"bs":4}"#,
+            r#"{"id":1,"stage":"complete","slot":9,"shard":0,"bs":3}"#,
+        ];
+        assert!(sniff_lifecycle(lines[0]));
+        assert!(!sniff_lifecycle(SAMPLE[0]), "trace lines must not sniff");
+        let r = build_lifecycle_report(lines.iter().copied()).unwrap();
+        assert_eq!(r.records, 4);
+        assert_eq!(r.requests, 2);
+        assert_eq!(r.stages["admit"], 2);
+        assert_eq!(r.slots, Some((0, 9)));
+        let text = r.render();
+        assert!(text.contains("4 record(s), 2 request(s)"), "{text}");
+        assert!(text.contains("slots 0..=9"), "{text}");
+
+        // A torn final line errors exactly there, and the prefix
+        // salvages cleanly — the bin's recovery contract.
+        let mut torn: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        torn.push(r#"{"id":3,"stage":"adm"#.to_string());
+        let (line_no, _) = build_lifecycle_report(&torn).unwrap_err();
+        assert_eq!(line_no, 5);
+        let salvaged = build_lifecycle_report(&torn[..line_no - 1]).unwrap();
+        assert_eq!(salvaged.records, 4);
+    }
+
+    #[test]
+    fn flight_stream_builds_salvages_and_sniffs() {
+        let lines = [
+            r#"{"slot":60,"kind":"flight_dump","trigger":"crash","snapshots":3,"evicted":0}"#,
+            r#"{"slot":58,"kind":"flight","shard":0,"arm":3,"value":400.0,"active_arms":5,"best_arm":3,"best_mean":0.7,"granted":9,"granted_mhz":3600.0,"assign_digest":123,"lp_solves":0,"lp_warm_hits":0,"lp_pivots":0}"#,
+            r#"{"slot":59,"kind":"flight","shard":0,"arm":3,"value":400.0,"active_arms":5,"best_arm":3,"best_mean":0.7,"granted":9,"granted_mhz":3600.0,"assign_digest":124,"lp_solves":0,"lp_warm_hits":0,"lp_pivots":0}"#,
+            r#"{"slot":60,"kind":"flight","shard":0,"arm":3,"value":400.0,"active_arms":5,"best_arm":3,"best_mean":0.7,"granted":9,"granted_mhz":3600.0,"assign_digest":125,"lp_solves":0,"lp_warm_hits":0,"lp_pivots":0}"#,
+        ];
+        assert!(sniff_flight(lines[0]));
+        assert!(sniff_flight(lines[1]), "bare snapshots still sniff");
+        assert!(!sniff_flight(SAMPLE[0]));
+        let r = build_flight_report(lines.iter().copied()).unwrap();
+        assert_eq!(r.dumps.len(), 1);
+        assert_eq!(r.dumps[0].snapshots, 3);
+        assert_eq!(r.dumps[0].slots, Some((58, 60)));
+        assert_eq!(r.dumps[0].shards, 1);
+        let text = r.render();
+        assert!(
+            text.contains("trigger crash: 3 snapshot(s) over 1 shard(s), slots 58..=60"),
+            "{text}"
+        );
+        assert!(!text.contains("WARNING"), "complete dump: {text}");
+
+        // Torn tail: error at the last line, salvage the prefix; the
+        // under-count vs. the header is called out.
+        let mut torn: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        torn.push(r#"{"slot":60,"kind":"fli"#.to_string());
+        let (line_no, _) = build_flight_report(&torn).unwrap_err();
+        assert_eq!(line_no, 5);
+        let salvaged = build_flight_report(&torn[..line_no - 1]).unwrap();
+        assert_eq!(salvaged.dumps[0].snapshots, 3);
+        let partial = build_flight_report(lines[..3].iter().copied()).unwrap();
+        assert!(
+            partial
+                .render()
+                .contains("advertised 3 snapshot(s) but 2 present"),
+            "{}",
+            partial.render()
+        );
     }
 
     #[test]

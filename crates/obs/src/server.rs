@@ -1,12 +1,16 @@
 //! A tiny scrape endpoint over `std::net::TcpListener`.
 //!
-//! One background thread accepts connections and answers four routes:
+//! One background thread accepts connections and answers these routes:
 //! `GET /metrics` (Prometheus text, version 0.0.4), `GET /metrics.json`
 //! (the registry's JSON rendering), `GET /healthz` (liveness: uptime
-//! and a scrape counter), and `GET /slo.json` (the SLO engine's state
-//! document, when the embedding runtime publishes one). Everything else
-//! is 404. The server exists for *live* observation — nothing about a
-//! run's determinism depends on whether anyone scrapes it.
+//! and a scrape counter), and up to three runtime-published documents —
+//! `GET /slo.json` (SLO engine state), `GET /learning.json` (live
+//! learner state: arms, bounds, regret), and `GET /flight.json` (the
+//! flight recorder's current rings). Document routes answer 404 with a
+//! route-specific body when the embedding runtime publishes nothing
+//! there. Everything else is 404. The server exists for *live*
+//! observation — nothing about a run's determinism depends on whether
+//! anyone scrapes it.
 
 use crate::registry::Registry;
 use std::io::{BufRead, BufReader, Write};
@@ -36,10 +40,18 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
     let _ = stream.flush();
 }
 
+/// The document routes a runtime can publish, with the body served
+/// when nothing is attached at that path.
+const DOC_ROUTES: [(&str, &str); 3] = [
+    ("/slo.json", "no slo engine attached\n"),
+    ("/learning.json", "no learning plane attached\n"),
+    ("/flight.json", "no flight recorder attached\n"),
+];
+
 /// Everything the accept loop needs to answer a request.
 struct ServerState {
     registry: Arc<Registry>,
-    slo: Option<SharedDoc>,
+    docs: Vec<(&'static str, SharedDoc)>,
     started: Instant,
     scrapes: AtomicU64,
 }
@@ -86,18 +98,22 @@ fn handle(mut stream: TcpStream, state: &ServerState) {
             );
             respond(&mut stream, "200 OK", "application/json", &body);
         }
-        "/slo.json" => match &state.slo {
-            Some(doc) => {
-                let body = doc.lock().unwrap_or_else(PoisonError::into_inner).clone();
-                respond(&mut stream, "200 OK", "application/json", &body);
+        path if DOC_ROUTES.iter().any(|(p, _)| *p == path) => {
+            match state.docs.iter().find(|(p, _)| *p == path) {
+                Some((_, doc)) => {
+                    let body = doc.lock().unwrap_or_else(PoisonError::into_inner).clone();
+                    respond(&mut stream, "200 OK", "application/json", &body);
+                }
+                None => {
+                    let missing = DOC_ROUTES
+                        .iter()
+                        .find(|(p, _)| *p == path)
+                        .map(|(_, msg)| *msg)
+                        .unwrap_or("not found\n");
+                    respond(&mut stream, "404 Not Found", "text/plain", missing);
+                }
             }
-            None => respond(
-                &mut stream,
-                "404 Not Found",
-                "text/plain",
-                "no slo engine attached\n",
-            ),
-        },
+        }
         _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
     }
 }
@@ -124,13 +140,35 @@ impl MetricsServer {
         registry: Arc<Registry>,
         slo: Option<SharedDoc>,
     ) -> std::io::Result<Self> {
+        let docs = slo.map(|d| vec![("/slo.json", d)]).unwrap_or_default();
+        Self::bind_with_docs(addr, registry, docs)
+    }
+
+    /// [`MetricsServer::bind`], additionally publishing each `(path,
+    /// doc)` pair. Paths must come from the known document routes
+    /// (`/slo.json`, `/learning.json`, `/flight.json`); unknown paths
+    /// are ignored rather than served (the route table is fixed so a
+    /// typo cannot silently open a new endpoint).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn bind_with_docs(
+        addr: &str,
+        registry: Arc<Registry>,
+        docs: Vec<(&'static str, SharedDoc)>,
+    ) -> std::io::Result<Self> {
+        let docs = docs
+            .into_iter()
+            .filter(|(p, _)| DOC_ROUTES.iter().any(|(known, _)| known == p))
+            .collect();
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
         let state = ServerState {
             registry,
-            slo,
+            docs,
             started: Instant::now(),
             scrapes: AtomicU64::new(0),
         };
@@ -245,6 +283,54 @@ mod tests {
         *doc.lock().unwrap() = "{\"slot\":7,\"slos\":[]}".to_string();
         let out = get(addr, "/slo.json");
         assert!(out.contains("\"slot\":7"), "{out}");
+        drop(server);
+    }
+
+    #[test]
+    fn learning_and_flight_docs_serve_like_slo() {
+        let registry = Arc::new(Registry::new());
+        let learning: SharedDoc = Arc::new(Mutex::new("{\"slot\":1,\"shards\":[]}".to_string()));
+        let flight: SharedDoc = Arc::new(Mutex::new("{\"slot\":1,\"snapshots\":[]}".to_string()));
+        let server = MetricsServer::bind_with_docs(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            vec![
+                ("/learning.json", learning.clone()),
+                ("/flight.json", flight.clone()),
+                ("/evil.json", flight.clone()), // unknown: must be ignored
+            ],
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let out = get(addr, "/learning.json");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        assert!(out.ends_with("{\"slot\":1,\"shards\":[]}"), "{out}");
+        let out = get(addr, "/flight.json");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        // The unattached slo route keeps its specific 404 body.
+        let out = get(addr, "/slo.json");
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+        assert!(out.ends_with("no slo engine attached\n"), "{out}");
+        // Unknown doc paths never open an endpoint.
+        let out = get(addr, "/evil.json");
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+        // Swapping a doc serves the new copy.
+        *learning.lock().unwrap() = "{\"slot\":9,\"shards\":[]}".to_string();
+        let out = get(addr, "/learning.json");
+        assert!(out.contains("\"slot\":9"), "{out}");
+        drop(server);
+    }
+
+    #[test]
+    fn unattached_learning_and_flight_routes_404_with_hints() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+        let out = get(addr, "/learning.json");
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+        assert!(out.ends_with("no learning plane attached\n"), "{out}");
+        let out = get(addr, "/flight.json");
+        assert!(out.ends_with("no flight recorder attached\n"), "{out}");
         drop(server);
     }
 

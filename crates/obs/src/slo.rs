@@ -25,8 +25,67 @@
 //! `slo_recovered` trace events; [`SloEngine::render_json`] produces
 //! the deterministic document served at `/slo.json`.
 
-use crate::registry::{log_linear_bounds, HistogramSnapshot};
+use crate::registry::{log_linear_bounds, WindowedHistogram};
 use std::collections::VecDeque;
+
+/// Typed parse failure for SLO spec strings. [`std::fmt::Display`]
+/// preserves the exact human-readable messages earlier releases
+/// returned as bare strings, so CLI error output is unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SloParseError {
+    /// No `@window` suffix.
+    MissingWindow(String),
+    /// The `@window` suffix did not parse as a slot count.
+    BadWindow(String),
+    /// The window parsed but was zero.
+    ZeroWindow(String),
+    /// Neither `>=` nor `<=` appeared in the expression.
+    MissingComparator(String),
+    /// The threshold did not parse as a number.
+    BadThreshold(String),
+    /// `deadline_hit_rate` used with a comparator other than `>=`.
+    HitRateNeedsGe(String),
+    /// A hit-rate threshold outside `(0, 1)`.
+    HitRateOutOfRange(String),
+    /// A latency objective used with a comparator other than `<=`.
+    LatencyNeedsLe(String),
+    /// A latency threshold that is not positive and finite.
+    LatencyOutOfRange(String),
+    /// A metric name this engine does not know.
+    UnknownMetric {
+        /// The unrecognized metric token.
+        metric: String,
+        /// The full spec it appeared in.
+        raw: String,
+    },
+}
+
+impl std::fmt::Display for SloParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingWindow(raw) => write!(f, "missing '@window' suffix in {raw:?}"),
+            Self::BadWindow(raw) => {
+                write!(f, "bad window in {raw:?} (want a positive slot count)")
+            }
+            Self::ZeroWindow(raw) => write!(f, "window must be positive in {raw:?}"),
+            Self::MissingComparator(raw) => write!(f, "missing '>=' or '<=' in {raw:?}"),
+            Self::BadThreshold(raw) => write!(f, "bad threshold in {raw:?}"),
+            Self::HitRateNeedsGe(raw) => write!(f, "deadline_hit_rate needs '>=' in {raw:?}"),
+            Self::HitRateOutOfRange(raw) => {
+                write!(f, "hit-rate threshold must be in (0,1) in {raw:?}")
+            }
+            Self::LatencyNeedsLe(raw) => write!(f, "latency objectives need '<=' in {raw:?}"),
+            Self::LatencyOutOfRange(raw) => {
+                write!(f, "latency threshold must be positive in {raw:?}")
+            }
+            Self::UnknownMetric { metric, raw } => {
+                write!(f, "unknown SLO metric {metric:?} in {raw:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SloParseError {}
 
 /// What an SLO constrains.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,46 +117,47 @@ impl SloSpec {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message for unknown metrics, wrong
-    /// comparison direction, or out-of-range thresholds/windows.
-    pub fn parse(text: &str) -> Result<Self, String> {
+    /// Returns a typed [`SloParseError`] for unknown metrics, wrong
+    /// comparison direction, or out-of-range thresholds/windows; its
+    /// `Display` carries the same human-readable message as before.
+    pub fn parse(text: &str) -> Result<Self, SloParseError> {
         let raw = text.trim().to_string();
         let (expr, window) = raw
             .split_once('@')
-            .ok_or_else(|| format!("missing '@window' suffix in {raw:?}"))?;
+            .ok_or_else(|| SloParseError::MissingWindow(raw.clone()))?;
         let window: u64 = window
             .trim()
             .parse()
-            .map_err(|_| format!("bad window in {raw:?} (want a positive slot count)"))?;
+            .map_err(|_| SloParseError::BadWindow(raw.clone()))?;
         if window == 0 {
-            return Err(format!("window must be positive in {raw:?}"));
+            return Err(SloParseError::ZeroWindow(raw));
         }
         let (metric, op, threshold) = if let Some((m, t)) = expr.split_once(">=") {
             (m.trim(), ">=", t.trim())
         } else if let Some((m, t)) = expr.split_once("<=") {
             (m.trim(), "<=", t.trim())
         } else {
-            return Err(format!("missing '>=' or '<=' in {raw:?}"));
+            return Err(SloParseError::MissingComparator(raw));
         };
         let threshold: f64 = threshold
             .parse()
-            .map_err(|_| format!("bad threshold in {raw:?}"))?;
+            .map_err(|_| SloParseError::BadThreshold(raw.clone()))?;
         let kind = match metric {
             "deadline_hit_rate" => {
                 if op != ">=" {
-                    return Err(format!("deadline_hit_rate needs '>=' in {raw:?}"));
+                    return Err(SloParseError::HitRateNeedsGe(raw));
                 }
                 if !(threshold > 0.0 && threshold < 1.0) {
-                    return Err(format!("hit-rate threshold must be in (0,1) in {raw:?}"));
+                    return Err(SloParseError::HitRateOutOfRange(raw));
                 }
                 SloKind::DeadlineHitRate
             }
             "p50_latency" | "p95_latency" | "p99_latency" | "p999_latency" => {
                 if op != "<=" {
-                    return Err(format!("latency objectives need '<=' in {raw:?}"));
+                    return Err(SloParseError::LatencyNeedsLe(raw));
                 }
                 if !(threshold > 0.0 && threshold.is_finite()) {
-                    return Err(format!("latency threshold must be positive in {raw:?}"));
+                    return Err(SloParseError::LatencyOutOfRange(raw));
                 }
                 let q = match metric {
                     "p50_latency" => 0.50,
@@ -107,7 +167,12 @@ impl SloSpec {
                 };
                 SloKind::LatencyQuantile(q)
             }
-            other => return Err(format!("unknown SLO metric {other:?} in {raw:?}")),
+            other => {
+                return Err(SloParseError::UnknownMetric {
+                    metric: other.to_string(),
+                    raw,
+                })
+            }
         };
         Ok(Self {
             raw,
@@ -217,14 +282,12 @@ impl WindowCounts {
     }
 }
 
-/// Windowed latency distribution: per-slot bucket counts over shared
-/// log-linear bounds, merged with subtract-on-evict.
+/// Windowed latency distribution. A thin wrapper over the shared
+/// [`WindowedHistogram`]: bucket filling and quantile estimation live in
+/// one place (`registry.rs`) instead of being re-implemented here.
 #[derive(Debug)]
 struct LatencyWindow {
-    bounds: Vec<f64>,
-    ring: VecDeque<Vec<u64>>,
-    cap: usize,
-    merged: Vec<u64>,
+    hist: WindowedHistogram,
 }
 
 impl LatencyWindow {
@@ -232,40 +295,17 @@ impl LatencyWindow {
         // 1 ms to 100 s at nine steps per decade resolves p999 for any
         // latency profile this workspace produces.
         let bounds = log_linear_bounds(1.0, 100_000.0, 9);
-        let width = bounds.len() + 1;
         Self {
-            bounds,
-            ring: VecDeque::new(),
-            cap: cap.max(1) as usize,
-            merged: vec![0; width],
+            hist: WindowedHistogram::new(&bounds, cap.max(1) as usize),
         }
     }
 
     fn push(&mut self, latencies_ms: &[f64]) {
-        let mut slot = vec![0u64; self.merged.len()];
-        for &v in latencies_ms {
-            let idx = self.bounds.partition_point(|&b| b < v);
-            slot[idx] += 1;
-            self.merged[idx] += 1;
-        }
-        self.ring.push_back(slot);
-        if self.ring.len() > self.cap {
-            let old = self.ring.pop_front().expect("non-empty ring");
-            for (m, o) in self.merged.iter_mut().zip(&old) {
-                *m -= o;
-            }
-        }
+        self.hist.push_slot(latencies_ms);
     }
 
     fn quantile(&self, q: f64) -> f64 {
-        let count: u64 = self.merged.iter().sum();
-        let snap = HistogramSnapshot {
-            bounds: self.bounds.clone(),
-            counts: self.merged.clone(),
-            sum: 0.0, // quantile estimation never reads the sum
-            count,
-        };
-        snap.quantile(q)
+        self.hist.quantile(q)
     }
 }
 
@@ -481,6 +521,60 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_are_typed() {
+        use SloParseError as E;
+        let err = |s: &str| SloSpec::parse(s).unwrap_err();
+        assert_eq!(
+            err("deadline_hit_rate>=0.95"),
+            E::MissingWindow("deadline_hit_rate>=0.95".into())
+        );
+        assert_eq!(
+            err("deadline_hit_rate>=0.9@-2"),
+            E::BadWindow("deadline_hit_rate>=0.9@-2".into())
+        );
+        assert_eq!(
+            err("deadline_hit_rate>=0.95@0"),
+            E::ZeroWindow("deadline_hit_rate>=0.95@0".into())
+        );
+        assert_eq!(
+            err("deadline_hit_rate~=0.95@10"),
+            E::MissingComparator("deadline_hit_rate~=0.95@10".into())
+        );
+        assert_eq!(
+            err("deadline_hit_rate>=zero@10"),
+            E::BadThreshold("deadline_hit_rate>=zero@10".into())
+        );
+        assert_eq!(
+            err("deadline_hit_rate<=0.95@10"),
+            E::HitRateNeedsGe("deadline_hit_rate<=0.95@10".into())
+        );
+        assert_eq!(
+            err("deadline_hit_rate>=1.5@10"),
+            E::HitRateOutOfRange("deadline_hit_rate>=1.5@10".into())
+        );
+        assert_eq!(
+            err("p99_latency>=250@10"),
+            E::LatencyNeedsLe("p99_latency>=250@10".into())
+        );
+        assert_eq!(
+            err("p99_latency<=-1@10"),
+            E::LatencyOutOfRange("p99_latency<=-1@10".into())
+        );
+        assert_eq!(
+            err("throughput>=5@10"),
+            E::UnknownMetric {
+                metric: "throughput".into(),
+                raw: "throughput>=5@10".into()
+            }
+        );
+        // Display keeps the legacy message text.
+        assert_eq!(
+            err("deadline_hit_rate>=0.95").to_string(),
+            "missing '@window' suffix in \"deadline_hit_rate>=0.95\""
+        );
+    }
+
+    #[test]
     fn breach_needs_both_windows_and_recovery_needs_only_fast() {
         // Window 16 → fast window 2. Budget = 5%.
         let mut e = SloEngine::new(vec![hit_rate("deadline_hit_rate>=0.95@16")]);
@@ -610,5 +704,47 @@ mod tests {
             slos[0].get("breached"),
             Some(&crate::json::JsonValue::Bool(false))
         );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// `label()` is the canonical rendering: every valid spec
+            /// re-parses from its label to an identical spec.
+            #[test]
+            fn spec_parse_render_round_trips(
+                metric in 0usize..5,
+                window in 1u64..100_000,
+                hit_bp in 1u64..9_999,
+                latency_ms in 1u64..1_000_000,
+            ) {
+                let metric_name = [
+                    "deadline_hit_rate",
+                    "p50_latency",
+                    "p95_latency",
+                    "p99_latency",
+                    "p999_latency",
+                ][metric];
+                let text = if metric == 0 {
+                    format!("{metric_name}>={}@{window}", hit_bp as f64 / 10_000.0)
+                } else {
+                    format!("{metric_name}<={latency_ms}@{window}")
+                };
+                let spec = SloSpec::parse(&text).expect("generated specs are valid");
+                prop_assert_eq!(spec.window(), window);
+                if metric == 0 {
+                    prop_assert_eq!(spec.kind(), SloKind::DeadlineHitRate);
+                    prop_assert!((spec.threshold() - hit_bp as f64 / 10_000.0).abs() < 1e-12);
+                } else {
+                    prop_assert_eq!(spec.threshold(), latency_ms as f64);
+                }
+                let again = SloSpec::parse(spec.label()).expect("label re-parses");
+                prop_assert_eq!(again, spec);
+            }
+        }
     }
 }

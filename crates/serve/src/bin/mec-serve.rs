@@ -50,6 +50,9 @@ struct Args {
     slo: Vec<mec_obs::SloSpec>,
     lifecycle_out: Option<String>,
     stall_events: bool,
+    learner_events: bool,
+    flight_out: Option<String>,
+    flight_dump_on: Option<mec_obs::FlightTriggerSet>,
 }
 
 impl Default for Args {
@@ -90,6 +93,9 @@ impl Default for Args {
             slo: Vec::new(),
             lifecycle_out: None,
             stall_events: false,
+            learner_events: false,
+            flight_out: None,
+            flight_dump_on: None,
         }
     }
 }
@@ -170,6 +176,16 @@ OBSERVABILITY (requires a build with --features obs):
     --stall-events        emit run-end stall_shard / stall_driver trace
                           events (wall-clock payloads; off by default so
                           same-seed traces stay byte-identical)
+    --learner-events      attach the learner probe: per-arm lifecycle
+                          trace events, live regret gauges, drift
+                          detection, and GET /learning.json + /flight.json
+                          (emits for learning policies, i.e. DynamicRR)
+    --flight-out <PATH>   append flight-recorder dumps (decision-snapshot
+                          JSONL; feed to mec-obs-report) to PATH when a
+                          trigger fires; implies --learner-events
+    --flight-dump-on <LIST>
+                          which events trip a flight dump, as a comma
+                          list of slo, drift, crash [default: all three]
 
 LIFECYCLE (requires a build with --features lifecycle):
     --lifecycle-out <PATH>
@@ -254,6 +270,14 @@ fn parse_args() -> Result<Args, String> {
             ),
             "--lifecycle-out" => args.lifecycle_out = Some(value("--lifecycle-out")?),
             "--stall-events" => args.stall_events = true,
+            "--learner-events" => args.learner_events = true,
+            "--flight-out" => args.flight_out = Some(value("--flight-out")?),
+            "--flight-dump-on" => {
+                args.flight_dump_on = Some(
+                    mec_obs::FlightTriggerSet::parse(&value("--flight-dump-on")?)
+                        .map_err(|e| format!("--flight-dump-on: {e}"))?,
+                );
+            }
             "--profile-out" => args.profile_out = Some(value("--profile-out")?),
             "--profile-folded" => args.profile_folded = Some(value("--profile-folded")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -298,6 +322,9 @@ fn parse_args() -> Result<Args, String> {
     if !args.chaos.disk_faults.is_empty() && args.state_dir.is_none() {
         return Err("disk fault injection needs a state directory (--state-dir)".to_string());
     }
+    if args.flight_dump_on.is_some() && args.flight_out.is_none() {
+        return Err("--flight-dump-on needs a flight sink (--flight-out)".to_string());
+    }
     #[cfg(not(feature = "obs"))]
     if args.metrics_addr.is_some()
         || args.trace_out.is_some()
@@ -305,6 +332,8 @@ fn parse_args() -> Result<Args, String> {
         || args.hold_metrics_ms > 0
         || !args.slo.is_empty()
         || args.stall_events
+        || args.learner_events
+        || args.flight_out.is_some()
     {
         return Err(
             "observability flags need the obs feature; rebuild with --features obs".to_string(),
@@ -374,6 +403,8 @@ fn main() -> ExitCode {
     // Observability attachment: built only when a flag asks for it, so a
     // plain run keeps a private registry and its exact legacy behaviour.
     #[cfg(feature = "obs")]
+    let probe = args.learner_events || args.flight_out.is_some();
+    #[cfg(feature = "obs")]
     let hub = if args.metrics_addr.is_some()
         || args.trace_out.is_some()
         || args.telemetry_every.is_some()
@@ -381,8 +412,9 @@ fn main() -> ExitCode {
         || args.lifecycle_out.is_some()
         || !args.slo.is_empty()
         || args.stall_events
+        || probe
     {
-        let mut hub = mec_serve::ObsHub::new();
+        let mut hub = mec_serve::ObsHub::new().with_probe(probe);
         if let Some(path) = &args.trace_out {
             let file = match std::fs::File::create(path) {
                 Ok(file) => file,
@@ -407,6 +439,21 @@ fn main() -> ExitCode {
                 std::io::BufWriter::new(file),
             )));
         }
+        if let Some(path) = &args.flight_out {
+            let file = match std::fs::File::create(path) {
+                Ok(file) => file,
+                Err(e) => {
+                    eprintln!("cannot create flight file {path:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            hub = hub.with_flight(mec_obs::TraceWriter::new(Box::new(
+                std::io::BufWriter::new(file),
+            )));
+        }
+        if let Some(on) = args.flight_dump_on {
+            hub = hub.with_flight_triggers(on);
+        }
         if let Some(every) = args.telemetry_every {
             hub = hub.with_telemetry_every(every);
         }
@@ -418,13 +465,21 @@ fn main() -> ExitCode {
     #[cfg(feature = "obs")]
     let _metrics_server = match (&args.metrics_addr, &hub) {
         (Some(addr), Some(hub)) => {
-            // The SLO document is attached whenever specs exist, so
-            // /slo.json serves live burn-rate state alongside /metrics.
-            let slo_doc = (!args.slo.is_empty()).then(|| hub.slo_doc());
-            match mec_obs::MetricsServer::bind_with_slo(
+            // Live documents attach only when their producer is
+            // configured: /slo.json whenever SLO specs exist, and
+            // /learning.json + /flight.json whenever the probe is on.
+            let mut docs = Vec::new();
+            if !args.slo.is_empty() {
+                docs.push(("/slo.json", hub.slo_doc()));
+            }
+            if probe {
+                docs.push(("/learning.json", hub.learning_doc()));
+                docs.push(("/flight.json", hub.flight_doc()));
+            }
+            match mec_obs::MetricsServer::bind_with_docs(
                 addr,
                 std::sync::Arc::clone(hub.registry()),
-                slo_doc,
+                docs,
             ) {
                 Ok(server) => {
                     eprintln!("metrics: GET http://{}/metrics", server.local_addr());
@@ -588,6 +643,12 @@ fn main() -> ExitCode {
                 eprintln!(
                     "lifecycle: {} record(s) written to {path}",
                     hub.lifecycle_written()
+                );
+            }
+            if let Some(path) = &args.flight_out {
+                eprintln!(
+                    "flight: {} dump line(s) written to {path}",
+                    hub.flight_written()
                 );
             }
         }

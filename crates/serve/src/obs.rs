@@ -25,10 +25,12 @@ use crate::journal::DiskIncidents;
 use crate::router::Router;
 use crate::shard::ShardTick;
 use crate::snapshot::{FaultStats, PlacementStats};
+use mec_core::RegretAccountant;
 use mec_obs::{
-    Counter, EventSink, Gauge, Histogram, LifecycleRecord, LifecycleRing, LifecycleSink,
-    LifecycleWriter, Registry, SharedDoc, SloEngine, SloTransition, TraceEvent, TraceRing,
-    TraceWriter, LATENCY_MS_BOUNDS, STEP_MS_BOUNDS,
+    Counter, DecisionSnapshot, EventSink, FlightRecorder, FlightTrigger, FlightTriggerSet, Gauge,
+    Histogram, LifecycleRecord, LifecycleRing, LifecycleSink, LifecycleWriter, PageHinkley,
+    Registry, SharedDoc, SloEngine, SloTransition, TraceEvent, TraceRing, TraceWriter,
+    LATENCY_MS_BOUNDS, STEP_MS_BOUNDS,
 };
 use mec_placement::{InstallDone, PlacementState, ReconfigOp};
 use std::fmt;
@@ -59,6 +61,11 @@ pub struct ObsHub {
     trace: Option<Mutex<TraceWriter>>,
     lifecycle: Option<Mutex<LifecycleWriter>>,
     slo_doc: SharedDoc,
+    learning_doc: SharedDoc,
+    flight_doc: SharedDoc,
+    flight: Option<Mutex<TraceWriter>>,
+    flight_on: FlightTriggerSet,
+    probe: bool,
     stall_events: bool,
     telemetry_every: u64,
 }
@@ -68,6 +75,8 @@ impl fmt::Debug for ObsHub {
         f.debug_struct("ObsHub")
             .field("tracing", &self.trace.is_some())
             .field("lifecycle", &self.lifecycle.is_some())
+            .field("flight", &self.flight.is_some())
+            .field("probe", &self.probe)
             .field("stall_events", &self.stall_events)
             .field("telemetry_every", &self.telemetry_every)
             .finish_non_exhaustive()
@@ -95,6 +104,11 @@ impl ObsHub {
             trace: None,
             lifecycle: None,
             slo_doc: Arc::new(Mutex::new(String::new())),
+            learning_doc: Arc::new(Mutex::new(String::new())),
+            flight_doc: Arc::new(Mutex::new(String::new())),
+            flight: None,
+            flight_on: FlightTriggerSet::all(),
+            probe: false,
             stall_events: false,
             telemetry_every: 25,
         }
@@ -115,6 +129,36 @@ impl ObsHub {
     #[must_use]
     pub fn with_lifecycle(mut self, writer: LifecycleWriter) -> Self {
         self.lifecycle = Some(Mutex::new(writer));
+        self
+    }
+
+    /// Attaches the learner probe: every shard policy streams arm-
+    /// lifecycle events, decision records, and LP solve times to the
+    /// driver, feeding the regret accountant, drift detectors, flight
+    /// recorder, and the `/learning.json` document. Off by default —
+    /// with the probe detached policies take the exact pre-probe code
+    /// paths, so snapshots stay byte-identical.
+    #[must_use]
+    pub fn with_probe(mut self, on: bool) -> Self {
+        self.probe = on;
+        self
+    }
+
+    /// Attaches a flight-recorder sink: on each enabled trigger (SLO
+    /// breach, drift firing, shard crash) the recorder's decision rings
+    /// are dumped to this JSONL writer. Implies nothing by itself — the
+    /// rings only fill while the probe is attached.
+    #[must_use]
+    pub fn with_flight(mut self, writer: TraceWriter) -> Self {
+        self.flight = Some(Mutex::new(writer));
+        self
+    }
+
+    /// Selects which events trigger a flight-recorder dump (default:
+    /// all of SLO breach, drift, and crash).
+    #[must_use]
+    pub fn with_flight_triggers(mut self, on: FlightTriggerSet) -> Self {
+        self.flight_on = on;
         self
     }
 
@@ -163,6 +207,69 @@ impl ObsHub {
         Arc::clone(&self.slo_doc)
     }
 
+    /// The live learner state document served at `/learning.json` —
+    /// hand it to [`mec_obs::MetricsServer::bind_with_docs`]; the
+    /// runtime overwrites it at every learner-telemetry sweep while the
+    /// probe is attached.
+    pub fn learning_doc(&self) -> SharedDoc {
+        Arc::clone(&self.learning_doc)
+    }
+
+    /// The on-demand flight-recorder document served at `/flight.json` —
+    /// hand it to [`mec_obs::MetricsServer::bind_with_docs`]; the runtime
+    /// overwrites it with the current decision rings (JSONL, sorted by
+    /// slot then shard) at every learner-telemetry sweep while the probe
+    /// is attached. Reading it never counts as a dump.
+    pub fn flight_doc(&self) -> SharedDoc {
+        Arc::clone(&self.flight_doc)
+    }
+
+    /// Whether the learner probe was requested.
+    pub fn probe(&self) -> bool {
+        self.probe
+    }
+
+    /// Whether a flight-recorder sink is attached.
+    pub fn has_flight(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// The enabled flight-dump trigger set.
+    pub fn flight_triggers(&self) -> FlightTriggerSet {
+        self.flight_on
+    }
+
+    /// Events successfully written to the flight-recorder sink so far.
+    pub fn flight_written(&self) -> u64 {
+        self.flight.as_ref().map_or(0, |w| {
+            w.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .written()
+        })
+    }
+
+    /// Appends one event to the flight-recorder sink, if any.
+    pub(crate) fn write_flight(&self, event: &TraceEvent) {
+        if let Some(writer) = &self.flight {
+            writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .write(event);
+        }
+    }
+
+    /// Flushes the flight sink immediately — dumps fire on faults, so
+    /// waiting for the run-end flush could lose the one dump that
+    /// mattered.
+    pub(crate) fn flush_flight(&self) {
+        if let Some(writer) = &self.flight {
+            writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .flush();
+        }
+    }
+
     /// Lifecycle records successfully written to the sink so far.
     pub fn lifecycle_written(&self) -> u64 {
         self.lifecycle.as_ref().map_or(0, |w| {
@@ -201,7 +308,7 @@ impl ObsHub {
         }
     }
 
-    /// Flushes the trace and lifecycle sinks, if any.
+    /// Flushes the trace, lifecycle, and flight sinks, if any.
     pub fn flush(&self) {
         if let Some(writer) = &self.trace {
             writer
@@ -215,6 +322,7 @@ impl ObsHub {
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .flush();
         }
+        self.flush_flight();
     }
 }
 
@@ -248,6 +356,166 @@ struct ArmGauges {
     ucb: Arc<Gauge>,
     lcb: Arc<Gauge>,
     active: Arc<Gauge>,
+}
+
+/// Per-arm drift-detector state: the Page–Hinkley statistic plus the
+/// SLO-style suspected/cleared transition flag.
+struct ArmDrift {
+    ph: PageHinkley,
+    suspected: bool,
+}
+
+/// Per-shard regret gauges (built only while the probe is attached, so
+/// a probe-detached run's exposition is unchanged).
+struct LearnGauges {
+    regret: Arc<Gauge>,
+    cum_reward: Arc<Gauge>,
+    oracle: Arc<Gauge>,
+    steps: Arc<Gauge>,
+    drift_total: Arc<Counter>,
+}
+
+/// Per-shard slot-LP introspection gauges (built on the first solver
+/// sweep — LP-free policies never create them).
+struct LpGauges {
+    solves: Arc<Gauge>,
+    warm_hits: Arc<Gauge>,
+    warm_fallbacks: Arc<Gauge>,
+    cold_starts: Arc<Gauge>,
+    pivots: Arc<Gauge>,
+    refactorizations: Arc<Gauge>,
+}
+
+/// Renders a float for the learning document; non-finite values (an
+/// unpulled arm's infinite radius) become JSON `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Driver-side learning plane: per-shard regret accountants fed from
+/// `sample` probe events, per-arm Page–Hinkley drift detectors, the
+/// decision flight recorder, and every gauge they feed. Present only
+/// while the hub requested the probe.
+struct LearnPlane {
+    regret: Vec<RegretAccountant>,
+    drift: Vec<Vec<ArmDrift>>,
+    gauges: Vec<LearnGauges>,
+    lp: Vec<Option<LpGauges>>,
+    /// Last solver sweep per shard (rides along in decision snapshots).
+    lp_last: Vec<mec_sim::SolverTelemetry>,
+    /// Last telemetry-sweep arm views per shard, behind `/learning.json`.
+    last_arms: Vec<Vec<mec_sim::ArmTelemetry>>,
+    /// Wall-clock LP solve times (live metrics only, like step timing).
+    solve_ms: Arc<Histogram>,
+    /// Last-seen cumulative probe-ring drop count per shard.
+    probe_dropped: Vec<u64>,
+    probe_drop_counter: Arc<Counter>,
+    recorder: FlightRecorder,
+    /// Last slot the flight document was rendered at. Sweeps arrive once
+    /// per shard per interval, but the decision rings they render are
+    /// driver-side and shared — rendering the (string-heavy) flight
+    /// JSONL once per sweep slot loses nothing and divides its cost by
+    /// the shard count.
+    doc_slot: u64,
+}
+
+impl LearnPlane {
+    fn new(shards: usize, r: &Arc<Registry>) -> Self {
+        let gauges = (0..shards)
+            .map(|s| {
+                let l: &[(&str, &str)] = &[("shard", &s.to_string())];
+                LearnGauges {
+                    regret: r.gauge(
+                        "mec_learn_regret",
+                        "cumulative regret vs the per-step hindsight oracle",
+                        l,
+                    ),
+                    cum_reward: r.gauge(
+                        "mec_learn_cum_reward",
+                        "cumulative realized normalized reward",
+                        l,
+                    ),
+                    oracle: r.gauge("mec_learn_oracle", "cumulative per-step oracle bound", l),
+                    steps: r.gauge("mec_learn_steps", "learner updates folded into regret", l),
+                    drift_total: r.counter(
+                        "mec_learn_drift_suspected_total",
+                        "Page-Hinkley drift firings",
+                        l,
+                    ),
+                }
+            })
+            .collect();
+        Self {
+            regret: vec![RegretAccountant::new(); shards],
+            drift: (0..shards).map(|_| Vec::new()).collect(),
+            gauges,
+            lp: (0..shards).map(|_| None).collect(),
+            lp_last: vec![mec_sim::SolverTelemetry::default(); shards],
+            last_arms: vec![Vec::new(); shards],
+            solve_ms: r.histogram(
+                "mec_slotlp_solve_ms",
+                "wall-clock slot-LP solve time (live only, never snapshotted)",
+                &[],
+                STEP_MS_BOUNDS,
+            ),
+            probe_dropped: vec![0; shards],
+            probe_drop_counter: r.counter(
+                "mec_obs_probe_dropped_total",
+                "learner-probe events lost at the policy's bounded recorder",
+                &[],
+            ),
+            recorder: FlightRecorder::new(mec_obs::flight::DEFAULT_FLIGHT_CAPACITY),
+            doc_slot: u64::MAX,
+        }
+    }
+
+    /// Renders the `/learning.json` document: per-shard regret
+    /// accounting, drift firings, and the last-swept arm views with
+    /// confidence radii.
+    fn render_doc(&self, slot: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"slot\":{slot},\"shards\":[");
+        for (shard, a) in self.regret.iter().enumerate() {
+            if shard > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\":{shard},\"regret\":{},\"cum_reward\":{},\"oracle\":{},\
+                 \"steps\":{},\"drift_suspected\":{},\"arms\":[",
+                json_f64(a.regret()),
+                json_f64(a.cumulative_reward()),
+                json_f64(a.oracle_total()),
+                a.steps(),
+                self.gauges[shard].drift_total.get(),
+            );
+            for (i, arm) in self.last_arms[shard].iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let radius = (arm.ucb - arm.lcb) / 2.0;
+                let _ = write!(
+                    out,
+                    "{{\"arm\":{},\"value\":{},\"mean\":{},\"radius\":{},\"pulls\":{},\
+                     \"active\":{}}}",
+                    arm.arm,
+                    json_f64(arm.value),
+                    json_f64(arm.mean),
+                    json_f64(radius.max(0.0)),
+                    arm.pulls,
+                    arm.active,
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}\n");
+        out
+    }
 }
 
 /// Driver-side observability state: one per [`crate::serve`] call. Owns
@@ -306,6 +574,9 @@ pub(crate) struct ObsState {
     recovery_samples: Vec<u64>,
     /// Last-seen active-arm bitmap per shard, for elimination diffing.
     prev_active: Vec<Option<Vec<bool>>>,
+    /// Learning plane — regret, drift, flight recorder. `None` unless
+    /// the hub requested the learner probe.
+    learn: Option<LearnPlane>,
 }
 
 impl EventSink for ObsState {
@@ -547,9 +818,18 @@ impl ObsState {
             telemetry_every,
             recovery_samples: Vec::new(),
             prev_active: vec![None; shards],
+            learn: hub
+                .as_ref()
+                .is_some_and(|h| h.probe())
+                .then(|| LearnPlane::new(shards, r)),
             registry,
             hub,
         }
+    }
+
+    /// Whether the learner probe should be attached to shard policies.
+    pub(crate) fn probe(&self) -> bool {
+        self.learn.is_some()
     }
 
     /// The worker trace ring for `shard` (shared across restarts, so a
@@ -615,6 +895,223 @@ impl ObsState {
         }
         if let Some(telemetry) = &tick.telemetry {
             self.note_telemetry(slot, shard, telemetry);
+            self.note_learn_sweep(slot, shard, telemetry);
+        }
+        self.note_learner(tick);
+    }
+
+    /// Folds one probed tick into the learning plane: `arm_lifecycle`
+    /// trace events, regret accounting against the per-step oracle,
+    /// per-arm Page–Hinkley drift detection (with a flight dump on
+    /// firing), decision-ring capture, and LP solve timings. No-op
+    /// while the probe is detached.
+    fn note_learner(&mut self, tick: &ShardTick) {
+        let Some(mut learn) = self.learn.take() else {
+            return;
+        };
+        let shard = tick.shard;
+        let slot = tick.report.slot;
+        let mut drift_fired = false;
+        for ev in &tick.learner_events {
+            mec_obs::event!(
+                self,
+                slot,
+                "arm_lifecycle",
+                shard = shard,
+                arm = ev.arm,
+                event = ev.kind,
+                pulls = ev.pulls,
+                mean = ev.mean,
+                radius = ev.radius,
+                value_mhz = ev.value,
+            );
+            let (Some(reward), Some(oracle)) = (ev.reward, ev.oracle) else {
+                continue;
+            };
+            learn.regret[shard].record(reward, oracle);
+            let arms = &mut learn.drift[shard];
+            while arms.len() <= ev.arm {
+                arms.push(ArmDrift {
+                    ph: PageHinkley::default(),
+                    suspected: false,
+                });
+            }
+            let d = &mut arms[ev.arm];
+            // The detector resets when it fires, so snapshot the
+            // statistic the event should carry before feeding it.
+            let (pre_mean, pre_score) = (d.ph.mean(), d.ph.score());
+            if d.ph.observe(reward) {
+                d.suspected = true;
+                drift_fired = true;
+                learn.gauges[shard].drift_total.inc();
+                mec_obs::event!(
+                    self,
+                    slot,
+                    "drift_suspected",
+                    shard = shard,
+                    arm = ev.arm,
+                    mean = pre_mean,
+                    score = pre_score,
+                );
+            } else if d.suspected && d.ph.samples() >= mec_obs::drift::DEFAULT_MIN_SAMPLES {
+                // A warm-up's worth of fresh evidence without re-firing:
+                // the stream looks stationary again.
+                d.suspected = false;
+                mec_obs::event!(
+                    self,
+                    slot,
+                    "drift_cleared",
+                    shard = shard,
+                    arm = ev.arm,
+                    mean = d.ph.mean(),
+                    score = d.ph.score(),
+                );
+            }
+        }
+        if tick.probe_dropped > learn.probe_dropped[shard] {
+            learn
+                .probe_drop_counter
+                .add(tick.probe_dropped - learn.probe_dropped[shard]);
+            learn.probe_dropped[shard] = tick.probe_dropped;
+        }
+        if let Some(d) = &tick.decision {
+            let lp = &learn.lp_last[shard];
+            learn.recorder.record(DecisionSnapshot {
+                shard,
+                slot: d.slot,
+                arm: d.arm,
+                value: d.value,
+                active_arms: d.active_arms,
+                best_arm: d.best_arm,
+                best_mean: d.best_mean,
+                granted: d.granted,
+                granted_mhz: d.granted_mhz,
+                assign_digest: d.assign_digest,
+                lp_solves: lp.solves,
+                lp_warm_hits: lp.warm_hits,
+                lp_pivots: lp.pivots,
+            });
+        }
+        for &ms in &tick.solve_times_ms {
+            learn.solve_ms.observe(ms);
+        }
+        let a = &learn.regret[shard];
+        let g = &learn.gauges[shard];
+        g.regret.set(a.regret());
+        g.cum_reward.set(a.cumulative_reward());
+        g.oracle.set(a.oracle_total());
+        g.steps.set(a.steps() as f64);
+        self.learn = Some(learn);
+        if drift_fired {
+            self.dump_flight(FlightTrigger::Drift, slot);
+        }
+    }
+
+    /// Learner-sweep bookkeeping while the probe is attached: caches
+    /// the arm views behind `/learning.json`, mirrors the solver
+    /// counters, and emits the `learning_state` / `lp_state` events.
+    fn note_learn_sweep(&mut self, slot: u64, shard: usize, t: &mec_sim::PolicyTelemetry) {
+        let Some(mut learn) = self.learn.take() else {
+            return;
+        };
+        learn.last_arms[shard] = t.arms.clone();
+        {
+            let a = &learn.regret[shard];
+            mec_obs::event!(
+                self,
+                slot,
+                "learning_state",
+                shard = shard,
+                cum_reward = a.cumulative_reward(),
+                oracle = a.oracle_total(),
+                regret = a.regret(),
+                steps = a.steps(),
+            );
+        }
+        if let Some(s) = &t.solver {
+            learn.lp_last[shard] = *s;
+            let lp = learn.lp[shard].get_or_insert_with(|| {
+                let l: &[(&str, &str)] = &[("shard", &shard.to_string())];
+                let g = |name: &str, help: &str| self.registry.gauge(name, help, l);
+                LpGauges {
+                    solves: g("mec_slotlp_solves_total", "slot-LPs solved"),
+                    warm_hits: g(
+                        "mec_slotlp_warm_hits_total",
+                        "warm-started solves that converged from the reused basis",
+                    ),
+                    warm_fallbacks: g(
+                        "mec_slotlp_warm_fallbacks_total",
+                        "warm starts that fell back to a cold solve",
+                    ),
+                    cold_starts: g(
+                        "mec_slotlp_cold_starts_total",
+                        "solves with no warm basis available",
+                    ),
+                    pivots: g(
+                        "mec_slotlp_pivots_total",
+                        "simplex pivots across all solves",
+                    ),
+                    refactorizations: g(
+                        "mec_slotlp_refactorizations_total",
+                        "basis refactorizations across all solves",
+                    ),
+                }
+            });
+            lp.solves.set(s.solves as f64);
+            lp.warm_hits.set(s.warm_hits as f64);
+            lp.warm_fallbacks.set(s.warm_fallbacks as f64);
+            lp.cold_starts.set(s.cold_starts as f64);
+            lp.pivots.set(s.pivots as f64);
+            lp.refactorizations.set(s.refactorizations as f64);
+            mec_obs::event!(
+                self,
+                slot,
+                "lp_state",
+                shard = shard,
+                solves = s.solves,
+                warm_hits = s.warm_hits,
+                warm_fallbacks = s.warm_fallbacks,
+                cold_starts = s.cold_starts,
+                pivots = s.pivots,
+                refactorizations = s.refactorizations,
+            );
+        }
+        let doc = learn.render_doc(slot);
+        if let Some(hub) = &self.hub {
+            *hub.learning_doc
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = doc;
+            if learn.doc_slot != slot {
+                learn.doc_slot = slot;
+                *hub.flight_doc
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    learn.recorder.render_jsonl();
+            }
+        }
+        self.learn = Some(learn);
+    }
+
+    /// Dumps the flight recorder's decision rings for `trigger` at
+    /// `slot`, when the trigger is enabled and a flight sink is
+    /// attached. The dump flushes immediately — dumps fire on faults,
+    /// and the run-end flush may never come.
+    pub(crate) fn dump_flight(&mut self, trigger: FlightTrigger, slot: u64) {
+        let Some(hub) = &self.hub else {
+            return;
+        };
+        if !hub.has_flight() || !hub.flight_triggers().contains(trigger) {
+            return;
+        }
+        let Some(learn) = &mut self.learn else {
+            return;
+        };
+        let events = learn.recorder.dump_events(trigger, slot);
+        for event in &events {
+            hub.write_flight(event);
+        }
+        if !events.is_empty() {
+            hub.flush_flight();
         }
     }
 
@@ -697,9 +1194,11 @@ impl ObsState {
     }
 
     /// Records a shard-failure detection (`reason` is `disconnect`,
-    /// `timeout`, or `send_failed`).
-    pub(crate) fn note_detection(&self, slot: u64, shard: usize, reason: &str) {
+    /// `timeout`, or `send_failed`) and dumps the flight recorder —
+    /// the decisions leading up to a crash are exactly what it's for.
+    pub(crate) fn note_detection(&mut self, slot: u64, shard: usize, reason: &str) {
         mec_obs::event!(self, slot, "fault_detected", shard = shard, reason = reason);
+        self.dump_flight(FlightTrigger::Crash, slot);
     }
 
     /// Counts one restart attempt (successful or not).
@@ -1039,6 +1538,9 @@ impl ObsState {
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner) = engine.render_json(slot);
         }
+        if transitions.iter().any(|t| t.breached) {
+            self.dump_flight(FlightTrigger::Slo, slot);
+        }
     }
 
     /// Mirrors the driver's cumulative phase split into the registry.
@@ -1119,22 +1621,14 @@ impl ObsState {
         }
     }
 
-    /// Surfaces trace-ring saturation, then flushes the hub's sinks.
-    /// Drop counts are deterministic (ring capacity vs per-slot event
-    /// volume), so the `trace_drops` event keeps byte-identity.
+    /// Surfaces ring saturation, then flushes the hub's sinks. Trace
+    /// and lifecycle drops are accounted separately — a saturated
+    /// lifecycle ring means request journeys have gaps, which warrants
+    /// its own counter and report warning. Drop counts are
+    /// deterministic (ring capacity vs per-slot event volume), so the
+    /// drop events keep byte-identity.
     pub(crate) fn flush(&self, slot: u64) {
-        let dropped: u64 = self
-            .rings
-            .iter()
-            .flatten()
-            .map(TraceRing::dropped)
-            .sum::<u64>()
-            + self
-                .life_rings
-                .iter()
-                .flatten()
-                .map(LifecycleRing::dropped)
-                .sum::<u64>();
+        let dropped: u64 = self.rings.iter().flatten().map(TraceRing::dropped).sum();
         if dropped > 0 {
             self.registry
                 .counter(
@@ -1144,6 +1638,28 @@ impl ObsState {
                 )
                 .store(dropped);
             mec_obs::event!(self, slot, "trace_drops", count = dropped);
+        }
+        let life_dropped: u64 = self
+            .life_rings
+            .iter()
+            .flatten()
+            .map(LifecycleRing::dropped)
+            .sum();
+        if life_dropped > 0 {
+            self.registry
+                .counter(
+                    "mec_obs_lifecycle_dropped_total",
+                    "lifecycle ring records lost to saturation",
+                    &[],
+                )
+                .store(life_dropped);
+            mec_obs::event!(self, slot, "lifecycle_drops", count = life_dropped);
+        }
+        if let Some(learn) = &self.learn {
+            let probe_dropped = learn.probe_drop_counter.get();
+            if probe_dropped > 0 {
+                mec_obs::event!(self, slot, "arm_lifecycle_drops", count = probe_dropped);
+            }
         }
         if let Some(hub) = &self.hub {
             hub.flush();

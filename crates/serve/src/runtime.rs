@@ -388,7 +388,7 @@ fn failure_restart_slot(sup: &Supervised, detected_at: u64, backoff_slots: u64) 
 fn note_down(
     sup: &mut Supervised,
     router: &mut Router,
-    obs: &ObsState,
+    obs: &mut ObsState,
     detected_at: u64,
     backoff_slots: u64,
     reason: &str,
@@ -586,6 +586,7 @@ fn restart(
         life_ring: obs.life_ring(shard),
         stall: Some(obs.stall_probe(shard)),
         fine_hist: Some(obs.latency_fine()),
+        probe: obs.probe(),
     };
     obs.note_restart_attempt(shard);
     sup.restarts_used += 1;
@@ -795,7 +796,7 @@ fn dispatch_one(
     plane: &mut PlacementPlane,
     router: &mut Router,
     supervised: &mut [Supervised],
-    obs: &ObsState,
+    obs: &mut ObsState,
     store: &mut Option<DiskStore>,
     backoff: u64,
     counts: &mut DispatchCounts,
@@ -804,12 +805,12 @@ fn dispatch_one(
     let request = match plane.route(request, slot) {
         RouteDecision::Proceed(r) => r,
         RouteDecision::Held { .. } => {
-            mec_obs::lifecycle!(obs, rid, "hold", slot, DRIVER, NO_BS);
+            mec_obs::lifecycle!(&*obs, rid, "hold", slot, DRIVER, NO_BS);
             counts.held += 1;
             return;
         }
         RouteDecision::Shed => {
-            mec_obs::lifecycle!(obs, rid, "shed", slot, DRIVER, NO_BS);
+            mec_obs::lifecycle!(&*obs, rid, "shed", slot, DRIVER, NO_BS);
             router.count_shed(1);
             counts.shed += 1;
             return;
@@ -819,7 +820,7 @@ fn dispatch_one(
     if !holders.is_empty() {
         // Placement steered this request away from its home shard toward
         // a replica holder.
-        mec_obs::lifecycle!(obs, rid, "redirect", slot, DRIVER, NO_BS);
+        mec_obs::lifecycle!(&*obs, rid, "redirect", slot, DRIVER, NO_BS);
     }
     let decision = router.admit_with(
         &request,
@@ -832,19 +833,19 @@ fn dispatch_one(
     );
     match &decision {
         Admission::Inject { shard, .. } => {
-            mec_obs::lifecycle!(obs, rid, "admit", slot, *shard as i64, NO_BS);
+            mec_obs::lifecycle!(&*obs, rid, "admit", slot, *shard as i64, NO_BS);
             counts.injected += 1;
         }
         Admission::Spilled { shard, .. } => {
-            mec_obs::lifecycle!(obs, rid, "spill", slot, *shard as i64, NO_BS);
+            mec_obs::lifecycle!(&*obs, rid, "spill", slot, *shard as i64, NO_BS);
             counts.spilled += 1;
         }
         Admission::Buffered { shard, .. } => {
-            mec_obs::lifecycle!(obs, rid, "buffer", slot, *shard as i64, NO_BS);
+            mec_obs::lifecycle!(&*obs, rid, "buffer", slot, *shard as i64, NO_BS);
             counts.buffered += 1;
         }
         Admission::Shed => {
-            mec_obs::lifecycle!(obs, rid, "shed", slot, DRIVER, NO_BS);
+            mec_obs::lifecycle!(&*obs, rid, "shed", slot, DRIVER, NO_BS);
             counts.shed += 1;
         }
     }
@@ -989,6 +990,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 life_ring: obs.life_ring(shard),
                 stall: Some(obs.stall_probe(shard)),
                 fine_hist: Some(obs.latency_fine()),
+                probe: obs.probe(),
             };
             let handle = ShardHandle::spawn(spec, policy)
                 .map_err(|source| ServeError::Spawn { shard, source })?;
@@ -1157,7 +1159,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     &mut plane,
                     &mut router,
                     &mut supervised,
-                    &obs,
+                    &mut obs,
                     &mut store,
                     backoff,
                     &mut counts,
@@ -1173,7 +1175,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     &mut plane,
                     &mut router,
                     &mut supervised,
-                    &obs,
+                    &mut obs,
                     &mut store,
                     backoff,
                     &mut counts,
@@ -1238,7 +1240,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     note_down(
                         &mut supervised[i],
                         &mut router,
-                        &obs,
+                        &mut obs,
                         slot,
                         backoff,
                         "send_failed",
@@ -1277,7 +1279,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     None => note_down(
                         &mut supervised[i],
                         &mut router,
-                        &obs,
+                        &mut obs,
                         slot,
                         backoff,
                         fail_reason,

@@ -90,6 +90,21 @@ pub struct ShardTick {
     /// interval, and the policy exposes telemetry (only learning policies
     /// do). Boxed: it rides in every tick reply but is rarely populated.
     pub telemetry: Option<Box<PolicyTelemetry>>,
+    /// Arm-lifecycle events recorded by the policy's learner probe since
+    /// the previous tick. Empty unless the worker was spawned with
+    /// `probe` set and the policy implements a learner.
+    pub learner_events: Vec<mec_sim::LearnerEvent>,
+    /// Cumulative count of probe events dropped at the policy's bounded
+    /// recorder (ring saturation). Only meaningful while probing.
+    pub probe_dropped: u64,
+    /// Compact snapshot of the decision the policy took this slot, for
+    /// the flight recorder. `None` unless probing (or the policy is not
+    /// a learner).
+    pub decision: Option<mec_sim::DecisionRecord>,
+    /// Wall-clock LP solve times (ms) drained from the policy's solver
+    /// this tick. Live-metrics only — never reaches snapshots or
+    /// deterministic traces. Empty unless probing an LP-backed policy.
+    pub solve_times_ms: Vec<f64>,
 }
 
 /// Terminal report from one shard.
@@ -126,6 +141,12 @@ pub struct ShardRecovered {
 }
 
 /// What a shard worker sends back.
+///
+/// `Tick` dwarfs the other variants (its telemetry vectors' inline
+/// headers add up), but exactly one reply per shard per slot crosses
+/// the channel — boxing it would cost an allocation per tick to save
+/// nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ShardReply {
     /// Answer to [`ShardCommand::Tick`].
@@ -257,6 +278,11 @@ pub struct SpawnSpec {
     /// Attach a [`PolicyTelemetry`] to every Nth tick reply (0 disables
     /// the learner-telemetry sweep).
     pub telemetry_every: u64,
+    /// Attach the policy's learner probe: every tick reply then carries
+    /// the arm-lifecycle events, decision record, and LP solve times
+    /// recorded during that slot. Off by default — with the probe
+    /// detached the policy takes the exact pre-probe code paths.
+    pub probe: bool,
 }
 
 /// Driver-side handle to one shard worker thread.
@@ -511,6 +537,13 @@ fn worker_main(
         }
     }
 
+    // The probe attaches only for live ticks: catch-up replay re-executes
+    // slots whose learner events the dead worker already delivered, so
+    // probing during replay would double-count rewards downstream.
+    if spec.probe {
+        policy.set_probe(true);
+    }
+
     for cmd in cmd_rx {
         match cmd {
             ShardCommand::Inject(request) => {
@@ -633,6 +666,16 @@ fn worker_main(
                         }
                     }
                 }
+                let (learner_events, probe_dropped, decision, solve_times_ms) = if spec.probe {
+                    (
+                        policy.drain_learner_events(),
+                        policy.probe_dropped(),
+                        policy.last_decision(),
+                        policy.drain_solve_times_ms(),
+                    )
+                } else {
+                    (Vec::new(), 0, None, Vec::new())
+                };
                 let tick = ShardTick {
                     shard,
                     report,
@@ -644,6 +687,10 @@ fn worker_main(
                     new_latencies,
                     checkpoint,
                     telemetry,
+                    learner_events,
+                    probe_dropped,
+                    decision,
+                    solve_times_ms,
                 };
                 if reply_tx.send(ShardReply::Tick(tick)).is_err() {
                     return;
@@ -716,6 +763,7 @@ impl ShardHandle {
                 life_ring: None,
                 stall: None,
                 fine_hist: None,
+                probe: false,
             },
             policy,
         )
@@ -865,6 +913,7 @@ mod tests {
             life_ring: None,
             stall: None,
             fine_hist: None,
+            probe: false,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
         let ticks = drive(&handle, 9);
@@ -924,6 +973,7 @@ mod tests {
             life_ring: None,
             stall: None,
             fine_hist: None,
+            probe: false,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
         let recovered = match handle.recv().unwrap() {
@@ -937,6 +987,66 @@ mod tests {
         assert_eq!(last.backlog, reference.backlog);
         assert_eq!(last.total_reward, reference.total_reward);
         assert_eq!(last.completed, reference.completed);
+        handle.send(ShardCommand::Finish).unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn probed_worker_streams_learner_events_per_tick() {
+        let topo = TopologyBuilder::new(8).seed(5).build();
+        let plan = partition(&topo, 1).remove(0);
+        let requests = WorkloadBuilder::new(&topo).seed(5).count(30).build();
+        let policy = policy_from_name("DynamicRR", 100, mec_core::SolverKind::default()).unwrap();
+        let spec = SpawnSpec {
+            plan,
+            config: SlotConfig::default(),
+            command_bound: 64,
+            checkpoint_every: 0,
+            faults: Vec::new(),
+            recover: None,
+            ring: None,
+            step_hist: None,
+            telemetry_every: 0,
+            life_ring: None,
+            stall: None,
+            fine_hist: None,
+            probe: true,
+        };
+        let handle = ShardHandle::spawn(spec, policy).unwrap();
+        for r in requests {
+            handle.send(ShardCommand::Inject(r)).unwrap();
+        }
+        let ticks = drive(&handle, 20);
+        let events: usize = ticks.iter().map(|t| t.learner_events.len()).sum();
+        assert!(events > 0, "a probed learner must stream lifecycle events");
+        for tick in &ticks {
+            let decision = tick
+                .decision
+                .as_ref()
+                .expect("every probed learner tick carries a decision record");
+            assert_eq!(decision.slot, tick.report.slot);
+            // Each tick's events belong to that tick alone: one Sample per
+            // learner update, stamped with the slot's step.
+            for ev in &tick.learner_events {
+                assert!(ev.value > 0.0, "events carry the arm's threshold value");
+            }
+        }
+        handle.send(ShardCommand::Finish).unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn unprobed_worker_keeps_learner_fields_empty() {
+        let topo = TopologyBuilder::new(8).seed(5).build();
+        let plan = partition(&topo, 1).remove(0);
+        let policy = policy_from_name("DynamicRR", 100, mec_core::SolverKind::default()).unwrap();
+        let handle = ShardHandle::spawn_fresh(plan, SlotConfig::default(), policy, 64).unwrap();
+        for tick in drive(&handle, 5) {
+            assert!(tick.learner_events.is_empty());
+            assert_eq!(tick.probe_dropped, 0);
+            assert!(tick.decision.is_none());
+            assert!(tick.solve_times_ms.is_empty());
+        }
         handle.send(ShardCommand::Finish).unwrap();
         handle.join();
     }
@@ -962,6 +1072,7 @@ mod tests {
             life_ring: None,
             stall: None,
             fine_hist: None,
+            probe: false,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
         drive(&handle, 2);

@@ -132,6 +132,90 @@ fn metrics_page_exposes_restarts_and_arm_pulls() {
     assert!(json.contains("mec_serve_admitted_total"), "{json}");
 }
 
+/// One probed chaos run with a flight sink; returns (trace JSONL,
+/// flight JSONL, hub, final snapshot).
+fn probed_run(seed: u64, chaos: &str) -> (String, String, Arc<ObsHub>, mec_serve::Snapshot) {
+    let (topo, population) = world(20, 2_500, seed);
+    let load = LoadGen::poisson(population, 1_500.0, 50.0, seed);
+    let (tbuf, fbuf) = (SharedBuf::default(), SharedBuf::default());
+    let hub = Arc::new(
+        ObsHub::new()
+            .with_trace(mec_obs::TraceWriter::new(Box::new(tbuf.clone())))
+            .with_flight(mec_obs::TraceWriter::new(Box::new(fbuf.clone())))
+            .with_probe(true)
+            .with_telemetry_every(5),
+    );
+    let cfg = ServeConfig {
+        obs: Some(Arc::clone(&hub)),
+        ..chaos_cfg(seed, chaos)
+    };
+    let snap = serve(&topo, load, &cfg, |_| {}).unwrap().final_snapshot;
+    (tbuf.contents(), fbuf.contents(), hub, snap)
+}
+
+fn field_u64(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat).unwrap() + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap()
+}
+
+#[test]
+fn probed_run_streams_learner_events_and_dumps_flight_on_crash() {
+    let chaos = "crash:shard=1@slot=40,recover@slot=52";
+    let (trace, flight, hub, _) = probed_run(9, chaos);
+    for kind in ["\"kind\":\"arm_lifecycle\"", "\"kind\":\"learning_state\""] {
+        assert!(trace.contains(kind), "trace lacks {kind}");
+    }
+    // The learning plane's gauges register only while the probe is on.
+    let page = hub.registry().render_prometheus();
+    assert!(page.contains("mec_learn_regret{"), "{page}");
+    assert!(page.contains("mec_learn_steps{"), "{page}");
+    // The live /learning.json document carries per-arm state.
+    let doc = hub.learning_doc().lock().unwrap().clone();
+    assert!(doc.contains("\"arms\""), "{doc}");
+    assert!(doc.contains("\"regret\""), "{doc}");
+    assert!(doc.contains("\"radius\""), "{doc}");
+    // The crash tripped a flight dump, and every dump section in the
+    // stream ends on its own triggering slot (snapshots are sorted).
+    assert!(
+        flight.contains("\"trigger\":\"crash\""),
+        "crash must dump the flight recorder"
+    );
+    let lines: Vec<&str> = flight.lines().collect();
+    let mut dumps = 0;
+    for (i, line) in lines.iter().enumerate() {
+        if !line.contains("\"kind\":\"flight_dump\"") {
+            continue;
+        }
+        dumps += 1;
+        let section_end = lines[i + 1..]
+            .iter()
+            .position(|l| l.contains("\"kind\":\"flight_dump\""))
+            .map_or(lines.len() - 1, |off| i + off);
+        assert_eq!(
+            field_u64(lines[section_end], "slot"),
+            field_u64(line, "slot"),
+            "dump at line {i} must end on its triggering slot"
+        );
+    }
+    assert!(dumps >= 1);
+    assert_eq!(hub.flight_written(), lines.len() as u64);
+}
+
+#[test]
+fn probe_observes_without_perturbing_the_run() {
+    // The probe is telemetry-only: a probed run and a probe-detached run
+    // with the same seed and chaos must land on identical final
+    // snapshots (same decisions, rewards, and fault accounting).
+    let chaos = "crash:shard=1@slot=10,recover@slot=22";
+    let (_, _, _, probed) = probed_run(77, chaos);
+    let (_, _, detached) = traced_run(77, chaos);
+    assert_eq!(probed.to_json(), detached.to_json());
+}
+
 #[test]
 fn recovery_percentiles_populate_under_chaos() {
     // One restart with a pinned 12-slot outage: every percentile is 12.

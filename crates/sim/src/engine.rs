@@ -65,6 +65,37 @@ pub trait SlotPolicy {
     fn telemetry(&self) -> Option<crate::telemetry::PolicyTelemetry> {
         None
     }
+
+    /// Attaches or detaches the learner probe (arm-lifecycle events and
+    /// per-slot decision records). Non-learning policies ignore this;
+    /// the default probe is detached and detached policies behave
+    /// byte-identically to pre-probe builds.
+    fn set_probe(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Drains arm-lifecycle events recorded since the last drain. Empty
+    /// unless a probe is attached.
+    fn drain_learner_events(&mut self) -> Vec<crate::telemetry::LearnerEvent> {
+        Vec::new()
+    }
+
+    /// Lifecycle events lost to the policy's bounded probe buffer.
+    fn probe_dropped(&self) -> u64 {
+        0
+    }
+
+    /// The most recent slot's decision digest, when a probe is attached.
+    fn last_decision(&self) -> Option<crate::telemetry::DecisionRecord> {
+        None
+    }
+
+    /// Drains wall-clock LP solve times (milliseconds) accumulated since
+    /// the last drain, for live histograms only — callers must never
+    /// route these into traces or snapshots.
+    fn drain_solve_times_ms(&mut self) -> Vec<f64> {
+        Vec::new()
+    }
 }
 
 /// Validation failures — a policy returned an illegal schedule.

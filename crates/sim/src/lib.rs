@@ -35,7 +35,7 @@ pub use engine::{
 pub use lifecycle::{Job, JobView, Phase};
 pub use metrics::Metrics;
 pub use sharing::fair_share;
-pub use telemetry::{ArmTelemetry, PolicyTelemetry};
+pub use telemetry::{ArmTelemetry, DecisionRecord, LearnerEvent, PolicyTelemetry, SolverTelemetry};
 pub use trace::{Event, Trace, TracedEvent};
 
 use mec_topology::units::Compute;
