@@ -1,6 +1,12 @@
 //! End-to-end throughput of the sharded serving runtime: one full
 //! virtual-clock replay per iteration, swept over shard counts, so the
-//! numbers show how the barriered tick protocol scales with workers.
+//! numbers show how the epoch/watermark actor protocol scales with
+//! workers. A second pass derives per-shard parallel efficiency —
+//! `(it/s at N shards ÷ N) ÷ it/s at 1 shard` — into the report's
+//! `"derived"` array, so a reader (and `mec-bench-gate`) can tell real
+//! scaling from oversubscription: on a machine with fewer cores than
+//! shards the efficiency numbers are expected to crater, and the gate
+//! warns when `machine.cpus < shards`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mec_serve::{serve, LoadGen, ServeConfig};
@@ -30,5 +36,39 @@ fn serve_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, serve_replay);
+/// Derives parallel efficiency from the timings `serve_replay` just
+/// recorded. Runs as the last "bench" in the group so `collected()`
+/// already holds every `serve_replay/shards/N` result.
+fn parallel_efficiency(_c: &mut Criterion) {
+    let stats = criterion::collected();
+    let tput = |shards: usize| {
+        stats
+            .iter()
+            .find(|s| s.name == format!("serve_replay/shards/{shards}"))
+            .map(|s| s.throughput_iters_per_sec)
+    };
+    let Some(base) = tput(1).filter(|&t| t > 0.0) else {
+        return;
+    };
+    for shards in [1usize, 2, 4, 8] {
+        let Some(t) = tput(shards) else { continue };
+        let per_shard = t / shards as f64;
+        let efficiency = per_shard / base;
+        criterion::record_derived(
+            format!("serve_replay/per_shard_it_per_s/{shards}"),
+            per_shard,
+            "it/s",
+        );
+        criterion::record_derived(
+            format!("serve_replay/efficiency/{shards}"),
+            efficiency,
+            "ratio",
+        );
+        println!(
+            "serve_replay/efficiency/{shards}: {efficiency:.3} ({per_shard:.1} it/s per shard)"
+        );
+    }
+}
+
+criterion_group!(benches, serve_replay, parallel_efficiency);
 criterion_main!(benches);

@@ -290,19 +290,29 @@ fn render(
         }
     }
 
-    // Per-shard work vs barrier-wait split (always-on stall gauges).
+    // Per-shard work vs mailbox vs watermark-wait split (always-on stall
+    // gauges). Pre-epoch runtimes published the wait as
+    // `mec_serve_wait_ms_total`; fall back so old servers still render.
     let work = m.per_shard("mec_serve_work_ms_total");
-    let wait = m.per_shard("mec_serve_wait_ms_total");
+    let mbox = m.per_shard("mec_serve_mailbox_wait_ms_total");
+    let mut wait = m.per_shard("mec_serve_watermark_wait_ms_total");
+    if wait.is_empty() {
+        wait = m.per_shard("mec_serve_wait_ms_total");
+    }
     if !work.is_empty() {
-        push(&mut out, "shard  work-ms     wait-ms     work%".to_string());
+        push(
+            &mut out,
+            "shard  work-ms     mbox-ms     wmark-ms    work%".to_string(),
+        );
         for (shard, w) in &work {
+            let mb = mbox.get(shard).copied().unwrap_or(0.0);
             let idle = wait.get(shard).copied().unwrap_or(0.0);
-            let total = w + idle;
+            let total = w + mb + idle;
             let share = if total > 0.0 { 100.0 * w / total } else { 0.0 };
             let bar = "#".repeat((share / 5.0).round() as usize);
             push(
                 &mut out,
-                format!("{shard:>5}  {w:>10.0}  {idle:>10.0}  {share:>5.1} {bar}"),
+                format!("{shard:>5}  {w:>10.0}  {mb:>10.0}  {idle:>10.0}  {share:>5.1} {bar}"),
             );
         }
     }

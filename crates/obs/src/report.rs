@@ -184,15 +184,24 @@ pub struct FlightDump {
     pub snapshots: u64,
 }
 
-/// One `stall_shard` event: a shard's run-total wall-time split.
+/// One `stall_shard` event: a shard's run-total wall-time split under
+/// the epoch/actor runtime — time executing leased slots, time handling
+/// mailbox commands, and time idle waiting for the next lease (the
+/// watermark). Legacy traces from the lockstep runtime carry a single
+/// `wait_ms` field; it parses into `watermark_ms` (the old barrier wait
+/// was exactly the wait for the next tick grant).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StallShard {
     /// The shard.
     pub shard: u64,
-    /// Total time inside `engine.step` (ms).
+    /// Total time executing leased slots (ms).
     pub work_ms: f64,
-    /// Total time between finishing one tick and receiving the next (ms).
-    pub wait_ms: f64,
+    /// Total time handling mailbox commands — injections, station
+    /// extract/absorb (ms). Zero in legacy traces.
+    pub mailbox_ms: f64,
+    /// Total time idle waiting for the watermark to extend the lease
+    /// (ms). Parsed from `wait_ms` in legacy lockstep traces.
+    pub watermark_ms: f64,
 }
 
 /// The `stall_driver` event: the driver's run-total phase split.
@@ -204,8 +213,9 @@ pub struct StallDriver {
     pub dispatch_ms: f64,
     /// Time spent detecting faults and restarting workers (ms).
     pub recovery_ms: f64,
-    /// Time spent inside the barriered tick (ms).
-    pub barrier_ms: f64,
+    /// Time spent granting leases and folding tick reports at the
+    /// watermark (ms). Parsed from `barrier_ms` in legacy traces.
+    pub fold_ms: f64,
     /// Slots the loop ran.
     pub slots: u64,
 }
@@ -462,17 +472,32 @@ where
                 burn_fast: get_f64(&obj, "burn_fast"),
                 burn_slow: get_f64(&obj, "burn_slow"),
             }),
-            "stall_shard" => r.stall_shards.push(StallShard {
-                shard,
-                work_ms: get_f64(&obj, "work_ms"),
-                wait_ms: get_f64(&obj, "wait_ms"),
-            }),
+            "stall_shard" => {
+                // Legacy lockstep traces carry `wait_ms` (barrier wait);
+                // it folds into the watermark column.
+                let watermark = if obj.contains_key("watermark_ms") {
+                    get_f64(&obj, "watermark_ms")
+                } else {
+                    get_f64(&obj, "wait_ms")
+                };
+                r.stall_shards.push(StallShard {
+                    shard,
+                    work_ms: get_f64(&obj, "work_ms"),
+                    mailbox_ms: get_f64(&obj, "mailbox_ms"),
+                    watermark_ms: watermark,
+                });
+            }
             "stall_driver" => {
+                let fold = if obj.contains_key("fold_ms") {
+                    get_f64(&obj, "fold_ms")
+                } else {
+                    get_f64(&obj, "barrier_ms")
+                };
                 r.stall_driver = Some(StallDriver {
                     wall_ms: get_f64(&obj, "wall_ms"),
                     dispatch_ms: get_f64(&obj, "dispatch_ms"),
                     recovery_ms: get_f64(&obj, "recovery_ms"),
-                    barrier_ms: get_f64(&obj, "barrier_ms"),
+                    fold_ms: fold,
                     slots: get_u64(&obj, "slots"),
                 });
             }
@@ -896,42 +921,47 @@ impl RunReport {
                 let _ = writeln!(
                     out,
                     "  driver wall {:.1} ms over {} slot(s): dispatch {:.1} ms ({:.1}%), \
-                     recovery {:.1} ms ({:.1}%), barrier {:.1} ms ({:.1}%)",
+                     recovery {:.1} ms ({:.1}%), watermark fold {:.1} ms ({:.1}%)",
                     d.wall_ms,
                     d.slots,
                     d.dispatch_ms,
                     pct(d.dispatch_ms, wall),
                     d.recovery_ms,
                     pct(d.recovery_ms, wall),
-                    d.barrier_ms,
-                    pct(d.barrier_ms, wall),
+                    d.fold_ms,
+                    pct(d.fold_ms, wall),
                 );
             }
             let mut work_shares = Vec::new();
+            let mut wait_shares = Vec::new();
             for s in &self.stall_shards {
-                let total = s.work_ms + s.wait_ms;
+                let total = s.work_ms + s.mailbox_ms + s.watermark_ms;
                 let denom = if wall > 0.0 { wall } else { total };
                 work_shares.push(pct(s.work_ms, denom));
+                wait_shares.push(pct(s.watermark_ms, denom));
                 let _ = writeln!(
                     out,
-                    "  shard {}: work {:.1} ms ({:.1}%) + barrier-wait {:.1} ms ({:.1}%) \
-                     = {:.1} ms ({:.1}% of wall)",
+                    "  shard {}: work {:.1} ms ({:.1}%) + mailbox {:.1} ms ({:.1}%) \
+                     + watermark-wait {:.1} ms ({:.1}%) = {:.1} ms ({:.1}% of wall)",
                     s.shard,
                     s.work_ms,
                     pct(s.work_ms, denom),
-                    s.wait_ms,
-                    pct(s.wait_ms, denom),
+                    s.mailbox_ms,
+                    pct(s.mailbox_ms, denom),
+                    s.watermark_ms,
+                    pct(s.watermark_ms, denom),
                     total,
                     pct(total, denom),
                 );
             }
             if !work_shares.is_empty() {
                 let mean = work_shares.iter().sum::<f64>() / work_shares.len() as f64;
+                let wait = wait_shares.iter().sum::<f64>() / wait_shares.len() as f64;
                 let _ = writeln!(
                     out,
-                    "  mean shard work share: {mean:.1}% — the remaining {:.1}% is spent \
-                     idle at the per-slot tick barrier, which is what caps shard scaling",
-                    100.0 - mean
+                    "  mean shard work share: {mean:.1}%; mean watermark-wait share: \
+                     {wait:.1}% — watermark waits are where a lease span too short \
+                     (or a straggler shard) caps scaling"
                 );
             }
         }
@@ -1368,14 +1398,15 @@ mod tests {
     #[test]
     fn stall_events_render_barrier_attribution() {
         let lines = [
-            r#"{"slot":250,"kind":"stall_shard","shard":0,"work_ms":2000.0,"wait_ms":8000.0}"#,
-            r#"{"slot":250,"kind":"stall_shard","shard":1,"work_ms":4000.0,"wait_ms":6000.0}"#,
-            r#"{"slot":250,"kind":"stall_driver","wall_ms":10000.0,"dispatch_ms":500.0,"recovery_ms":0.0,"barrier_ms":9000.0,"slots":250}"#,
+            r#"{"slot":250,"kind":"stall_shard","shard":0,"work_ms":2000.0,"mailbox_ms":500.0,"watermark_ms":7500.0}"#,
+            r#"{"slot":250,"kind":"stall_shard","shard":1,"work_ms":4000.0,"mailbox_ms":0.0,"watermark_ms":6000.0}"#,
+            r#"{"slot":250,"kind":"stall_driver","wall_ms":10000.0,"dispatch_ms":500.0,"recovery_ms":0.0,"fold_ms":9000.0,"slots":250}"#,
         ];
         let report = build_report(lines.iter().copied()).unwrap();
         assert_eq!(report.stall_shards.len(), 2);
         let d = report.stall_driver.unwrap();
         assert_eq!(d.slots, 250);
+        assert_eq!(d.fold_ms, 9000.0);
 
         let text = report.render();
         assert!(text.contains("== barrier-stall attribution =="), "{text}");
@@ -1383,17 +1414,34 @@ mod tests {
             text.contains("driver wall 10000.0 ms over 250 slot(s)"),
             "{text}"
         );
-        // Shard 0: 20% work + 80% wait, summing to 100% of wall.
+        // Shard 0: 20% work + 5% mailbox + 75% watermark, 100% of wall.
         assert!(
             text.contains(
-                "shard 0: work 2000.0 ms (20.0%) + barrier-wait 8000.0 ms (80.0%) \
-                 = 10000.0 ms (100.0% of wall)"
+                "shard 0: work 2000.0 ms (20.0%) + mailbox 500.0 ms (5.0%) \
+                 + watermark-wait 7500.0 ms (75.0%) = 10000.0 ms (100.0% of wall)"
             ),
             "{text}"
         );
         // Mean work share over the two shards: (20 + 40) / 2 = 30%.
         assert!(text.contains("mean shard work share: 30.0%"), "{text}");
-        assert!(text.contains("caps shard scaling"), "{text}");
+        // Mean watermark-wait share: (75 + 60) / 2 = 67.5%.
+        assert!(text.contains("mean watermark-wait share: 67.5%"), "{text}");
+    }
+
+    #[test]
+    fn legacy_lockstep_stall_events_still_parse() {
+        // Traces written by the pre-epoch lockstep runtime: a single
+        // `wait_ms` (barrier wait) and a driver `barrier_ms` phase.
+        let lines = [
+            r#"{"slot":250,"kind":"stall_shard","shard":0,"work_ms":2000.0,"wait_ms":8000.0}"#,
+            r#"{"slot":250,"kind":"stall_driver","wall_ms":10000.0,"dispatch_ms":500.0,"recovery_ms":0.0,"barrier_ms":9000.0,"slots":250}"#,
+        ];
+        let report = build_report(lines.iter().copied()).unwrap();
+        assert_eq!(report.stall_shards[0].watermark_ms, 8000.0);
+        assert_eq!(report.stall_shards[0].mailbox_ms, 0.0);
+        assert_eq!(report.stall_driver.unwrap().fold_ms, 9000.0);
+        let text = report.render();
+        assert!(text.contains("watermark-wait 8000.0 ms (80.0%)"), "{text}");
     }
 
     #[test]

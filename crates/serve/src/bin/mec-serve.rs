@@ -26,6 +26,7 @@ struct Args {
     seed: u64,
     snapshot_every: u64,
     queue_capacity: usize,
+    epoch_horizon: u64,
     slot_ms: f64,
     drain_slots: u64,
     paced: bool,
@@ -69,6 +70,7 @@ impl Default for Args {
             seed: 0,
             snapshot_every: 100,
             queue_capacity: 256,
+            epoch_horizon: mec_serve::ServeConfig::default().epoch_horizon,
             slot_ms: 50.0,
             drain_slots: 1_000,
             paced: false,
@@ -117,6 +119,8 @@ OPTIONS:
     --seed <N>            run seed (topology, workload, demand) [default: 0]
     --snapshot-every <N>  slots between JSON snapshots; 0 = none [default: 100]
     --queue-capacity <N>  per-shard backlog cap before shedding [default: 256]
+    --epoch-horizon <N>   run-ahead lease span in slots; 1 = lockstep
+                          (same results for every value) [default: 8]
     --slot-ms <F>         slot length in milliseconds [default: 50]
     --drain-slots <N>     slots allowed after the last arrival [default: 1000]
     --paced               pace ticks to wall time instead of virtual time
@@ -216,6 +220,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--snapshot-every" => args.snapshot_every = parse(&value("--snapshot-every")?)?,
             "--queue-capacity" => args.queue_capacity = parse(&value("--queue-capacity")?)?,
+            "--epoch-horizon" => args.epoch_horizon = parse(&value("--epoch-horizon")?)?,
             "--slot-ms" => args.slot_ms = parse(&value("--slot-ms")?)?,
             "--drain-slots" => args.drain_slots = parse(&value("--drain-slots")?)?,
             "--paced" => args.paced = true,
@@ -502,6 +507,7 @@ fn main() -> ExitCode {
         shards: args.shards,
         queue_capacity: args.queue_capacity,
         snapshot_every: args.snapshot_every,
+        epoch_horizon: args.epoch_horizon,
         policy: args.policy.clone(),
         solver: args.solver,
         sim: mec_sim::SlotConfig {

@@ -9,41 +9,47 @@
 //! ## Architecture
 //!
 //! ```text
-//!            ┌────────────┐   Inject/Tick    ┌─────────────────────┐
-//!  LoadGen ─▶│   Router   │─────────────────▶│ Shard 0: Engine+Pol │─┐
-//!            │ (admission │   bounded mpsc   ├─────────────────────┤ │ ShardTick
-//!            │  + shed)   │─────────────────▶│ Shard 1: Engine+Pol │─┤ (fan-in,
-//!            └────────────┘                  ├─────────────────────┤ │  shard order)
-//!                  ▲                         │        ...          │ │
-//!            ┌────────────┐                  └─────────────────────┘ │
-//!            │   Clock    │                   ┌────────────────┐     │
-//!            │ (virtual / │                   │   Aggregator   │◀────┘
-//!            │   paced)   │                   │ (JSON Snapshot)│
-//!            └────────────┘                   └────────────────┘
+//!            ┌────────────┐  Inject/Grant{through}  ┌─────────────────────┐
+//!  LoadGen ─▶│Coordinator │────────────────────────▶│ Shard 0: Engine+Pol │─┐
+//!            │ (admission │   bounded mailboxes     ├─────────────────────┤ │ ShardEvent::Tick
+//!            │ + watermark│────────────────────────▶│ Shard 1: Engine+Pol │─┤ (shared progress
+//!            │    fold)   │                         ├─────────────────────┤ │  channel, folded
+//!            └────────────┘                         │        ...          │ │  in shard order)
+//!                  ▲                                └─────────────────────┘ │
+//!            ┌────────────┐                          ┌────────────────┐     │
+//!            │   Clock    │                          │   Aggregator   │◀────┘
+//!            │ (virtual / │                          │ (JSON Snapshot)│
+//!            │   paced)   │                          └────────────────┘
+//!            └────────────┘
 //! ```
 //!
 //! * [`partition`] splits a global [`mec_topology::Topology`] into
 //!   per-shard sub-topologies (round-robin by station id, induced edges,
 //!   bridged back to connectivity).
-//! * Each shard runs a worker thread owning its own
-//!   [`mec_sim::Engine`] and a boxed [`mec_sim::SlotPolicy`]; commands
-//!   arrive over a **bounded** channel.
+//! * Each shard is an **actor**: a worker thread owning its own
+//!   [`mec_sim::Engine`] and a boxed [`mec_sim::SlotPolicy`], with a
+//!   **bounded** command mailbox and a shared progress channel.
 //! * The [`Router`] maps arrivals to shards by home base station and
 //!   applies **deterministic admission control**: when a shard's tracked
 //!   backlog reaches `queue_capacity`, new arrivals for it are shed (and
 //!   counted) instead of enqueued.
-//! * A [`Clock`] drives every shard in lock-step — each virtual slot is a
-//!   barriered tick across all shards, which is what makes runs with the
-//!   same seed and shard count byte-identical. The paced mode adds
-//!   wall-clock sleeping between ticks without changing any decision.
+//! * There is no per-slot barrier. The coordinator leases each shard a
+//!   span of slots ([`ShardCommand::Grant`], bounded by
+//!   [`ServeConfig::epoch_horizon`]); workers execute leased slots
+//!   back-to-back, streaming one [`shard::ShardEvent::Tick`] per slot,
+//!   while the coordinator folds exactly one slot per phase at the
+//!   **watermark** — the slot for which every inbound message has
+//!   provably arrived. Same seed + same shards ⇒ byte-identical results
+//!   for *every* horizon, including 1 (lockstep). See DESIGN.md §17.
 //! * The fan-in aggregator folds per-tick shard reports into periodic
-//!   JSON-serializable [`Snapshot`]s.
+//!   JSON-serializable [`Snapshot`]s at watermark boundaries.
 //!
 //! ## Fault tolerance
 //!
 //! The runtime supervises every shard (see `runtime` module docs and
 //! DESIGN.md §9): a crashed, stalled, or deadline-missing worker is
-//! detected on the tick protocol, its stations are routed around
+//! detected on the progress plane (a death notice, an error event, or a
+//! missed fold deadline), its stations are routed around
 //! ([`DegradedPolicy`]: buffer / shed / spill), and the shard is restarted
 //! with checkpoint-plus-journal replay so recovery is deterministic.
 //! Scripted fault injection ([`ChaosSpec`], `mec-serve --chaos`) exercises
@@ -129,7 +135,7 @@ pub use policy::{policy_from_name, UnknownPolicy, POLICY_NAMES};
 pub use router::{Admission, DegradedPolicy, Router};
 pub use runtime::{serve, FaultConfig, ServeConfig, ServeError, ServeOutcome};
 pub use shard::{
-    HandoffEvent, RecoverPlan, ShardCommand, ShardFinal, ShardHandle, ShardRecovered, ShardReply,
-    ShardTick, SpawnSpec,
+    HandoffEvent, RecoverPlan, ShardCommand, ShardEvent, ShardFinal, ShardHandle, ShardProgress,
+    ShardRecovered, ShardReply, ShardTick, SpawnSpec,
 };
 pub use snapshot::{FaultStats, LatencyStats, PlacementStats, Snapshot};

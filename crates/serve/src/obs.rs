@@ -327,17 +327,23 @@ impl ObsHub {
 }
 
 /// Always-on wall-clock stall instrumentation a worker carries: the
-/// cumulative work/wait gauges (ms) behind the barrier-stall
-/// attribution, plus a per-tick wait histogram. Gauges are cumulative
-/// across restarts because a replacement worker re-reads them at spawn.
+/// cumulative work / mailbox-wait / watermark-wait gauges (ms) behind
+/// the stall attribution, plus a per-grant wait histogram. Gauges are
+/// cumulative across restarts because a replacement worker re-reads
+/// them at spawn.
 #[derive(Clone, Debug)]
 pub struct StallProbe {
-    /// Cumulative wall-clock ms spent inside `engine.step`.
+    /// Cumulative wall-clock ms executing leased slots (engine steps
+    /// plus checkpoint/telemetry/event assembly).
     pub(crate) work_ms: Arc<Gauge>,
-    /// Cumulative wall-clock ms spent idle between ticks (barrier wait,
-    /// dispatch wait, and any driver-side recovery stall).
-    pub(crate) wait_ms: Arc<Gauge>,
-    /// Per-tick wait time distribution.
+    /// Cumulative wall-clock ms handling cross-shard mailbox traffic
+    /// (inject / extract / absorb) between grants.
+    pub(crate) mailbox_ms: Arc<Gauge>,
+    /// Cumulative wall-clock ms blocked on the mailbox waiting for the
+    /// coordinator to advance the watermark and extend the lease.
+    pub(crate) watermark_ms: Arc<Gauge>,
+    /// Per-grant watermark-wait distribution (slots inside a multi-slot
+    /// lease wait zero — that is the point of run-ahead).
     pub(crate) wait_hist: Arc<Histogram>,
 }
 
@@ -558,7 +564,16 @@ pub(crate) struct ObsState {
     rings: Vec<Option<TraceRing>>,
     /// Per-shard lifecycle rings (present only with a lifecycle sink).
     life_rings: Vec<Option<LifecycleRing>>,
-    /// Per-shard work/wait stall probes (always on, like the registry).
+    /// Per-shard holdback of worker trace events whose slot is past the
+    /// fold watermark: a run-ahead worker may ring events for slots the
+    /// coordinator has not folded yet, and emitting them early would make
+    /// the trace depend on wall-clock scheduling. Drained in slot order
+    /// as the watermark advances.
+    held_events: Vec<std::collections::VecDeque<TraceEvent>>,
+    /// Same holdback for worker lifecycle records.
+    held_life: Vec<std::collections::VecDeque<LifecycleRecord>>,
+    /// Per-shard work/mailbox/watermark stall probes (always on, like
+    /// the registry).
     stall: Vec<StallProbe>,
     /// Fine-grained (log-linear) all-shard latency histogram; carries
     /// the request-id exemplars when lifecycle tracking is active.
@@ -772,23 +787,34 @@ impl ObsState {
             life_rings: (0..shards)
                 .map(|_| lifecycle.then(|| LifecycleRing::with_capacity(LIFE_RING_CAP)))
                 .collect(),
+            held_events: (0..shards)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            held_life: (0..shards)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
             stall: (0..shards)
                 .map(|s| {
                     let l: &[(&str, &str)] = &[("shard", &s.to_string())];
                     StallProbe {
                         work_ms: r.gauge(
                             "mec_serve_work_ms_total",
-                            "cumulative wall-clock ms inside engine.step (live only)",
+                            "cumulative wall-clock ms executing leased slots (live only)",
                             l,
                         ),
-                        wait_ms: r.gauge(
-                            "mec_serve_wait_ms_total",
-                            "cumulative wall-clock ms idle between ticks (live only)",
+                        mailbox_ms: r.gauge(
+                            "mec_serve_mailbox_wait_ms_total",
+                            "cumulative wall-clock ms handling mailbox traffic (live only)",
+                            l,
+                        ),
+                        watermark_ms: r.gauge(
+                            "mec_serve_watermark_wait_ms_total",
+                            "cumulative wall-clock ms blocked awaiting a lease (live only)",
                             l,
                         ),
                         wait_hist: r.histogram(
-                            "mec_serve_barrier_wait_ms",
-                            "per-tick wall-clock wait at the slot barrier (live only)",
+                            "mec_serve_watermark_wait_ms",
+                            "per-grant wall-clock wait for the watermark (live only)",
                             l,
                             STEP_MS_BOUNDS,
                         ),
@@ -806,7 +832,7 @@ impl ObsState {
                 ("mec_serve_driver_wall_ms_total", "serve-loop wall time"),
                 ("mec_serve_driver_dispatch_ms_total", "arrival dispatch"),
                 ("mec_serve_driver_recovery_ms_total", "fault recovery"),
-                ("mec_serve_driver_barrier_ms_total", "barriered ticks"),
+                ("mec_serve_driver_fold_ms_total", "watermark folds"),
             ]
             .map(|(name, what)| {
                 r.gauge(
@@ -1456,20 +1482,38 @@ impl ObsState {
         self.journal_dropped.store(router.journal_dropped());
     }
 
-    /// Drains every worker ring into the trace, in shard order. Called
-    /// once per slot barrier so worker events interleave
-    /// deterministically with driver events. Lifecycle rings drain the
-    /// same way into the lifecycle sink.
-    pub(crate) fn drain_rings(&self) {
-        for ring in self.rings.iter().flatten() {
-            for event in ring.drain() {
+    /// Drains worker rings into the trace, in shard order, emitting only
+    /// records stamped at or below the fold watermark `through`. Called
+    /// once per watermark fold so worker events interleave
+    /// deterministically with driver events even when workers run ahead
+    /// of the fold: records past the watermark are held back (worker
+    /// streams are slot-nondecreasing) and emitted by a later fold.
+    /// Lifecycle rings drain the same way into the lifecycle sink. The
+    /// run-end drain passes `u64::MAX` to flush every holdback.
+    pub(crate) fn drain_rings_through(&mut self, through: u64) {
+        for (shard, ring) in self.rings.iter().enumerate() {
+            if let Some(ring) = ring {
+                self.held_events[shard].extend(ring.drain());
+            }
+            while self.held_events[shard]
+                .front()
+                .is_some_and(|e| e.slot <= through)
+            {
+                let event = self.held_events[shard].pop_front().expect("checked front");
                 if let Some(hub) = &self.hub {
                     hub.write_event(&event);
                 }
             }
         }
-        for ring in self.life_rings.iter().flatten() {
-            for record in ring.drain() {
+        for (shard, ring) in self.life_rings.iter().enumerate() {
+            if let Some(ring) = ring {
+                self.held_life[shard].extend(ring.drain());
+            }
+            while self.held_life[shard]
+                .front()
+                .is_some_and(|r| r.slot <= through)
+            {
+                let record = self.held_life[shard].pop_front().expect("checked front");
                 if let Some(hub) = &self.hub {
                     hub.write_life(&record);
                 }
@@ -1549,12 +1593,12 @@ impl ObsState {
         wall_ms: f64,
         dispatch_ms: f64,
         recovery_ms: f64,
-        barrier_ms: f64,
+        fold_ms: f64,
     ) {
-        for (gauge, v) in
-            self.driver_stall
-                .iter()
-                .zip([wall_ms, dispatch_ms, recovery_ms, barrier_ms])
+        for (gauge, v) in self
+            .driver_stall
+            .iter()
+            .zip([wall_ms, dispatch_ms, recovery_ms, fold_ms])
         {
             gauge.set(v);
         }
@@ -1570,7 +1614,7 @@ impl ObsState {
         wall_ms: f64,
         dispatch_ms: f64,
         recovery_ms: f64,
-        barrier_ms: f64,
+        fold_ms: f64,
         slots: u64,
     ) {
         for (shard, probe) in self.stall.iter().enumerate() {
@@ -1580,7 +1624,8 @@ impl ObsState {
                 "stall_shard",
                 shard = shard,
                 work_ms = probe.work_ms.get(),
-                wait_ms = probe.wait_ms.get(),
+                mailbox_ms = probe.mailbox_ms.get(),
+                watermark_ms = probe.watermark_ms.get(),
             );
         }
         mec_obs::event!(
@@ -1590,7 +1635,7 @@ impl ObsState {
             wall_ms = wall_ms,
             dispatch_ms = dispatch_ms,
             recovery_ms = recovery_ms,
-            barrier_ms = barrier_ms,
+            fold_ms = fold_ms,
             slots = slots,
         );
     }

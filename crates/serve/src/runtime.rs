@@ -1,8 +1,30 @@
-//! The serving loop: partition → spawn → route/admit → lock-step ticks →
-//! periodic snapshots → drain → final accounting — now under a
-//! per-shard **supervisor** that detects worker failure (crash, stall, or
-//! missed reply deadline), routes around the outage, and restarts the
-//! shard with checkpoint-plus-journal replay.
+//! The serving loop: partition → spawn actors → route/admit →
+//! epoch-leased ticks folded at a watermark → periodic snapshots → drain
+//! → final accounting — under a per-shard **supervisor** that detects
+//! worker failure (crash, stall, or missed fold deadline), routes around
+//! the outage, and restarts the shard with checkpoint-plus-journal
+//! replay.
+//!
+//! ## The epoch/watermark protocol
+//!
+//! Each shard is an actor with a bounded command mailbox; the coordinator
+//! never waits for a shard inside a slot. Instead it issues run-ahead
+//! **leases** ([`ShardCommand::Grant`]): a shard may execute every slot up
+//! to the granted horizon back-to-back, streaming one tick report per
+//! slot onto a shared progress channel. The coordinator's **watermark**
+//! advances one slot at a time: phase `t` (disk faults, reconfig,
+//! restarts, handoffs, dispatch) runs only after every live shard's slot
+//! `t-1` report has been folded, and the fold for slot `t` consumes
+//! reports **in shard order** regardless of the wall-clock order they
+//! arrived in. A lease may cover future slots only when the leased span
+//! is provably inert for the coordinator — no arrivals due, no placement
+//! or reconfig work scheduled, no pending handoffs, every shard up, and
+//! never across a scripted fault slot — so every cross-shard message for
+//! slot `t` is already in a shard's mailbox (FIFO, ahead of the grant
+//! covering `t`) before the shard may execute `t`. That makes the
+//! run-ahead invisible to the simulation: snapshots, traces, and final
+//! accounting are byte-identical for any epoch horizon, including
+//! horizon 1 (lockstep).
 //!
 //! ## Determinism contract
 //!
@@ -11,32 +33,38 @@
 //! source of ordering is pinned:
 //!
 //! * admission decisions read only the [`Router`]'s tracked backlog (the
-//!   depth each shard reported at the last barriered tick plus injections
+//!   depth each shard reported at its last folded tick plus injections
 //!   since), never live channel state;
-//! * every slot is a barrier — all live shards tick, then all replies are
-//!   collected **in shard order** before anything else happens;
+//! * every slot is folded at the watermark — all live shards' reports
+//!   for the slot are consumed **in shard order** before anything else
+//!   happens, and worker-side trace/lifecycle records are held back
+//!   until the watermark passes their slot;
 //! * per-shard engine seeds derive from the base seed and shard index;
 //! * the final [`Snapshot`] carries no wall-clock field, and every fault
 //!   counter is in virtual slots or event counts.
 //!
 //! The contract extends to chaos runs: scripted faults key off virtual
-//! slots, detection is attributed to the slot whose tick failed, and
-//! recovery replays journaled arrivals at their original admission slots —
-//! so repeating an identical `--chaos` command reproduces the identical
-//! final snapshot.
+//! slots (leases never cross a pending fault slot, so faults fire exactly
+//! when lockstep would have fired them), detection is attributed to the
+//! slot whose report is missing, and recovery replays journaled arrivals
+//! at their original admission slots — so repeating an identical
+//! `--chaos` command reproduces the identical final snapshot.
 //!
 //! ## Fault model
 //!
 //! A shard worker can fail three ways, and the supervisor sees each as a
-//! distinct signal on the tick request-reply protocol:
+//! distinct signal on the progress plane:
 //!
-//! * **crash** — the worker thread panicked; its channel disconnects;
-//! * **stall** — the worker stops replying without exiting; only the
-//!   per-slot reply deadline ([`FaultConfig::tick_timeout_ms`]) can see it,
-//!   after which the handle is *abandoned* (detached, never joined);
-//! * **policy error** — the policy produced an illegal schedule. This is a
-//!   bug, not an outage, and stays **fatal** ([`ServeError::Shard`]):
-//!   restarting would deterministically replay the same error.
+//! * **crash** — the worker thread panicked; its spawn wrapper posts a
+//!   death notice ([`crate::ShardEvent::Died`]) behind any reports it
+//!   already streamed, so the first missing slot is attributed exactly;
+//! * **stall** — the worker stops reporting without exiting; only the
+//!   fold deadline ([`FaultConfig::tick_timeout_ms`]) can see it, after
+//!   which the handle is *abandoned* (detached, never joined);
+//! * **policy error** — the policy produced an illegal schedule
+//!   ([`crate::ShardEvent::Error`]). This is a bug, not an outage, and
+//!   stays **fatal** ([`ServeError::Shard`]): restarting would
+//!   deterministically replay the same error.
 //!
 //! While a shard is down its stations are unavailable and arrivals follow
 //! the router's [`DegradedPolicy`]. Restart replays the journal on top of
@@ -68,7 +96,8 @@ use crate::placement::{PlacementPlane, RouteDecision};
 use crate::policy::{policy_from_name, UnknownPolicy};
 use crate::router::{Admission, DegradedPolicy, Router};
 use crate::shard::{
-    HandoffEvent, RecoverPlan, ShardCommand, ShardHandle, ShardReply, ShardTick, SpawnSpec,
+    HandoffEvent, RecoverPlan, ShardCommand, ShardEvent, ShardHandle, ShardProgress, ShardReply,
+    ShardTick, SpawnSpec,
 };
 use crate::snapshot::{LatencyStats, Snapshot};
 use mec_obs::lifecycle::{DRIVER, NO_BS};
@@ -77,18 +106,21 @@ use mec_placement::{OpsLog, PlacementConfig, ReconfigOp};
 use mec_sim::{EngineState, Metrics, SlotConfig};
 use mec_topology::{StationId, Topology};
 use mec_workload::Request;
+use std::collections::VecDeque;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::mpsc::RecvTimeoutError;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Supervision and recovery knobs.
 #[derive(Debug, Clone)]
 pub struct FaultConfig {
-    /// Per-slot reply deadline in milliseconds; a shard that misses it is
-    /// treated as stalled and restarted. 0 disables the deadline (a
-    /// wedged worker then blocks the barrier forever).
+    /// Fold deadline in milliseconds: how long the coordinator waits for
+    /// a live shard's slot report (the window resets on every progress
+    /// event it ingests). A shard that misses it is treated as stalled
+    /// and restarted. 0 disables the deadline (a wedged worker then
+    /// blocks the watermark forever).
     pub tick_timeout_ms: u64,
     /// Ask workers for an engine checkpoint every N slots (0 disables;
     /// recovery then replays from genesis, which is exact for every
@@ -145,6 +177,14 @@ pub struct ServeConfig {
     pub drain_slots: u64,
     /// Virtual (as fast as possible) or wall-clock-paced ticking.
     pub clock: ClockMode,
+    /// Run-ahead lease length in slots: how far past the fold watermark
+    /// a shard may execute before it must wait for the coordinator.
+    /// 1 (or 0) is lockstep; larger horizons let shards pipeline across
+    /// slots with the coordinator's fold. Leases never cover a slot with
+    /// scheduled coordinator work (arrivals, reconfig, faults, pending
+    /// handoffs), so the outcome is byte-identical for every horizon —
+    /// only wall-clock throughput changes. Ignored under a paced clock.
+    pub epoch_horizon: u64,
     /// Supervision, checkpointing, and degraded-routing knobs.
     pub faults: FaultConfig,
     /// Scripted faults to inject (empty for a normal run).
@@ -192,6 +232,7 @@ impl Default for ServeConfig {
             sim: SlotConfig::default(),
             drain_slots: 1_000,
             clock: ClockMode::Virtual,
+            epoch_horizon: 8,
             faults: FaultConfig::default(),
             chaos: ChaosSpec::default(),
             obs: None,
@@ -286,7 +327,7 @@ fn shard_seed(base: u64, shard: usize) -> u64 {
 /// Supervisor view of one shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ShardStatus {
-    /// Worker live, participating in the barrier.
+    /// Worker live, participating in the watermark protocol.
     Up,
     /// Worker failed at `detected_at`; restart scheduled at `restart_at`.
     Down {
@@ -312,6 +353,22 @@ struct Supervised {
     handle: Option<ShardHandle>,
     status: ShardStatus,
     restarts_used: u64,
+    /// Spawn generation of the current worker; progress events stamped
+    /// with an older generation are dropped (a restarted shard reuses
+    /// the same shared channel).
+    gen: u64,
+    /// Next slot not yet covered by a lease: the worker holds grants for
+    /// every slot below this.
+    granted: u64,
+    /// Reports received from the current worker but not yet folded —
+    /// the run-ahead buffer. Front is always the lowest unfolded slot
+    /// (workers report slots in order).
+    inbox: VecDeque<ShardTick>,
+    /// The spawn wrapper posted a death notice for the current worker.
+    died: bool,
+    /// The current worker reported a fatal policy error; surfaced at the
+    /// fold of the slot whose report it replaced.
+    fatal: Option<String>,
     /// Scripted faults for this shard not yet consumed by a failure.
     faults_remaining: Vec<ShardFault>,
     /// Full fault specs for this shard (for `recover_at` lookups).
@@ -549,6 +606,7 @@ fn restart(
     obs: &mut ObsState,
     store: &mut Option<DiskStore>,
     cfg: &ServeConfig,
+    progress: &Sender<ShardProgress>,
     horizon_hint: u64,
     slot: u64,
     detected_at: u64,
@@ -563,10 +621,17 @@ fn restart(
         .filter(|e| e.slot() >= sup.base.next_slot && e.slot() <= through)
         .cloned()
         .collect();
+    // The replacement worker is a fresh incarnation: later progress
+    // events from the dead one (none should exist, but a stalled worker
+    // is only abandoned, never joined) must not be attributed to it.
+    sup.gen += 1;
+    sup.inbox.clear();
+    sup.died = false;
+    sup.fatal = None;
     let spec = SpawnSpec {
         plan: sup.plan.clone(),
         config: sup.sim,
-        command_bound: cfg.queue_capacity + 1,
+        command_bound: command_bound(cfg),
         checkpoint_every: cfg.faults.checkpoint_every,
         faults: sup.faults_remaining.clone(),
         recover: Some(RecoverPlan {
@@ -580,6 +645,8 @@ fn restart(
             life_from: detected_at,
             life_ids: sup.life_ids.clone(),
         }),
+        progress: progress.clone(),
+        gen: sup.gen,
         ring: obs.ring(shard),
         step_hist: obs.step_hist(shard),
         telemetry_every: obs.telemetry_every(),
@@ -604,6 +671,9 @@ fn restart(
             router.mark_up(shard);
             sup.handle = Some(handle);
             sup.status = ShardStatus::Up;
+            // Catch-up covered everything below `slot`; leases resume
+            // from the watermark.
+            sup.granted = slot;
             Ok(true)
         }
         Ok(ShardReply::Error(msg)) => Err(ServeError::Shard(msg)),
@@ -615,6 +685,32 @@ fn restart(
             handle.abandon();
             Ok(false)
         }
+    }
+}
+
+/// Mailbox bound for one worker: a slot's worth of admissions plus the
+/// handful of in-flight lease extensions a run-ahead span can leave
+/// queued. Sized so the coordinator never blocks sending to a worker
+/// that is still executing a lease (and a parked, stalled worker can
+/// absorb everything sent before its fold deadline detects it).
+fn command_bound(cfg: &ServeConfig) -> usize {
+    cfg.queue_capacity + 1 + cfg.epoch_horizon.max(1) as usize
+}
+
+/// Folds one progress event into the supervisor state. Events from a
+/// stale incarnation (an abandoned worker that limped on after its
+/// replacement spawned) are dropped by generation.
+fn ingest_progress(supervised: &mut [Supervised], p: ShardProgress) {
+    let Some(sup) = supervised.get_mut(p.shard) else {
+        return;
+    };
+    if p.gen != sup.gen {
+        return;
+    }
+    match p.event {
+        ShardEvent::Tick(tick) => sup.inbox.push_back(tick),
+        ShardEvent::Error(msg) => sup.fatal = Some(msg),
+        ShardEvent::Died => sup.died = true,
     }
 }
 
@@ -956,6 +1052,12 @@ pub fn serve<F: FnMut(&Snapshot)>(
         seed = cfg.sim.seed,
         requests = load.len(),
     );
+    // The shared progress plane: every worker (and every restart
+    // incarnation) streams its per-slot reports here. The coordinator
+    // keeps its own sender so the channel never disconnects while
+    // workers come and go.
+    let (progress_tx, progress_rx): (Sender<ShardProgress>, Receiver<ShardProgress>) =
+        std::sync::mpsc::channel();
     let mut supervised: Vec<Supervised> = plans
         .into_iter()
         .map(|plan| {
@@ -975,15 +1077,15 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 .filter(|f| f.shard == shard)
                 .copied()
                 .collect();
-            // Bound = worst-case commands between barriers: one slot's
-            // admissions (≤ queue capacity) plus the tick itself.
             let spec = SpawnSpec {
                 plan: plan.clone(),
                 config: sim,
-                command_bound: cfg.queue_capacity + 1,
+                command_bound: command_bound(cfg),
                 checkpoint_every: cfg.faults.checkpoint_every,
                 faults: faults_remaining.clone(),
                 recover: None,
+                progress: progress_tx.clone(),
+                gen: 0,
                 ring: obs.ring(shard),
                 step_hist: obs.step_hist(shard),
                 telemetry_every: obs.telemetry_every(),
@@ -1001,6 +1103,11 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 handle: Some(handle),
                 status: ShardStatus::Up,
                 restarts_used: 0,
+                gen: 0,
+                granted: 0,
+                inbox: VecDeque::new(),
+                died: false,
+                fatal: None,
                 faults_remaining,
                 chaos_faults,
                 base,
@@ -1022,11 +1129,13 @@ pub fn serve<F: FnMut(&Snapshot)>(
     let backoff = cfg.faults.restart_backoff_slots;
     let mut slo_engine = SloEngine::new(cfg.slo.clone());
     // Driver-side phase split (wall-clock, registry-only): how much of
-    // the wall is spent dispatching, recovering shards, and waiting at
-    // the tick barrier. The remainder is reconfig/snapshot overhead.
+    // the wall is spent dispatching, recovering shards, and folding at
+    // the watermark (granting leases plus waiting for shard reports).
+    // The remainder is reconfig/snapshot overhead.
     let mut dispatch_ms = 0.0f64;
     let mut recovery_ms = 0.0f64;
-    let mut barrier_ms = 0.0f64;
+    let mut fold_ms = 0.0f64;
+    let horizon = cfg.epoch_horizon.max(1);
     // At least one slot past the last arrival (and past the last
     // scheduled reconfiguration effect), so every request is dispatched
     // (and counted as admitted or shed) even with drain 0.
@@ -1098,6 +1207,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 &mut obs,
                 &mut store,
                 cfg,
+                &progress_tx,
                 horizon_hint,
                 slot,
                 detected_at,
@@ -1183,7 +1293,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
             }
         }
         // Per-slot durability point: everything this slot admitted is on
-        // disk before the barrier ticks.
+        // disk before the slot's lease can execute.
         if let Some(store) = store.as_mut() {
             if let Err(e) = store.flush() {
                 obs.note_disk_write_error(slot, usize::MAX, "flush", &e);
@@ -1203,8 +1313,9 @@ pub fn serve<F: FnMut(&Snapshot)>(
         let place_delta = plane.stats().delta_since(&place_before);
         obs.note_placement(slot, &place_delta);
 
-        // Barriered tick: all live shards advance one slot, replies
-        // collected in shard order.
+        // Watermark phase: extend each live shard's lease (possibly many
+        // slots ahead), then fold exactly this slot's tick reports in
+        // shard order.
         let slo_active = !slo_engine.is_empty();
         let (good_before, bad_before, lat_lens) = if slo_active {
             (
@@ -1222,68 +1333,104 @@ pub fn serve<F: FnMut(&Snapshot)>(
             (0, 0, Vec::new())
         };
         clock.tick();
-        let barrier_start = std::time::Instant::now();
+        let fold_start = std::time::Instant::now();
         {
             mec_obs::prof_scope!("serve.barrier");
-            let mut ticked = vec![false; supervised.len()];
-            for i in 0..supervised.len() {
-                if supervised[i].status != ShardStatus::Up {
+            // Grant pass. A shard may run ahead of the coordinator only
+            // while the coordinator can prove it will send that shard
+            // nothing for the leased slots: no pending arrivals or held
+            // releases inside the lease, no reconfig ops or handoffs
+            // outstanding, every peer up (so no extract/absorb or restart
+            // traffic), and no scripted fault inside the span (the fault
+            // must fire at its exact slot, after that slot's injections).
+            let run_ahead_ok = horizon > 1
+                && cfg.clock == ClockMode::Virtual
+                && pending.is_empty()
+                && supervised.iter().all(|s| s.status == ShardStatus::Up)
+                && plane.ops_exhausted()
+                && !plane.has_held()
+                && !plane.has_pending_drains();
+            let global_through = if run_ahead_ok {
+                let mut through = slot + horizon - 1;
+                if let Some(next) = arrivals.peek() {
+                    through = through.min(next.arrival_slot().saturating_sub(1));
+                }
+                through.min(hard_stop.saturating_sub(1)).max(slot)
+            } else {
+                slot
+            };
+            for sup in &mut supervised {
+                if sup.status != ShardStatus::Up {
                     continue;
                 }
-                let alive = supervised[i]
+                let mut through = global_through;
+                for fault in &sup.faults_remaining {
+                    if fault.slot > slot {
+                        through = through.min(fault.slot - 1);
+                    }
+                }
+                if sup.granted > through {
+                    continue; // current lease already covers this slot
+                }
+                let alive = sup
                     .handle
                     .as_ref()
-                    .is_some_and(|h| h.send(ShardCommand::Tick).is_ok());
+                    .is_some_and(|h| h.send(ShardCommand::Grant { through }).is_ok());
                 if alive {
-                    ticked[i] = true;
+                    sup.granted = through + 1;
                 } else {
-                    note_down(
-                        &mut supervised[i],
-                        &mut router,
-                        &mut obs,
-                        slot,
-                        backoff,
-                        "send_failed",
-                    );
+                    note_down(sup, &mut router, &mut obs, slot, backoff, "send_failed");
                 }
             }
+            // Fold wait: pull progress events until every live shard has
+            // buffered this slot's tick (or signalled death/error). The
+            // deadline window restarts on every event, so a long grant
+            // span never trips it while progress is still flowing.
             let deadline = cfg.faults.tick_timeout_ms;
-            for i in 0..supervised.len() {
-                if !ticked[i] {
-                    continue;
+            loop {
+                let waiting = supervised.iter().any(|sup| {
+                    sup.status == ShardStatus::Up
+                        && sup.inbox.is_empty()
+                        && !sup.died
+                        && sup.fatal.is_none()
+                });
+                if !waiting {
+                    break;
                 }
-                // A missing reply carries its detection signal: a closed
-                // channel is a crash, a missed deadline is a stall.
-                let (reply, fail_reason) = match &supervised[i].handle {
-                    Some(handle) if deadline > 0 => {
-                        match handle.recv_timeout(Duration::from_millis(deadline)) {
-                            Ok(reply) => (Some(reply), ""),
-                            Err(RecvTimeoutError::Timeout) => (None, "timeout"),
-                            Err(RecvTimeoutError::Disconnected) => (None, "disconnect"),
+                let event = if deadline > 0 {
+                    match progress_rx.recv_timeout(Duration::from_millis(deadline)) {
+                        Ok(p) => Some(p),
+                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                            None
                         }
                     }
-                    Some(handle) => (handle.recv().ok(), "disconnect"),
-                    None => (None, "send_failed"),
+                } else {
+                    // Deadline 0 disables stall detection; the driver
+                    // holds a sender clone, so this never disconnects.
+                    progress_rx.recv().ok()
                 };
-                match reply {
-                    Some(ShardReply::Tick(tick)) => {
-                        apply_tick(&mut supervised[i], &mut router, &mut obs, &mut store, &tick);
-                    }
-                    Some(ShardReply::Error(msg)) => return Err(ServeError::Shard(msg)),
-                    Some(other) => {
-                        return Err(ServeError::Shard(format!(
-                            "shard {} answered Tick with {other:?}",
-                            supervised[i].shard
-                        )))
-                    }
-                    None => note_down(
-                        &mut supervised[i],
-                        &mut router,
-                        &mut obs,
-                        slot,
-                        backoff,
-                        fail_reason,
-                    ),
+                match event {
+                    Some(p) => ingest_progress(&mut supervised, p),
+                    // Deadline elapsed: every still-missing shard is
+                    // stalled; the fold pass below marks them down.
+                    None => break,
+                }
+            }
+            // Fold pass in shard order — the ordering half of the
+            // determinism contract. A missing tick carries its detection
+            // signal: a death notice is a crash, a bare deadline a stall.
+            for sup in &mut supervised {
+                if sup.status != ShardStatus::Up {
+                    continue;
+                }
+                if let Some(tick) = sup.inbox.pop_front() {
+                    debug_assert_eq!(tick.report.slot, slot, "shard folded out of order");
+                    apply_tick(sup, &mut router, &mut obs, &mut store, &tick);
+                } else if let Some(msg) = sup.fatal.take() {
+                    return Err(ServeError::Shard(msg));
+                } else {
+                    let reason = if sup.died { "disconnect" } else { "timeout" };
+                    note_down(sup, &mut router, &mut obs, slot, backoff, reason);
                 }
             }
             for sup in &supervised {
@@ -1292,7 +1439,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                 }
             }
         }
-        barrier_ms += barrier_start.elapsed().as_secs_f64() * 1e3;
+        fold_ms += fold_start.elapsed().as_secs_f64() * 1e3;
 
         let slots_done = clock.ticks();
         obs.set_slot(slots_done);
@@ -1300,12 +1447,12 @@ pub fn serve<F: FnMut(&Snapshot)>(
             clock.elapsed_secs() * 1e3,
             dispatch_ms,
             recovery_ms,
-            barrier_ms,
+            fold_ms,
         );
 
         // SLO evaluation over this slot's deterministic deltas: completions
         // (with their latencies) are good events; expirations, aborts, and
-        // sheds are bad. Runs before `drain_rings` so breach/recovery
+        // sheds are bad. Runs before the ring drain so breach/recovery
         // events land in the trace at the slot that caused them.
         if slo_active {
             let good = supervised
@@ -1330,9 +1477,11 @@ pub fn serve<F: FnMut(&Snapshot)>(
             });
             obs.note_slo(slot, &slo_engine, &transitions);
         }
-        // Worker-side events join the trace here, at the barrier, in
-        // shard order — the ordering half of the determinism contract.
-        obs.drain_rings();
+        // Worker-side events join the trace here, at the watermark, in
+        // shard order. Events a run-ahead worker already emitted for
+        // future slots stay held back until their slot folds, so the
+        // trace is byte-identical for every epoch horizon.
+        obs.drain_rings_through(slot);
         if cfg.snapshot_every > 0 && slots_done.is_multiple_of(cfg.snapshot_every) {
             mec_obs::prof_scope!("serve.snapshot");
             obs.sync_router(&router);
@@ -1409,6 +1558,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
                     &mut obs,
                     &mut store,
                     cfg,
+                    &progress_tx,
                     horizon_hint,
                     end_slot,
                     detected_at,
@@ -1473,7 +1623,7 @@ pub fn serve<F: FnMut(&Snapshot)>(
 
     obs.sync_router(&router);
     obs.sync_placement(plane.state());
-    obs.drain_rings();
+    obs.drain_rings_through(u64::MAX);
     let final_snapshot = Snapshot {
         slot: end_slot,
         shards: cfg.shards,
@@ -1511,11 +1661,11 @@ pub fn serve<F: FnMut(&Snapshot)>(
             wall_secs * 1e3,
             dispatch_ms,
             recovery_ms,
-            barrier_ms,
+            fold_ms,
             end_slot,
         );
     }
-    obs.note_driver_stall(wall_secs * 1e3, dispatch_ms, recovery_ms, barrier_ms);
+    obs.note_driver_stall(wall_secs * 1e3, dispatch_ms, recovery_ms, fold_ms);
     obs.flush(end_slot);
     Ok(ServeOutcome {
         final_snapshot,

@@ -1,14 +1,20 @@
-//! Shard workers: one thread per shard, each owning a private
-//! [`mec_sim::Engine`] plus a boxed policy, driven over bounded channels.
+//! Shard actors: one thread per shard, each owning a private
+//! [`mec_sim::Engine`] plus a boxed policy, driven over channels.
 //!
-//! The protocol is strictly request/reply at the tick granularity: the
-//! driver sends any number of [`ShardCommand::Inject`]s, then exactly one
-//! [`ShardCommand::Tick`], and the worker answers with exactly one
-//! [`ShardReply::Tick`] (or a [`ShardReply::Error`] if the policy produced
-//! an illegal schedule, after which the worker stops). [`ShardCommand::Finish`]
-//! flushes terminal accounting and answers [`ShardReply::Final`]. Because
-//! the driver always collects replies in shard order before the next tick,
-//! every shard executes the same slot in lock step.
+//! Each worker is an actor with a bounded command mailbox and a shared
+//! progress plane. The coordinator feeds any number of
+//! [`ShardCommand::Inject`]s (slot-stamped by construction: injections for
+//! slot `t` always precede the grant covering `t`, and the mailbox is
+//! FIFO), then extends the shard's run-ahead lease with
+//! [`ShardCommand::Grant`]. The worker executes every leased slot
+//! back-to-back, streaming one [`ShardEvent::Tick`] per slot onto the
+//! progress channel — it never waits for the coordinator between slots of
+//! the same grant, which is what removes the per-slot barrier. A policy
+//! error during a live tick becomes a [`ShardEvent::Error`]; an abnormal
+//! thread death (chaos crash, engine panic) becomes a
+//! [`ShardEvent::Died`] sent by the spawn wrapper. Synchronous
+//! request/reply traffic (station extraction, recovery, finish) stays on
+//! the per-shard reply channel.
 //!
 //! ## Recovery and chaos
 //!
@@ -17,10 +23,12 @@
 //! slot through the catch-up horizon, and answers with a single
 //! [`ShardReply::Recovered`] before entering the normal command loop. It
 //! can also be *armed* with scripted [`ShardFault`]s that fire when the
-//! matching live tick arrives — crash (panic), stall (stop replying
+//! matching live tick executes — crash (panic), stall (stop replying
 //! without exiting), or slow (sleep before the tick). Faults never fire
 //! during catch-up replay, so a consumed fault cannot re-kill the shard it
-//! already killed.
+//! already killed. The coordinator never leases slots at or beyond a
+//! scripted fault until the fault's own slot is reached, so faults fire at
+//! exactly the slot the lockstep protocol would have fired them.
 
 use crate::chaos::{FaultKind, ShardFault};
 use crate::obs::StallProbe;
@@ -34,7 +42,7 @@ use mec_sim::{
 use mec_topology::StationId;
 use mec_workload::request::Request;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, SyncSender};
+use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -55,8 +63,14 @@ pub enum ShardCommand {
     /// order, so lifecycle tracking survives the engine re-identifying the
     /// absorbed jobs (empty when lifecycle tracing is off).
     AbsorbStation(Box<StationSlice>, StationId, Vec<u64>),
-    /// Execute exactly one slot and reply with a [`ShardReply::Tick`].
-    Tick,
+    /// Extend the shard's run-ahead lease: execute every slot up to and
+    /// including `through`, streaming one [`ShardEvent::Tick`] per slot on
+    /// the progress channel. Grants are cumulative — a later grant only
+    /// ever extends the lease; slots already executed are skipped.
+    Grant {
+        /// Last slot (inclusive) the worker may execute.
+        through: u64,
+    },
     /// Flush terminal accounting, reply with [`ShardReply::Final`], stop.
     Finish,
 }
@@ -140,17 +154,11 @@ pub struct ShardRecovered {
     pub replayed: u64,
 }
 
-/// What a shard worker sends back.
-///
-/// `Tick` dwarfs the other variants (its telemetry vectors' inline
-/// headers add up), but exactly one reply per shard per slot crosses
-/// the channel — boxing it would cost an allocation per tick to save
-/// nothing.
+/// What a shard worker sends back on its synchronous reply channel.
+/// Per-slot progress rides the shared [`ShardProgress`] channel instead.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ShardReply {
-    /// Answer to [`ShardCommand::Tick`].
-    Tick(ShardTick),
     /// Answer to [`ShardCommand::Finish`]; the worker exits after this.
     Final(ShardFinal),
     /// First reply after a spawn with a [`RecoverPlan`] — sent before any
@@ -161,9 +169,45 @@ pub enum ShardReply {
     /// global request id of each job in slice order (empty when lifecycle
     /// tracing is off).
     Extracted(Box<StationSlice>, Vec<u64>),
-    /// The policy produced an illegal schedule; the worker exits after
-    /// this and ignores further commands.
+    /// The policy produced an illegal schedule during catch-up replay; the
+    /// worker exits after this and ignores further commands. (Live-tick
+    /// errors travel as [`ShardEvent::Error`] on the progress channel.)
     Error(String),
+}
+
+/// Asynchronous per-shard progress on the shared watermark plane.
+///
+/// `Tick` dwarfs the other variants (its telemetry vectors' inline
+/// headers add up), but exactly one event per shard per slot crosses
+/// the channel — boxing it would cost an allocation per tick to save
+/// nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ShardEvent {
+    /// One leased slot executed; carries that slot's full report.
+    Tick(ShardTick),
+    /// The policy produced an illegal schedule at a live tick; the worker
+    /// exits after sending this.
+    Error(String),
+    /// The worker thread terminated abnormally (panic). Sent by the spawn
+    /// wrapper, never by the worker body, so it always follows every tick
+    /// the worker managed to stream before dying.
+    Died,
+}
+
+/// Envelope for [`ShardEvent`]s on the shared progress channel: the
+/// coordinator folds ticks in shard order at each watermark and uses the
+/// spawn generation to drop events from stale incarnations (a restarted
+/// shard reuses the same channel).
+#[derive(Debug)]
+pub struct ShardProgress {
+    /// The reporting shard.
+    pub shard: usize,
+    /// Spawn generation of the worker that sent this (0 for the initial
+    /// spawn, +1 per restart).
+    pub gen: u64,
+    /// What happened.
+    pub event: ShardEvent,
 }
 
 /// One handoff operation a shard participated in, recorded by the
@@ -257,19 +301,26 @@ pub struct SpawnSpec {
     pub faults: Vec<ShardFault>,
     /// Catch-up plan for a restart; `None` for a cold start.
     pub recover: Option<RecoverPlan>,
-    /// Worker-side trace ring, drained by the driver at each slot
-    /// barrier. `None` when tracing is off (events become no-ops).
+    /// Shared progress channel: one [`ShardEvent::Tick`] per executed
+    /// slot, plus live-tick errors and the spawn wrapper's death notice.
+    pub progress: Sender<ShardProgress>,
+    /// Spawn generation stamped on every progress event (0 for the
+    /// initial spawn, +1 per restart) so the coordinator can drop events
+    /// from stale incarnations.
+    pub gen: u64,
+    /// Worker-side trace ring, drained by the coordinator at each
+    /// watermark fold. `None` when tracing is off (events become no-ops).
     pub ring: Option<TraceRing>,
     /// Wall-clock engine-step timing histogram (live metrics only; never
     /// reaches snapshots or traces).
     pub step_hist: Option<std::sync::Arc<Histogram>>,
-    /// Worker-side lifecycle ring, drained by the driver at each slot
-    /// barrier. `None` when lifecycle tracing is off; records also
+    /// Worker-side lifecycle ring, drained by the coordinator at each
+    /// watermark fold. `None` when lifecycle tracing is off; records also
     /// require the `lifecycle` cargo feature to be emitted at all.
     pub life_ring: Option<LifecycleRing>,
-    /// Always-on work/wait stall probe behind the barrier-stall
-    /// attribution (live metrics only; never reaches snapshots or
-    /// deterministic traces).
+    /// Always-on work / mailbox-wait / watermark-wait stall probe behind
+    /// the stall attribution (live metrics only; never reaches snapshots
+    /// or deterministic traces).
     pub stall: Option<StallProbe>,
     /// Fine-grained latency histogram to attach completed-request-id
     /// exemplars to (only consulted while lifecycle tracking is active;
@@ -416,10 +467,19 @@ fn worker_main(
     }
     // Stall accounting is always on (it feeds live gauges only). The
     // gauges are cumulative across restarts: a replacement worker picks
-    // up the totals its predecessor left behind.
+    // up the totals its predecessor left behind. Three buckets partition
+    // the loop time exactly: work (executing leased slots), mailbox-wait
+    // (handling inject/extract/absorb traffic), and watermark-wait
+    // (blocked on the mailbox until the coordinator extends the lease).
     let mut work_ms = spec.stall.as_ref().map_or(0.0, |p| p.work_ms.get());
-    let mut wait_ms = spec.stall.as_ref().map_or(0.0, |p| p.wait_ms.get());
+    let mut mailbox_ms = spec.stall.as_ref().map_or(0.0, |p| p.mailbox_ms.get());
+    let mut watermark_ms = spec.stall.as_ref().map_or(0.0, |p| p.watermark_ms.get());
     let mut idle_since = std::time::Instant::now();
+    // Blocked-on-mailbox time accumulated since the previous grant
+    // finished; observed once per grant so the histogram measures the
+    // per-lease watermark wait (zero for slots inside a multi-slot grant
+    // — the whole point of run-ahead).
+    let mut grant_wait_ms = 0.0f64;
 
     if let Some(recover) = spec.recover {
         let start = recover.base.next_slot;
@@ -545,15 +605,25 @@ fn worker_main(
     }
 
     for cmd in cmd_rx {
+        // Time since the last command finished was spent blocked on the
+        // mailbox; it accrues to the watermark bucket when the next grant
+        // arrives (mailbox traffic between grants is measured separately).
+        grant_wait_ms += idle_since.elapsed().as_secs_f64() * 1e3;
         match cmd {
             ShardCommand::Inject(request) => {
+                let handling = std::time::Instant::now();
                 #[cfg(feature = "lifecycle")]
                 if let Some(life) = life.as_mut() {
                     life.note_inject(&request);
                 }
                 engine.inject(request);
+                if let Some(probe) = &spec.stall {
+                    mailbox_ms += handling.elapsed().as_secs_f64() * 1e3;
+                    probe.mailbox_ms.set(mailbox_ms);
+                }
             }
             ShardCommand::ExtractStation(station) => {
+                let handling = std::time::Instant::now();
                 let slice = engine.extract_station(station);
                 // Report the departing jobs' global ids so the receiving
                 // shard can keep attributing lifecycle records to them.
@@ -569,8 +639,13 @@ fn worker_main(
                 {
                     return;
                 }
+                if let Some(probe) = &spec.stall {
+                    mailbox_ms += handling.elapsed().as_secs_f64() * 1e3;
+                    probe.mailbox_ms.set(mailbox_ms);
+                }
             }
             ShardCommand::AbsorbStation(slice, home, ids) => {
+                let handling = std::time::Instant::now();
                 #[cfg(feature = "lifecycle")]
                 if let Some(life) = life.as_mut() {
                     life.note_absorb(slice.jobs.len(), &ids);
@@ -578,128 +653,145 @@ fn worker_main(
                 #[cfg(not(feature = "lifecycle"))]
                 let _ = &ids;
                 engine.absorb_station(&slice, home);
-            }
-            ShardCommand::Tick => {
-                mec_obs::prof_scope!("serve.shard_tick");
-                // Everything since the last tick reply was spent waiting on
-                // the driver: barrier straggling, dispatch, recovery. The
-                // inject/absorb handling above is queue drain measured in
-                // microseconds — close enough to wait to count as wait.
                 if let Some(probe) = &spec.stall {
-                    let waited = idle_since.elapsed().as_secs_f64() * 1e3;
-                    wait_ms += waited;
-                    probe.wait_ms.set(wait_ms);
-                    probe.wait_hist.observe(waited);
+                    mailbox_ms += handling.elapsed().as_secs_f64() * 1e3;
+                    probe.mailbox_ms.set(mailbox_ms);
                 }
-                // Work covers the whole tick handling — engine step plus
-                // checkpoint/telemetry/reply assembly — so work + wait
-                // partitions the worker's loop time exactly (the report
-                // checks the per-shard sum against driver wall time).
+            }
+            ShardCommand::Grant { through } => {
+                // Everything blocked-on-mailbox since the previous grant
+                // completed was spent waiting for the coordinator to
+                // advance the watermark and extend the lease.
+                if let Some(probe) = &spec.stall {
+                    watermark_ms += grant_wait_ms;
+                    probe.watermark_ms.set(watermark_ms);
+                    probe.wait_hist.observe(grant_wait_ms);
+                }
+                grant_wait_ms = 0.0;
+                // Work covers the whole leased span — engine steps plus
+                // checkpoint/telemetry/event assembly — so work + mailbox
+                // + watermark partitions the worker's loop time exactly
+                // (the report checks the per-shard sum against driver
+                // wall time).
                 let busy_since = std::time::Instant::now();
-                if let Some(pos) = faults.iter().position(|f| f.slot == next_live_slot) {
-                    let fault = faults.remove(pos);
-                    // Emitted before the fault fires so even a crash (the
-                    // panic below) leaves its injection in the trace.
-                    mec_obs::event!(
-                        spec.ring,
-                        next_live_slot,
-                        "fault_injected",
-                        shard = shard,
-                        fault = match fault.kind {
-                            FaultKind::Crash => "crash",
-                            FaultKind::Stall => "stall",
-                            FaultKind::Slow { .. } => "slow",
-                        },
-                    );
-                    match fault.kind {
-                        FaultKind::Crash => {
-                            panic!(
-                                "chaos: injected crash in shard {shard} at slot {}",
-                                fault.slot
-                            );
-                        }
-                        FaultKind::Stall => {
-                            // Stop replying without exiting: only the
-                            // driver's reply deadline can see this. Park
-                            // until the supervisor abandons the handle.
-                            while !abandoned.load(Ordering::Acquire) {
-                                std::thread::park_timeout(Duration::from_millis(5));
+                while next_live_slot <= through {
+                    mec_obs::prof_scope!("serve.shard_tick");
+                    if let Some(pos) = faults.iter().position(|f| f.slot == next_live_slot) {
+                        let fault = faults.remove(pos);
+                        // Emitted before the fault fires so even a crash
+                        // (the panic below) leaves its injection in the
+                        // trace.
+                        mec_obs::event!(
+                            spec.ring,
+                            next_live_slot,
+                            "fault_injected",
+                            shard = shard,
+                            fault = match fault.kind {
+                                FaultKind::Crash => "crash",
+                                FaultKind::Stall => "stall",
+                                FaultKind::Slow { .. } => "slow",
+                            },
+                        );
+                        match fault.kind {
+                            FaultKind::Crash => {
+                                panic!(
+                                    "chaos: injected crash in shard {shard} at slot {}",
+                                    fault.slot
+                                );
                             }
+                            FaultKind::Stall => {
+                                // Stop reporting without exiting: only the
+                                // coordinator's fold deadline can see
+                                // this. Park until the supervisor abandons
+                                // the handle.
+                                while !abandoned.load(Ordering::Acquire) {
+                                    std::thread::park_timeout(Duration::from_millis(5));
+                                }
+                                return;
+                            }
+                            FaultKind::Slow { ms } => {
+                                std::thread::sleep(Duration::from_millis(ms));
+                            }
+                        }
+                    }
+                    let report = match mec_obs::span!(spec.step_hist, engine.step(policy.as_mut()))
+                    {
+                        Ok(report) => report,
+                        Err(e) => {
+                            let _ = spec.progress.send(ShardProgress {
+                                shard,
+                                gen: spec.gen,
+                                event: ShardEvent::Error(format!("shard {shard}: {e}")),
+                            });
                             return;
                         }
-                        FaultKind::Slow { ms } => {
-                            std::thread::sleep(Duration::from_millis(ms));
+                    };
+                    next_live_slot = report.slot + 1;
+                    let checkpoint = (spec.checkpoint_every > 0
+                        && next_live_slot.is_multiple_of(spec.checkpoint_every))
+                    .then(|| engine.checkpoint());
+                    let telemetry = (spec.telemetry_every > 0
+                        && next_live_slot.is_multiple_of(spec.telemetry_every))
+                    .then(|| policy.telemetry())
+                    .flatten()
+                    .map(Box::new);
+                    let metrics = engine.metrics();
+                    let latencies = metrics.latencies_ms();
+                    let new_latencies = latencies[seen_latencies..].to_vec();
+                    seen_latencies = latencies.len();
+                    #[cfg(feature = "lifecycle")]
+                    {
+                        let completed_ids = life
+                            .as_mut()
+                            .map_or_else(Vec::new, |l| l.drain(&engine, shard, &spec.plan));
+                        // Latencies append in completion order, so this
+                        // slot's tail zips 1:1 with this slot's completed
+                        // ids — attach them as histogram exemplars.
+                        if let Some(hist) = &spec.fine_hist {
+                            for (lat, id) in new_latencies.iter().zip(&completed_ids) {
+                                hist.note_exemplar(*lat, *id);
+                            }
                         }
                     }
-                }
-                let report = match mec_obs::span!(spec.step_hist, engine.step(policy.as_mut())) {
-                    Ok(report) => report,
-                    Err(e) => {
-                        let _ = reply_tx.send(ShardReply::Error(format!("shard {shard}: {e}")));
+                    let (learner_events, probe_dropped, decision, solve_times_ms) = if spec.probe {
+                        (
+                            policy.drain_learner_events(),
+                            policy.probe_dropped(),
+                            policy.last_decision(),
+                            policy.drain_solve_times_ms(),
+                        )
+                    } else {
+                        (Vec::new(), 0, None, Vec::new())
+                    };
+                    let tick = ShardTick {
+                        shard,
+                        report,
+                        backlog: engine.backlog(),
+                        total_reward: metrics.total_reward(),
+                        completed: metrics.completed(),
+                        expired: metrics.expired(),
+                        aborted: metrics.aborted(),
+                        new_latencies,
+                        checkpoint,
+                        telemetry,
+                        learner_events,
+                        probe_dropped,
+                        decision,
+                        solve_times_ms,
+                    };
+                    let progressed = spec.progress.send(ShardProgress {
+                        shard,
+                        gen: spec.gen,
+                        event: ShardEvent::Tick(tick),
+                    });
+                    if progressed.is_err() {
                         return;
                     }
-                };
-                next_live_slot = report.slot + 1;
-                let checkpoint = (spec.checkpoint_every > 0
-                    && next_live_slot.is_multiple_of(spec.checkpoint_every))
-                .then(|| engine.checkpoint());
-                let telemetry = (spec.telemetry_every > 0
-                    && next_live_slot.is_multiple_of(spec.telemetry_every))
-                .then(|| policy.telemetry())
-                .flatten()
-                .map(Box::new);
-                let metrics = engine.metrics();
-                let latencies = metrics.latencies_ms();
-                let new_latencies = latencies[seen_latencies..].to_vec();
-                seen_latencies = latencies.len();
-                #[cfg(feature = "lifecycle")]
-                {
-                    let completed_ids = life
-                        .as_mut()
-                        .map_or_else(Vec::new, |l| l.drain(&engine, shard, &spec.plan));
-                    // Latencies append in completion order, so this slot's
-                    // tail zips 1:1 with this slot's completed ids —
-                    // attach them as histogram exemplars.
-                    if let Some(hist) = &spec.fine_hist {
-                        for (lat, id) in new_latencies.iter().zip(&completed_ids) {
-                            hist.note_exemplar(*lat, *id);
-                        }
-                    }
-                }
-                let (learner_events, probe_dropped, decision, solve_times_ms) = if spec.probe {
-                    (
-                        policy.drain_learner_events(),
-                        policy.probe_dropped(),
-                        policy.last_decision(),
-                        policy.drain_solve_times_ms(),
-                    )
-                } else {
-                    (Vec::new(), 0, None, Vec::new())
-                };
-                let tick = ShardTick {
-                    shard,
-                    report,
-                    backlog: engine.backlog(),
-                    total_reward: metrics.total_reward(),
-                    completed: metrics.completed(),
-                    expired: metrics.expired(),
-                    aborted: metrics.aborted(),
-                    new_latencies,
-                    checkpoint,
-                    telemetry,
-                    learner_events,
-                    probe_dropped,
-                    decision,
-                    solve_times_ms,
-                };
-                if reply_tx.send(ShardReply::Tick(tick)).is_err() {
-                    return;
                 }
                 if let Some(probe) = &spec.stall {
                     work_ms += busy_since.elapsed().as_secs_f64() * 1e3;
                     probe.work_ms.set(work_ms);
                 }
-                idle_since = std::time::Instant::now();
             }
             ShardCommand::Finish => {
                 let metrics = engine.finish();
@@ -707,6 +799,7 @@ fn worker_main(
                 return;
             }
         }
+        idle_since = std::time::Instant::now();
     }
 }
 
@@ -725,9 +818,29 @@ impl ShardHandle {
         let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel::<ShardReply>(4);
         let abandoned = Arc::new(AtomicBool::new(false));
         let worker_abandoned = Arc::clone(&abandoned);
+        let notice = spec.progress.clone();
+        let gen = spec.gen;
         let join = std::thread::Builder::new()
             .name(format!("mec-shard-{shard}"))
-            .spawn(move || worker_main(spec, policy, &reply_tx, cmd_rx, &worker_abandoned))?;
+            .spawn(move || {
+                // A panicking worker (chaos crash, engine bug) cannot send
+                // anything itself, so the spawn wrapper turns the unwind
+                // into a death notice on the progress plane. The channel
+                // is FIFO per sender, so the notice always follows every
+                // tick the worker streamed before dying — the coordinator
+                // can attribute the first missing slot exactly. Normal
+                // exits (finish, error, stall-park abandon) send nothing.
+                let body = std::panic::AssertUnwindSafe(|| {
+                    worker_main(spec, policy, &reply_tx, cmd_rx, &worker_abandoned);
+                });
+                if std::panic::catch_unwind(body).is_err() {
+                    let _ = notice.send(ShardProgress {
+                        shard,
+                        gen,
+                        event: ShardEvent::Died,
+                    });
+                }
+            })?;
         Ok(Self {
             shard,
             cmd_tx,
@@ -738,7 +851,9 @@ impl ShardHandle {
     }
 
     /// Convenience cold-start spawn with no chaos, no checkpoints, and no
-    /// recovery — the pre-fault-tolerance behaviour.
+    /// recovery — the pre-fault-tolerance behaviour. Creates a private
+    /// progress channel and returns its receiving end alongside the
+    /// handle.
     ///
     /// # Errors
     ///
@@ -748,8 +863,9 @@ impl ShardHandle {
         config: SlotConfig,
         policy: Box<dyn SlotPolicy + Send>,
         command_bound: usize,
-    ) -> std::io::Result<Self> {
-        Self::spawn(
+    ) -> std::io::Result<(Self, Receiver<ShardProgress>)> {
+        let (progress, events) = std::sync::mpsc::channel();
+        let handle = Self::spawn(
             SpawnSpec {
                 plan,
                 config,
@@ -757,6 +873,8 @@ impl ShardHandle {
                 checkpoint_every: 0,
                 faults: Vec::new(),
                 recover: None,
+                progress,
+                gen: 0,
                 ring: None,
                 step_hist: None,
                 telemetry_every: 0,
@@ -766,7 +884,8 @@ impl ShardHandle {
                 probe: false,
             },
             policy,
-        )
+        )?;
+        Ok((handle, events))
     }
 
     /// Sends a command; blocks when the bounded queue is full.
@@ -843,26 +962,32 @@ mod tests {
     use mec_workload::WorkloadBuilder;
 
     #[test]
-    fn inject_tick_finish_roundtrip() {
+    fn inject_grant_finish_roundtrip() {
         let topo = TopologyBuilder::new(8).seed(3).build();
         let plan = partition(&topo, 1).remove(0);
         let requests = WorkloadBuilder::new(&topo).seed(3).count(20).build();
         let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
-        let handle = ShardHandle::spawn_fresh(plan, SlotConfig::default(), policy, 64).unwrap();
+        let (handle, events) =
+            ShardHandle::spawn_fresh(plan, SlotConfig::default(), policy, 64).unwrap();
         for r in requests {
             handle.send(ShardCommand::Inject(r)).unwrap();
         }
+        // A single 100-slot lease streams one tick event per slot.
+        handle.send(ShardCommand::Grant { through: 99 }).unwrap();
         let mut backlog = usize::MAX;
         for slot in 0..100 {
-            handle.send(ShardCommand::Tick).unwrap();
-            match handle.recv().unwrap() {
-                ShardReply::Tick(tick) => {
+            match events.recv().unwrap() {
+                ShardProgress {
+                    shard: 0,
+                    gen: 0,
+                    event: ShardEvent::Tick(tick),
+                } => {
                     assert_eq!(tick.shard, 0);
                     assert_eq!(tick.report.slot, slot);
                     assert_eq!(tick.checkpoint, None, "checkpointing is off by default");
                     backlog = tick.backlog;
                 }
-                other => panic!("expected tick reply, got {other:?}"),
+                other => panic!("expected tick event, got {other:?}"),
             }
         }
         assert_eq!(backlog, 0, "20 requests should drain within 100 slots");
@@ -882,17 +1007,42 @@ mod tests {
         handle.join();
     }
 
-    /// Drives `handle` through `slots` ticks, returning each tick.
-    fn drive(handle: &ShardHandle, slots: u64) -> Vec<ShardTick> {
-        let mut ticks = Vec::new();
-        for _ in 0..slots {
-            handle.send(ShardCommand::Tick).unwrap();
-            match handle.recv().unwrap() {
-                ShardReply::Tick(tick) => ticks.push(tick),
-                other => panic!("expected tick reply, got {other:?}"),
-            }
-        }
-        ticks
+    /// Grants `slots` more slots starting at `from` and collects the tick
+    /// stream.
+    fn drive(
+        handle: &ShardHandle,
+        events: &Receiver<ShardProgress>,
+        from: u64,
+        slots: u64,
+    ) -> Vec<ShardTick> {
+        handle
+            .send(ShardCommand::Grant {
+                through: from + slots - 1,
+            })
+            .unwrap();
+        (0..slots)
+            .map(|_| match events.recv().unwrap().event {
+                ShardEvent::Tick(tick) => tick,
+                other => panic!("expected tick event, got {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stale_grants_are_idempotent() {
+        let topo = TopologyBuilder::new(6).seed(9).build();
+        let plan = partition(&topo, 1).remove(0);
+        let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
+        let (handle, events) =
+            ShardHandle::spawn_fresh(plan, SlotConfig::default(), policy, 16).unwrap();
+        let ticks = drive(&handle, &events, 0, 5);
+        assert_eq!(ticks.last().unwrap().report.slot, 4);
+        // A non-extending lease executes nothing: no stray tick events.
+        handle.send(ShardCommand::Grant { through: 3 }).unwrap();
+        let extended = drive(&handle, &events, 5, 1);
+        assert_eq!(extended[0].report.slot, 5, "slots 0..=4 must not re-run");
+        handle.send(ShardCommand::Finish).unwrap();
+        handle.join();
     }
 
     #[test]
@@ -900,6 +1050,7 @@ mod tests {
         let topo = TopologyBuilder::new(6).seed(7).build();
         let plan = partition(&topo, 1).remove(0);
         let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
+        let (progress, events) = std::sync::mpsc::channel();
         let spec = SpawnSpec {
             plan,
             config: SlotConfig::default(),
@@ -907,6 +1058,8 @@ mod tests {
             checkpoint_every: 4,
             faults: Vec::new(),
             recover: None,
+            progress,
+            gen: 0,
             ring: None,
             step_hist: None,
             telemetry_every: 0,
@@ -916,7 +1069,7 @@ mod tests {
             probe: false,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
-        let ticks = drive(&handle, 9);
+        let ticks = drive(&handle, &events, 0, 9);
         for tick in &ticks {
             let expect_checkpoint = (tick.report.slot + 1) % 4 == 0;
             assert_eq!(tick.checkpoint.is_some(), expect_checkpoint);
@@ -938,11 +1091,12 @@ mod tests {
         // Reference: one worker runs 40 slots straight through.
         let reference = {
             let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
-            let handle = ShardHandle::spawn_fresh(plan.clone(), config, policy, 64).unwrap();
+            let (handle, events) =
+                ShardHandle::spawn_fresh(plan.clone(), config, policy, 64).unwrap();
             for r in requests.clone() {
                 handle.send(ShardCommand::Inject(r)).unwrap();
             }
-            let ticks = drive(&handle, 40);
+            let ticks = drive(&handle, &events, 0, 40);
             let last = ticks.last().unwrap().clone();
             handle.send(ShardCommand::Finish).unwrap();
             handle.join();
@@ -953,6 +1107,7 @@ mod tests {
         // slot 29, then tick the last 10 live.
         let journal: Vec<(u64, Request)> = requests.iter().map(|r| (0u64, r.clone())).collect();
         let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
+        let (progress, events) = std::sync::mpsc::channel();
         let spec = SpawnSpec {
             plan: plan.clone(),
             config,
@@ -967,6 +1122,8 @@ mod tests {
                 life_from: 0,
                 life_ids: Vec::new(),
             }),
+            progress,
+            gen: 1,
             ring: None,
             step_hist: None,
             telemetry_every: 0,
@@ -981,7 +1138,7 @@ mod tests {
             other => panic!("expected recovered reply, got {other:?}"),
         };
         assert_eq!(recovered.replayed, 15);
-        let ticks = drive(&handle, 10);
+        let ticks = drive(&handle, &events, 30, 10);
         let last = ticks.last().unwrap();
         assert_eq!(last.report.slot, reference.report.slot);
         assert_eq!(last.backlog, reference.backlog);
@@ -997,6 +1154,7 @@ mod tests {
         let plan = partition(&topo, 1).remove(0);
         let requests = WorkloadBuilder::new(&topo).seed(5).count(30).build();
         let policy = policy_from_name("DynamicRR", 100, mec_core::SolverKind::default()).unwrap();
+        let (progress, events) = std::sync::mpsc::channel();
         let spec = SpawnSpec {
             plan,
             config: SlotConfig::default(),
@@ -1004,6 +1162,8 @@ mod tests {
             checkpoint_every: 0,
             faults: Vec::new(),
             recover: None,
+            progress,
+            gen: 0,
             ring: None,
             step_hist: None,
             telemetry_every: 0,
@@ -1016,7 +1176,7 @@ mod tests {
         for r in requests {
             handle.send(ShardCommand::Inject(r)).unwrap();
         }
-        let ticks = drive(&handle, 20);
+        let ticks = drive(&handle, &events, 0, 20);
         let events: usize = ticks.iter().map(|t| t.learner_events.len()).sum();
         assert!(events > 0, "a probed learner must stream lifecycle events");
         for tick in &ticks {
@@ -1040,8 +1200,9 @@ mod tests {
         let topo = TopologyBuilder::new(8).seed(5).build();
         let plan = partition(&topo, 1).remove(0);
         let policy = policy_from_name("DynamicRR", 100, mec_core::SolverKind::default()).unwrap();
-        let handle = ShardHandle::spawn_fresh(plan, SlotConfig::default(), policy, 64).unwrap();
-        for tick in drive(&handle, 5) {
+        let (handle, events) =
+            ShardHandle::spawn_fresh(plan, SlotConfig::default(), policy, 64).unwrap();
+        for tick in drive(&handle, &events, 0, 5) {
             assert!(tick.learner_events.is_empty());
             assert_eq!(tick.probe_dropped, 0);
             assert!(tick.decision.is_none());
@@ -1056,6 +1217,7 @@ mod tests {
         let topo = TopologyBuilder::new(4).seed(1).build();
         let plan = partition(&topo, 1).remove(0);
         let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
+        let (progress, events) = std::sync::mpsc::channel();
         let spec = SpawnSpec {
             plan,
             config: SlotConfig::default(),
@@ -1066,6 +1228,8 @@ mod tests {
                 kind: FaultKind::Stall,
             }],
             recover: None,
+            progress,
+            gen: 0,
             ring: None,
             step_hist: None,
             telemetry_every: 0,
@@ -1075,13 +1239,61 @@ mod tests {
             probe: false,
         };
         let handle = ShardHandle::spawn(spec, policy).unwrap();
-        drive(&handle, 2);
-        handle.send(ShardCommand::Tick).unwrap();
-        match handle.recv_timeout(Duration::from_millis(100)) {
+        drive(&handle, &events, 0, 2);
+        handle.send(ShardCommand::Grant { through: 2 }).unwrap();
+        match events.recv_timeout(Duration::from_millis(100)) {
             Err(RecvTimeoutError::Timeout) => {}
             other => panic!("expected a stall timeout, got {other:?}"),
         }
-        // Abandon returns promptly even though the worker is wedged.
+        // Abandon returns promptly even though the worker is wedged; a
+        // stall-park exit is a normal return, so no death notice appears.
         handle.abandon();
+        assert!(matches!(
+            events.recv_timeout(Duration::from_millis(500)),
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn crashed_worker_sends_a_death_notice_after_its_ticks() {
+        let topo = TopologyBuilder::new(4).seed(2).build();
+        let plan = partition(&topo, 1).remove(0);
+        let policy = policy_from_name("Greedy", 100, mec_core::SolverKind::default()).unwrap();
+        let (progress, events) = std::sync::mpsc::channel();
+        let spec = SpawnSpec {
+            plan,
+            config: SlotConfig::default(),
+            command_bound: 8,
+            checkpoint_every: 0,
+            faults: vec![ShardFault {
+                slot: 3,
+                kind: FaultKind::Crash,
+            }],
+            recover: None,
+            progress,
+            gen: 0,
+            ring: None,
+            step_hist: None,
+            telemetry_every: 0,
+            life_ring: None,
+            stall: None,
+            fine_hist: None,
+            probe: false,
+        };
+        let handle = ShardHandle::spawn(spec, policy).unwrap();
+        // Lease past the crash slot: ticks 0..=2 stream, then the spawn
+        // wrapper's Died notice — strictly after the surviving ticks.
+        handle.send(ShardCommand::Grant { through: 5 }).unwrap();
+        for slot in 0..3 {
+            match events.recv().unwrap().event {
+                ShardEvent::Tick(tick) => assert_eq!(tick.report.slot, slot),
+                other => panic!("expected tick event, got {other:?}"),
+            }
+        }
+        match events.recv_timeout(Duration::from_secs(5)).unwrap().event {
+            ShardEvent::Died => {}
+            other => panic!("expected a death notice, got {other:?}"),
+        }
+        handle.join();
     }
 }

@@ -140,12 +140,65 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// A computed (not timed) scalar attached to the report — e.g. the
+/// parallel efficiency a scaling bench derives from its own timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedStat {
+    /// Full label, `group/metric/param`.
+    pub name: String,
+    /// The value.
+    pub value: f64,
+    /// Unit tag (`"ratio"`, `"it/s"`, ...), informational.
+    pub unit: String,
+}
+
+impl DerivedStat {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"value\":{:.4},\"unit\":\"{}\"}}",
+            escape(&self.name),
+            self.value,
+            escape(&self.unit),
+        )
+    }
+}
+
 /// Results recorded by every group in this process, drained by
 /// [`write_report`] at the end of `main`.
 static RESULTS: Mutex<Vec<BenchStats>> = Mutex::new(Vec::new());
 
+/// Derived scalars recorded via [`record_derived`], drained with the
+/// results.
+static DERIVED: Mutex<Vec<DerivedStat>> = Mutex::new(Vec::new());
+
+/// A copy of every [`BenchStats`] recorded so far in this process —
+/// lets a bench function compute derived metrics (ratios across
+/// parameters) from the timings earlier groups produced.
+pub fn collected() -> Vec<BenchStats> {
+    RESULTS.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// Records a derived scalar for the report's `"derived"` array.
+pub fn record_derived(name: impl Into<String>, value: f64, unit: impl Into<String>) {
+    DERIVED
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(DerivedStat {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+        });
+}
+
 /// Renders the normalized report for the collected results.
 pub fn render_report(bench: &str, results: &[BenchStats]) -> String {
+    render_report_full(bench, results, &[])
+}
+
+/// [`render_report`] plus a `"derived"` array of computed scalars
+/// (omitted entirely when empty, so reports without derived metrics are
+/// byte-identical to the pre-derived schema).
+pub fn render_report_full(bench: &str, results: &[BenchStats], derived: &[DerivedStat]) -> String {
     let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
     let mut out = format!(
         "{{\"schema\":1,\"bench\":\"{}\",\"machine\":{{\"cpus\":{},\"os\":\"{}\",\"arch\":\"{}\"}},\"results\":[",
@@ -160,7 +213,18 @@ pub fn render_report(bench: &str, results: &[BenchStats]) -> String {
         }
         out.push_str(&r.to_json());
     }
-    out.push_str("]}\n");
+    out.push(']');
+    if !derived.is_empty() {
+        out.push_str(",\"derived\":[");
+        for (i, d) in derived.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push(']');
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -174,6 +238,7 @@ pub fn render_report(bench: &str, results: &[BenchStats]) -> String {
 /// results directory must not fail the benchmark run itself.
 pub fn write_report(bench: &str, manifest_dir: &str) {
     let results = std::mem::take(&mut *RESULTS.lock().unwrap_or_else(|p| p.into_inner()));
+    let derived = std::mem::take(&mut *DERIVED.lock().unwrap_or_else(|p| p.into_inner()));
     if std::env::var("MEC_BENCH_JSON").is_ok_and(|v| v == "0") {
         return;
     }
@@ -181,7 +246,7 @@ pub fn write_report(bench: &str, manifest_dir: &str) {
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|_| std::path::Path::new(manifest_dir).join("../../results"));
     let path = dir.join(format!("BENCH_{bench}.json"));
-    let report = render_report(bench, &results);
+    let report = render_report_full(bench, &results, &derived);
     if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, report)) {
         eprintln!("warning: cannot write {}: {e}", path.display());
     } else {
@@ -349,5 +414,24 @@ mod tests {
         assert!(text.starts_with("{\"schema\":1,\"bench\":\"demo\""));
         assert!(text.contains("\"median_ns\":10"));
         assert!(text.trim_end().ends_with("]}"));
+        assert!(!text.contains("derived"), "empty derived array is omitted");
+    }
+
+    #[test]
+    fn derived_stats_join_the_report() {
+        let s = BenchStats::from_samples("g/f/1".into(), &[Duration::from_nanos(10)]);
+        let d = DerivedStat {
+            name: "g/efficiency/4".into(),
+            value: 0.4321,
+            unit: "ratio".into(),
+        };
+        let text = render_report_full("demo", &[s], &[d]);
+        assert!(
+            text.contains(
+                "\"derived\":[{\"name\":\"g/efficiency/4\",\"value\":0.4321,\"unit\":\"ratio\"}]"
+            ),
+            "{text}"
+        );
+        assert!(text.trim_end().ends_with('}'));
     }
 }
